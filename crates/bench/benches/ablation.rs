@@ -1,0 +1,41 @@
+//! E9 bench — pruning-layer and band ablations as Criterion comparisons.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onex_bench::workloads;
+use onex_core::{Onex, QueryOptions};
+use onex_distance::Band;
+use onex_grouping::BaseConfig;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let (n, len, qlen) = (40, 128, 32);
+    let ds = workloads::sine_collection(n, len);
+    let (engine, _) = Onex::build(ds.clone(), BaseConfig::new(0.35, qlen, qlen)).unwrap();
+    let query = workloads::perturbed_query(&ds, "fam0-0", 8, qlen, 0.1);
+
+    let mut g = c.benchmark_group("e9_ablation");
+    let variants: Vec<(&str, QueryOptions)> = vec![
+        ("full_pruning", QueryOptions::default()),
+        ("no_group_pruning", QueryOptions::default().without_group_pruning()),
+        ("no_lb_keogh", QueryOptions::default().without_lb_keogh()),
+        ("no_pruning", QueryOptions::default().without_pruning()),
+    ];
+    for (name, opts) in &variants {
+        g.bench_function(*name, |b| {
+            b.iter(|| black_box(engine.best_match(black_box(&query), opts)))
+        });
+    }
+    for (name, band) in [
+        ("band_full", Band::Full),
+        ("band_5pct", Band::from_fraction(qlen, 0.05)),
+    ] {
+        let opts = QueryOptions::with_band(band);
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(engine.best_match(black_box(&query), &opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

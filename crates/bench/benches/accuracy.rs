@@ -1,0 +1,54 @@
+//! E6 bench — latency cost of accuracy: unconstrained-DTW queries over the
+//! base vs banded scans over raw data (the trade the accuracy table
+//! explains).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onex_bench::workloads;
+use onex_core::{exhaustive, Onex, QueryOptions};
+use onex_distance::Band;
+use onex_grouping::BaseConfig;
+use std::hint::black_box;
+
+fn bench_accuracy_tradeoff(c: &mut Criterion) {
+    let (n, len, qlen) = (40, 96, 24);
+    let ds = workloads::sine_collection(n, len);
+    let (engine, _) = Onex::build(ds.clone(), BaseConfig::new(0.35, qlen, qlen)).unwrap();
+    let query = workloads::perturbed_query(&ds, "fam3-3", 20, qlen, 0.35);
+
+    let mut g = c.benchmark_group("e6_accuracy_tradeoff");
+    let full = QueryOptions::default();
+    g.bench_function("onex_unconstrained", |b| {
+        b.iter(|| black_box(engine.best_match(black_box(&query), &full)))
+    });
+    for frac in [0.05, 0.20] {
+        let opts = QueryOptions::with_band(Band::from_fraction(qlen, frac));
+        g.bench_function(format!("banded_scan_{}pct", (frac * 100.0) as u32), |b| {
+            b.iter(|| {
+                black_box(exhaustive::scan_best(
+                    &ds,
+                    black_box(&query),
+                    &[qlen],
+                    1,
+                    &opts,
+                    true,
+                ))
+            })
+        });
+    }
+    g.bench_function("exact_scan_unconstrained", |b| {
+        b.iter(|| {
+            black_box(exhaustive::scan_best(
+                &ds,
+                black_box(&query),
+                &[qlen],
+                1,
+                &full,
+                true,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_accuracy_tradeoff);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! E11 bench — query latency of the index-school baselines (FRM [4],
+//! EBSM [1]) against ONEX on the same collection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onex_bench::workloads;
+use onex_core::{Onex, QueryOptions};
+use onex_embedding::{EbsmConfig, EbsmIndex};
+use onex_frm::{StConfig, StIndex};
+use onex_grouping::BaseConfig;
+use std::hint::black_box;
+
+const QLEN: usize = 32;
+const LEN: usize = 160;
+
+fn bench_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_query");
+    g.sample_size(15);
+    for n in [20usize, 60] {
+        let ds = workloads::diverse_sines(n, LEN);
+        let series: Vec<Vec<f64>> = ds.iter().map(|(_, s)| s.values().to_vec()).collect();
+        let query = workloads::perturbed_query(
+            &ds,
+            ds.series(0).unwrap().name(),
+            40,
+            QLEN,
+            0.08,
+        );
+
+        let (onex, _) = Onex::build(ds.clone(), BaseConfig::new(2.0, QLEN, QLEN)).unwrap();
+        let opts = QueryOptions::default().top_groups(1);
+        g.bench_with_input(BenchmarkId::new("onex_top1", n), &n, |b, _| {
+            b.iter(|| black_box(onex.best_match(black_box(&query), &opts)))
+        });
+
+        let frm = StIndex::<4>::build(
+            series.clone(),
+            StConfig {
+                window: QLEN,
+                subtrail_max: 32,
+                cost_scale: 1.0,
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("frm_best", n), &n, |b, _| {
+            b.iter(|| black_box(frm.best_match(black_box(&query))))
+        });
+
+        let ebsm = EbsmIndex::build(
+            series.clone(),
+            EbsmConfig {
+                references: 8,
+                ref_len: QLEN,
+                candidates: 24,
+                refine_factor: 2,
+                seed: 42,
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("ebsm_best", n), &n, |b, _| {
+            b.iter(|| black_box(ebsm.best_match(black_box(&query))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_build");
+    g.sample_size(10);
+    let n = 30usize;
+    let ds = workloads::diverse_sines(n, LEN);
+    let series: Vec<Vec<f64>> = ds.iter().map(|(_, s)| s.values().to_vec()).collect();
+
+    g.bench_function("onex_base", |b| {
+        b.iter(|| black_box(Onex::build(ds.clone(), BaseConfig::new(2.0, QLEN, QLEN)).unwrap()))
+    });
+    g.bench_function("frm_stindex", |b| {
+        b.iter(|| {
+            black_box(StIndex::<4>::build(
+                series.clone(),
+                StConfig {
+                    window: QLEN,
+                    subtrail_max: 32,
+                    cost_scale: 1.0,
+                },
+            ))
+        })
+    });
+    g.bench_function("ebsm_embed", |b| {
+        b.iter(|| {
+            black_box(EbsmIndex::build(
+                series.clone(),
+                EbsmConfig {
+                    references: 8,
+                    ref_len: QLEN,
+                    candidates: 24,
+                    refine_factor: 2,
+                    seed: 42,
+                },
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_builds);
+criterion_main!(benches);

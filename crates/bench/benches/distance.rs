@@ -1,0 +1,46 @@
+//! Kernel benchmarks: the distance primitives every experiment rests on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onex_distance::lb::{lb_keogh_sq, lb_kim_fl_sq};
+use onex_distance::{dtw, dtw_early_abandon, ed, Band, Envelope};
+use onex_tseries::gen::sine_mix;
+use std::hint::black_box;
+
+fn inputs(n: usize) -> (Vec<f64>, Vec<f64>) {
+    (sine_mix(n, 3, 0.2, 1), sine_mix(n, 3, 0.2, 2))
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    for n in [32usize, 128, 512] {
+        let (x, y) = inputs(n);
+        g.bench_with_input(BenchmarkId::new("ed", n), &n, |b, _| {
+            b.iter(|| black_box(ed(black_box(&x), black_box(&y))))
+        });
+        g.bench_with_input(BenchmarkId::new("dtw_full", n), &n, |b, _| {
+            b.iter(|| black_box(dtw(black_box(&x), black_box(&y), Band::Full)))
+        });
+        g.bench_with_input(BenchmarkId::new("dtw_band5pct", n), &n, |b, _| {
+            let band = Band::from_fraction(n, 0.05);
+            b.iter(|| black_box(dtw(black_box(&x), black_box(&y), band)))
+        });
+        let tight = dtw(&x, &y, Band::Full) * 0.5;
+        g.bench_with_input(BenchmarkId::new("dtw_abandon_tight", n), &n, |b, _| {
+            b.iter(|| black_box(dtw_early_abandon(black_box(&x), black_box(&y), Band::Full, tight)))
+        });
+        let env = Envelope::build(&y, n / 20 + 1);
+        g.bench_with_input(BenchmarkId::new("lb_keogh", n), &n, |b, _| {
+            b.iter(|| black_box(lb_keogh_sq(black_box(&x), black_box(&env), f64::INFINITY)))
+        });
+        g.bench_with_input(BenchmarkId::new("lb_kim", n), &n, |b, _| {
+            b.iter(|| black_box(lb_kim_fl_sq(black_box(&x), black_box(&y))))
+        });
+        g.bench_with_input(BenchmarkId::new("envelope_build", n), &n, |b, _| {
+            b.iter(|| black_box(Envelope::build(black_box(&y), n / 20 + 1)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

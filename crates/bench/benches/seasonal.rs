@@ -1,0 +1,34 @@
+//! E4 bench — seasonal-pattern extraction on household electricity data
+//! (the Fig 4 Seasonal View interaction), plus the base build behind it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onex_bench::workloads;
+use onex_core::{Onex, SeasonalOptions};
+use onex_grouping::BaseConfig;
+use std::hint::black_box;
+
+fn bench_seasonal(c: &mut Criterion) {
+    let ds = workloads::household_year(12 * 7);
+    let cfg = BaseConfig {
+        stride: 24,
+        ..BaseConfig::new(0.8, 24, 24)
+    };
+    let (engine, _) = Onex::build(ds.clone(), cfg.clone()).unwrap();
+    let opts = SeasonalOptions {
+        min_occurrences: 3,
+        ..SeasonalOptions::default()
+    };
+
+    let mut g = c.benchmark_group("e4_seasonal");
+    g.bench_function("seasonal_query_84days", |b| {
+        b.iter(|| black_box(engine.seasonal("household-0", &opts).unwrap()))
+    });
+    g.sample_size(10);
+    g.bench_function("base_build_84days_stride24", |b| {
+        b.iter(|| black_box(Onex::build(ds.clone(), cfg.clone()).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_seasonal);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E2 bench — best-match and k-best query latency on the MATTERS
+//! growth-rate collection (the Fig 2 Results pane interaction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onex_bench::workloads;
+use onex_core::{LengthSelection, Onex, QueryOptions};
+use onex_grouping::BaseConfig;
+use std::hint::black_box;
+
+fn bench_similarity(c: &mut Criterion) {
+    let ds = workloads::growth_rates();
+    let (engine, _) = Onex::build(ds, BaseConfig::new(1.0, 6, 10)).unwrap();
+    let query = workloads::perturbed_query(engine.dataset(), "MA-GrowthRate", 6, 8, 0.1);
+    let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
+
+    let mut g = c.benchmark_group("e2_similarity");
+    g.bench_function("best_match_exact_len", |b| {
+        b.iter(|| black_box(engine.best_match(black_box(&query), &opts)))
+    });
+    g.bench_function("k5_exact_len", |b| {
+        b.iter(|| black_box(engine.k_best(black_box(&query), 5, &opts)))
+    });
+    let cross = opts.clone().lengths(LengthSelection::Nearest(3));
+    g.bench_function("best_match_nearest3_lengths", |b| {
+        b.iter(|| black_box(engine.best_match(black_box(&query), &cross)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

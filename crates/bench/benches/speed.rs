@@ -1,0 +1,61 @@
+//! E5 bench — the headline comparison: ONEX vs UCR Suite vs brute-force
+//! scans, across collection sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onex_bench::workloads;
+use onex_core::{exhaustive, Onex, QueryOptions};
+use onex_grouping::BaseConfig;
+use onex_ucrsuite::{ucr_dtw_search_dataset, DtwSearchConfig};
+use std::hint::black_box;
+
+const QLEN: usize = 32;
+const LEN: usize = 128;
+
+fn bench_speed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_speed");
+    g.sample_size(20);
+    for n in [20usize, 50, 100] {
+        let ds = workloads::sine_collection(n, LEN);
+        let (engine, _) = Onex::build(ds.clone(), BaseConfig::new(0.35, QLEN, QLEN)).unwrap();
+        let query = workloads::perturbed_query(&ds, "fam0-0", 40, QLEN, 0.05);
+        let opts = QueryOptions::default();
+        let ucr_cfg = DtwSearchConfig::default();
+
+        g.bench_with_input(BenchmarkId::new("onex", n), &n, |b, _| {
+            b.iter(|| black_box(engine.best_match(black_box(&query), &opts)))
+        });
+        g.bench_with_input(BenchmarkId::new("ucr_suite", n), &n, |b, _| {
+            b.iter(|| black_box(ucr_dtw_search_dataset(&ds, black_box(&query), &ucr_cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("scan_abandon", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(exhaustive::scan_best(
+                    &ds,
+                    black_box(&query),
+                    &[QLEN],
+                    1,
+                    &opts,
+                    true,
+                ))
+            })
+        });
+        if n <= 50 {
+            g.bench_with_input(BenchmarkId::new("scan_naive", n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(exhaustive::scan_best(
+                        &ds,
+                        black_box(&query),
+                        &[QLEN],
+                        1,
+                        &opts,
+                        false,
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_speed);
+criterion_main!(benches);

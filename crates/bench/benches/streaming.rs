@@ -1,0 +1,63 @@
+//! E10 bench — per-point monitoring cost: SPRING vs re-scanning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use onex_bench::workloads;
+use onex_spring::{spring_search, SpringMonitor};
+use onex_ucrsuite::{ucr_dtw_search, DtwSearchConfig};
+use std::hint::black_box;
+
+fn pattern(m: usize) -> Vec<f64> {
+    (0..m)
+        .map(|i| 2.0 + (i as f64 / m as f64 * std::f64::consts::TAU).sin() * 3.0)
+        .collect()
+}
+
+fn stream(len: usize) -> Vec<f64> {
+    // household_year samples hourly (24 points/day).
+    let ds = workloads::household_year(len / 24 + 2);
+    ds.series(0).unwrap().values()[..len].to_vec()
+}
+
+/// Whole-stream monitoring cost as the stream grows.
+fn bench_stream_total(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_stream_total");
+    g.sample_size(12);
+    for n in [2_000usize, 8_000, 16_000] {
+        let s = stream(n);
+        let q = pattern(24);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("spring", n), &n, |b, _| {
+            b.iter(|| black_box(spring_search(black_box(&s), &q, 1.5)))
+        });
+        let cfg = DtwSearchConfig::default();
+        g.bench_with_input(BenchmarkId::new("ucr_rescan_x4", n), &n, |b, _| {
+            b.iter(|| {
+                // A scan system re-answering at 4 report points.
+                for cut in [n / 4, n / 2, 3 * n / 4, n] {
+                    black_box(ucr_dtw_search(&s[..cut], &q, &cfg));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Per-point latency: the O(m) column update.
+fn bench_per_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_per_point");
+    for m in [16usize, 64, 256] {
+        let q = pattern(m);
+        let mut mon = SpringMonitor::new(&q, 1.0).unwrap();
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::new("spring_push", m), &m, |b, _| {
+            b.iter(|| {
+                i += 1;
+                black_box(mon.push((i as f64 * 0.01).sin()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream_total, bench_per_point);
+criterion_main!(benches);

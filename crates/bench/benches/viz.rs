@@ -1,0 +1,69 @@
+//! E3 bench — rendering cost of each linked view (interactivity requires
+//! these to be instantaneous relative to the analytics).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use onex_distance::{dtw_with_path, Band};
+use onex_tseries::gen::sine_mix;
+use onex_viz::{ConnectedScatter, MultiLineChart, OverviewPane, RadialChart, SeasonalView};
+use std::hint::black_box;
+
+fn bench_viz(c: &mut Criterion) {
+    let a = sine_mix(64, 3, 0.1, 1);
+    let b_series = sine_mix(64, 3, 0.1, 2);
+    let (_, path) = dtw_with_path(&a, &b_series, Band::Full);
+    let long = sine_mix(2000, 4, 0.1, 3);
+
+    let mut g = c.benchmark_group("e3_viz");
+    g.bench_function("multiline_with_links", |bch| {
+        bch.iter(|| {
+            black_box(
+                MultiLineChart::new(640, 360, "t")
+                    .add_series("a", &a)
+                    .add_series("b", &b_series)
+                    .with_warp_links(&path)
+                    .render(),
+            )
+        })
+    });
+    g.bench_function("radial", |bch| {
+        bch.iter(|| {
+            black_box(
+                RadialChart::new(360, "r")
+                    .add_series("a", &a)
+                    .add_series("b", &b_series)
+                    .render(),
+            )
+        })
+    });
+    g.bench_function("scatter", |bch| {
+        bch.iter(|| {
+            black_box(
+                ConnectedScatter::new(360, "s", &a, &b_series)
+                    .with_path(&path)
+                    .render(),
+            )
+        })
+    });
+    g.bench_function("seasonal_view_2000pts", |bch| {
+        bch.iter(|| {
+            black_box(
+                SeasonalView::new(900, "p", &long)
+                    .add_pattern("x", vec![(0, 100), (500, 100), (1200, 100)])
+                    .render(),
+            )
+        })
+    });
+    g.bench_function("overview_24_cells", |bch| {
+        bch.iter(|| {
+            let mut pane = OverviewPane::new(6, 96, 64, "o");
+            for k in 0..24 {
+                pane = pane.add_group(&a, k + 1);
+            }
+            black_box(pane.render())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_viz);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! `repro` — regenerate every experiment table and figure artefact.
+//!
+//! ```text
+//! repro                 # run everything, full sizes
+//! repro --quick         # run everything, CI sizes
+//! repro e5 e6           # run selected experiments
+//! repro list            # list experiment ids
+//! ```
+//!
+//! Tables print to stdout; SVG artefacts land in `target/repro/`.
+
+use onex_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .collect();
+
+    if ids.first() == Some(&"list") {
+        println!("available experiments:");
+        for id in experiments::ALL {
+            println!("  {id}");
+        }
+        return;
+    }
+
+    let selected: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
+        experiments::ALL.to_vec()
+    } else {
+        ids
+    };
+
+    println!(
+        "# ONEX reproduction run ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+    let t0 = std::time::Instant::now();
+    let mut failed = false;
+    for id in selected {
+        match experiments::run(id, quick) {
+            Some(tables) => {
+                for table in tables {
+                    println!("{}", table.render());
+                }
+            }
+            None => {
+                eprintln!("unknown experiment {id:?}; try `repro list`");
+                failed = true;
+            }
+        }
+    }
+    println!(
+        "# done in {:.1}s — artefacts in target/repro/",
+        t0.elapsed().as_secs_f64()
+    );
+    if failed {
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,100 @@
+//! E2 — Fig 2, the Similarity View: overview pane of group
+//! representatives, and the best-match search for MA's growth rate with
+//! the warped-point Results pane.
+
+use onex_core::{Onex, QueryOptions};
+use onex_grouping::BaseConfig;
+use onex_viz::{MultiLineChart, OverviewPane, QueryPreview};
+
+use crate::harness::{fmt_duration, median_time, write_artefact, Table};
+use crate::workloads;
+
+/// Regenerate the Similarity View content.
+pub fn run(quick: bool) -> Vec<Table> {
+    let ds = workloads::growth_rates();
+    let (engine, report) = Onex::build(ds, BaseConfig::new(1.0, 6, 10)).expect("valid config");
+
+    // Overview pane (Fig 2, top left): representatives at the headline
+    // length, colour intensity ∝ cardinality.
+    let overview_len = 8;
+    let pane = OverviewPane::from_base(engine.base(), overview_len, 24);
+    let pane_path = write_artefact("e2_overview_pane.svg", &pane.render());
+    let mut overview = Table::new(
+        "E2 (Fig 2, Overview Pane) — similarity groups at length 8",
+        &["metric", "value"],
+    );
+    overview.row(vec![
+        "groups at length 8".into(),
+        engine.base().groups_for_len(overview_len).len().to_string(),
+    ]);
+    overview.row(vec![
+        "base compaction (all lengths)".into(),
+        format!("{:.1}×", report.compaction()),
+    ]);
+    overview.row(vec!["artefact".into(), pane_path.display().to_string()]);
+
+    // Query preview pane (Fig 2, bottom right): MA brushed to the recent
+    // window the analyst then searches with.
+    let ma = engine
+        .dataset()
+        .by_name("MA-GrowthRate")
+        .expect("MA exists");
+    let preview = QueryPreview::for_series(520, ma).brush(6, 8);
+    write_artefact("e2_query_preview.svg", &preview.render());
+
+    // Similarity results pane (Fig 2, right): best matches for MA.
+    let query = workloads::perturbed_query(engine.dataset(), "MA-GrowthRate", 6, 8, 0.1);
+    let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
+    let k = if quick { 3 } else { 5 };
+    let (matches, _) = engine.k_best(&query, k, &opts);
+    let latency = median_time(
+        || {
+            let _ = engine.k_best(&query, k, &opts);
+        },
+        if quick { 3 } else { 9 },
+    );
+
+    let mut results = Table::new(
+        format!(
+            "E2 (Fig 2, Results Pane) — states most similar to MA growth rate (k-best in {})",
+            fmt_duration(latency)
+        ),
+        &["rank", "state", "window", "dtw", "normalized"],
+    );
+    for (rank, m) in matches.iter().enumerate() {
+        results.row(vec![
+            (rank + 1).to_string(),
+            m.series_name.clone(),
+            format!("[{}..{}]", m.subseq.start, m.subseq.end()),
+            format!("{:.4}", m.distance),
+            format!("{:.4}", m.normalized),
+        ]);
+    }
+    if let Some(best) = matches.first() {
+        let svg = MultiLineChart::for_match(&query, best, engine.dataset()).render();
+        let path = write_artefact("e2_results_pane.svg", &svg);
+        results.row(vec![
+            "-".into(),
+            "artefact".into(),
+            path.display().to_string(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    vec![overview, results]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similarity_view_reports_matches() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 2);
+        // 3 matches + artefact row.
+        assert_eq!(tables[1].rows.len(), 4);
+        // Matches must come from other states.
+        assert!(!tables[1].rows[0][1].starts_with("MA-"));
+    }
+}

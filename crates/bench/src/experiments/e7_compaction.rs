@@ -1,0 +1,101 @@
+//! E7 — base construction and compaction as the similarity threshold
+//! sweeps (§3.1: the compact base "guarantees speed-up while assuring
+//! highly accurate results").
+
+use onex_core::{exhaustive, Onex, QueryOptions};
+use onex_grouping::BaseConfig;
+
+use crate::harness::{fmt_duration, fmt_speedup, median_time, Table};
+use crate::workloads;
+
+/// Sweep ST and report construction cost, compaction, invariant drift and
+/// the query speed-up the compaction buys.
+pub fn run(quick: bool) -> Vec<Table> {
+    let (n, len) = if quick { (16, 64) } else { (30, 128) };
+    let (min_len, max_len) = if quick { (16, 24) } else { (16, 32) };
+    let qlen = (min_len + max_len) / 2;
+    let ds = workloads::sine_collection(n, len);
+    let query = workloads::perturbed_query(&ds, "fam0-0", 10, qlen, 0.1);
+    let opts = QueryOptions::default();
+    let runs = if quick { 3 } else { 7 };
+
+    let scan_time = median_time(
+        || {
+            let _ = exhaustive::scan_best(&ds, &query, &[qlen], 1, &opts, true);
+        },
+        runs,
+    );
+
+    let mut t = Table::new(
+        format!(
+            "E7 — ONEX base vs similarity threshold ({n}×{len} sine collection, \
+             lengths {min_len}..={max_len}; scan baseline {} at query length {qlen})",
+            fmt_duration(scan_time)
+        ),
+        &[
+            "ST",
+            "build",
+            "groups",
+            "compaction",
+            "drift rate",
+            "query (exact)",
+            "query (top-1)",
+            "top-1 speed-up vs scan",
+        ],
+    );
+
+    let sts: &[f64] = if quick {
+        &[0.1, 0.35, 1.0]
+    } else {
+        &[0.05, 0.1, 0.2, 0.35, 0.7, 1.4]
+    };
+    let top1 = QueryOptions::default().top_groups(1);
+    for &st in sts {
+        let cfg = BaseConfig::new(st, min_len, max_len);
+        let (engine, report) = Onex::build(ds.clone(), cfg).expect("valid config");
+        let audit = engine.base().audit(engine.dataset());
+        let query_time = median_time(
+            || {
+                let _ = engine.best_match(&query, &opts);
+            },
+            runs,
+        );
+        let top1_time = median_time(
+            || {
+                let _ = engine.best_match(&query, &top1);
+            },
+            runs,
+        );
+        t.row(vec![
+            format!("{st}"),
+            fmt_duration(report.elapsed),
+            report.groups.to_string(),
+            format!("{:.1}×", report.compaction()),
+            format!("{:.1}%", audit.violation_rate() * 100.0),
+            fmt_duration(query_time),
+            fmt_duration(top1_time),
+            fmt_speedup(scan_time, top1_time),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compaction_grows_with_st() {
+        let tables = run(true);
+        let rows = &tables[0].rows;
+        assert_eq!(rows.len(), 3);
+        let parse = |s: &str| -> f64 { s.trim_end_matches('×').parse().unwrap() };
+        let c0 = parse(&rows[0][3]);
+        let c2 = parse(&rows[2][3]);
+        assert!(c2 >= c0, "larger ST compacts at least as much: {c0} vs {c2}");
+        // Group counts decrease correspondingly.
+        let g0: usize = rows[0][2].parse().unwrap();
+        let g2: usize = rows[2][2].parse().unwrap();
+        assert!(g2 <= g0);
+    }
+}

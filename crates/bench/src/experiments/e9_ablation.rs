@@ -1,0 +1,148 @@
+//! E9 — ablations of the design choices DESIGN.md calls out: each pruning
+//! layer, the representative policy, and the warping band.
+
+use onex_core::{Onex, QueryOptions};
+use onex_distance::Band;
+use onex_grouping::{BaseConfig, RepresentativePolicy};
+
+use crate::harness::{fmt_duration, median_time, Table};
+use crate::workloads;
+
+/// Run all three ablations.
+pub fn run(quick: bool) -> Vec<Table> {
+    let (n, len) = if quick { (20, 64) } else { (40, 128) };
+    let qlen = if quick { 16 } else { 32 };
+    let runs = if quick { 3 } else { 7 };
+    let ds = workloads::sine_collection(n, len);
+    let query = workloads::perturbed_query(&ds, "fam0-0", 8, qlen, 0.1);
+
+    // Ablation 1: pruning layers.
+    let (engine, _) =
+        Onex::build(ds.clone(), BaseConfig::new(0.35, qlen, qlen)).expect("valid config");
+    let mut pruning = Table::new(
+        "E9a — pruning-layer ablation (same base, same query)",
+        &[
+            "configuration",
+            "latency",
+            "members examined",
+            "LB-pruned",
+            "DTW runs",
+            "avoided work",
+        ],
+    );
+    let variants: [(&str, QueryOptions); 5] = [
+        ("full pruning (exact)", QueryOptions::default()),
+        ("paper mode (top-1 group)", QueryOptions::default().top_groups(1)),
+        ("no group pruning", QueryOptions::default().without_group_pruning()),
+        ("no LB_Keogh", QueryOptions::default().without_lb_keogh()),
+        ("no pruning at all", QueryOptions::default().without_pruning()),
+    ];
+    for (name, opts) in &variants {
+        let (m, stats) = engine.best_match(&query, opts);
+        let m = m.expect("match exists");
+        let lat = median_time(
+            || {
+                let _ = engine.best_match(&query, opts);
+            },
+            runs,
+        );
+        pruning.row(vec![
+            format!("{name} (dtw {:.3})", m.distance),
+            fmt_duration(lat),
+            stats.members_examined.to_string(),
+            stats.members_lb_pruned.to_string(),
+            stats.dtw_invocations().to_string(),
+            format!("{:.0}%", stats.pruning_effectiveness() * 100.0),
+        ]);
+    }
+
+    // Ablation 2: representative policy.
+    let mut policy = Table::new(
+        "E9b — representative policy (Centroid = paper, Seed = certified radii)",
+        &["policy", "groups", "compaction", "drift rate", "query latency"],
+    );
+    for (name, pol) in [
+        ("Centroid", RepresentativePolicy::Centroid),
+        ("Seed", RepresentativePolicy::Seed),
+    ] {
+        let cfg = BaseConfig {
+            policy: pol,
+            ..BaseConfig::new(0.35, qlen, qlen)
+        };
+        let (e, report) = Onex::build(ds.clone(), cfg).expect("valid config");
+        let audit = e.base().audit(e.dataset());
+        let lat = median_time(
+            || {
+                let _ = e.best_match(&query, &QueryOptions::default());
+            },
+            runs,
+        );
+        policy.row(vec![
+            name.into(),
+            report.groups.to_string(),
+            format!("{:.1}×", report.compaction()),
+            format!("{:.1}%", audit.violation_rate() * 100.0),
+            fmt_duration(lat),
+        ]);
+    }
+
+    // Ablation 3: warping band on the query side.
+    let mut band = Table::new(
+        "E9c — query warping band (narrower bands are faster, less warped)",
+        &["band", "latency", "match dtw"],
+    );
+    for (name, b) in [
+        ("full (ONEX default)", Band::Full),
+        ("Itakura parallelogram", Band::Itakura),
+        ("Sakoe–Chiba 20%", Band::from_fraction(qlen, 0.20)),
+        ("Sakoe–Chiba 5%", Band::from_fraction(qlen, 0.05)),
+        ("none (ED)", Band::SakoeChiba(0)),
+    ] {
+        let opts = QueryOptions::with_band(b);
+        let (m, _) = engine.best_match(&query, &opts);
+        let lat = median_time(
+            || {
+                let _ = engine.best_match(&query, &opts);
+            },
+            runs,
+        );
+        band.row(vec![
+            name.into(),
+            fmt_duration(lat),
+            format!("{:.4}", m.expect("match exists").distance),
+        ]);
+    }
+
+    vec![pruning, policy, band]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_have_expected_shape() {
+        let tables = run(true);
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].rows.len(), 5);
+        assert_eq!(tables[1].rows.len(), 2);
+        assert_eq!(tables[2].rows.len(), 5);
+    }
+
+    #[test]
+    fn pruning_reduces_dtw_work() {
+        let tables = run(true);
+        let dtw_full: usize = tables[0].rows[0][4].parse().unwrap();
+        let dtw_none: usize = tables[0].rows[4][4].parse().unwrap();
+        assert!(
+            dtw_full <= dtw_none,
+            "pruning may only reduce DTW runs: {dtw_full} vs {dtw_none}"
+        );
+    }
+
+    #[test]
+    fn seed_policy_has_zero_drift() {
+        let tables = run(true);
+        assert_eq!(tables[1].rows[1][3], "0.0%");
+    }
+}

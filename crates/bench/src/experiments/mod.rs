@@ -1,0 +1,40 @@
+//! One module per experiment in the DESIGN.md index. Each `run(quick)`
+//! returns the tables the paper artefact corresponds to; `quick` shrinks
+//! workload sizes for CI-speed runs.
+
+pub mod e10_streaming;
+pub mod e11_baseline_index;
+pub mod e1_pipeline;
+pub mod e2_similarity;
+pub mod e3_linked_views;
+pub mod e4_seasonal;
+pub mod e5_speed;
+pub mod e6_accuracy;
+pub mod e7_compaction;
+pub mod e8_threshold;
+pub mod e9_ablation;
+
+use crate::harness::Table;
+
+/// Experiment ids accepted by the `repro` binary.
+pub const ALL: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+];
+
+/// Dispatch one experiment by id.
+pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
+    match id {
+        "e1" => Some(e1_pipeline::run(quick)),
+        "e2" => Some(e2_similarity::run(quick)),
+        "e3" => Some(e3_linked_views::run(quick)),
+        "e4" => Some(e4_seasonal::run(quick)),
+        "e5" => Some(e5_speed::run(quick)),
+        "e6" => Some(e6_accuracy::run(quick)),
+        "e7" => Some(e7_compaction::run(quick)),
+        "e8" => Some(e8_threshold::run(quick)),
+        "e9" => Some(e9_ablation::run(quick)),
+        "e10" => Some(e10_streaming::run(quick)),
+        "e11" => Some(e11_baseline_index::run(quick)),
+        _ => None,
+    }
+}

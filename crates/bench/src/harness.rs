@@ -1,0 +1,158 @@
+//! Timing and reporting utilities.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// A printable experiment table (one per paper table/figure panel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment/table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (each row should match `headers.len()`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.chars().count());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("| ");
+            for (i, c) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(c.len());
+                let _ = write!(s, "{c:<w$} | ");
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", line(&sep, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Median wall-clock time of `runs` executions of `f` (after one warm-up).
+pub fn median_time<F: FnMut()>(mut f: F, runs: usize) -> Duration {
+    let runs = runs.max(1);
+    f(); // warm-up
+    let mut samples: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Pretty duration: µs under 1 ms, ms under 1 s, else seconds.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.2}s", us / 1_000_000.0)
+    }
+}
+
+/// Ratio formatted as `N.NN×`.
+pub fn fmt_speedup(baseline: Duration, candidate: Duration) -> String {
+    if candidate.as_nanos() == 0 {
+        return "∞×".into();
+    }
+    format!(
+        "{:.2}×",
+        baseline.as_secs_f64() / candidate.as_secs_f64()
+    )
+}
+
+/// Where SVG artefacts go (created on demand).
+pub fn artefact_dir() -> std::path::PathBuf {
+    let dir = std::path::Path::new("target").join("repro");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Write an artefact file, returning its path for the report.
+pub fn write_artefact(name: &str, content: &str) -> std::path::PathBuf {
+    let path = artefact_dir().join(name);
+    std::fs::write(&path, content).expect("artefact directory is writable");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("| longer-name | 2"));
+        assert!(s.contains("| a           | 1"));
+        assert!(s.contains("-----------"));
+    }
+
+    #[test]
+    fn median_time_is_positive() {
+        let d = median_time(
+            || {
+                std::hint::black_box((0..1000).sum::<u64>());
+            },
+            3,
+        );
+        assert!(d.as_nanos() > 0 || d.as_nanos() == 0); // smoke: no panic
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500.0µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        let s = fmt_speedup(Duration::from_millis(100), Duration::from_millis(25));
+        assert_eq!(s, "4.00×");
+        assert_eq!(
+            fmt_speedup(Duration::from_millis(1), Duration::ZERO),
+            "∞×"
+        );
+    }
+}

@@ -1,0 +1,463 @@
+use parking_lot::Mutex;
+
+use onex_grouping::{BaseBuilder, BaseConfig, BuildReport, OnexBase};
+use onex_tseries::Dataset;
+
+use crate::search::Searcher;
+use crate::seasonal::{seasonal_patterns, SeasonalOptions};
+use crate::threshold::{recommend, ThresholdRecommendation};
+use crate::{Match, QueryOptions, QueryStats, SeasonalPattern};
+
+/// The ONEX engine: a dataset, its precomputed base, and the paper's
+/// exploratory operations (Fig 1's query processor).
+///
+/// Queries take `&self`, so one engine can serve many threads (the demo's
+/// client–server architecture); cumulative work counters are kept behind a
+/// mutex and exposed through [`Onex::lifetime_stats`].
+///
+/// ```
+/// use onex_core::{Onex, QueryOptions};
+/// use onex_grouping::BaseConfig;
+/// use onex_tseries::gen::{sine_mix_dataset, SyntheticConfig};
+///
+/// let data = sine_mix_dataset(
+///     SyntheticConfig { series: 8, len: 64, seed: 7 },
+///     3,
+///     0.1,
+/// );
+/// let (engine, report) = Onex::build(data, BaseConfig::new(0.5, 16, 16)).unwrap();
+/// assert!(report.groups > 0);
+///
+/// // Query with a window cut from the collection: it finds itself.
+/// let query = engine.dataset().series(0).unwrap().subsequence(10, 16).unwrap().to_vec();
+/// let (best, _) = engine.best_match(&query, &QueryOptions::default());
+/// assert!(best.unwrap().distance < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct Onex {
+    dataset: Dataset,
+    base: OnexBase,
+    lifetime: Mutex<QueryStats>,
+}
+
+impl Onex {
+    /// Build the base over `dataset` and wrap both in an engine — the
+    /// demo's "Data Loading into ONEX" step.
+    ///
+    /// # Errors
+    /// Propagates configuration validation failures.
+    pub fn build(dataset: Dataset, config: BaseConfig) -> Result<(Self, BuildReport), String> {
+        let (base, report) = BaseBuilder::new(config)?.build(&dataset);
+        Ok((Self::from_parts(dataset, base)?, report))
+    }
+
+    /// Like [`Onex::build`] with length-parallel construction.
+    pub fn build_parallel(
+        dataset: Dataset,
+        config: BaseConfig,
+        threads: usize,
+    ) -> Result<(Self, BuildReport), String> {
+        let (base, report) = BaseBuilder::new(config)?.build_parallel(&dataset, threads);
+        Ok((Self::from_parts(dataset, base)?, report))
+    }
+
+    /// Re-attach a persisted base to its dataset.
+    ///
+    /// # Errors
+    /// Fails when the base was built over a different number of series —
+    /// the cheap sanity check against pairing the wrong artefacts.
+    pub fn from_parts(dataset: Dataset, base: OnexBase) -> Result<Self, String> {
+        if base.source_series() != dataset.len() {
+            return Err(format!(
+                "base was built over {} series but dataset has {}",
+                base.source_series(),
+                dataset.len()
+            ));
+        }
+        Ok(Onex {
+            dataset,
+            base,
+            lifetime: Mutex::new(QueryStats::default()),
+        })
+    }
+
+    /// The dataset being explored.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The precomputed base.
+    pub fn base(&self) -> &OnexBase {
+        &self.base
+    }
+
+    /// Best time-warped match for `query`, or `None` when no indexed
+    /// subsequence passes the options' filters. Also returns the query's
+    /// work counters.
+    pub fn best_match(&self, query: &[f64], opts: &QueryOptions) -> (Option<Match>, QueryStats) {
+        let (mut matches, stats) = self.k_best(query, 1, opts);
+        (matches.pop(), stats)
+    }
+
+    /// The `k` most similar indexed subsequences, best first.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or `query` is empty.
+    pub fn k_best(
+        &self,
+        query: &[f64],
+        k: usize,
+        opts: &QueryOptions,
+    ) -> (Vec<Match>, QueryStats) {
+        let mut searcher = Searcher::new(&self.dataset, &self.base, query, opts);
+        let matches = searcher.run(k);
+        let stats = searcher.stats;
+        *self.lifetime.lock() += stats;
+        (matches, stats)
+    }
+
+    /// The `k` best *mutually non-overlapping* matches: greedy repeated
+    /// best-match with each winner's window excluded from the next round.
+    /// This is what an analyst wants from "show me other places this
+    /// pattern occurs" — k distinct sites, not k shifted copies of one.
+    pub fn k_best_nonoverlapping(
+        &self,
+        query: &[f64],
+        k: usize,
+        opts: &QueryOptions,
+    ) -> (Vec<Match>, QueryStats) {
+        let mut opts = opts.clone();
+        let mut out = Vec::with_capacity(k);
+        let mut total = QueryStats::default();
+        for _ in 0..k {
+            let (m, stats) = self.best_match(query, &opts);
+            total += stats;
+            match m {
+                Some(m) => {
+                    opts.exclude_windows.push(m.subseq);
+                    out.push(m);
+                }
+                None => break,
+            }
+        }
+        (out, total)
+    }
+
+    /// Direct comparison of two named series (the Fig 3 "contrasting
+    /// trends across multiple linked perspectives" operation): DTW
+    /// distance, warping path, and the Euclidean distance when lengths
+    /// allow it.
+    ///
+    /// # Errors
+    /// Fails when either series is unknown or either is empty.
+    pub fn compare(
+        &self,
+        series_a: &str,
+        series_b: &str,
+        band: onex_distance::Band,
+    ) -> Result<Comparison, String> {
+        let a = self
+            .dataset
+            .by_name(series_a)
+            .ok_or_else(|| format!("unknown series {series_a:?}"))?;
+        let b = self
+            .dataset
+            .by_name(series_b)
+            .ok_or_else(|| format!("unknown series {series_b:?}"))?;
+        if a.is_empty() || b.is_empty() {
+            return Err("cannot compare empty series".into());
+        }
+        let (dtw, path) = onex_distance::dtw_with_path(a.values(), b.values(), band);
+        let euclidean = (a.len() == b.len()).then(|| onex_distance::ed(a.values(), b.values()));
+        Ok(Comparison {
+            dtw,
+            normalized: crate::search::normalize(dtw, a.len(), b.len()),
+            euclidean,
+            path,
+        })
+    }
+
+    /// Recurring patterns within one series (the Seasonal View).
+    ///
+    /// # Errors
+    /// Fails when `series` is not in the dataset.
+    pub fn seasonal(
+        &self,
+        series: &str,
+        opts: &SeasonalOptions,
+    ) -> Result<Vec<SeasonalPattern>, String> {
+        let id = self
+            .dataset
+            .id_of(series)
+            .ok_or_else(|| format!("unknown series {series:?}"))?;
+        Ok(seasonal_patterns(&self.dataset, &self.base, id, opts))
+    }
+
+    /// Data-driven threshold recommendation at a given subsequence length
+    /// (see [`crate::threshold`]).
+    pub fn recommend_threshold(
+        &self,
+        len: usize,
+        max_pairs: usize,
+        seed: u64,
+    ) -> Option<ThresholdRecommendation> {
+        recommend(&self.dataset, len, max_pairs, seed)
+    }
+
+    /// Cumulative work counters across all queries served so far.
+    pub fn lifetime_stats(&self) -> QueryStats {
+        *self.lifetime.lock()
+    }
+
+    /// Append a series and index it incrementally — the demo's interactive
+    /// data loading without rebuilding the existing base. Returns the
+    /// updated construction report.
+    ///
+    /// # Errors
+    /// Fails when the series name is already taken.
+    pub fn append_series(
+        &mut self,
+        series: onex_tseries::TimeSeries,
+    ) -> Result<BuildReport, String> {
+        self.dataset.push(series).map_err(|e| e.to_string())?;
+        let builder =
+            BaseBuilder::new(self.base.config().clone()).expect("existing config is valid");
+        let base = std::mem::take(&mut self.base);
+        let (extended, report) = builder
+            .extend(base, &self.dataset)
+            .expect("same config, grown dataset");
+        self.base = extended;
+        Ok(report)
+    }
+}
+
+/// Result of a direct pairwise comparison ([`Onex::compare`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// DTW distance under the requested band.
+    pub dtw: f64,
+    /// Length-normalised DTW (comparable across pairs of any lengths).
+    pub normalized: f64,
+    /// Euclidean distance, defined only for equal lengths.
+    pub euclidean: Option<f64>,
+    /// The warping alignment (for the linked views).
+    pub path: onex_distance::WarpingPath,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LengthSelection;
+    use onex_tseries::gen::{matters_collection, MattersConfig};
+    use onex_tseries::{SubseqRef, TimeSeries};
+
+    fn growth_engine() -> Onex {
+        let cfg = MattersConfig {
+            indicators: vec![onex_tseries::gen::Indicator::GrowthRate],
+            ..MattersConfig::default()
+        };
+        let ds = matters_collection(&cfg);
+        let (engine, report) = Onex::build(ds, BaseConfig::new(1.5, 6, 10)).unwrap();
+        assert!(report.groups > 0);
+        engine
+    }
+
+    #[test]
+    fn best_match_returns_a_close_neighbour() {
+        let engine = growth_engine();
+        let ma = engine.dataset().by_name("MA-GrowthRate").unwrap();
+        let query = ma.subsequence(4, 8).unwrap().to_vec();
+        let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
+        let (m, stats) = engine.best_match(&query, &opts);
+        let m = m.expect("a match exists");
+        assert_ne!(m.series_name, "MA-GrowthRate");
+        assert!(m.distance.is_finite());
+        assert!(m.path.is_valid(query.len(), m.subseq.len as usize));
+        assert!(stats.groups_examined > 0);
+    }
+
+    #[test]
+    fn self_query_finds_itself_when_not_excluded() {
+        let engine = growth_engine();
+        let ma = engine.dataset().by_name("MA-GrowthRate").unwrap();
+        let query = ma.subsequence(2, 8).unwrap().to_vec();
+        let (m, _) = engine.best_match(&query, &QueryOptions::default());
+        let m = m.unwrap();
+        assert!(m.distance < 1e-9, "own window is a perfect match");
+        assert_eq!(m.subseq.start, 2);
+        assert_eq!(m.series_name, "MA-GrowthRate");
+    }
+
+    #[test]
+    fn k_best_is_sorted_and_distinct() {
+        let engine = growth_engine();
+        let query = engine
+            .dataset()
+            .by_name("TX-GrowthRate")
+            .unwrap()
+            .subsequence(0, 8)
+            .unwrap()
+            .to_vec();
+        let (matches, _) = engine.k_best(&query, 5, &QueryOptions::default());
+        assert_eq!(matches.len(), 5);
+        for w in matches.windows(2) {
+            assert!(w[0].normalized <= w[1].normalized);
+        }
+        let distinct: std::collections::HashSet<SubseqRef> =
+            matches.iter().map(|m| m.subseq).collect();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn cross_length_search_ranks_by_normalized() {
+        let engine = growth_engine();
+        let query = engine
+            .dataset()
+            .by_name("NY-GrowthRate")
+            .unwrap()
+            .subsequence(3, 9)
+            .unwrap()
+            .to_vec();
+        let opts = QueryOptions::default().lengths(LengthSelection::Nearest(3));
+        let (matches, _) = engine.k_best(&query, 8, &opts);
+        assert!(!matches.is_empty());
+        let lens: std::collections::HashSet<u32> =
+            matches.iter().map(|m| m.subseq.len).collect();
+        assert!(lens.len() >= 2, "nearest-length search spans lengths");
+    }
+
+    #[test]
+    fn query_length_missing_from_base() {
+        let engine = growth_engine();
+        let query = vec![1.0; 50]; // no groups at length 50
+        let (m, stats) = engine.best_match(&query, &QueryOptions::default());
+        assert!(m.is_none());
+        assert_eq!(stats.groups_examined, 0);
+        // Nearest mode still answers.
+        let opts = QueryOptions::default().lengths(LengthSelection::Nearest(1));
+        let (m2, _) = engine.best_match(&query, &opts);
+        assert!(m2.is_some());
+    }
+
+    #[test]
+    fn lifetime_stats_accumulate() {
+        let engine = growth_engine();
+        let query = engine
+            .dataset()
+            .by_name("CA-GrowthRate")
+            .unwrap()
+            .subsequence(0, 7)
+            .unwrap()
+            .to_vec();
+        assert_eq!(engine.lifetime_stats(), QueryStats::default());
+        let (_, s1) = engine.best_match(&query, &QueryOptions::default());
+        let (_, s2) = engine.best_match(&query, &QueryOptions::default());
+        let total = engine.lifetime_stats();
+        assert_eq!(
+            total.groups_examined,
+            s1.groups_examined + s2.groups_examined
+        );
+    }
+
+    #[test]
+    fn nonoverlapping_k_best_yields_distinct_sites() {
+        let engine = growth_engine();
+        let query = engine
+            .dataset()
+            .by_name("GA-GrowthRate")
+            .unwrap()
+            .subsequence(2, 8)
+            .unwrap()
+            .to_vec();
+        let (matches, _) = engine.k_best_nonoverlapping(&query, 6, &QueryOptions::default());
+        assert!(!matches.is_empty());
+        for i in 0..matches.len() {
+            for j in i + 1..matches.len() {
+                assert!(
+                    !matches[i].subseq.overlaps(&matches[j].subseq),
+                    "{:?} overlaps {:?}",
+                    matches[i].subseq,
+                    matches[j].subseq
+                );
+            }
+        }
+        // Distances are non-decreasing (greedy order).
+        for w in matches.windows(2) {
+            assert!(w[0].normalized <= w[1].normalized + 1e-12);
+        }
+    }
+
+    #[test]
+    fn compare_reports_both_distances() {
+        let engine = growth_engine();
+        let c = engine
+            .compare("MA-GrowthRate", "NY-GrowthRate", onex_distance::Band::Full)
+            .unwrap();
+        assert!(c.dtw.is_finite());
+        let ed = c.euclidean.expect("equal annual panels");
+        assert!(c.dtw <= ed + 1e-9, "DTW ≤ ED for equal lengths");
+        assert!(c.path.is_valid(16, 16));
+        let self_cmp = engine
+            .compare("MA-GrowthRate", "MA-GrowthRate", onex_distance::Band::Full)
+            .unwrap();
+        assert!(self_cmp.dtw < 1e-12);
+        assert!(engine
+            .compare("MA-GrowthRate", "Nowhere", onex_distance::Band::Full)
+            .is_err());
+    }
+
+    #[test]
+    fn append_series_is_immediately_queryable() {
+        let mut engine = growth_engine();
+        let before = engine.base().stats().members;
+        // A synthetic 51st "state" tracking MA exactly.
+        let ma: Vec<f64> = engine
+            .dataset()
+            .by_name("MA-GrowthRate")
+            .unwrap()
+            .values()
+            .to_vec();
+        let report = engine
+            .append_series(TimeSeries::new("ZZ-GrowthRate", ma.clone()))
+            .unwrap();
+        assert!(report.subsequences > before);
+        assert_eq!(engine.dataset().len(), 51);
+        // Excluding MA itself, the new clone is now the best match.
+        let query = &ma[4..12];
+        let opts = QueryOptions::default()
+            .excluding_series(engine.dataset().id_of("MA-GrowthRate"));
+        let (m, _) = engine.best_match(query, &opts);
+        let m = m.unwrap();
+        assert_eq!(m.series_name, "ZZ-GrowthRate");
+        assert!(m.distance < 1e-9);
+        // Duplicate names are rejected and leave the engine intact.
+        assert!(engine
+            .append_series(TimeSeries::new("ZZ-GrowthRate", vec![0.0; 16]))
+            .is_err());
+        assert_eq!(engine.dataset().len(), 51);
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_dataset() {
+        let engine = growth_engine();
+        let base = engine.base().clone();
+        let wrong =
+            Dataset::from_series(vec![TimeSeries::new("only", vec![1.0, 2.0, 3.0])]).unwrap();
+        assert!(Onex::from_parts(wrong, base).is_err());
+    }
+
+    #[test]
+    fn exclude_windows_forces_next_best() {
+        let engine = growth_engine();
+        let ma = engine.dataset().by_name("MA-GrowthRate").unwrap();
+        let query = ma.subsequence(2, 8).unwrap().to_vec();
+        let ma_id = engine.dataset().id_of("MA-GrowthRate").unwrap();
+        let opts = QueryOptions::default().excluding_window(SubseqRef::new(ma_id, 2, 8));
+        let (m, _) = engine.best_match(&query, &opts);
+        let m = m.unwrap();
+        assert!(
+            m.subseq.series != ma_id || m.subseq.start != 2,
+            "excluded window must not return"
+        );
+    }
+}

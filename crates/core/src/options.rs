@@ -1,0 +1,195 @@
+use onex_distance::Band;
+use onex_tseries::SubseqRef;
+
+/// Which indexed lengths a similarity query searches.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum LengthSelection {
+    /// Only subsequences exactly as long as the query. The default: DTW
+    /// already absorbs local misalignment, and the paper's base groups per
+    /// length.
+    #[default]
+    Exact,
+    /// The `k` indexed lengths nearest the query length — the engine's
+    /// variable-length mode. Candidates are ranked by length-normalised
+    /// distance so shorter matches do not win by having fewer terms.
+    Nearest(usize),
+    /// An explicit inclusive range of lengths.
+    Range(usize, usize),
+}
+
+/// How many groups have their members scanned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanBreadth {
+    /// Scan every group the ED↔DTW bridge cannot rule out — the result is
+    /// provably the best indexed subsequence (under certified radii, i.e.
+    /// the `Seed` policy). The library default.
+    #[default]
+    Exact,
+    /// The paper's §3.2 behaviour: rank all representatives by DTW, then
+    /// scan the members of only the `g` best groups ("the best match …
+    /// is found in the group with the best match representative").
+    /// Approximate, and much faster when groups are large — the
+    /// compaction/accuracy trade-off of experiments E5/E6/E9.
+    TopGroups(usize),
+}
+
+/// Options of a similarity query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOptions {
+    /// Warping constraint for the DTW computations. ONEX's default is
+    /// unconstrained ([`Band::Full`]); the constrained setting exists for
+    /// the accuracy comparison against UCR-style search (experiment E6).
+    pub band: Band,
+    /// Lengths to search.
+    pub lengths: LengthSelection,
+    /// Exact search vs the paper's best-group-only approximation.
+    pub breadth: ScanBreadth,
+    /// Prune whole groups through the ED↔DTW bridge. Turning this off
+    /// scans every group member — only useful for the ablation (E9).
+    pub prune_groups: bool,
+    /// Prune members with LB_Keogh before running DTW (only applicable
+    /// when the member length equals the query length).
+    pub lb_keogh: bool,
+    /// Skip matches from this series entirely (compare MA against *other*
+    /// states).
+    pub exclude_series: Option<u32>,
+    /// Only consider matches from this series (seasonal queries search
+    /// within one series).
+    pub only_series: Option<u32>,
+    /// Skip matches overlapping any of these windows — typically the
+    /// query's own position, or previously returned matches when building
+    /// a non-overlapping result set.
+    pub exclude_windows: Vec<SubseqRef>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            band: Band::Full,
+            lengths: LengthSelection::Exact,
+            breadth: ScanBreadth::Exact,
+            prune_groups: true,
+            lb_keogh: true,
+            exclude_series: None,
+            only_series: None,
+            exclude_windows: Vec::new(),
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Options with a given band, defaults elsewhere.
+    pub fn with_band(band: Band) -> Self {
+        QueryOptions {
+            band,
+            ..QueryOptions::default()
+        }
+    }
+
+    /// Builder-style length selection.
+    pub fn lengths(mut self, sel: LengthSelection) -> Self {
+        self.lengths = sel;
+        self
+    }
+
+    /// Builder-style: disable every pruning optimisation (ablation mode).
+    pub fn without_pruning(mut self) -> Self {
+        self.prune_groups = false;
+        self.lb_keogh = false;
+        self
+    }
+
+    /// Builder-style: skip matches from one series.
+    pub fn excluding_series(mut self, id: Option<u32>) -> Self {
+        self.exclude_series = id;
+        self
+    }
+
+    /// Builder-style: only consider matches from one series.
+    pub fn within_series(mut self, id: u32) -> Self {
+        self.only_series = Some(id);
+        self
+    }
+
+    /// Builder-style: also skip matches overlapping `window`.
+    pub fn excluding_window(mut self, window: SubseqRef) -> Self {
+        self.exclude_windows.push(window);
+        self
+    }
+
+    /// Builder-style: disable only the group-level pruning (ablation).
+    pub fn without_group_pruning(mut self) -> Self {
+        self.prune_groups = false;
+        self
+    }
+
+    /// Builder-style: disable only the LB_Keogh member pruning (ablation).
+    pub fn without_lb_keogh(mut self) -> Self {
+        self.lb_keogh = false;
+        self
+    }
+
+    /// Builder-style: the paper's approximation — scan only the `g` groups
+    /// with the nearest representatives.
+    pub fn top_groups(mut self, g: usize) -> Self {
+        self.breadth = ScanBreadth::TopGroups(g.max(1));
+        self
+    }
+
+    /// True when `candidate` survives the series/window filters.
+    pub(crate) fn admits(&self, candidate: SubseqRef) -> bool {
+        if self.exclude_series == Some(candidate.series) {
+            return false;
+        }
+        if let Some(only) = self.only_series {
+            if candidate.series != only {
+                return false;
+            }
+        }
+        !self
+            .exclude_windows
+            .iter()
+            .any(|w| w.overlaps(&candidate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_optimisations() {
+        let o = QueryOptions::default();
+        assert!(o.prune_groups && o.lb_keogh);
+        assert_eq!(o.band, Band::Full);
+        assert_eq!(o.lengths, LengthSelection::Exact);
+    }
+
+    #[test]
+    fn builder_composes() {
+        let o = QueryOptions::with_band(Band::SakoeChiba(3))
+            .lengths(LengthSelection::Nearest(5))
+            .without_pruning();
+        assert_eq!(o.band, Band::SakoeChiba(3));
+        assert_eq!(o.lengths, LengthSelection::Nearest(5));
+        assert!(!o.prune_groups && !o.lb_keogh);
+    }
+
+    #[test]
+    fn filters_admit_and_reject() {
+        let mut o = QueryOptions::default();
+        let c = SubseqRef::new(2, 10, 5);
+        assert!(o.admits(c));
+        o.exclude_series = Some(2);
+        assert!(!o.admits(c));
+        o.exclude_series = None;
+        o.only_series = Some(3);
+        assert!(!o.admits(c));
+        o.only_series = Some(2);
+        assert!(o.admits(c));
+        o.exclude_windows.push(SubseqRef::new(2, 12, 5));
+        assert!(!o.admits(c), "overlapping window rejected");
+        o.exclude_windows[0] = SubseqRef::new(2, 15, 5);
+        assert!(o.admits(c), "touching window admitted");
+    }
+}

@@ -1,0 +1,74 @@
+use onex_distance::WarpingPath;
+use onex_grouping::GroupId;
+use onex_tseries::SubseqRef;
+
+/// One similarity match: the paper's Results-pane payload (best match
+/// subsequence plus the warping path the Multiple Lines chart draws).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// Where the matching subsequence lives.
+    pub subseq: SubseqRef,
+    /// Name of the series it comes from.
+    pub series_name: String,
+    /// DTW distance to the query (root scale).
+    pub distance: f64,
+    /// Length-normalised distance (`distance / √max(|q|, |m|)`), the value
+    /// used to rank candidates of different lengths.
+    pub normalized: f64,
+    /// The group whose representative led the engine here.
+    pub group: GroupId,
+    /// The warping alignment between query (left index) and match (right
+    /// index), for the warped-point visualisations.
+    pub path: WarpingPath,
+}
+
+impl Match {
+    /// Order two matches by the cross-length ranking value.
+    pub fn better_than(&self, other: &Match) -> bool {
+        self.normalized < other.normalized
+    }
+}
+
+/// A recurring pattern inside one series (Seasonal View, Fig 4): several
+/// non-overlapping subsequences of one length that fell into the same
+/// similarity group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeasonalPattern {
+    /// Pattern length in samples.
+    pub len: usize,
+    /// The non-overlapping occurrences, ascending by start.
+    pub occurrences: Vec<SubseqRef>,
+    /// The group that produced the pattern.
+    pub group: GroupId,
+    /// The group representative — the "shape" of the pattern.
+    pub shape: Vec<f64>,
+    /// Mean Euclidean distance of occurrences to the shape (tightness;
+    /// smaller is a crisper recurrence).
+    pub tightness: f64,
+}
+
+impl SeasonalPattern {
+    /// Number of occurrences (always ≥ 2; singletons are not patterns).
+    pub fn count(&self) -> usize {
+        self.occurrences.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn better_than_uses_normalized() {
+        let mk = |d: f64, n: f64| Match {
+            subseq: SubseqRef::new(0, 0, 4),
+            series_name: "s".into(),
+            distance: d,
+            normalized: n,
+            group: GroupId { len: 4, index: 0 },
+            path: WarpingPath::diagonal(4),
+        };
+        assert!(mk(10.0, 1.0).better_than(&mk(1.0, 2.0)));
+        assert!(!mk(1.0, 2.0).better_than(&mk(10.0, 1.0)));
+    }
+}

@@ -1,0 +1,408 @@
+//! The two-phase group search shared by best-match and k-similar queries.
+//!
+//! Phase 1 ranks every group of a candidate length by the DTW distance
+//! between the query and the group representative. Phase 2 walks groups in
+//! that order and scans their members, with three sound pruning layers
+//! (paper §3.3 "optimization strategies ranging from indexing of time
+//! series using bounding envelopes to early pruning of unpromising
+//! candidates"):
+//!
+//! 1. **Group pruning** via the ED↔DTW bridge: a group whose
+//!    representative distance minus `√W · radius` cannot beat the current
+//!    k-th best contains no useful member.
+//! 2. **LB_Keogh** on each member against the query envelope (equal
+//!    lengths only).
+//! 3. **Early-abandoning DTW** seeded with the current k-th best.
+//!
+//! Soundness of (1) relies on the radius being certified, which holds
+//! under the `Seed` representative policy; under `Centroid` the radius is
+//! the observed insertion maximum and pruning is near-exact (the paper's
+//! own accuracy regime). `tests/exactness.rs` verifies the `Seed` claim
+//! against the exhaustive scan.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use onex_distance::bounds::warp_multiplicity;
+use onex_distance::dtw::dtw_early_abandon_sq_with_cb;
+use onex_distance::lb::{lb_keogh_sq, lb_kim_fl_sq};
+use onex_distance::{dtw_with_path, Envelope};
+use onex_grouping::{GroupId, OnexBase};
+use onex_tseries::{Dataset, SubseqRef};
+
+use crate::options::ScanBreadth;
+use crate::{LengthSelection, Match, QueryOptions, QueryStats};
+
+/// Total-ordered f64 for heap keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A candidate in the k-best heap, ordered by *descending* normalised
+/// distance so the heap top is the worst kept candidate.
+struct HeapEntry {
+    normalized: f64,
+    distance: f64,
+    subseq: SubseqRef,
+    group: GroupId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.normalized == other.normalized && self.subseq == other.subseq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.normalized
+            .total_cmp(&other.normalized)
+            .then_with(|| self.subseq.cmp(&other.subseq))
+    }
+}
+
+/// Cross-length ranking value: per-sample RMS-style normalisation, the
+/// query-side counterpart of `BaseConfig::length_normalized`.
+#[inline]
+pub(crate) fn normalize(distance: f64, query_len: usize, candidate_len: usize) -> f64 {
+    distance / (query_len.max(candidate_len) as f64).sqrt()
+}
+
+pub(crate) struct Searcher<'a> {
+    dataset: &'a Dataset,
+    base: &'a OnexBase,
+    query: &'a [f64],
+    opts: &'a QueryOptions,
+    pub stats: QueryStats,
+}
+
+impl<'a> Searcher<'a> {
+    pub fn new(
+        dataset: &'a Dataset,
+        base: &'a OnexBase,
+        query: &'a [f64],
+        opts: &'a QueryOptions,
+    ) -> Self {
+        Searcher {
+            dataset,
+            base,
+            query,
+            opts,
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Candidate lengths in the order they are searched (nearest the query
+    /// length first, so bounds tighten as early as possible).
+    pub fn candidate_lengths(&self) -> Vec<usize> {
+        let n = self.query.len();
+        match self.opts.lengths {
+            LengthSelection::Exact => {
+                if self.base.groups_for_len(n).is_empty() {
+                    Vec::new()
+                } else {
+                    vec![n]
+                }
+            }
+            LengthSelection::Nearest(k) => self.base.nearest_lengths(n, k),
+            LengthSelection::Range(lo, hi) => {
+                let mut lens: Vec<usize> = self
+                    .base
+                    .lengths()
+                    .filter(|&l| l >= lo && l <= hi)
+                    .collect();
+                lens.sort_by_key(|&l| (l.abs_diff(n), l));
+                lens
+            }
+        }
+    }
+
+    /// Run the search and return up to `k` matches, best first.
+    pub fn run(&mut self, k: usize) -> Vec<Match> {
+        assert!(k > 0, "k must be positive");
+        let n = self.query.len();
+        assert!(n > 0, "query must be non-empty");
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+
+        for len in self.candidate_lengths() {
+            self.search_length(len, k, &mut heap);
+        }
+
+        heap.into_sorted_vec()
+            .into_iter()
+            .map(|e| self.materialize(e))
+            .collect()
+    }
+
+    /// The current pruning bound at a given candidate length, on the raw
+    /// DTW scale: a candidate can only matter if it beats the k-th best
+    /// normalised distance.
+    fn raw_bound(&self, heap: &BinaryHeap<HeapEntry>, k: usize, len: usize) -> f64 {
+        if heap.len() < k {
+            f64::INFINITY
+        } else {
+            let kth = heap.peek().expect("heap non-empty").normalized;
+            kth * (self.query.len().max(len) as f64).sqrt()
+        }
+    }
+
+    fn search_length(&mut self, len: usize, k: usize, heap: &mut BinaryHeap<HeapEntry>) {
+        let n = self.query.len();
+        let groups = self.base.groups_for_len(len);
+        if groups.is_empty() {
+            return;
+        }
+        let band = self.opts.band;
+        let mult = warp_multiplicity(n, len, band);
+        let sqrt_w = (mult as f64).sqrt();
+
+        // Query envelope for LB_Keogh (equal lengths only; also used to
+        // rank groups cheaply in phase 1).
+        let env_q = (self.opts.lb_keogh && len == n)
+            .then(|| Envelope::build(self.query, band.radius(n, len)));
+
+        // Phase 1: rank groups by a cheap *lower bound* on the
+        // representative distance — LB_KimFL always, strengthened by
+        // LB_Keogh at equal lengths. Ascending lower bound is an
+        // optimistic-first order, and because it bounds the true distance
+        // from below it also licenses a sound early `break` in phase 2.
+        let mut ranked: Vec<(usize, f64)> = groups
+            .iter()
+            .enumerate()
+            .map(|(gi, g)| {
+                let mut lb_sq = lb_kim_fl_sq(self.query, g.representative());
+                if let Some(env) = &env_q {
+                    lb_sq =
+                        lb_sq.max(lb_keogh_sq(g.representative(), env, f64::INFINITY));
+                }
+                (gi, lb_sq.sqrt())
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+
+        if let ScanBreadth::TopGroups(g) = self.opts.breadth {
+            self.search_top_groups(len, k, g.max(1), heap, &ranked, &env_q);
+            return;
+        }
+
+        // Suffix maximum of group radii in ranked order: the sound cut-off
+        // for stopping the scan outright. (Radii vary per group, so the
+        // per-group prune threshold `bound + √W·radius` is NOT monotone
+        // along the lb-sorted order — the stop test must use the largest
+        // radius still ahead.)
+        let mut suffix_max_radius = vec![0.0f64; ranked.len()];
+        let mut acc: f64 = 0.0;
+        for (i, &(gi, _)) in ranked.iter().enumerate().rev() {
+            acc = acc.max(groups[gi].radius());
+            suffix_max_radius[i] = acc;
+        }
+
+        // Phase 2: evaluate groups lazily in optimistic order. The bound
+        // tightens after the very first member scan, so most later
+        // representatives abandon their DTW within a few rows — the
+        // paper's "early pruning of unpromising candidates".
+        for (rank_idx, &(gi, lb_rep)) in ranked.iter().enumerate() {
+            let g = &groups[gi];
+            self.stats.groups_examined += 1;
+            let bound = self.raw_bound(heap, k, len);
+            if self.opts.prune_groups && bound.is_finite() {
+                // Every remaining group has lb ≥ lb_rep and radius ≤ the
+                // suffix max, so none can hold a member below the bound.
+                if lb_rep >= bound + sqrt_w * suffix_max_radius[rank_idx] {
+                    self.stats.groups_pruned += ranked.len() - rank_idx;
+                    break;
+                }
+            }
+            // A member can only beat `bound` if the representative is
+            // within bound + √W·radius (ED↔DTW bridge, DESIGN.md §2.2).
+            let prune_at = if self.opts.prune_groups && bound.is_finite() {
+                bound + sqrt_w * g.radius()
+            } else {
+                f64::INFINITY
+            };
+            if lb_rep >= prune_at {
+                self.stats.groups_pruned += 1;
+                continue;
+            }
+            let d_rep_sq = dtw_early_abandon_sq_with_cb(
+                self.query,
+                g.representative(),
+                band,
+                prune_at * prune_at,
+                None,
+            );
+            if d_rep_sq.is_infinite() {
+                self.stats.dtw_abandoned += 1;
+                self.stats.groups_pruned += 1;
+                continue;
+            }
+            self.stats.dtw_completed += 1;
+            let d_rep = d_rep_sq.sqrt();
+            let bound = self.raw_bound(heap, k, len);
+            if self.opts.prune_groups && d_rep - sqrt_w * g.radius() >= bound {
+                self.stats.groups_pruned += 1;
+                continue;
+            }
+            self.scan_members(len, k, gi, heap, &env_q);
+        }
+    }
+
+    /// The paper's §3.2 approximation: rank all representatives by DTW
+    /// (lower-bound-assisted, early-abandoning against the current g-th
+    /// best representative), then scan members of only the `g` best
+    /// groups. Much cheaper when groups are large, at the cost of missing
+    /// a best match that hides in a group with a slightly worse
+    /// representative.
+    fn search_top_groups(
+        &mut self,
+        len: usize,
+        k: usize,
+        g: usize,
+        heap: &mut BinaryHeap<HeapEntry>,
+        ranked: &[(usize, f64)],
+        env_q: &Option<Envelope>,
+    ) {
+        let band = self.opts.band;
+        let groups = self.base.groups_for_len(len);
+        // Top-g representatives by actual DTW. `selection` is a max-heap
+        // on distance so the root is the current g-th best.
+        let mut selection: BinaryHeap<(OrdF64, usize)> = BinaryHeap::with_capacity(g + 1);
+        for &(gi, lb_rep) in ranked {
+            self.stats.groups_examined += 1;
+            let gth = if selection.len() >= g {
+                selection.peek().expect("non-empty").0 .0
+            } else {
+                f64::INFINITY
+            };
+            if lb_rep >= gth {
+                // Sorted by lb ascending: nothing later can enter the
+                // selection either.
+                self.stats.groups_pruned += 1;
+                break;
+            }
+            let d_sq = dtw_early_abandon_sq_with_cb(
+                self.query,
+                groups[gi].representative(),
+                band,
+                gth * gth,
+                None,
+            );
+            if d_sq.is_infinite() {
+                self.stats.dtw_abandoned += 1;
+                self.stats.groups_pruned += 1;
+                continue;
+            }
+            self.stats.dtw_completed += 1;
+            selection.push((OrdF64(d_sq.sqrt()), gi));
+            if selection.len() > g {
+                selection.pop();
+            }
+        }
+        // Scan the selected groups, nearest representative first.
+        let mut chosen: Vec<(OrdF64, usize)> = selection.into_vec();
+        chosen.sort();
+        for (_, gi) in chosen {
+            self.scan_members(len, k, gi, heap, env_q);
+        }
+    }
+
+    /// Scan one group's members into the k-best heap with LB_Keogh and
+    /// early-abandoning DTW.
+    fn scan_members(
+        &mut self,
+        len: usize,
+        k: usize,
+        gi: usize,
+        heap: &mut BinaryHeap<HeapEntry>,
+        env_q: &Option<Envelope>,
+    ) {
+        let n = self.query.len();
+        let band = self.opts.band;
+        let g = &self.base.groups_for_len(len)[gi];
+        let group_id = GroupId {
+            len: len as u32,
+            index: gi as u32,
+        };
+        for &member in g.members() {
+            if !self.opts.admits(member) {
+                continue;
+            }
+            let values = self
+                .dataset
+                .resolve(member)
+                .expect("base members resolve against their dataset");
+            let bound = self.raw_bound(heap, k, len);
+            let bound_sq = if bound.is_finite() {
+                bound * bound
+            } else {
+                f64::INFINITY
+            };
+            if let Some(env) = env_q {
+                if lb_keogh_sq(values, env, bound_sq).is_infinite() {
+                    self.stats.members_lb_pruned += 1;
+                    continue;
+                }
+            }
+            self.stats.members_examined += 1;
+            let d_sq = dtw_early_abandon_sq_with_cb(self.query, values, band, bound_sq, None);
+            if d_sq.is_infinite() {
+                self.stats.dtw_abandoned += 1;
+                self.stats.members_abandoned += 1;
+                continue;
+            }
+            self.stats.dtw_completed += 1;
+            let distance = d_sq.sqrt();
+            let normalized = normalize(distance, n, len);
+            // Strict improvement over the k-th keeps ties deterministic
+            // (first discovered wins).
+            if heap.len() < k || normalized < heap.peek().expect("heap non-empty").normalized {
+                heap.push(HeapEntry {
+                    normalized,
+                    distance,
+                    subseq: member,
+                    group: group_id,
+                });
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+        }
+    }
+
+    fn materialize(&self, e: HeapEntry) -> Match {
+        let values = self
+            .dataset
+            .resolve(e.subseq)
+            .expect("base members resolve against their dataset");
+        let (_, path) = dtw_with_path(self.query, values, self.opts.band);
+        let series_name = self
+            .dataset
+            .series(e.subseq.series)
+            .expect("member series exists")
+            .name()
+            .to_owned();
+        Match {
+            subseq: e.subseq,
+            series_name,
+            distance: e.distance,
+            normalized: e.normalized,
+            group: e.group,
+            path,
+        }
+    }
+}

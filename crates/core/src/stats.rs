@@ -1,0 +1,82 @@
+use std::ops::AddAssign;
+
+/// Work counters for one query (or, via [`crate::Onex::stats`], for an
+/// engine lifetime). The speed experiments (E5, E9) report these alongside
+/// wall-clock numbers because they explain *why* ONEX is fast: most
+/// candidates never reach a DTW computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Groups whose representative was compared against the query.
+    pub groups_examined: usize,
+    /// Groups skipped entirely by the ED↔DTW bridge bound.
+    pub groups_pruned: usize,
+    /// Members whose DTW was started.
+    pub members_examined: usize,
+    /// Members skipped by LB_Keogh.
+    pub members_lb_pruned: usize,
+    /// Member DTW computations that abandoned early (subset of
+    /// [`Self::dtw_abandoned`], which also counts representative DTWs).
+    pub members_abandoned: usize,
+    /// DTW computations that abandoned early (members + representatives).
+    pub dtw_abandoned: usize,
+    /// DTW computations that ran to completion.
+    pub dtw_completed: usize,
+}
+
+impl QueryStats {
+    /// Total DTW invocations (completed + abandoned).
+    pub fn dtw_invocations(&self) -> usize {
+        self.dtw_completed + self.dtw_abandoned
+    }
+
+    /// Fraction of candidate members that never needed a full DTW
+    /// (pruned by LB or abandoned mid-DP).
+    pub fn pruning_effectiveness(&self) -> f64 {
+        let total = self.members_examined + self.members_lb_pruned;
+        if total == 0 {
+            return 0.0;
+        }
+        let avoided = self.members_lb_pruned + self.members_abandoned;
+        avoided as f64 / total as f64
+    }
+}
+
+impl AddAssign for QueryStats {
+    fn add_assign(&mut self, rhs: QueryStats) {
+        self.groups_examined += rhs.groups_examined;
+        self.groups_pruned += rhs.groups_pruned;
+        self.members_examined += rhs.members_examined;
+        self.members_lb_pruned += rhs.members_lb_pruned;
+        self.members_abandoned += rhs.members_abandoned;
+        self.dtw_abandoned += rhs.dtw_abandoned;
+        self.dtw_completed += rhs.dtw_completed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_ratios() {
+        let mut total = QueryStats::default();
+        total += QueryStats {
+            groups_examined: 5,
+            groups_pruned: 3,
+            members_examined: 10,
+            members_lb_pruned: 6,
+            members_abandoned: 4,
+            dtw_abandoned: 4,
+            dtw_completed: 6,
+        };
+        total += QueryStats {
+            members_examined: 2,
+            ..QueryStats::default()
+        };
+        assert_eq!(total.members_examined, 12);
+        assert_eq!(total.dtw_invocations(), 10);
+        // avoided = 6 lb + 4 abandoned over 12+6 candidates.
+        assert!((total.pruning_effectiveness() - 10.0 / 18.0).abs() < 1e-12);
+        assert_eq!(QueryStats::default().pruning_effectiveness(), 0.0);
+    }
+}

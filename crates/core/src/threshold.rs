@@ -1,0 +1,325 @@
+//! Data-driven similarity-threshold recommendation.
+//!
+//! Paper §3.3: *"Threshold recommendations help analysts to select
+//! appropriate parameter settings in a data-driven fashion. This is
+//! important as the similarity in growth rate percentages may require very
+//! small thresholds, whereas similarity between unemployment figures …
+//! uses higher thresholds."*
+//!
+//! Two recommenders:
+//!
+//! * [`recommend`] samples pairwise *length-normalised* Euclidean
+//!   distances between same-length subsequences and reports a quantile
+//!   ladder — "sequences this similar exist at these thresholds". The
+//!   analyst picks the quantile matching their intent (tight recurrence vs
+//!   broad clustering).
+//! * [`calibrate_for_compaction`] searches (by bisection) for the ST that
+//!   hits a target base-compaction ratio — the systems-facing knob: "give
+//!   me a base about 20× smaller than the raw subsequence space".
+
+use onex_distance::ed::ed_normalized;
+use onex_grouping::{BaseBuilder, BaseConfig};
+use onex_tseries::stats::quantiles;
+use onex_tseries::Dataset;
+use rand_like::SplitMix;
+
+/// A quantile ladder of candidate thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdRecommendation {
+    /// `(quantile, threshold)` pairs, ascending by quantile. Thresholds
+    /// are per-sample RMS values (the `length_normalized` convention of
+    /// [`BaseConfig`]).
+    pub ladder: Vec<(f64, f64)>,
+    /// The suggested default — the 5% quantile, tight enough that groups
+    /// mean something, loose enough that they form.
+    pub suggested: f64,
+    /// Number of sampled pairs behind the estimate.
+    pub pairs_sampled: usize,
+}
+
+impl ThresholdRecommendation {
+    /// Threshold at a given quantile of the ladder (exact match only).
+    pub fn at_quantile(&self, q: f64) -> Option<f64> {
+        self.ladder
+            .iter()
+            .find(|(lq, _)| (lq - q).abs() < 1e-12)
+            .map(|&(_, t)| t)
+    }
+}
+
+/// Tiny deterministic PRNG so recommendation does not depend on the
+/// `rand` crate at the engine layer (and stays reproducible in docs).
+mod rand_like {
+    /// SplitMix64.
+    pub struct SplitMix(pub u64);
+    impl SplitMix {
+        pub fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next() % n.max(1) as u64) as usize
+        }
+    }
+}
+
+/// Sample pairwise distances at the given subsequence length and return a
+/// quantile ladder of candidate thresholds.
+///
+/// Returns `None` when the dataset has fewer than two subsequences of the
+/// requested length.
+pub fn recommend(
+    dataset: &Dataset,
+    len: usize,
+    max_pairs: usize,
+    seed: u64,
+) -> Option<ThresholdRecommendation> {
+    let windows: Vec<&[f64]> = dataset
+        .iter()
+        .flat_map(|(_, s)| {
+            (0..s.len().saturating_sub(len.max(1) - 1))
+                .map(move |start| s.subsequence(start, len).expect("in bounds"))
+        })
+        .collect();
+    if windows.len() < 2 || len == 0 {
+        return None;
+    }
+    let mut rng = SplitMix(seed ^ 0x0EC5);
+    let mut dists = Vec::with_capacity(max_pairs.max(1));
+    // Small spaces: use all pairs; large ones: random sample.
+    let total_pairs = windows.len() * (windows.len() - 1) / 2;
+    if total_pairs <= max_pairs {
+        for i in 0..windows.len() {
+            for j in i + 1..windows.len() {
+                dists.push(ed_normalized(windows[i], windows[j]));
+            }
+        }
+    } else {
+        while dists.len() < max_pairs {
+            let i = rng.below(windows.len());
+            let j = rng.below(windows.len());
+            if i != j {
+                dists.push(ed_normalized(windows[i], windows[j]));
+            }
+        }
+    }
+    let qs = [0.01, 0.05, 0.10, 0.25, 0.50];
+    let values = quantiles(&dists, &qs);
+    let ladder: Vec<(f64, f64)> = qs.iter().copied().zip(values).collect();
+    let suggested = ladder[1].1;
+    Some(ThresholdRecommendation {
+        ladder,
+        suggested,
+        pairs_sampled: dists.len(),
+    })
+}
+
+/// Recommendations across a range of lengths at once — the multi-length
+/// base needs one `length_normalized` ST that works everywhere, and this
+/// shows the analyst how stable the per-sample threshold actually is
+/// across lengths (on most data: very; strong trends widen it).
+///
+/// Lengths with fewer than two subsequences are skipped; the result is
+/// empty when no length qualifies.
+pub fn recommend_per_length(
+    dataset: &Dataset,
+    lengths: impl IntoIterator<Item = usize>,
+    max_pairs_per_length: usize,
+    seed: u64,
+) -> Vec<(usize, ThresholdRecommendation)> {
+    lengths
+        .into_iter()
+        .filter_map(|len| recommend(dataset, len, max_pairs_per_length, seed).map(|r| (len, r)))
+        .collect()
+}
+
+/// Result of a compaction calibration run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationResult {
+    /// The threshold found.
+    pub st: f64,
+    /// Compaction (subsequences per group) at that threshold.
+    pub compaction: f64,
+    /// Construction runs spent searching.
+    pub probes: usize,
+}
+
+/// Bisect for the ST whose base compaction is close to `target` (within
+/// `tolerance`, relative). Probing builds bases over `template` with its
+/// stride/lengths, so keep the template cheap (larger stride, one or two
+/// lengths) for big datasets.
+///
+/// Returns the best threshold found after at most `max_probes` builds —
+/// compaction is monotone in ST, so bisection converges; exact equality is
+/// not always reachable because compaction moves in discrete jumps.
+pub fn calibrate_for_compaction(
+    dataset: &Dataset,
+    template: &BaseConfig,
+    target: f64,
+    tolerance: f64,
+    max_probes: usize,
+) -> Result<CalibrationResult, String> {
+    if !target.is_finite() || target < 1.0 {
+        return Err(format!("target compaction must be ≥ 1, got {target}"));
+    }
+    let probe = |st: f64| -> Result<f64, String> {
+        let cfg = BaseConfig {
+            st,
+            ..template.clone()
+        };
+        let (_, report) = BaseBuilder::new(cfg)?.build(dataset);
+        Ok(report.compaction())
+    };
+
+    // Bracket the target: grow hi until compaction exceeds it (or give up).
+    let mut lo = 1e-6;
+    let mut hi = 1.0;
+    let mut probes = 0usize;
+    let mut best = CalibrationResult {
+        st: hi,
+        compaction: 0.0,
+        probes: 0,
+    };
+    let update_best = |st: f64, c: f64, best: &mut CalibrationResult| {
+        if (c - target).abs() < (best.compaction - target).abs() {
+            best.st = st;
+            best.compaction = c;
+        }
+    };
+    while probes < max_probes {
+        let c = probe(hi)?;
+        probes += 1;
+        update_best(hi, c, &mut best);
+        if c >= target {
+            break;
+        }
+        lo = hi;
+        hi *= 4.0;
+    }
+    while probes < max_probes {
+        let mid = (lo + hi) / 2.0;
+        let c = probe(mid)?;
+        probes += 1;
+        update_best(mid, c, &mut best);
+        if (c - target).abs() <= tolerance * target {
+            best.probes = probes;
+            return Ok(best);
+        }
+        if c < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    best.probes = probes;
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onex_tseries::gen::{random_walk_dataset, SyntheticConfig};
+
+    fn ds() -> Dataset {
+        random_walk_dataset(SyntheticConfig {
+            series: 8,
+            len: 40,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn ladder_is_monotone_and_positive() {
+        let rec = recommend(&ds(), 10, 2000, 1).unwrap();
+        assert_eq!(rec.ladder.len(), 5);
+        for w in rec.ladder.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1, "thresholds ascend with quantiles");
+        }
+        assert!(rec.suggested > 0.0);
+        assert_eq!(rec.at_quantile(0.05), Some(rec.suggested));
+        assert_eq!(rec.at_quantile(0.33), None);
+        assert!(rec.pairs_sampled > 0);
+    }
+
+    #[test]
+    fn sampling_caps_work() {
+        let rec = recommend(&ds(), 10, 50, 1).unwrap();
+        assert!(rec.pairs_sampled <= 50);
+        // Deterministic under the same seed.
+        let rec2 = recommend(&ds(), 10, 50, 1).unwrap();
+        assert_eq!(rec, rec2);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(recommend(&Dataset::new(), 10, 100, 1).is_none());
+        assert!(recommend(&ds(), 0, 100, 1).is_none());
+        assert!(recommend(&ds(), 10_000, 100, 1).is_none());
+    }
+
+    #[test]
+    fn scale_sensitivity_matches_the_paper_motivation() {
+        // Distances on a scaled-up dataset recommend proportionally larger
+        // thresholds — the growth-rate vs unemployment effect.
+        let small = ds();
+        let mut big_series = Vec::new();
+        for (_, s) in small.iter() {
+            big_series.push(onex_tseries::TimeSeries::new(
+                format!("big-{}", s.name()),
+                s.values().iter().map(|v| v * 1000.0).collect(),
+            ));
+        }
+        let big = Dataset::from_series(big_series).unwrap();
+        let r_small = recommend(&small, 10, 2000, 1).unwrap();
+        let r_big = recommend(&big, 10, 2000, 1).unwrap();
+        let ratio = r_big.suggested / r_small.suggested;
+        assert!((ratio - 1000.0).abs() / 1000.0 < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn per_length_ladder_is_stable_on_stationary_data() {
+        let d = ds();
+        let recs = recommend_per_length(&d, [6, 10, 14], 1500, 2);
+        assert_eq!(recs.len(), 3);
+        let suggestions: Vec<f64> = recs.iter().map(|(_, r)| r.suggested).collect();
+        let (lo, hi) = suggestions
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+                (l.min(v), h.max(v))
+            });
+        // Per-sample normalisation keeps the suggestion in one ballpark
+        // across lengths (within a small factor on random walks, whose
+        // spread grows with window length).
+        assert!(hi / lo < 4.0, "suggestions vary too much: {suggestions:?}");
+        // Out-of-range lengths are skipped, not errors.
+        let sparse = recommend_per_length(&d, [6, 10_000], 500, 2);
+        assert_eq!(sparse.len(), 1);
+        assert!(recommend_per_length(&Dataset::new(), [6], 500, 2).is_empty());
+    }
+
+    #[test]
+    fn calibration_approaches_target() {
+        let d = ds();
+        let template = BaseConfig::new(1.0, 8, 12);
+        let result = calibrate_for_compaction(&d, &template, 5.0, 0.25, 24).unwrap();
+        assert!(
+            (result.compaction - 5.0).abs() <= 0.25 * 5.0 || result.probes == 24,
+            "compaction {} after {} probes",
+            result.compaction,
+            result.probes
+        );
+        assert!(result.st > 0.0);
+    }
+
+    #[test]
+    fn calibration_rejects_bad_target() {
+        let d = ds();
+        let template = BaseConfig::new(1.0, 8, 12);
+        assert!(calibrate_for_compaction(&d, &template, 0.5, 0.1, 8).is_err());
+        assert!(calibrate_for_compaction(&d, &template, f64::NAN, 0.1, 8).is_err());
+    }
+}

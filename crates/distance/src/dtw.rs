@@ -1,0 +1,520 @@
+//! Dynamic Time Warping.
+//!
+//! The expensive half of the ONEX marriage (paper §1, challenge 2): DTW
+//! aligns sequences of different lengths and phases but costs O(n·m). ONEX
+//! pays that cost only against the compact base, and even there abandons
+//! early. Four entry points, cheapest machinery first:
+//!
+//! * [`dtw_sq`] / [`dtw`] — two-row DP, optional Sakoe–Chiba band.
+//! * [`dtw_early_abandon`] — same DP that gives up as soon as the best
+//!   reachable cell already exceeds a known upper bound.
+//! * [`dtw_early_abandon_sq_with_cb`] — the UCR Suite variant that also
+//!   folds a cumulative lower-bound tail into the abandonment test.
+//! * [`dtw_with_path`] — full-matrix variant that recovers the warping
+//!   path for visualisation.
+
+use crate::path::WarpingPath;
+
+/// Warping window constraint.
+///
+/// ONEX explores with unconstrained DTW (its accuracy edge in experiment
+/// E6 comes precisely from *not* constraining the warp), while the UCR
+/// Suite baseline uses a Sakoe–Chiba band. Both live behind this enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Band {
+    /// No constraint: every alignment is admissible.
+    Full,
+    /// Sakoe–Chiba band of the given radius: cells with `|i − j| > r` are
+    /// forbidden. For unequal lengths the radius is widened to at least
+    /// `|n − m|` so an admissible path always exists.
+    SakoeChiba(usize),
+    /// The classic Itakura parallelogram with maximum slope 2: the path
+    /// may locally run at most twice as fast (or half as fast) in one
+    /// sequence as in the other, measured from both endpoints. Unlike the
+    /// Sakoe–Chiba band it pinches at the endpoints and is widest in the
+    /// middle. For very different lengths (length ratio at or above 2,
+    /// where the discrete region pinches shut under the standard step
+    /// pattern) no path exists and DTW is `∞`.
+    Itakura,
+}
+
+impl Band {
+    /// Effective radius for sequences of lengths `n` and `m` — the
+    /// largest `|i − j|` any admissible cell may have. Envelope-based
+    /// lower bounds must be built with at least this radius to stay sound.
+    #[inline]
+    pub fn radius(&self, n: usize, m: usize) -> usize {
+        match *self {
+            Band::Full => n.max(m),
+            Band::SakoeChiba(r) => r.max(n.abs_diff(m)),
+            // The parallelogram reaches |i−j| up to ~max(n,m)/3 for equal
+            // lengths, more when lengths differ; the loose global bound is
+            // always sound.
+            Band::Itakura => n.max(m),
+        }
+    }
+
+    /// A band of radius `⌈fraction · n⌉` for a query of length `n` — the
+    /// conventional "5% warping window" parameterisation.
+    pub fn from_fraction(n: usize, fraction: f64) -> Band {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "band fraction out of range"
+        );
+        Band::SakoeChiba((fraction * n as f64).ceil() as usize)
+    }
+
+    /// Admissible column range (1-based, inclusive) for DP row `i`
+    /// (1-based) over sequences of lengths `n` (rows) and `m` (columns).
+    /// An empty range (`lo > hi`) means the row is entirely forbidden.
+    #[inline]
+    pub fn row_range(&self, i: usize, n: usize, m: usize) -> (usize, usize) {
+        match *self {
+            Band::Full => (1, m),
+            Band::SakoeChiba(_) => {
+                let w = self.radius(n, m);
+                (i.saturating_sub(w).max(1), (i + w).min(m))
+            }
+            Band::Itakura => {
+                // Slope-2 constraints measured from (1,1) and (n,m):
+                //   forward:  (i−1)/2 ≤ j−1 ≤ 2(i−1)
+                //   backward: (n−i)/2 ≤ m−j ≤ 2(n−i)
+                let fwd_lo = (i - 1).div_ceil(2) + 1;
+                let fwd_hi = 2 * (i - 1) + 1;
+                let back_lo = m.saturating_sub(2 * (n - i));
+                let back_hi = m.saturating_sub((n - i).div_ceil(2));
+                (fwd_lo.max(back_lo).max(1), fwd_hi.min(back_hi).min(m))
+            }
+        }
+    }
+}
+
+/// Squared DTW distance between `x` (rows) and `y` (columns).
+///
+/// ```
+/// use onex_distance::{dtw_sq, Band};
+/// // A shifted impulse aligns perfectly under warping…
+/// let a = [0.0, 0.0, 1.0, 0.0];
+/// let b = [0.0, 1.0, 0.0, 0.0];
+/// assert_eq!(dtw_sq(&a, &b, Band::Full), 0.0);
+/// // …but not within a zero-radius band (which equals squared ED).
+/// assert_eq!(dtw_sq(&a, &b, Band::SakoeChiba(0)), 2.0);
+/// ```
+///
+/// # Panics
+/// Panics when either input is empty; ONEX's minimum subsequence length
+/// is 2, so an empty operand is a caller bug.
+pub fn dtw_sq(x: &[f64], y: &[f64], band: Band) -> f64 {
+    dtw_early_abandon_sq_with_cb(x, y, band, f64::INFINITY, None)
+}
+
+/// DTW distance `√(dtw_sq)`.
+pub fn dtw(x: &[f64], y: &[f64], band: Band) -> f64 {
+    dtw_sq(x, y, band).sqrt()
+}
+
+/// Early-abandoning DTW: returns the distance, or `f64::INFINITY` once no
+/// alignment can beat `ub` (an upper bound on the *root-scale* distance;
+/// pass [`crate::INF`] to disable).
+pub fn dtw_early_abandon(x: &[f64], y: &[f64], band: Band, ub: f64) -> f64 {
+    let ub_sq = if ub.is_finite() { ub * ub } else { f64::INFINITY };
+    dtw_early_abandon_sq_with_cb(x, y, band, ub_sq, None).sqrt()
+}
+
+/// The full-control DP: squared distance, early abandonment against
+/// `ub_sq`, and an optional cumulative bound `cb`.
+///
+/// `cb`, when provided, must satisfy `cb.len() == x.len() + 1`, `cb[n] = 0`
+/// and `cb[i] ≥ cb[i+1]`, with `cb[i]` a lower bound on the squared cost
+/// still to be paid by positions `i..n` of either sequence (the UCR Suite
+/// derives it from LB_Keogh's per-position contributions, which are
+/// candidate-indexed for the EQ variant and query-indexed for EC). After
+/// finishing row `i`, the algorithm abandons when
+/// `min(row) + cb[max(i, band reach)] > ub_sq` — the band-reach offset
+/// keeps the test sound for both indexings while still firing much
+/// earlier than the plain row minimum.
+///
+/// # Panics
+/// Panics when either input is empty or `cb` has the wrong length.
+pub fn dtw_early_abandon_sq_with_cb(
+    x: &[f64],
+    y: &[f64],
+    band: Band,
+    ub_sq: f64,
+    cb: Option<&[f64]>,
+) -> f64 {
+    let n = x.len();
+    let m = y.len();
+    assert!(n > 0 && m > 0, "DTW requires non-empty sequences");
+    if let Some(cb) = cb {
+        assert_eq!(cb.len(), n + 1, "cumulative bound must have n+1 entries");
+    }
+
+    // Two rows over columns 0..=m; column 0 is the virtual "before y" edge.
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut curr = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+
+    for i in 1..=n {
+        curr.iter_mut().for_each(|c| *c = f64::INFINITY);
+        let (lo, hi) = band.row_range(i, n, m);
+        if lo > hi {
+            return f64::INFINITY; // band excludes the whole row: infeasible
+        }
+        let xi = x[i - 1];
+        let mut row_min = f64::INFINITY;
+        for j in lo..=hi {
+            let d = xi - y[j - 1];
+            let best_prev = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            let v = d * d + best_prev;
+            curr[j] = v;
+            if v < row_min {
+                row_min = v;
+            }
+        }
+        // Outstanding-contribution tail. A partial path through row `i`
+        // has consumed query positions 0..i and possibly candidate
+        // positions up to `hi` (the band's forward reach), so only
+        // contributions at positions ≥ max(i, hi) are guaranteed still
+        // unpaid — whichever sequence the contributions are indexed by.
+        // This is the UCR Suite's `cb[i + r + 1]` offset generalised to
+        // any band; using `cb[i]` alone over-counts candidate-indexed
+        // (LB_Keogh EQ) contributions and falsely abandons.
+        let tail = cb.map_or(0.0, |cb| cb[i.max(hi).min(n)]);
+        if row_min + tail > ub_sq {
+            return f64::INFINITY;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let out = prev[m];
+    if out > ub_sq {
+        f64::INFINITY
+    } else {
+        out
+    }
+}
+
+/// DTW with warping-path recovery: returns `(distance, path)`.
+///
+/// Allocates the full `(n+1)·(m+1)` matrix, so use this for presentation
+/// (the Results pane draws one path), not for scanning.
+///
+/// # Panics
+/// Panics when either input is empty.
+pub fn dtw_with_path(x: &[f64], y: &[f64], band: Band) -> (f64, WarpingPath) {
+    let n = x.len();
+    let m = y.len();
+    assert!(n > 0 && m > 0, "DTW requires non-empty sequences");
+
+    let cols = m + 1;
+    let mut dp = vec![f64::INFINITY; (n + 1) * cols];
+    dp[0] = 0.0;
+    for i in 1..=n {
+        let (lo, hi) = band.row_range(i, n, m);
+        let xi = x[i - 1];
+        for j in lo..=hi {
+            let d = xi - y[j - 1];
+            let up = dp[(i - 1) * cols + j];
+            let left = dp[i * cols + j - 1];
+            let diag = dp[(i - 1) * cols + j - 1];
+            dp[i * cols + j] = d * d + up.min(left).min(diag);
+        }
+    }
+
+    // Trace back from (n, m); prefer the diagonal on ties so paths stay as
+    // short (and visually clean) as possible.
+    let mut pairs = Vec::with_capacity(n + m);
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        pairs.push((i as u32 - 1, j as u32 - 1));
+        let diag = dp[(i - 1) * cols + j - 1];
+        let up = dp[(i - 1) * cols + j];
+        let left = dp[i * cols + j - 1];
+        if diag <= up && diag <= left {
+            i -= 1;
+            j -= 1;
+        } else if up <= left {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    debug_assert!(i == 0 && j == 0, "traceback must reach the origin");
+    pairs.reverse();
+    (dp[n * cols + m].sqrt(), WarpingPath::new(pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ed::ed;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn identical_sequences_are_zero() {
+        let x = [1.0, 2.0, 3.0, 2.0];
+        assert!(close(dtw(&x, &x, Band::Full), 0.0));
+        assert!(close(dtw(&x, &x, Band::SakoeChiba(0)), 0.0));
+    }
+
+    #[test]
+    fn known_small_case() {
+        // x = [0, 1], y = [0, 0, 1]: warp matches both zeros to x[0].
+        assert!(close(dtw_sq(&[0.0, 1.0], &[0.0, 0.0, 1.0], Band::Full), 0.0));
+        // Shifted impulse aligns under warping but not under ED.
+        let a = [0.0, 0.0, 1.0, 0.0];
+        let b = [0.0, 1.0, 0.0, 0.0];
+        assert!(close(dtw(&a, &b, Band::Full), 0.0));
+        assert!(ed(&a, &b) > 1.0);
+    }
+
+    #[test]
+    fn dtw_never_exceeds_ed_for_equal_lengths() {
+        // The diagonal is always an admissible path, so DTW ≤ ED.
+        let xs = [
+            vec![1.0, 5.0, -2.0, 0.0, 3.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![2.0, 2.1, 2.2, 1.9, 2.0],
+        ];
+        let ys = [
+            vec![0.0, 4.0, -1.0, 2.0, 2.0],
+            vec![1.0, -1.0, 1.0, -1.0, 1.0],
+            vec![2.0, 2.0, 2.0, 2.0, 2.0],
+        ];
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!(dtw(x, y, Band::Full) <= ed(x, y) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let x = [1.0, 3.0, 2.0, 5.0];
+        let y = [2.0, 1.0, 4.0];
+        assert!(close(dtw(&x, &y, Band::Full), dtw(&y, &x, Band::Full)));
+        assert!(close(
+            dtw(&x, &y, Band::SakoeChiba(2)),
+            dtw(&y, &x, Band::SakoeChiba(2))
+        ));
+    }
+
+    #[test]
+    fn narrower_band_never_decreases_distance() {
+        let x = [0.0, 1.0, 2.0, 1.0, 0.0, -1.0];
+        let y = [1.0, 2.0, 1.0, 0.0, -1.0, 0.0];
+        let full = dtw(&x, &y, Band::Full);
+        let wide = dtw(&x, &y, Band::SakoeChiba(3));
+        let narrow = dtw(&x, &y, Band::SakoeChiba(1));
+        let none = dtw(&x, &y, Band::SakoeChiba(0));
+        assert!(full <= wide + 1e-12);
+        assert!(wide <= narrow + 1e-12);
+        assert!(narrow <= none + 1e-12);
+        // Radius 0 with equal lengths is exactly ED.
+        assert!(close(none, ed(&x, &y)));
+    }
+
+    #[test]
+    fn band_widens_for_unequal_lengths() {
+        // SakoeChiba(0) would be infeasible for |x| ≠ |y|; radius() widens
+        // it to the length difference so a path exists.
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [0.0, 3.0];
+        let d = dtw(&x, &y, Band::SakoeChiba(0));
+        assert!(d.is_finite());
+        assert_eq!(Band::SakoeChiba(0).radius(4, 2), 2);
+        assert_eq!(Band::Full.radius(4, 2), 4);
+    }
+
+    #[test]
+    fn from_fraction_rounds_up() {
+        assert_eq!(Band::from_fraction(100, 0.05), Band::SakoeChiba(5));
+        assert_eq!(Band::from_fraction(10, 0.01), Band::SakoeChiba(1));
+        assert_eq!(Band::from_fraction(10, 0.0), Band::SakoeChiba(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_fraction_rejects_bad_input() {
+        Band::from_fraction(10, 1.5);
+    }
+
+    #[test]
+    fn early_abandon_agrees_with_exact_when_under_bound() {
+        let x = [1.0, 2.0, 0.5, -1.0, 0.0];
+        let y = [0.5, 2.5, 0.0, -1.5, 0.5];
+        let exact = dtw(&x, &y, Band::Full);
+        let ea = dtw_early_abandon(&x, &y, Band::Full, exact + 0.1);
+        assert!(close(ea, exact));
+        // Bound exactly at the distance must not abandon ("exceeds" test).
+        let at = dtw_early_abandon(&x, &y, Band::Full, exact);
+        assert!(close(at, exact));
+    }
+
+    #[test]
+    fn early_abandon_fires_on_hopeless_candidates() {
+        let x = vec![0.0; 32];
+        let y = vec![100.0; 32];
+        assert_eq!(
+            dtw_early_abandon(&x, &y, Band::Full, 1.0),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn cb_tail_tightens_abandonment() {
+        // Under a band of radius 0 (diagonal only), row i can have
+        // consumed exactly column i, so a cb that still owes more than
+        // the bound at the next position abandons instantly even though
+        // the row minimum alone would not.
+        let x = [0.0, 0.0, 0.0];
+        let y = [0.0, 0.0, 0.0];
+        let cb = [10.0, 10.0, 10.0, 0.0];
+        let out = dtw_early_abandon_sq_with_cb(&x, &y, Band::SakoeChiba(0), 1.0, Some(&cb));
+        assert_eq!(out, f64::INFINITY);
+        // Zero cb reduces to the plain computation.
+        let zero = [0.0; 4];
+        let out2 = dtw_early_abandon_sq_with_cb(&x, &y, Band::SakoeChiba(0), 1.0, Some(&zero));
+        assert!(close(out2, 0.0));
+    }
+
+    #[test]
+    fn cb_tail_is_ignored_under_full_band() {
+        // With no band, a partial path may already have consumed every
+        // candidate position, so no tail is sound — the cb must not be
+        // applied (this was a real false-dismissal bug caught by the UCR
+        // agreement proptest).
+        let x = [0.0, 0.0, 0.0];
+        let y = [0.0, 0.0, 0.0];
+        let cb = [10.0, 10.0, 10.0, 0.0];
+        let out = dtw_early_abandon_sq_with_cb(&x, &y, Band::Full, 1.0, Some(&cb));
+        assert!(close(out, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "n+1 entries")]
+    fn cb_length_is_checked() {
+        dtw_early_abandon_sq_with_cb(&[1.0, 2.0], &[1.0], Band::Full, 1.0, Some(&[0.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_input_panics() {
+        dtw(&[], &[1.0], Band::Full);
+    }
+
+    #[test]
+    fn path_is_valid_and_cost_matches_distance() {
+        let x = [0.0, 1.0, 3.0, 2.0, 0.0];
+        let y = [0.0, 2.0, 3.0, 1.0];
+        let (d, p) = dtw_with_path(&x, &y, Band::Full);
+        assert!(p.is_valid(x.len(), y.len()), "{p:?}");
+        assert!(close(p.cost(&x, &y), d), "path cost equals DTW distance");
+        assert!(close(d, dtw(&x, &y, Band::Full)), "agrees with two-row DP");
+    }
+
+    #[test]
+    fn path_respects_band() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let (d, p) = dtw_with_path(&x, &y, Band::SakoeChiba(1));
+        assert!(close(d, 0.0));
+        for &(i, j) in p.pairs() {
+            assert!(i.abs_diff(j) <= 1, "pair ({i},{j}) outside band");
+        }
+    }
+
+    #[test]
+    fn banded_two_row_matches_banded_path_variant() {
+        let x = [0.3, 1.2, -0.5, 2.0, 0.0, 1.0, 0.7];
+        let y = [0.0, 1.0, 0.0, 2.2, -0.3, 0.9];
+        for band in [Band::Full, Band::SakoeChiba(2), Band::SakoeChiba(1)] {
+            let a = dtw(&x, &y, band);
+            let (b, _) = dtw_with_path(&x, &y, band);
+            assert!(close(a, b), "band {band:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn itakura_row_ranges_are_well_formed() {
+        let band = Band::Itakura;
+        for (n, m) in [(8usize, 8usize), (10, 7), (7, 10), (5, 9), (1, 1)] {
+            let mut prev_lo = 0usize;
+            for i in 1..=n {
+                let (lo, hi) = band.row_range(i, n, m);
+                if lo <= hi {
+                    assert!(lo >= 1 && hi <= m, "({n},{m}) row {i}: [{lo},{hi}]");
+                    assert!(lo >= prev_lo, "lower edge is monotone");
+                    prev_lo = lo;
+                }
+            }
+            // Endpoints are always pinned when feasible.
+            if m < 2 * n && n < 2 * m {
+                assert_eq!(band.row_range(1, n, m).0, 1);
+                assert_eq!(band.row_range(n, n, m).1, m);
+            }
+        }
+    }
+
+    #[test]
+    fn itakura_between_ed_and_full_dtw() {
+        let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.5).sin() * 2.0).collect();
+        let y: Vec<f64> = (0..20).map(|i| (i as f64 * 0.5 + 0.7).sin() * 2.0).collect();
+        let full = dtw(&x, &y, Band::Full);
+        let ita = dtw(&x, &y, Band::Itakura);
+        let none = ed(&x, &y);
+        assert!(full <= ita + 1e-12, "constraining cannot decrease distance");
+        assert!(ita <= none + 1e-12, "parallelogram contains the diagonal");
+        // Symmetric for equal lengths (the parallelogram is symmetric).
+        assert!((dtw(&x, &y, Band::Itakura) - dtw(&y, &x, Band::Itakura)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn itakura_identity_and_infeasible_lengths() {
+        let x = [1.0, 2.0, 3.0, 2.0, 1.0, 0.0];
+        assert!(dtw(&x, &x, Band::Itakura) < 1e-12);
+        // m > 2n − 1: no admissible path.
+        let short = [1.0, 2.0];
+        let long = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5];
+        assert!(dtw(&short, &long, Band::Itakura).is_infinite());
+        assert!(dtw(&long, &short, Band::Itakura).is_infinite());
+        // At m = 2n − 1 the discrete parallelogram pinches shut under the
+        // standard step pattern (rows become disconnected), so even the
+        // nominal boundary is infeasible…
+        let three = [0.0, 1.0, 2.0];
+        let five = [0.0, 0.5, 1.0, 1.5, 2.0];
+        assert!(dtw(&three, &five, Band::Itakura).is_infinite());
+        // …while a ratio comfortably below 2 is feasible.
+        let four = [0.0, 1.0, 2.0, 3.0];
+        let six = [0.0, 0.6, 1.2, 1.8, 2.4, 3.0];
+        assert!(dtw(&four, &six, Band::Itakura).is_finite());
+    }
+
+    #[test]
+    fn itakura_path_respects_parallelogram() {
+        let x: Vec<f64> = (0..16).map(|i| ((i * i) % 7) as f64).collect();
+        let y: Vec<f64> = (0..16).map(|i| ((i * 3) % 5) as f64).collect();
+        let (d, p) = dtw_with_path(&x, &y, Band::Itakura);
+        assert!(d.is_finite());
+        assert!(p.is_valid(x.len(), y.len()));
+        for &(i, j) in p.pairs() {
+            let (lo, hi) = Band::Itakura.row_range(i as usize + 1, x.len(), y.len());
+            let col = j as usize + 1;
+            assert!(col >= lo && col <= hi, "cell ({i},{j}) outside parallelogram");
+        }
+        let two_row = dtw(&x, &y, Band::Itakura);
+        assert!((d - two_row).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_shift_costs_scale_with_path() {
+        // x constant 0, y constant 1, same length n: every matched pair
+        // costs 1, best path is the diagonal: DTW = √n.
+        for n in [1usize, 4, 16] {
+            let x = vec![0.0; n];
+            let y = vec![1.0; n];
+            assert!(close(dtw(&x, &y, Band::Full), (n as f64).sqrt()));
+        }
+    }
+}

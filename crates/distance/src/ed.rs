@@ -1,0 +1,141 @@
+//! Euclidean distance.
+//!
+//! The cheap half of the ONEX marriage: the base is *constructed* with ED
+//! (paper §3.1) because it costs O(n) per pair, and the ED triangle
+//! inequality is what turns the per-member ST/2 test into a pairwise ST
+//! guarantee. Everything here requires equal-length inputs — ONEX only ever
+//! compares same-length subsequences with ED.
+
+/// Squared Euclidean distance `Σ (x_i − y_i)²`.
+///
+/// # Panics
+/// Panics when lengths differ — an equal-length precondition violation is
+/// always a logic error in the caller, never data-dependent.
+#[inline]
+pub fn ed_sq(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "ED requires equal lengths");
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        let d = a - b;
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance `√(Σ (x_i − y_i)²)`.
+///
+/// # Panics
+/// Panics when lengths differ.
+#[inline]
+pub fn ed(x: &[f64], y: &[f64]) -> f64 {
+    ed_sq(x, y).sqrt()
+}
+
+/// Early-abandoning squared ED: returns `f64::INFINITY` as soon as the
+/// partial sum exceeds `ub_sq` (pass [`crate::INF`] to disable).
+///
+/// Abandonment checks are performed every 8 accumulated terms — frequent
+/// enough to save work on hopeless candidates, rare enough not to tax the
+/// promising ones.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn ed_early_abandon_sq(x: &[f64], y: &[f64], ub_sq: f64) -> f64 {
+    assert_eq!(x.len(), y.len(), "ED requires equal lengths");
+    let mut acc = 0.0;
+    for (chunk_x, chunk_y) in x.chunks(8).zip(y.chunks(8)) {
+        for (a, b) in chunk_x.iter().zip(chunk_y) {
+            let d = a - b;
+            acc += d * d;
+        }
+        if acc > ub_sq {
+            return f64::INFINITY;
+        }
+    }
+    acc
+}
+
+/// Length-normalised ED: `ed(x, y) / √n`.
+///
+/// ONEX ranks candidate matches of *different* lengths (the base stores
+/// groups per length); dividing by √n makes a per-sample RMS deviation, so
+/// thresholds mean the same thing at every length. Empty input yields 0.
+pub fn ed_normalized(x: &[f64], y: &[f64]) -> f64 {
+    if x.is_empty() {
+        assert_eq!(y.len(), 0, "ED requires equal lengths");
+        return 0.0;
+    }
+    ed(x, y) / (x.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn known_values() {
+        assert!(close(ed(&[0.0, 0.0], &[3.0, 4.0]), 5.0));
+        assert!(close(ed_sq(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0]), 0.0));
+        assert!(close(ed_sq(&[1.0], &[-1.0]), 4.0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(ed(&[], &[]), 0.0);
+        assert_eq!(ed_normalized(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn mismatched_lengths_panic() {
+        ed(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn early_abandon_agrees_when_not_abandoned() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let y = [2.0, 1.0, 3.0, 5.0, 4.0, 6.0, 8.0, 7.0, 9.0];
+        let exact = ed_sq(&x, &y);
+        assert!(close(ed_early_abandon_sq(&x, &y, f64::INFINITY), exact));
+        assert!(close(ed_early_abandon_sq(&x, &y, exact), exact));
+    }
+
+    #[test]
+    fn early_abandon_fires() {
+        let x = vec![0.0; 64];
+        let mut y = vec![0.0; 64];
+        y[0] = 100.0; // first chunk already blows the bound
+        assert_eq!(ed_early_abandon_sq(&x, &y, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn early_abandon_boundary_is_strict() {
+        // Partial sums equal to ub_sq must NOT abandon (bound is "exceeds").
+        let x = [1.0, 0.0];
+        let y = [0.0, 0.0];
+        assert!(close(ed_early_abandon_sq(&x, &y, 1.0), 1.0));
+    }
+
+    #[test]
+    fn normalized_is_per_sample_rms() {
+        // Constant offset of 1 over any length normalises to exactly 1.
+        for n in [1usize, 4, 9, 100] {
+            let x = vec![0.0; n];
+            let y = vec![1.0; n];
+            assert!(close(ed_normalized(&x, &y), 1.0), "n={n}");
+        }
+    }
+
+    #[test]
+    fn symmetry_and_triangle_inequality() {
+        let a = [0.5, -1.0, 2.0, 0.0];
+        let b = [1.5, 1.0, -2.0, 3.0];
+        let c = [0.0, 0.0, 0.0, 1.0];
+        assert!(close(ed(&a, &b), ed(&b, &a)));
+        assert!(ed(&a, &c) <= ed(&a, &b) + ed(&b, &c) + 1e-12);
+    }
+}

@@ -1,0 +1,193 @@
+//! Warping envelopes (Lemire's streaming min/max).
+//!
+//! The paper's query processor "index[es] time series using bounding
+//! envelopes" (§3.3). An envelope of radius `r` around a sequence `y`
+//! brackets every value `y` can be warped onto within a Sakoe–Chiba band
+//! of radius `r`; LB_Keogh then lower-bounds DTW by how far a query
+//! escapes the envelope. Built in O(n) with monotonic deques
+//! (Lemire, *Faster retrieval with a two-pass dynamic-time-warping lower
+//! bound*, 2009).
+
+use std::collections::VecDeque;
+
+/// Lower/upper warping envelope of a sequence for a given band radius.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Band radius the envelope was built for.
+    pub radius: usize,
+    /// `lower[i] = min(y[i−r ..= i+r])` (clamped to the sequence).
+    pub lower: Vec<f64>,
+    /// `upper[i] = max(y[i−r ..= i+r])` (clamped to the sequence).
+    pub upper: Vec<f64>,
+}
+
+impl Envelope {
+    /// Build the envelope of `y` for band radius `r` in O(n).
+    ///
+    /// ```
+    /// use onex_distance::Envelope;
+    /// let env = Envelope::build(&[1.0, 3.0, 2.0], 1);
+    /// assert_eq!(env.upper, vec![3.0, 3.0, 3.0]);
+    /// assert_eq!(env.lower, vec![1.0, 1.0, 2.0]);
+    /// assert!(env.contains(&[1.0, 3.0, 2.0]));
+    /// ```
+    pub fn build(y: &[f64], radius: usize) -> Envelope {
+        let n = y.len();
+        let mut lower = Vec::with_capacity(n);
+        let mut upper = Vec::with_capacity(n);
+        // Monotonic deques of indices: front is the current window extremum.
+        let mut maxq: VecDeque<usize> = VecDeque::new();
+        let mut minq: VecDeque<usize> = VecDeque::new();
+        for i in 0..n {
+            // The window for output position `o = i - radius` is
+            // [o - radius, o + radius] = [i - 2r, i]; push y[i] first, then
+            // emit once i reaches the window end o + radius.
+            while maxq.back().is_some_and(|&b| y[b] <= y[i]) {
+                maxq.pop_back();
+            }
+            maxq.push_back(i);
+            while minq.back().is_some_and(|&b| y[b] >= y[i]) {
+                minq.pop_back();
+            }
+            minq.push_back(i);
+            if i >= radius {
+                let o = i - radius;
+                upper.push(y[*maxq.front().expect("window non-empty")]);
+                lower.push(y[*minq.front().expect("window non-empty")]);
+                // Retire indices leaving the next window [o+1-r, ...].
+                if maxq.front().is_some_and(|&f| f + radius <= o) {
+                    maxq.pop_front();
+                }
+                if minq.front().is_some_and(|&f| f + radius <= o) {
+                    minq.pop_front();
+                }
+            }
+        }
+        // Tail positions whose window is cut off by the end of the series.
+        for o in n.saturating_sub(radius)..n {
+            // Window [o - r, n): drop indices before o - r.
+            while maxq.front().is_some_and(|&f| f + radius < o) {
+                maxq.pop_front();
+            }
+            while minq.front().is_some_and(|&f| f + radius < o) {
+                minq.pop_front();
+            }
+            upper.push(y[*maxq.front().expect("window non-empty")]);
+            lower.push(y[*minq.front().expect("window non-empty")]);
+        }
+        debug_assert_eq!(lower.len(), n);
+        debug_assert_eq!(upper.len(), n);
+        Envelope {
+            radius,
+            lower,
+            upper,
+        }
+    }
+
+    /// Length of the underlying sequence.
+    pub fn len(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// True when built over an empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.lower.is_empty()
+    }
+
+    /// True when `lower[i] ≤ y[i] ≤ upper[i]` everywhere — the defining
+    /// envelope property (used by tests and debug assertions).
+    pub fn contains(&self, y: &[f64]) -> bool {
+        y.len() == self.len()
+            && y.iter()
+                .zip(self.lower.iter().zip(&self.upper))
+                .all(|(&v, (&lo, &hi))| lo <= v && v <= hi)
+    }
+}
+
+/// Reference O(n·r) envelope used to validate the streaming one in tests.
+#[cfg(test)]
+fn envelope_naive(y: &[f64], radius: usize) -> Envelope {
+    let n = y.len();
+    let mut lower = Vec::with_capacity(n);
+    let mut upper = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(radius);
+        let hi = (i + radius + 1).min(n);
+        let window = &y[lo..hi];
+        lower.push(window.iter().cloned().fold(f64::INFINITY, f64::min));
+        upper.push(window.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+    Envelope {
+        radius,
+        lower,
+        upper,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_on_varied_inputs() {
+        let ys = [
+            vec![1.0, 3.0, 2.0, 5.0, 4.0, 0.0, -1.0, 2.0],
+            vec![0.0; 5],
+            vec![1.0],
+            vec![2.0, 1.0],
+            (0..50).map(|i| ((i * 37 % 17) as f64).sin()).collect(),
+        ];
+        for y in &ys {
+            for r in 0..=y.len() + 1 {
+                let fast = Envelope::build(y, r);
+                let slow = envelope_naive(y, r);
+                assert_eq!(fast.lower, slow.lower, "lower r={r} y={y:?}");
+                assert_eq!(fast.upper, slow.upper, "upper r={r} y={y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn radius_zero_is_identity() {
+        let y = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let e = Envelope::build(&y, 0);
+        assert_eq!(e.lower, y.to_vec());
+        assert_eq!(e.upper, y.to_vec());
+    }
+
+    #[test]
+    fn huge_radius_is_global_extrema() {
+        let y = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let e = Envelope::build(&y, 100);
+        assert!(e.lower.iter().all(|&v| v == 1.0));
+        assert!(e.upper.iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    fn envelope_contains_its_sequence() {
+        let y: Vec<f64> = (0..40).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+        for r in [0, 1, 3, 10] {
+            assert!(Envelope::build(&y, r).contains(&y), "r={r}");
+        }
+        assert!(!Envelope::build(&y, 1).contains(&y[..10]));
+    }
+
+    #[test]
+    fn monotone_in_radius() {
+        let y: Vec<f64> = (0..30).map(|i| ((i * i) % 13) as f64).collect();
+        let narrow = Envelope::build(&y, 1);
+        let wide = Envelope::build(&y, 4);
+        for i in 0..y.len() {
+            assert!(wide.lower[i] <= narrow.lower[i]);
+            assert!(wide.upper[i] >= narrow.upper[i]);
+        }
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let e = Envelope::build(&[], 3);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(e.contains(&[]));
+    }
+}

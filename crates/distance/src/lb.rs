@@ -1,0 +1,210 @@
+//! Lower bounds for DTW.
+//!
+//! A lower bound that is cheap to compute lets the query processor discard
+//! a candidate without ever running the O(n·m) DP — the paper's "early
+//! pruning of unpromising candidates" (§3.3). All bounds here return
+//! **squared** values so they compose with the squared DP and the UCR
+//! cascade without intermediate square roots.
+//!
+//! Soundness: for every function `f` here and every pair it accepts,
+//! `f(x, y) ≤ dtw_sq(x, y, band)` for the band the bound was built for.
+//! Property tests in `tests/` hammer on this.
+
+use crate::envelope::Envelope;
+
+/// LB_Kim(FL): bound from the first and last points.
+///
+/// Any warping path must match `x[0]` with `y[0]` and `x[n−1]` with
+/// `y[m−1]`, so those two squared differences always appear in the DTW
+/// cost. The classic UCR refinement also folds in the second and
+/// second-to-last pairs when that stays sound: the cheapest way a path can
+/// cover `x[1]` is against `y[0]`, `y[1]` or `y[2]` (and symmetrically at
+/// the end), so the minimum over those is also unavoidable — provided the
+/// sequences are long enough that the corner pairs are distinct cells.
+///
+/// Works for unequal lengths. O(1).
+///
+/// # Panics
+/// Panics on empty input.
+pub fn lb_kim_fl_sq(x: &[f64], y: &[f64]) -> f64 {
+    assert!(!x.is_empty() && !y.is_empty(), "LB_Kim of empty sequence");
+    let n = x.len();
+    let m = y.len();
+    let sq = |a: f64, b: f64| (a - b) * (a - b);
+    let mut lb = sq(x[0], y[0]);
+    if n > 1 && m > 1 {
+        lb += sq(x[n - 1], y[m - 1]);
+    }
+    // Second-point refinements need at least 4 points on each side so the
+    // front and back corner regions cannot overlap on any path.
+    if n >= 4 && m >= 4 {
+        let front = sq(x[1], y[0]).min(sq(x[1], y[1])).min(sq(x[0], y[1]));
+        lb += front;
+        let back = sq(x[n - 2], y[m - 1])
+            .min(sq(x[n - 2], y[m - 2]))
+            .min(sq(x[n - 1], y[m - 2]));
+        lb += back;
+    }
+    lb
+}
+
+/// LB_Keogh: squared distance from `x` to the envelope of the other
+/// sequence, i.e. `Σ max(x_i − upper_i, lower_i − x_i, 0)²`.
+///
+/// Sound for equal-length sequences when `env` was built with the same
+/// band radius used for DTW: a banded warping path can only match `x[i]`
+/// against values inside `[lower[i], upper[i]]`.
+///
+/// Abandons (returns `f64::INFINITY`) once the partial sum exceeds
+/// `ub_sq`.
+///
+/// # Panics
+/// Panics when `x.len() != env.len()`.
+pub fn lb_keogh_sq(x: &[f64], env: &Envelope, ub_sq: f64) -> f64 {
+    assert_eq!(x.len(), env.len(), "LB_Keogh requires equal lengths");
+    let mut acc = 0.0;
+    for ((&v, &lo), &hi) in x.iter().zip(&env.lower).zip(&env.upper) {
+        let d = if v > hi {
+            v - hi
+        } else if v < lo {
+            lo - v
+        } else {
+            continue;
+        };
+        acc += d * d;
+        if acc > ub_sq {
+            return f64::INFINITY;
+        }
+    }
+    acc
+}
+
+/// LB_Keogh with per-position contributions, for the UCR cascade.
+///
+/// Returns `(total, contrib)` where `contrib[i]` is position `i`'s squared
+/// exceedance. The caller turns `contrib` into the suffix-sum cumulative
+/// bound fed to [`crate::dtw::dtw_early_abandon_sq_with_cb`].
+///
+/// # Panics
+/// Panics when `x.len() != env.len()`.
+pub fn lb_keogh_with_contrib(x: &[f64], env: &Envelope) -> (f64, Vec<f64>) {
+    assert_eq!(x.len(), env.len(), "LB_Keogh requires equal lengths");
+    let mut contrib = vec![0.0; x.len()];
+    let mut acc = 0.0;
+    for (i, ((&v, &lo), &hi)) in x.iter().zip(&env.lower).zip(&env.upper).enumerate() {
+        let d = if v > hi {
+            v - hi
+        } else if v < lo {
+            lo - v
+        } else {
+            continue;
+        };
+        contrib[i] = d * d;
+        acc += d * d;
+    }
+    (acc, contrib)
+}
+
+/// Suffix-sum a contribution vector into the `n+1`-entry cumulative bound
+/// expected by the DTW early-abandonment hook: `cb[i] = Σ_{k≥i} contrib[k]`,
+/// `cb[n] = 0`.
+pub fn cumulative_bound(contrib: &[f64]) -> Vec<f64> {
+    let n = contrib.len();
+    let mut cb = vec![0.0; n + 1];
+    for i in (0..n).rev() {
+        cb[i] = cb[i + 1] + contrib[i];
+    }
+    cb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::{dtw_sq, Band};
+
+    #[test]
+    fn kim_fl_is_a_lower_bound() {
+        let cases = [
+            (vec![1.0, 5.0, 2.0, 0.0, 3.0], vec![0.0, 4.0, 1.0, 2.0, 2.0]),
+            (vec![1.0, 2.0], vec![3.0, 4.0, 5.0]),
+            (vec![0.0], vec![7.0]),
+            (vec![-1.0, 0.0, 1.0, 2.0, 3.0, 4.0], vec![4.0, 3.0, 2.0, 1.0]),
+        ];
+        for (x, y) in &cases {
+            let lb = lb_kim_fl_sq(x, y);
+            let d = dtw_sq(x, y, Band::Full);
+            assert!(lb <= d + 1e-12, "lb {lb} > dtw {d} for {x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn kim_fl_exact_for_single_points() {
+        assert_eq!(lb_kim_fl_sq(&[2.0], &[5.0]), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn kim_fl_rejects_empty() {
+        lb_kim_fl_sq(&[], &[1.0]);
+    }
+
+    #[test]
+    fn keogh_is_a_lower_bound_for_banded_dtw() {
+        let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.4).sin() * 2.0).collect();
+        let y: Vec<f64> = (0..24).map(|i| (i as f64 * 0.4 + 0.8).cos() * 2.0).collect();
+        for r in [0usize, 1, 3, 8, 24] {
+            let env = Envelope::build(&y, r);
+            let lb = lb_keogh_sq(&x, &env, f64::INFINITY);
+            let d = dtw_sq(&x, &y, Band::SakoeChiba(r));
+            assert!(lb <= d + 1e-9, "r={r}: lb {lb} > dtw {d}");
+        }
+    }
+
+    #[test]
+    fn keogh_zero_inside_envelope() {
+        let y = [1.0, 2.0, 3.0, 2.0, 1.0];
+        let env = Envelope::build(&y, 2);
+        // y itself is inside its own envelope.
+        assert_eq!(lb_keogh_sq(&y, &env, f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn keogh_early_abandons() {
+        let y = [0.0; 16];
+        let env = Envelope::build(&y, 1);
+        let x = [10.0; 16];
+        assert_eq!(lb_keogh_sq(&x, &env, 50.0), f64::INFINITY);
+        // At the boundary it keeps going ("exceeds" semantics).
+        let x1 = {
+            let mut v = [0.0; 16];
+            v[0] = 5.0;
+            v
+        };
+        assert_eq!(lb_keogh_sq(&x1, &env, 25.0), 25.0);
+    }
+
+    #[test]
+    fn contrib_sums_to_total_and_cb_is_suffix_sum() {
+        let y = [0.0, 1.0, 0.0, -1.0, 0.0, 1.0];
+        let x = [2.0, 1.0, -2.0, -1.0, 0.5, 3.0];
+        let env = Envelope::build(&y, 1);
+        let (total, contrib) = lb_keogh_with_contrib(&x, &env);
+        assert!((total - contrib.iter().sum::<f64>()).abs() < 1e-12);
+        assert!((total - lb_keogh_sq(&x, &env, f64::INFINITY)).abs() < 1e-12);
+        let cb = cumulative_bound(&contrib);
+        assert_eq!(cb.len(), x.len() + 1);
+        assert_eq!(cb[x.len()], 0.0);
+        assert!((cb[0] - total).abs() < 1e-12);
+        for i in 0..x.len() {
+            assert!(cb[i] + 1e-15 >= cb[i + 1], "cb non-increasing");
+            assert!((cb[i] - cb[i + 1] - contrib[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn keogh_length_mismatch_panics() {
+        let env = Envelope::build(&[1.0, 2.0], 1);
+        lb_keogh_sq(&[1.0], &env, f64::INFINITY);
+    }
+}

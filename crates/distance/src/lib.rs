@@ -1,0 +1,55 @@
+//! # onex-distance — the two distances whose "marriage" powers ONEX
+//!
+//! ONEX's central idea (paper §3.2) is to *construct* its base with the
+//! cheap Euclidean distance and *explore* it with the robust-but-expensive
+//! Dynamic Time Warping distance, justified by a triangle-inequality bridge
+//! between the two. This crate provides both distances and the bridge:
+//!
+//! * [`ed`] — Euclidean distance: plain, squared, early-abandoning, and
+//!   length-normalised variants.
+//! * [`dtw`] — DTW with optional Sakoe–Chiba band, early abandonment with
+//!   cumulative lower bounds (the UCR Suite trick), and warping-path
+//!   recovery for the visual analytics layer.
+//! * [`envelope`] — Lemire streaming min/max envelopes in O(n).
+//! * [`lb`] — lower bounds for DTW: LB_Kim(FL) and LB_Keogh, both
+//!   early-abandoning, with per-position cumulative bounds.
+//! * [`bounds`] — the ED↔DTW bridge (DESIGN.md §2.2): `DTW ≤ ED` for equal
+//!   lengths, and the group bound
+//!   `|DTW(q,s) − DTW(q,r)| ≤ √W · ED(r,s)` that licenses exploring group
+//!   representatives instead of raw data.
+//! * [`paa`] — Piecewise Aggregate Approximation and coarse-resolution
+//!   DTW estimates.
+//! * [`iddtw`] — Iterative Deepening DTW (paper reference [3]):
+//!   coarse-to-fine nearest-neighbour search with a trained per-level
+//!   error model.
+//!
+//! ## Conventions
+//!
+//! Every distance in this crate is the **square root of summed squared
+//! differences** (the L2 family), so ED and DTW are directly comparable —
+//! that comparability is exactly what the ONEX theorems need. `_sq`
+//! variants expose the pre-root value for hot paths. All functions document
+//! finite input as a precondition; NaN poisons results rather than
+//! panicking, matching `f64` semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod dtw;
+pub mod ed;
+pub mod envelope;
+pub mod iddtw;
+pub mod lb;
+pub mod paa;
+mod path;
+
+pub use dtw::{dtw, dtw_early_abandon, dtw_sq, dtw_with_path, Band};
+pub use ed::{ed, ed_early_abandon_sq, ed_sq};
+pub use envelope::Envelope;
+pub use iddtw::{IddtwModel, IddtwStats};
+pub use paa::{dtw_paa, paa};
+pub use path::WarpingPath;
+
+/// The infinite distance used as "no bound yet" by early-abandoning code.
+pub const INF: f64 = f64::INFINITY;

@@ -1,0 +1,139 @@
+use std::fmt;
+
+/// A DTW warping path: the alignment `(i, j)` pairs between two sequences.
+///
+/// The paper's visual analytics hinge on this object (§3.4): the Multiple
+/// Lines chart draws dotted links between warped points, so the engine
+/// returns the path alongside every match. Pairs are stored in ascending
+/// order from `(0, 0)` to `(n−1, m−1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpingPath {
+    pairs: Vec<(u32, u32)>,
+}
+
+impl WarpingPath {
+    /// Wrap a pair list. Callers are expected to produce valid paths; use
+    /// [`WarpingPath::is_valid`] in tests.
+    pub fn new(pairs: Vec<(u32, u32)>) -> Self {
+        WarpingPath { pairs }
+    }
+
+    /// The trivial diagonal path for two sequences of equal length `n`.
+    pub fn diagonal(n: usize) -> Self {
+        WarpingPath {
+            pairs: (0..n as u32).map(|i| (i, i)).collect(),
+        }
+    }
+
+    /// The aligned index pairs in order.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Number of alignment pairs (path length).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True for the empty path.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Validity for sequences of lengths `n` and `m`: starts at `(0,0)`,
+    /// ends at `(n−1, m−1)`, and each step advances by `(0,1)`, `(1,0)` or
+    /// `(1,1)`.
+    pub fn is_valid(&self, n: usize, m: usize) -> bool {
+        if n == 0 || m == 0 {
+            return self.pairs.is_empty();
+        }
+        let Some(&first) = self.pairs.first() else {
+            return false;
+        };
+        let Some(&last) = self.pairs.last() else {
+            return false;
+        };
+        if first != (0, 0) || last != (n as u32 - 1, m as u32 - 1) {
+            return false;
+        }
+        self.pairs.windows(2).all(|w| {
+            let (i0, j0) = w[0];
+            let (i1, j1) = w[1];
+            let di = i1.wrapping_sub(i0);
+            let dj = j1.wrapping_sub(j0);
+            (di == 0 && dj == 1) || (di == 1 && dj == 0) || (di == 1 && dj == 1)
+        })
+    }
+
+    /// Cost of this path between `x` and `y` under the L2 step cost
+    /// (square root of the summed squared differences along the path).
+    /// By definition `DTW(x, y) ≤ path.cost(x, y)` for any valid path.
+    pub fn cost(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.pairs
+            .iter()
+            .map(|&(i, j)| {
+                let d = x[i as usize] - y[j as usize];
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Largest number of times any single index of the *second* sequence
+    /// is matched — the warping multiplicity `W` in the group bound
+    /// (DESIGN.md §2.2).
+    pub fn max_multiplicity_right(&self) -> usize {
+        let mut best = 0usize;
+        let mut run = 0usize;
+        let mut prev = u32::MAX;
+        for &(_, j) in &self.pairs {
+            if j == prev {
+                run += 1;
+            } else {
+                run = 1;
+                prev = j;
+            }
+            best = best.max(run);
+        }
+        best
+    }
+}
+
+impl fmt::Display for WarpingPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "path[{} pairs]", self.pairs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_is_valid_and_costs_like_ed() {
+        let p = WarpingPath::diagonal(3);
+        assert!(p.is_valid(3, 3));
+        let x = [0.0, 1.0, 2.0];
+        let y = [0.0, 2.0, 2.0];
+        assert!((p.cost(&x, &y) - 1.0).abs() < 1e-12);
+        assert_eq!(p.max_multiplicity_right(), 1);
+    }
+
+    #[test]
+    fn validity_rejects_bad_paths() {
+        assert!(!WarpingPath::new(vec![(0, 1), (1, 1)]).is_valid(2, 2)); // bad start
+        assert!(!WarpingPath::new(vec![(0, 0)]).is_valid(2, 2)); // bad end
+        assert!(!WarpingPath::new(vec![(0, 0), (2, 1)]).is_valid(3, 2)); // jump
+        assert!(!WarpingPath::new(vec![(0, 0), (0, 0)]).is_valid(1, 1)); // no-op step
+        assert!(WarpingPath::new(vec![]).is_valid(0, 0));
+        assert!(!WarpingPath::new(vec![]).is_valid(1, 1));
+    }
+
+    #[test]
+    fn multiplicity_counts_repeats() {
+        let p = WarpingPath::new(vec![(0, 0), (1, 0), (2, 0), (3, 1)]);
+        assert!(p.is_valid(4, 2));
+        assert_eq!(p.max_multiplicity_right(), 3);
+        assert_eq!(WarpingPath::new(vec![]).max_multiplicity_right(), 0);
+    }
+}

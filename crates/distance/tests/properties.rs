@@ -1,0 +1,229 @@
+//! Property-based tests for the distance substrate.
+//!
+//! These are the load-bearing invariants of ONEX: the base construction
+//! and query pruning are only correct if every one of these holds for all
+//! inputs, so we let proptest hunt for counterexamples.
+
+use onex_distance::bounds::{
+    dtw_lower_via_representative, dtw_upper_via_representative, warp_multiplicity,
+};
+use onex_distance::lb::{cumulative_bound, lb_keogh_sq, lb_keogh_with_contrib, lb_kim_fl_sq};
+use onex_distance::{dtw, dtw_early_abandon, dtw_sq, dtw_with_path, ed, Band, Envelope};
+use proptest::prelude::*;
+
+const EPS: f64 = 1e-7;
+
+fn series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, 1..=max_len)
+}
+
+fn equal_pair(max_len: usize) -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (1..=max_len).prop_flat_map(|n| {
+        (
+            prop::collection::vec(-100.0f64..100.0, n),
+            prop::collection::vec(-100.0f64..100.0, n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dtw_is_symmetric((x, y) in (series(24), series(24))) {
+        let a = dtw(&x, &y, Band::Full);
+        let b = dtw(&y, &x, Band::Full);
+        prop_assert!((a - b).abs() < EPS, "{a} vs {b}");
+    }
+
+    #[test]
+    fn dtw_identity_is_zero(x in series(32)) {
+        prop_assert!(dtw(&x, &x, Band::Full) < EPS);
+    }
+
+    #[test]
+    fn dtw_le_ed_for_equal_lengths((x, y) in equal_pair(24)) {
+        prop_assert!(dtw(&x, &y, Band::Full) <= ed(&x, &y) + EPS);
+    }
+
+    #[test]
+    fn band_monotonicity((x, y) in equal_pair(20), r in 0usize..20) {
+        let narrow = dtw(&x, &y, Band::SakoeChiba(r));
+        let wide = dtw(&x, &y, Band::SakoeChiba(r + 2));
+        let full = dtw(&x, &y, Band::Full);
+        prop_assert!(full <= wide + EPS);
+        prop_assert!(wide <= narrow + EPS);
+    }
+
+    #[test]
+    fn early_abandon_is_consistent((x, y) in (series(20), series(20)), ub in 0.0f64..500.0) {
+        let exact = dtw(&x, &y, Band::Full);
+        let ea = dtw_early_abandon(&x, &y, Band::Full, ub);
+        if exact <= ub {
+            prop_assert!((ea - exact).abs() < EPS, "must not abandon below the bound");
+        } else {
+            prop_assert!(ea == f64::INFINITY || (ea - exact).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn path_cost_equals_distance((x, y) in (series(16), series(16))) {
+        let (d, p) = dtw_with_path(&x, &y, Band::Full);
+        prop_assert!(p.is_valid(x.len(), y.len()));
+        prop_assert!((p.cost(&x, &y) - d).abs() < EPS);
+        let two_row = dtw(&x, &y, Band::Full);
+        prop_assert!((d - two_row).abs() < EPS);
+    }
+
+    #[test]
+    fn banded_path_stays_in_band((x, y) in equal_pair(16), r in 0usize..6) {
+        let (d, p) = dtw_with_path(&x, &y, Band::SakoeChiba(r));
+        prop_assert!(d.is_finite());
+        for &(i, j) in p.pairs() {
+            prop_assert!((i as i64 - j as i64).unsigned_abs() as usize <= r);
+        }
+    }
+
+    #[test]
+    fn lb_kim_bounds_dtw((x, y) in (series(20), series(20))) {
+        prop_assert!(lb_kim_fl_sq(&x, &y) <= dtw_sq(&x, &y, Band::Full) + EPS);
+    }
+
+    #[test]
+    fn itakura_dominates_full((x, y) in equal_pair(24)) {
+        let ita = dtw(&x, &y, Band::Itakura);
+        let full = dtw(&x, &y, Band::Full);
+        prop_assert!(full <= ita + EPS, "constraint can only increase distance");
+        // Equal lengths are always feasible (the diagonal is admissible).
+        prop_assert!(ita.is_finite());
+        // Symmetry.
+        prop_assert!((ita - dtw(&y, &x, Band::Itakura)).abs() < EPS);
+    }
+
+    #[test]
+    fn itakura_path_is_valid_when_finite((x, y) in equal_pair(16)) {
+        let (d, p) = dtw_with_path(&x, &y, Band::Itakura);
+        prop_assert!(d.is_finite());
+        prop_assert!(p.is_valid(x.len(), y.len()));
+        prop_assert!((p.cost(&x, &y) - d).abs() < EPS);
+    }
+
+    #[test]
+    fn lb_keogh_bounds_banded_dtw((x, y) in equal_pair(20), r in 0usize..8) {
+        let env = Envelope::build(&y, r);
+        let lb = lb_keogh_sq(&x, &env, f64::INFINITY);
+        let d = dtw_sq(&x, &y, Band::SakoeChiba(r));
+        prop_assert!(lb <= d + EPS, "r={r}: {lb} > {d}");
+    }
+
+    #[test]
+    fn cb_plus_dtw_never_false_abandons((x, y) in equal_pair(16), r in 0usize..5) {
+        // Feeding LB_Keogh's own cumulative bound into the DP must never
+        // abandon a candidate whose true distance is within the bound.
+        use onex_distance::dtw::dtw_early_abandon_sq_with_cb;
+        let env = Envelope::build(&y, r);
+        let (_, contrib) = lb_keogh_with_contrib(&x, &env);
+        let cb = cumulative_bound(&contrib);
+        let exact = dtw_sq(&x, &y, Band::SakoeChiba(r));
+        let out = dtw_early_abandon_sq_with_cb(&x, &y, Band::SakoeChiba(r), exact + 1.0, Some(&cb));
+        prop_assert!((out - exact).abs() < EPS, "false abandon: {out} vs {exact}");
+    }
+
+    #[test]
+    fn envelope_brackets_sequence(y in series(48), r in 0usize..12) {
+        let env = Envelope::build(&y, r);
+        prop_assert!(env.contains(&y));
+    }
+
+    #[test]
+    fn group_bound_triangle(
+        q in series(16),
+        (r, s) in equal_pair(16),
+        band_r in 0usize..6,
+    ) {
+        for band in [Band::Full, Band::SakoeChiba(band_r)] {
+            let w = warp_multiplicity(q.len(), r.len(), band);
+            let dqr = dtw(&q, &r, band);
+            let dqs = dtw(&q, &s, band);
+            let ers = ed(&r, &s);
+            prop_assert!(
+                dqs <= dtw_upper_via_representative(dqr, ers, w) + EPS,
+                "upper bound violated: band={band:?} dqs={dqs} dqr={dqr} ers={ers} w={w}"
+            );
+            prop_assert!(
+                dqs >= dtw_lower_via_representative(dqr, ers, w) - EPS,
+                "lower bound violated: band={band:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ed_triangle_inequality((x, y) in equal_pair(24), z in series(24)) {
+        if z.len() == x.len() {
+            prop_assert!(ed(&x, &z) <= ed(&x, &y) + ed(&y, &z) + EPS);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PAA / iterative-deepening DTW (paper reference [3]).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// PAA at full resolution is the identity; at one segment, the mean.
+    #[test]
+    fn paa_endpoints(x in series(24)) {
+        let full = onex_distance::paa(&x, x.len());
+        for (a, b) in full.iter().zip(&x) {
+            prop_assert!((a - b).abs() < EPS);
+        }
+        let one = onex_distance::paa(&x, 1);
+        let mean: f64 = x.iter().sum::<f64>() / x.len() as f64;
+        prop_assert!((one[0] - mean).abs() < EPS);
+    }
+
+    /// Every PAA value lies within the min/max of the points it covers —
+    /// segment means cannot escape the data range.
+    #[test]
+    fn paa_values_within_range(x in series(32), s in 1usize..8) {
+        let s = s.min(x.len());
+        let p = onex_distance::paa(&x, s);
+        let lo = x.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in p {
+            prop_assert!(v >= lo - EPS && v <= hi + EPS);
+        }
+    }
+
+    /// Coarse DTW at full resolution equals exact DTW.
+    #[test]
+    fn dtw_paa_full_resolution_exact((x, y) in equal_pair(16)) {
+        let exact = dtw(&x, &y, Band::Full);
+        let coarse = onex_distance::dtw_paa(&x, &y, x.len().max(y.len()), Band::Full);
+        prop_assert!((exact - coarse).abs() < EPS, "{exact} vs {coarse}");
+    }
+
+    /// IDDTW with quantile 1.0, trained on the exact (query, candidate)
+    /// pairs it will search, always returns the brute-force nearest
+    /// neighbour's distance.
+    #[test]
+    fn iddtw_exact_when_fully_trained(
+        q in prop::collection::vec(-10.0f64..10.0, 8..20),
+        cands in prop::collection::vec(
+            prop::collection::vec(-10.0f64..10.0, 8..20), 2..8),
+    ) {
+        let pairs: Vec<(Vec<f64>, Vec<f64>)> =
+            cands.iter().map(|c| (q.clone(), c.clone())).collect();
+        let model = onex_distance::IddtwModel::train(&pairs, &[2, 4], 1.0, Band::Full);
+        let (_, got, _) = model
+            .nearest(&q, cands.iter().map(|v| v.as_slice()))
+            .unwrap();
+        let want = cands
+            .iter()
+            .map(|c| dtw(&q, c, Band::Full))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((got - want).abs() < EPS, "iddtw {got} brute {want}");
+    }
+}

@@ -1,0 +1,67 @@
+//! The star-padded "ending at t" DTW sweep shared by index build and
+//! query embedding.
+
+/// For every position `t` of `stream`, the unconstrained subsequence-DTW
+/// cost (root scale) of the best alignment of `pattern` to a subsequence
+/// of `stream` **ending exactly at `t`**.
+///
+/// This is one column-sweep of the SPRING matrix keeping only the end
+/// row: O(|stream|·|pattern|) time, O(|pattern|) space.
+///
+/// # Panics
+///
+/// Panics if `pattern` is empty.
+pub fn end_costs(stream: &[f64], pattern: &[f64]) -> Vec<f64> {
+    let m = pattern.len();
+    assert!(m > 0, "empty pattern");
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    let mut out = Vec::with_capacity(stream.len());
+    for &x in stream {
+        cur[0] = 0.0;
+        for i in 1..=m {
+            let d = x - pattern[i - 1];
+            let step = d * d;
+            let best = prev[i].min(prev[i - 1]).min(cur[i - 1]);
+            cur[i] = step + best;
+        }
+        out.push(cur[m].sqrt());
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onex_distance::{dtw, Band};
+
+    #[test]
+    fn end_cost_is_min_over_all_starts() {
+        let stream = [3.0, 0.5, 1.8, 0.2, 2.9, 1.1];
+        let pattern = [0.0, 2.0];
+        let costs = end_costs(&stream, &pattern);
+        assert_eq!(costs.len(), stream.len());
+        for (t, &c) in costs.iter().enumerate() {
+            let want = (0..=t)
+                .map(|s| dtw(&stream[s..=t], &pattern, Band::Full))
+                .fold(f64::INFINITY, f64::min);
+            assert!((c - want).abs() < 1e-9, "t={t}: {c} vs {want}");
+        }
+    }
+
+    #[test]
+    fn exact_suffix_match_costs_zero() {
+        let pattern = [1.0, 2.0, 3.0];
+        let stream = [9.0, 9.0, 1.0, 2.0, 3.0];
+        let costs = end_costs(&stream, &pattern);
+        assert!(costs[4] < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty pattern")]
+    fn rejects_empty_pattern() {
+        end_costs(&[1.0], &[]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for EBSM: the embedding sweep must agree with DTW
+//! definitions, and full refinement must recover the exact optimum.
+
+use onex_distance::{dtw, Band};
+use onex_embedding::{end_costs, EbsmConfig, EbsmIndex};
+use onex_spring::spring_best_match;
+use proptest::prelude::*;
+
+fn vals(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-4.0f64..4.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `end_costs` is the min over all starting positions of whole-window
+    /// DTW ending at each t.
+    #[test]
+    fn end_costs_match_definition(
+        stream in vals(1..14),
+        pattern in vals(1..5),
+    ) {
+        let costs = end_costs(&stream, &pattern);
+        prop_assert_eq!(costs.len(), stream.len());
+        for (t, &c) in costs.iter().enumerate() {
+            let want = (0..=t)
+                .map(|s| dtw(&stream[s..=t], &pattern, Band::Full))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!((c - want).abs() < 1e-9, "t={}: {} vs {}", t, c, want);
+        }
+    }
+
+    /// With the candidate list covering every position and a generous
+    /// refinement window, EBSM recovers the exact subsequence-DTW optimum.
+    #[test]
+    fn exhaustive_refinement_is_exact(
+        s0 in vals(10..40),
+        s1 in vals(10..40),
+        qlen in 3usize..8,
+        qpick in 0usize..100,
+    ) {
+        let db = vec![s0.clone(), s1.clone()];
+        let src = if qpick % 2 == 0 { &s0 } else { &s1 };
+        let qstart = (qpick / 2) % (src.len() - qlen + 1).max(1);
+        let query = src[qstart.min(src.len() - qlen)..][..qlen].to_vec();
+        let idx = EbsmIndex::build(db.clone(), EbsmConfig {
+            references: 4,
+            ref_len: 6,
+            candidates: 10_000,
+            refine_factor: 8,
+            seed: 7,
+        });
+        let (hit, _) = idx.best_match(&query).unwrap();
+        let exact = db
+            .iter()
+            .filter_map(|s| spring_best_match(s, &query))
+            .map(|m| m.dist)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((hit.dist - exact).abs() < 1e-9,
+            "ebsm {} exact {}", hit.dist, exact);
+    }
+
+    /// The reported hit's distance is always the real DTW of the reported
+    /// range, whatever the parameters.
+    #[test]
+    fn hits_are_faithful(
+        s0 in vals(12..40),
+        query in vals(3..7),
+        candidates in 1usize..12,
+        refine_factor in 1usize..4,
+    ) {
+        let idx = EbsmIndex::build(vec![s0.clone()], EbsmConfig {
+            references: 3,
+            ref_len: 5,
+            candidates,
+            refine_factor,
+            seed: 11,
+        });
+        if let Some((hit, stats)) = idx.best_match(&query) {
+            let real = dtw(&s0[hit.start..=hit.end], &query, Band::Full);
+            prop_assert!((real - hit.dist).abs() < 1e-9);
+            prop_assert!(stats.refined <= candidates);
+        }
+    }
+}

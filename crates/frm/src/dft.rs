@@ -1,0 +1,234 @@
+//! Orthonormal truncated DFT features with an O(fc) sliding update.
+//!
+//! FRM's filter rests on one analytic fact (Parseval): the orthonormal
+//! DFT is an isometry of ℝ^w, so the Euclidean distance between two
+//! windows equals the distance between their full spectra, and the
+//! distance between *truncated* spectra can only be smaller. Features
+//! built here therefore give a **lower bound** of the true window
+//! distance — the no-false-dismissal guarantee.
+//!
+//! Two refinements from the literature are applied:
+//!
+//! * Real inputs have conjugate-symmetric spectra, so every retained
+//!   non-DC coefficient has a mirror twin contributing the same amount
+//!   to the distance. Scaling non-DC coefficients by √2 folds the twin
+//!   in, tightening the bound while keeping feature-space distance plain
+//!   Euclidean (so the R-tree needs no custom metric).
+//! * Sliding the window by one point updates every coefficient in O(1)
+//!   (rotate-and-replace), so a length-n series yields its n−w+1 feature
+//!   points in O(n·fc) instead of O(n·w·fc).
+
+/// Number of real feature dimensions for `fc` retained complex
+/// coefficients (re/im interleaved).
+pub const fn feature_dim(fc: usize) -> usize {
+    2 * fc
+}
+
+/// Direct orthonormal DFT of `window`, truncated to the first `fc`
+/// coefficients, written as `[re₀, im₀, re₁, im₁, …]` with non-DC
+/// coefficients scaled by √2.
+///
+/// # Panics
+///
+/// Panics if `fc == 0` or `2 * fc > window.len()` (retaining more would
+/// double-count mirror coefficients and break the lower bound).
+pub fn dft_features(window: &[f64], fc: usize) -> Vec<f64> {
+    let w = window.len();
+    assert!(fc >= 1, "need at least one coefficient");
+    assert!(2 * fc <= w, "fc too large for window of length {w}");
+    let norm = 1.0 / (w as f64).sqrt();
+    let mut out = Vec::with_capacity(feature_dim(fc));
+    for f in 0..fc {
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (j, &x) in window.iter().enumerate() {
+            let ang = -2.0 * std::f64::consts::PI * (f * j) as f64 / w as f64;
+            re += x * ang.cos();
+            im += x * ang.sin();
+        }
+        let scale = if f == 0 { norm } else { norm * std::f64::consts::SQRT_2 };
+        out.push(re * scale);
+        out.push(im * scale);
+    }
+    out
+}
+
+/// Squared Euclidean distance between two feature vectors.
+pub fn feature_dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Incremental sliding-window DFT over a stream of samples.
+///
+/// Prime it with the first `w` samples via [`push`](SlidingDft::push);
+/// from then on each push slides the window by one and updates all
+/// coefficients in O(fc). [`features`](SlidingDft::features) emits the
+/// scaled feature vector of the current window.
+#[derive(Debug, Clone)]
+pub struct SlidingDft {
+    w: usize,
+    fc: usize,
+    /// Unscaled coefficients (re, im) of the current window.
+    coeffs: Vec<(f64, f64)>,
+    /// Ring buffer of the current window.
+    buf: Vec<f64>,
+    head: usize,
+    filled: usize,
+}
+
+impl SlidingDft {
+    /// New sliding DFT for window width `w` keeping `fc` coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`dft_features`].
+    pub fn new(w: usize, fc: usize) -> Self {
+        assert!(fc >= 1, "need at least one coefficient");
+        assert!(2 * fc <= w, "fc too large for window of length {w}");
+        SlidingDft {
+            w,
+            fc,
+            coeffs: vec![(0.0, 0.0); fc],
+            buf: vec![0.0; w],
+            head: 0,
+            filled: 0,
+        }
+    }
+
+    /// Whether a full window has been seen.
+    pub fn ready(&self) -> bool {
+        self.filled >= self.w
+    }
+
+    /// Push one sample; returns the feature vector once a full window is
+    /// in view (i.e. from the `w`-th push onward).
+    pub fn push(&mut self, x: f64) -> Option<Vec<f64>> {
+        let norm = 1.0 / (self.w as f64).sqrt();
+        if self.filled < self.w {
+            // Accumulate the initial window coefficient by coefficient.
+            let j = self.filled;
+            for f in 0..self.fc {
+                let ang = -2.0 * std::f64::consts::PI * (f * j) as f64 / self.w as f64;
+                self.coeffs[f].0 += x * ang.cos() * norm;
+                self.coeffs[f].1 += x * ang.sin() * norm;
+            }
+            self.buf[j] = x;
+            self.filled += 1;
+            return if self.ready() { Some(self.features()) } else { None };
+        }
+        // Slide: X'_f = ω^f · (X_f + (x_new − x_old)/√w), ω = e^{2πi/w}.
+        let x_old = self.buf[self.head];
+        self.buf[self.head] = x;
+        self.head = (self.head + 1) % self.w;
+        let delta = (x - x_old) * norm;
+        for f in 0..self.fc {
+            let ang = 2.0 * std::f64::consts::PI * f as f64 / self.w as f64;
+            let (c, s) = (ang.cos(), ang.sin());
+            let (re, im) = self.coeffs[f];
+            let re2 = re + delta;
+            self.coeffs[f] = (re2 * c - im * s, re2 * s + im * c);
+        }
+        Some(self.features())
+    }
+
+    /// Scaled feature vector of the current window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a full window has been pushed.
+    pub fn features(&self) -> Vec<f64> {
+        assert!(self.ready(), "window not yet full");
+        let mut out = Vec::with_capacity(feature_dim(self.fc));
+        for (f, &(re, im)) in self.coeffs.iter().enumerate() {
+            let scale = if f == 0 { 1.0 } else { std::f64::consts::SQRT_2 };
+            out.push(re * scale);
+            out.push(im * scale);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ed_sq(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum()
+    }
+
+    #[test]
+    fn dc_coefficient_is_scaled_mean() {
+        // X_0 = Σx / √w, so a constant window c has DC = c·√w.
+        let w = 8;
+        let f = dft_features(&vec![3.0; w], 2);
+        assert!((f[0] - 3.0 * (w as f64).sqrt()).abs() < 1e-9);
+        assert!(f[1].abs() < 1e-9); // DC of a real signal is real
+    }
+
+    #[test]
+    fn feature_distance_lower_bounds_true_distance() {
+        let a = [1.0, 4.0, 2.0, 8.0, 5.0, 7.0, 1.0, 0.0];
+        let b = [2.0, 3.0, 2.5, 7.0, 6.0, 6.0, 2.0, 1.0];
+        for fc in 1..=4 {
+            let fa = dft_features(&a, fc);
+            let fb = dft_features(&b, fc);
+            let fd = feature_dist_sq(&fa, &fb);
+            let td = ed_sq(&a, &b);
+            assert!(
+                fd <= td + 1e-9,
+                "fc={fc}: feature {fd} exceeds true {td}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_coefficients_tighten_the_bound() {
+        let a = [1.0, 4.0, 2.0, 8.0, 5.0, 7.0, 1.0, 0.0];
+        let b = [0.0, 1.0, 7.0, 2.0, 3.0, 9.0, 4.0, 2.0];
+        let mut prev = 0.0;
+        for fc in 1..=4 {
+            let fd = feature_dist_sq(&dft_features(&a, fc), &dft_features(&b, fc));
+            assert!(fd + 1e-12 >= prev, "fc={fc} loosened the bound");
+            prev = fd;
+        }
+    }
+
+    #[test]
+    fn sliding_matches_direct() {
+        let xs: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.37).sin() * 3.0 + (i as f64 * 0.11).cos())
+            .collect();
+        let w = 12;
+        let fc = 3;
+        let mut sliding = SlidingDft::new(w, fc);
+        let mut got = Vec::new();
+        for &x in &xs {
+            if let Some(f) = sliding.push(x) {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), xs.len() - w + 1);
+        for (i, f) in got.iter().enumerate() {
+            let direct = dft_features(&xs[i..i + w], fc);
+            for (a, b) in f.iter().zip(&direct) {
+                assert!((a - b).abs() < 1e-7, "window {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fc too large")]
+    fn rejects_oversized_fc() {
+        dft_features(&[1.0, 2.0, 3.0], 2);
+    }
+}

@@ -1,0 +1,373 @@
+//! Versioned, checksummed binary persistence for the ST-index.
+//!
+//! FRM treats its index as a *derived* structure over the raw series, so
+//! the codec stores the raw data, the build configuration and the
+//! sub-trail division — everything deterministic — and rebuilds the
+//! R-tree with an STR bulk load at open time. That keeps the format
+//! independent of in-memory tree layout (the same policy the grouping
+//! crate's codec follows) while still skipping the expensive part of a
+//! rebuild: the trail division never has to be re-derived.
+
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::dft::dft_features;
+use crate::rtree::{RTree, Rect};
+use crate::stindex::{StConfig, StIndex};
+
+const MAGIC: &[u8; 8] = b"ONEXFRM\0";
+const VERSION: u8 = 1;
+
+/// Errors from saving or loading an ST-index.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The file does not start with the ST-index magic bytes.
+    BadMagic,
+    /// The file was written by an unknown format version.
+    UnsupportedVersion(u8),
+    /// The payload checksum does not match its contents.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// The payload ended early or carries impossible values.
+    Corrupt(String),
+    /// The stored feature dimension does not match the requested type.
+    DimensionMismatch {
+        /// Dimension recorded in the file.
+        stored: u32,
+        /// Dimension of the `StIndex<D>` being loaded.
+        requested: u32,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadMagic => write!(f, "not an ONEX FRM index file"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            PersistError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: file says {expected:#x}, content hashes to {actual:#x}"
+            ),
+            PersistError::Corrupt(why) => write!(f, "corrupt index payload: {why}"),
+            PersistError::DimensionMismatch { stored, requested } => write!(
+                f,
+                "index stores {stored}-dimensional features but StIndex<{requested}> was requested"
+            ),
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.buf.len() < n {
+            return Err(PersistError::Corrupt(format!(
+                "needed {n} more bytes, {} left",
+                self.buf.len()
+            )));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn done(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Serialise the index: magic, version, checksum, then the payload
+/// (config, raw series, sub-trail ranges).
+pub fn save<const D: usize, W: Write>(idx: &StIndex<D>, mut w: W) -> Result<(), PersistError> {
+    let mut e = Enc::new();
+    let cfg = idx.config();
+    e.u32(D as u32);
+    e.u32(cfg.window as u32);
+    e.u32(cfg.subtrail_max as u32);
+    e.f64(cfg.cost_scale);
+    e.u32(idx.series_count() as u32);
+    for sid in 0..idx.series_count() {
+        let s = idx.series(sid as u32).expect("sid in range");
+        e.u32(s.len() as u32);
+        for &v in s {
+            e.f64(v);
+        }
+    }
+    let trails = idx.subtrail_ranges();
+    e.u32(trails.len() as u32);
+    for (series, first, last) in trails {
+        e.u32(series);
+        e.u32(first);
+        e.u32(last);
+    }
+
+    w.write_all(MAGIC)?;
+    w.write_all(&[VERSION])?;
+    w.write_all(&fnv1a(&e.buf).to_le_bytes())?;
+    w.write_all(&e.buf)?;
+    Ok(())
+}
+
+/// Load an index saved by [`save`], verifying magic, version and
+/// checksum, then rebuilding the R-tree by STR bulk load over the stored
+/// sub-trails' recomputed MBRs.
+pub fn load<const D: usize, R: Read>(mut r: R) -> Result<StIndex<D>, PersistError> {
+    let mut header = [0u8; 8 + 1 + 8];
+    r.read_exact(&mut header)?;
+    if &header[..8] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    if header[8] != VERSION {
+        return Err(PersistError::UnsupportedVersion(header[8]));
+    }
+    let expected = u64::from_le_bytes(header[9..17].try_into().expect("8 bytes"));
+    let mut payload = Vec::new();
+    r.read_to_end(&mut payload)?;
+    let actual = fnv1a(&payload);
+    if actual != expected {
+        return Err(PersistError::ChecksumMismatch { expected, actual });
+    }
+
+    let mut d = Dec { buf: &payload };
+    let stored_dim = d.u32()?;
+    if stored_dim != D as u32 {
+        return Err(PersistError::DimensionMismatch {
+            stored: stored_dim,
+            requested: D as u32,
+        });
+    }
+    let cfg = StConfig {
+        window: d.u32()? as usize,
+        subtrail_max: d.u32()? as usize,
+        cost_scale: d.f64()?,
+    };
+    if cfg.window == 0 || cfg.subtrail_max == 0 || !cfg.cost_scale.is_finite() {
+        return Err(PersistError::Corrupt("impossible configuration".into()));
+    }
+    let series_count = d.u32()? as usize;
+    let mut series = Vec::with_capacity(series_count);
+    for _ in 0..series_count {
+        let len = d.u32()? as usize;
+        let mut s = Vec::with_capacity(len);
+        for _ in 0..len {
+            s.push(d.f64()?);
+        }
+        series.push(s);
+    }
+    let trail_count = d.u32()? as usize;
+    let mut trails = Vec::with_capacity(trail_count);
+    for _ in 0..trail_count {
+        let (sid, first, last) = (d.u32()?, d.u32()?, d.u32()?);
+        let s = series
+            .get(sid as usize)
+            .ok_or_else(|| PersistError::Corrupt(format!("sub-trail references series {sid}")))?;
+        if first > last || (last as usize) + cfg.window > s.len() + 1 {
+            return Err(PersistError::Corrupt(format!(
+                "sub-trail range {first}..={last} outside series {sid}"
+            )));
+        }
+        trails.push((sid, first, last));
+    }
+    if !d.done() {
+        return Err(PersistError::Corrupt("trailing bytes".into()));
+    }
+
+    // Recompute each sub-trail's MBR from the raw data (deterministic),
+    // then bulk-load.
+    let fc = D / 2;
+    let mut entries: Vec<(Rect<D>, u64)> = Vec::with_capacity(trails.len());
+    for (id, &(sid, first, last)) in trails.iter().enumerate() {
+        let s = &series[sid as usize];
+        let mut mbr: Option<Rect<D>> = None;
+        for wpos in first..=last {
+            let f = dft_features(&s[wpos as usize..wpos as usize + cfg.window], fc);
+            let mut p = [0.0; D];
+            p.copy_from_slice(&f);
+            let pr = Rect::point(p);
+            mbr = Some(match mbr {
+                None => pr,
+                Some(m) => m.union(&pr),
+            });
+        }
+        entries.push((mbr.expect("ranges are non-empty"), id as u64));
+    }
+    let rtree = RTree::bulk_load(entries);
+    Ok(StIndex::from_parts(cfg, series, trails, rtree))
+}
+
+/// [`save`] to a file path.
+pub fn save_file<const D: usize>(
+    idx: &StIndex<D>,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistError> {
+    let f = std::fs::File::create(path)?;
+    save(idx, std::io::BufWriter::new(f))
+}
+
+/// [`load`] from a file path.
+pub fn load_file<const D: usize>(path: impl AsRef<Path>) -> Result<StIndex<D>, PersistError> {
+    let f = std::fs::File::open(path)?;
+    load(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StIndex<4> {
+        let series: Vec<Vec<f64>> = (0..4)
+            .map(|p| {
+                (0..60)
+                    .map(|i| ((i + 9 * p) as f64 * 0.27).sin() * 2.0)
+                    .collect()
+            })
+            .collect();
+        StIndex::build(
+            series,
+            StConfig {
+                window: 8,
+                subtrail_max: 6,
+                cost_scale: 0.5,
+            },
+        )
+    }
+
+    fn to_bytes(idx: &StIndex<4>) -> Vec<u8> {
+        let mut out = Vec::new();
+        save(idx, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn round_trip_answers_identically() {
+        let idx = sample();
+        let back: StIndex<4> = load(to_bytes(&idx).as_slice()).unwrap();
+        assert_eq!(back.series_count(), idx.series_count());
+        assert_eq!(back.windows_total(), idx.windows_total());
+        assert_eq!(back.subtrail_count(), idx.subtrail_count());
+        let query: Vec<f64> = (0..8).map(|i| (i as f64 * 0.27).sin() * 2.0).collect();
+        for eps in [0.5, 1.5] {
+            let (mut h1, _) = idx.range_query(&query, eps);
+            let (mut h2, _) = back.range_query(&query, eps);
+            let key = |h: &crate::FrmHit| (h.series, h.start);
+            h1.sort_by_key(key);
+            h2.sort_by_key(key);
+            assert_eq!(h1, h2, "eps {eps}");
+        }
+        let (b1, _) = idx.best_match(&query).unwrap();
+        let (b2, _) = back.best_match(&query).unwrap();
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = to_bytes(&sample());
+        bytes[0] = b'X';
+        assert!(matches!(
+            load::<4, _>(bytes.as_slice()),
+            Err(PersistError::BadMagic)
+        ));
+        let mut bytes = to_bytes(&sample());
+        bytes[8] = 99;
+        assert!(matches!(
+            load::<4, _>(bytes.as_slice()),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn detects_corruption_truncation_and_dimension_mismatch() {
+        let bytes = to_bytes(&sample());
+        let mut corrupted = bytes.clone();
+        let mid = corrupted.len() / 2;
+        corrupted[mid] ^= 0xFF;
+        assert!(matches!(
+            load::<4, _>(corrupted.as_slice()),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+        assert!(load::<4, _>(&bytes[..bytes.len() - 5]).is_err());
+        assert!(load::<4, _>(&[][..]).is_err());
+        assert!(matches!(
+            load::<6, _>(bytes.as_slice()),
+            Err(PersistError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("onex_frm_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.frm");
+        let idx = sample();
+        save_file(&idx, &path).unwrap();
+        let back: StIndex<4> = load_file(&path).unwrap();
+        assert_eq!(back.subtrail_count(), idx.subtrail_count());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(PersistError::BadMagic.to_string().contains("FRM"));
+        let e = PersistError::DimensionMismatch {
+            stored: 4,
+            requested: 6,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('6'));
+    }
+}

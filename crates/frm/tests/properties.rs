@@ -1,0 +1,204 @@
+//! Property tests for the FRM baseline: the R-tree must answer exactly
+//! like a linear scan, the DFT filter must never dismiss a true match,
+//! and the whole index must agree with brute force.
+
+use onex_frm::dft::{dft_features, feature_dist_sq};
+use onex_frm::{Rect, RTree, StConfig, StIndex};
+use proptest::prelude::*;
+
+fn rects(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<([f64; 2], [f64; 2])>> {
+    prop::collection::vec(
+        (
+            -50.0f64..50.0,
+            -50.0f64..50.0,
+            0.0f64..10.0,
+            0.0f64..10.0,
+        )
+            .prop_map(|(x, y, w, h)| ([x, y], [x + w, y + h])),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random bulk inserts keep every Guttman invariant.
+    #[test]
+    fn rtree_invariants_hold(rs in rects(0..120)) {
+        let mut t = RTree::<2>::new();
+        for (i, (min, max)) in rs.iter().enumerate() {
+            t.insert(Rect { min: *min, max: *max }, i as u64);
+        }
+        prop_assert_eq!(t.len(), rs.len());
+        prop_assert!(t.check_invariants().is_ok(),
+            "{:?}", t.check_invariants());
+    }
+
+    /// Intersection search equals a linear scan, for arbitrary data and
+    /// query rectangles.
+    #[test]
+    fn rtree_search_equals_scan(
+        rs in rects(0..100),
+        q in rects(1..2),
+    ) {
+        let mut t = RTree::<2>::new();
+        for (i, (min, max)) in rs.iter().enumerate() {
+            t.insert(Rect { min: *min, max: *max }, i as u64);
+        }
+        let query = Rect { min: q[0].0, max: q[0].1 };
+        let mut got = t.search_intersecting(&query);
+        got.sort_unstable();
+        let mut want: Vec<u64> = rs
+            .iter()
+            .enumerate()
+            .filter(|(_, (min, max))| Rect { min: *min, max: *max }.intersects(&query))
+            .map(|(i, _)| i as u64)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Ball search (MINDIST) equals a linear scan.
+    #[test]
+    fn rtree_ball_search_equals_scan(
+        rs in rects(0..100),
+        px in -60.0f64..60.0,
+        py in -60.0f64..60.0,
+        radius in 0.0f64..30.0,
+    ) {
+        let mut t = RTree::<2>::new();
+        for (i, (min, max)) in rs.iter().enumerate() {
+            t.insert(Rect { min: *min, max: *max }, i as u64);
+        }
+        let mut got = t.search_within(&[px, py], radius);
+        got.sort_unstable();
+        let mut want: Vec<u64> = rs
+            .iter()
+            .enumerate()
+            .filter(|(_, (min, max))| {
+                Rect { min: *min, max: *max }.mindist_sq(&[px, py]) <= radius * radius
+            })
+            .map(|(i, _)| i as u64)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The DFT feature distance never exceeds the true window distance
+    /// (the contraction that makes FRM exact).
+    #[test]
+    fn dft_features_are_contractive(
+        a in prop::collection::vec(-10.0f64..10.0, 8..32),
+        b_delta in prop::collection::vec(-10.0f64..10.0, 8..32),
+        fc in 1usize..4,
+    ) {
+        let n = a.len().min(b_delta.len());
+        if 2 * fc > n {
+            return Ok(());
+        }
+        let a = &a[..n];
+        let b: Vec<f64> = a.iter().zip(&b_delta[..n]).map(|(x, d)| x + d).collect();
+        let fd = feature_dist_sq(&dft_features(a, fc), &dft_features(&b, fc));
+        let td: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        prop_assert!(fd <= td + 1e-6 + td * 1e-9, "feature {fd} > true {td}");
+    }
+
+    /// End-to-end: the ST-index range query returns exactly the brute-
+    /// force answer set (no false dismissals, all faithful distances).
+    #[test]
+    fn stindex_range_query_is_exact(
+        seed_vals in prop::collection::vec(-3.0f64..3.0, 30..60),
+        eps in 0.2f64..3.0,
+        qoff in 0usize..20,
+    ) {
+        let series = vec![seed_vals.clone()];
+        let w = 8;
+        let idx = StIndex::<4>::build(series.clone(), StConfig {
+            window: w,
+            subtrail_max: 6,
+            cost_scale: 0.5,
+        });
+        let qstart = qoff.min(seed_vals.len() - w);
+        let query = seed_vals[qstart..qstart + w].to_vec();
+        let (hits, stats) = idx.range_query(&query, eps);
+        // Brute force over raw data.
+        let mut want = Vec::new();
+        for start in 0..=seed_vals.len() - w {
+            let d: f64 = seed_vals[start..start + w]
+                .iter()
+                .zip(&query)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt();
+            if d <= eps {
+                want.push((start, d));
+            }
+        }
+        prop_assert_eq!(hits.len(), want.len(),
+            "eps={} hits={:?} want={:?}", eps, hits, want);
+        for (start, d) in want {
+            let h = hits.iter().find(|h| h.start == start);
+            prop_assert!(h.is_some(), "missing start {}", start);
+            prop_assert!((h.unwrap().dist - d).abs() < 1e-9);
+        }
+        prop_assert!(stats.candidates >= stats.verified);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `best_match` via the incremental-NN traversal equals brute force,
+    /// for queries of the window length and longer.
+    #[test]
+    fn stindex_best_match_is_exact(
+        vals in prop::collection::vec(-3.0f64..3.0, 30..60),
+        qoff in 0usize..40,
+        qlen_extra in 0usize..6,
+    ) {
+        let w = 8;
+        let series = vec![vals.clone()];
+        let idx = StIndex::<4>::build(series, StConfig {
+            window: w,
+            subtrail_max: 6,
+            cost_scale: 0.5,
+        });
+        let qlen = w + qlen_extra;
+        let qstart = qoff.min(vals.len() - qlen);
+        let query = vals[qstart..qstart + qlen].to_vec();
+        let (best, _) = idx.best_match(&query).unwrap();
+        let mut want = f64::INFINITY;
+        for start in 0..=vals.len() - qlen {
+            let d: f64 = vals[start..start + qlen]
+                .iter()
+                .zip(&query)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt();
+            want = want.min(d);
+        }
+        prop_assert!((best.dist - want).abs() < 1e-9,
+            "nn {} brute {}", best.dist, want);
+    }
+
+    /// Bulk-loaded and incrementally built indexes answer identically.
+    #[test]
+    fn bulk_and_incremental_builds_agree(
+        s0 in prop::collection::vec(-3.0f64..3.0, 20..50),
+        s1 in prop::collection::vec(-3.0f64..3.0, 20..50),
+        eps in 0.3f64..3.0,
+    ) {
+        let cfg = StConfig { window: 8, subtrail_max: 6, cost_scale: 0.5 };
+        let batch = StIndex::<4>::build(vec![s0.clone(), s1.clone()], cfg);
+        let mut inc = StIndex::<4>::build(Vec::new(), cfg);
+        inc.push_series(s0.clone());
+        inc.push_series(s1);
+        let query = s0[..8].to_vec();
+        let (mut h1, _) = batch.range_query(&query, eps);
+        let (mut h2, _) = inc.range_query(&query, eps);
+        let key = |h: &onex_frm::FrmHit| (h.series, h.start);
+        h1.sort_by_key(key);
+        h2.sort_by_key(key);
+        prop_assert_eq!(h1, h2);
+    }
+}

@@ -1,0 +1,318 @@
+use std::collections::BTreeMap;
+
+use onex_distance::ed;
+use onex_tseries::Dataset;
+
+use crate::{BaseConfig, GroupId, SimilarityGroup};
+
+/// The finished ONEX base: similarity groups per subsequence length.
+///
+/// This is the compact structure the paper explores with DTW instead of
+/// the raw data (§3.1–3.2). It is immutable after construction; the query
+/// engine borrows it, and [`crate::persist`] round-trips it to disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnexBase {
+    config: BaseConfig,
+    groups: BTreeMap<usize, Vec<SimilarityGroup>>,
+    source_series: usize,
+}
+
+impl OnexBase {
+    pub(crate) fn from_parts(
+        config: BaseConfig,
+        groups: BTreeMap<usize, Vec<SimilarityGroup>>,
+        source_series: usize,
+    ) -> Self {
+        OnexBase {
+            config,
+            groups,
+            source_series,
+        }
+    }
+
+    /// Decompose for incremental extension (see `BaseBuilder::extend`).
+    pub(crate) fn into_parts(self) -> (BaseConfig, BTreeMap<usize, Vec<SimilarityGroup>>, usize) {
+        (self.config, self.groups, self.source_series)
+    }
+
+    /// The configuration the base was built with.
+    pub fn config(&self) -> &BaseConfig {
+        &self.config
+    }
+
+    /// Number of series in the dataset the base was built over (sanity
+    /// check when re-attaching a persisted base to a dataset).
+    pub fn source_series(&self) -> usize {
+        self.source_series
+    }
+
+    /// Indexed lengths, ascending.
+    pub fn lengths(&self) -> impl Iterator<Item = usize> + '_ {
+        self.groups.keys().copied()
+    }
+
+    /// Groups of one length (empty slice when the length is not indexed).
+    pub fn groups_for_len(&self, len: usize) -> &[SimilarityGroup] {
+        self.groups.get(&len).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Group lookup by id.
+    pub fn group(&self, id: GroupId) -> Option<&SimilarityGroup> {
+        self.groups
+            .get(&(id.len as usize))
+            .and_then(|v| v.get(id.index as usize))
+    }
+
+    /// Iterate `(GroupId, group)` over the whole base.
+    pub fn iter(&self) -> impl Iterator<Item = (GroupId, &SimilarityGroup)> {
+        self.groups.iter().flat_map(|(&len, gs)| {
+            gs.iter().enumerate().map(move |(i, g)| {
+                (
+                    GroupId {
+                        len: len as u32,
+                        index: i as u32,
+                    },
+                    g,
+                )
+            })
+        })
+    }
+
+    /// The indexed lengths closest to `target`, nearest first, ties
+    /// favouring the shorter length. The engine uses this to widen a query
+    /// to neighbouring lengths.
+    pub fn nearest_lengths(&self, target: usize, k: usize) -> Vec<usize> {
+        let mut lens: Vec<usize> = self.groups.keys().copied().collect();
+        lens.sort_by_key(|&l| (l.abs_diff(target), l));
+        lens.truncate(k);
+        lens
+    }
+
+    /// Aggregate statistics (experiment E7's table rows).
+    pub fn stats(&self) -> BaseStats {
+        let per_length: Vec<LengthStats> = self
+            .groups
+            .iter()
+            .map(|(&len, gs)| LengthStats {
+                len,
+                groups: gs.len(),
+                subsequences: gs.iter().map(|g| g.cardinality()).sum(),
+                max_cardinality: gs.iter().map(|g| g.cardinality()).max().unwrap_or(0),
+            })
+            .collect();
+        let groups = per_length.iter().map(|l| l.groups).sum();
+        let members = per_length.iter().map(|l| l.subsequences).sum();
+        BaseStats {
+            groups,
+            members,
+            compaction: if groups == 0 {
+                0.0
+            } else {
+                members as f64 / groups as f64
+            },
+            per_length,
+        }
+    }
+
+    /// Audit the construction invariant against the source dataset: every
+    /// member must lie within the admission radius of its group's
+    /// representative. Exact under the `Seed` policy; under `Centroid` the
+    /// representative drifted after admission, so violations measure the
+    /// drift (paper practice accepts it; experiment E9 reports it).
+    pub fn audit(&self, dataset: &Dataset) -> AuditReport {
+        let mut report = AuditReport::default();
+        for (&len, gs) in &self.groups {
+            let admission = self.config.admission_radius(len);
+            for g in gs {
+                for &m in g.members() {
+                    let Ok(xs) = dataset.resolve(m) else {
+                        report.unresolvable += 1;
+                        continue;
+                    };
+                    let d = ed(xs, g.representative());
+                    report.members_checked += 1;
+                    if d > admission + 1e-9 {
+                        report.violations += 1;
+                        report.worst_excess = report.worst_excess.max(d / admission);
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+impl Default for OnexBase {
+    /// An empty base over zero series (placeholder value for `mem::take`
+    /// during incremental extension; not useful for queries).
+    fn default() -> Self {
+        OnexBase {
+            config: BaseConfig::new(1.0, 2, 2),
+            groups: BTreeMap::new(),
+            source_series: 0,
+        }
+    }
+}
+
+/// Aggregate base statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseStats {
+    /// Total groups across lengths.
+    pub groups: usize,
+    /// Total members (= subsequences indexed).
+    pub members: usize,
+    /// Members per group; the paper's data-reduction factor.
+    pub compaction: f64,
+    /// Per-length breakdown, ascending length.
+    pub per_length: Vec<LengthStats>,
+}
+
+/// Statistics of one indexed length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LengthStats {
+    /// Subsequence length.
+    pub len: usize,
+    /// Groups at this length.
+    pub groups: usize,
+    /// Subsequences at this length.
+    pub subsequences: usize,
+    /// Largest group cardinality (drives overview colour intensity).
+    pub max_cardinality: usize,
+}
+
+/// Result of [`OnexBase::audit`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AuditReport {
+    /// Members whose invariant was checked.
+    pub members_checked: usize,
+    /// Members farther than the admission radius from their representative.
+    pub violations: usize,
+    /// Largest `distance / admission_radius` among violations (1.0 = none).
+    pub worst_excess: f64,
+    /// Members whose reference no longer resolves in the dataset (always 0
+    /// unless the base is paired with the wrong dataset).
+    pub unresolvable: usize,
+}
+
+impl AuditReport {
+    /// Fraction of members violating the invariant.
+    pub fn violation_rate(&self) -> f64 {
+        if self.members_checked == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.members_checked as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaseBuilder, RepresentativePolicy};
+    use onex_tseries::gen::{random_walk_dataset, SyntheticConfig};
+
+    fn base(policy: RepresentativePolicy) -> (OnexBase, Dataset) {
+        let ds = random_walk_dataset(SyntheticConfig {
+            series: 6,
+            len: 36,
+            seed: 9,
+        });
+        let cfg = BaseConfig {
+            policy,
+            ..BaseConfig::new(1.2, 6, 18)
+        };
+        let (b, _) = BaseBuilder::new(cfg).unwrap().build(&ds);
+        (b, ds)
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (b, ds) = base(RepresentativePolicy::Centroid);
+        let stats = b.stats();
+        assert_eq!(
+            stats.members,
+            crate::SubsequenceSpace::new(&ds, b.config()).total()
+        );
+        assert!(stats.groups > 0 && stats.groups <= stats.members);
+        assert!(stats.compaction >= 1.0);
+        let sum: usize = stats.per_length.iter().map(|l| l.subsequences).sum();
+        assert_eq!(sum, stats.members);
+        for l in &stats.per_length {
+            assert!(l.max_cardinality >= 1);
+            assert!(l.groups <= l.subsequences);
+        }
+    }
+
+    #[test]
+    fn seed_policy_audits_clean() {
+        let (b, ds) = base(RepresentativePolicy::Seed);
+        let audit = b.audit(&ds);
+        assert_eq!(audit.violations, 0, "{audit:?}");
+        assert!(audit.members_checked > 0);
+        assert_eq!(audit.unresolvable, 0);
+        assert_eq!(audit.violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn centroid_policy_drift_is_bounded() {
+        let (b, ds) = base(RepresentativePolicy::Centroid);
+        let audit = b.audit(&ds);
+        // Drift can produce violations, but the excess stays modest —
+        // the centroid moves within the admission ball.
+        assert!(
+            audit.violation_rate() < 0.5,
+            "drift rate {}",
+            audit.violation_rate()
+        );
+        if audit.violations > 0 {
+            assert!(audit.worst_excess < 3.0, "excess {}", audit.worst_excess);
+        }
+    }
+
+    #[test]
+    fn nearest_lengths_orders_by_distance() {
+        let (b, _) = base(RepresentativePolicy::Centroid);
+        let lens = b.nearest_lengths(10, 3);
+        assert_eq!(lens[0], 10);
+        assert_eq!(lens[1], 9, "tie between 9 and 11 favours shorter");
+        assert_eq!(lens[2], 11);
+        // Asking for more lengths than exist returns them all.
+        let all = b.nearest_lengths(10, 1000);
+        assert_eq!(all.len(), b.lengths().count());
+    }
+
+    #[test]
+    fn group_lookup_round_trips() {
+        let (b, _) = base(RepresentativePolicy::Centroid);
+        for (id, g) in b.iter() {
+            assert_eq!(b.group(id).unwrap(), g);
+            assert_eq!(g.len(), id.len as usize);
+        }
+        assert!(b.group(GroupId { len: 9999, index: 0 }).is_none());
+        let first_len = b.lengths().next().unwrap();
+        assert!(b
+            .group(GroupId {
+                len: first_len as u32,
+                index: 1_000_000,
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn audit_flags_wrong_dataset() {
+        let (b, _) = base(RepresentativePolicy::Seed);
+        let wrong = Dataset::new();
+        let audit = b.audit(&wrong);
+        assert!(audit.unresolvable > 0);
+        assert_eq!(audit.members_checked, 0);
+    }
+
+    #[test]
+    fn empty_base_stats() {
+        let b = OnexBase::from_parts(BaseConfig::new(1.0, 2, 4), BTreeMap::new(), 0);
+        let s = b.stats();
+        assert_eq!(s.groups, 0);
+        assert_eq!(s.compaction, 0.0);
+        assert!(b.groups_for_len(3).is_empty());
+    }
+}

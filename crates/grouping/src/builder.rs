@@ -1,0 +1,446 @@
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use onex_distance::ed::ed_early_abandon_sq;
+use onex_tseries::Dataset;
+
+use crate::{
+    BaseConfig, OnexBase, RepresentativePolicy, SimilarityGroup, SubsequenceSpace,
+};
+
+/// Constructs the ONEX base from a dataset (paper §3.1, the
+/// "pre-processing step" at the top of Fig 1).
+///
+/// ```
+/// use onex_grouping::{BaseBuilder, BaseConfig};
+/// use onex_tseries::{Dataset, TimeSeries};
+///
+/// let data = Dataset::from_series(vec![
+///     TimeSeries::new("flat", vec![0.0; 8]),
+///     TimeSeries::new("near", vec![0.1; 8]),
+///     TimeSeries::new("far", vec![9.0; 8]),
+/// ]).unwrap();
+/// let builder = BaseBuilder::new(BaseConfig::new(1.0, 4, 4)).unwrap();
+/// let (base, report) = builder.build(&data);
+/// // flat and near share groups, far stays apart.
+/// assert_eq!(report.groups, 2);
+/// assert!(base.audit(&data).violations == 0 || report.compaction() > 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaseBuilder {
+    config: BaseConfig,
+}
+
+/// What a construction run did — reported by experiment E7 and the data
+/// loading step of the demo ("loading a new dataset triggers the
+/// preprocessing of this data at the server side").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildReport {
+    /// Wall-clock construction time.
+    pub elapsed: Duration,
+    /// Number of distinct subsequence lengths indexed.
+    pub lengths: usize,
+    /// Total subsequences assigned to groups.
+    pub subsequences: usize,
+    /// Total groups created.
+    pub groups: usize,
+}
+
+impl BuildReport {
+    /// Subsequences per group — the compaction the paper's speed-up rests
+    /// on ("the use of the compact ONEX base instead of the entire
+    /// dataset … guarantees speed-up").
+    pub fn compaction(&self) -> f64 {
+        if self.groups == 0 {
+            0.0
+        } else {
+            self.subsequences as f64 / self.groups as f64
+        }
+    }
+}
+
+impl BaseBuilder {
+    /// Create a builder after validating the configuration.
+    ///
+    /// # Errors
+    /// Returns the validation message for an invalid configuration.
+    pub fn new(config: BaseConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(BaseBuilder { config })
+    }
+
+    /// The configuration this builder applies.
+    pub fn config(&self) -> &BaseConfig {
+        &self.config
+    }
+
+    /// Sequential construction.
+    pub fn build(&self, dataset: &Dataset) -> (OnexBase, BuildReport) {
+        let start = Instant::now();
+        let space = SubsequenceSpace::new(dataset, &self.config);
+        let mut per_length = BTreeMap::new();
+        for len in space.lengths() {
+            per_length.insert(len, self.build_length(dataset, &space, len));
+        }
+        self.finish(dataset, per_length, start)
+    }
+
+    /// Length-parallel construction over `threads` workers. Lengths are
+    /// independent, so the result is identical to [`Self::build`]
+    /// regardless of the thread count.
+    pub fn build_parallel(&self, dataset: &Dataset, threads: usize) -> (OnexBase, BuildReport) {
+        let start = Instant::now();
+        let space = SubsequenceSpace::new(dataset, &self.config);
+        let lengths = space.lengths();
+        let threads = threads.clamp(1, lengths.len().max(1));
+        if threads <= 1 {
+            let mut per_length = BTreeMap::new();
+            for len in lengths {
+                per_length.insert(len, self.build_length(dataset, &space, len));
+            }
+            return self.finish(dataset, per_length, start);
+        }
+        // Interleave lengths across workers so long lengths (slower rows)
+        // spread out; each worker returns its (len, groups) pairs.
+        let mut per_length = BTreeMap::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let my_lengths: Vec<usize> =
+                    lengths.iter().copied().skip(t).step_by(threads).collect();
+                let space = &space;
+                handles.push(scope.spawn(move |_| {
+                    my_lengths
+                        .into_iter()
+                        .map(|len| (len, self.build_length(dataset, space, len)))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                for (len, groups) in h.join().expect("builder worker panicked") {
+                    per_length.insert(len, groups);
+                }
+            }
+        })
+        .expect("builder scope panicked");
+        self.finish(dataset, per_length, start)
+    }
+
+    /// Extend an existing base with the series appended to `dataset`
+    /// since the base was built (incremental data loading: the demo adds
+    /// collections "with a click of a button" without rebuilding what is
+    /// already indexed).
+    ///
+    /// The new subsequences run through the same online admission rule,
+    /// so all base invariants continue to hold; the result can differ
+    /// from a from-scratch rebuild (online grouping is order-dependent),
+    /// exactly as a demo session's base depends on its loading order.
+    ///
+    /// # Errors
+    /// Fails when the base was built under a different configuration or
+    /// the dataset has fewer series than the base has seen.
+    pub fn extend(
+        &self,
+        base: OnexBase,
+        dataset: &Dataset,
+    ) -> Result<(OnexBase, BuildReport), String> {
+        if base.config() != &self.config {
+            return Err("base was built under a different configuration".into());
+        }
+        let start = Instant::now();
+        let (config, mut per_length, seen) = base.into_parts();
+        if dataset.len() < seen {
+            return Err(format!(
+                "dataset has {} series but the base has already indexed {}",
+                dataset.len(),
+                seen
+            ));
+        }
+        let centroid = self.config.policy == RepresentativePolicy::Centroid;
+        for sid in seen..dataset.len() {
+            let series = dataset.series(sid as u32).expect("sid in range");
+            let n = series.len();
+            let max_len = self.config.max_len.min(n);
+            for len in self.config.min_len..=max_len {
+                let groups = per_length.entry(len).or_default();
+                let admission = self.config.admission_radius(len);
+                let admission_sq = admission * admission;
+                let mut offset = 0usize;
+                while offset + len <= n {
+                    let r = onex_tseries::SubseqRef::new(sid as u32, offset as u32, len as u32);
+                    let xs = series.subsequence(offset, len).expect("in bounds");
+                    Self::assign_one(groups, r, xs, admission_sq, centroid);
+                    offset += self.config.stride;
+                }
+            }
+        }
+        let new_base = OnexBase::from_parts(config, per_length, dataset.len());
+        let stats = new_base.stats();
+        let report = BuildReport {
+            elapsed: start.elapsed(),
+            lengths: stats.per_length.len(),
+            subsequences: stats.members,
+            groups: stats.groups,
+        };
+        Ok((new_base, report))
+    }
+
+    /// Online assignment for one length: each subsequence joins the
+    /// nearest group whose representative is within the admission radius,
+    /// else seeds a new group. Early-abandoning ED keeps the scan cheap:
+    /// the abandonment bound tightens to the best group seen so far.
+    fn build_length(
+        &self,
+        dataset: &Dataset,
+        space: &SubsequenceSpace,
+        len: usize,
+    ) -> Vec<SimilarityGroup> {
+        let admission = self.config.admission_radius(len);
+        let admission_sq = admission * admission;
+        let centroid = self.config.policy == RepresentativePolicy::Centroid;
+        let mut groups: Vec<SimilarityGroup> = Vec::new();
+        for r in space.refs_for_len(len) {
+            let xs = dataset.resolve(r).expect("space references are in bounds");
+            Self::assign_one(&mut groups, r, xs, admission_sq, centroid);
+        }
+        groups
+    }
+
+    /// The admission rule applied to one subsequence.
+    fn assign_one(
+        groups: &mut Vec<SimilarityGroup>,
+        r: onex_tseries::SubseqRef,
+        xs: &[f64],
+        admission_sq: f64,
+        centroid: bool,
+    ) {
+        let mut best: Option<(usize, f64)> = None;
+        let mut bound_sq = admission_sq;
+        for (gi, g) in groups.iter().enumerate() {
+            let d_sq = ed_early_abandon_sq(xs, g.representative(), bound_sq);
+            if d_sq.is_finite() && best.is_none_or(|(_, b)| d_sq < b) {
+                best = Some((gi, d_sq));
+                bound_sq = d_sq;
+            }
+        }
+        match best {
+            Some((gi, d_sq)) => groups[gi].admit(r, xs, d_sq.sqrt(), centroid),
+            None => groups.push(SimilarityGroup::seed(r, xs)),
+        }
+    }
+
+    fn finish(
+        &self,
+        dataset: &Dataset,
+        per_length: BTreeMap<usize, Vec<SimilarityGroup>>,
+        start: Instant,
+    ) -> (OnexBase, BuildReport) {
+        let base = OnexBase::from_parts(self.config.clone(), per_length, dataset.len());
+        let stats = base.stats();
+        let report = BuildReport {
+            elapsed: start.elapsed(),
+            lengths: stats.per_length.len(),
+            subsequences: stats.members,
+            groups: stats.groups,
+        };
+        (base, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onex_distance::ed;
+    use onex_tseries::TimeSeries;
+
+    fn tiny() -> Dataset {
+        Dataset::from_series(vec![
+            TimeSeries::new("flat", vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0]),
+            TimeSeries::new("near", vec![0.1, 0.1, 0.1, 0.1, 0.1, 0.1]),
+            TimeSeries::new("far", vec![9.0, 9.0, 9.0, 9.0, 9.0, 9.0]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn similar_series_share_groups_dissimilar_do_not() {
+        let cfg = BaseConfig::new(1.0, 4, 4); // admission radius 0.5·√4 = 1
+        let (base, report) = BaseBuilder::new(cfg).unwrap().build(&tiny());
+        // 3 windows per series of length 4 → 9 subsequences. flat/near are
+        // within 0.1·√4 = 0.2 in raw ED of each other, far is ~18 away.
+        assert_eq!(report.subsequences, 9);
+        assert_eq!(report.groups, 2, "flat+near merge, far isolates");
+        assert!(report.compaction() > 4.0);
+        let groups = base.groups_for_len(4);
+        let cardinalities: Vec<usize> = groups.iter().map(|g| g.cardinality()).collect();
+        assert!(cardinalities.contains(&6) && cardinalities.contains(&3));
+    }
+
+    #[test]
+    fn tiny_threshold_isolates_everything() {
+        let cfg = BaseConfig::new(1e-9, 4, 4);
+        let (_, report) = BaseBuilder::new(cfg).unwrap().build(&tiny());
+        // Identical windows (within one constant series) still merge at
+        // distance 0; distinct series values do not.
+        assert_eq!(report.groups, 3);
+    }
+
+    #[test]
+    fn huge_threshold_merges_everything() {
+        let cfg = BaseConfig::new(1e6, 4, 4);
+        let (_, report) = BaseBuilder::new(cfg).unwrap().build(&tiny());
+        assert_eq!(report.groups, 1);
+        assert_eq!(report.compaction(), 9.0);
+    }
+
+    #[test]
+    fn parallel_build_is_identical() {
+        let ds = onex_tseries::gen::random_walk_dataset(onex_tseries::gen::SyntheticConfig {
+            series: 8,
+            len: 40,
+            seed: 21,
+        });
+        let cfg = BaseConfig::new(0.8, 6, 20);
+        let builder = BaseBuilder::new(cfg).unwrap();
+        let (seq, _) = builder.build(&ds);
+        for threads in [1, 2, 3, 7, 32] {
+            let (par, _) = builder.build_parallel(&ds, threads);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn seed_policy_invariant_holds_exactly() {
+        let ds = onex_tseries::gen::random_walk_dataset(onex_tseries::gen::SyntheticConfig {
+            series: 6,
+            len: 30,
+            seed: 4,
+        });
+        let cfg = BaseConfig {
+            policy: RepresentativePolicy::Seed,
+            ..BaseConfig::new(1.0, 5, 12)
+        };
+        let (base, _) = BaseBuilder::new(cfg).unwrap().build(&ds);
+        for len in base.lengths() {
+            let admission = base.config().admission_radius(len);
+            for g in base.groups_for_len(len) {
+                for &m in g.members() {
+                    let xs = ds.resolve(m).unwrap();
+                    let d = ed(xs, g.representative());
+                    assert!(
+                        d <= admission + 1e-9,
+                        "member {m} at {d} > admission {admission}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_subsequence_lands_in_exactly_one_group() {
+        let ds = tiny();
+        let cfg = BaseConfig::new(0.5, 3, 5);
+        let (base, report) = BaseBuilder::new(cfg.clone()).unwrap().build(&ds);
+        let space = SubsequenceSpace::new(&ds, &cfg);
+        let mut seen = std::collections::HashSet::new();
+        for len in base.lengths() {
+            for g in base.groups_for_len(len) {
+                for &m in g.members() {
+                    assert!(seen.insert(m), "duplicate member {m}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), space.total());
+        assert_eq!(report.subsequences, space.total());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_config() {
+        assert!(BaseBuilder::new(BaseConfig::new(-1.0, 4, 8)).is_err());
+    }
+
+    #[test]
+    fn extend_indexes_only_the_new_series() {
+        let mut ds = tiny();
+        let cfg = BaseConfig::new(1.0, 4, 4);
+        let builder = BaseBuilder::new(cfg.clone()).unwrap();
+        let (base, before) = builder.build(&ds);
+        ds.push(TimeSeries::new("near2", vec![0.05; 6])).unwrap();
+        let (extended, after) = builder.extend(base, &ds).unwrap();
+        // 3 new windows of length 4, all near the flat/near group.
+        assert_eq!(after.subsequences, before.subsequences + 3);
+        assert_eq!(after.groups, before.groups, "new windows join existing groups");
+        assert_eq!(extended.source_series(), 4);
+        // The space partition still covers everything exactly once.
+        let space = SubsequenceSpace::new(&ds, &cfg);
+        let members: usize = extended
+            .groups_for_len(4)
+            .iter()
+            .map(|g| g.cardinality())
+            .sum();
+        assert_eq!(members, space.total());
+    }
+
+    #[test]
+    fn extend_creates_new_lengths_and_groups_when_needed() {
+        let mut ds = tiny();
+        let cfg = BaseConfig::new(1.0, 4, 10);
+        let builder = BaseBuilder::new(cfg).unwrap();
+        let (base, _) = builder.build(&ds);
+        assert!(base.groups_for_len(8).is_empty(), "no series long enough yet");
+        // A longer, very different series: new lengths and new groups.
+        ds.push(TimeSeries::new("long", (0..10).map(|i| i as f64 * 50.0).collect()))
+            .unwrap();
+        let (extended, _) = builder.extend(base, &ds).unwrap();
+        assert!(!extended.groups_for_len(8).is_empty());
+        assert!(!extended.groups_for_len(10).is_empty());
+        let audit = extended.audit(&ds);
+        assert_eq!(audit.unresolvable, 0);
+    }
+
+    #[test]
+    fn extend_preserves_seed_invariant() {
+        let mut ds = onex_tseries::gen::random_walk_dataset(onex_tseries::gen::SyntheticConfig {
+            series: 4,
+            len: 30,
+            seed: 61,
+        });
+        let cfg = BaseConfig {
+            policy: RepresentativePolicy::Seed,
+            ..BaseConfig::new(1.0, 5, 12)
+        };
+        let builder = BaseBuilder::new(cfg).unwrap();
+        let (base, _) = builder.build(&ds);
+        for extra in 0..3 {
+            ds.push(TimeSeries::new(
+                format!("extra-{extra}"),
+                onex_tseries::gen::random_walk(30, 1.0, 100 + extra),
+            ))
+            .unwrap();
+        }
+        let (extended, _) = builder.extend(base, &ds).unwrap();
+        let audit = extended.audit(&ds);
+        assert_eq!(audit.violations, 0, "{audit:?}");
+        assert_eq!(extended.source_series(), 7);
+    }
+
+    #[test]
+    fn extend_rejects_mismatches() {
+        let ds = tiny();
+        let builder_a = BaseBuilder::new(BaseConfig::new(1.0, 4, 4)).unwrap();
+        let builder_b = BaseBuilder::new(BaseConfig::new(2.0, 4, 4)).unwrap();
+        let (base, _) = builder_a.build(&ds);
+        assert!(builder_b.extend(base.clone(), &ds).is_err(), "config mismatch");
+        let smaller = Dataset::new();
+        assert!(builder_a.extend(base, &smaller).is_err(), "shrunk dataset");
+    }
+
+    #[test]
+    fn extend_with_no_new_series_is_identity() {
+        let ds = tiny();
+        let builder = BaseBuilder::new(BaseConfig::new(1.0, 4, 4)).unwrap();
+        let (base, _) = builder.build(&ds);
+        let (extended, _) = builder.extend(base.clone(), &ds).unwrap();
+        assert_eq!(extended, base);
+    }
+}

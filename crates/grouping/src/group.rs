@@ -1,0 +1,174 @@
+use onex_tseries::stats::Welford;
+use onex_tseries::SubseqRef;
+
+/// Identifier of a group inside an [`crate::OnexBase`]: the subsequence
+/// length plus the group's index within that length's group list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupId {
+    /// Subsequence length of every member.
+    pub len: u32,
+    /// Index within the per-length group vector.
+    pub index: u32,
+}
+
+impl std::fmt::Display for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{}@{}", self.index, self.len)
+    }
+}
+
+/// One ONEX similarity group: same-length subsequences that passed the
+/// `ST/2` Euclidean admission test against the representative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityGroup {
+    representative: Vec<f64>,
+    members: Vec<SubseqRef>,
+    /// Largest admission distance observed — a certified radius under the
+    /// `Seed` policy, an estimate under `Centroid`.
+    max_insert_dist: f64,
+    /// Spread of admission distances (for overview colouring and
+    /// threshold recommendation diagnostics).
+    spread: Welford,
+}
+
+impl SimilarityGroup {
+    /// Seed a new group from its first member.
+    pub fn seed(first: SubseqRef, values: &[f64]) -> Self {
+        let mut spread = Welford::new();
+        spread.push(0.0);
+        SimilarityGroup {
+            representative: values.to_vec(),
+            members: vec![first],
+            max_insert_dist: 0.0,
+            spread,
+        }
+    }
+
+    /// Admit a member that passed the admission test at distance `dist`.
+    /// When `centroid` is true the representative is updated to remain the
+    /// running mean of all members.
+    pub fn admit(&mut self, member: SubseqRef, values: &[f64], dist: f64, centroid: bool) {
+        debug_assert_eq!(values.len(), self.representative.len());
+        self.members.push(member);
+        self.max_insert_dist = self.max_insert_dist.max(dist);
+        self.spread.push(dist);
+        if centroid {
+            let k = self.members.len() as f64;
+            for (r, &v) in self.representative.iter_mut().zip(values) {
+                *r += (v - *r) / k;
+            }
+        }
+    }
+
+    /// The group's representative sequence (centroid or frozen seed).
+    #[inline]
+    pub fn representative(&self) -> &[f64] {
+        &self.representative
+    }
+
+    /// Member references in admission order (the seed is first).
+    #[inline]
+    pub fn members(&self) -> &[SubseqRef] {
+        &self.members
+    }
+
+    /// Number of members (≥ 1 — groups are never empty).
+    #[inline]
+    pub fn cardinality(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Subsequence length of this group.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.representative.len()
+    }
+
+    /// Groups are never empty; provided for clippy-idiomatic pairing with
+    /// [`Self::len`], always false.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Largest admission distance observed (see field docs for caveats).
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.max_insert_dist
+    }
+
+    /// Mean admission distance — how tight the group is.
+    pub fn mean_insert_dist(&self) -> f64 {
+        self.spread.mean()
+    }
+
+    /// Reconstruct a group from persisted parts (see [`crate::persist`]).
+    pub(crate) fn from_parts(
+        representative: Vec<f64>,
+        members: Vec<SubseqRef>,
+        max_insert_dist: f64,
+    ) -> Self {
+        let mut spread = Welford::new();
+        // The full distance stream is not persisted; seed the spread with
+        // the radius so mean/std are defined (documented lossy field).
+        spread.push(max_insert_dist);
+        SimilarityGroup {
+            representative,
+            members,
+            max_insert_dist,
+            spread,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(start: u32) -> SubseqRef {
+        SubseqRef::new(0, start, 3)
+    }
+
+    #[test]
+    fn seed_starts_with_one_member() {
+        let g = SimilarityGroup::seed(r(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(g.cardinality(), 1);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.representative(), &[1.0, 2.0, 3.0]);
+        assert_eq!(g.radius(), 0.0);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn centroid_policy_tracks_running_mean() {
+        let mut g = SimilarityGroup::seed(r(0), &[0.0, 0.0]);
+        g.admit(r(1), &[2.0, 4.0], 1.0, true);
+        assert_eq!(g.representative(), &[1.0, 2.0]);
+        g.admit(r(2), &[4.0, 2.0], 1.5, true);
+        assert_eq!(g.representative(), &[2.0, 2.0]);
+        assert_eq!(g.cardinality(), 3);
+        assert_eq!(g.radius(), 1.5);
+    }
+
+    #[test]
+    fn seed_policy_freezes_representative() {
+        let mut g = SimilarityGroup::seed(r(0), &[0.0, 0.0]);
+        g.admit(r(1), &[2.0, 4.0], 1.0, false);
+        assert_eq!(g.representative(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn spread_statistics() {
+        let mut g = SimilarityGroup::seed(r(0), &[0.0]);
+        g.admit(r(1), &[1.0], 2.0, false);
+        g.admit(r(2), &[1.0], 4.0, false);
+        // Distances seen: 0 (seed), 2, 4.
+        assert!((g.mean_insert_dist() - 2.0).abs() < 1e-12);
+        assert_eq!(g.radius(), 4.0);
+    }
+
+    #[test]
+    fn group_id_display() {
+        let id = GroupId { len: 12, index: 3 };
+        assert_eq!(id.to_string(), "g3@12");
+    }
+}

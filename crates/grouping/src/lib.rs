@@ -1,0 +1,48 @@
+//! # onex-grouping — the ONEX base
+//!
+//! The paper's primary contribution (§3.1): *"We first group subsequences
+//! of the same length that are similar using the ubiquitous and
+//! inexpensive Euclidean Distance into so called 'ONEX similarity groups'.
+//! We then summarize these groups by their centroid […] Our construction
+//! methodology insures that these similarity groups contain sequences that
+//! are similar to each other within the similarity threshold ST, while
+//! each sequence is similar to the representative within half of the
+//! similarity threshold."*
+//!
+//! This crate implements exactly that:
+//!
+//! * [`SubsequenceSpace`] enumerates every subsequence of a dataset for a
+//!   configurable length range and stride — the space the base compacts.
+//! * [`SimilarityGroup`] is one group: a representative sequence, member
+//!   references, and spread statistics.
+//! * [`BaseBuilder`] constructs the base online: each subsequence joins the
+//!   nearest group of its length when the representative is within `ST/2`
+//!   (Euclidean), otherwise it seeds a new group. Sequential and
+//!   length-parallel (crossbeam) construction produce identical bases.
+//! * [`OnexBase`] is the finished index: groups per length, compaction
+//!   statistics, invariant auditing, and a versioned binary persistence
+//!   format ([`persist`]).
+//!
+//! The `ST/2` insert rule plus the Euclidean triangle inequality yield the
+//! paper's pairwise guarantee: two members of one group are within `ST` of
+//! each other. With the [`RepresentativePolicy::Seed`] policy this holds
+//! *exactly*; with the paper's centroid policy the representative drifts
+//! as it averages members, so the guarantee is approximate — the base can
+//! audit itself ([`OnexBase::audit`]) and experiment E9 measures the
+//! trade-off.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod base;
+mod builder;
+mod config;
+mod group;
+pub mod persist;
+mod space;
+
+pub use base::{AuditReport, BaseStats, LengthStats, OnexBase};
+pub use builder::{BaseBuilder, BuildReport};
+pub use config::{BaseConfig, RepresentativePolicy};
+pub use group::{GroupId, SimilarityGroup};
+pub use space::SubsequenceSpace;

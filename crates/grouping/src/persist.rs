@@ -1,0 +1,403 @@
+//! Versioned binary persistence for the ONEX base.
+//!
+//! The demo loads a dataset once ("with a click of a button") and explores
+//! it across many sessions, so the expensive construction result must be
+//! reusable. The format is deliberately simple: little-endian fixed-width
+//! fields, a magic/version header, and an FNV-1a checksum over the payload
+//! so truncation and corruption are detected rather than decoded into
+//! garbage.
+//!
+//! ```text
+//! magic  b"ONEXBASE"                        8 bytes
+//! version u32                               (currently 1)
+//! payload:
+//!   config: st f64, min/max_len u32, stride u32, policy u8, normalized u8
+//!   source_series u32
+//!   n_lengths u32
+//!   per length:
+//!     len u32, n_groups u32
+//!     per group:
+//!       representative: len × f64
+//!       radius f64
+//!       n_members u32, members: (series u32, start u32) …
+//! checksum u64 (FNV-1a over the payload bytes)
+//! ```
+//!
+//! The group spread statistics (mean insert distance) are intentionally
+//! not persisted — they are diagnostics, and [`SimilarityGroup`] documents
+//! the reconstruction as lossy for that field.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+use onex_tseries::SubseqRef;
+
+use crate::{BaseConfig, OnexBase, RepresentativePolicy, SimilarityGroup};
+
+const MAGIC: &[u8; 8] = b"ONEXBASE";
+const VERSION: u32 = 1;
+
+/// Errors from saving/loading a base.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The input is not an ONEX base file.
+    BadMagic,
+    /// The file uses a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// The checksum did not match — truncated or corrupted file.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum of the bytes actually read.
+        actual: u64,
+    },
+    /// Structurally invalid content (bad enum tag, absurd count, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not an ONEX base file (bad magic)"),
+            PersistError::UnsupportedVersion(v) => write!(f, "unsupported base version {v}"),
+            PersistError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: file says {expected:#018x}, content is {actual:#018x}"
+            ),
+            PersistError::Corrupt(msg) => write!(f, "corrupt base file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// FNV-1a, 64-bit.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| PersistError::Corrupt("unexpected end of payload".into()))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn f64(&mut self) -> Result<f64, PersistError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Serialise a base to a writer.
+pub fn save<W: Write>(base: &OnexBase, mut w: W) -> Result<(), PersistError> {
+    let mut enc = Enc::new();
+    let cfg = base.config();
+    enc.f64(cfg.st);
+    enc.u32(cfg.min_len as u32);
+    enc.u32(cfg.max_len as u32);
+    enc.u32(cfg.stride as u32);
+    enc.u8(match cfg.policy {
+        RepresentativePolicy::Centroid => 0,
+        RepresentativePolicy::Seed => 1,
+    });
+    enc.u8(cfg.length_normalized as u8);
+    enc.u32(base.source_series() as u32);
+
+    let lengths: Vec<usize> = base.lengths().collect();
+    enc.u32(lengths.len() as u32);
+    for len in lengths {
+        let groups = base.groups_for_len(len);
+        enc.u32(len as u32);
+        enc.u32(groups.len() as u32);
+        for g in groups {
+            debug_assert_eq!(g.representative().len(), len);
+            for &v in g.representative() {
+                enc.f64(v);
+            }
+            enc.f64(g.radius());
+            enc.u32(g.members().len() as u32);
+            for m in g.members() {
+                enc.u32(m.series);
+                enc.u32(m.start);
+            }
+        }
+    }
+
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&enc.buf)?;
+    w.write_all(&fnv1a(&enc.buf).to_le_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserialise a base from a reader.
+pub fn load<R: Read>(mut r: R) -> Result<OnexBase, PersistError> {
+    let mut all = Vec::new();
+    r.read_to_end(&mut all)?;
+    if all.len() < MAGIC.len() + 4 + 8 {
+        return Err(PersistError::Corrupt("file too short".into()));
+    }
+    if &all[..8] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u32::from_le_bytes(all[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let payload = &all[12..all.len() - 8];
+    let expected = u64::from_le_bytes(all[all.len() - 8..].try_into().expect("8 bytes"));
+    let actual = fnv1a(payload);
+    if expected != actual {
+        return Err(PersistError::ChecksumMismatch { expected, actual });
+    }
+
+    let mut dec = Dec::new(payload);
+    let st = dec.f64()?;
+    let min_len = dec.u32()? as usize;
+    let max_len = dec.u32()? as usize;
+    let stride = dec.u32()? as usize;
+    let policy = match dec.u8()? {
+        0 => RepresentativePolicy::Centroid,
+        1 => RepresentativePolicy::Seed,
+        other => {
+            return Err(PersistError::Corrupt(format!(
+                "unknown representative policy tag {other}"
+            )))
+        }
+    };
+    let length_normalized = match dec.u8()? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(PersistError::Corrupt(format!(
+                "bad boolean tag {other} for length_normalized"
+            )))
+        }
+    };
+    let config = BaseConfig {
+        st,
+        min_len,
+        max_len,
+        stride,
+        policy,
+        length_normalized,
+    };
+    config
+        .validate()
+        .map_err(|e| PersistError::Corrupt(format!("invalid config: {e}")))?;
+    let source_series = dec.u32()? as usize;
+
+    let n_lengths = dec.u32()? as usize;
+    let mut groups = BTreeMap::new();
+    for _ in 0..n_lengths {
+        let len = dec.u32()? as usize;
+        if len < 1 {
+            return Err(PersistError::Corrupt("zero group length".into()));
+        }
+        let n_groups = dec.u32()? as usize;
+        let mut gs = Vec::with_capacity(n_groups.min(1 << 20));
+        for _ in 0..n_groups {
+            let mut rep = Vec::with_capacity(len);
+            for _ in 0..len {
+                rep.push(dec.f64()?);
+            }
+            let radius = dec.f64()?;
+            let n_members = dec.u32()? as usize;
+            if n_members == 0 {
+                return Err(PersistError::Corrupt("empty group".into()));
+            }
+            let mut members = Vec::with_capacity(n_members.min(1 << 20));
+            for _ in 0..n_members {
+                let series = dec.u32()?;
+                let start = dec.u32()?;
+                members.push(SubseqRef::new(series, start, len as u32));
+            }
+            gs.push(SimilarityGroup::from_parts(rep, members, radius));
+        }
+        if groups.insert(len, gs).is_some() {
+            return Err(PersistError::Corrupt(format!("duplicate length {len}")));
+        }
+    }
+    if !dec.done() {
+        return Err(PersistError::Corrupt("trailing bytes in payload".into()));
+    }
+    Ok(OnexBase::from_parts(config, groups, source_series))
+}
+
+/// Save to a file path.
+pub fn save_file(base: &OnexBase, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let f = std::fs::File::create(path)?;
+    save(base, std::io::BufWriter::new(f))
+}
+
+/// Load from a file path.
+pub fn load_file(path: impl AsRef<Path>) -> Result<OnexBase, PersistError> {
+    let f = std::fs::File::open(path)?;
+    load(std::io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BaseBuilder;
+    use onex_tseries::gen::{random_walk_dataset, SyntheticConfig};
+
+    fn sample_base() -> OnexBase {
+        let ds = random_walk_dataset(SyntheticConfig {
+            series: 5,
+            len: 30,
+            seed: 13,
+        });
+        let (b, _) = BaseBuilder::new(BaseConfig::new(1.0, 5, 12))
+            .unwrap()
+            .build(&ds);
+        b
+    }
+
+    fn to_bytes(b: &OnexBase) -> Vec<u8> {
+        let mut out = Vec::new();
+        save(b, &mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let base = sample_base();
+        let bytes = to_bytes(&base);
+        let back = load(bytes.as_slice()).unwrap();
+        assert_eq!(back.config(), base.config());
+        assert_eq!(back.source_series(), base.source_series());
+        assert_eq!(back.stats(), base.stats());
+        for (id, g) in base.iter() {
+            let g2 = back.group(id).unwrap();
+            assert_eq!(g2.representative(), g.representative());
+            assert_eq!(g2.members(), g.members());
+            assert_eq!(g2.radius(), g.radius());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = to_bytes(&sample_base());
+        bytes[0] = b'X';
+        assert!(matches!(
+            load(bytes.as_slice()),
+            Err(PersistError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut bytes = to_bytes(&sample_base());
+        bytes[8] = 99;
+        assert!(matches!(
+            load(bytes.as_slice()),
+            Err(PersistError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn detects_corruption_and_truncation() {
+        let bytes = to_bytes(&sample_base());
+        // Flip one payload byte.
+        let mut corrupted = bytes.clone();
+        let mid = corrupted.len() / 2;
+        corrupted[mid] ^= 0xFF;
+        assert!(matches!(
+            load(corrupted.as_slice()),
+            Err(PersistError::ChecksumMismatch { .. })
+        ));
+        // Truncate.
+        let truncated = &bytes[..bytes.len() - 9];
+        assert!(load(truncated).is_err());
+        // Empty.
+        assert!(load(&[][..]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("onex_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("base.onex");
+        let base = sample_base();
+        save_file(&base, &path).unwrap();
+        let back = load_file(&path).unwrap();
+        assert_eq!(back.stats(), base.stats());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PersistError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("checksum"));
+        assert!(PersistError::BadMagic.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the ONEX base construction invariants.
+
+use onex_distance::ed;
+use onex_grouping::{BaseBuilder, BaseConfig, RepresentativePolicy, SubsequenceSpace};
+use onex_tseries::{Dataset, TimeSeries};
+use proptest::prelude::*;
+
+fn small_dataset() -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        prop::collection::vec(-10.0f64..10.0, 6..20),
+        1..6,
+    )
+    .prop_map(|series| {
+        Dataset::from_series(
+            series
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| TimeSeries::new(format!("s{i}"), v))
+                .collect(),
+        )
+        .expect("unique names")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every subsequence of the space is a member of exactly one group.
+    #[test]
+    fn partition_property(ds in small_dataset(), st in 0.1f64..5.0) {
+        let cfg = BaseConfig::new(st, 3, 8);
+        let (base, _) = BaseBuilder::new(cfg.clone()).unwrap().build(&ds);
+        let space = SubsequenceSpace::new(&ds, &cfg);
+        let mut seen = std::collections::HashSet::new();
+        for len in base.lengths() {
+            for g in base.groups_for_len(len) {
+                prop_assert!(g.cardinality() >= 1);
+                for &m in g.members() {
+                    prop_assert_eq!(m.len as usize, len);
+                    prop_assert!(seen.insert(m), "subsequence in two groups");
+                }
+            }
+        }
+        prop_assert_eq!(seen.len(), space.total());
+    }
+
+    /// Under the Seed policy the ST/2 invariant is exact, which by the
+    /// Euclidean triangle inequality makes any two members of one group
+    /// at most ST apart.
+    #[test]
+    fn seed_policy_pairwise_guarantee(ds in small_dataset(), st in 0.2f64..4.0) {
+        let cfg = BaseConfig {
+            policy: RepresentativePolicy::Seed,
+            ..BaseConfig::new(st, 3, 6)
+        };
+        let (base, _) = BaseBuilder::new(cfg).unwrap().build(&ds);
+        prop_assert_eq!(base.audit(&ds).violations, 0);
+        for len in base.lengths() {
+            let pairwise = base.config().pairwise_threshold(len);
+            for g in base.groups_for_len(len) {
+                // All-pairs check on a sample (first vs all) is implied by
+                // the invariant; verify the full guarantee on small groups.
+                if g.cardinality() <= 6 {
+                    let vals: Vec<&[f64]> = g
+                        .members()
+                        .iter()
+                        .map(|&m| ds.resolve(m).unwrap())
+                        .collect();
+                    for i in 0..vals.len() {
+                        for j in i + 1..vals.len() {
+                            prop_assert!(
+                                ed(vals[i], vals[j]) <= pairwise + 1e-9,
+                                "pairwise ST violated"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parallel construction is bit-identical to sequential.
+    #[test]
+    fn parallel_equals_sequential(ds in small_dataset(), st in 0.2f64..4.0, threads in 2usize..6) {
+        let cfg = BaseConfig::new(st, 3, 8);
+        let builder = BaseBuilder::new(cfg).unwrap();
+        let (a, _) = builder.build(&ds);
+        let (b, _) = builder.build_parallel(&ds, threads);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A larger threshold never produces more groups (coarser quantisation).
+    #[test]
+    fn group_count_monotone_in_st(ds in small_dataset()) {
+        let mut last = usize::MAX;
+        for st in [0.1, 0.5, 2.0, 8.0] {
+            let cfg = BaseConfig::new(st, 4, 6);
+            let (_, report) = BaseBuilder::new(cfg).unwrap().build(&ds);
+            prop_assert!(report.groups <= last, "st={st}: {} > {last}", report.groups);
+            last = report.groups;
+        }
+    }
+
+    /// Persistence round-trips every base exactly.
+    #[test]
+    fn persist_round_trip(ds in small_dataset(), st in 0.2f64..4.0) {
+        let cfg = BaseConfig::new(st, 3, 7);
+        let (base, _) = BaseBuilder::new(cfg).unwrap().build(&ds);
+        let mut bytes = Vec::new();
+        onex_grouping::persist::save(&base, &mut bytes).unwrap();
+        let back = onex_grouping::persist::load(bytes.as_slice()).unwrap();
+        prop_assert_eq!(back.stats(), base.stats());
+        prop_assert_eq!(back.config(), base.config());
+        for (id, g) in base.iter() {
+            let g2 = back.group(id).unwrap();
+            prop_assert_eq!(g2.representative(), g.representative());
+            prop_assert_eq!(g2.members(), g.members());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Incremental extension over a split dataset builds the same base as
+    /// one batch build over the whole dataset — the demo's click-to-load
+    /// path must not change what gets indexed.
+    #[test]
+    fn extend_equals_batch_build(ds in small_dataset(), st in 0.3f64..4.0) {
+        let cfg = BaseConfig {
+            policy: RepresentativePolicy::Seed,
+            ..BaseConfig::new(st, 4, 8)
+        };
+        let builder = BaseBuilder::new(cfg).unwrap();
+        let (batch, _) = builder.build(&ds);
+
+        // Rebuild: first series only, then extend with the rest.
+        let first = Dataset::from_series(vec![
+            ds.series(0).unwrap().clone()
+        ]).unwrap();
+        let (partial, _) = builder.build(&first);
+        let (extended, _) = builder.extend(partial, &ds).unwrap();
+
+        let (bs, es) = (batch.stats(), extended.stats());
+        prop_assert_eq!(bs.subsequences, es.subsequences);
+        prop_assert_eq!(bs.groups, es.groups);
+        for (id, g) in batch.iter() {
+            let g2 = extended.group(id).expect("same group ids");
+            prop_assert_eq!(g.members(), g2.members(), "group {:?}", id);
+            prop_assert_eq!(g.representative(), g2.representative());
+        }
+    }
+
+    /// Extension refuses configuration mismatches and shrunk datasets
+    /// instead of silently corrupting the base.
+    #[test]
+    fn extend_rejects_mismatches(ds in small_dataset(), st in 0.3f64..3.0) {
+        let cfg = BaseConfig::new(st, 4, 8);
+        let builder = BaseBuilder::new(cfg).unwrap();
+        let (base, _) = builder.build(&ds);
+        let other = BaseBuilder::new(BaseConfig::new(st + 1.0, 4, 8)).unwrap();
+        prop_assert!(other.extend(base.clone(), &ds).is_err());
+        if ds.len() > 1 {
+            let shrunk = Dataset::from_series(vec![ds.series(0).unwrap().clone()]).unwrap();
+            prop_assert!(builder.extend(base, &shrunk).is_err());
+        }
+    }
+}

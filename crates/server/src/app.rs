@@ -1,0 +1,507 @@
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use onex_core::{LengthSelection, Onex, QueryOptions, SeasonalOptions};
+use onex_viz::{MultiLineChart, OverviewPane, QueryPreview, RadialChart, ConnectedScatter, SeasonalView};
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+
+/// The ONEX demo application: routes requests to the engine.
+#[derive(Clone)]
+pub struct App {
+    engine: Arc<Onex>,
+}
+
+impl App {
+    /// Wrap an engine.
+    pub fn new(engine: Arc<Onex>) -> App {
+        App { engine }
+    }
+
+    /// Dispatch one request — pure (no I/O), hence directly testable.
+    pub fn handle(&self, req: &Request) -> Response {
+        if req.method != "GET" {
+            return Response::error(405, "only GET is served");
+        }
+        match req.path.as_str() {
+            "/" => self.index(),
+            "/api/summary" => self.summary(),
+            "/api/series" => self.series_list(),
+            "/api/match" => self.match_api(req),
+            "/api/seasonal" => self.seasonal_api(req),
+            "/api/threshold" => self.threshold_api(req),
+            "/api/monitor" => self.monitor_api(req),
+            "/view/overview.svg" => self.overview_svg(req),
+            "/view/preview.svg" => self.preview_svg(req),
+            "/view/match.svg" => self.match_svg(req),
+            "/view/radial.svg" => self.pair_svg(req, PairView::Radial),
+            "/view/scatter.svg" => self.pair_svg(req, PairView::Scatter),
+            "/view/seasonal.svg" => self.seasonal_svg(req),
+            _ => Response::error(404, "no such route; see / for the index"),
+        }
+    }
+
+    /// Serve forever on an already-bound listener (one thread per
+    /// connection; the engine is `&self`-threaded).
+    pub fn serve(self, listener: TcpListener) -> std::io::Result<()> {
+        for stream in listener.incoming() {
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let app = self.clone();
+            std::thread::spawn(move || {
+                let peer = stream.try_clone();
+                let response = match Request::parse(&stream) {
+                    Ok(req) => app.handle(&req),
+                    Err(e) => Response::error(400, &e.to_string()),
+                };
+                if let Ok(out) = peer {
+                    let _ = response.write_to(out);
+                }
+            });
+        }
+        Ok(())
+    }
+
+    // ---- helpers -------------------------------------------------------
+
+    fn query_window(&self, req: &Request) -> Result<(String, usize, usize, Vec<f64>), Response> {
+        let series = req
+            .param("series")
+            .ok_or_else(|| Response::error(400, "missing ?series="))?
+            .to_owned();
+        let s = self
+            .engine
+            .dataset()
+            .by_name(&series)
+            .ok_or_else(|| Response::error(404, "unknown series"))?;
+        let start: usize = req.param_as("start").unwrap_or(0);
+        let len: usize = req.param_as("len").unwrap_or_else(|| s.len().min(8));
+        let window = s
+            .subsequence(start, len)
+            .ok_or_else(|| Response::error(400, "window out of bounds"))?;
+        Ok((series, start, len, window.to_vec()))
+    }
+
+    fn best_matches(
+        &self,
+        req: &Request,
+        query: &[f64],
+        series: &str,
+        k: usize,
+    ) -> Vec<onex_core::Match> {
+        let mut opts = QueryOptions::default().lengths(LengthSelection::Nearest(3));
+        if req.param("include_self") != Some("true") {
+            opts = opts.excluding_series(self.engine.dataset().id_of(series));
+        }
+        let (matches, _) = self.engine.k_best(query, k.max(1), &opts);
+        matches
+    }
+
+    // ---- routes --------------------------------------------------------
+
+    fn index(&self) -> Response {
+        let example = self
+            .engine
+            .dataset()
+            .series(0)
+            .map(|s| s.name().to_owned())
+            .unwrap_or_default();
+        let body = format!(
+            "<!doctype html><html><head><title>ONEX</title></head><body>\
+             <h1>ONEX — Online Exploration of Time Series</h1>\
+             <p>{} loaded. Try:</p><ul>\
+             <li><a href=\"/api/summary\">/api/summary</a></li>\
+             <li><a href=\"/api/series\">/api/series</a></li>\
+             <li><a href=\"/api/match?series={e}&amp;start=0&amp;len=8\">/api/match?series={e}</a></li>\
+             <li><a href=\"/api/monitor?series={e}&amp;start=0&amp;len=8&amp;target={e}&amp;eps=1\">/api/monitor?series={e}&amp;target=…</a></li>\
+             <li><a href=\"/view/overview.svg\">/view/overview.svg</a></li>\
+             <li><a href=\"/view/match.svg?series={e}&amp;start=0&amp;len=8\">/view/match.svg?series={e}</a></li>\
+             <li><a href=\"/view/seasonal.svg?series={e}\">/view/seasonal.svg?series={e}</a></li>\
+             </ul></body></html>",
+            self.engine.dataset().summary(),
+            e = example
+        );
+        Response::html(body)
+    }
+
+    fn summary(&self) -> Response {
+        let stats = self.engine.base().stats();
+        let per_length: Vec<Json> = stats
+            .per_length
+            .iter()
+            .map(|l| {
+                Json::obj(vec![
+                    ("len", l.len.into()),
+                    ("groups", l.groups.into()),
+                    ("subsequences", l.subsequences.into()),
+                    ("max_cardinality", l.max_cardinality.into()),
+                ])
+            })
+            .collect();
+        let body = Json::obj(vec![
+            ("series", self.engine.dataset().len().into()),
+            ("samples", self.engine.dataset().total_samples().into()),
+            ("groups", stats.groups.into()),
+            ("members", stats.members.into()),
+            ("compaction", stats.compaction.into()),
+            ("per_length", Json::Arr(per_length)),
+        ]);
+        Response::json(body.render())
+    }
+
+    fn series_list(&self) -> Response {
+        let names: Vec<Json> = self
+            .engine
+            .dataset()
+            .iter()
+            .map(|(_, s)| {
+                Json::obj(vec![
+                    ("name", Json::s(s.name())),
+                    ("len", s.len().into()),
+                    ("axis_start", s.axis().start.into()),
+                    ("axis_step", s.axis().step.into()),
+                ])
+            })
+            .collect();
+        Response::json(Json::Arr(names).render())
+    }
+
+    fn match_api(&self, req: &Request) -> Response {
+        let (series, _, _, query) = match self.query_window(req) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let k = req.param_as("k").unwrap_or(5);
+        let matches = self.best_matches(req, &query, &series, k);
+        let items: Vec<Json> = matches
+            .iter()
+            .map(|m| {
+                Json::obj(vec![
+                    ("series", Json::s(&m.series_name)),
+                    ("start", (m.subseq.start as usize).into()),
+                    ("len", (m.subseq.len as usize).into()),
+                    ("dtw", m.distance.into()),
+                    ("normalized", m.normalized.into()),
+                    ("group", Json::s(m.group.to_string())),
+                ])
+            })
+            .collect();
+        Response::json(Json::Arr(items).render())
+    }
+
+    fn seasonal_api(&self, req: &Request) -> Response {
+        let Some(series) = req.param("series") else {
+            return Response::error(400, "missing ?series=");
+        };
+        let opts = SeasonalOptions {
+            min_occurrences: req.param_as("min_occurrences").unwrap_or(2),
+            max_patterns: req.param_as("max_patterns").unwrap_or(8),
+            ..SeasonalOptions::default()
+        };
+        match self.engine.seasonal(series, &opts) {
+            Ok(patterns) => {
+                let items: Vec<Json> = patterns
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("len", p.len.into()),
+                            ("count", p.count().into()),
+                            ("tightness", p.tightness.into()),
+                            (
+                                "occurrences",
+                                Json::Arr(
+                                    p.occurrences
+                                        .iter()
+                                        .map(|o| (o.start as usize).into())
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Response::json(Json::Arr(items).render())
+            }
+            Err(_) => Response::error(404, "unknown series"),
+        }
+    }
+
+    fn threshold_api(&self, req: &Request) -> Response {
+        let len = req.param_as("len").unwrap_or(8);
+        match self.engine.recommend_threshold(len, 8000, 7) {
+            Some(rec) => {
+                let ladder: Vec<Json> = rec
+                    .ladder
+                    .iter()
+                    .map(|&(q, t)| Json::obj(vec![("quantile", q.into()), ("st", t.into())]))
+                    .collect();
+                Response::json(
+                    Json::obj(vec![
+                        ("len", len.into()),
+                        ("suggested", rec.suggested.into()),
+                        ("pairs_sampled", rec.pairs_sampled.into()),
+                        ("ladder", Json::Arr(ladder)),
+                    ])
+                    .render(),
+                )
+            }
+            None => Response::error(400, "not enough data at that length"),
+        }
+    }
+
+    /// SPRING stream monitoring (paper reference [7]) over a stored
+    /// series: all disjoint subsequences of `target` within `eps` of the
+    /// query window, exactly as a live monitor would have reported them.
+    fn monitor_api(&self, req: &Request) -> Response {
+        let (_, _, _, pattern) = match self.query_window(req) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let Some(target) = req.param("target") else {
+            return Response::error(400, "missing ?target= (series to monitor)");
+        };
+        let Some(t) = self.engine.dataset().by_name(target) else {
+            return Response::error(404, "unknown target series");
+        };
+        let eps: f64 = req.param_as("eps").unwrap_or(1.0);
+        let Some(hits) = onex_spring::spring_search(t.values(), &pattern, eps) else {
+            return Response::error(400, "invalid pattern or threshold");
+        };
+        let items: Vec<Json> = hits
+            .iter()
+            .map(|h| {
+                Json::obj(vec![
+                    ("start", h.start.into()),
+                    ("end", h.end.into()),
+                    ("dtw", h.dist.into()),
+                ])
+            })
+            .collect();
+        Response::json(
+            Json::obj(vec![
+                ("target", Json::s(target)),
+                ("eps", eps.into()),
+                ("matches", Json::Arr(items)),
+            ])
+            .render(),
+        )
+    }
+
+    fn overview_svg(&self, req: &Request) -> Response {
+        let len = req
+            .param_as("len")
+            .or_else(|| self.engine.base().lengths().next())
+            .unwrap_or(8);
+        let pane = OverviewPane::from_base(self.engine.base(), len, 24);
+        Response::svg(pane.render())
+    }
+
+    fn preview_svg(&self, req: &Request) -> Response {
+        let (series, start, len, _) = match self.query_window(req) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let s = self.engine.dataset().by_name(&series).expect("validated");
+        Response::svg(QueryPreview::for_series(560, s).brush(start, len).render())
+    }
+
+    fn match_svg(&self, req: &Request) -> Response {
+        let (series, _, _, query) = match self.query_window(req) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        match self.best_matches(req, &query, &series, 1).first() {
+            Some(best) => Response::svg(
+                MultiLineChart::for_match(&query, best, self.engine.dataset()).render(),
+            ),
+            None => Response::error(404, "no match found"),
+        }
+    }
+
+    fn pair_svg(&self, req: &Request, view: PairView) -> Response {
+        let (series, _, _, query) = match self.query_window(req) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let Some(best) = self.best_matches(req, &query, &series, 1).into_iter().next() else {
+            return Response::error(404, "no match found");
+        };
+        let matched = self
+            .engine
+            .dataset()
+            .resolve(best.subseq)
+            .expect("match resolves")
+            .to_vec();
+        let title = format!("{} vs {}", series, best.series_name);
+        let svg = match view {
+            PairView::Radial => RadialChart::new(420, title)
+                .add_series(&series, &query)
+                .add_series(&best.series_name, &matched)
+                .render(),
+            PairView::Scatter => ConnectedScatter::new(420, title, &query, &matched)
+                .with_path(&best.path)
+                .render(),
+        };
+        Response::svg(svg)
+    }
+
+    fn seasonal_svg(&self, req: &Request) -> Response {
+        let Some(series) = req.param("series") else {
+            return Response::error(400, "missing ?series=");
+        };
+        let Some(s) = self.engine.dataset().by_name(series) else {
+            return Response::error(404, "unknown series");
+        };
+        let patterns = self
+            .engine
+            .seasonal(series, &SeasonalOptions::default())
+            .expect("series validated");
+        let mut view = SeasonalView::new(900, format!("{series} — seasonal view"), s.values());
+        for p in patterns.iter().take(3) {
+            view = view.add_engine_pattern(p);
+        }
+        Response::svg(view.render())
+    }
+}
+
+enum PairView {
+    Radial,
+    Scatter,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onex_grouping::BaseConfig;
+    use onex_tseries::gen::{matters_collection, Indicator, MattersConfig};
+
+    fn app() -> App {
+        let ds = matters_collection(&MattersConfig {
+            indicators: vec![Indicator::GrowthRate],
+            ..MattersConfig::default()
+        });
+        let (engine, _) = Onex::build(ds, BaseConfig::new(1.0, 6, 10)).unwrap();
+        App::new(Arc::new(engine))
+    }
+
+    fn get(app: &App, target: &str) -> Response {
+        app.handle(&Request::get(target).unwrap())
+    }
+
+    #[test]
+    fn index_links_the_api() {
+        let r = get(&app(), "/");
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("/api/summary"));
+        assert!(body.contains("ONEX"));
+    }
+
+    #[test]
+    fn summary_reports_base_stats() {
+        let r = get(&app(), "/api/summary");
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"series\":50"), "{body}");
+        assert!(body.contains("\"per_length\":["));
+    }
+
+    #[test]
+    fn series_listing() {
+        let r = get(&app(), "/api/series");
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"MA-GrowthRate\""));
+        assert!(body.contains("\"axis_start\":2001"));
+    }
+
+    #[test]
+    fn match_api_excludes_self_by_default() {
+        let a = app();
+        let r = get(&a, "/api/match?series=MA-GrowthRate&start=4&len=8&k=3");
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(!body.contains("\"MA-GrowthRate\""), "{body}");
+        assert_eq!(body.matches("\"dtw\":").count(), 3);
+        // include_self=true lets the own window win.
+        let r2 = get(&a, "/api/match?series=MA-GrowthRate&start=4&len=8&k=1&include_self=true");
+        let body2 = String::from_utf8(r2.body).unwrap();
+        assert!(body2.contains("\"MA-GrowthRate\""));
+        assert!(body2.contains("\"dtw\":0"));
+    }
+
+    #[test]
+    fn monitor_api_reports_disjoint_matches() {
+        let a = app();
+        // Monitor a series for its own opening window: the verbatim
+        // occurrence must be reported at distance ~0.
+        let r = get(
+            &a,
+            "/api/monitor?series=MA-GrowthRate&start=0&len=6&target=MA-GrowthRate&eps=0.001",
+        );
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"target\":\"MA-GrowthRate\""), "{body}");
+        assert!(body.contains("\"start\":0"), "{body}");
+        // Missing/unknown target are 4xx, not panics.
+        assert_eq!(
+            get(&a, "/api/monitor?series=MA-GrowthRate&start=0&len=6").status,
+            400
+        );
+        assert_eq!(
+            get(&a, "/api/monitor?series=MA-GrowthRate&start=0&len=6&target=Nope").status,
+            404
+        );
+    }
+
+    #[test]
+    fn bad_requests_get_4xx() {
+        let a = app();
+        assert_eq!(get(&a, "/api/match").status, 400);
+        assert_eq!(get(&a, "/api/match?series=Nowhere").status, 404);
+        assert_eq!(get(&a, "/api/match?series=MA-GrowthRate&start=99&len=8").status, 400);
+        assert_eq!(get(&a, "/nope").status, 404);
+        let mut post = Request::get("/").unwrap();
+        post.method = "POST".into();
+        assert_eq!(a.handle(&post).status, 405);
+    }
+
+    #[test]
+    fn svg_views_render() {
+        let a = app();
+        for target in [
+            "/view/overview.svg",
+            "/view/overview.svg?len=8",
+            "/view/preview.svg?series=MA-GrowthRate&start=6&len=8",
+            "/view/match.svg?series=MA-GrowthRate&start=6&len=8",
+            "/view/radial.svg?series=MA-GrowthRate&start=6&len=8",
+            "/view/scatter.svg?series=MA-GrowthRate&start=6&len=8",
+            "/view/seasonal.svg?series=MA-GrowthRate",
+        ] {
+            let r = get(&a, target);
+            assert_eq!(r.status, 200, "{target}");
+            assert_eq!(r.content_type, "image/svg+xml");
+            let body = String::from_utf8(r.body).unwrap();
+            assert!(body.starts_with("<svg"), "{target}");
+        }
+    }
+
+    #[test]
+    fn threshold_api() {
+        let r = get(&app(), "/api/threshold?len=8");
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"suggested\":"));
+        assert!(body.contains("\"ladder\":["));
+    }
+
+    #[test]
+    fn seasonal_api() {
+        let a = app();
+        let r = get(&a, "/api/seasonal?series=MA-GrowthRate");
+        assert_eq!(r.status, 200);
+        assert_eq!(get(&a, "/api/seasonal?series=zz").status, 404);
+        assert_eq!(get(&a, "/api/seasonal").status, 400);
+    }
+}

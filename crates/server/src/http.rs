@@ -1,0 +1,260 @@
+//! A minimal HTTP/1.1 subset: GET requests in, status + headers + body
+//! out. Enough for a localhost demo server; not a general web server.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// A parsed request: method, decoded path, and query parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method (only `GET` is served; others get 405).
+    pub method: String,
+    /// Percent-decoded path, e.g. `/api/match`.
+    pub path: String,
+    /// Percent-decoded query parameters in order-independent form.
+    pub query: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// Parse `"GET /path?a=1 HTTP/1.1"` plus headers from a reader.
+    /// Headers are consumed and discarded (the demo API needs none).
+    pub fn parse<R: Read>(stream: R) -> Result<Request, HttpError> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|_| HttpError::BadRequest("unreadable request line"))?;
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or(HttpError::BadRequest("missing method"))?
+            .to_owned();
+        let target = parts.next().ok_or(HttpError::BadRequest("missing path"))?;
+        let _version = parts.next().ok_or(HttpError::BadRequest("missing version"))?;
+        // Drain headers up to the blank line.
+        loop {
+            let mut h = String::new();
+            let n = reader
+                .read_line(&mut h)
+                .map_err(|_| HttpError::BadRequest("unreadable header"))?;
+            if n == 0 || h == "\r\n" || h == "\n" {
+                break;
+            }
+        }
+        let (path, query) = parse_target(target)?;
+        Ok(Request {
+            method,
+            path,
+            query,
+        })
+    }
+
+    /// Build a request directly (tests and the pure handler).
+    pub fn get(target: &str) -> Result<Request, HttpError> {
+        let (path, query) = parse_target(target)?;
+        Ok(Request {
+            method: "GET".into(),
+            path,
+            query,
+        })
+    }
+
+    /// Query parameter as string.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query.get(name).map(String::as_str)
+    }
+
+    /// Query parameter parsed to a type.
+    pub fn param_as<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.param(name).and_then(|v| v.parse().ok())
+    }
+}
+
+fn parse_target(target: &str) -> Result<(String, BTreeMap<String, String>), HttpError> {
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)?;
+    let mut query = BTreeMap::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.insert(percent_decode(k)?, percent_decode(v)?);
+        }
+    }
+    Ok((path, query))
+}
+
+/// Decode `%XX` escapes and `+` (as space, the form convention).
+pub fn percent_decode(s: &str) -> Result<String, HttpError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or(HttpError::BadRequest("truncated percent escape"))?;
+                let hv = std::str::from_utf8(hex)
+                    .ok()
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                    .ok_or(HttpError::BadRequest("invalid percent escape"))?;
+                out.push(hv);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| HttpError::BadRequest("non-utf8 after decoding"))
+}
+
+/// Protocol-level failure, mapped to 400 by the server loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HttpError(pub &'static str);
+
+impl HttpError {
+    #[allow(non_snake_case)]
+    fn BadRequest(msg: &'static str) -> Self {
+        HttpError(msg)
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad request: {}", self.0)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// An HTTP response ready for serialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Numeric status code.
+    pub status: u16,
+    /// MIME type of the body.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// 200 with an SVG body.
+    pub fn svg(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "image/svg+xml",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// 200 with an HTML body.
+    pub fn html(body: String) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/html; charset=utf-8",
+            body: body.into_bytes(),
+        }
+    }
+
+    /// An error response with a plain-text body.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: message.as_bytes().to_vec(),
+        }
+    }
+
+    /// Serialise to the wire.
+    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        };
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_request_line_and_query() {
+        let raw = b"GET /api/match?series=MA-GrowthRate&start=4&len=8 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = Request::parse(&raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/api/match");
+        assert_eq!(req.param("series"), Some("MA-GrowthRate"));
+        assert_eq!(req.param_as::<usize>("start"), Some(4));
+        assert_eq!(req.param_as::<usize>("missing"), None::<usize>);
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c").unwrap(), "a b c");
+        assert_eq!(percent_decode("100%25").unwrap(), "100%");
+        assert!(percent_decode("%zz").is_err());
+        assert!(percent_decode("%2").is_err());
+    }
+
+    #[test]
+    fn get_helper_equals_parse() {
+        let a = Request::get("/x?k=v").unwrap();
+        let b = Request::parse(&b"GET /x?k=v HTTP/1.1\r\n\r\n"[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(Request::parse(&b"\r\n"[..]).is_err());
+        assert!(Request::parse(&b"GET\r\n"[..]).is_err());
+        assert!(Request::parse(&b"GET /x\r\n"[..]).is_err());
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json("{\"ok\":true}".into()).write_to(&mut out).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("Content-Type: application/json\r\n"));
+        assert!(s.contains("Content-Length: 11\r\n"));
+        assert!(s.ends_with("{\"ok\":true}"));
+        let mut err = Vec::new();
+        Response::error(404, "nope").write_to(&mut err).unwrap();
+        assert!(String::from_utf8(err).unwrap().starts_with("HTTP/1.1 404 Not Found"));
+    }
+}

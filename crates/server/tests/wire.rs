@@ -1,0 +1,69 @@
+//! Over-the-wire test: a real TCP listener, a real client socket.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use onex_core::Onex;
+use onex_grouping::BaseConfig;
+use onex_server::App;
+use onex_tseries::gen::{matters_collection, Indicator, MattersConfig};
+
+fn fetch(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn serves_real_sockets() {
+    let ds = matters_collection(&MattersConfig {
+        indicators: vec![Indicator::GrowthRate],
+        ..MattersConfig::default()
+    });
+    let (engine, _) = Onex::build(ds, BaseConfig::new(1.0, 6, 10)).unwrap();
+    let app = App::new(Arc::new(engine));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let _ = app.serve(listener);
+    });
+
+    let (status, body) = fetch(addr, "/api/summary");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"series\":50"), "{body}");
+
+    let (status, body) = fetch(addr, "/api/match?series=MA-GrowthRate&start=4&len=8&k=2");
+    assert_eq!(status, 200);
+    assert_eq!(body.matches("\"dtw\":").count(), 2);
+
+    let (status, body) = fetch(addr, "/view/overview.svg");
+    assert_eq!(status, 200);
+    assert!(body.starts_with("<svg"));
+
+    let (status, _) = fetch(addr, "/definitely/not/here");
+    assert_eq!(status, 404);
+
+    // Concurrent clients.
+    let mut joins = Vec::new();
+    for _ in 0..4 {
+        joins.push(std::thread::spawn(move || {
+            let (status, _) = fetch(addr, "/api/series");
+            assert_eq!(status, 200);
+        }));
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+}

@@ -1,0 +1,475 @@
+//! The SPRING subsequence time-warping matrix and its streaming monitor.
+
+/// One reported stream subsequence matching the query under DTW.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpringMatch {
+    /// Index of the first stream point of the match (0-based).
+    pub start: usize,
+    /// Index of the last stream point of the match (0-based, inclusive).
+    pub end: usize,
+    /// DTW distance between the subsequence and the query (root scale).
+    pub dist: f64,
+}
+
+impl SpringMatch {
+    /// Number of stream points covered by the match.
+    pub fn len(&self) -> usize {
+        self.end - self.start + 1
+    }
+
+    /// Always false: a match covers at least one point.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether this match shares any stream position with `other`.
+    pub fn overlaps(&self, other: &SpringMatch) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+/// Work counters for a monitoring run, in units of matrix cells.
+///
+/// SPRING's selling point is that the per-point cost is exactly one STWM
+/// column (`m` cells) regardless of stream length — these counters let the
+/// benchmark harness verify that and compare against the quadratic
+/// re-scan baselines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpringStats {
+    /// Stream points consumed.
+    pub points: usize,
+    /// STWM cells updated (always `points * m`).
+    pub cells: usize,
+    /// Matches reported.
+    pub matches: usize,
+}
+
+/// Streaming monitor reporting disjoint optimal DTW subsequence matches.
+///
+/// Feed points with [`push`](SpringMonitor::push); each call performs O(m)
+/// work and returns at most one newly confirmed match. Call
+/// [`finish`](SpringMonitor::finish) when the stream ends to flush a
+/// still-pending candidate.
+///
+/// ## Reported distances
+///
+/// Each reported distance is the cost of a concrete admissible warping
+/// path over the reported range, so it never undercuts the true DTW of
+/// that range. For the *first* report it is exactly the true DTW. After a
+/// report, cells whose paths overlap it are invalidated (the paper's
+/// disjointness rule), so later reports minimise over paths disjoint from
+/// everything already reported — their distance can sit above the
+/// fresh-start DTW of the same range. The global minimum across all
+/// reports is still the exact optimum (see [`spring_best_match`]): any
+/// overlapping better subsequence would have blocked the report.
+#[derive(Debug, Clone)]
+pub struct SpringMonitor {
+    query: Vec<f64>,
+    /// Squared threshold; `f64::INFINITY` means "report only best matches
+    /// chosen by [`spring_best_match`]-style callers".
+    eps_sq: f64,
+    /// Cost row `D(t, ·)` of the previous column (index 0 is the star row).
+    d_prev: Vec<f64>,
+    /// Start row `S(t, ·)` of the previous column.
+    s_prev: Vec<usize>,
+    /// Scratch rows for the current column.
+    d_cur: Vec<f64>,
+    s_cur: Vec<usize>,
+    /// Best pending candidate: squared distance, start, end.
+    dmin_sq: f64,
+    cand_start: usize,
+    cand_end: usize,
+    /// Next stream position (number of points consumed so far).
+    t: usize,
+    stats: SpringStats,
+}
+
+impl SpringMonitor {
+    /// Create a monitor for `query` with similarity threshold `epsilon`
+    /// (root scale, like [`onex_distance::dtw`]).
+    ///
+    /// Returns `None` if the query is empty, any query value is not
+    /// finite, or `epsilon` is negative or NaN.
+    pub fn new(query: &[f64], epsilon: f64) -> Option<Self> {
+        if query.is_empty() || !query.iter().all(|v| v.is_finite()) {
+            return None;
+        }
+        if epsilon.is_nan() || epsilon < 0.0 {
+            return None;
+        }
+        let m = query.len();
+        let eps_sq = if epsilon.is_infinite() {
+            f64::INFINITY
+        } else {
+            epsilon * epsilon
+        };
+        let mut d_prev = vec![f64::INFINITY; m + 1];
+        // The star cell of the virtual column before the stream lets the
+        // very first point begin a path via the diagonal move.
+        d_prev[0] = 0.0;
+        Some(SpringMonitor {
+            query: query.to_vec(),
+            eps_sq,
+            d_prev,
+            s_prev: vec![0; m + 1],
+            d_cur: vec![f64::INFINITY; m + 1],
+            s_cur: vec![0; m + 1],
+            dmin_sq: f64::INFINITY,
+            cand_start: 0,
+            cand_end: 0,
+            t: 0,
+            stats: SpringStats::default(),
+        })
+    }
+
+    /// Query length `m`.
+    pub fn query_len(&self) -> usize {
+        self.query.len()
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> SpringStats {
+        self.stats
+    }
+
+    /// Whether a candidate match is pending (seen but not yet provably
+    /// optimal and disjoint).
+    pub fn has_pending(&self) -> bool {
+        self.dmin_sq.is_finite() && self.dmin_sq <= self.eps_sq
+    }
+
+    /// Consume one stream point; returns a match confirmed by this point.
+    ///
+    /// Non-finite points poison the column they touch (cells become NaN
+    /// and never report), matching the workspace's f64 semantics.
+    pub fn push(&mut self, x: f64) -> Option<SpringMatch> {
+        let m = self.query.len();
+        let t = self.t;
+        self.t += 1;
+        self.stats.points += 1;
+        self.stats.cells += m;
+
+        // Star-padding: a path may start at the current position for free.
+        // A path leaving a star cell first consumes the *current* point,
+        // whether it leaves the same-column star vertically or the
+        // previous column's star diagonally — so both carry start `t`.
+        self.d_cur[0] = 0.0;
+        self.s_cur[0] = t;
+        self.s_prev[0] = t;
+        for i in 1..=m {
+            let d = x - self.query[i - 1];
+            let cost = d * d;
+            // Predecessors: left (t-1, i), diag (t-1, i-1), down (t, i-1).
+            let left = self.d_prev[i];
+            let diag = self.d_prev[i - 1];
+            let down = self.d_cur[i - 1];
+            let (best, src) = if diag <= left && diag <= down {
+                (diag, self.s_prev[i - 1])
+            } else if left <= down {
+                (left, self.s_prev[i])
+            } else {
+                (down, self.s_cur[i - 1])
+            };
+            self.d_cur[i] = cost + best;
+            self.s_cur[i] = src;
+        }
+
+        let mut reported = None;
+        // Disjoint-optimality test: the pending candidate is safe to
+        // report once every live cell either already costs at least the
+        // candidate or belongs to a path starting after the candidate's
+        // end. (Sakurai et al., Algorithm 1.)
+        if self.has_pending() {
+            let cand_end = self.cand_end;
+            let dmin = self.dmin_sq;
+            let safe = (0..=m).all(|i| self.d_cur[i] >= dmin || self.s_cur[i] > cand_end);
+            if safe {
+                reported = Some(SpringMatch {
+                    start: self.cand_start,
+                    end: cand_end,
+                    dist: dmin.sqrt(),
+                });
+                self.stats.matches += 1;
+                self.dmin_sq = f64::INFINITY;
+                // Invalidate every path overlapping the reported match so
+                // no future report re-covers it.
+                for i in 1..=m {
+                    if self.s_cur[i] <= cand_end {
+                        self.d_cur[i] = f64::INFINITY;
+                    }
+                }
+            }
+        }
+
+        // The end cell of the current column is a full alignment of the
+        // query; adopt it as candidate if it beats the pending one.
+        let end_cost = self.d_cur[m];
+        if end_cost <= self.eps_sq && end_cost < self.dmin_sq {
+            self.dmin_sq = end_cost;
+            self.cand_start = self.s_cur[m];
+            self.cand_end = t;
+        }
+
+        std::mem::swap(&mut self.d_prev, &mut self.d_cur);
+        std::mem::swap(&mut self.s_prev, &mut self.s_cur);
+        reported
+    }
+
+    /// Flush the pending candidate at end of stream, if any.
+    pub fn finish(&mut self) -> Option<SpringMatch> {
+        if self.has_pending() {
+            let hit = SpringMatch {
+                start: self.cand_start,
+                end: self.cand_end,
+                dist: self.dmin_sq.sqrt(),
+            };
+            self.dmin_sq = f64::INFINITY;
+            self.stats.matches += 1;
+            Some(hit)
+        } else {
+            None
+        }
+    }
+
+    /// Reset the monitor to its initial state, keeping the query.
+    pub fn reset(&mut self) {
+        for v in &mut self.d_prev {
+            *v = f64::INFINITY;
+        }
+        self.d_prev[0] = 0.0;
+        self.dmin_sq = f64::INFINITY;
+        self.t = 0;
+        self.stats = SpringStats::default();
+    }
+}
+
+/// Batch convenience: run [`SpringMonitor`] over a whole stream.
+///
+/// Returns all disjoint optimal matches with DTW distance ≤ `epsilon`, in
+/// order of confirmation. `None` under the same conditions as
+/// [`SpringMonitor::new`].
+pub fn spring_search(stream: &[f64], query: &[f64], epsilon: f64) -> Option<Vec<SpringMatch>> {
+    let mut mon = SpringMonitor::new(query, epsilon)?;
+    let mut out = Vec::new();
+    for &x in stream {
+        out.extend(mon.push(x));
+    }
+    out.extend(mon.finish());
+    Some(out)
+}
+
+/// The single best subsequence match in `stream` under unconstrained
+/// subsequence DTW — SPRING with `ε = ∞` keeping the global minimum.
+///
+/// This is the streaming counterpart of a whole-matrix subsequence DTW
+/// and the exact ground truth the E10 experiment measures baselines
+/// against. `None` if the query is invalid or the stream is empty.
+pub fn spring_best_match(stream: &[f64], query: &[f64]) -> Option<SpringMatch> {
+    let mut mon = SpringMonitor::new(query, f64::INFINITY)?;
+    if stream.is_empty() {
+        return None;
+    }
+    let mut best: Option<SpringMatch> = None;
+    let consider = |m: SpringMatch, best: &mut Option<SpringMatch>| {
+        if best.is_none_or(|b| m.dist < b.dist) {
+            *best = Some(m);
+        }
+    };
+    for &x in stream {
+        if let Some(m) = mon.push(x) {
+            consider(m, &mut best);
+        }
+    }
+    if let Some(m) = mon.finish() {
+        consider(m, &mut best);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onex_distance::{dtw, Band};
+
+    /// Brute-force optimal subsequence DTW: minimum over all windows.
+    fn brute_best(stream: &[f64], query: &[f64]) -> (usize, usize, f64) {
+        let mut best = (0, 0, f64::INFINITY);
+        for s in 0..stream.len() {
+            for e in s..stream.len() {
+                let d = dtw(&stream[s..=e], query, Band::Full);
+                if d < best.2 {
+                    best = (s, e, d);
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(SpringMonitor::new(&[], 1.0).is_none());
+        assert!(SpringMonitor::new(&[1.0, f64::NAN], 1.0).is_none());
+        assert!(SpringMonitor::new(&[1.0], -1.0).is_none());
+        assert!(SpringMonitor::new(&[1.0], f64::NAN).is_none());
+        assert!(SpringMonitor::new(&[1.0], 0.0).is_some());
+        assert!(SpringMonitor::new(&[1.0], f64::INFINITY).is_some());
+    }
+
+    #[test]
+    fn exact_embedded_pattern_found_at_zero_distance() {
+        let query = [1.0, 3.0, 2.0, 4.0];
+        let mut stream = vec![10.0; 5];
+        stream.extend_from_slice(&query);
+        stream.extend(vec![-10.0; 5]);
+        let hits = spring_search(&stream, &query, 1e-9).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!((hits[0].start, hits[0].end), (5, 8));
+        assert!(hits[0].dist <= 1e-9);
+    }
+
+    #[test]
+    fn warped_pattern_matches_within_threshold() {
+        // Time-warped instance: doubled points. DTW cost should be 0.
+        let query = [0.0, 1.0, 2.0, 1.0, 0.0];
+        let warped = [0.0, 0.0, 1.0, 2.0, 2.0, 1.0, 0.0];
+        let mut stream = vec![5.0; 3];
+        stream.extend_from_slice(&warped);
+        stream.extend(vec![5.0; 3]);
+        let hits = spring_search(&stream, &query, 1e-9).unwrap();
+        assert_eq!(hits.len(), 1);
+        // The doubled endpoints make several zero-cost ranges optimal
+        // (e.g. with or without the second leading 0); any of them is a
+        // correct answer as long as it sits inside the planted region and
+        // really costs zero.
+        assert!(hits[0].dist <= 1e-9);
+        assert!(3 <= hits[0].start && hits[0].end == 9, "{:?}", hits[0]);
+    }
+
+    #[test]
+    fn best_match_agrees_with_brute_force() {
+        let query = [0.0, 2.0, 1.0];
+        let stream = [3.0, 0.1, 2.2, 0.9, 3.0, 0.0, 1.9, 1.1, 4.0];
+        let got = spring_best_match(&stream, &query).unwrap();
+        let (bs, be, bd) = brute_best(&stream, &query);
+        assert!(
+            (got.dist - bd).abs() < 1e-9,
+            "spring {} vs brute {}",
+            got.dist,
+            bd
+        );
+        assert_eq!((got.start, got.end), (bs, be));
+    }
+
+    #[test]
+    fn matches_are_disjoint_and_within_threshold() {
+        let query = [0.0, 1.0, 0.0];
+        // Two planted occurrences separated by high plateaus.
+        let stream = [
+            9.0, 9.0, 0.0, 1.0, 0.0, 9.0, 9.0, 9.0, 0.1, 1.1, 0.1, 9.0, 9.0,
+        ];
+        let hits = spring_search(&stream, &query, 0.5).unwrap();
+        assert_eq!(hits.len(), 2);
+        for w in hits.windows(2) {
+            assert!(!w[0].overlaps(&w[1]), "{:?} overlaps {:?}", w[0], w[1]);
+        }
+        for h in &hits {
+            assert!(h.dist <= 0.5);
+            let d = dtw(&stream[h.start..=h.end], &query, Band::Full);
+            assert!((d - h.dist).abs() < 1e-9, "reported {} real {}", h.dist, d);
+        }
+    }
+
+    #[test]
+    fn reported_distance_is_exact_dtw_of_reported_range() {
+        let query = [1.0, 2.0, 3.0, 2.0];
+        let stream: Vec<f64> = (0..40).map(|i| ((i as f64) * 0.7).sin() * 3.0).collect();
+        let hits = spring_search(&stream, &query, 2.0).unwrap();
+        assert!(!hits.is_empty());
+        for h in &hits {
+            let d = dtw(&stream[h.start..=h.end], &query, Band::Full);
+            assert!((d - h.dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_matches_above_threshold() {
+        let query = [0.0, 0.0, 0.0];
+        let stream = [100.0, 100.0, 100.0, 100.0];
+        let hits = spring_search(&stream, &query, 1.0).unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn per_point_work_is_constant_in_stream_length() {
+        let query = [0.0, 1.0, 2.0];
+        let mut mon = SpringMonitor::new(&query, 1.0).unwrap();
+        for i in 0..100 {
+            let _ = mon.push((i as f64).sin());
+        }
+        let s = mon.stats();
+        assert_eq!(s.points, 100);
+        assert_eq!(s.cells, 100 * query.len());
+    }
+
+    #[test]
+    fn finish_flushes_pending_candidate() {
+        let query = [1.0, 2.0];
+        // Match right at the end of the stream: can only be reported by finish().
+        let stream = [9.0, 9.0, 1.0, 2.0];
+        let mut mon = SpringMonitor::new(&query, 0.1).unwrap();
+        let mut hits = Vec::new();
+        for &x in &stream {
+            hits.extend(mon.push(x));
+        }
+        assert!(hits.is_empty());
+        assert!(mon.has_pending());
+        let last = mon.finish().unwrap();
+        assert_eq!((last.start, last.end), (2, 3));
+        assert!(mon.finish().is_none());
+    }
+
+    #[test]
+    fn reset_reuses_monitor() {
+        let query = [0.0, 1.0];
+        let mut mon = SpringMonitor::new(&query, 0.25).unwrap();
+        let stream = [0.0, 1.0, 5.0];
+        let mut first = Vec::new();
+        for &x in &stream {
+            first.extend(mon.push(x));
+        }
+        first.extend(mon.finish());
+        mon.reset();
+        let mut second = Vec::new();
+        for &x in &stream {
+            second.extend(mon.push(x));
+        }
+        second.extend(mon.finish());
+        assert_eq!(first, second);
+        assert_eq!(mon.stats().points, stream.len());
+    }
+
+    #[test]
+    fn monitor_on_drifting_stream_tracks_multiple_occurrences() {
+        // Plant k occurrences of a bump in a long noisy-ish stream and
+        // check every plant is covered by exactly one reported match.
+        let bump = [0.0, 2.0, 4.0, 2.0, 0.0];
+        let mut stream = Vec::new();
+        let mut plants = Vec::new();
+        for rep in 0..4 {
+            for i in 0..7 {
+                stream.push(10.0 + ((rep * 7 + i) as f64 * 1.3).sin() * 0.2);
+            }
+            plants.push(stream.len());
+            stream.extend_from_slice(&bump);
+        }
+        stream.extend(vec![10.0; 5]);
+        let hits = spring_search(&stream, &bump, 1.0).unwrap();
+        assert_eq!(hits.len(), plants.len(), "hits: {hits:?}");
+        for (&p, h) in plants.iter().zip(&hits) {
+            assert!(
+                h.start <= p && p + bump.len() - 1 <= h.end + bump.len(),
+                "plant at {p} not covered by {h:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Monitoring several patterns over one stream.
+//!
+//! The SPRING paper's motivating deployment watches a whole *catalogue*
+//! of patterns over one sensor feed; since each pattern's STWM is
+//! independent, a multi-monitor is a bank of [`SpringMonitor`]s sharing
+//! the stream pass — O(Σ mₖ) per point, one cache-friendly sweep.
+
+use crate::monitor::{SpringMatch, SpringMonitor, SpringStats};
+
+/// A match tagged with the pattern that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedMatch {
+    /// Index of the pattern within the monitor bank.
+    pub pattern: usize,
+    /// The underlying match.
+    pub m: SpringMatch,
+}
+
+/// Bank of SPRING monitors over a single stream.
+///
+/// ```
+/// use onex_spring::MultiMonitor;
+///
+/// let mut bank = MultiMonitor::new();
+/// bank.add_pattern(&[0.0, 1.0, 2.0], 0.5).unwrap();
+/// bank.add_pattern(&[5.0, 5.0], 0.5).unwrap();
+/// let stream = [9.0, 0.0, 1.0, 2.0, 9.0, 5.0, 5.0, 9.0];
+/// let mut hits = Vec::new();
+/// for &x in &stream {
+///     hits.extend(bank.push(x));
+/// }
+/// hits.extend(bank.finish());
+/// assert!(hits.iter().any(|h| h.pattern == 0));
+/// assert!(hits.iter().any(|h| h.pattern == 1));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MultiMonitor {
+    monitors: Vec<SpringMonitor>,
+}
+
+impl MultiMonitor {
+    /// An empty bank.
+    pub fn new() -> Self {
+        MultiMonitor::default()
+    }
+
+    /// Add one pattern with its own threshold; returns its index.
+    ///
+    /// `None` under the same conditions as [`SpringMonitor::new`]. The
+    /// bank is unchanged in that case.
+    pub fn add_pattern(&mut self, pattern: &[f64], epsilon: f64) -> Option<usize> {
+        let mon = SpringMonitor::new(pattern, epsilon)?;
+        self.monitors.push(mon);
+        Some(self.monitors.len() - 1)
+    }
+
+    /// Number of monitored patterns.
+    pub fn len(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.monitors.is_empty()
+    }
+
+    /// Consume one stream point in every monitor; returns all matches
+    /// confirmed by this point (at most one per pattern).
+    pub fn push(&mut self, x: f64) -> Vec<TaggedMatch> {
+        let mut out = Vec::new();
+        for (k, mon) in self.monitors.iter_mut().enumerate() {
+            if let Some(m) = mon.push(x) {
+                out.push(TaggedMatch { pattern: k, m });
+            }
+        }
+        out
+    }
+
+    /// Flush every pending candidate at end of stream.
+    pub fn finish(&mut self) -> Vec<TaggedMatch> {
+        let mut out = Vec::new();
+        for (k, mon) in self.monitors.iter_mut().enumerate() {
+            if let Some(m) = mon.finish() {
+                out.push(TaggedMatch { pattern: k, m });
+            }
+        }
+        out
+    }
+
+    /// Per-pattern work counters.
+    pub fn stats(&self) -> Vec<SpringStats> {
+        self.monitors.iter().map(|m| m.stats()).collect()
+    }
+
+    /// Reset every monitor, keeping the patterns.
+    pub fn reset(&mut self) {
+        for m in &mut self.monitors {
+            m.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::spring_search;
+
+    #[test]
+    fn bank_agrees_with_individual_monitors() {
+        let stream: Vec<f64> = (0..80).map(|i| (i as f64 * 0.4).sin() * 3.0).collect();
+        let patterns: Vec<Vec<f64>> = vec![
+            stream[10..16].to_vec(),
+            stream[30..42].to_vec(),
+            vec![100.0, 100.0], // never matches
+        ];
+        let mut bank = MultiMonitor::new();
+        for p in &patterns {
+            bank.add_pattern(p, 0.8).unwrap();
+        }
+        let mut got: Vec<Vec<SpringMatch>> = vec![Vec::new(); patterns.len()];
+        for &x in &stream {
+            for t in bank.push(x) {
+                got[t.pattern].push(t.m);
+            }
+        }
+        for t in bank.finish() {
+            got[t.pattern].push(t.m);
+        }
+        for (k, p) in patterns.iter().enumerate() {
+            let solo = spring_search(&stream, p, 0.8).unwrap();
+            assert_eq!(got[k], solo, "pattern {k} disagrees with solo run");
+        }
+        assert!(got[2].is_empty());
+    }
+
+    #[test]
+    fn rejects_invalid_patterns_without_corrupting_bank() {
+        let mut bank = MultiMonitor::new();
+        assert_eq!(bank.add_pattern(&[1.0], 0.5), Some(0));
+        assert_eq!(bank.add_pattern(&[], 0.5), None);
+        assert_eq!(bank.add_pattern(&[2.0], f64::NAN), None);
+        assert_eq!(bank.add_pattern(&[3.0], 0.5), Some(1));
+        assert_eq!(bank.len(), 2);
+    }
+
+    #[test]
+    fn stats_track_each_pattern() {
+        let mut bank = MultiMonitor::new();
+        bank.add_pattern(&[0.0, 1.0], 0.1).unwrap();
+        bank.add_pattern(&[0.0, 1.0, 2.0], 0.1).unwrap();
+        for i in 0..10 {
+            let _ = bank.push(i as f64);
+        }
+        let stats = bank.stats();
+        assert_eq!(stats[0].cells, 10 * 2);
+        assert_eq!(stats[1].cells, 10 * 3);
+    }
+}

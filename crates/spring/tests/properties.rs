@@ -1,0 +1,111 @@
+//! Property tests pinning SPRING to its exactness guarantees: the
+//! streaming monitor must agree with a brute-force subsequence-DTW scan
+//! on arbitrary inputs, and its reports must be disjoint and faithful.
+
+use onex_distance::{dtw, Band};
+use onex_spring::{spring_best_match, spring_search, SpringMonitor};
+use proptest::prelude::*;
+
+/// Brute-force optimal subsequence DTW over all (start, end) windows.
+fn brute_best(stream: &[f64], query: &[f64]) -> (usize, usize, f64) {
+    let mut best = (0, 0, f64::INFINITY);
+    for s in 0..stream.len() {
+        for e in s..stream.len() {
+            let d = dtw(&stream[s..=e], query, Band::Full);
+            if d < best.2 {
+                best = (s, e, d);
+            }
+        }
+    }
+    best
+}
+
+fn small_values(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-5.0f64..5.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The streaming best match equals the brute-force optimum (distance
+    /// always; location whenever the optimum is unique enough to compare).
+    #[test]
+    fn best_match_distance_matches_brute_force(
+        stream in small_values(1..18),
+        query in small_values(1..6),
+    ) {
+        let got = spring_best_match(&stream, &query).unwrap();
+        let (_, _, bd) = brute_best(&stream, &query);
+        prop_assert!((got.dist - bd).abs() < 1e-9,
+            "spring {} brute {}", got.dist, bd);
+        // The reported range must actually achieve the reported distance.
+        let real = dtw(&stream[got.start..=got.end], &query, Band::Full);
+        prop_assert!((real - got.dist).abs() < 1e-9);
+    }
+
+    /// Every reported match is within threshold and reports are pairwise
+    /// disjoint. Distances are valid warping-path costs of the reported
+    /// range — so never *below* the true DTW — and the first report
+    /// (computed before any cell invalidation) is exactly the true DTW.
+    #[test]
+    fn thresholded_reports_are_faithful_and_disjoint(
+        stream in small_values(1..24),
+        query in small_values(1..5),
+        eps in 0.1f64..4.0,
+    ) {
+        let hits = spring_search(&stream, &query, eps).unwrap();
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert!(h.dist <= eps + 1e-12);
+            let real = dtw(&stream[h.start..=h.end], &query, Band::Full);
+            // Reported cost is achieved by an admissible path, hence an
+            // upper bound of the true DTW; after an earlier report the
+            // surviving paths exclude the reported region (the paper's
+            // cell-invalidation), so it may sit strictly above.
+            prop_assert!(real <= h.dist + 1e-9,
+                "reported {} below true DTW {}", h.dist, real);
+            if i == 0 {
+                prop_assert!((real - h.dist).abs() < 1e-9,
+                    "first report {} should be exact, true {}", h.dist, real);
+            }
+        }
+        for i in 1..hits.len() {
+            prop_assert!(hits[i - 1].end < hits[i].start,
+                "overlap: {:?} then {:?}", hits[i - 1], hits[i]);
+        }
+    }
+
+    /// If the brute-force optimum is within the threshold, SPRING reports
+    /// at least one match at (or below, for an overlapping better) that
+    /// distance.
+    #[test]
+    fn no_false_dismissal_of_the_optimum(
+        stream in small_values(2..16),
+        query in small_values(1..5),
+    ) {
+        let (_, _, bd) = brute_best(&stream, &query);
+        // Pick a threshold safely above the optimum.
+        let eps = bd + 0.5;
+        let hits = spring_search(&stream, &query, eps).unwrap();
+        prop_assert!(!hits.is_empty());
+        let best_reported = hits.iter().map(|h| h.dist).fold(f64::INFINITY, f64::min);
+        prop_assert!(best_reported <= bd + 1e-9,
+            "best reported {} vs optimum {}", best_reported, bd);
+    }
+
+    /// Incremental pushes and batch search agree exactly.
+    #[test]
+    fn streaming_equals_batch(
+        stream in small_values(0..20),
+        query in small_values(1..5),
+        eps in 0.1f64..3.0,
+    ) {
+        let batch = spring_search(&stream, &query, eps).unwrap();
+        let mut mon = SpringMonitor::new(&query, eps).unwrap();
+        let mut inc = Vec::new();
+        for &x in &stream {
+            inc.extend(mon.push(x));
+        }
+        inc.extend(mon.finish());
+        prop_assert_eq!(batch, inc);
+    }
+}

@@ -1,0 +1,117 @@
+use std::fmt;
+
+/// Errors produced by the time-series substrate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+    /// A text payload could not be parsed as the expected format.
+    ///
+    /// Carries the 1-based line number (0 when not line-oriented) and a
+    /// human-readable description.
+    Parse {
+        /// 1-based line where parsing failed, 0 if not applicable.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A request referenced a series name that is not in the dataset.
+    UnknownSeries(String),
+    /// A subsequence request fell outside the bounds of its series.
+    OutOfBounds {
+        /// Name of the series addressed.
+        series: String,
+        /// Requested start offset.
+        start: usize,
+        /// Requested length.
+        len: usize,
+        /// Actual length of the series.
+        available: usize,
+    },
+    /// An argument violated a documented precondition (empty input, zero
+    /// length, NaN where finite values are required, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "parse error: {message}")
+                } else {
+                    write!(f, "parse error at line {line}: {message}")
+                }
+            }
+            Error::UnknownSeries(name) => write!(f, "unknown series {name:?}"),
+            Error::OutOfBounds {
+                series,
+                start,
+                len,
+                available,
+            } => write!(
+                f,
+                "subsequence [{start}, {start}+{len}) out of bounds for series {series:?} of length {available}"
+            ),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::OutOfBounds {
+            series: "MA".into(),
+            start: 10,
+            len: 5,
+            available: 12,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("MA"), "{msg}");
+        assert!(msg.contains("10"), "{msg}");
+        assert!(msg.contains("12"), "{msg}");
+    }
+
+    #[test]
+    fn parse_error_with_and_without_line() {
+        let with = Error::Parse {
+            line: 3,
+            message: "bad float".into(),
+        };
+        assert!(with.to_string().contains("line 3"));
+        let without = Error::Parse {
+            line: 0,
+            message: "bad float".into(),
+        };
+        assert!(!without.to_string().contains("line"));
+    }
+
+    #[test]
+    fn io_error_round_trips_source() {
+        use std::error::Error as _;
+        let e = Error::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

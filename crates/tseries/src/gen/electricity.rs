@@ -1,0 +1,197 @@
+//! Synthetic ElectricityLoad collection.
+//!
+//! The paper's seasonal-exploration demo (Fig 4) runs on the
+//! ElectricityLoad archive: per-household electrical consumption in
+//! Portugal sampled sub-hourly over a year. This generator produces the
+//! structural equivalent (DESIGN.md §4): long univariate series with
+//! nested daily / weekly / annual seasonality plus habit noise, so that
+//! "does this household repeat its summer consumption pattern?" has a
+//! ground-truth answer the seasonal query can be tested against.
+
+use rand::Rng;
+
+use super::rng;
+use crate::{Dataset, TimeAxis, TimeSeries};
+
+/// Configuration for the household-load generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ElectricityConfig {
+    /// Number of households (series).
+    pub households: usize,
+    /// Number of days simulated.
+    pub days: usize,
+    /// Samples per day (24 = hourly, 96 = 15-minute like the archive).
+    pub samples_per_day: usize,
+    /// Relative strength of random habit noise (0 = perfectly regular).
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ElectricityConfig {
+    fn default() -> Self {
+        ElectricityConfig {
+            households: 5,
+            days: 365,
+            samples_per_day: 24,
+            noise: 0.08,
+            seed: 0xE1EC,
+        }
+    }
+}
+
+/// Generate the household-load dataset, one series per household named
+/// `household-0`, `household-1`, ... with an hourly axis.
+pub fn electricity_load(cfg: &ElectricityConfig) -> Dataset {
+    assert!(cfg.samples_per_day >= 2, "need at least 2 samples per day");
+    let mut ds = Dataset::new();
+    for h in 0..cfg.households {
+        let values = one_household(cfg, h);
+        ds.push(TimeSeries::with_axis(
+            format!("household-{h}"),
+            values,
+            TimeAxis::hourly(),
+        ))
+        .expect("generated names are unique");
+    }
+    ds
+}
+
+fn one_household(cfg: &ElectricityConfig, index: usize) -> Vec<f64> {
+    let mut r = rng(cfg.seed.wrapping_add(index as u64));
+    let n = cfg.days * cfg.samples_per_day;
+    let mut out = Vec::with_capacity(n);
+
+    // Stable household character.
+    let base_load = 0.3 + 0.4 * r.gen::<f64>(); // kW standby
+    let peak_load = 1.5 + 2.0 * r.gen::<f64>(); // kW evening peak
+    let morning_peak = 0.4 + 0.5 * r.gen::<f64>(); // relative morning bump
+    let weekend_shift = 0.15 + 0.2 * r.gen::<f64>(); // later waking on weekends
+    let winter_heating = 0.8 + 1.0 * r.gen::<f64>(); // kW seasonal component
+
+    for day in 0..cfg.days {
+        let weekday = day % 7; // day 0 is a Monday
+        let is_weekend = weekday >= 5;
+        // Annual seasonality: peak heating mid-winter (day 0 = Jan 1 in
+        // Portugal; heating dominates cooling).
+        let season = (day as f64 * std::f64::consts::TAU / 365.0).cos(); // +1 winter, -1 summer
+        let heating = winter_heating * (0.5 + 0.5 * season).powi(2);
+        // Day-level habit noise: how energetic the household is today.
+        let day_mood = 1.0 + cfg.noise * 4.0 * (r.gen::<f64>() - 0.5);
+
+        for s in 0..cfg.samples_per_day {
+            let hour = s as f64 * 24.0 / cfg.samples_per_day as f64;
+            let shift = if is_weekend { weekend_shift * 3.0 } else { 0.0 };
+            // Morning bump around 7:30 (+weekend shift), evening peak ~19:30.
+            let morning = gaussian_bump(hour, 7.5 + shift, 1.2) * morning_peak * peak_load;
+            let evening = gaussian_bump(hour, 19.5, 2.2) * peak_load;
+            // Overnight heating contributes mostly outside 10:00–16:00.
+            let heat_profile = 0.6 + 0.4 * (std::f64::consts::TAU * (hour - 3.0) / 24.0).cos();
+            let sample_noise = 1.0 + cfg.noise * (r.gen::<f64>() * 2.0 - 1.0);
+            let kw =
+                (base_load + morning + evening + heating * heat_profile) * day_mood * sample_noise;
+            out.push(kw.max(0.02));
+        }
+    }
+    out
+}
+
+/// Unnormalised Gaussian bump centred at `c` with width `w`, periodic in
+/// the 24-hour clock (a 23:30 peak spills into 00:30).
+fn gaussian_bump(hour: f64, c: f64, w: f64) -> f64 {
+    let mut d = (hour - c).abs();
+    if d > 12.0 {
+        d = 24.0 - d;
+    }
+    (-d * d / (2.0 * w * w)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{autocorrelation, mean_std};
+
+    fn small() -> ElectricityConfig {
+        ElectricityConfig {
+            households: 2,
+            days: 84, // 12 weeks
+            samples_per_day: 24,
+            noise: 0.05,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let ds = electricity_load(&small());
+        assert_eq!(ds.len(), 2);
+        let s = ds.series(0).unwrap();
+        assert_eq!(s.len(), 84 * 24);
+        assert!(s.is_finite());
+        assert!(s.values().iter().all(|&v| v > 0.0), "load is positive");
+        let ds2 = electricity_load(&small());
+        assert_eq!(s.values(), ds2.series(0).unwrap().values());
+    }
+
+    #[test]
+    fn daily_periodicity_dominates() {
+        let ds = electricity_load(&small());
+        let xs = ds.series(0).unwrap().values();
+        let day = autocorrelation(xs, 24);
+        let off = autocorrelation(xs, 17);
+        assert!(day > 0.5, "24h lag autocorrelation strong, got {day}");
+        assert!(day > off, "daily beats off-cycle lag ({day} vs {off})");
+    }
+
+    #[test]
+    fn weekly_structure_present() {
+        let ds = electricity_load(&small());
+        let xs = ds.series(0).unwrap().values();
+        let week = autocorrelation(xs, 24 * 7);
+        let midweek = autocorrelation(xs, 24 * 3 + 12);
+        assert!(
+            week > midweek,
+            "weekly lag beats a 3.5-day lag ({week} vs {midweek})"
+        );
+    }
+
+    #[test]
+    fn winter_exceeds_summer() {
+        let cfg = ElectricityConfig {
+            households: 1,
+            days: 365,
+            ..small()
+        };
+        let ds = electricity_load(&cfg);
+        let xs = ds.series(0).unwrap().values();
+        let jan: f64 = xs[..31 * 24].iter().sum::<f64>() / (31.0 * 24.0);
+        let jul_start = 181 * 24;
+        let jul: f64 = xs[jul_start..jul_start + 31 * 24].iter().sum::<f64>() / (31.0 * 24.0);
+        assert!(jan > jul * 1.2, "heating winter {jan} vs summer {jul}");
+    }
+
+    #[test]
+    fn households_differ() {
+        let ds = electricity_load(&small());
+        let a = ds.series(0).unwrap().values();
+        let b = ds.series(1).unwrap().values();
+        let (ma, _) = mean_std(a);
+        let (mb, _) = mean_std(b);
+        assert!((ma - mb).abs() > 1e-3, "distinct household characters");
+    }
+
+    #[test]
+    fn bump_wraps_midnight() {
+        assert!(gaussian_bump(0.5, 23.5, 1.0) > 0.5);
+        assert!(gaussian_bump(12.0, 23.5, 1.0) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "samples per day")]
+    fn rejects_degenerate_sampling() {
+        electricity_load(&ElectricityConfig {
+            samples_per_day: 1,
+            ..small()
+        });
+    }
+}

@@ -1,0 +1,299 @@
+//! Synthetic MATTERS collection.
+//!
+//! MATTERS (the Massachusetts Technology, Talent and Economic Reporting
+//! System, <http://matters.mhtc.org/>) aggregates economic, social and
+//! education indicators for the fifty US states from public feeds (Tax
+//! Policy Center, Census Bureau, BEA). The collection itself is not
+//! redistributable, so this module generates a structurally faithful
+//! substitute (DESIGN.md §4):
+//!
+//! * one series per `(state, indicator)` pair, named `"{state}-{indicator}"`;
+//! * indicators live on wildly different scales — growth rates in ±5
+//!   percent, unemployment in tens of thousands of people — which is
+//!   precisely what motivates per-domain similarity thresholds (§3.3 of the
+//!   paper, experiment E8);
+//! * states share a national business cycle (so cross-state similarity
+//!   queries have meaningful answers, experiment E2) with state-specific
+//!   loading, trend and noise;
+//! * series are short (annual) and optionally ragged/misaligned, the
+//!   regime ONEX's variable-length comparisons target.
+
+use rand::Rng;
+
+use super::rng;
+use crate::{Dataset, TimeAxis, TimeSeries};
+
+/// The fifty US states (postal codes) in alphabetical order.
+pub fn state_names() -> &'static [&'static str; 50] {
+    &[
+        "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN", "IA",
+        "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+        "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT",
+        "VA", "WA", "WV", "WI", "WY",
+    ]
+}
+
+/// An economic/social indicator with its real-world scale.
+///
+/// The `(base, spread, cycle, noise)` parameters are chosen so each
+/// indicator's magnitude matches its real counterpart: similarity
+/// thresholds that work for one are useless for another, reproducing the
+/// paper's motivating observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Indicator {
+    /// Annual GDP growth rate, percent (±5 range).
+    GrowthRate,
+    /// Unemployed persons, tens of thousands (level ~ 50_000..500_000).
+    Unemployment,
+    /// Technology-sector employment, thousands of jobs.
+    TechEmployment,
+    /// Combined state sales/use tax rate, percent (0..10, slow-moving).
+    TaxRate,
+    /// Median household income, dollars (~40_000..90_000).
+    MedianIncome,
+    /// Bachelor's-degree attainment, percent of adults (20..50).
+    EducationAttainment,
+}
+
+impl Indicator {
+    /// All indicators, in canonical order.
+    pub fn all() -> &'static [Indicator] {
+        &[
+            Indicator::GrowthRate,
+            Indicator::Unemployment,
+            Indicator::TechEmployment,
+            Indicator::TaxRate,
+            Indicator::MedianIncome,
+            Indicator::EducationAttainment,
+        ]
+    }
+
+    /// Short name used in series names (`"MA-GrowthRate"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Indicator::GrowthRate => "GrowthRate",
+            Indicator::Unemployment => "Unemployment",
+            Indicator::TechEmployment => "TechEmployment",
+            Indicator::TaxRate => "TaxRate",
+            Indicator::MedianIncome => "MedianIncome",
+            Indicator::EducationAttainment => "EducationAttainment",
+        }
+    }
+
+    /// `(base, state_spread, cycle_amplitude, noise, trend_per_year)` in
+    /// the indicator's natural unit.
+    fn params(&self) -> (f64, f64, f64, f64, f64) {
+        match self {
+            Indicator::GrowthRate => (2.0, 1.0, 2.5, 0.6, 0.0),
+            Indicator::Unemployment => (180_000.0, 120_000.0, 60_000.0, 8_000.0, -1_500.0),
+            Indicator::TechEmployment => (120.0, 90.0, 25.0, 6.0, 3.0),
+            Indicator::TaxRate => (6.0, 2.0, 0.3, 0.05, 0.02),
+            Indicator::MedianIncome => (58_000.0, 12_000.0, 3_000.0, 900.0, 700.0),
+            Indicator::EducationAttainment => (32.0, 8.0, 1.0, 0.4, 0.25),
+        }
+    }
+
+    /// Whether the indicator moves *against* the business cycle
+    /// (unemployment rises in recessions).
+    fn counter_cyclical(&self) -> bool {
+        matches!(self, Indicator::Unemployment)
+    }
+}
+
+/// Configuration for the synthetic MATTERS collection.
+#[derive(Debug, Clone)]
+pub struct MattersConfig {
+    /// First year of the panel.
+    pub start_year: u32,
+    /// Number of annual observations per series.
+    pub years: usize,
+    /// Indicators to generate (defaults to all six).
+    pub indicators: Vec<Indicator>,
+    /// When true, states report over different windows: lengths vary by up
+    /// to a third and start years shift, reproducing the paper's
+    /// "variable-length and misaligned" collections.
+    pub ragged: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MattersConfig {
+    fn default() -> Self {
+        MattersConfig {
+            start_year: 2001,
+            years: 16,
+            indicators: Indicator::all().to_vec(),
+            ragged: false,
+            seed: 0x3A77E25, // "MATTERS"
+        }
+    }
+}
+
+/// Generate the synthetic MATTERS collection: one series per
+/// `(state, indicator)` pair.
+pub fn matters_collection(cfg: &MattersConfig) -> Dataset {
+    let mut r = rng(cfg.seed);
+    // National business cycle shared by every state: an AR(1) with a slow
+    // sinusoidal component (expansions and recessions), in "sigma" units.
+    let horizon = cfg.years + 8; // room for misaligned starts
+    let mut national = Vec::with_capacity(horizon);
+    let mut level: f64 = 0.0;
+    for t in 0..horizon {
+        let shock: f64 = r.gen::<f64>() * 2.0 - 1.0;
+        level = 0.7 * level + 0.6 * shock;
+        let cycle = (t as f64 * std::f64::consts::TAU / 8.0).sin();
+        national.push(0.6 * cycle + 0.4 * level);
+    }
+
+    let mut ds = Dataset::new();
+    for (si, state) in state_names().iter().enumerate() {
+        // Per-state structural character, stable across indicators.
+        let loading = 0.5 + r.gen::<f64>(); // 0.5..1.5 exposure to the cycle
+        let fortune = r.gen::<f64>() * 2.0 - 1.0; // -1..1 long-run luck
+        let (start_shift, len) = if cfg.ragged {
+            let shift = r.gen_range(0..=4usize);
+            let cut = r.gen_range(0..=cfg.years / 3);
+            (shift, cfg.years - cut)
+        } else {
+            (0, cfg.years)
+        };
+        for &ind in &cfg.indicators {
+            let (base, spread, cycle_amp, noise, trend) = ind.params();
+            let sign = if ind.counter_cyclical() { -1.0 } else { 1.0 };
+            let state_base = base + spread * fortune * state_factor(si);
+            let mut values = Vec::with_capacity(len);
+            for t in 0..len {
+                let year = t + start_shift;
+                let macro_part = sign * loading * cycle_amp * national[year];
+                let noise_part = noise * (r.gen::<f64>() * 2.0 - 1.0);
+                let v = state_base + trend * t as f64 + macro_part + noise_part;
+                values.push(clamp_to_domain(ind, v));
+            }
+            let name = format!("{state}-{}", ind.name());
+            let axis = TimeAxis::annual(cfg.start_year + start_shift as u32);
+            ds.push(TimeSeries::with_axis(name, values, axis))
+                .expect("state/indicator names are unique");
+        }
+    }
+    ds
+}
+
+/// Deterministic per-state flavour in [-1, 1], independent of the RNG so
+/// the same state keeps its rough character across seeds (MA is always a
+/// high-tech state in examples).
+fn state_factor(index: usize) -> f64 {
+    ((index as f64 * 2.399_963) .sin() + (index as f64 * 0.7).cos()) / 2.0
+}
+
+/// Keep values inside each indicator's physical domain.
+fn clamp_to_domain(ind: Indicator, v: f64) -> f64 {
+    match ind {
+        Indicator::GrowthRate => v.clamp(-12.0, 12.0),
+        Indicator::Unemployment => v.max(5_000.0),
+        Indicator::TechEmployment => v.max(1.0),
+        Indicator::TaxRate => v.clamp(0.0, 12.0),
+        Indicator::MedianIncome => v.max(25_000.0),
+        Indicator::EducationAttainment => v.clamp(10.0, 60.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::mean_std;
+
+    #[test]
+    fn fifty_states_six_indicators() {
+        let ds = matters_collection(&MattersConfig::default());
+        assert_eq!(ds.len(), 50 * 6);
+        assert!(ds.by_name("MA-GrowthRate").is_some());
+        assert!(ds.by_name("WY-EducationAttainment").is_some());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = matters_collection(&MattersConfig::default());
+        let b = matters_collection(&MattersConfig::default());
+        assert_eq!(
+            a.by_name("TX-Unemployment").unwrap().values(),
+            b.by_name("TX-Unemployment").unwrap().values()
+        );
+    }
+
+    #[test]
+    fn scales_differ_by_orders_of_magnitude() {
+        let ds = matters_collection(&MattersConfig::default());
+        let growth = ds.by_name("MA-GrowthRate").unwrap().values();
+        let unemp = ds.by_name("MA-Unemployment").unwrap().values();
+        let (_, sg) = mean_std(growth);
+        let (_, su) = mean_std(unemp);
+        assert!(
+            su / sg > 100.0,
+            "unemployment varies on a scale ≫ growth rate ({su} vs {sg})"
+        );
+        assert!(growth.iter().all(|v| v.abs() <= 12.0));
+        assert!(unemp.iter().all(|&v| v >= 5_000.0));
+    }
+
+    #[test]
+    fn national_cycle_correlates_states() {
+        // Two pro-cyclical series should co-move far more than chance:
+        // check the average pairwise correlation of growth rates.
+        let ds = matters_collection(&MattersConfig {
+            years: 32,
+            ..MattersConfig::default()
+        });
+        let states = ["MA", "NY", "CA", "TX", "OH", "GA"];
+        let mut corr_sum = 0.0;
+        let mut pairs = 0;
+        for (i, a) in states.iter().enumerate() {
+            for b in &states[i + 1..] {
+                let xs = ds.by_name(&format!("{a}-GrowthRate")).unwrap().values();
+                let ys = ds.by_name(&format!("{b}-GrowthRate")).unwrap().values();
+                corr_sum += correlation(xs, ys);
+                pairs += 1;
+            }
+        }
+        let avg = corr_sum / pairs as f64;
+        assert!(avg > 0.3, "states share the national cycle, avg corr {avg}");
+    }
+
+    #[test]
+    fn ragged_mode_varies_lengths_and_starts() {
+        let ds = matters_collection(&MattersConfig {
+            ragged: true,
+            ..MattersConfig::default()
+        });
+        let (lo, hi) = ds.length_range().unwrap();
+        assert!(lo < hi, "ragged collections have unequal lengths");
+        let starts: std::collections::HashSet<u64> = ds
+            .iter()
+            .map(|(_, s)| s.axis().start as u64)
+            .collect();
+        assert!(starts.len() > 1, "ragged collections are misaligned");
+    }
+
+    #[test]
+    fn axis_is_annual() {
+        let ds = matters_collection(&MattersConfig::default());
+        let s = ds.by_name("MA-GrowthRate").unwrap();
+        assert_eq!(s.axis().start, 2001.0);
+        assert_eq!(s.axis().step, 1.0);
+        assert_eq!(s.len(), 16);
+    }
+
+    fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+        let n = xs.len().min(ys.len());
+        let (mx, sx) = mean_std(&xs[..n]);
+        let (my, sy) = mean_std(&ys[..n]);
+        if sx == 0.0 || sy == 0.0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += (xs[i] - mx) * (ys[i] - my);
+        }
+        acc / (n as f64 * sx * sy)
+    }
+}

@@ -1,0 +1,318 @@
+//! Generic synthetic workloads: random walks, sine mixtures and series
+//! with planted motifs. These drive the scaling experiments (E5, E7) where
+//! the paper uses "huge" collections of unspecified content, and the
+//! correctness tests that need a known ground truth.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use rand_distr_normal::Normal;
+
+use super::rng;
+use crate::{Dataset, TimeSeries};
+
+/// Minimal inline normal sampler (Box–Muller) so we do not pull in
+/// `rand_distr`; the quality requirements here are workload-shaping, not
+/// statistical testing.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Normal distribution via Box–Muller transform.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal {
+        mean: f64,
+        std: f64,
+    }
+
+    impl Normal {
+        pub fn new(mean: f64, std: f64) -> Self {
+            assert!(std >= 0.0, "negative standard deviation");
+            Normal { mean, std }
+        }
+
+        pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Box–Muller; u1 in (0, 1] to avoid ln(0).
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            self.mean + self.std * z
+        }
+    }
+}
+
+/// Shared knobs for the generic generators.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Number of series in a dataset.
+    pub series: usize,
+    /// Samples per series.
+    pub len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            series: 50,
+            len: 128,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// One Gaussian random walk of length `len`: x_0 = 0, x_t = x_{t-1} + N(0, step²).
+pub fn random_walk(len: usize, step: f64, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    let normal = Normal::new(0.0, step);
+    let mut x = 0.0;
+    (0..len)
+        .map(|_| {
+            x += normal.sample(&mut r);
+            x
+        })
+        .collect()
+}
+
+/// A dataset of independent random walks named `walk-0`, `walk-1`, ...
+pub fn random_walk_dataset(cfg: SyntheticConfig) -> Dataset {
+    let mut ds = Dataset::new();
+    for i in 0..cfg.series {
+        let values = random_walk(cfg.len, 1.0, cfg.seed.wrapping_add(i as u64));
+        ds.push(TimeSeries::new(format!("walk-{i}"), values))
+            .expect("generated names are unique");
+    }
+    ds
+}
+
+/// A mixture of `harmonics` random sinusoids plus Gaussian noise.
+///
+/// Base period is `len / 4` samples so several full cycles fit; harmonic k
+/// runs k times faster with 1/k amplitude (pink-ish spectrum).
+pub fn sine_mix(len: usize, harmonics: usize, noise: f64, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    let phase = Uniform::new(0.0, std::f64::consts::TAU);
+    let phases: Vec<f64> = (0..harmonics.max(1)).map(|_| phase.sample(&mut r)).collect();
+    let normal = Normal::new(0.0, noise);
+    let base = (len as f64 / 4.0).max(2.0);
+    (0..len)
+        .map(|t| {
+            let mut v = 0.0;
+            for (k, &ph) in phases.iter().enumerate() {
+                let freq = (k + 1) as f64;
+                v += (std::f64::consts::TAU * freq * t as f64 / base + ph).sin() / freq;
+            }
+            v + normal.sample(&mut r)
+        })
+        .collect()
+}
+
+/// Dataset of sine mixtures named `sine-0`, `sine-1`, ...
+pub fn sine_mix_dataset(cfg: SyntheticConfig, harmonics: usize, noise: f64) -> Dataset {
+    let mut ds = Dataset::new();
+    for i in 0..cfg.series {
+        let values = sine_mix(cfg.len, harmonics, noise, cfg.seed.wrapping_add(i as u64));
+        ds.push(TimeSeries::new(format!("sine-{i}"), values))
+            .expect("generated names are unique");
+    }
+    ds
+}
+
+/// A collection whose series fall into `archetypes` shape families: each
+/// series is one archetype's sine mixture plus small per-series jitter.
+/// This is the regime real sensor/periodic archives (and the UCR archive
+/// the paper's evaluation draws on) live in, and the regime the ONEX base
+/// compacts well — series of one family produce near-identical windows
+/// that collapse into shared similarity groups.
+///
+/// # Panics
+/// Panics when `archetypes` is zero.
+pub fn clustered_dataset(cfg: SyntheticConfig, archetypes: usize, jitter: f64) -> Dataset {
+    assert!(archetypes > 0, "need at least one archetype");
+    let mut ds = Dataset::new();
+    // Archetype phase sets are derived from the seed only, so the family
+    // shapes are stable as the series count grows.
+    let archetype_phases: Vec<Vec<f64>> = (0..archetypes)
+        .map(|a| {
+            let mut r = rng(cfg.seed.wrapping_mul(31).wrapping_add(a as u64));
+            let phase = Uniform::new(0.0, std::f64::consts::TAU);
+            (0..3).map(|_| phase.sample(&mut r)).collect()
+        })
+        .collect();
+    let base = (cfg.len as f64 / 4.0).max(2.0);
+    for i in 0..cfg.series {
+        let family = i % archetypes;
+        let mut r = rng(cfg.seed.wrapping_add(1000 + i as u64));
+        let noise = Normal::new(0.0, jitter);
+        let values: Vec<f64> = (0..cfg.len)
+            .map(|t| {
+                let mut v = 0.0;
+                for (k, &ph) in archetype_phases[family].iter().enumerate() {
+                    let freq = (k + 1) as f64;
+                    v += (std::f64::consts::TAU * freq * t as f64 / base + ph).sin() / freq;
+                }
+                v + noise.sample(&mut r)
+            })
+            .collect();
+        ds.push(TimeSeries::new(format!("fam{family}-{i}"), values))
+            .expect("generated names are unique");
+    }
+    ds
+}
+
+/// A noise series with `occurrences` copies of one random motif planted at
+/// non-overlapping positions. Returns `(series, motif, positions)`; the
+/// seasonal-query tests assert that ONEX rediscovers the positions.
+///
+/// # Panics
+/// Panics when the requested occurrences cannot fit disjointly.
+pub fn planted_motif_series(
+    len: usize,
+    motif_len: usize,
+    occurrences: usize,
+    noise: f64,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>, Vec<usize>) {
+    assert!(motif_len > 0, "motif_len must be positive");
+    assert!(
+        occurrences * motif_len <= len,
+        "{occurrences} motifs of {motif_len} samples cannot fit in {len}"
+    );
+    let mut r = rng(seed);
+    let normal = Normal::new(0.0, noise);
+    // Background: low-amplitude noise around 0.
+    let mut series: Vec<f64> = (0..len).map(|_| normal.sample(&mut r)).collect();
+    // Motif: a distinctive smooth bump scaled well above the noise floor.
+    let motif: Vec<f64> = (0..motif_len)
+        .map(|t| {
+            let x = t as f64 / (motif_len - 1).max(1) as f64;
+            // Asymmetric double bump: hard for pure noise to mimic.
+            8.0 * (std::f64::consts::PI * x).sin() + 3.0 * (2.0 * std::f64::consts::TAU * x).sin()
+        })
+        .collect();
+    // Place occurrences on an even grid with random jitter inside each slot.
+    let slot = len / occurrences;
+    let mut positions = Vec::with_capacity(occurrences);
+    for k in 0..occurrences {
+        let lo = k * slot;
+        let hi = (lo + slot).min(len) - motif_len;
+        let start = if hi > lo { r.gen_range(lo..=hi) } else { lo };
+        for (j, &m) in motif.iter().enumerate() {
+            series[start + j] += m;
+        }
+        positions.push(start);
+    }
+    (series, motif, positions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{mean_std, min_max};
+
+    #[test]
+    fn random_walk_is_deterministic_and_drifts() {
+        let a = random_walk(256, 1.0, 42);
+        let b = random_walk(256, 1.0, 42);
+        assert_eq!(a, b);
+        let (lo, hi) = min_max(&a).unwrap();
+        assert!(hi - lo > 1.0, "a 256-step walk moves");
+    }
+
+    #[test]
+    fn random_walk_step_scales_spread() {
+        let small = random_walk(512, 0.1, 1);
+        let large = random_walk(512, 10.0, 1);
+        let (_, s_small) = mean_std(&small);
+        let (_, s_large) = mean_std(&large);
+        assert!(s_large > s_small * 50.0);
+    }
+
+    #[test]
+    fn dataset_generators_name_uniquely() {
+        let cfg = SyntheticConfig {
+            series: 10,
+            len: 32,
+            seed: 5,
+        };
+        let ds = random_walk_dataset(cfg);
+        assert_eq!(ds.len(), 10);
+        assert!(ds.by_name("walk-9").is_some());
+        let ds2 = sine_mix_dataset(cfg, 3, 0.1);
+        assert_eq!(ds2.len(), 10);
+        assert_eq!(ds2.series(0).unwrap().len(), 32);
+    }
+
+    #[test]
+    fn sine_mix_oscillates() {
+        let xs = sine_mix(128, 2, 0.0, 9);
+        let (m, s) = mean_std(&xs);
+        assert!(m.abs() < 0.3, "roughly centred, got {m}");
+        assert!(s > 0.3, "oscillates, got std {s}");
+        assert!(xs.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn planted_motifs_dominate_noise() {
+        let (series, motif, positions) = planted_motif_series(1000, 50, 4, 0.2, 3);
+        assert_eq!(positions.len(), 4);
+        // Non-overlap.
+        for w in positions.windows(2) {
+            assert!(w[1] >= w[0] + 50, "motifs do not overlap");
+        }
+        // Each occurrence correlates strongly with the motif template.
+        for &p in &positions {
+            let window = &series[p..p + 50];
+            let err: f64 = window
+                .iter()
+                .zip(&motif)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            let scale: f64 = motif.iter().map(|m| m * m).sum::<f64>().sqrt();
+            assert!(err < scale * 0.5, "occurrence at {p} matches template");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn planted_motifs_reject_impossible_packing() {
+        planted_motif_series(100, 60, 2, 0.1, 0);
+    }
+
+    #[test]
+    fn clustered_dataset_families_are_tight() {
+        let cfg = SyntheticConfig {
+            series: 12,
+            len: 64,
+            seed: 5,
+        };
+        let ds = clustered_dataset(cfg, 4, 0.05);
+        assert_eq!(ds.len(), 12);
+        // Same family: small distance; different family: large.
+        let a0 = ds.by_name("fam0-0").unwrap().values();
+        let a4 = ds.by_name("fam0-4").unwrap().values();
+        let b1 = ds.by_name("fam1-1").unwrap().values();
+        let same: f64 = a0
+            .iter()
+            .zip(a4)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        let diff: f64 = a0
+            .iter()
+            .zip(b1)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        assert!(
+            diff > same * 3.0,
+            "families separate: same {same}, diff {diff}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "archetype")]
+    fn clustered_dataset_rejects_zero_archetypes() {
+        clustered_dataset(SyntheticConfig::default(), 0, 0.1);
+    }
+}

@@ -1,0 +1,320 @@
+//! Loading and saving time series collections.
+//!
+//! Two formats are supported:
+//!
+//! * **UCR archive format** — one series per line, whitespace- or
+//!   comma-separated, first field a class label (kept as part of the series
+//!   name). This is the format of the UCR time-series archive the paper's
+//!   ElectricityLoad collection is distributed in.
+//! * **Column CSV** — first row header with series names, one column per
+//!   series (how MATTERS-style indicator tables are exported). Shorter
+//!   columns are padded cells left empty and simply end earlier.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{Dataset, Error, Result, TimeSeries};
+
+/// Parse the UCR archive format from a reader.
+///
+/// Each non-empty line becomes one series named `"{stem}-{index}_c{label}"`
+/// where `label` is the first field (UCR class label, parsed as a float and
+/// formatted back, so `1` and `1.0` coincide).
+///
+/// # Errors
+/// [`Error::Parse`] on any token that is not a finite float.
+pub fn read_ucr<R: Read>(reader: R, stem: &str) -> Result<Dataset> {
+    let mut ds = Dataset::new();
+    let buf = BufReader::new(reader);
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|t| !t.is_empty());
+        let label_tok = fields.next().ok_or_else(|| Error::Parse {
+            line: lineno + 1,
+            message: "empty record".into(),
+        })?;
+        let label: f64 = parse_float(label_tok, lineno + 1)?;
+        let mut values = Vec::new();
+        for tok in fields {
+            values.push(parse_float(tok, lineno + 1)?);
+        }
+        if values.is_empty() {
+            return Err(Error::Parse {
+                line: lineno + 1,
+                message: "record has a label but no values".into(),
+            });
+        }
+        let name = format!("{stem}-{}_c{}", ds.len(), label);
+        ds.push(TimeSeries::new(name, values))?;
+    }
+    Ok(ds)
+}
+
+/// Load a UCR-format file; the file stem names the series.
+pub fn load_ucr_file(path: impl AsRef<Path>) -> Result<Dataset> {
+    let path = path.as_ref();
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("series");
+    let f = std::fs::File::open(path)?;
+    read_ucr(f, stem)
+}
+
+/// Parse column-oriented CSV: header row of series names, one column per
+/// series. Empty trailing cells end a column early; a non-empty cell after
+/// an empty one in the same column is an error (holes are not supported).
+pub fn read_csv_columns<R: Read>(reader: R) -> Result<Dataset> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => return Ok(Dataset::new()),
+    };
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_owned()).collect();
+    if names.iter().any(|n| n.is_empty()) {
+        return Err(Error::Parse {
+            line: 1,
+            message: "empty column name in header".into(),
+        });
+    }
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+    let mut closed: Vec<bool> = vec![false; names.len()];
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() > names.len() {
+            return Err(Error::Parse {
+                line: lineno + 2,
+                message: format!(
+                    "row has {} cells but header has {} columns",
+                    cells.len(),
+                    names.len()
+                ),
+            });
+        }
+        for (col, &cell) in cells.iter().enumerate() {
+            let cell = cell.trim();
+            if cell.is_empty() {
+                closed[col] = true;
+                continue;
+            }
+            if closed[col] {
+                return Err(Error::Parse {
+                    line: lineno + 2,
+                    message: format!("column {:?} resumes after a gap", names[col]),
+                });
+            }
+            columns[col].push(parse_float(cell, lineno + 2)?);
+        }
+        // Cells missing entirely at the end of the row close those columns.
+        for c in closed.iter_mut().skip(cells.len()) {
+            *c = true;
+        }
+    }
+    let mut ds = Dataset::new();
+    for (name, values) in names.into_iter().zip(columns) {
+        ds.push(TimeSeries::new(name, values))?;
+    }
+    Ok(ds)
+}
+
+/// Write a dataset as column CSV (inverse of [`read_csv_columns`] for
+/// equal-length collections; ragged collections round-trip too because
+/// shorter columns are padded with empty cells).
+pub fn write_csv_columns<W: Write>(ds: &Dataset, mut w: W) -> Result<()> {
+    let names: Vec<&str> = ds.iter().map(|(_, s)| s.name()).collect();
+    writeln!(w, "{}", names.join(","))?;
+    let rows = ds.length_range().map(|(_, hi)| hi).unwrap_or(0);
+    for row in 0..rows {
+        let mut cells = Vec::with_capacity(names.len());
+        for (_, s) in ds.iter() {
+            match s.values().get(row) {
+                Some(v) => cells.push(format_float(*v)),
+                None => cells.push(String::new()),
+            }
+        }
+        writeln!(w, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Write a dataset in the UCR archive format, one series per line with a
+/// leading class label. Labels are parsed back out of series names of the
+/// form `"…_c{label}"` (as produced by [`read_ucr`]); other names get
+/// label `0`.
+pub fn write_ucr<W: Write>(ds: &Dataset, mut w: W) -> Result<()> {
+    for (_, s) in ds.iter() {
+        let label = s
+            .name()
+            .rsplit_once("_c")
+            .and_then(|(_, l)| l.parse::<f64>().ok())
+            .unwrap_or(0.0);
+        write!(w, "{}", format_float(label))?;
+        for &v in s.values() {
+            write!(w, " {}", format_float(v))?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+fn parse_float(tok: &str, line: usize) -> Result<f64> {
+    let v: f64 = tok.parse().map_err(|_| Error::Parse {
+        line,
+        message: format!("invalid float {tok:?}"),
+    })?;
+    if !v.is_finite() {
+        return Err(Error::Parse {
+            line,
+            message: format!("non-finite value {tok:?}"),
+        });
+    }
+    Ok(v)
+}
+
+fn format_float(v: f64) -> String {
+    // Shortest representation that round-trips; ryu-style precision is not
+    // needed for CSV interchange, 17 significant digits always round-trips.
+    let short = format!("{v}");
+    if short.parse::<f64>() == Ok(v) {
+        short
+    } else {
+        format!("{v:.17}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ucr_whitespace_and_comma() {
+        let ds = read_ucr("1 0.5 0.6 0.7\n2,1.5,1.6,1.7\n".as_bytes(), "toy").unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.series(0).unwrap().name(), "toy-0_c1");
+        assert_eq!(ds.series(0).unwrap().values(), &[0.5, 0.6, 0.7]);
+        assert_eq!(ds.series(1).unwrap().values(), &[1.5, 1.6, 1.7]);
+    }
+
+    #[test]
+    fn ucr_skips_blank_lines() {
+        let ds = read_ucr("\n1 2 3\n\n".as_bytes(), "x").unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.series(0).unwrap().values(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn ucr_rejects_bad_floats_and_empty_records() {
+        assert!(read_ucr("1 2 xyz\n".as_bytes(), "x").is_err());
+        assert!(read_ucr("1\n".as_bytes(), "x").is_err());
+        assert!(read_ucr("1 inf\n".as_bytes(), "x").is_err());
+    }
+
+    #[test]
+    fn ucr_error_carries_line_number() {
+        let err = read_ucr("1 2 3\n1 oops\n".as_bytes(), "x").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn csv_columns_basic() {
+        let ds = read_csv_columns("MA,NY\n1.0,2.0\n1.5,2.5\n".as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.by_name("MA").unwrap().values(), &[1.0, 1.5]);
+        assert_eq!(ds.by_name("NY").unwrap().values(), &[2.0, 2.5]);
+    }
+
+    #[test]
+    fn csv_ragged_columns() {
+        let ds = read_csv_columns("a,b\n1,10\n2,\n3\n".as_bytes()).unwrap();
+        assert_eq!(ds.by_name("a").unwrap().values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(ds.by_name("b").unwrap().values(), &[10.0]);
+    }
+
+    #[test]
+    fn csv_rejects_holes() {
+        let err = read_csv_columns("a,b\n1,\n2,5\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("resumes after a gap"), "{err}");
+    }
+
+    #[test]
+    fn csv_rejects_wide_rows_and_bad_header() {
+        assert!(read_csv_columns("a\n1,2\n".as_bytes()).is_err());
+        assert!(read_csv_columns("a,,c\n1,2,3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn csv_empty_input() {
+        assert!(read_csv_columns("".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn csv_round_trip_ragged() {
+        let mut ds = Dataset::new();
+        ds.push(TimeSeries::new("x", vec![1.0, 2.25, -3.5])).unwrap();
+        ds.push(TimeSeries::new("y", vec![0.1])).unwrap();
+        let mut out = Vec::new();
+        write_csv_columns(&ds, &mut out).unwrap();
+        let back = read_csv_columns(out.as_slice()).unwrap();
+        assert_eq!(back.by_name("x").unwrap().values(), ds.by_name("x").unwrap().values());
+        assert_eq!(back.by_name("y").unwrap().values(), ds.by_name("y").unwrap().values());
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        for v in [0.1, 1.0 / 3.0, -2.5e-17, 123456.789] {
+            assert_eq!(format_float(v).parse::<f64>().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn ucr_write_read_round_trip() {
+        let ds = read_ucr("1 0.5 0.25\n2.5 1 2 3\n".as_bytes(), "rt").unwrap();
+        let mut out = Vec::new();
+        write_ucr(&ds, &mut out).unwrap();
+        let back = read_ucr(out.as_slice(), "rt").unwrap();
+        assert_eq!(back.len(), ds.len());
+        for i in 0..ds.len() {
+            assert_eq!(
+                back.series(i as u32).unwrap().values(),
+                ds.series(i as u32).unwrap().values()
+            );
+            // Labels survive: names coincide because both passes use the
+            // same stem and ordering.
+            assert_eq!(
+                back.series(i as u32).unwrap().name(),
+                ds.series(i as u32).unwrap().name()
+            );
+        }
+    }
+
+    #[test]
+    fn ucr_write_defaults_unlabelled_names() {
+        let ds = Dataset::from_series(vec![TimeSeries::new("plain", vec![1.0, 2.0])]).unwrap();
+        let mut out = Vec::new();
+        write_ucr(&ds, &mut out).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "0 1 2\n");
+    }
+
+    #[test]
+    fn ucr_file_round_trip_via_tempfile() {
+        let dir = std::env::temp_dir().join("onex_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy_ucr.txt");
+        std::fs::write(&path, "0 1.0 2.0 3.0\n1 4.0 5.0 6.0\n").unwrap();
+        let ds = load_ucr_file(&path).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert!(ds.series(0).unwrap().name().starts_with("toy_ucr-0"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,44 @@
+//! # onex-tseries — time series substrate for ONEX
+//!
+//! This crate provides the data model that every other ONEX crate builds on:
+//!
+//! * [`TimeSeries`] — a named, uniformly sampled sequence of `f64` values
+//!   with an explicit [`TimeAxis`] so heterogeneous collections (annual
+//!   economic indicators next to 15-minute electricity load) keep their
+//!   real-world coordinates.
+//! * [`Dataset`] — an ordered collection of series with name lookup and
+//!   subsequence access. ONEX explores *all* subsequences of a dataset, so
+//!   the dataset is the unit the ONEX base is built over.
+//! * [`normalize`] — z-normalisation and min–max scaling, both the ONEX
+//!   whole-series flavour and the UCR Suite per-window flavour.
+//! * [`stats`] — summary statistics, Welford running moments and quantiles
+//!   used by threshold recommendation.
+//! * [`ops`] — derived-series operators (differences, percent change,
+//!   smoothing, resampling) for the analyst preprocessing the paper's
+//!   use cases assume.
+//! * [`io`] — loaders/writers for the UCR archive format and simple CSV.
+//! * [`gen`] — deterministic workload generators, including the synthetic
+//!   stand-ins for the paper's MATTERS and ElectricityLoad collections
+//!   (see DESIGN.md §4 for the substitution rationale).
+//!
+//! Everything is deterministic given a seed; no global state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod error;
+mod series;
+
+pub mod gen;
+pub mod io;
+pub mod normalize;
+pub mod ops;
+pub mod stats;
+
+pub use dataset::{Dataset, DatasetSummary, SubseqRef};
+pub use error::Error;
+pub use series::{TimeAxis, TimeSeries};
+
+/// Convenient result alias for fallible substrate operations.
+pub type Result<T> = std::result::Result<T, Error>;

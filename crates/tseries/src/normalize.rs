@@ -1,0 +1,188 @@
+//! Normalisation primitives.
+//!
+//! ONEX compares raw sequences (the MATTERS use case depends on preserving
+//! scale differences between e.g. growth-rate percentages and unemployment
+//! head-counts), while the UCR Suite baseline z-normalises every candidate
+//! window. Both flavours live here so the two systems share one audited
+//! implementation.
+
+use crate::stats::mean_std;
+
+/// Smallest standard deviation treated as non-constant. Below this the
+/// z-normalised window is defined as all zeros (the UCR Suite convention
+/// for constant regions, which otherwise divide by ~0 and explode).
+pub const STD_FLOOR: f64 = 1e-12;
+
+/// Z-normalise into a fresh vector: `(x - mean) / std`.
+///
+/// Constant (or near-constant, see [`STD_FLOOR`]) input maps to all zeros.
+///
+/// ```
+/// use onex_tseries::normalize::znorm;
+/// let z = znorm(&[2.0, 4.0, 6.0]);
+/// assert!((z[0] + z[2]).abs() < 1e-12, "symmetric around the mean");
+/// assert_eq!(znorm(&[5.0, 5.0]), vec![0.0, 0.0]);
+/// ```
+pub fn znorm(xs: &[f64]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    znorm_in_place(&mut out);
+    out
+}
+
+/// Z-normalise a buffer in place.
+pub fn znorm_in_place(xs: &mut [f64]) {
+    if xs.is_empty() {
+        return;
+    }
+    let (m, s) = mean_std(xs);
+    if s < STD_FLOOR {
+        xs.iter_mut().for_each(|v| *v = 0.0);
+    } else {
+        let inv = 1.0 / s;
+        xs.iter_mut().for_each(|v| *v = (*v - m) * inv);
+    }
+}
+
+/// Z-normalise `src` into `dst` using externally supplied moments.
+///
+/// This is the UCR Suite "online" flavour: the caller maintains running
+/// sums over a sliding window and never rescans the window to compute the
+/// moments. `dst` must be at least as long as `src`.
+///
+/// # Panics
+/// Panics when `dst.len() < src.len()`.
+pub fn znorm_with_moments(src: &[f64], mean: f64, std: f64, dst: &mut [f64]) {
+    assert!(dst.len() >= src.len(), "dst too small");
+    if std < STD_FLOOR {
+        dst[..src.len()].iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let inv = 1.0 / std;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = (s - mean) * inv;
+    }
+}
+
+/// Min–max scale into `[0, 1]`. Constant input maps to all `0.5` (centre of
+/// the target interval), which keeps radial-chart rendering well defined.
+pub fn minmax(xs: &[f64]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    minmax_in_place(&mut out);
+    out
+}
+
+/// Min–max scale a buffer in place (see [`minmax`]).
+pub fn minmax_in_place(xs: &mut [f64]) {
+    if xs.is_empty() {
+        return;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in xs.iter() {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = hi - lo;
+    if range < STD_FLOOR {
+        xs.iter_mut().for_each(|v| *v = 0.5);
+    } else {
+        let inv = 1.0 / range;
+        xs.iter_mut().for_each(|v| *v = (*v - lo) * inv);
+    }
+}
+
+/// Mean-centre (subtract the mean, keep the scale). ONEX's offset-invariant
+/// comparison mode for indicators measured on a common scale but different
+/// baselines.
+pub fn center(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let m = xs.iter().sum::<f64>() / xs.len() as f64;
+    xs.iter().map(|v| v - m).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn znorm_has_zero_mean_unit_std() {
+        let z = znorm(&[2.0, 4.0, 6.0, 8.0]);
+        let (m, s) = mean_std(&z);
+        assert!(close(m, 0.0), "mean {m}");
+        assert!(close(s, 1.0), "std {s}");
+    }
+
+    #[test]
+    fn znorm_constant_is_zero() {
+        assert_eq!(znorm(&[3.0; 5]), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn znorm_empty_is_noop() {
+        assert!(znorm(&[]).is_empty());
+        let mut e: [f64; 0] = [];
+        znorm_in_place(&mut e);
+    }
+
+    #[test]
+    fn znorm_with_moments_matches_batch() {
+        let xs = [1.0, -2.0, 0.5, 7.0, 3.25];
+        let (m, s) = mean_std(&xs);
+        let mut online = vec![0.0; xs.len()];
+        znorm_with_moments(&xs, m, s, &mut online);
+        let batch = znorm(&xs);
+        for (a, b) in online.iter().zip(&batch) {
+            assert!(close(*a, *b));
+        }
+    }
+
+    #[test]
+    fn znorm_with_moments_zero_std() {
+        let xs = [4.0, 4.0];
+        let mut dst = [9.0, 9.0, 9.0];
+        znorm_with_moments(&xs, 4.0, 0.0, &mut dst);
+        assert_eq!(&dst[..2], &[0.0, 0.0]);
+        assert_eq!(dst[2], 9.0, "tail beyond src untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "dst too small")]
+    fn znorm_with_moments_checks_capacity() {
+        let mut dst = [0.0];
+        znorm_with_moments(&[1.0, 2.0], 0.0, 1.0, &mut dst);
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let y = minmax(&[10.0, 20.0, 15.0]);
+        assert!(close(y[0], 0.0));
+        assert!(close(y[1], 1.0));
+        assert!(close(y[2], 0.5));
+    }
+
+    #[test]
+    fn minmax_constant_maps_to_half() {
+        assert_eq!(minmax(&[7.0; 3]), vec![0.5; 3]);
+        assert!(minmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn minmax_handles_negative_ranges() {
+        let y = minmax(&[-5.0, -1.0]);
+        assert!(close(y[0], 0.0));
+        assert!(close(y[1], 1.0));
+    }
+
+    #[test]
+    fn center_removes_mean_keeps_scale() {
+        let c = center(&[1.0, 2.0, 3.0]);
+        assert!(close(c.iter().sum::<f64>(), 0.0));
+        assert!(close(c[2] - c[0], 2.0));
+        assert!(center(&[]).is_empty());
+    }
+}

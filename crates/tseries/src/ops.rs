@@ -1,0 +1,165 @@
+//! Series-level preprocessing operators.
+//!
+//! The MATTERS analysts of the paper's motivating example compare *rates
+//! of change* and *smoothed trends* as often as raw levels; these
+//! operators produce those derived series while preserving axis metadata
+//! so downstream views stay correctly labelled.
+
+use crate::{TimeSeries};
+
+/// First difference: `y_i = x_{i+1} − x_i` (one sample shorter). Turns
+/// levels into changes — unemployment counts into monthly swings.
+pub fn diff(s: &TimeSeries) -> TimeSeries {
+    let values: Vec<f64> = s.values().windows(2).map(|w| w[1] - w[0]).collect();
+    TimeSeries::with_axis(format!("Δ{}", s.name()), values, s.axis().offset(1))
+}
+
+/// Percent change: `y_i = 100·(x_{i+1} − x_i)/x_i` (one sample shorter).
+/// Samples where `x_i` is ~0 yield 0 rather than exploding, which keeps
+/// downstream distance computations finite.
+pub fn pct_change(s: &TimeSeries) -> TimeSeries {
+    let values: Vec<f64> = s
+        .values()
+        .windows(2)
+        .map(|w| {
+            if w[0].abs() < 1e-12 {
+                0.0
+            } else {
+                100.0 * (w[1] - w[0]) / w[0]
+            }
+        })
+        .collect();
+    TimeSeries::with_axis(format!("%Δ{}", s.name()), values, s.axis().offset(1))
+}
+
+/// Centred moving average of odd window `w` (edges use the available
+/// partial window, so the output keeps the input length and axis).
+///
+/// # Panics
+/// Panics when `window` is even or zero — a centred window must have a
+/// middle sample.
+pub fn moving_average(s: &TimeSeries, window: usize) -> TimeSeries {
+    assert!(window % 2 == 1 && window > 0, "window must be odd and positive");
+    let half = window / 2;
+    let xs = s.values();
+    let n = xs.len();
+    let values: Vec<f64> = (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    TimeSeries::with_axis(format!("ma{window}({})", s.name()), values, s.axis())
+}
+
+/// Linear resampling to `target_len` samples over the same time span —
+/// the alignment step for comparing series reported at different
+/// granularities (annual vs quarterly), one of the paper's "misaligned"
+/// cases.
+///
+/// # Panics
+/// Panics when the input has fewer than 2 samples or `target_len` < 2.
+pub fn resample(s: &TimeSeries, target_len: usize) -> TimeSeries {
+    let xs = s.values();
+    assert!(xs.len() >= 2, "resampling needs at least 2 samples");
+    assert!(target_len >= 2, "target length must be at least 2");
+    let n = xs.len();
+    let values: Vec<f64> = (0..target_len)
+        .map(|i| {
+            let pos = i as f64 * (n - 1) as f64 / (target_len - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            xs[lo] + (xs[hi.min(n - 1)] - xs[lo]) * frac
+        })
+        .collect();
+    let old_axis = s.axis();
+    let new_step = old_axis.step * (n - 1) as f64 / (target_len - 1) as f64;
+    TimeSeries::with_axis(
+        format!("resample{target_len}({})", s.name()),
+        values,
+        crate::TimeAxis {
+            start: old_axis.start,
+            step: new_step,
+            unit: old_axis.unit,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimeAxis;
+
+    fn annual(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::with_axis("x", values, TimeAxis::annual(2000))
+    }
+
+    #[test]
+    fn diff_shortens_and_shifts_axis() {
+        let d = diff(&annual(vec![1.0, 3.0, 2.0, 6.0]));
+        assert_eq!(d.values(), &[2.0, -1.0, 4.0]);
+        assert_eq!(d.axis().start, 2001.0);
+        assert_eq!(d.name(), "Δx");
+        assert!(diff(&annual(vec![5.0])).is_empty());
+    }
+
+    #[test]
+    fn pct_change_guards_zero_base() {
+        let p = pct_change(&annual(vec![100.0, 110.0, 0.0, 5.0]));
+        assert_eq!(p.values()[0], 10.0);
+        assert_eq!(p.values()[2], 0.0, "division by ~0 yields 0");
+    }
+
+    #[test]
+    fn moving_average_smooths_and_keeps_length() {
+        let m = moving_average(&annual(vec![0.0, 10.0, 0.0, 10.0, 0.0]), 3);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.values()[2], 20.0 / 3.0);
+        // Edges average the partial window.
+        assert_eq!(m.values()[0], 5.0);
+        assert_eq!(m.axis().start, 2000.0);
+        // Smoothing reduces variance.
+        let raw = annual(vec![0.0, 10.0, 0.0, 10.0, 0.0]);
+        let (_, s_raw) = crate::stats::mean_std(raw.values());
+        let (_, s_smooth) = crate::stats::mean_std(m.values());
+        assert!(s_smooth < s_raw);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn moving_average_rejects_even_window() {
+        moving_average(&annual(vec![1.0, 2.0, 3.0]), 2);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_span() {
+        let s = annual(vec![0.0, 1.0, 2.0, 3.0]); // 2000..2003
+        let up = resample(&s, 7);
+        assert_eq!(up.len(), 7);
+        assert_eq!(up.values()[0], 0.0);
+        assert_eq!(*up.values().last().unwrap(), 3.0);
+        assert!((up.values()[3] - 1.5).abs() < 1e-12, "midpoint interpolates");
+        assert!((up.axis().at(6) - 2003.0).abs() < 1e-12, "span preserved");
+        let down = resample(&s, 2);
+        assert_eq!(down.values(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn resample_then_compare_fixes_misalignment() {
+        // Quarterly vs annual versions of the same trend become directly
+        // comparable after resampling.
+        let annual_s = annual(vec![0.0, 4.0, 8.0, 12.0]);
+        let quarterly = TimeSeries::with_axis(
+            "q",
+            (0..13).map(|i| i as f64).collect(),
+            TimeAxis::quarterly(2000),
+        );
+        let aligned = resample(&quarterly, 4);
+        assert_eq!(aligned.len(), annual_s.len());
+        for (a, b) in aligned.values().iter().zip(annual_s.values()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+use std::fmt;
+
+/// The real-world coordinate system of a uniformly sampled series.
+///
+/// ONEX collections are heterogeneous: annual economic indicators sit next
+/// to 15-minute electricity load. Keeping `start`/`step` with each series
+/// lets the visual analytics layer label axes in real units while all
+/// analytics operate on sample indices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeAxis {
+    /// Coordinate of the first sample (e.g. 2008.0 for "year 2008").
+    pub start: f64,
+    /// Distance between consecutive samples (e.g. 1.0 for annual,
+    /// 0.25 for quarterly, 1.0/35040.0 for 15-minute data in year units).
+    pub step: f64,
+    /// Human-readable unit for axis labels (e.g. `"year"`, `"hour"`).
+    pub unit: &'static str,
+}
+
+impl TimeAxis {
+    /// Plain sample-index axis: 0, 1, 2, ... with unit `"t"`.
+    pub const INDEX: TimeAxis = TimeAxis {
+        start: 0.0,
+        step: 1.0,
+        unit: "t",
+    };
+
+    /// Annual axis starting at the given year.
+    pub fn annual(start_year: u32) -> Self {
+        TimeAxis {
+            start: start_year as f64,
+            step: 1.0,
+            unit: "year",
+        }
+    }
+
+    /// Quarterly axis starting at the given year.
+    pub fn quarterly(start_year: u32) -> Self {
+        TimeAxis {
+            start: start_year as f64,
+            step: 0.25,
+            unit: "year",
+        }
+    }
+
+    /// Hourly axis measured in hours from 0.
+    pub fn hourly() -> Self {
+        TimeAxis {
+            start: 0.0,
+            step: 1.0,
+            unit: "hour",
+        }
+    }
+
+    /// Coordinate of sample `i`.
+    #[inline]
+    pub fn at(&self, i: usize) -> f64 {
+        self.start + self.step * i as f64
+    }
+
+    /// The axis obtained by dropping the first `offset` samples.
+    pub fn offset(&self, offset: usize) -> Self {
+        TimeAxis {
+            start: self.at(offset),
+            step: self.step,
+            unit: self.unit,
+        }
+    }
+}
+
+impl Default for TimeAxis {
+    fn default() -> Self {
+        TimeAxis::INDEX
+    }
+}
+
+/// A named, uniformly sampled, univariate time series.
+///
+/// Values are `f64`; the substrate does not forbid NaN (loaders reject it,
+/// generators never produce it) but all distance code documents finite
+/// input as a precondition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    name: String,
+    values: Vec<f64>,
+    axis: TimeAxis,
+}
+
+impl TimeSeries {
+    /// Create a series with the default index axis.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            values,
+            axis: TimeAxis::INDEX,
+        }
+    }
+
+    /// Create a series with an explicit time axis.
+    pub fn with_axis(name: impl Into<String>, values: Vec<f64>, axis: TimeAxis) -> Self {
+        TimeSeries {
+            name: name.into(),
+            values,
+            axis,
+        }
+    }
+
+    /// The series name (unique within a [`crate::Dataset`]).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The raw sample values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the samples (used by in-place normalisation).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The real-world coordinate system.
+    #[inline]
+    pub fn axis(&self) -> TimeAxis {
+        self.axis
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the series has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow the subsequence `[start, start + len)`, or `None` when out of
+    /// bounds. Zero-length requests are answered with an empty slice only
+    /// when `start` is itself in bounds.
+    pub fn subsequence(&self, start: usize, len: usize) -> Option<&[f64]> {
+        let end = start.checked_add(len)?;
+        self.values.get(start..end)
+    }
+
+    /// Owned copy of a subsequence as a new series named
+    /// `"{name}[{start}..{start+len}]"` with a correctly shifted axis.
+    pub fn slice_owned(&self, start: usize, len: usize) -> Option<TimeSeries> {
+        let window = self.subsequence(start, len)?;
+        Some(TimeSeries {
+            name: format!("{}[{}..{}]", self.name, start, start + len),
+            values: window.to_vec(),
+            axis: self.axis.offset(start),
+        })
+    }
+
+    /// True when every sample is finite (no NaN / infinity).
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
+    /// Iterator over `(coordinate, value)` pairs in axis units.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (self.axis.at(i), v))
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (n={})", self.name, self.values.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_coordinates() {
+        let ax = TimeAxis::annual(2008);
+        assert_eq!(ax.at(0), 2008.0);
+        assert_eq!(ax.at(5), 2013.0);
+        let q = TimeAxis::quarterly(2010);
+        assert_eq!(q.at(4), 2011.0);
+    }
+
+    #[test]
+    fn axis_offset_shifts_start() {
+        let ax = TimeAxis::annual(2000).offset(3);
+        assert_eq!(ax.start, 2003.0);
+        assert_eq!(ax.step, 1.0);
+    }
+
+    #[test]
+    fn subsequence_bounds() {
+        let s = TimeSeries::new("s", vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.subsequence(1, 2), Some(&[2.0, 3.0][..]));
+        assert_eq!(s.subsequence(0, 4), Some(&[1.0, 2.0, 3.0, 4.0][..]));
+        assert_eq!(s.subsequence(3, 2), None);
+        assert_eq!(s.subsequence(4, 1), None);
+        assert_eq!(s.subsequence(usize::MAX, 2), None);
+    }
+
+    #[test]
+    fn slice_owned_carries_axis_and_name() {
+        let s = TimeSeries::with_axis("MA", vec![1.0, 2.0, 3.0, 4.0], TimeAxis::annual(2010));
+        let sub = s.slice_owned(2, 2).unwrap();
+        assert_eq!(sub.name(), "MA[2..4]");
+        assert_eq!(sub.values(), &[3.0, 4.0]);
+        assert_eq!(sub.axis().start, 2012.0);
+    }
+
+    #[test]
+    fn points_pair_axis_with_values() {
+        let s = TimeSeries::with_axis("s", vec![5.0, 6.0], TimeAxis::annual(1999));
+        let pts: Vec<_> = s.points().collect();
+        assert_eq!(pts, vec![(1999.0, 5.0), (2000.0, 6.0)]);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        assert!(TimeSeries::new("ok", vec![0.0, -1.5]).is_finite());
+        assert!(!TimeSeries::new("nan", vec![0.0, f64::NAN]).is_finite());
+        assert!(!TimeSeries::new("inf", vec![f64::INFINITY]).is_finite());
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new("e", vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.subsequence(0, 0), Some(&[][..]));
+        assert_eq!(s.subsequence(1, 0), None);
+    }
+}

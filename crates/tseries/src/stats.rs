@@ -1,0 +1,264 @@
+//! Summary statistics used across ONEX.
+//!
+//! Threshold recommendation (experiment E8) needs robust quantiles of
+//! sampled pairwise distances; the UCR Suite needs numerically careful
+//! running moments over sliding windows; group construction tracks member
+//! spread with Welford accumulators. They all share this module.
+
+/// Population mean and standard deviation in one pass.
+///
+/// Returns `(0, 0)` for empty input. Uses the naive two-accumulator form,
+/// which is adequate for the magnitudes ONEX sees (|x| ≲ 1e6, n ≲ 1e5);
+/// [`Welford`] is available where cancellation is a concern.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mut sum = 0.0;
+    let mut sumsq = 0.0;
+    for &v in xs {
+        sum += v;
+        sumsq += v * v;
+    }
+    let mean = sum / n;
+    let var = (sumsq / n - mean * mean).max(0.0);
+    (mean, var.sqrt())
+}
+
+/// Minimum and maximum, `None` for empty input. NaN values are ignored;
+/// all-NaN input behaves like empty input.
+pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
+    let mut out: Option<(f64, f64)> = None;
+    for &v in xs {
+        if v.is_nan() {
+            continue;
+        }
+        out = Some(match out {
+            None => (v, v),
+            Some((lo, hi)) => (lo.min(v), hi.max(v)),
+        });
+    }
+    out
+}
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+///
+/// Used by group construction to track intra-group distance spread without
+/// storing the distances.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 before any observation).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).max(0.0)
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n;
+        self.m2 += other.m2 + delta * delta * (self.n as f64) * (other.n as f64) / n;
+        self.n += other.n;
+    }
+}
+
+/// Linear-interpolation quantile of `sorted` (ascending) at `q ∈ [0, 1]`.
+///
+/// # Panics
+/// Panics on empty input or `q` outside `[0, 1]`; threshold recommendation
+/// always samples at least one distance before calling this.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Sort a copy and take several quantiles at once (cheaper than repeated
+/// full sorts when recommendation reports a whole ladder of thresholds).
+pub fn quantiles(xs: &[f64], qs: &[f64]) -> Vec<f64> {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    qs.iter().map(|&q| quantile_sorted(&sorted, q)).collect()
+}
+
+/// Lag-`k` sample autocorrelation. Returns 0 for degenerate input
+/// (fewer than `k + 2` samples or zero variance). Used by the seasonal
+/// examples to sanity-check planted periodicities.
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    if xs.len() < k + 2 {
+        return 0.0;
+    }
+    let (mean, std) = mean_std(xs);
+    if std == 0.0 {
+        return 0.0;
+    }
+    let var = std * std;
+    let n = xs.len();
+    let mut acc = 0.0;
+    for i in 0..n - k {
+        acc += (xs[i] - mean) * (xs[i + k] - mean);
+    }
+    acc / (n as f64 * var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!(close(m, 5.0));
+        assert!(close(s, 2.0));
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn min_max_ignores_nan() {
+        assert_eq!(min_max(&[3.0, f64::NAN, -1.0]), Some((-1.0, 3.0)));
+        assert_eq!(min_max(&[f64::NAN]), None);
+        assert_eq!(min_max(&[]), None);
+    }
+
+    #[test]
+    fn welford_matches_batch() {
+        let xs = [1.0, 2.5, -3.0, 4.0, 0.0, 0.0, 8.5];
+        let mut w = Welford::new();
+        xs.iter().for_each(|&x| w.push(x));
+        let (m, s) = mean_std(&xs);
+        assert!(close(w.mean(), m));
+        assert!(close(w.std(), s));
+        assert_eq!(w.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        xs[..37].iter().for_each(|&x| left.push(x));
+        xs[37..].iter().for_each(|&x| right.push(x));
+        left.merge(&right);
+        assert!(close(left.mean(), whole.mean()));
+        assert!(close(left.variance(), whole.variance()));
+        assert_eq!(left.count(), whole.count());
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(5.0);
+        let b = Welford::new();
+        let mut a2 = a;
+        a2.merge(&b);
+        assert!(close(a2.mean(), 5.0));
+        let mut c = Welford::new();
+        c.merge(&a);
+        assert!(close(c.mean(), 5.0));
+    }
+
+    #[test]
+    fn welford_degenerate_variance() {
+        let mut w = Welford::new();
+        assert_eq!(w.variance(), 0.0);
+        w.push(2.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        let qs = quantiles(&xs, &[0.0, 0.5, 1.0, 1.0 / 3.0]);
+        assert!(close(qs[0], 1.0));
+        assert!(close(qs[1], 2.5));
+        assert!(close(qs[2], 4.0));
+        assert!(close(qs[3], 2.0));
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile_sorted(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_bad_fraction_panics() {
+        quantile_sorted(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn autocorrelation_detects_period() {
+        let xs: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * std::f64::consts::TAU / 20.0).sin())
+            .collect();
+        assert!(autocorrelation(&xs, 20) > 0.8, "period lag is correlated");
+        assert!(autocorrelation(&xs, 10) < -0.8, "half period anti-correlated");
+        assert_eq!(autocorrelation(&xs, 199), 0.0, "too short for lag");
+        assert_eq!(autocorrelation(&[1.0; 50], 5), 0.0, "constant series");
+    }
+}

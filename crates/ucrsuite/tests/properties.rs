@@ -1,0 +1,83 @@
+//! Property tests: the UCR Suite must agree with an unoptimised
+//! z-normalised scan on every input — the whole cascade is pure pruning,
+//! never approximation.
+
+use onex_distance::{dtw, Band};
+use onex_tseries::normalize::znorm;
+use onex_ucrsuite::{ucr_dtw_search, ucr_ed_search, DtwSearchConfig};
+use proptest::prelude::*;
+
+fn brute_force_dtw(t: &[f64], q: &[f64], radius: usize) -> (usize, f64) {
+    let m = q.len();
+    let qz = znorm(q);
+    let mut best = (0usize, f64::INFINITY);
+    for start in 0..=t.len() - m {
+        let cz = znorm(&t[start..start + m]);
+        let d = dtw(&qz, &cz, Band::SakoeChiba(radius));
+        if d < best.1 {
+            best = (start, d);
+        }
+    }
+    best
+}
+
+fn brute_force_ed(t: &[f64], q: &[f64]) -> f64 {
+    let m = q.len();
+    let qz = znorm(q);
+    let mut best = f64::INFINITY;
+    for start in 0..=t.len() - m {
+        let cz = znorm(&t[start..start + m]);
+        let d: f64 = qz
+            .iter()
+            .zip(&cz)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        best = best.min(d);
+    }
+    best
+}
+
+fn series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-50.0f64..50.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dtw_search_equals_brute_force(
+        t in series(30..80),
+        q in series(4..16),
+        frac in 0.0f64..0.3,
+    ) {
+        let cfg = DtwSearchConfig { band_fraction: frac };
+        let (hit, stats) = ucr_dtw_search(&t, &q, &cfg).expect("t longer than q");
+        let radius = (frac * q.len() as f64).ceil() as usize;
+        let (_, bf_dist) = brute_force_dtw(&t, &q, radius);
+        prop_assert!(
+            (hit.distance - bf_dist).abs() < 1e-7,
+            "ucr {} vs brute {}", hit.distance, bf_dist
+        );
+        prop_assert_eq!(stats.candidates, t.len() - q.len() + 1);
+    }
+
+    #[test]
+    fn ed_search_equals_brute_force(t in series(30..80), q in series(4..16)) {
+        let (hit, _) = ucr_ed_search(&t, &q).expect("t longer than q");
+        let bf = brute_force_ed(&t, &q);
+        prop_assert!((hit.distance - bf).abs() < 1e-7, "{} vs {bf}", hit.distance);
+    }
+
+    #[test]
+    fn pruning_counters_are_consistent(t in series(40..100), q in series(6..14)) {
+        let (_, stats) = ucr_dtw_search(&t, &q, &DtwSearchConfig::default()).unwrap();
+        let accounted = stats.kim_pruned
+            + stats.keogh_eq_pruned
+            + stats.keogh_ec_pruned
+            + stats.dtw_runs;
+        prop_assert_eq!(accounted, stats.candidates, "every candidate ends somewhere");
+        prop_assert!(stats.dtw_abandoned <= stats.dtw_runs);
+        prop_assert!((0.0..=1.0).contains(&stats.prune_rate()));
+    }
+}

@@ -1,0 +1,124 @@
+//! Terminal-friendly renditions: sparklines and block charts.
+//!
+//! The demo is a web UI; the library's examples run in a terminal, so each
+//! view has a coarse ASCII twin for immediate feedback.
+
+/// Eight-level Unicode sparkline of a series (`▁▂▃▄▅▆▇█`), one character
+/// per sample. Empty input gives an empty string; a constant series
+/// renders at mid level.
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let (lo, hi) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    let range = hi - lo;
+    values
+        .iter()
+        .map(|&v| {
+            let t = if range < 1e-12 {
+                0.5
+            } else {
+                (v - lo) / range
+            };
+            LEVELS[((t * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+/// A `width`×`height` character chart of a series, drawn with `*` marks on
+/// a dotted baseline grid. Suitable for quick terminal inspection of
+/// longer series than a sparkline can show.
+pub fn chart(values: &[f64], width: usize, height: usize) -> String {
+    if values.is_empty() || width == 0 || height == 0 {
+        return String::new();
+    }
+    let (lo, hi) = values
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
+    let range = (hi - lo).max(1e-12);
+    let mut grid = vec![vec![' '; width]; height];
+    #[allow(clippy::needless_range_loop)] // col indexes both the input range and the row
+    for col in 0..width {
+        // Average the samples that fall into this column.
+        let from = col * values.len() / width;
+        let to = (((col + 1) * values.len()) / width).max(from + 1);
+        let avg: f64 =
+            values[from..to.min(values.len())].iter().sum::<f64>() / (to - from) as f64;
+        let t = (avg - lo) / range;
+        let row = ((1.0 - t) * (height - 1) as f64).round() as usize;
+        grid[row.min(height - 1)][col] = '*';
+    }
+    let mut out = String::with_capacity((width + 1) * height);
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render seasonal occurrences as an annotation line under a sparkline:
+/// occurrences alternate `a`/`b` blocks (the paper's alternating blue and
+/// green coloration), background is `.`.
+pub fn occurrence_track(len: usize, occurrences: &[(usize, usize)]) -> String {
+    let mut track = vec!['.'; len];
+    for (k, &(start, olen)) in occurrences.iter().enumerate() {
+        let mark = if k % 2 == 0 { 'a' } else { 'b' };
+        for c in track.iter_mut().skip(start).take(olen) {
+            *c = mark;
+        }
+    }
+    track.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0, 5.0]), "▅▅", "constant at mid level");
+    }
+
+    #[test]
+    fn chart_dimensions() {
+        let vals: Vec<f64> = (0..100).map(|i| (i as f64 * 0.2).sin()).collect();
+        let c = chart(&vals, 40, 8);
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().all(|l| l.chars().count() == 40));
+        assert_eq!(c.matches('*').count(), 40, "one mark per column");
+        assert_eq!(chart(&[], 10, 5), "");
+        assert_eq!(chart(&vals, 0, 5), "");
+    }
+
+    #[test]
+    fn chart_monotone_series_marks_descend() {
+        let vals: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let c = chart(&vals, 10, 5);
+        let lines: Vec<&str> = c.lines().collect();
+        // First column mark is in the bottom row, last column in the top.
+        assert_eq!(lines[4].chars().next(), Some('*'));
+        assert_eq!(lines[0].chars().last(), Some('*'));
+    }
+
+    #[test]
+    fn occurrence_track_alternates() {
+        let t = occurrence_track(12, &[(1, 3), (6, 3)]);
+        assert_eq!(t, ".aaa..bbb...");
+        assert_eq!(occurrence_track(4, &[]), "....");
+        // Out-of-range occurrences are clipped, not panicking.
+        assert_eq!(occurrence_track(4, &[(3, 5)]), "...a");
+    }
+}

@@ -1,0 +1,41 @@
+//! # onex-viz — ONEX visual analytics
+//!
+//! The paper's §3.4 argues the *visualisations* are what make the
+//! analytics interactive: warped-point links show how DTW matched shapes,
+//! radial charts compact alignments, connected scatter plots reveal
+//! value-level agreement, the overview pane summarises the base, and the
+//! seasonal view paints recurrences. This crate renders each of those
+//! views from engine results into self-contained SVG (and quick ASCII for
+//! terminals), replacing the demo's web front-end with deterministic
+//! artefacts (DESIGN.md §4).
+//!
+//! | Paper figure | Type here |
+//! |---|---|
+//! | §3.4 "stacked lines charts" | [`StackedLines`] |
+//! | Fig 2 overview pane | [`OverviewPane`] |
+//! | Fig 2 query preview pane (brushing) | [`QueryPreview`] |
+//! | Fig 2 results pane (multiple lines + dotted warp links) | [`MultiLineChart`] |
+//! | Fig 3a radial chart | [`RadialChart`] |
+//! | Fig 3b connected scatter plot | [`ConnectedScatter`] |
+//! | Fig 4 seasonal view | [`SeasonalView`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+mod multiline;
+mod overview;
+mod preview;
+mod radial;
+mod scatter;
+mod seasonal_view;
+mod stacked;
+pub mod svg;
+
+pub use multiline::MultiLineChart;
+pub use stacked::{StackedLines, StripScale};
+pub use overview::OverviewPane;
+pub use preview::QueryPreview;
+pub use radial::RadialChart;
+pub use scatter::ConnectedScatter;
+pub use seasonal_view::{cardinality_color, SeasonalView};

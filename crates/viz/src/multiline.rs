@@ -1,0 +1,198 @@
+//! Multiple-lines chart with warped-point links (Fig 2, Results pane).
+//!
+//! *"The default 'multiple lines' chart displays both time series on a
+//! single graph. The 'matched points' are connected with dotted lines
+//! helping the analyst get a better intuition of how similar the time
+//! series shapes are and their relative warping."*
+
+use onex_core::Match;
+use onex_distance::WarpingPath;
+use onex_tseries::Dataset;
+
+use crate::svg::{Scale, Style, SvgCanvas};
+
+const PALETTE: [&str; 6] = [
+    "#1f4e79", "#c0504d", "#4f8f4f", "#8064a2", "#d08020", "#3fa0a0",
+];
+
+/// Builder for the multiple-lines view.
+///
+/// ```
+/// use onex_viz::MultiLineChart;
+/// let svg = MultiLineChart::new(480, 270, "demo")
+///     .add_series("query", &[0.0, 1.0, 2.0, 1.0])
+///     .add_series("match", &[0.1, 1.1, 1.9, 0.8])
+///     .render();
+/// assert!(svg.starts_with("<svg"));
+/// assert_eq!(svg.matches("<polyline").count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiLineChart {
+    width: u32,
+    height: u32,
+    title: String,
+    series: Vec<(String, Vec<f64>)>,
+    /// Dotted alignment links between series 0 and series 1.
+    links: Option<WarpingPath>,
+}
+
+impl MultiLineChart {
+    /// An empty chart of the given pixel size.
+    pub fn new(width: u32, height: u32, title: impl Into<String>) -> Self {
+        MultiLineChart {
+            width,
+            height,
+            title: title.into(),
+            series: Vec::new(),
+            links: None,
+        }
+    }
+
+    /// Add one named line.
+    pub fn add_series(mut self, name: impl Into<String>, values: &[f64]) -> Self {
+        self.series.push((name.into(), values.to_vec()));
+        self
+    }
+
+    /// Attach the warping path linking series 0 (query) to series 1
+    /// (match); drawn as dotted connectors between matched points.
+    pub fn with_warp_links(mut self, path: &WarpingPath) -> Self {
+        self.links = Some(path.clone());
+        self
+    }
+
+    /// Convenience: the Results-pane chart for a query and its match.
+    pub fn for_match(query: &[f64], m: &Match, dataset: &Dataset) -> Self {
+        let matched = dataset
+            .resolve(m.subseq)
+            .expect("match references its dataset");
+        MultiLineChart::new(
+            640,
+            360,
+            format!("best match: {} (dtw {:.4})", m.series_name, m.distance),
+        )
+        .add_series("query", query)
+        .add_series(format!("match [{}]", m.subseq), matched)
+        .with_warp_links(&m.path)
+    }
+
+    /// Render to a self-contained SVG document.
+    pub fn render(&self) -> String {
+        let mut c = SvgCanvas::new(self.width, self.height);
+        let margin = 36.0;
+        let (w, h) = (self.width as f64, self.height as f64);
+        c.text(margin, 18.0, 13.0, &self.title);
+
+        let max_len = self.series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        if max_len < 2 {
+            return c.finish();
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (_, v) in &self.series {
+            for &x in v {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+        }
+        let sx = Scale::new((0.0, (max_len - 1) as f64), (margin, w - margin));
+        let sy = Scale::new((lo, hi), (h - margin, margin));
+
+        // Axes frame.
+        let frame = Style {
+            stroke: "#bbb".into(),
+            stroke_width: 1.0,
+            ..Style::default()
+        };
+        c.rect(margin, margin, w - 2.0 * margin, h - 2.0 * margin, &frame);
+
+        // Warp links first (underneath the lines).
+        if let (Some(path), true) = (&self.links, self.series.len() >= 2) {
+            let a = &self.series[0].1;
+            let b = &self.series[1].1;
+            let link_style = Style::dotted("#999");
+            for &(i, j) in path.pairs() {
+                let (i, j) = (i as usize, j as usize);
+                if i < a.len() && j < b.len() {
+                    c.line(
+                        sx.apply(i as f64),
+                        sy.apply(a[i]),
+                        sx.apply(j as f64),
+                        sy.apply(b[j]),
+                        &link_style,
+                    );
+                }
+            }
+        }
+
+        for (k, (name, values)) in self.series.iter().enumerate() {
+            let color = PALETTE[k % PALETTE.len()];
+            let pts: Vec<(f64, f64)> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (sx.apply(i as f64), sy.apply(v)))
+                .collect();
+            c.polyline(&pts, &Style::stroke(color));
+            c.text(
+                margin + 4.0,
+                margin + 14.0 + 14.0 * k as f64,
+                11.0,
+                &format!("— {name}"),
+            );
+        }
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_lines_and_links() {
+        let a = [0.0, 1.0, 2.0, 1.0];
+        let b = [0.1, 1.1, 1.9, 0.9];
+        let path = WarpingPath::diagonal(4);
+        let svg = MultiLineChart::new(300, 200, "t")
+            .add_series("a", &a)
+            .add_series("b", &b)
+            .with_warp_links(&path)
+            .render();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(
+            svg.matches("stroke-dasharray").count(),
+            4,
+            "one dotted link per path pair"
+        );
+        assert!(svg.contains("— a"));
+    }
+
+    #[test]
+    fn handles_unequal_lengths() {
+        let svg = MultiLineChart::new(300, 200, "t")
+            .add_series("long", &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+            .add_series("short", &[5.0, 4.0])
+            .render();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn degenerate_inputs_render_empty_frame() {
+        let svg = MultiLineChart::new(300, 200, "empty").render();
+        assert!(svg.starts_with("<svg"));
+        let one_point = MultiLineChart::new(300, 200, "p")
+            .add_series("x", &[1.0])
+            .render();
+        assert!(!one_point.contains("<polyline"));
+    }
+
+    #[test]
+    fn out_of_range_link_indices_are_clipped() {
+        let path = WarpingPath::new(vec![(0, 0), (1, 1), (9, 9)]);
+        let svg = MultiLineChart::new(300, 200, "t")
+            .add_series("a", &[0.0, 1.0])
+            .add_series("b", &[1.0, 0.0])
+            .with_warp_links(&path)
+            .render();
+        assert_eq!(svg.matches("stroke-dasharray").count(), 2);
+    }
+}

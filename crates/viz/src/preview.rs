@@ -1,0 +1,195 @@
+//! Query preview pane (Fig 2, bottom right).
+//!
+//! *"The Query Preview Pane displays the chosen sample query in more
+//! detail. Brushing the second half of the graph will focus the attention
+//! on the recent trends … As the first preview graph is brushed, the
+//! upper chart is updated to show the selected subsequence in more
+//! detail."* — two stacked charts: the full series with the brushed
+//! window shaded, and a zoomed detail of the brushed window above it.
+
+use onex_tseries::TimeSeries;
+
+use crate::svg::{Scale, Style, SvgCanvas};
+
+/// Builder for the two-part preview (detail above, context-with-brush
+/// below).
+#[derive(Debug, Clone)]
+pub struct QueryPreview {
+    width: u32,
+    title: String,
+    values: Vec<f64>,
+    axis_start: f64,
+    axis_step: f64,
+    brush: Option<(usize, usize)>,
+}
+
+impl QueryPreview {
+    /// Preview over raw values with an index axis.
+    pub fn new(width: u32, title: impl Into<String>, values: &[f64]) -> Self {
+        QueryPreview {
+            width,
+            title: title.into(),
+            values: values.to_vec(),
+            axis_start: 0.0,
+            axis_step: 1.0,
+            brush: None,
+        }
+    }
+
+    /// Preview of a full series, keeping its real-world axis for labels.
+    pub fn for_series(width: u32, series: &TimeSeries) -> Self {
+        QueryPreview {
+            width,
+            title: series.name().to_owned(),
+            values: series.values().to_vec(),
+            axis_start: series.axis().start,
+            axis_step: series.axis().step,
+            brush: None,
+        }
+    }
+
+    /// Brush the window `[start, start + len)` — the selected subsequence
+    /// becomes the query shown in the detail chart.
+    ///
+    /// Out-of-range brushes are clamped to the series.
+    pub fn brush(mut self, start: usize, len: usize) -> Self {
+        let n = self.values.len();
+        let start = start.min(n.saturating_sub(1));
+        let len = len.max(1).min(n - start);
+        self.brush = Some((start, len));
+        self
+    }
+
+    /// The currently brushed values (the query the Similarity View will
+    /// search with), or the whole series when nothing is brushed.
+    pub fn selection(&self) -> &[f64] {
+        match self.brush {
+            Some((start, len)) => &self.values[start..start + len],
+            None => &self.values,
+        }
+    }
+
+    /// Render the stacked preview to SVG.
+    pub fn render(&self) -> String {
+        let (w, detail_h, context_h, gap) = (self.width as f64, 150.0, 110.0, 14.0);
+        let header = 24.0;
+        let total_h = header + detail_h + gap + context_h;
+        let mut c = SvgCanvas::new(self.width, total_h as u32);
+        c.text(8.0, 16.0, 13.0, &self.title);
+        if self.values.len() < 2 {
+            return c.finish();
+        }
+        let margin = 34.0;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &self.values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi - lo < 1e-12 {
+            hi = lo + 1.0;
+        }
+
+        let draw_series = |c: &mut SvgCanvas,
+                           top: f64,
+                           height: f64,
+                           range: std::ops::Range<usize>,
+                           emphasised: bool| {
+            let sx = Scale::new(
+                (range.start as f64, (range.end - 1) as f64),
+                (margin, w - margin),
+            );
+            let sy = Scale::new((lo, hi), (top + height - 16.0, top + 6.0));
+            let frame = Style {
+                stroke: "#bbb".into(),
+                stroke_width: 1.0,
+                ..Style::default()
+            };
+            c.rect(margin, top + 6.0, w - 2.0 * margin, height - 22.0, &frame);
+            let pts: Vec<(f64, f64)> = range
+                .clone()
+                .map(|i| (sx.apply(i as f64), sy.apply(self.values[i])))
+                .collect();
+            let mut line = Style::stroke("#1f4e79");
+            line.stroke_width = if emphasised { 1.8 } else { 1.0 };
+            c.polyline(&pts, &line);
+            // Axis labels in real units at the window edges.
+            let label = |i: usize| format!("{:.6}", self.axis_start + self.axis_step * i as f64)
+                .trim_end_matches('0')
+                .trim_end_matches('.')
+                .to_owned();
+            c.text(margin, top + height - 2.0, 9.0, &label(range.start));
+            c.text(w - margin - 30.0, top + height - 2.0, 9.0, &label(range.end - 1));
+            sx
+        };
+
+        // Detail chart: the brushed selection (or everything).
+        let (bs, bl) = self.brush.unwrap_or((0, self.values.len()));
+        draw_series(&mut c, header, detail_h, bs..bs + bl, true);
+
+        // Context chart with the brush shaded.
+        let top2 = header + detail_h + gap;
+        let sx = draw_series(&mut c, top2, context_h, 0..self.values.len(), false);
+        if let Some((start, len)) = self.brush {
+            let x0 = sx.apply(start as f64);
+            let x1 = sx.apply((start + len - 1) as f64);
+            let mut shade = Style::fill("#2d6da3");
+            shade.opacity = 0.18;
+            c.rect(x0, top2 + 6.0, (x1 - x0).max(1.0), context_h - 22.0, &shade);
+        }
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onex_tseries::TimeAxis;
+
+    fn values() -> Vec<f64> {
+        (0..60).map(|i| (i as f64 * 0.3).sin()).collect()
+    }
+
+    #[test]
+    fn selection_follows_brush() {
+        let v = values();
+        let p = QueryPreview::new(500, "p", &v);
+        assert_eq!(p.selection().len(), 60);
+        let b = QueryPreview::new(500, "p", &v).brush(10, 8);
+        assert_eq!(b.selection(), &v[10..18]);
+    }
+
+    #[test]
+    fn brush_is_clamped() {
+        let v = values();
+        let b = QueryPreview::new(500, "p", &v).brush(55, 100);
+        assert_eq!(b.selection(), &v[55..60]);
+        let b2 = QueryPreview::new(500, "p", &v).brush(500, 10);
+        assert_eq!(b2.selection().len(), 1);
+    }
+
+    #[test]
+    fn render_has_two_charts_and_shade() {
+        let svg = QueryPreview::new(500, "MA growth", &values())
+            .brush(30, 20)
+            .render();
+        assert_eq!(svg.matches("<polyline").count(), 2, "detail + context");
+        // Frames (2) + background (1) + brush shade (1).
+        assert_eq!(svg.matches("<rect").count(), 4);
+        assert!(svg.contains("MA growth"));
+    }
+
+    #[test]
+    fn axis_labels_use_real_units() {
+        let s = TimeSeries::with_axis("MA", values(), TimeAxis::annual(2001));
+        let svg = QueryPreview::for_series(500, &s).brush(44, 16).render();
+        assert!(svg.contains(">2001<"), "context chart starts at 2001");
+        assert!(svg.contains(">2045<"), "detail chart starts at brush year");
+    }
+
+    #[test]
+    fn degenerate_series_render() {
+        assert!(QueryPreview::new(400, "e", &[]).render().starts_with("<svg"));
+        let flat = QueryPreview::new(400, "f", &[2.0, 2.0, 2.0]).render();
+        assert!(flat.contains("<polyline"));
+    }
+}

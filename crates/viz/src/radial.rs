@@ -1,0 +1,150 @@
+//! Radial chart (Fig 3a).
+//!
+//! *"Radial Plots compact the time series to a radial display that allows
+//! analysts to evaluate how close the shapes are aligned."* Each series is
+//! min–max normalised, sample index maps to angle, value maps to radius.
+
+use onex_tseries::normalize::minmax;
+
+use crate::svg::{Style, SvgCanvas};
+
+const PALETTE: [&str; 4] = ["#1f4e79", "#c0504d", "#4f8f4f", "#8064a2"];
+
+/// Builder for the radial view.
+#[derive(Debug, Clone)]
+pub struct RadialChart {
+    size: u32,
+    title: String,
+    series: Vec<(String, Vec<f64>)>,
+    /// Close the loop (connect last point back to first). On for full
+    /// periodic data, off for open subsequences.
+    pub close_loop: bool,
+}
+
+impl RadialChart {
+    /// A square canvas of `size` pixels.
+    pub fn new(size: u32, title: impl Into<String>) -> Self {
+        RadialChart {
+            size,
+            title: title.into(),
+            series: Vec::new(),
+            close_loop: false,
+        }
+    }
+
+    /// Add one named series.
+    pub fn add_series(mut self, name: impl Into<String>, values: &[f64]) -> Self {
+        self.series.push((name.into(), values.to_vec()));
+        self
+    }
+
+    /// Polar coordinates of one normalised series on this canvas: angle
+    /// from index (full turn over the series), radius from value between
+    /// an inner hole (15% of max radius) and the rim.
+    fn polar_points(&self, values: &[f64]) -> Vec<(f64, f64)> {
+        let center = self.size as f64 / 2.0;
+        let r_max = center - 24.0;
+        let r_min = r_max * 0.15;
+        let normalised = minmax(values);
+        let n = normalised.len();
+        normalised
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let angle = std::f64::consts::TAU * i as f64 / n as f64
+                    - std::f64::consts::FRAC_PI_2;
+                let r = r_min + t * (r_max - r_min);
+                (center + r * angle.cos(), center + r * angle.sin())
+            })
+            .collect()
+    }
+
+    /// Render to SVG.
+    pub fn render(&self) -> String {
+        let mut c = SvgCanvas::new(self.size, self.size);
+        let center = self.size as f64 / 2.0;
+        let r_max = center - 24.0;
+        c.text(8.0, 16.0, 12.0, &self.title);
+        // Reference rings at 25/50/75/100%.
+        let ring = Style {
+            stroke: "#ddd".into(),
+            stroke_width: 0.8,
+            ..Style::default()
+        };
+        for k in 1..=4 {
+            c.circle(center, center, r_max * k as f64 / 4.0, &ring);
+        }
+        for (k, (name, values)) in self.series.iter().enumerate() {
+            if values.is_empty() {
+                continue;
+            }
+            let color = PALETTE[k % PALETTE.len()];
+            let mut pts = self.polar_points(values);
+            if self.close_loop && pts.len() > 2 {
+                let first = pts[0];
+                pts.push(first);
+            }
+            c.polyline(&pts, &Style::stroke(color));
+            c.text(8.0, 32.0 + 14.0 * k as f64, 11.0, &format!("— {name}"));
+        }
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_stay_inside_the_rim() {
+        let chart = RadialChart::new(200, "r").add_series("x", &[0.0]);
+        let vals: Vec<f64> = (0..40).map(|i| (i as f64 * 0.3).sin()).collect();
+        let pts = chart.polar_points(&vals);
+        let center = 100.0;
+        let r_max = center - 24.0;
+        for (x, y) in pts {
+            let r = ((x - center).powi(2) + (y - center).powi(2)).sqrt();
+            assert!(r <= r_max + 1e-9, "point escapes the rim: r={r}");
+            assert!(r >= r_max * 0.15 - 1e-9, "point inside the hole: r={r}");
+        }
+    }
+
+    #[test]
+    fn first_sample_points_up() {
+        let chart = RadialChart::new(200, "r");
+        let pts = chart.polar_points(&[1.0, 0.0, 0.0, 0.0]);
+        let (x, y) = pts[0];
+        assert!((x - 100.0).abs() < 1e-9, "x centred");
+        assert!(y < 100.0, "12 o'clock is up (smaller y)");
+    }
+
+    #[test]
+    fn render_structure() {
+        let svg = RadialChart::new(240, "tech employment")
+            .add_series("MA", &[1.0, 2.0, 3.0])
+            .add_series("AR", &[1.5, 2.5, 2.0])
+            .render();
+        assert_eq!(svg.matches("<circle").count(), 4, "reference rings");
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("tech employment"));
+    }
+
+    #[test]
+    fn close_loop_appends_first_point() {
+        let mut chart = RadialChart::new(200, "r").add_series("x", &[1.0, 2.0, 3.0, 4.0]);
+        chart.close_loop = true;
+        let svg = chart.render();
+        // Closed loop polyline has 5 coordinate pairs.
+        let poly = svg
+            .lines()
+            .find(|l| l.contains("<polyline"))
+            .expect("has polyline");
+        assert_eq!(poly.matches(',').count(), 5);
+    }
+
+    #[test]
+    fn empty_series_is_skipped() {
+        let svg = RadialChart::new(200, "r").add_series("x", &[]).render();
+        assert!(!svg.contains("<polyline"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Connected scatter plot (Fig 3b).
+//!
+//! *"The Connected Scatter Plots showcase the ordering of a sequence by
+//! connecting consecutive points"* — point k is `(a_k, b_k)` for the two
+//! compared sequences; when the match is close, the trace hugs the 45°
+//! diagonal ("when a point in such plot lies on the diagonal, it has the
+//! exact same value in both series").
+
+use onex_distance::WarpingPath;
+
+use crate::svg::{Scale, Style, SvgCanvas};
+
+/// Builder for the connected-scatter view of two sequences.
+#[derive(Debug, Clone)]
+pub struct ConnectedScatter {
+    size: u32,
+    title: String,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    /// Optional warping alignment; when present, points are the warped
+    /// pairs `(a_i, b_j)` instead of positional pairs.
+    path: Option<WarpingPath>,
+}
+
+impl ConnectedScatter {
+    /// A square canvas comparing sequences `a` (x axis) and `b` (y axis).
+    pub fn new(size: u32, title: impl Into<String>, a: &[f64], b: &[f64]) -> Self {
+        ConnectedScatter {
+            size,
+            title: title.into(),
+            a: a.to_vec(),
+            b: b.to_vec(),
+            path: None,
+        }
+    }
+
+    /// Use warped pairs from a DTW path instead of positional pairing.
+    pub fn with_path(mut self, path: &WarpingPath) -> Self {
+        self.path = Some(path.clone());
+        self
+    }
+
+    /// The `(a, b)` value pairs that will be plotted.
+    pub fn pairs(&self) -> Vec<(f64, f64)> {
+        match &self.path {
+            Some(p) => p
+                .pairs()
+                .iter()
+                .filter_map(|&(i, j)| {
+                    Some((*self.a.get(i as usize)?, *self.b.get(j as usize)?))
+                })
+                .collect(),
+            None => self
+                .a
+                .iter()
+                .zip(&self.b)
+                .map(|(&x, &y)| (x, y))
+                .collect(),
+        }
+    }
+
+    /// Mean absolute distance of the trace from the diagonal, in data
+    /// units — the closeness measure the paper reads off this view.
+    pub fn diagonal_deviation(&self) -> f64 {
+        let pairs = self.pairs();
+        if pairs.is_empty() {
+            return 0.0;
+        }
+        pairs.iter().map(|(x, y)| (x - y).abs()).sum::<f64>() / pairs.len() as f64
+    }
+
+    /// Render to SVG.
+    pub fn render(&self) -> String {
+        let mut c = SvgCanvas::new(self.size, self.size);
+        let margin = 32.0;
+        let s = self.size as f64;
+        c.text(margin, 18.0, 12.0, &self.title);
+        let pairs = self.pairs();
+        if pairs.is_empty() {
+            return c.finish();
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pairs {
+            lo = lo.min(x.min(y));
+            hi = hi.max(x.max(y));
+        }
+        if hi - lo < 1e-12 {
+            hi = lo + 1.0;
+        }
+        // One shared scale on both axes so the diagonal means equality.
+        let sx = Scale::new((lo, hi), (margin, s - margin));
+        let sy = Scale::new((lo, hi), (s - margin, margin));
+        let frame = Style {
+            stroke: "#bbb".into(),
+            stroke_width: 1.0,
+            ..Style::default()
+        };
+        c.rect(margin, margin, s - 2.0 * margin, s - 2.0 * margin, &frame);
+        // 45° reference diagonal.
+        c.line(
+            sx.apply(lo),
+            sy.apply(lo),
+            sx.apply(hi),
+            sy.apply(hi),
+            &Style::dotted("#888"),
+        );
+        let pts: Vec<(f64, f64)> = pairs
+            .iter()
+            .map(|&(x, y)| (sx.apply(x), sy.apply(y)))
+            .collect();
+        c.polyline(&pts, &Style::stroke("#1f4e79"));
+        for &(x, y) in &pts {
+            c.circle(x, y, 2.2, &Style::fill("#1f4e79"));
+        }
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positional_pairs_by_default() {
+        let s = ConnectedScatter::new(200, "t", &[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(s.pairs(), vec![(1.0, 3.0), (2.0, 4.0)]);
+    }
+
+    #[test]
+    fn warped_pairs_with_path() {
+        let path = WarpingPath::new(vec![(0, 0), (1, 0), (1, 1)]);
+        let s = ConnectedScatter::new(200, "t", &[1.0, 2.0], &[3.0, 4.0]).with_path(&path);
+        assert_eq!(s.pairs(), vec![(1.0, 3.0), (2.0, 3.0), (2.0, 4.0)]);
+    }
+
+    #[test]
+    fn deviation_is_zero_for_identical_series() {
+        let v = [1.0, 5.0, -2.0];
+        let s = ConnectedScatter::new(200, "t", &v, &v);
+        assert_eq!(s.diagonal_deviation(), 0.0);
+        let off = ConnectedScatter::new(200, "t", &[1.0, 2.0], &[2.0, 3.0]);
+        assert!((off.diagonal_deviation() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_diagonal_and_points() {
+        let svg = ConnectedScatter::new(200, "t", &[1.0, 2.0, 3.0], &[1.1, 2.2, 2.9]).render();
+        assert!(svg.contains("stroke-dasharray"), "diagonal is dotted");
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert_eq!(svg.matches("<polyline").count(), 1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = ConnectedScatter::new(200, "t", &[], &[]);
+        assert_eq!(empty.diagonal_deviation(), 0.0);
+        assert!(empty.render().starts_with("<svg"));
+        // Constant values still render (degenerate domain widened).
+        let flat = ConnectedScatter::new(200, "t", &[2.0, 2.0], &[2.0, 2.0]).render();
+        assert!(flat.contains("<polyline"));
+    }
+}

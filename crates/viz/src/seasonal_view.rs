@@ -1,0 +1,224 @@
+//! Seasonal view (Fig 4).
+//!
+//! *"The alternating blue and green coloration are used to clarify
+//! instances of consecutive segments"* — one long series with each
+//! recurring pattern's occurrences painted over it, one stacked band per
+//! pattern.
+
+use onex_core::SeasonalPattern;
+
+use crate::svg::{intensity_color, Scale, Style, SvgCanvas};
+
+const SEGMENT_COLORS: [&str; 2] = ["#2d6da3", "#4f8f4f"]; // blue / green
+
+/// Builder for the seasonal view of one series.
+#[derive(Debug, Clone)]
+pub struct SeasonalView {
+    width: u32,
+    band_height: u32,
+    title: String,
+    values: Vec<f64>,
+    patterns: Vec<(String, Vec<(usize, usize)>)>,
+}
+
+impl SeasonalView {
+    /// A view over the full series values.
+    pub fn new(width: u32, title: impl Into<String>, values: &[f64]) -> Self {
+        SeasonalView {
+            width,
+            band_height: 90,
+            title: title.into(),
+            values: values.to_vec(),
+            patterns: Vec::new(),
+        }
+    }
+
+    /// Add a labelled pattern given as `(start, len)` occurrences.
+    pub fn add_pattern(
+        mut self,
+        label: impl Into<String>,
+        occurrences: Vec<(usize, usize)>,
+    ) -> Self {
+        self.patterns.push((label.into(), occurrences));
+        self
+    }
+
+    /// Convenience: add an engine [`SeasonalPattern`].
+    pub fn add_engine_pattern(self, pattern: &SeasonalPattern) -> Self {
+        let occ: Vec<(usize, usize)> = pattern
+            .occurrences
+            .iter()
+            .map(|o| (o.start as usize, o.len as usize))
+            .collect();
+        let label = format!(
+            "len {} × {} occurrences (tightness {:.3})",
+            pattern.len,
+            pattern.count(),
+            pattern.tightness
+        );
+        self.add_pattern(label, occ)
+    }
+
+    /// Render: one band per pattern, each showing the whole series with
+    /// that pattern's occurrences highlighted in alternating colours.
+    pub fn render(&self) -> String {
+        let bands = self.patterns.len().max(1) as u32;
+        let header = 26u32;
+        let height = header + bands * (self.band_height + 8);
+        let mut c = SvgCanvas::new(self.width, height);
+        c.text(8.0, 17.0, 13.0, &self.title);
+        if self.values.len() < 2 {
+            return c.finish();
+        }
+        let margin = 8.0;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &self.values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi - lo < 1e-12 {
+            hi = lo + 1.0;
+        }
+        let sx = Scale::new(
+            (0.0, (self.values.len() - 1) as f64),
+            (margin, self.width as f64 - margin),
+        );
+
+        let draw_band = |c: &mut SvgCanvas,
+                         top: f64,
+                         label: &str,
+                         occurrences: &[(usize, usize)]| {
+            let bh = self.band_height as f64;
+            let sy = Scale::new((lo, hi), (top + bh - 4.0, top + 14.0));
+            // Occurrence backgrounds first.
+            for (k, &(start, len)) in occurrences.iter().enumerate() {
+                let color = SEGMENT_COLORS[k % 2];
+                let x0 = sx.apply(start as f64);
+                let x1 = sx.apply((start + len).min(self.values.len() - 1) as f64);
+                let mut bg = Style::fill(color);
+                bg.opacity = 0.25;
+                c.rect(x0, top + 12.0, (x1 - x0).max(1.0), bh - 14.0, &bg);
+            }
+            // The series itself.
+            let pts: Vec<(f64, f64)> = self
+                .values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (sx.apply(i as f64), sy.apply(v)))
+                .collect();
+            let mut line = Style::stroke("#444");
+            line.stroke_width = 0.9;
+            c.polyline(&pts, &line);
+            // Re-draw occurrence spans of the line, saturated.
+            for (k, &(start, len)) in occurrences.iter().enumerate() {
+                let color = SEGMENT_COLORS[k % 2];
+                let end = (start + len).min(self.values.len());
+                if start >= end {
+                    continue;
+                }
+                let seg: Vec<(f64, f64)> = (start..end)
+                    .map(|i| (sx.apply(i as f64), sy.apply(self.values[i])))
+                    .collect();
+                let mut st = Style::stroke(color);
+                st.stroke_width = 2.0;
+                c.polyline(&seg, &st);
+            }
+            c.text(margin, top + 10.0, 11.0, label);
+        };
+
+        if self.patterns.is_empty() {
+            draw_band(&mut c, header as f64, "no patterns", &[]);
+        } else {
+            for (k, (label, occ)) in self.patterns.iter().enumerate() {
+                let top = header as f64 + k as f64 * (self.band_height + 8) as f64;
+                draw_band(&mut c, top, label, occ);
+            }
+        }
+        c.finish()
+    }
+
+    /// The overview strip used in terminals: per-pattern occupancy as a
+    /// fraction of the series covered by occurrences.
+    pub fn coverage(&self) -> Vec<f64> {
+        self.patterns
+            .iter()
+            .map(|(_, occ)| {
+                let covered: usize = occ.iter().map(|&(_, l)| l).sum();
+                covered as f64 / self.values.len().max(1) as f64
+            })
+            .collect()
+    }
+}
+
+/// Colour helper re-exported for the overview pane text (kept here so the
+/// two Fig-2/Fig-4 views share the intensity convention).
+pub fn cardinality_color(cardinality: usize, max_cardinality: usize) -> String {
+    let t = if max_cardinality == 0 {
+        0.0
+    } else {
+        cardinality as f64 / max_cardinality as f64
+    };
+    intensity_color(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values() -> Vec<f64> {
+        (0..200).map(|i| (i as f64 * 0.1).sin()).collect()
+    }
+
+    #[test]
+    fn one_band_per_pattern() {
+        let svg = SeasonalView::new(600, "power", &values())
+            .add_pattern("monthly", vec![(0, 30), (60, 30)])
+            .add_pattern("weekly", vec![(10, 7), (24, 7), (38, 7)])
+            .render();
+        // 2 bands × (1 series line) + highlighted segments 2 + 3.
+        assert_eq!(svg.matches("<polyline").count(), 2 + 5);
+        assert!(svg.contains("monthly"));
+        assert!(svg.contains("weekly"));
+        // Occurrence backgrounds.
+        assert!(svg.matches("<rect").count() >= 5);
+    }
+
+    #[test]
+    fn alternating_colors() {
+        let svg = SeasonalView::new(600, "p", &values())
+            .add_pattern("x", vec![(0, 10), (20, 10), (40, 10)])
+            .render();
+        assert!(svg.contains(SEGMENT_COLORS[0]));
+        assert!(svg.contains(SEGMENT_COLORS[1]));
+    }
+
+    #[test]
+    fn coverage_fractions() {
+        let view = SeasonalView::new(600, "p", &values())
+            .add_pattern("half", vec![(0, 50), (100, 50)])
+            .add_pattern("tiny", vec![(0, 2), (10, 2)]);
+        let cov = view.coverage();
+        assert!((cov[0] - 0.5).abs() < 1e-12);
+        assert!((cov[1] - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let svg = SeasonalView::new(600, "p", &[]).render();
+        assert!(svg.starts_with("<svg"));
+        let no_patterns = SeasonalView::new(600, "p", &values()).render();
+        assert!(no_patterns.contains("no patterns"));
+        // Occurrences past the end are clipped.
+        let clipped = SeasonalView::new(600, "p", &values())
+            .add_pattern("over", vec![(190, 50)])
+            .render();
+        assert!(clipped.contains("<rect"));
+    }
+
+    #[test]
+    fn cardinality_color_scales() {
+        assert_eq!(cardinality_color(0, 10), intensity_color(0.0));
+        assert_eq!(cardinality_color(10, 10), intensity_color(1.0));
+        assert_eq!(cardinality_color(5, 0), intensity_color(0.0));
+    }
+}

@@ -1,0 +1,231 @@
+//! Stacked-lines chart: many series as small vertically stacked strips.
+//!
+//! The paper's §3.4 opens its catalogue with "an array of complementary
+//! visualization techniques from stacked lines charts to connected
+//! scatter plots". Where the multiple-lines chart overlays series on one
+//! scale, the stacked chart gives every series its own horizontal strip —
+//! the right view when collections mix heterogeneous scales (growth-rate
+//! percentages above unemployment head-counts), exactly the MATTERS
+//! situation motivating ONEX's threshold recommendations.
+
+use crate::svg::{Scale, Style, SvgCanvas};
+
+const PALETTE: [&str; 6] = [
+    "#1f4e79", "#c0504d", "#4f8f4f", "#8064a2", "#d08020", "#3fa0a0",
+];
+
+/// How each strip is scaled vertically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StripScale {
+    /// Every strip uses its own min/max — shapes are comparable even
+    /// across wildly different magnitudes (the default, and the reason
+    /// to stack at all).
+    #[default]
+    PerSeries,
+    /// All strips share the global min/max — magnitudes are comparable,
+    /// small-scale series flatten out.
+    Shared,
+}
+
+/// Builder for the stacked-lines view.
+///
+/// ```
+/// use onex_viz::{StackedLines, StripScale};
+/// let svg = StackedLines::new(480, 360, "MATTERS indicators")
+///     .add_series("GrowthRate (%)", &[1.2, 1.9, -0.4, 2.2])
+///     .add_series("Unemployment (k)", &[210.0, 260.0, 330.0, 280.0])
+///     .scale(StripScale::PerSeries)
+///     .render();
+/// assert_eq!(svg.matches("<polyline").count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StackedLines {
+    width: u32,
+    height: u32,
+    title: String,
+    series: Vec<(String, Vec<f64>)>,
+    scale: StripScale,
+    /// Optional highlight band (start, end) in sample indices, drawn in
+    /// every strip — the linked-brushing affordance of the Similarity
+    /// View.
+    highlight: Option<(usize, usize)>,
+}
+
+impl StackedLines {
+    /// An empty chart of the given pixel size.
+    pub fn new(width: u32, height: u32, title: impl Into<String>) -> Self {
+        StackedLines {
+            width,
+            height,
+            title: title.into(),
+            series: Vec::new(),
+            scale: StripScale::default(),
+            highlight: None,
+        }
+    }
+
+    /// Add one named strip.
+    pub fn add_series(mut self, name: impl Into<String>, values: &[f64]) -> Self {
+        self.series.push((name.into(), values.to_vec()));
+        self
+    }
+
+    /// Choose per-series or shared vertical scaling.
+    pub fn scale(mut self, scale: StripScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Highlight the sample range `[start, end)` across all strips.
+    pub fn highlight_range(mut self, start: usize, end: usize) -> Self {
+        self.highlight = Some((start, end));
+        self
+    }
+
+    /// Render to a self-contained SVG document.
+    pub fn render(&self) -> String {
+        let mut c = SvgCanvas::new(self.width, self.height);
+        let margin = 36.0;
+        let (w, h) = (self.width as f64, self.height as f64);
+        c.text(margin, 18.0, 13.0, &self.title);
+
+        let max_len = self.series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+        if max_len < 2 || self.series.is_empty() {
+            return c.finish();
+        }
+        let n = self.series.len();
+        let strip_gap = 8.0;
+        let strip_h = ((h - margin - 24.0) - strip_gap * (n as f64 - 1.0)) / n as f64;
+        let sx = Scale::new((0.0, (max_len - 1) as f64), (margin, w - margin));
+
+        // Shared domain if requested.
+        let shared = match self.scale {
+            StripScale::Shared => {
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for (_, v) in &self.series {
+                    for &x in v {
+                        lo = lo.min(x);
+                        hi = hi.max(x);
+                    }
+                }
+                Some((lo, hi))
+            }
+            StripScale::PerSeries => None,
+        };
+
+        for (k, (name, values)) in self.series.iter().enumerate() {
+            let top = 24.0 + k as f64 * (strip_h + strip_gap);
+            let bottom = top + strip_h;
+            let (lo, hi) = shared.unwrap_or_else(|| {
+                let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                (lo, hi)
+            });
+            let sy = Scale::new((lo, hi), (bottom, top));
+
+            let frame = Style {
+                stroke: "#ccc".into(),
+                stroke_width: 0.8,
+                ..Style::default()
+            };
+            c.rect(margin, top, w - 2.0 * margin, strip_h, &frame);
+
+            // Brushing highlight beneath the line.
+            if let Some((s, e)) = self.highlight {
+                let s = s.min(max_len.saturating_sub(1));
+                let e = e.clamp(s, max_len.saturating_sub(1));
+                let band = Style::fill("#fdf2cc");
+                c.rect(
+                    sx.apply(s as f64),
+                    top,
+                    sx.apply(e as f64) - sx.apply(s as f64),
+                    strip_h,
+                    &band,
+                );
+            }
+
+            if values.len() >= 2 {
+                let pts: Vec<(f64, f64)> = values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (sx.apply(i as f64), sy.apply(v)))
+                    .collect();
+                c.polyline(&pts, &Style::stroke(PALETTE[k % PALETTE.len()]));
+            }
+            c.text(margin + 4.0, top + 12.0, 10.0, name);
+        }
+        c.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_strip_per_series() {
+        let svg = StackedLines::new(400, 300, "t")
+            .add_series("a", &[0.0, 1.0, 2.0])
+            .add_series("b", &[5.0, 4.0, 3.0])
+            .add_series("c", &[9.0, 9.5, 9.1])
+            .render();
+        assert_eq!(svg.matches("<polyline").count(), 3);
+        assert!(svg.contains(">a<") || svg.contains("a</text>"));
+    }
+
+    #[test]
+    fn per_series_scaling_preserves_shape_across_magnitudes() {
+        // A small-scale and a large-scale series with identical shape
+        // should render polylines with (nearly) identical y-coordinates
+        // relative to their strip — verify both strips actually use their
+        // own scale by checking the small series is not flattened.
+        let small: Vec<f64> = vec![0.0, 1.0, 0.0, 1.0];
+        let big: Vec<f64> = vec![0.0, 1000.0, 0.0, 1000.0];
+        let svg = StackedLines::new(400, 300, "t")
+            .add_series("small", &small)
+            .add_series("big", &big)
+            .scale(StripScale::PerSeries)
+            .render();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+
+        // Under a shared scale the small series must flatten: its
+        // polyline's y-range collapses. Compare output lengths as a
+        // cheap structural proxy: both documents render, but differ.
+        let flat = StackedLines::new(400, 300, "t")
+            .add_series("small", &small)
+            .add_series("big", &big)
+            .scale(StripScale::Shared)
+            .render();
+        assert_ne!(svg, flat);
+    }
+
+    #[test]
+    fn highlight_band_drawn_in_every_strip() {
+        let svg = StackedLines::new(400, 300, "t")
+            .add_series("a", &[0.0, 1.0, 2.0, 3.0])
+            .add_series("b", &[3.0, 2.0, 1.0, 0.0])
+            .highlight_range(1, 3)
+            .render();
+        assert_eq!(svg.matches("#fdf2cc").count(), 2);
+    }
+
+    #[test]
+    fn degenerate_inputs_render_header_only() {
+        let empty = StackedLines::new(400, 300, "none").render();
+        assert!(empty.starts_with("<svg"));
+        assert!(!empty.contains("<polyline"));
+        let single = StackedLines::new(400, 300, "p")
+            .add_series("x", &[1.0])
+            .render();
+        assert!(!single.contains("<polyline"));
+    }
+
+    #[test]
+    fn out_of_range_highlight_is_clamped() {
+        let svg = StackedLines::new(400, 300, "t")
+            .add_series("a", &[0.0, 1.0, 2.0])
+            .highlight_range(10, 99)
+            .render();
+        assert!(svg.starts_with("<svg"));
+    }
+}

@@ -1,0 +1,304 @@
+//! A minimal, dependency-free SVG document builder.
+//!
+//! Just enough of SVG for the ONEX views: lines, polylines, circles,
+//! rectangles, text, and dashed variants. Output is a single
+//! self-contained `<svg>` element with a white background, suitable for
+//! writing to a `.svg` file and opening in any browser.
+
+use std::fmt::Write as _;
+
+/// Linear map from a data domain to a pixel range (possibly inverted for
+/// the y axis, where SVG pixels grow downward).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    domain: (f64, f64),
+    range: (f64, f64),
+}
+
+impl Scale {
+    /// A scale mapping `domain` onto `range`. A degenerate domain (zero
+    /// width) maps everything to the middle of the range.
+    pub fn new(domain: (f64, f64), range: (f64, f64)) -> Self {
+        Scale { domain, range }
+    }
+
+    /// Apply the scale.
+    pub fn apply(&self, v: f64) -> f64 {
+        let (d0, d1) = self.domain;
+        let (r0, r1) = self.range;
+        if (d1 - d0).abs() < 1e-300 {
+            return (r0 + r1) / 2.0;
+        }
+        r0 + (v - d0) / (d1 - d0) * (r1 - r0)
+    }
+
+    /// The data domain.
+    pub fn domain(&self) -> (f64, f64) {
+        self.domain
+    }
+}
+
+/// Builder for one SVG document.
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    width: u32,
+    height: u32,
+    body: String,
+}
+
+/// Stroke/fill styling for canvas primitives.
+#[derive(Debug, Clone)]
+pub struct Style {
+    /// Stroke colour (CSS colour string).
+    pub stroke: String,
+    /// Stroke width in pixels.
+    pub stroke_width: f64,
+    /// Fill colour, `"none"` for unfilled shapes.
+    pub fill: String,
+    /// Dash pattern, empty for solid.
+    pub dash: String,
+    /// Opacity in `[0, 1]`.
+    pub opacity: f64,
+}
+
+impl Default for Style {
+    fn default() -> Self {
+        Style {
+            stroke: "#1f4e79".into(),
+            stroke_width: 1.5,
+            fill: "none".into(),
+            dash: String::new(),
+            opacity: 1.0,
+        }
+    }
+}
+
+impl Style {
+    /// A solid stroke of the given colour.
+    pub fn stroke(color: &str) -> Self {
+        Style {
+            stroke: color.into(),
+            ..Style::default()
+        }
+    }
+
+    /// A dotted stroke of the given colour (warp links).
+    pub fn dotted(color: &str) -> Self {
+        Style {
+            stroke: color.into(),
+            stroke_width: 1.0,
+            dash: "2,3".into(),
+            ..Style::default()
+        }
+    }
+
+    /// A filled shape with no stroke.
+    pub fn fill(color: &str) -> Self {
+        Style {
+            stroke: "none".into(),
+            stroke_width: 0.0,
+            fill: color.into(),
+            ..Style::default()
+        }
+    }
+
+    fn attrs(&self) -> String {
+        let mut s = format!(
+            "stroke=\"{}\" stroke-width=\"{}\" fill=\"{}\" opacity=\"{}\"",
+            escape(&self.stroke),
+            self.stroke_width,
+            escape(&self.fill),
+            self.opacity
+        );
+        if !self.dash.is_empty() {
+            let _ = write!(s, " stroke-dasharray=\"{}\"", escape(&self.dash));
+        }
+        s
+    }
+}
+
+impl SvgCanvas {
+    /// A canvas of the given pixel size with a white background.
+    pub fn new(width: u32, height: u32) -> Self {
+        SvgCanvas {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Straight line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, style: &Style) {
+        let _ = writeln!(
+            self.body,
+            "  <line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\" {}/>",
+            style.attrs()
+        );
+    }
+
+    /// Polyline through the given pixel points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], style: &Style) {
+        if points.is_empty() {
+            return;
+        }
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.2},{y:.2}"))
+            .collect();
+        let _ = writeln!(
+            self.body,
+            "  <polyline points=\"{}\" {}/>",
+            pts.join(" "),
+            style.attrs()
+        );
+    }
+
+    /// Circle (markers, radial points).
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, style: &Style) {
+        let _ = writeln!(
+            self.body,
+            "  <circle cx=\"{cx:.2}\" cy=\"{cy:.2}\" r=\"{r:.2}\" {}/>",
+            style.attrs()
+        );
+    }
+
+    /// Axis-aligned rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, style: &Style) {
+        let _ = writeln!(
+            self.body,
+            "  <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{w:.2}\" height=\"{h:.2}\" {}/>",
+            style.attrs()
+        );
+    }
+
+    /// Text anchored at its start.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        let _ = writeln!(
+            self.body,
+            "  <text x=\"{x:.2}\" y=\"{y:.2}\" font-size=\"{size:.1}\" font-family=\"sans-serif\" fill=\"#333\">{}</text>",
+            escape(content)
+        );
+    }
+
+    /// Number of elements drawn so far (used by tests).
+    pub fn element_count(&self) -> usize {
+        self.body.lines().count()
+    }
+
+    /// Serialise to a complete SVG document.
+    pub fn finish(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">\n  <rect x=\"0\" y=\"0\" width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n{body}</svg>\n",
+            w = self.width,
+            h = self.height,
+            body = self.body
+        )
+    }
+}
+
+/// Escape the five XML-special characters.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Interpolate between white and a base colour by intensity `t ∈ [0,1]` —
+/// the overview pane's cardinality coding ("color intensity increases
+/// proportional with the cardinality").
+pub fn intensity_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    // Base colour: steel blue (70, 110, 160).
+    let lerp = |a: f64, b: f64| (a + (b - a) * t).round() as u8;
+    format!(
+        "rgb({},{},{})",
+        lerp(245.0, 70.0),
+        lerp(248.0, 110.0),
+        lerp(252.0, 160.0)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_maps_linearly_and_inverts() {
+        let s = Scale::new((0.0, 10.0), (100.0, 0.0));
+        assert_eq!(s.apply(0.0), 100.0);
+        assert_eq!(s.apply(10.0), 0.0);
+        assert_eq!(s.apply(5.0), 50.0);
+        // Out-of-domain extrapolates (clipping is the caller's business).
+        assert_eq!(s.apply(20.0), -100.0);
+    }
+
+    #[test]
+    fn degenerate_domain_maps_to_middle() {
+        let s = Scale::new((3.0, 3.0), (0.0, 10.0));
+        assert_eq!(s.apply(3.0), 5.0);
+        assert_eq!(s.apply(99.0), 5.0);
+    }
+
+    #[test]
+    fn document_structure() {
+        let mut c = SvgCanvas::new(200, 100);
+        c.line(0.0, 0.0, 10.0, 10.0, &Style::default());
+        c.polyline(&[(0.0, 0.0), (5.0, 5.0)], &Style::stroke("red"));
+        c.circle(3.0, 3.0, 1.0, &Style::fill("#000"));
+        c.text(1.0, 1.0, 10.0, "hello & <world>");
+        let svg = c.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("<line"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains("hello &amp; &lt;world&gt;"));
+        assert!(svg.contains("width=\"200\""));
+    }
+
+    #[test]
+    fn empty_polyline_is_skipped() {
+        let mut c = SvgCanvas::new(10, 10);
+        c.polyline(&[], &Style::default());
+        assert_eq!(c.element_count(), 0);
+    }
+
+    #[test]
+    fn dotted_style_has_dasharray() {
+        let mut c = SvgCanvas::new(10, 10);
+        c.line(0.0, 0.0, 1.0, 1.0, &Style::dotted("gray"));
+        assert!(c.finish().contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn intensity_endpoints() {
+        assert_eq!(intensity_color(0.0), "rgb(245,248,252)");
+        assert_eq!(intensity_color(1.0), "rgb(70,110,160)");
+        assert_eq!(intensity_color(2.0), "rgb(70,110,160)", "clamped");
+        assert_eq!(intensity_color(-1.0), "rgb(245,248,252)", "clamped");
+    }
+
+    #[test]
+    fn escape_all_specials() {
+        assert_eq!(escape("a&b<c>d\"e'f"), "a&amp;b&lt;c&gt;d&quot;e&apos;f");
+    }
+}

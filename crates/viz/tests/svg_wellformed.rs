@@ -1,0 +1,116 @@
+//! Property tests: every chart builder must emit a self-contained,
+//! structurally sound SVG document for *arbitrary* (including degenerate)
+//! data — the server hands these bytes straight to a browser.
+
+use onex_viz::{
+    ConnectedScatter, MultiLineChart, QueryPreview, RadialChart, StackedLines, StripScale,
+};
+use proptest::prelude::*;
+
+/// Cheap structural checks: document bounds, no NaN leaking into
+/// attributes, all opened tags closed (self-closing or matched).
+fn assert_sound_svg(svg: &str) {
+    assert!(svg.starts_with("<svg"), "missing <svg: {}", &svg[..svg.len().min(60)]);
+    assert!(svg.trim_end().ends_with("</svg>"), "missing </svg>");
+    assert!(!svg.contains("NaN"), "NaN leaked into SVG");
+    assert!(!svg.contains("inf"), "infinity leaked into SVG");
+    // Tag balance: every '<tag' is either self-closing ('/>') or has a
+    // matching '</tag>'.
+    for tag in ["polyline", "rect", "circle", "line", "path"] {
+        let opens = svg.matches(&format!("<{tag}")).count();
+        let closes = svg.matches(&format!("</{tag}>")).count();
+        let self_closed = svg
+            .match_indices(&format!("<{tag}"))
+            .filter(|(i, _)| svg[*i..].find("/>").map(|p| {
+                // self-closing if '/>' appears before the next '<'
+                let next_open = svg[*i + 1..].find('<').map(|q| q + i + 1);
+                next_open.is_none_or(|n| i + p < n)
+            }) == Some(true))
+            .count();
+        assert!(
+            opens == closes + self_closed,
+            "unbalanced <{tag}>: {opens} opened, {closes} closed, {self_closed} self-closed"
+        );
+    }
+    let texts = svg.matches("<text").count();
+    let text_closes = svg.matches("</text>").count();
+    assert_eq!(texts, text_closes, "unbalanced <text>");
+}
+
+fn values(range: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, range)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn multiline_is_sound(a in values(0..40), b in values(0..40)) {
+        let svg = MultiLineChart::new(320, 200, "t")
+            .add_series("a", &a)
+            .add_series("b", &b)
+            .render();
+        assert_sound_svg(&svg);
+    }
+
+    #[test]
+    fn stacked_is_sound(
+        series in prop::collection::vec(values(0..30), 0..5),
+        shared in any::<bool>(),
+        hi in 0usize..40,
+        hj in 0usize..40,
+    ) {
+        let mut chart = StackedLines::new(400, 300, "t").scale(if shared {
+            StripScale::Shared
+        } else {
+            StripScale::PerSeries
+        });
+        for (i, s) in series.iter().enumerate() {
+            chart = chart.add_series(format!("s{i}"), s);
+        }
+        let svg = chart.highlight_range(hi.min(hj), hi.max(hj)).render();
+        assert_sound_svg(&svg);
+    }
+
+    #[test]
+    fn radial_is_sound(a in values(1..40), b in values(1..40)) {
+        let svg = RadialChart::new(300, "t")
+            .add_series("a", &a)
+            .add_series("b", &b)
+            .render();
+        assert_sound_svg(&svg);
+    }
+
+    #[test]
+    fn scatter_is_sound((a, b) in values(1..30).prop_flat_map(|a| {
+        let n = a.len();
+        (Just(a), prop::collection::vec(-1e6f64..1e6, n))
+    })) {
+        let svg = ConnectedScatter::new(300, "t", &a, &b).render();
+        assert_sound_svg(&svg);
+    }
+
+    #[test]
+    fn preview_is_sound(
+        v in values(2..60),
+        s in 0usize..60,
+        e in 0usize..60,
+    ) {
+        let lo = s.min(e).min(v.len().saturating_sub(1));
+        let hi = (s.max(e)).min(v.len().saturating_sub(1)).max(lo);
+        let svg = QueryPreview::new(420, "preview", &v)
+            .brush(lo, (hi - lo).max(1))
+            .render();
+        assert_sound_svg(&svg);
+    }
+
+    /// Constant series (zero range) must not divide by zero anywhere.
+    #[test]
+    fn constant_series_are_safe(c in -1e3f64..1e3, n in 2usize..30) {
+        let v = vec![c; n];
+        assert_sound_svg(&MultiLineChart::new(300, 200, "t").add_series("c", &v).render());
+        assert_sound_svg(&StackedLines::new(300, 200, "t").add_series("c", &v).render());
+        assert_sound_svg(&RadialChart::new(300, "t").add_series("c", &v).render());
+        assert_sound_svg(&ConnectedScatter::new(300, "t", &v, &v).render());
+    }
+}

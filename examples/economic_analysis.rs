@@ -1,0 +1,119 @@
+//! The paper's motivating use case (§1): Massachusetts analysts studying
+//! whether other states' economies move like MA's, on the (synthetic)
+//! MATTERS collection.
+//!
+//! Walks the Fig 2 interaction: overview of the base → pick MA → brush the
+//! recent window → similarity search → linked visualisations, writing the
+//! SVG artefacts a browser can open.
+//!
+//! ```sh
+//! cargo run --example economic_analysis --release
+//! ```
+
+use onex::engine::{Onex, QueryOptions};
+use onex::grouping::BaseConfig;
+use onex::tseries::gen::{matters_collection, Indicator, MattersConfig};
+use onex::viz::ascii::sparkline;
+use onex::viz::{ConnectedScatter, MultiLineChart, OverviewPane, RadialChart};
+
+fn artefact(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("target").join("examples");
+    std::fs::create_dir_all(&dir).expect("target is writable");
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("artefact writes");
+    path
+}
+
+fn main() {
+    // Load the GrowthRate panel: 50 states × 16 annual observations.
+    let dataset = matters_collection(&MattersConfig {
+        indicators: vec![Indicator::GrowthRate],
+        ..MattersConfig::default()
+    });
+    println!("MATTERS GrowthRate: {}", dataset.summary());
+
+    // Preprocess (the demo's "click of a button" load step). Growth rates
+    // are percentages; 1 percentage-point RMS is a meaningful threshold.
+    let (engine, report) =
+        Onex::build(dataset, BaseConfig::new(1.0, 6, 12)).expect("valid config");
+    println!(
+        "ONEX base ready: {} groups over {} windows ({:.1}× compaction, {:?})\n",
+        report.groups,
+        report.subsequences,
+        report.compaction(),
+        report.elapsed
+    );
+
+    // Overview pane: the typical shapes in the collection at length 8.
+    let pane = OverviewPane::from_base(engine.base(), 8, 18);
+    let pane_path = artefact("overview_pane.svg", &pane.render());
+    println!("overview pane ({} group cells): {}\n", pane.len(), pane_path.display());
+
+    // Query selection: MA, brushed to the most recent 8 years.
+    let ma = engine.dataset().by_name("MA-GrowthRate").expect("MA exists");
+    let recent_start = ma.len() - 8;
+    let query = ma
+        .subsequence(recent_start, 8)
+        .expect("window in bounds")
+        .to_vec();
+    println!(
+        "query: MA growth rate, {}–{}  {}",
+        ma.axis().at(recent_start) as i32,
+        ma.axis().at(ma.len() - 1) as i32,
+        sparkline(&query)
+    );
+
+    // Similarity search over the other 49 states.
+    let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
+    let (matches, stats) = engine.k_best(&query, 5, &opts);
+    println!("\nstates with the most similar recent growth trajectory:");
+    for (rank, m) in matches.iter().enumerate() {
+        let window = engine.dataset().resolve(m.subseq).expect("resolves");
+        println!(
+            "  {}. {:<18} dtw {:.3}  {}",
+            rank + 1,
+            m.series_name,
+            m.distance,
+            sparkline(window)
+        );
+    }
+    println!(
+        "(answered by examining {} of {} groups; {} pruned outright)",
+        stats.groups_examined - stats.groups_pruned,
+        stats.groups_examined,
+        stats.groups_pruned
+    );
+
+    // Results pane + linked perspectives for the winner.
+    let best = matches.first().expect("at least one match");
+    let matched = engine.dataset().resolve(best.subseq).expect("resolves").to_vec();
+    let lines = MultiLineChart::for_match(&query, best, engine.dataset()).render();
+    let lines_path = artefact("results_pane.svg", &lines);
+    let radial = RadialChart::new(360, format!("MA vs {}", best.series_name))
+        .add_series("MA", &query)
+        .add_series(&best.series_name, &matched)
+        .render();
+    let radial_path = artefact("radial.svg", &radial);
+    let scatter = ConnectedScatter::new(
+        360,
+        format!("MA vs {}", best.series_name),
+        &query,
+        &matched,
+    )
+    .with_path(&best.path);
+    println!(
+        "\nlinked views: deviation from the 45° diagonal is {:.3} pct pts",
+        scatter.diagonal_deviation()
+    );
+    let scatter_path = artefact("scatter.svg", &scatter.render());
+    println!("artefacts:\n  {}\n  {}\n  {}", lines_path.display(), radial_path.display(), scatter_path.display());
+
+    // Threshold sanity (the §3.3 point): what would this threshold mean on
+    // a different indicator?
+    if let Some(rec) = engine.recommend_threshold(8, 4000, 1) {
+        println!(
+            "\nthreshold recommendation for GrowthRate at length 8: {:.3} (5% quantile of pairwise distance)",
+            rec.suggested
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! A small command-line front end to the ONEX engine — the library
+//! counterpart of the paper's web UI, usable on any column-CSV export.
+//!
+//! ```sh
+//! # explore the bundled synthetic MATTERS growth rates:
+//! cargo run --example onex_cli --release -- summary
+//! cargo run --example onex_cli --release -- match MA-GrowthRate 8 8
+//! cargo run --example onex_cli --release -- seasonal MA-GrowthRate
+//! cargo run --example onex_cli --release -- recommend 8
+//!
+//! # or point it at your own CSV (header row, one column per series):
+//! cargo run --example onex_cli --release -- --csv data.csv --st 0.5 summary
+//! ```
+
+use onex::engine::{LengthSelection, Onex, QueryOptions, SeasonalOptions};
+use onex::grouping::BaseConfig;
+use onex::tseries::gen::{matters_collection, Indicator, MattersConfig};
+use onex::tseries::{io, Dataset};
+use onex::viz::ascii::sparkline;
+
+struct Args {
+    csv: Option<String>,
+    st: f64,
+    min_len: usize,
+    max_len: usize,
+    command: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        csv: None,
+        st: 1.0,
+        min_len: 6,
+        max_len: 12,
+        command: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => args.csv = it.next(),
+            "--st" => args.st = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.st),
+            "--min-len" => {
+                args.min_len = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.min_len)
+            }
+            "--max-len" => {
+                args.max_len = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.max_len)
+            }
+            other => args.command.push(other.to_string()),
+        }
+    }
+    args
+}
+
+fn load(args: &Args) -> Dataset {
+    match &args.csv {
+        Some(path) => {
+            let f = std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            });
+            io::read_csv_columns(f).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => matters_collection(&MattersConfig {
+            indicators: vec![Indicator::GrowthRate],
+            ..MattersConfig::default()
+        }),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.command.is_empty() {
+        eprintln!("usage: onex_cli [--csv FILE] [--st N] [--min-len N] [--max-len N] COMMAND");
+        eprintln!("commands: summary | match SERIES START LEN | seasonal SERIES | recommend LEN");
+        std::process::exit(1);
+    }
+    let dataset = load(&args);
+    let cfg = BaseConfig::new(args.st, args.min_len, args.max_len);
+    let (engine, report) = Onex::build(dataset, cfg).unwrap_or_else(|e| {
+        eprintln!("cannot build base: {e}");
+        std::process::exit(1);
+    });
+
+    match args.command[0].as_str() {
+        "summary" => {
+            println!("dataset: {}", engine.dataset().summary());
+            println!(
+                "base: {} groups / {} subsequences ({:.1}×) built in {:?}",
+                report.groups,
+                report.subsequences,
+                report.compaction(),
+                report.elapsed
+            );
+            let stats = engine.base().stats();
+            println!("per length:");
+            for l in &stats.per_length {
+                println!(
+                    "  len {:>3}: {:>5} windows → {:>4} groups (largest ×{})",
+                    l.len, l.subsequences, l.groups, l.max_cardinality
+                );
+            }
+        }
+        "match" => {
+            let (series, start, len) = (
+                args.command.get(1).map(String::as_str).unwrap_or("MA-GrowthRate"),
+                args.command
+                    .get(2)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(0),
+                args.command
+                    .get(3)
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or(8),
+            );
+            let Some(s) = engine.dataset().by_name(series) else {
+                eprintln!("unknown series {series:?}");
+                std::process::exit(1);
+            };
+            let Some(window) = s.subsequence(start, len) else {
+                eprintln!("window [{start}..{}] out of bounds (len {})", start + len, s.len());
+                std::process::exit(1);
+            };
+            let query = window.to_vec();
+            let opts = QueryOptions::default()
+                .lengths(LengthSelection::Nearest(3))
+                .excluding_series(engine.dataset().id_of(series));
+            let (matches, stats) = engine.k_best(&query, 5, &opts);
+            println!("query {series}[{start}..{}]  {}", start + len, sparkline(&query));
+            for (rank, m) in matches.iter().enumerate() {
+                let vals = engine.dataset().resolve(m.subseq).expect("resolves");
+                println!(
+                    "  {}. {:<20} [{:>2}..{:>2}] dtw {:.4} norm {:.4}  {}",
+                    rank + 1,
+                    m.series_name,
+                    m.subseq.start,
+                    m.subseq.end(),
+                    m.distance,
+                    m.normalized,
+                    sparkline(vals)
+                );
+            }
+            println!(
+                "({} groups examined, {} pruned, {} DTW runs)",
+                stats.groups_examined,
+                stats.groups_pruned,
+                stats.dtw_invocations()
+            );
+        }
+        "seasonal" => {
+            let series = args
+                .command
+                .get(1)
+                .map(String::as_str)
+                .unwrap_or("MA-GrowthRate");
+            match engine.seasonal(series, &SeasonalOptions::default()) {
+                Ok(patterns) if patterns.is_empty() => {
+                    println!("no recurring patterns in {series} at ST {}", args.st)
+                }
+                Ok(patterns) => {
+                    for (rank, p) in patterns.iter().take(5).enumerate() {
+                        println!(
+                            "  {}. len {} × {} occurrences at {:?} (tightness {:.3})",
+                            rank + 1,
+                            p.len,
+                            p.count(),
+                            p.occurrences.iter().map(|o| o.start).collect::<Vec<_>>(),
+                            p.tightness
+                        );
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "recommend" => {
+            let len = args
+                .command
+                .get(1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(8);
+            match engine.recommend_threshold(len, 8000, 7) {
+                Some(rec) => {
+                    println!("threshold ladder at length {len} ({} pairs):", rec.pairs_sampled);
+                    for (q, t) in &rec.ladder {
+                        println!("  {:>4.0}% quantile → ST {t:.4}", q * 100.0);
+                    }
+                    println!("suggested: {:.4}", rec.suggested);
+                }
+                None => println!("not enough data at length {len}"),
+            }
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            std::process::exit(1);
+        }
+    }
+}

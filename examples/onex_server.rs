@@ -1,0 +1,65 @@
+//! Run the ONEX demo server — the library twin of the paper's live
+//! demonstration. Loads the synthetic MATTERS growth rates (or your CSV),
+//! preprocesses the base, and serves the exploration API plus browser-
+//! renderable views.
+//!
+//! ```sh
+//! cargo run --example onex_server --release              # 127.0.0.1:7878
+//! cargo run --example onex_server --release -- 0.0.0.0:8080
+//! cargo run --example onex_server --release -- 127.0.0.1:7878 data.csv 0.5
+//! ```
+//!
+//! Then open <http://127.0.0.1:7878/> in a browser.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use onex::engine::Onex;
+use onex::grouping::BaseConfig;
+use onex::server::App;
+use onex::tseries::gen::{matters_collection, Indicator, MattersConfig};
+use onex::tseries::io;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7878".into());
+    let csv = args.next();
+    let st: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+
+    let dataset = match &csv {
+        Some(path) => {
+            let f = std::fs::File::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            });
+            io::read_csv_columns(f).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+        None => matters_collection(&MattersConfig {
+            indicators: vec![Indicator::GrowthRate],
+            ..MattersConfig::default()
+        }),
+    };
+    println!("loaded: {}", dataset.summary());
+
+    let (engine, report) = Onex::build(dataset, BaseConfig::new(st, 6, 12)).unwrap_or_else(|e| {
+        eprintln!("cannot build base: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "base ready: {} groups / {} subsequences ({:.1}×) in {:?}",
+        report.groups,
+        report.subsequences,
+        report.compaction(),
+        report.elapsed
+    );
+
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("ONEX server listening on http://{addr}/ — ctrl-c to stop");
+    App::new(Arc::new(engine)).serve(listener).expect("serve loop");
+}

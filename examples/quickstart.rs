@@ -1,0 +1,72 @@
+//! Quickstart: the five-minute ONEX tour.
+//!
+//! Build an ONEX base over a small collection, run a best-match query, and
+//! inspect the result — the whole Fig 1 pipeline in one screen of code.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use onex::engine::{Onex, QueryOptions};
+use onex::grouping::BaseConfig;
+use onex::tseries::gen::{sine_mix_dataset, SyntheticConfig};
+use onex::viz::ascii::sparkline;
+
+fn main() {
+    // 1. A collection of 20 noisy periodic series, 96 samples each.
+    let dataset = sine_mix_dataset(
+        SyntheticConfig {
+            series: 20,
+            len: 96,
+            seed: 42,
+        },
+        3,   // harmonics
+        0.2, // noise
+    );
+    println!("dataset: {}", dataset.summary());
+
+    // 2. Preprocess into the ONEX base: similarity groups (Euclidean,
+    //    threshold 0.4 per-sample RMS) for subsequence lengths 16..=32.
+    let config = BaseConfig::new(0.4, 16, 32);
+    let (engine, report) = Onex::build(dataset, config).expect("valid config");
+    println!(
+        "base: {} subsequences compacted into {} groups ({:.1}×) in {:?}",
+        report.subsequences,
+        report.groups,
+        report.compaction(),
+        report.elapsed
+    );
+
+    // 3. Query: a window cut from one series, lightly perturbed.
+    let source = engine.dataset().by_name("sine-7").expect("series exists");
+    let mut query: Vec<f64> = source.subsequence(30, 24).expect("window in bounds").to_vec();
+    for (i, v) in query.iter_mut().enumerate() {
+        *v += 0.05 * (i as f64).sin();
+    }
+    println!("query   : {}", sparkline(&query));
+
+    // 4. Best time-warped match (DTW over the compact base, not raw data).
+    let (best, stats) = engine.best_match(&query, &QueryOptions::default());
+    let best = best.expect("a match exists");
+    let matched = engine.dataset().resolve(best.subseq).expect("resolves");
+    println!("match   : {}", sparkline(matched));
+    println!(
+        "best match: {} window [{}..{}] at DTW {:.4}",
+        best.series_name,
+        best.subseq.start,
+        best.subseq.end(),
+        best.distance
+    );
+    println!(
+        "work: {} groups examined, {} pruned whole, {} members DTW'd, {} LB-pruned",
+        stats.groups_examined,
+        stats.groups_pruned,
+        stats.members_examined,
+        stats.members_lb_pruned
+    );
+    println!(
+        "warping path: {} aligned pairs (diagonal would be {})",
+        best.path.len(),
+        query.len()
+    );
+}

@@ -1,0 +1,90 @@
+//! Threshold recommendation (§3.3): the same analyst question — "how
+//! similar is similar?" — needs thresholds that differ by orders of
+//! magnitude across indicators. ONEX recommends them from the data.
+//!
+//! ```sh
+//! cargo run --example threshold_tuning --release
+//! ```
+
+use onex::engine::threshold::{calibrate_for_compaction, recommend};
+use onex::engine::Onex;
+use onex::grouping::BaseConfig;
+use onex::tseries::gen::{matters_collection, Indicator, MattersConfig};
+
+fn main() {
+    let len = 8;
+    println!("pairwise-distance quantiles at subsequence length {len}:\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>12}",
+        "indicator", "1%", "5% (sugg.)", "25%", "median"
+    );
+    let mut suggestions = Vec::new();
+    for ind in Indicator::all() {
+        let ds = matters_collection(&MattersConfig {
+            indicators: vec![*ind],
+            ..MattersConfig::default()
+        });
+        let rec = recommend(&ds, len, 8000, 7).expect("panel is rich enough");
+        let at = |q: f64| rec.at_quantile(q).expect("ladder quantile");
+        println!(
+            "{:<22} {:>10.3} {:>10.3} {:>10.3} {:>12.3}",
+            ind.name(),
+            at(0.01),
+            rec.suggested,
+            at(0.25),
+            at(0.50)
+        );
+        suggestions.push((*ind, rec.suggested));
+    }
+
+    let growth = suggestions
+        .iter()
+        .find(|(i, _)| *i == Indicator::GrowthRate)
+        .expect("growth suggested")
+        .1;
+    let unemp = suggestions
+        .iter()
+        .find(|(i, _)| *i == Indicator::Unemployment)
+        .expect("unemployment suggested")
+        .1;
+    println!(
+        "\nthe unemployment threshold is {:.0}× the growth-rate threshold —\n\
+         one global ST would be useless across domains (the paper's §3.3 point).",
+        unemp / growth
+    );
+
+    // System-facing knob: pick ST to hit a target base size.
+    println!("\ncalibrating GrowthRate ST for a ~6× compacted base:");
+    let ds = matters_collection(&MattersConfig {
+        indicators: vec![Indicator::GrowthRate],
+        ..MattersConfig::default()
+    });
+    let template = BaseConfig::new(1.0, 6, 8);
+    let cal = calibrate_for_compaction(&ds, &template, 6.0, 0.2, 16).expect("calibration runs");
+    println!(
+        "  found ST {:.4} → compaction {:.1}× (after {} probe builds)",
+        cal.st, cal.compaction, cal.probes
+    );
+
+    // Verify by building with the calibrated threshold.
+    let (engine, report) = Onex::build(
+        ds,
+        BaseConfig {
+            st: cal.st,
+            ..template
+        },
+    )
+    .expect("valid config");
+    println!(
+        "  verification build: {} groups / {} subsequences = {:.1}×",
+        report.groups,
+        report.subsequences,
+        report.compaction()
+    );
+    let audit = engine.base().audit(engine.dataset());
+    println!(
+        "  invariant audit: {}/{} members within the admission radius",
+        audit.members_checked - audit.violations,
+        audit.members_checked
+    );
+}

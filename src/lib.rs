@@ -1,0 +1,40 @@
+//! # ONEX — Online Exploration of Time Series
+//!
+//! Facade crate: re-exports the public API of every ONEX subsystem so
+//! downstream users depend on a single crate.
+//!
+//! * [`tseries`] — time-series substrate (model, normalisation, I/O,
+//!   workload generators).
+//! * [`distance`] — Euclidean / DTW distances, envelopes, lower bounds and
+//!   the ED↔DTW bridge underpinning the ONEX base.
+//! * [`grouping`] — the ONEX base: Euclidean similarity groups over the
+//!   subsequence space of a dataset.
+//! * [`engine`] — the ONEX query engine: best-match, k-similar, seasonal
+//!   queries and threshold recommendation.
+//! * [`ucrsuite`] — the UCR Suite baseline used in the paper's speed
+//!   comparison.
+//! * [`spring`] — the SPRING streaming-DTW monitor (paper reference [7]),
+//!   the exact stream-monitoring baseline.
+//! * [`frm`] — the FRM/ST-index baseline (reference [4]): DFT features,
+//!   MBR trails and an R-tree for exact Euclidean subsequence matching.
+//! * [`embedding`] — the EBSM baseline (reference [1]): approximate
+//!   embedding-based subsequence matching under DTW.
+//! * [`viz`] — visual-analytics output: overview pane, warped multi-line
+//!   charts, radial charts, connected scatter plots, seasonal views.
+//! * [`server`] — the demo's client–server architecture: a dependency-free
+//!   HTTP server exposing the engine as JSON endpoints and SVG views.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour.
+
+#![forbid(unsafe_code)]
+
+pub use onex_core as engine;
+pub use onex_distance as distance;
+pub use onex_embedding as embedding;
+pub use onex_frm as frm;
+pub use onex_grouping as grouping;
+pub use onex_server as server;
+pub use onex_spring as spring;
+pub use onex_tseries as tseries;
+pub use onex_ucrsuite as ucrsuite;
+pub use onex_viz as viz;

@@ -1,0 +1,117 @@
+//! The paper's §1 motivating scenario as one integration test: analysts
+//! studying the 2013 Massachusetts tax-repeal question derive growth
+//! series from levels, align mixed-granularity indicators, tune the
+//! threshold per domain, and run warped similarity searches — exercising
+//! ops + threshold + engine + viz together.
+
+use onex::engine::{Onex, QueryOptions};
+use onex::grouping::BaseConfig;
+use onex::tseries::gen::{matters_collection, Indicator, MattersConfig};
+use onex::tseries::ops::{moving_average, pct_change, resample};
+use onex::tseries::{Dataset, TimeSeries};
+use onex::viz::{ConnectedScatter, QueryPreview};
+
+#[test]
+fn derive_align_tune_search() {
+    // 1. Raw panel: median income levels (dollars).
+    let levels = matters_collection(&MattersConfig {
+        indicators: vec![Indicator::MedianIncome],
+        years: 20,
+        ..MattersConfig::default()
+    });
+
+    // 2. Derive: percent growth of income, smoothed, per state.
+    let mut derived = Dataset::new();
+    for (_, s) in levels.iter() {
+        let growth = pct_change(s);
+        let smooth = moving_average(&growth, 3);
+        derived
+            .push(TimeSeries::with_axis(
+                s.name().replace("MedianIncome", "IncomeGrowth"),
+                smooth.values().to_vec(),
+                smooth.axis(),
+            ))
+            .unwrap();
+    }
+    assert_eq!(derived.len(), 50);
+    assert_eq!(derived.by_name("MA-IncomeGrowth").unwrap().len(), 19);
+
+    // 3. Tune: derived growth is in percent — the recommended threshold
+    //    must be on that scale, orders of magnitude below dollars.
+    let rec_levels = onex::engine::threshold::recommend(&levels, 8, 4000, 1).unwrap();
+    let rec_growth = onex::engine::threshold::recommend(&derived, 8, 4000, 1).unwrap();
+    assert!(
+        rec_levels.suggested / rec_growth.suggested > 50.0,
+        "levels {} vs growth {}",
+        rec_levels.suggested,
+        rec_growth.suggested
+    );
+
+    // 4. Search with the tuned threshold.
+    let (engine, report) = Onex::build(
+        derived,
+        BaseConfig::new(rec_growth.suggested * 2.0, 6, 10),
+    )
+    .unwrap();
+    assert!(report.groups > 0);
+    let ma = engine.dataset().by_name("MA-IncomeGrowth").unwrap();
+    let preview = QueryPreview::for_series(520, ma).brush(ma.len() - 8, 8);
+    let query = preview.selection().to_vec();
+    let opts = QueryOptions::default()
+        .excluding_series(engine.dataset().id_of("MA-IncomeGrowth"));
+    let (matches, _) = engine.k_best(&query, 3, &opts);
+    assert_eq!(matches.len(), 3);
+    for m in &matches {
+        assert!(m.distance.is_finite());
+        assert_ne!(m.series_name, "MA-IncomeGrowth");
+    }
+
+    // 5. Inspect the winner in a linked view.
+    let best = &matches[0];
+    let matched = engine.dataset().resolve(best.subseq).unwrap();
+    let scatter = ConnectedScatter::new(300, "MA vs peer", &query, matched)
+        .with_path(&best.path);
+    assert!(scatter.render().contains("<polyline"));
+    assert!(scatter.diagonal_deviation().is_finite());
+}
+
+#[test]
+fn mixed_granularity_alignment() {
+    // An annual indicator next to a quarterly one: resample to a common
+    // grid, then they join one dataset and one base.
+    let annual = matters_collection(&MattersConfig {
+        indicators: vec![Indicator::GrowthRate],
+        years: 12,
+        ..MattersConfig::default()
+    });
+    let ma_annual = annual.by_name("MA-GrowthRate").unwrap();
+    // Pretend a quarterly feed of the same span (4× samples).
+    let quarterly = resample(ma_annual, ma_annual.len() * 4 - 3);
+    assert!((quarterly.axis().step - 0.25).abs() < 0.02);
+    let back = resample(&quarterly, ma_annual.len());
+    for (a, b) in back.values().iter().zip(ma_annual.values()) {
+        assert!((a - b).abs() < 1e-9, "down-up-down round trip is lossless on the grid");
+    }
+
+    let mut mixed = Dataset::new();
+    mixed
+        .push(TimeSeries::new("ma-annual", ma_annual.values().to_vec()))
+        .unwrap();
+    mixed
+        .push(TimeSeries::new("ma-quarterly-aligned", back.values().to_vec()))
+        .unwrap();
+    let (engine, _) = Onex::build(mixed, BaseConfig::new(0.5, 6, 8)).unwrap();
+    let q = engine
+        .dataset()
+        .by_name("ma-annual")
+        .unwrap()
+        .subsequence(2, 8)
+        .unwrap()
+        .to_vec();
+    let opts = QueryOptions::default()
+        .excluding_series(engine.dataset().id_of("ma-annual"));
+    let (m, _) = engine.best_match(&q, &opts);
+    let m = m.unwrap();
+    assert_eq!(m.series_name, "ma-quarterly-aligned");
+    assert!(m.distance < 1e-6, "aligned feeds match near-exactly");
+}

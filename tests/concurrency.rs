@@ -1,0 +1,193 @@
+//! The demo's client–server architecture: one engine, many concurrent
+//! analysts. Queries take `&self`, so the engine must answer identically
+//! and without data races when shared across threads.
+
+use std::sync::Arc;
+
+use onex::engine::{Onex, QueryOptions, SeasonalOptions};
+use onex::grouping::BaseConfig;
+use onex::tseries::gen::{matters_collection, Indicator, MattersConfig};
+
+fn engine() -> Arc<Onex> {
+    let ds = matters_collection(&MattersConfig {
+        indicators: vec![Indicator::GrowthRate],
+        ..MattersConfig::default()
+    });
+    let (e, _) = Onex::build(ds, BaseConfig::new(1.0, 6, 10)).unwrap();
+    Arc::new(e)
+}
+
+#[test]
+fn concurrent_queries_agree_with_serial_answers() {
+    let engine = engine();
+    let states = ["MA", "NY", "CA", "TX", "OH", "GA", "WA", "FL"];
+    // Serial reference answers.
+    let mut reference = Vec::new();
+    for s in &states {
+        let name = format!("{s}-GrowthRate");
+        let q = engine
+            .dataset()
+            .by_name(&name)
+            .unwrap()
+            .subsequence(4, 8)
+            .unwrap()
+            .to_vec();
+        let opts = QueryOptions::default().excluding_series(engine.dataset().id_of(&name));
+        let (m, _) = engine.best_match(&q, &opts);
+        reference.push(m.unwrap());
+    }
+    // The same queries, four threads, several rounds each.
+    crossbeam::thread::scope(|scope| {
+        for t in 0..4 {
+            let engine = Arc::clone(&engine);
+            let reference = &reference;
+            scope.spawn(move |_| {
+                for round in 0..3 {
+                    let idx = (t + round * 2) % states.len();
+                    let name = format!("{}-GrowthRate", states[idx]);
+                    let q = engine
+                        .dataset()
+                        .by_name(&name)
+                        .unwrap()
+                        .subsequence(4, 8)
+                        .unwrap()
+                        .to_vec();
+                    let opts = QueryOptions::default()
+                        .excluding_series(engine.dataset().id_of(&name));
+                    let (m, _) = engine.best_match(&q, &opts);
+                    let m = m.unwrap();
+                    assert_eq!(m.subseq, reference[idx].subseq, "thread {t} round {round}");
+                    assert!((m.distance - reference[idx].distance).abs() < 1e-12);
+                }
+            });
+        }
+    })
+    .unwrap();
+    // Lifetime stats observed every query without losing updates:
+    // 8 serial + 4 threads × 3 rounds = 20 best_match calls.
+    let total = engine.lifetime_stats();
+    assert!(total.groups_examined >= 20, "{total:?}");
+}
+
+#[test]
+fn mixed_operation_kinds_run_concurrently() {
+    let engine = engine();
+    crossbeam::thread::scope(|scope| {
+        let e1 = Arc::clone(&engine);
+        scope.spawn(move |_| {
+            for _ in 0..5 {
+                let q = e1
+                    .dataset()
+                    .by_name("MN-GrowthRate")
+                    .unwrap()
+                    .subsequence(0, 8)
+                    .unwrap()
+                    .to_vec();
+                let (m, _) = e1.k_best(&q, 3, &QueryOptions::default());
+                assert_eq!(m.len(), 3);
+            }
+        });
+        let e2 = Arc::clone(&engine);
+        scope.spawn(move |_| {
+            for _ in 0..5 {
+                let patterns = e2
+                    .seasonal("IA-GrowthRate", &SeasonalOptions::default())
+                    .unwrap();
+                // Annual growth data may or may not have recurrences;
+                // the call just must not race or panic.
+                let _ = patterns.len();
+            }
+        });
+        let e3 = Arc::clone(&engine);
+        scope.spawn(move |_| {
+            for seed in 0..5 {
+                let rec = e3.recommend_threshold(8, 500, seed).unwrap();
+                assert!(rec.suggested > 0.0);
+            }
+        });
+    })
+    .unwrap();
+}
+
+// ---------------------------------------------------------------------
+// The baseline indexes must be shareable across query threads too.
+// ---------------------------------------------------------------------
+
+#[test]
+fn frm_and_ebsm_answer_concurrently() {
+    use onex::embedding::{EbsmConfig, EbsmIndex};
+    use onex::frm::{StConfig, StIndex};
+
+    let series: Vec<Vec<f64>> = (0..8)
+        .map(|p| {
+            (0..120)
+                .map(|i| ((i + 13 * p) as f64 * 0.23).sin() * 2.0)
+                .collect()
+        })
+        .collect();
+    let frm = StIndex::<4>::build(
+        series.clone(),
+        StConfig {
+            window: 16,
+            subtrail_max: 16,
+            cost_scale: 1.0,
+        },
+    );
+    let ebsm = EbsmIndex::build(
+        series.clone(),
+        EbsmConfig {
+            references: 4,
+            ref_len: 16,
+            candidates: 8,
+            refine_factor: 2,
+            seed: 3,
+        },
+    );
+    crossbeam::scope(|scope| {
+        for t in 0..4 {
+            let frm = &frm;
+            let ebsm = &ebsm;
+            let series = &series;
+            scope.spawn(move |_| {
+                let query = series[t % series.len()][10..26].to_vec();
+                let (fh, _) = frm.best_match(&query).expect("non-empty index");
+                assert!(fh.dist < 1e-9, "FRM is exact: verbatim window must win");
+                // EBSM is approximate — a verbatim window may rank below
+                // the candidate budget when the database embedding sees
+                // more context than the query embedding — but it must
+                // return a faithful finite answer under concurrent use.
+                let (eh, _) = ebsm.best_match(&query).expect("non-empty index");
+                assert!(eh.dist.is_finite());
+            });
+        }
+    })
+    .expect("no thread panicked");
+}
+
+#[test]
+fn spring_monitors_run_per_thread() {
+    use onex::spring::SpringMonitor;
+
+    let pattern = [0.0, 1.0, 2.0, 1.0, 0.0];
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let pattern = pattern.to_vec();
+            std::thread::spawn(move || {
+                let mut mon = SpringMonitor::new(&pattern, 0.5).expect("valid pattern");
+                let mut stream = vec![9.0; 5 + t];
+                stream.extend_from_slice(&pattern);
+                stream.extend(vec![9.0; 4]);
+                let mut found = Vec::new();
+                for &x in &stream {
+                    found.extend(mon.push(x));
+                }
+                found.extend(mon.finish());
+                assert_eq!(found.len(), 1);
+                assert_eq!(found[0].start, 5 + t);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("no panic");
+    }
+}
