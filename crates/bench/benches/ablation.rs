@@ -16,7 +16,10 @@ fn bench_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("e9_ablation");
     let variants: Vec<(&str, QueryOptions)> = vec![
         ("full_pruning", QueryOptions::default()),
-        ("no_group_pruning", QueryOptions::default().without_group_pruning()),
+        (
+            "no_group_pruning",
+            QueryOptions::default().without_group_pruning(),
+        ),
         ("no_lb_keogh", QueryOptions::default().without_lb_keogh()),
         ("no_pruning", QueryOptions::default().without_pruning()),
     ];

@@ -18,13 +18,7 @@ fn bench_queries(c: &mut Criterion) {
     for n in [20usize, 60] {
         let ds = workloads::diverse_sines(n, LEN);
         let series: Vec<Vec<f64>> = ds.iter().map(|(_, s)| s.values().to_vec()).collect();
-        let query = workloads::perturbed_query(
-            &ds,
-            ds.series(0).unwrap().name(),
-            40,
-            QLEN,
-            0.08,
-        );
+        let query = workloads::perturbed_query(&ds, ds.series(0).unwrap().name(), 40, QLEN, 0.08);
 
         let (onex, _) = Onex::build(ds.clone(), BaseConfig::new(2.0, QLEN, QLEN)).unwrap();
         let opts = QueryOptions::default().top_groups(1);

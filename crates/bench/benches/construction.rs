@@ -13,9 +13,11 @@ fn bench_construction(c: &mut Criterion) {
     for st in [0.1f64, 0.35, 1.0] {
         let cfg = BaseConfig::new(st, 16, 24);
         let builder = BaseBuilder::new(cfg).unwrap();
-        g.bench_with_input(BenchmarkId::new("build_st", format!("{st}")), &st, |b, _| {
-            b.iter(|| black_box(builder.build(&ds)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("build_st", format!("{st}")),
+            &st,
+            |b, _| b.iter(|| black_box(builder.build(&ds))),
+        );
     }
     let cfg = BaseConfig::new(0.35, 16, 24);
     let builder = BaseBuilder::new(cfg).unwrap();

@@ -26,7 +26,14 @@ fn bench_kernels(c: &mut Criterion) {
         });
         let tight = dtw(&x, &y, Band::Full) * 0.5;
         g.bench_with_input(BenchmarkId::new("dtw_abandon_tight", n), &n, |b, _| {
-            b.iter(|| black_box(dtw_early_abandon(black_box(&x), black_box(&y), Band::Full, tight)))
+            b.iter(|| {
+                black_box(dtw_early_abandon(
+                    black_box(&x),
+                    black_box(&y),
+                    Band::Full,
+                    tight,
+                ))
+            })
         });
         let env = Envelope::build(&y, n / 20 + 1);
         g.bench_with_input(BenchmarkId::new("lb_keogh", n), &n, |b, _| {

@@ -141,7 +141,10 @@ pub fn run(quick: bool) -> Vec<Table> {
             r.spring_matches.to_string(),
             fmt_duration(r.ucr_total),
             fmt_duration(r.onex_total),
-            format!("{:.1}x", r.ucr_total.as_secs_f64() / r.spring_total.as_secs_f64()),
+            format!(
+                "{:.1}x",
+                r.ucr_total.as_secs_f64() / r.spring_total.as_secs_f64()
+            ),
         ]);
     }
     vec![t]

@@ -147,7 +147,12 @@ fn compare(series_count: usize, len: usize, qlen: usize, queries: usize) -> Tabl
         let (m, _) = onex.best_match(&query, &opts_top1);
         onex_time += t.elapsed();
         if let Some(m) = m {
-            let d = remeasure(m.subseq.series, m.subseq.start as usize, m.subseq.len as usize, &query);
+            let d = remeasure(
+                m.subseq.series,
+                m.subseq.start as usize,
+                m.subseq.len as usize,
+                &query,
+            );
             onex_res.push((d, opt));
         }
 
@@ -155,7 +160,12 @@ fn compare(series_count: usize, len: usize, qlen: usize, queries: usize) -> Tabl
         let (m, _) = onex.best_match(&query, &opts_exact);
         onex_exact_time += t.elapsed();
         if let Some(m) = m {
-            let d = remeasure(m.subseq.series, m.subseq.start as usize, m.subseq.len as usize, &query);
+            let d = remeasure(
+                m.subseq.series,
+                m.subseq.start as usize,
+                m.subseq.len as usize,
+                &query,
+            );
             onex_exact_res.push((d, opt));
         }
 

@@ -29,8 +29,7 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     // Stage 2: preprocessing into the ONEX base.
     let max_len = if quick { 8 } else { 12 };
-    let (engine, report) = Onex::build(ds, BaseConfig::new(1.0, 6, max_len))
-        .expect("valid config");
+    let (engine, report) = Onex::build(ds, BaseConfig::new(1.0, 6, max_len)).expect("valid config");
     t.row(vec![
         "preprocess (ONEX base)".into(),
         format!(

@@ -155,7 +155,11 @@ pub fn run(quick: bool) -> Vec<Table> {
     {
         let total = stats.candidates.max(1);
         let pct = |k: usize| format!("{:.1}%", 100.0 * k as f64 / total as f64);
-        cascade.row(vec!["LB_KimFL".into(), stats.kim_pruned.to_string(), pct(stats.kim_pruned)]);
+        cascade.row(vec![
+            "LB_KimFL".into(),
+            stats.kim_pruned.to_string(),
+            pct(stats.kim_pruned),
+        ]);
         cascade.row(vec![
             "LB_Keogh (query env)".into(),
             stats.keogh_eq_pruned.to_string(),

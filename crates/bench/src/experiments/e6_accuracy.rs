@@ -167,7 +167,10 @@ mod tests {
             onex_inflation <= narrow_band_inflation + 1e-9,
             "onex {onex_inflation} vs banded {narrow_band_inflation}"
         );
-        assert!(onex_inflation >= 1.0 - 1e-9, "inflation is ≥ 1 by construction");
+        assert!(
+            onex_inflation >= 1.0 - 1e-9,
+            "inflation is ≥ 1 by construction"
+        );
         assert!(
             onex_top1_inflation >= onex_inflation - 1e-9,
             "exact mode is at least as accurate as paper mode"

@@ -92,7 +92,10 @@ mod tests {
         let parse = |s: &str| -> f64 { s.trim_end_matches('×').parse().unwrap() };
         let c0 = parse(&rows[0][3]);
         let c2 = parse(&rows[2][3]);
-        assert!(c2 >= c0, "larger ST compacts at least as much: {c0} vs {c2}");
+        assert!(
+            c2 >= c0,
+            "larger ST compacts at least as much: {c0} vs {c2}"
+        );
         // Group counts decrease correspondingly.
         let g0: usize = rows[0][2].parse().unwrap();
         let g2: usize = rows[2][2].parse().unwrap();

@@ -51,7 +51,12 @@ pub fn run(quick: bool) -> Vec<Table> {
         .expect("calibration runs");
     let mut calib = Table::new(
         "E8 — calibrating ST for a target compaction (GrowthRate)",
-        &["target compaction", "found ST", "achieved compaction", "builds"],
+        &[
+            "target compaction",
+            "found ST",
+            "achieved compaction",
+            "builds",
+        ],
     );
     calib.row(vec![
         format!("{target:.1}×"),

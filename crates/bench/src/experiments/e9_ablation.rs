@@ -32,10 +32,19 @@ pub fn run(quick: bool) -> Vec<Table> {
     );
     let variants: [(&str, QueryOptions); 5] = [
         ("full pruning (exact)", QueryOptions::default()),
-        ("paper mode (top-1 group)", QueryOptions::default().top_groups(1)),
-        ("no group pruning", QueryOptions::default().without_group_pruning()),
+        (
+            "paper mode (top-1 group)",
+            QueryOptions::default().top_groups(1),
+        ),
+        (
+            "no group pruning",
+            QueryOptions::default().without_group_pruning(),
+        ),
         ("no LB_Keogh", QueryOptions::default().without_lb_keogh()),
-        ("no pruning at all", QueryOptions::default().without_pruning()),
+        (
+            "no pruning at all",
+            QueryOptions::default().without_pruning(),
+        ),
     ];
     for (name, opts) in &variants {
         let (m, stats) = engine.best_match(&query, opts);
@@ -59,7 +68,13 @@ pub fn run(quick: bool) -> Vec<Table> {
     // Ablation 2: representative policy.
     let mut policy = Table::new(
         "E9b — representative policy (Centroid = paper, Seed = certified radii)",
-        &["policy", "groups", "compaction", "drift rate", "query latency"],
+        &[
+            "policy",
+            "groups",
+            "compaction",
+            "drift rate",
+            "query latency",
+        ],
     );
     for (name, pol) in [
         ("Centroid", RepresentativePolicy::Centroid),

@@ -92,10 +92,7 @@ pub fn fmt_speedup(baseline: Duration, candidate: Duration) -> String {
     if candidate.as_nanos() == 0 {
         return "∞×".into();
     }
-    format!(
-        "{:.2}×",
-        baseline.as_secs_f64() / candidate.as_secs_f64()
-    )
+    format!("{:.2}×", baseline.as_secs_f64() / candidate.as_secs_f64())
 }
 
 /// Where SVG artefacts go (created on demand).
@@ -150,9 +147,6 @@ mod tests {
     fn speedup_formatting() {
         let s = fmt_speedup(Duration::from_millis(100), Duration::from_millis(25));
         assert_eq!(s, "4.00×");
-        assert_eq!(
-            fmt_speedup(Duration::from_millis(1), Duration::ZERO),
-            "∞×"
-        );
+        assert_eq!(fmt_speedup(Duration::from_millis(1), Duration::ZERO), "∞×");
     }
 }

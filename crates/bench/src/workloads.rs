@@ -121,8 +121,8 @@ pub fn warped_query(
         .map(|i| {
             // Monotone warp map [0,1] → [0,1]: u + strength·sin(πu)·u(1−u).
             let u = i as f64 / (len - 1).max(1) as f64;
-            let warped = (u + strength * (std::f64::consts::PI * u).sin() * u * (1.0 - u))
-                .clamp(0.0, 1.0);
+            let warped =
+                (u + strength * (std::f64::consts::PI * u).sin() * u * (1.0 - u)).clamp(0.0, 1.0);
             let pos = warped * (m - 1) as f64;
             let lo = pos.floor() as usize;
             let hi = pos.ceil() as usize;
@@ -151,7 +151,13 @@ mod tests {
     fn workloads_have_expected_shapes() {
         assert_eq!(growth_rates().len(), 50);
         assert_eq!(unemployment().len(), 50);
-        assert_eq!(tech_employment().by_name("MA-TechEmployment").unwrap().len(), 24);
+        assert_eq!(
+            tech_employment()
+                .by_name("MA-TechEmployment")
+                .unwrap()
+                .len(),
+            24
+        );
         assert_eq!(household_year(30).series(0).unwrap().len(), 30 * 24);
         assert_eq!(sine_collection(10, 64).len(), 10);
         assert_eq!(walk_collection(5, 32).series(0).unwrap().len(), 32);

@@ -103,12 +103,7 @@ impl Onex {
     ///
     /// # Panics
     /// Panics when `k == 0` or `query` is empty.
-    pub fn k_best(
-        &self,
-        query: &[f64],
-        k: usize,
-        opts: &QueryOptions,
-    ) -> (Vec<Match>, QueryStats) {
+    pub fn k_best(&self, query: &[f64], k: usize, opts: &QueryOptions) -> (Vec<Match>, QueryStats) {
         let mut searcher = Searcher::new(&self.dataset, &self.base, query, opts);
         let matches = searcher.run(k);
         let stats = searcher.stats;
@@ -267,7 +262,8 @@ mod tests {
         let engine = growth_engine();
         let ma = engine.dataset().by_name("MA-GrowthRate").unwrap();
         let query = ma.subsequence(4, 8).unwrap().to_vec();
-        let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
+        let opts =
+            QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
         let (m, stats) = engine.best_match(&query, &opts);
         let m = m.expect("a match exists");
         assert_ne!(m.series_name, "MA-GrowthRate");
@@ -321,8 +317,7 @@ mod tests {
         let opts = QueryOptions::default().lengths(LengthSelection::Nearest(3));
         let (matches, _) = engine.k_best(&query, 8, &opts);
         assert!(!matches.is_empty());
-        let lens: std::collections::HashSet<u32> =
-            matches.iter().map(|m| m.subseq.len).collect();
+        let lens: std::collections::HashSet<u32> = matches.iter().map(|m| m.subseq.len).collect();
         assert!(lens.len() >= 2, "nearest-length search spans lengths");
     }
 
@@ -424,8 +419,8 @@ mod tests {
         assert_eq!(engine.dataset().len(), 51);
         // Excluding MA itself, the new clone is now the best match.
         let query = &ma[4..12];
-        let opts = QueryOptions::default()
-            .excluding_series(engine.dataset().id_of("MA-GrowthRate"));
+        let opts =
+            QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
         let (m, _) = engine.best_match(query, &opts);
         let m = m.unwrap();
         assert_eq!(m.series_name, "ZZ-GrowthRate");

@@ -97,15 +97,13 @@ pub fn scan_k(
                 } else {
                     f64::INFINITY
                 };
-                let d_sq =
-                    dtw_early_abandon_sq_with_cb(query, values, opts.band, bound_sq, None);
+                let d_sq = dtw_early_abandon_sq_with_cb(query, values, opts.band, bound_sq, None);
                 if d_sq.is_infinite() {
                     continue;
                 }
                 let distance = d_sq.sqrt();
                 let normalized = normalize(distance, n, len);
-                if heap.len() < k
-                    || normalized < heap.peek().expect("heap non-empty").0.normalized
+                if heap.len() < k || normalized < heap.peek().expect("heap non-empty").0.normalized
                 {
                     heap.push(ScanEntry(ScanHit {
                         subseq: candidate,

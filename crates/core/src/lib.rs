@@ -34,8 +34,8 @@ mod engine;
 pub mod exhaustive;
 mod options;
 mod result;
-mod seasonal;
 mod search;
+mod seasonal;
 mod stats;
 pub mod threshold;
 

@@ -146,10 +146,7 @@ impl QueryOptions {
                 return false;
             }
         }
-        !self
-            .exclude_windows
-            .iter()
-            .any(|w| w.overlaps(&candidate))
+        !self.exclude_windows.iter().any(|w| w.overlaps(&candidate))
     }
 }
 

@@ -187,8 +187,7 @@ impl<'a> Searcher<'a> {
             .map(|(gi, g)| {
                 let mut lb_sq = lb_kim_fl_sq(self.query, g.representative());
                 if let Some(env) = &env_q {
-                    lb_sq =
-                        lb_sq.max(lb_keogh_sq(g.representative(), env, f64::INFINITY));
+                    lb_sq = lb_sq.max(lb_keogh_sq(g.representative(), env, f64::INFINITY));
                 }
                 (gi, lb_sq.sqrt())
             })

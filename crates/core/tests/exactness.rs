@@ -15,7 +15,13 @@ use onex_tseries::gen::{random_walk_dataset, sine_mix_dataset, SyntheticConfig};
 use onex_tseries::Dataset;
 use proptest::prelude::*;
 
-fn engine(ds: &Dataset, st: f64, min_len: usize, max_len: usize, policy: RepresentativePolicy) -> Onex {
+fn engine(
+    ds: &Dataset,
+    st: f64,
+    min_len: usize,
+    max_len: usize,
+    policy: RepresentativePolicy,
+) -> Onex {
     let cfg = BaseConfig {
         policy,
         ..BaseConfig::new(st, min_len, max_len)
@@ -182,7 +188,10 @@ fn centroid_policy_stays_close_to_truth() {
     // The paper reports ONEX as highly accurate though approximate; on
     // benign synthetic data the found distance stays within a small factor
     // of the optimum.
-    assert!(worst_ratio < 1.5, "centroid deviation too large: {worst_ratio}");
+    assert!(
+        worst_ratio < 1.5,
+        "centroid deviation too large: {worst_ratio}"
+    );
 }
 
 #[test]
@@ -199,7 +208,10 @@ fn regression_suffix_radius_break() {
     let e = engine(&ds, 1.7977270279648634, 6, 12, RepresentativePolicy::Seed);
     let query = ds.series(0).unwrap().subsequence(2, 7).unwrap().to_vec();
     let (m, _) = e.best_match(&query, &QueryOptions::default());
-    assert!(m.unwrap().distance < 1e-9, "exact self-window must be found");
+    assert!(
+        m.unwrap().distance < 1e-9,
+        "exact self-window must be found"
+    );
 }
 
 #[test]
@@ -214,7 +226,12 @@ fn top_groups_mode_is_a_good_approximation() {
     });
     let e = engine(&ds, 1.2, 10, 10, RepresentativePolicy::Seed);
     for start in [0usize, 7, 19, 30] {
-        let query = ds.series(1).unwrap().subsequence(start, 10).unwrap().to_vec();
+        let query = ds
+            .series(1)
+            .unwrap()
+            .subsequence(start, 10)
+            .unwrap()
+            .to_vec();
         let exact_opts = QueryOptions::default();
         let approx_opts = QueryOptions::default().top_groups(1);
         let (exact, se) = e.best_match(&query, &exact_opts);
@@ -262,7 +279,10 @@ fn wider_top_groups_monotonically_improve() {
         last = d;
     }
     // Scanning every group is the exact result again.
-    assert!((last - exact).abs() < 1e-9, "g=#groups degenerates to exact");
+    assert!(
+        (last - exact).abs() < 1e-9,
+        "g=#groups degenerates to exact"
+    );
 }
 
 proptest! {

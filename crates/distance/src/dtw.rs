@@ -117,7 +117,11 @@ pub fn dtw(x: &[f64], y: &[f64], band: Band) -> f64 {
 /// alignment can beat `ub` (an upper bound on the *root-scale* distance;
 /// pass [`crate::INF`] to disable).
 pub fn dtw_early_abandon(x: &[f64], y: &[f64], band: Band, ub: f64) -> f64 {
-    let ub_sq = if ub.is_finite() { ub * ub } else { f64::INFINITY };
+    let ub_sq = if ub.is_finite() {
+        ub * ub
+    } else {
+        f64::INFINITY
+    };
     dtw_early_abandon_sq_with_cb(x, y, band, ub_sq, None).sqrt()
 }
 
@@ -263,7 +267,10 @@ mod tests {
     #[test]
     fn known_small_case() {
         // x = [0, 1], y = [0, 0, 1]: warp matches both zeros to x[0].
-        assert!(close(dtw_sq(&[0.0, 1.0], &[0.0, 0.0, 1.0], Band::Full), 0.0));
+        assert!(close(
+            dtw_sq(&[0.0, 1.0], &[0.0, 0.0, 1.0], Band::Full),
+            0.0
+        ));
         // Shifted impulse aligns under warping but not under ED.
         let a = [0.0, 0.0, 1.0, 0.0];
         let b = [0.0, 1.0, 0.0, 0.0];
@@ -356,10 +363,7 @@ mod tests {
     fn early_abandon_fires_on_hopeless_candidates() {
         let x = vec![0.0; 32];
         let y = vec![100.0; 32];
-        assert_eq!(
-            dtw_early_abandon(&x, &y, Band::Full, 1.0),
-            f64::INFINITY
-        );
+        assert_eq!(dtw_early_abandon(&x, &y, Band::Full, 1.0), f64::INFINITY);
     }
 
     #[test]
@@ -460,7 +464,9 @@ mod tests {
     #[test]
     fn itakura_between_ed_and_full_dtw() {
         let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.5).sin() * 2.0).collect();
-        let y: Vec<f64> = (0..20).map(|i| (i as f64 * 0.5 + 0.7).sin() * 2.0).collect();
+        let y: Vec<f64> = (0..20)
+            .map(|i| (i as f64 * 0.5 + 0.7).sin() * 2.0)
+            .collect();
         let full = dtw(&x, &y, Band::Full);
         let ita = dtw(&x, &y, Band::Itakura);
         let none = ed(&x, &y);
@@ -501,7 +507,10 @@ mod tests {
         for &(i, j) in p.pairs() {
             let (lo, hi) = Band::Itakura.row_range(i as usize + 1, x.len(), y.len());
             let col = j as usize + 1;
-            assert!(col >= lo && col <= hi, "cell ({i},{j}) outside parallelogram");
+            assert!(
+                col >= lo && col <= hi,
+                "cell ({i},{j}) outside parallelogram"
+            );
         }
         let two_row = dtw(&x, &y, Band::Itakura);
         assert!((d - two_row).abs() < 1e-12);

@@ -55,7 +55,12 @@ impl IddtwModel {
     /// Panics if `pairs` or `levels` is empty, levels are not strictly
     /// increasing, more than 8 levels are given (the stats array is
     /// fixed-size), or `quantile` is outside `(0, 1]`.
-    pub fn train(pairs: &[(Vec<f64>, Vec<f64>)], levels: &[usize], quantile: f64, band: Band) -> Self {
+    pub fn train(
+        pairs: &[(Vec<f64>, Vec<f64>)],
+        levels: &[usize],
+        quantile: f64,
+        band: Band,
+    ) -> Self {
         assert!(!pairs.is_empty(), "need training pairs");
         assert!(!levels.is_empty() && levels.len() <= 8, "1..=8 levels");
         assert!(
@@ -73,8 +78,7 @@ impl IddtwModel {
             // Lower quantile: covering fraction `quantile` of pairs means
             // at most (1 − quantile) may have their exact distance
             // undercut the corrected estimate.
-            let idx = ((errs.len() as f64 * (1.0 - quantile)).floor() as usize)
-                .min(errs.len() - 1);
+            let idx = ((errs.len() as f64 * (1.0 - quantile)).floor() as usize).min(errs.len() - 1);
             corrections.push(errs[idx]);
         }
         IddtwModel {
@@ -150,7 +154,14 @@ mod tests {
 
     fn family(count: usize) -> Vec<Vec<f64>> {
         (0..count)
-            .map(|i| wave(32, 0.2 + 0.01 * (i % 5) as f64, i as f64 * 0.3, 1.0 + (i % 3) as f64))
+            .map(|i| {
+                wave(
+                    32,
+                    0.2 + 0.01 * (i % 5) as f64,
+                    i as f64 * 0.3,
+                    1.0 + (i % 3) as f64,
+                )
+            })
             .collect()
     }
 
@@ -195,7 +206,12 @@ mod tests {
         let mut cands: Vec<Vec<f64>> = vec![wave(32, 0.2, 0.05, 1.0)];
         // Far candidates: huge offset, coarse level sees it immediately.
         for i in 0..20 {
-            cands.push(wave(32, 0.2, 0.0, 1.0).iter().map(|v| v + 40.0 + i as f64).collect());
+            cands.push(
+                wave(32, 0.2, 0.0, 1.0)
+                    .iter()
+                    .map(|v| v + 40.0 + i as f64)
+                    .collect(),
+            );
         }
         let (gi, _, stats) = model
             .nearest(&near, cands.iter().map(|v| v.as_slice()))

@@ -128,7 +128,10 @@ mod tests {
             (vec![1.0, 5.0, 2.0, 0.0, 3.0], vec![0.0, 4.0, 1.0, 2.0, 2.0]),
             (vec![1.0, 2.0], vec![3.0, 4.0, 5.0]),
             (vec![0.0], vec![7.0]),
-            (vec![-1.0, 0.0, 1.0, 2.0, 3.0, 4.0], vec![4.0, 3.0, 2.0, 1.0]),
+            (
+                vec![-1.0, 0.0, 1.0, 2.0, 3.0, 4.0],
+                vec![4.0, 3.0, 2.0, 1.0],
+            ),
         ];
         for (x, y) in &cases {
             let lb = lb_kim_fl_sq(x, y);
@@ -151,7 +154,9 @@ mod tests {
     #[test]
     fn keogh_is_a_lower_bound_for_banded_dtw() {
         let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.4).sin() * 2.0).collect();
-        let y: Vec<f64> = (0..24).map(|i| (i as f64 * 0.4 + 0.8).cos() * 2.0).collect();
+        let y: Vec<f64> = (0..24)
+            .map(|i| (i as f64 * 0.4 + 0.8).cos() * 2.0)
+            .collect();
         for r in [0usize, 1, 3, 8, 24] {
             let env = Envelope::build(&y, r);
             let lb = lb_keogh_sq(&x, &env, f64::INFINITY);

@@ -105,14 +105,18 @@ mod tests {
     #[test]
     fn coarse_dtw_tracks_exact_on_smooth_data() {
         let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin() * 3.0).collect();
-        let y: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2 + 0.5).sin() * 3.0).collect();
+        let y: Vec<f64> = (0..64)
+            .map(|i| (i as f64 * 0.2 + 0.5).sin() * 3.0)
+            .collect();
         let exact = dtw(&x, &y, Band::Full);
         let coarse = dtw_paa(&x, &y, 16, Band::Full);
         // Smooth series: the estimate lands within a small factor. It can
         // overshoot because PAA smoothing removes the fine-grained
         // warping freedom that lets exact DTW absorb the phase shift.
-        assert!(coarse < exact * 3.0 && coarse > exact * 0.25,
-            "coarse {coarse} vs exact {exact}");
+        assert!(
+            coarse < exact * 3.0 && coarse > exact * 0.25,
+            "coarse {coarse} vs exact {exact}"
+        );
     }
 
     #[test]

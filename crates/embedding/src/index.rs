@@ -151,11 +151,7 @@ impl EbsmIndex {
     fn embed_query(&self, query: &[f64]) -> Vec<f64> {
         self.refs
             .iter()
-            .map(|r| {
-                *end_costs(query, r)
-                    .last()
-                    .expect("query checked non-empty")
-            })
+            .map(|r| *end_costs(query, r).last().expect("query checked non-empty"))
             .collect()
     }
 
@@ -173,11 +169,7 @@ impl EbsmIndex {
             let positions = s.values.len();
             for t in 0..positions {
                 let row = &s.emb[t * k..(t + 1) * k];
-                let d: f64 = row
-                    .iter()
-                    .zip(&fq)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let d: f64 = row.iter().zip(&fq).map(|(a, b)| (a - b) * (a - b)).sum();
                 scored.push((d, sid as u32, t));
             }
         }

@@ -46,7 +46,11 @@ pub fn dft_features(window: &[f64], fc: usize) -> Vec<f64> {
             re += x * ang.cos();
             im += x * ang.sin();
         }
-        let scale = if f == 0 { norm } else { norm * std::f64::consts::SQRT_2 };
+        let scale = if f == 0 {
+            norm
+        } else {
+            norm * std::f64::consts::SQRT_2
+        };
         out.push(re * scale);
         out.push(im * scale);
     }
@@ -121,7 +125,11 @@ impl SlidingDft {
             }
             self.buf[j] = x;
             self.filled += 1;
-            return if self.ready() { Some(self.features()) } else { None };
+            return if self.ready() {
+                Some(self.features())
+            } else {
+                None
+            };
         }
         // Slide: X'_f = ω^f · (X_f + (x_new − x_old)/√w), ω = e^{2πi/w}.
         let x_old = self.buf[self.head];
@@ -147,7 +155,11 @@ impl SlidingDft {
         assert!(self.ready(), "window not yet full");
         let mut out = Vec::with_capacity(feature_dim(self.fc));
         for (f, &(re, im)) in self.coeffs.iter().enumerate() {
-            let scale = if f == 0 { 1.0 } else { std::f64::consts::SQRT_2 };
+            let scale = if f == 0 {
+                1.0
+            } else {
+                std::f64::consts::SQRT_2
+            };
             out.push(re * scale);
             out.push(im * scale);
         }
@@ -160,10 +172,7 @@ mod tests {
     use super::*;
 
     fn ed_sq(a: &[f64], b: &[f64]) -> f64 {
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum()
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
     }
 
     #[test]
@@ -184,10 +193,7 @@ mod tests {
             let fb = dft_features(&b, fc);
             let fd = feature_dist_sq(&fa, &fb);
             let td = ed_sq(&a, &b);
-            assert!(
-                fd <= td + 1e-9,
-                "fc={fc}: feature {fd} exceeds true {td}"
-            );
+            assert!(fd <= td + 1e-9, "fc={fc}: feature {fd} exceeds true {td}");
         }
     }
 

@@ -125,9 +125,9 @@ impl<const D: usize> Node<D> {
 /// hits.sort_unstable();
 /// assert_eq!(hits, vec![3, 4, 5]);
 /// // Best-first nearest neighbour:
-/// let (d_sq, id) = tree.nearest([7.6, 0.5], 1)[0];
+/// let (d_sq, id) = tree.nearest([7.2, 0.5], 1)[0];
 /// assert_eq!(id, 7);
-/// assert!(d_sq < 1e-12); // [7.6, 0.5] lies inside rect 7
+/// assert!(d_sq < 1e-12); // [7.2, 0.5] lies inside rect 7
 /// ```
 #[derive(Debug, Clone)]
 pub struct RTree<const D: usize> {
@@ -393,7 +393,8 @@ fn quadratic_split<const D: usize, T>(mut entries: Vec<(Rect<D>, T)>) -> SplitHa
         let d1 = r1.enlargement(&e.0);
         let d2 = r2.enlargement(&e.0);
         let to_first = d1 < d2
-            || (d1 == d2 && (r1.area() < r2.area() || (r1.area() == r2.area() && g1.len() <= g2.len())));
+            || (d1 == d2
+                && (r1.area() < r2.area() || (r1.area() == r2.area() && g1.len() <= g2.len())));
         if to_first {
             r1.expand(&e.0);
             g1.push(e);
@@ -699,11 +700,7 @@ impl<const D: usize> RTree<D> {
             height += 1;
         }
         let (_, root) = leaves.pop().expect("non-empty by construction");
-        RTree {
-            root,
-            len,
-            height,
-        }
+        RTree { root, len, height }
     }
 }
 
@@ -730,10 +727,7 @@ fn str_tile<const D: usize, T>(entries: &mut [(Rect<D>, T)], dim: usize, node_ca
     entries.sort_by(|a, b| centre(&a.0).total_cmp(&centre(&b.0)));
     let leaves = entries.len().div_ceil(node_cap);
     // Slab count ≈ the D-th root spread over remaining dimensions.
-    let slabs = (leaves as f64)
-        .powf(1.0 / (D - dim) as f64)
-        .ceil()
-        .max(1.0) as usize;
+    let slabs = (leaves as f64).powf(1.0 / (D - dim) as f64).ceil().max(1.0) as usize;
     let slab_size = entries.len().div_ceil(slabs).max(node_cap);
     for slab in entries.chunks_mut(slab_size) {
         str_tile(slab, dim + 1, node_cap);

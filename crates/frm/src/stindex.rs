@@ -111,7 +111,10 @@ impl<const D: usize> StIndex<D> {
     /// Panics if `D` is odd or zero, or `window < 2 × FC` (feature
     /// contraction would not hold), or `subtrail_max == 0`.
     pub fn build(series: Vec<Vec<f64>>, cfg: StConfig) -> Self {
-        assert!(D >= 2 && D.is_multiple_of(2), "feature dimension must be even");
+        assert!(
+            D >= 2 && D.is_multiple_of(2),
+            "feature dimension must be even"
+        );
         assert!(
             2 * Self::FC <= cfg.window,
             "window {} too short for {} coefficients",
@@ -429,11 +432,7 @@ mod tests {
             .collect()
     }
 
-    fn brute_range(
-        series: &[Vec<f64>],
-        query: &[f64],
-        eps: f64,
-    ) -> Vec<(u32, usize, f64)> {
+    fn brute_range(series: &[Vec<f64>], query: &[f64], eps: f64) -> Vec<(u32, usize, f64)> {
         let mut out = Vec::new();
         for (sid, s) in series.iter().enumerate() {
             if s.len() < query.len() {
@@ -607,7 +606,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "query length")]
     fn rejects_short_query() {
-        let idx = StIndex::<4>::build(vec![wavy(40, 0.0)], StConfig { window: 8, ..StConfig::default() });
+        let idx = StIndex::<4>::build(
+            vec![wavy(40, 0.0)],
+            StConfig {
+                window: 8,
+                ..StConfig::default()
+            },
+        );
         idx.range_query(&[1.0; 4], 1.0);
     }
 }

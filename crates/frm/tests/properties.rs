@@ -3,17 +3,12 @@
 //! and the whole index must agree with brute force.
 
 use onex_frm::dft::{dft_features, feature_dist_sq};
-use onex_frm::{Rect, RTree, StConfig, StIndex};
+use onex_frm::{RTree, Rect, StConfig, StIndex};
 use proptest::prelude::*;
 
 fn rects(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<([f64; 2], [f64; 2])>> {
     prop::collection::vec(
-        (
-            -50.0f64..50.0,
-            -50.0f64..50.0,
-            0.0f64..10.0,
-            0.0f64..10.0,
-        )
+        (-50.0f64..50.0, -50.0f64..50.0, 0.0f64..10.0, 0.0f64..10.0)
             .prop_map(|(x, y, w, h)| ([x, y], [x + w, y + h])),
         n,
     )

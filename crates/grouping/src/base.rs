@@ -288,7 +288,12 @@ mod tests {
             assert_eq!(b.group(id).unwrap(), g);
             assert_eq!(g.len(), id.len as usize);
         }
-        assert!(b.group(GroupId { len: 9999, index: 0 }).is_none());
+        assert!(b
+            .group(GroupId {
+                len: 9999,
+                index: 0
+            })
+            .is_none());
         let first_len = b.lengths().next().unwrap();
         assert!(b
             .group(GroupId {

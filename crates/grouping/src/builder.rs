@@ -4,9 +4,7 @@ use std::time::{Duration, Instant};
 use onex_distance::ed::ed_early_abandon_sq;
 use onex_tseries::Dataset;
 
-use crate::{
-    BaseConfig, OnexBase, RepresentativePolicy, SimilarityGroup, SubsequenceSpace,
-};
+use crate::{BaseConfig, OnexBase, RepresentativePolicy, SimilarityGroup, SubsequenceSpace};
 
 /// Constructs the ONEX base from a dataset (paper §3.1, the
 /// "pre-processing step" at the top of Fig 1).
@@ -369,7 +367,10 @@ mod tests {
         let (extended, after) = builder.extend(base, &ds).unwrap();
         // 3 new windows of length 4, all near the flat/near group.
         assert_eq!(after.subsequences, before.subsequences + 3);
-        assert_eq!(after.groups, before.groups, "new windows join existing groups");
+        assert_eq!(
+            after.groups, before.groups,
+            "new windows join existing groups"
+        );
         assert_eq!(extended.source_series(), 4);
         // The space partition still covers everything exactly once.
         let space = SubsequenceSpace::new(&ds, &cfg);
@@ -387,10 +388,16 @@ mod tests {
         let cfg = BaseConfig::new(1.0, 4, 10);
         let builder = BaseBuilder::new(cfg).unwrap();
         let (base, _) = builder.build(&ds);
-        assert!(base.groups_for_len(8).is_empty(), "no series long enough yet");
+        assert!(
+            base.groups_for_len(8).is_empty(),
+            "no series long enough yet"
+        );
         // A longer, very different series: new lengths and new groups.
-        ds.push(TimeSeries::new("long", (0..10).map(|i| i as f64 * 50.0).collect()))
-            .unwrap();
+        ds.push(TimeSeries::new(
+            "long",
+            (0..10).map(|i| i as f64 * 50.0).collect(),
+        ))
+        .unwrap();
         let (extended, _) = builder.extend(base, &ds).unwrap();
         assert!(!extended.groups_for_len(8).is_empty());
         assert!(!extended.groups_for_len(10).is_empty());
@@ -430,7 +437,10 @@ mod tests {
         let builder_a = BaseBuilder::new(BaseConfig::new(1.0, 4, 4)).unwrap();
         let builder_b = BaseBuilder::new(BaseConfig::new(2.0, 4, 4)).unwrap();
         let (base, _) = builder_a.build(&ds);
-        assert!(builder_b.extend(base.clone(), &ds).is_err(), "config mismatch");
+        assert!(
+            builder_b.extend(base.clone(), &ds).is_err(),
+            "config mismatch"
+        );
         let smaller = Dataset::new();
         assert!(builder_a.extend(base, &smaller).is_err(), "shrunk dataset");
     }

@@ -77,7 +77,10 @@ impl BaseConfig {
     /// problem found.
     pub fn validate(&self) -> Result<(), String> {
         if !self.st.is_finite() || self.st <= 0.0 {
-            return Err(format!("similarity threshold must be positive, got {}", self.st));
+            return Err(format!(
+                "similarity threshold must be positive, got {}",
+                self.st
+            ));
         }
         if self.min_len < 2 {
             return Err(format!("min_len must be at least 2, got {}", self.min_len));

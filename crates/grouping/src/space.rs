@@ -69,9 +69,7 @@ impl SubsequenceSpace {
             .filter(move |_| in_range)
             .flat_map(move |(sid, &n)| {
                 let count = if n >= len { (n - len) / stride + 1 } else { 0 };
-                (0..count).map(move |k| {
-                    SubseqRef::new(sid as u32, (k * stride) as u32, len as u32)
-                })
+                (0..count).map(move |k| SubseqRef::new(sid as u32, (k * stride) as u32, len as u32))
             })
     }
 }

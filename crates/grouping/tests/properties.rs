@@ -6,11 +6,7 @@ use onex_tseries::{Dataset, TimeSeries};
 use proptest::prelude::*;
 
 fn small_dataset() -> impl Strategy<Value = Dataset> {
-    prop::collection::vec(
-        prop::collection::vec(-10.0f64..10.0, 6..20),
-        1..6,
-    )
-    .prop_map(|series| {
+    prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 6..20), 1..6).prop_map(|series| {
         Dataset::from_series(
             series
                 .into_iter()
@@ -142,7 +138,7 @@ proptest! {
         let (extended, _) = builder.extend(partial, &ds).unwrap();
 
         let (bs, es) = (batch.stats(), extended.stats());
-        prop_assert_eq!(bs.subsequences, es.subsequences);
+        prop_assert_eq!(bs.members, es.members);
         prop_assert_eq!(bs.groups, es.groups);
         for (id, g) in batch.iter() {
             let g2 = extended.group(id).expect("same group ids");

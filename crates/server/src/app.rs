@@ -2,7 +2,9 @@ use std::net::TcpListener;
 use std::sync::Arc;
 
 use onex_core::{LengthSelection, Onex, QueryOptions, SeasonalOptions};
-use onex_viz::{MultiLineChart, OverviewPane, QueryPreview, RadialChart, ConnectedScatter, SeasonalView};
+use onex_viz::{
+    ConnectedScatter, MultiLineChart, OverviewPane, QueryPreview, RadialChart, SeasonalView,
+};
 
 use crate::http::{Request, Response};
 use crate::json::Json;
@@ -325,7 +327,11 @@ impl App {
             Ok(v) => v,
             Err(r) => return r,
         };
-        let Some(best) = self.best_matches(req, &query, &series, 1).into_iter().next() else {
+        let Some(best) = self
+            .best_matches(req, &query, &series, 1)
+            .into_iter()
+            .next()
+        else {
             return Response::error(404, "no match found");
         };
         let matched = self
@@ -425,7 +431,10 @@ mod tests {
         assert!(!body.contains("\"MA-GrowthRate\""), "{body}");
         assert_eq!(body.matches("\"dtw\":").count(), 3);
         // include_self=true lets the own window win.
-        let r2 = get(&a, "/api/match?series=MA-GrowthRate&start=4&len=8&k=1&include_self=true");
+        let r2 = get(
+            &a,
+            "/api/match?series=MA-GrowthRate&start=4&len=8&k=1&include_self=true",
+        );
         let body2 = String::from_utf8(r2.body).unwrap();
         assert!(body2.contains("\"MA-GrowthRate\""));
         assert!(body2.contains("\"dtw\":0"));
@@ -450,7 +459,11 @@ mod tests {
             400
         );
         assert_eq!(
-            get(&a, "/api/monitor?series=MA-GrowthRate&start=0&len=6&target=Nope").status,
+            get(
+                &a,
+                "/api/monitor?series=MA-GrowthRate&start=0&len=6&target=Nope"
+            )
+            .status,
             404
         );
     }
@@ -460,7 +473,10 @@ mod tests {
         let a = app();
         assert_eq!(get(&a, "/api/match").status, 400);
         assert_eq!(get(&a, "/api/match?series=Nowhere").status, 404);
-        assert_eq!(get(&a, "/api/match?series=MA-GrowthRate&start=99&len=8").status, 400);
+        assert_eq!(
+            get(&a, "/api/match?series=MA-GrowthRate&start=99&len=8").status,
+            400
+        );
         assert_eq!(get(&a, "/nope").status, 404);
         let mut post = Request::get("/").unwrap();
         post.method = "POST".into();

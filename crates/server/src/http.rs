@@ -31,7 +31,9 @@ impl Request {
             .ok_or(HttpError::BadRequest("missing method"))?
             .to_owned();
         let target = parts.next().ok_or(HttpError::BadRequest("missing path"))?;
-        let _version = parts.next().ok_or(HttpError::BadRequest("missing version"))?;
+        let _version = parts
+            .next()
+            .ok_or(HttpError::BadRequest("missing version"))?;
         // Drain headers up to the blank line.
         loop {
             let mut h = String::new();
@@ -247,7 +249,9 @@ mod tests {
     #[test]
     fn response_wire_format() {
         let mut out = Vec::new();
-        Response::json("{\"ok\":true}".into()).write_to(&mut out).unwrap();
+        Response::json("{\"ok\":true}".into())
+            .write_to(&mut out)
+            .unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(s.contains("Content-Type: application/json\r\n"));
@@ -255,6 +259,8 @@ mod tests {
         assert!(s.ends_with("{\"ok\":true}"));
         let mut err = Vec::new();
         Response::error(404, "nope").write_to(&mut err).unwrap();
-        assert!(String::from_utf8(err).unwrap().starts_with("HTTP/1.1 404 Not Found"));
+        assert!(String::from_utf8(err)
+            .unwrap()
+            .starts_with("HTTP/1.1 404 Not Found"));
     }
 }

@@ -164,9 +164,7 @@ impl Dataset {
             .iter()
             .map(|s| {
                 let n = s.len();
-                (min_len..=max_len.min(n))
-                    .map(|l| n - l + 1)
-                    .sum::<usize>()
+                (min_len..=max_len.min(n)).map(|l| n - l + 1).sum::<usize>()
             })
             .sum()
     }
@@ -257,7 +255,7 @@ mod tests {
         assert_eq!(d.subsequence_count(2, 3), 2 + 1 + 3 + 2);
         // max_len clamped to series length.
         assert_eq!(d.subsequence_count(3, 10), 1 + 2 + 1); // a:len3, b:len3+len4
-        // empty range.
+                                                           // empty range.
         assert_eq!(d.subsequence_count(5, 4), 0);
     }
 

@@ -183,7 +183,7 @@ pub fn matters_collection(cfg: &MattersConfig) -> Dataset {
 /// the same state keeps its rough character across seeds (MA is always a
 /// high-tech state in examples).
 fn state_factor(index: usize) -> f64 {
-    ((index as f64 * 2.399_963) .sin() + (index as f64 * 0.7).cos()) / 2.0
+    ((index as f64 * 2.399_963).sin() + (index as f64 * 0.7).cos()) / 2.0
 }
 
 /// Keep values inside each indicator's physical domain.
@@ -267,10 +267,8 @@ mod tests {
         });
         let (lo, hi) = ds.length_range().unwrap();
         assert!(lo < hi, "ragged collections have unequal lengths");
-        let starts: std::collections::HashSet<u64> = ds
-            .iter()
-            .map(|(_, s)| s.axis().start as u64)
-            .collect();
+        let starts: std::collections::HashSet<u64> =
+            ds.iter().map(|(_, s)| s.axis().start as u64).collect();
         assert!(starts.len() > 1, "ragged collections are misaligned");
     }
 

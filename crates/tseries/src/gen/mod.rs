@@ -12,11 +12,11 @@ mod electricity;
 mod matters;
 mod synthetic;
 
-pub use electricity::{ElectricityConfig, electricity_load};
-pub use matters::{Indicator, MattersConfig, matters_collection, state_names};
+pub use electricity::{electricity_load, ElectricityConfig};
+pub use matters::{matters_collection, state_names, Indicator, MattersConfig};
 pub use synthetic::{
-    SyntheticConfig, clustered_dataset, planted_motif_series, random_walk, random_walk_dataset,
-    sine_mix, sine_mix_dataset,
+    clustered_dataset, planted_motif_series, random_walk, random_walk_dataset, sine_mix,
+    sine_mix_dataset, SyntheticConfig,
 };
 
 use rand::rngs::StdRng;

@@ -91,7 +91,9 @@ pub fn random_walk_dataset(cfg: SyntheticConfig) -> Dataset {
 pub fn sine_mix(len: usize, harmonics: usize, noise: f64, seed: u64) -> Vec<f64> {
     let mut r = rng(seed);
     let phase = Uniform::new(0.0, std::f64::consts::TAU);
-    let phases: Vec<f64> = (0..harmonics.max(1)).map(|_| phase.sample(&mut r)).collect();
+    let phases: Vec<f64> = (0..harmonics.max(1))
+        .map(|_| phase.sample(&mut r))
+        .collect();
     let normal = Normal::new(0.0, noise);
     let base = (len as f64 / 4.0).max(2.0);
     (0..len)

@@ -261,13 +261,20 @@ mod tests {
     #[test]
     fn csv_round_trip_ragged() {
         let mut ds = Dataset::new();
-        ds.push(TimeSeries::new("x", vec![1.0, 2.25, -3.5])).unwrap();
+        ds.push(TimeSeries::new("x", vec![1.0, 2.25, -3.5]))
+            .unwrap();
         ds.push(TimeSeries::new("y", vec![0.1])).unwrap();
         let mut out = Vec::new();
         write_csv_columns(&ds, &mut out).unwrap();
         let back = read_csv_columns(out.as_slice()).unwrap();
-        assert_eq!(back.by_name("x").unwrap().values(), ds.by_name("x").unwrap().values());
-        assert_eq!(back.by_name("y").unwrap().values(), ds.by_name("y").unwrap().values());
+        assert_eq!(
+            back.by_name("x").unwrap().values(),
+            ds.by_name("x").unwrap().values()
+        );
+        assert_eq!(
+            back.by_name("y").unwrap().values(),
+            ds.by_name("y").unwrap().values()
+        );
     }
 
     #[test]

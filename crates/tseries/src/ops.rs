@@ -5,7 +5,7 @@
 //! operators produce those derived series while preserving axis metadata
 //! so downstream views stay correctly labelled.
 
-use crate::{TimeSeries};
+use crate::TimeSeries;
 
 /// First difference: `y_i = x_{i+1} − x_i` (one sample shorter). Turns
 /// levels into changes — unemployment counts into monthly swings.
@@ -39,7 +39,10 @@ pub fn pct_change(s: &TimeSeries) -> TimeSeries {
 /// Panics when `window` is even or zero — a centred window must have a
 /// middle sample.
 pub fn moving_average(s: &TimeSeries, window: usize) -> TimeSeries {
-    assert!(window % 2 == 1 && window > 0, "window must be odd and positive");
+    assert!(
+        window % 2 == 1 && window > 0,
+        "window must be odd and positive"
+    );
     let half = window / 2;
     let xs = s.values();
     let n = xs.len();
@@ -140,7 +143,10 @@ mod tests {
         assert_eq!(up.len(), 7);
         assert_eq!(up.values()[0], 0.0);
         assert_eq!(*up.values().last().unwrap(), 3.0);
-        assert!((up.values()[3] - 1.5).abs() < 1e-12, "midpoint interpolates");
+        assert!(
+            (up.values()[3] - 1.5).abs() < 1e-12,
+            "midpoint interpolates"
+        );
         assert!((up.axis().at(6) - 2003.0).abs() < 1e-12, "span preserved");
         let down = resample(&s, 2);
         assert_eq!(down.values(), &[0.0, 3.0]);

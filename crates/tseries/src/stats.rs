@@ -257,7 +257,10 @@ mod tests {
             .map(|i| (i as f64 * std::f64::consts::TAU / 20.0).sin())
             .collect();
         assert!(autocorrelation(&xs, 20) > 0.8, "period lag is correlated");
-        assert!(autocorrelation(&xs, 10) < -0.8, "half period anti-correlated");
+        assert!(
+            autocorrelation(&xs, 10) < -0.8,
+            "half period anti-correlated"
+        );
         assert_eq!(autocorrelation(&xs, 199), 0.0, "too short for lag");
         assert_eq!(autocorrelation(&[1.0; 50], 5), 0.0, "constant series");
     }

@@ -127,7 +127,15 @@ fn prepare_query(q: &[f64], radius: usize) -> PreparedQuery {
 /// LB_KimFL on z-normalised data: first/last pairs plus the sound
 /// second-point corner refinements. `mean`/`std` are the candidate
 /// window's moments.
-fn lb_kim_fl(t: &[f64], start: usize, m: usize, qz: &[f64], mean: f64, std: f64, bsf_sq: f64) -> f64 {
+fn lb_kim_fl(
+    t: &[f64],
+    start: usize,
+    m: usize,
+    qz: &[f64],
+    mean: f64,
+    std: f64,
+    bsf_sq: f64,
+) -> f64 {
     let zn = |i: usize| -> f64 {
         if std < STD_FLOOR {
             0.0
@@ -391,10 +399,7 @@ pub fn ucr_dtw_search_dataset(
     for (sid, series) in dataset.iter() {
         if let Some(hit) = ucr_dtw_search_with_bsf(series.values(), q, cfg, bsf_sq, &mut stats) {
             bsf_sq = hit.distance * hit.distance;
-            best = Some(Hit {
-                series: sid,
-                ..hit
-            });
+            best = Some(Hit { series: sid, ..hit });
         }
     }
     best.map(|b| (b, stats))
@@ -435,9 +440,7 @@ mod tests {
     fn dtw_search_matches_brute_force() {
         let t = toy_series(300, 5);
         let q: Vec<f64> = t[140..160].iter().map(|v| v + 0.05).collect();
-        let cfg = DtwSearchConfig {
-            band_fraction: 0.1,
-        };
+        let cfg = DtwSearchConfig { band_fraction: 0.1 };
         let (hit, stats) = ucr_dtw_search(&t, &q, &cfg).unwrap();
         let radius = (0.1f64 * q.len() as f64).ceil() as usize;
         let (bf_start, bf_dist) = brute_force(&t, &q, Band::SakoeChiba(radius));
@@ -571,14 +574,15 @@ mod tests {
         // Seed below the best distance: nothing beats it → None.
         let mut stats = SearchStats::default();
         let tight = (free.distance * 0.5).powi(2);
-        assert!(ucr_dtw_search_with_bsf(&t, &q, &DtwSearchConfig::default(), tight, &mut stats)
-            .is_none());
+        assert!(
+            ucr_dtw_search_with_bsf(&t, &q, &DtwSearchConfig::default(), tight, &mut stats)
+                .is_none()
+        );
         // Seed above: same hit as the unseeded search.
         let mut stats2 = SearchStats::default();
         let loose = (free.distance * 2.0).powi(2) + 1.0;
-        let hit =
-            ucr_dtw_search_with_bsf(&t, &q, &DtwSearchConfig::default(), loose, &mut stats2)
-                .unwrap();
+        let hit = ucr_dtw_search_with_bsf(&t, &q, &DtwSearchConfig::default(), loose, &mut stats2)
+            .unwrap();
         assert_eq!(hit.start, free.start);
         assert!((hit.distance - free.distance).abs() < 1e-12);
         // Tighter seeds prune at least as hard.
@@ -611,18 +615,19 @@ mod tests {
         // ties can break differently; the distances must agree exactly up
         // to rounding, and the shared hit must be one of the optima.
         assert!((shared.distance - best.distance).abs() < 1e-9);
-        let (indep_hit, _) = ucr_dtw_search(
-            ds.series(shared.series).unwrap().values(),
-            &q,
-            &cfg,
-        )
-        .unwrap();
-        assert_eq!(indep_hit.start, shared.start, "shared hit is that series' optimum");
+        let (indep_hit, _) =
+            ucr_dtw_search(ds.series(shared.series).unwrap().values(), &q, &cfg).unwrap();
+        assert_eq!(
+            indep_hit.start, shared.start,
+            "shared hit is that series' optimum"
+        );
     }
 
     #[test]
     fn degenerate_inputs() {
-        assert!(ucr_dtw_search(&[1.0, 2.0], &[1.0, 2.0, 3.0], &DtwSearchConfig::default()).is_none());
+        assert!(
+            ucr_dtw_search(&[1.0, 2.0], &[1.0, 2.0, 3.0], &DtwSearchConfig::default()).is_none()
+        );
         assert!(ucr_dtw_search(&[1.0, 2.0], &[], &DtwSearchConfig::default()).is_none());
         assert!(ucr_ed_search(&[], &[1.0]).is_none());
         // Query length == series length: exactly one candidate.

@@ -20,11 +20,7 @@ pub fn sparkline(values: &[f64]) -> String {
     values
         .iter()
         .map(|&v| {
-            let t = if range < 1e-12 {
-                0.5
-            } else {
-                (v - lo) / range
-            };
+            let t = if range < 1e-12 { 0.5 } else { (v - lo) / range };
             LEVELS[((t * 7.0).round() as usize).min(7)]
         })
         .collect()
@@ -49,8 +45,7 @@ pub fn chart(values: &[f64], width: usize, height: usize) -> String {
         // Average the samples that fall into this column.
         let from = col * values.len() / width;
         let to = (((col + 1) * values.len()) / width).max(from + 1);
-        let avg: f64 =
-            values[from..to.min(values.len())].iter().sum::<f64>() / (to - from) as f64;
+        let avg: f64 = values[from..to.min(values.len())].iter().sum::<f64>() / (to - from) as f64;
         let t = (avg - lo) / range;
         let row = ((1.0 - t) * (height - 1) as f64).round() as usize;
         grid[row.min(height - 1)][col] = '*';

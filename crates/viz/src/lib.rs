@@ -33,9 +33,9 @@ mod stacked;
 pub mod svg;
 
 pub use multiline::MultiLineChart;
-pub use stacked::{StackedLines, StripScale};
 pub use overview::OverviewPane;
 pub use preview::QueryPreview;
 pub use radial::RadialChart;
 pub use scatter::ConnectedScatter;
 pub use seasonal_view::{cardinality_color, SeasonalView};
+pub use stacked::{StackedLines, StripScale};

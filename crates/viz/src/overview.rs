@@ -41,12 +41,7 @@ impl OverviewPane {
     /// Populate from a base: the groups of one length, largest cardinality
     /// first, capped at `max_cells`.
     pub fn from_base(base: &OnexBase, len: usize, max_cells: usize) -> Self {
-        let mut pane = OverviewPane::new(
-            6,
-            96,
-            64,
-            format!("ONEX base overview — length {len}"),
-        );
+        let mut pane = OverviewPane::new(6, 96, 64, format!("ONEX base overview — length {len}"));
         let mut groups: Vec<_> = base
             .groups_for_len(len)
             .iter()

@@ -113,12 +113,19 @@ impl QueryPreview {
             line.stroke_width = if emphasised { 1.8 } else { 1.0 };
             c.polyline(&pts, &line);
             // Axis labels in real units at the window edges.
-            let label = |i: usize| format!("{:.6}", self.axis_start + self.axis_step * i as f64)
-                .trim_end_matches('0')
-                .trim_end_matches('.')
-                .to_owned();
+            let label = |i: usize| {
+                format!("{:.6}", self.axis_start + self.axis_step * i as f64)
+                    .trim_end_matches('0')
+                    .trim_end_matches('.')
+                    .to_owned()
+            };
             c.text(margin, top + height - 2.0, 9.0, &label(range.start));
-            c.text(w - margin - 30.0, top + height - 2.0, 9.0, &label(range.end - 1));
+            c.text(
+                w - margin - 30.0,
+                top + height - 2.0,
+                9.0,
+                &label(range.end - 1),
+            );
             sx
         };
 
@@ -188,7 +195,9 @@ mod tests {
 
     #[test]
     fn degenerate_series_render() {
-        assert!(QueryPreview::new(400, "e", &[]).render().starts_with("<svg"));
+        assert!(QueryPreview::new(400, "e", &[])
+            .render()
+            .starts_with("<svg"));
         let flat = QueryPreview::new(400, "f", &[2.0, 2.0, 2.0]).render();
         assert!(flat.contains("<polyline"));
     }

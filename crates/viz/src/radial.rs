@@ -51,8 +51,8 @@ impl RadialChart {
             .iter()
             .enumerate()
             .map(|(i, &t)| {
-                let angle = std::f64::consts::TAU * i as f64 / n as f64
-                    - std::f64::consts::FRAC_PI_2;
+                let angle =
+                    std::f64::consts::TAU * i as f64 / n as f64 - std::f64::consts::FRAC_PI_2;
                 let r = r_min + t * (r_max - r_min);
                 (center + r * angle.cos(), center + r * angle.sin())
             })

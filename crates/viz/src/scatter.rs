@@ -46,16 +46,9 @@ impl ConnectedScatter {
             Some(p) => p
                 .pairs()
                 .iter()
-                .filter_map(|&(i, j)| {
-                    Some((*self.a.get(i as usize)?, *self.b.get(j as usize)?))
-                })
+                .filter_map(|&(i, j)| Some((*self.a.get(i as usize)?, *self.b.get(j as usize)?)))
                 .collect(),
-            None => self
-                .a
-                .iter()
-                .zip(&self.b)
-                .map(|(&x, &y)| (x, y))
-                .collect(),
+            None => self.a.iter().zip(&self.b).map(|(&x, &y)| (x, y)).collect(),
         }
     }
 

@@ -84,47 +84,45 @@ impl SeasonalView {
             (margin, self.width as f64 - margin),
         );
 
-        let draw_band = |c: &mut SvgCanvas,
-                         top: f64,
-                         label: &str,
-                         occurrences: &[(usize, usize)]| {
-            let bh = self.band_height as f64;
-            let sy = Scale::new((lo, hi), (top + bh - 4.0, top + 14.0));
-            // Occurrence backgrounds first.
-            for (k, &(start, len)) in occurrences.iter().enumerate() {
-                let color = SEGMENT_COLORS[k % 2];
-                let x0 = sx.apply(start as f64);
-                let x1 = sx.apply((start + len).min(self.values.len() - 1) as f64);
-                let mut bg = Style::fill(color);
-                bg.opacity = 0.25;
-                c.rect(x0, top + 12.0, (x1 - x0).max(1.0), bh - 14.0, &bg);
-            }
-            // The series itself.
-            let pts: Vec<(f64, f64)> = self
-                .values
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (sx.apply(i as f64), sy.apply(v)))
-                .collect();
-            let mut line = Style::stroke("#444");
-            line.stroke_width = 0.9;
-            c.polyline(&pts, &line);
-            // Re-draw occurrence spans of the line, saturated.
-            for (k, &(start, len)) in occurrences.iter().enumerate() {
-                let color = SEGMENT_COLORS[k % 2];
-                let end = (start + len).min(self.values.len());
-                if start >= end {
-                    continue;
+        let draw_band =
+            |c: &mut SvgCanvas, top: f64, label: &str, occurrences: &[(usize, usize)]| {
+                let bh = self.band_height as f64;
+                let sy = Scale::new((lo, hi), (top + bh - 4.0, top + 14.0));
+                // Occurrence backgrounds first.
+                for (k, &(start, len)) in occurrences.iter().enumerate() {
+                    let color = SEGMENT_COLORS[k % 2];
+                    let x0 = sx.apply(start as f64);
+                    let x1 = sx.apply((start + len).min(self.values.len() - 1) as f64);
+                    let mut bg = Style::fill(color);
+                    bg.opacity = 0.25;
+                    c.rect(x0, top + 12.0, (x1 - x0).max(1.0), bh - 14.0, &bg);
                 }
-                let seg: Vec<(f64, f64)> = (start..end)
-                    .map(|i| (sx.apply(i as f64), sy.apply(self.values[i])))
+                // The series itself.
+                let pts: Vec<(f64, f64)> = self
+                    .values
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (sx.apply(i as f64), sy.apply(v)))
                     .collect();
-                let mut st = Style::stroke(color);
-                st.stroke_width = 2.0;
-                c.polyline(&seg, &st);
-            }
-            c.text(margin, top + 10.0, 11.0, label);
-        };
+                let mut line = Style::stroke("#444");
+                line.stroke_width = 0.9;
+                c.polyline(&pts, &line);
+                // Re-draw occurrence spans of the line, saturated.
+                for (k, &(start, len)) in occurrences.iter().enumerate() {
+                    let color = SEGMENT_COLORS[k % 2];
+                    let end = (start + len).min(self.values.len());
+                    if start >= end {
+                        continue;
+                    }
+                    let seg: Vec<(f64, f64)> = (start..end)
+                        .map(|i| (sx.apply(i as f64), sy.apply(self.values[i])))
+                        .collect();
+                    let mut st = Style::stroke(color);
+                    st.stroke_width = 2.0;
+                    c.polyline(&seg, &st);
+                }
+                c.text(margin, top + 10.0, 11.0, label);
+            };
 
         if self.patterns.is_empty() {
             draw_band(&mut c, header as f64, "no patterns", &[]);

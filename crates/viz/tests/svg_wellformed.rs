@@ -10,7 +10,11 @@ use proptest::prelude::*;
 /// Cheap structural checks: document bounds, no NaN leaking into
 /// attributes, all opened tags closed (self-closing or matched).
 fn assert_sound_svg(svg: &str) {
-    assert!(svg.starts_with("<svg"), "missing <svg: {}", &svg[..svg.len().min(60)]);
+    assert!(
+        svg.starts_with("<svg"),
+        "missing <svg: {}",
+        &svg[..svg.len().min(60)]
+    );
     assert!(svg.trim_end().ends_with("</svg>"), "missing </svg>");
     assert!(!svg.contains("NaN"), "NaN leaked into SVG");
     assert!(!svg.contains("inf"), "infinity leaked into SVG");
@@ -21,11 +25,13 @@ fn assert_sound_svg(svg: &str) {
         let closes = svg.matches(&format!("</{tag}>")).count();
         let self_closed = svg
             .match_indices(&format!("<{tag}"))
-            .filter(|(i, _)| svg[*i..].find("/>").map(|p| {
-                // self-closing if '/>' appears before the next '<'
-                let next_open = svg[*i + 1..].find('<').map(|q| q + i + 1);
-                next_open.is_none_or(|n| i + p < n)
-            }) == Some(true))
+            .filter(|(i, _)| {
+                svg[*i..].find("/>").map(|p| {
+                    // self-closing if '/>' appears before the next '<'
+                    let next_open = svg[*i + 1..].find('<').map(|q| q + i + 1);
+                    next_open.is_none_or(|n| i + p < n)
+                }) == Some(true)
+            })
             .count();
         assert!(
             opens == closes + self_closed,

@@ -34,8 +34,7 @@ fn main() {
 
     // Preprocess (the demo's "click of a button" load step). Growth rates
     // are percentages; 1 percentage-point RMS is a meaningful threshold.
-    let (engine, report) =
-        Onex::build(dataset, BaseConfig::new(1.0, 6, 12)).expect("valid config");
+    let (engine, report) = Onex::build(dataset, BaseConfig::new(1.0, 6, 12)).expect("valid config");
     println!(
         "ONEX base ready: {} groups over {} windows ({:.1}× compaction, {:?})\n",
         report.groups,
@@ -47,10 +46,17 @@ fn main() {
     // Overview pane: the typical shapes in the collection at length 8.
     let pane = OverviewPane::from_base(engine.base(), 8, 18);
     let pane_path = artefact("overview_pane.svg", &pane.render());
-    println!("overview pane ({} group cells): {}\n", pane.len(), pane_path.display());
+    println!(
+        "overview pane ({} group cells): {}\n",
+        pane.len(),
+        pane_path.display()
+    );
 
     // Query selection: MA, brushed to the most recent 8 years.
-    let ma = engine.dataset().by_name("MA-GrowthRate").expect("MA exists");
+    let ma = engine
+        .dataset()
+        .by_name("MA-GrowthRate")
+        .expect("MA exists");
     let recent_start = ma.len() - 8;
     let query = ma
         .subsequence(recent_start, 8)
@@ -86,7 +92,11 @@ fn main() {
 
     // Results pane + linked perspectives for the winner.
     let best = matches.first().expect("at least one match");
-    let matched = engine.dataset().resolve(best.subseq).expect("resolves").to_vec();
+    let matched = engine
+        .dataset()
+        .resolve(best.subseq)
+        .expect("resolves")
+        .to_vec();
     let lines = MultiLineChart::for_match(&query, best, engine.dataset()).render();
     let lines_path = artefact("results_pane.svg", &lines);
     let radial = RadialChart::new(360, format!("MA vs {}", best.series_name))
@@ -94,19 +104,20 @@ fn main() {
         .add_series(&best.series_name, &matched)
         .render();
     let radial_path = artefact("radial.svg", &radial);
-    let scatter = ConnectedScatter::new(
-        360,
-        format!("MA vs {}", best.series_name),
-        &query,
-        &matched,
-    )
-    .with_path(&best.path);
+    let scatter =
+        ConnectedScatter::new(360, format!("MA vs {}", best.series_name), &query, &matched)
+            .with_path(&best.path);
     println!(
         "\nlinked views: deviation from the 45° diagonal is {:.3} pct pts",
         scatter.diagonal_deviation()
     );
     let scatter_path = artefact("scatter.svg", &scatter.render());
-    println!("artefacts:\n  {}\n  {}\n  {}", lines_path.display(), radial_path.display(), scatter_path.display());
+    println!(
+        "artefacts:\n  {}\n  {}\n  {}",
+        lines_path.display(),
+        radial_path.display(),
+        scatter_path.display()
+    );
 
     // Threshold sanity (the §3.3 point): what would this threshold mean on
     // a different indicator?

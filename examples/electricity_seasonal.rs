@@ -69,10 +69,7 @@ fn main() {
                 .map(|o| (o.start as usize, o.len as usize))
                 .collect::<Vec<_>>(),
         );
-        let compressed: String = track
-            .chars()
-            .step_by(24)
-            .collect();
+        let compressed: String = track.chars().step_by(24).collect();
         println!("     days: {compressed}");
     }
 

@@ -40,10 +40,16 @@ fn parse_args() -> Args {
             "--csv" => args.csv = it.next(),
             "--st" => args.st = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.st),
             "--min-len" => {
-                args.min_len = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.min_len)
+                args.min_len = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.min_len)
             }
             "--max-len" => {
-                args.max_len = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.max_len)
+                args.max_len = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.max_len)
             }
             other => args.command.push(other.to_string()),
         }
@@ -105,7 +111,10 @@ fn main() {
         }
         "match" => {
             let (series, start, len) = (
-                args.command.get(1).map(String::as_str).unwrap_or("MA-GrowthRate"),
+                args.command
+                    .get(1)
+                    .map(String::as_str)
+                    .unwrap_or("MA-GrowthRate"),
                 args.command
                     .get(2)
                     .and_then(|v| v.parse::<usize>().ok())
@@ -120,7 +129,11 @@ fn main() {
                 std::process::exit(1);
             };
             let Some(window) = s.subsequence(start, len) else {
-                eprintln!("window [{start}..{}] out of bounds (len {})", start + len, s.len());
+                eprintln!(
+                    "window [{start}..{}] out of bounds (len {})",
+                    start + len,
+                    s.len()
+                );
                 std::process::exit(1);
             };
             let query = window.to_vec();
@@ -128,7 +141,11 @@ fn main() {
                 .lengths(LengthSelection::Nearest(3))
                 .excluding_series(engine.dataset().id_of(series));
             let (matches, stats) = engine.k_best(&query, 5, &opts);
-            println!("query {series}[{start}..{}]  {}", start + len, sparkline(&query));
+            println!(
+                "query {series}[{start}..{}]  {}",
+                start + len,
+                sparkline(&query)
+            );
             for (rank, m) in matches.iter().enumerate() {
                 let vals = engine.dataset().resolve(m.subseq).expect("resolves");
                 println!(
@@ -185,7 +202,10 @@ fn main() {
                 .unwrap_or(8);
             match engine.recommend_threshold(len, 8000, 7) {
                 Some(rec) => {
-                    println!("threshold ladder at length {len} ({} pairs):", rec.pairs_sampled);
+                    println!(
+                        "threshold ladder at length {len} ({} pairs):",
+                        rec.pairs_sampled
+                    );
                     for (q, t) in &rec.ladder {
                         println!("  {:>4.0}% quantile → ST {t:.4}", q * 100.0);
                     }

@@ -61,5 +61,7 @@ fn main() {
         std::process::exit(1);
     });
     println!("ONEX server listening on http://{addr}/ — ctrl-c to stop");
-    App::new(Arc::new(engine)).serve(listener).expect("serve loop");
+    App::new(Arc::new(engine))
+        .serve(listener)
+        .expect("serve loop");
 }

@@ -39,7 +39,10 @@ fn main() {
 
     // 3. Query: a window cut from one series, lightly perturbed.
     let source = engine.dataset().by_name("sine-7").expect("series exists");
-    let mut query: Vec<f64> = source.subsequence(30, 24).expect("window in bounds").to_vec();
+    let mut query: Vec<f64> = source
+        .subsequence(30, 24)
+        .expect("window in bounds")
+        .to_vec();
     for (i, v) in query.iter_mut().enumerate() {
         *v += 0.05 * (i as f64).sin();
     }
@@ -59,10 +62,7 @@ fn main() {
     );
     println!(
         "work: {} groups examined, {} pruned whole, {} members DTW'd, {} LB-pruned",
-        stats.groups_examined,
-        stats.groups_pruned,
-        stats.members_examined,
-        stats.members_lb_pruned
+        stats.groups_examined, stats.groups_pruned, stats.members_examined, stats.members_lb_pruned
     );
     println!(
         "warping path: {} aligned pairs (diagonal would be {})",

@@ -94,7 +94,9 @@ fn main() {
     match best {
         Some(m) => println!(
             "ONEX ad-hoc query: best indexed day is {} (dtw {:.3}), {} DTW calls",
-            m.series_name, m.distance, qstats.dtw_invocations()
+            m.series_name,
+            m.distance,
+            qstats.dtw_invocations()
         ),
         None => println!("ONEX ad-hoc query found no match"),
     }

@@ -48,17 +48,13 @@ fn derive_align_tune_search() {
     );
 
     // 4. Search with the tuned threshold.
-    let (engine, report) = Onex::build(
-        derived,
-        BaseConfig::new(rec_growth.suggested * 2.0, 6, 10),
-    )
-    .unwrap();
+    let (engine, report) =
+        Onex::build(derived, BaseConfig::new(rec_growth.suggested * 2.0, 6, 10)).unwrap();
     assert!(report.groups > 0);
     let ma = engine.dataset().by_name("MA-IncomeGrowth").unwrap();
     let preview = QueryPreview::for_series(520, ma).brush(ma.len() - 8, 8);
     let query = preview.selection().to_vec();
-    let opts = QueryOptions::default()
-        .excluding_series(engine.dataset().id_of("MA-IncomeGrowth"));
+    let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-IncomeGrowth"));
     let (matches, _) = engine.k_best(&query, 3, &opts);
     assert_eq!(matches.len(), 3);
     for m in &matches {
@@ -69,8 +65,7 @@ fn derive_align_tune_search() {
     // 5. Inspect the winner in a linked view.
     let best = &matches[0];
     let matched = engine.dataset().resolve(best.subseq).unwrap();
-    let scatter = ConnectedScatter::new(300, "MA vs peer", &query, matched)
-        .with_path(&best.path);
+    let scatter = ConnectedScatter::new(300, "MA vs peer", &query, matched).with_path(&best.path);
     assert!(scatter.render().contains("<polyline"));
     assert!(scatter.diagonal_deviation().is_finite());
 }
@@ -90,7 +85,10 @@ fn mixed_granularity_alignment() {
     assert!((quarterly.axis().step - 0.25).abs() < 0.02);
     let back = resample(&quarterly, ma_annual.len());
     for (a, b) in back.values().iter().zip(ma_annual.values()) {
-        assert!((a - b).abs() < 1e-9, "down-up-down round trip is lossless on the grid");
+        assert!(
+            (a - b).abs() < 1e-9,
+            "down-up-down round trip is lossless on the grid"
+        );
     }
 
     let mut mixed = Dataset::new();
@@ -98,7 +96,10 @@ fn mixed_granularity_alignment() {
         .push(TimeSeries::new("ma-annual", ma_annual.values().to_vec()))
         .unwrap();
     mixed
-        .push(TimeSeries::new("ma-quarterly-aligned", back.values().to_vec()))
+        .push(TimeSeries::new(
+            "ma-quarterly-aligned",
+            back.values().to_vec(),
+        ))
         .unwrap();
     let (engine, _) = Onex::build(mixed, BaseConfig::new(0.5, 6, 8)).unwrap();
     let q = engine
@@ -108,8 +109,7 @@ fn mixed_granularity_alignment() {
         .subsequence(2, 8)
         .unwrap()
         .to_vec();
-    let opts = QueryOptions::default()
-        .excluding_series(engine.dataset().id_of("ma-annual"));
+    let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("ma-annual"));
     let (m, _) = engine.best_match(&q, &opts);
     let m = m.unwrap();
     assert_eq!(m.series_name, "ma-quarterly-aligned");

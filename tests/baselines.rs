@@ -33,10 +33,14 @@ fn engine_finds_a_planted_motif() {
     let (engine, _) = Onex::build(ds, cfg).unwrap();
     let (m, _) = engine.best_match(&motif, &QueryOptions::default());
     let m = m.unwrap();
-    let hit = locations
-        .iter()
-        .any(|&(sid, pos)| m.subseq.series == sid && (m.subseq.start as i64 - pos as i64).abs() <= 2);
-    assert!(hit, "engine match {:?} not at a planted site {locations:?}", m.subseq);
+    let hit = locations.iter().any(|&(sid, pos)| {
+        m.subseq.series == sid && (m.subseq.start as i64 - pos as i64).abs() <= 2
+    });
+    assert!(
+        hit,
+        "engine match {:?} not at a planted site {locations:?}",
+        m.subseq
+    );
 }
 
 #[test]
@@ -121,9 +125,7 @@ fn spring_finds_planted_motifs_in_a_stream() {
     let hits = spring_search(&stream, &motif, 1.0).unwrap();
     // Every planted site must be covered by some reported match.
     for &p in &plants {
-        let covered = hits
-            .iter()
-            .any(|h| h.start <= p + 2 && p + 21 <= h.end + 2);
+        let covered = hits.iter().any(|h| h.start <= p + 2 && p + 21 <= h.end + 2);
         assert!(covered, "plant at {p} missed; hits {hits:?}");
     }
 }
@@ -179,7 +181,12 @@ fn frm_best_window_equals_raw_ed_scan() {
             want = want.min(d);
         }
     }
-    assert!((best.dist - want).abs() < 1e-9, "frm {} scan {}", best.dist, want);
+    assert!(
+        (best.dist - want).abs() < 1e-9,
+        "frm {} scan {}",
+        best.dist,
+        want
+    );
 }
 
 #[test]
@@ -203,7 +210,12 @@ fn ebsm_with_generous_budget_matches_spring_ground_truth() {
         .filter_map(|s| spring_best_match(s, &motif))
         .map(|m| m.dist)
         .fold(f64::INFINITY, f64::min);
-    assert!((hit.dist - exact).abs() < 1e-9, "ebsm {} exact {}", hit.dist, exact);
+    assert!(
+        (hit.dist - exact).abs() < 1e-9,
+        "ebsm {} exact {}",
+        hit.dist,
+        exact
+    );
 }
 
 #[test]
@@ -215,10 +227,8 @@ fn iddtw_ranks_planted_window_first() {
         .step_by(6)
         .map(|i| s1[i..i + 24].to_vec())
         .collect();
-    let pairs: Vec<(Vec<f64>, Vec<f64>)> = windows
-        .iter()
-        .map(|w| (motif.clone(), w.clone()))
-        .collect();
+    let pairs: Vec<(Vec<f64>, Vec<f64>)> =
+        windows.iter().map(|w| (motif.clone(), w.clone())).collect();
     let model = IddtwModel::train(&pairs, &[4, 12], 1.0, Band::Full);
     let (gi, gd, stats) = model
         .nearest(&motif, windows.iter().map(|v| v.as_slice()))

@@ -52,8 +52,8 @@ fn concurrent_queries_agree_with_serial_answers() {
                         .subsequence(4, 8)
                         .unwrap()
                         .to_vec();
-                    let opts = QueryOptions::default()
-                        .excluding_series(engine.dataset().id_of(&name));
+                    let opts =
+                        QueryOptions::default().excluding_series(engine.dataset().id_of(&name));
                     let (m, _) = engine.best_match(&q, &opts);
                     let m = m.unwrap();
                     assert_eq!(m.subseq, reference[idx].subseq, "thread {t} round {round}");

@@ -1,0 +1,79 @@
+//! A minimal, dependency-free stand-in for `crossbeam::thread::scope`,
+//! built on `std::thread::scope` (stable since Rust 1.63).
+//!
+//! API differences from the real crate are kept to what the ONEX call
+//! sites never observe: a panic in an unjoined child propagates out of
+//! [`thread::scope`] (std semantics) instead of surfacing as `Err`, so
+//! the customary `.unwrap()` / `.expect(...)` on the result behaves the
+//! same on success and still fails the caller on panic.
+
+#![forbid(unsafe_code)]
+
+pub use thread::scope;
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention: the spawn
+    //! closure receives the scope again, so workers can spawn siblings.
+
+    /// Handle to a spawned scoped thread.
+    pub type ScopedJoinHandle<'scope, T> = std::thread::ScopedJoinHandle<'scope, T>;
+
+    /// The scope handed to the [`scope`] closure and to every spawned
+    /// worker.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker; the closure receives the scope (crossbeam
+        /// convention) so it may spawn further workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing from the caller's stack is
+    /// allowed; all spawned threads are joined before returning.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn workers_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| scope.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn top_level_scope_alias_works() {
+        let n = crate::scope(|scope| scope.spawn(|_| 7usize).join().unwrap()).unwrap();
+        assert_eq!(n, 7);
+    }
+}

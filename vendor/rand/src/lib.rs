@@ -1,0 +1,110 @@
+//! A minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! This workspace builds fully offline, so instead of the real `rand` we
+//! vendor the small API subset the ONEX crates use: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], the [`Rng`] extension trait
+//! (`gen`, `gen_range`, `gen_bool`), and the
+//! [`distributions::{Distribution, Uniform}`](distributions) types.
+//!
+//! The generator is SplitMix64 — not the real `StdRng` (ChaCha12), but
+//! every ONEX workload is pinned by `(seed, config)` to *this* generator,
+//! so determinism across platforms holds just the same.
+
+#![forbid(unsafe_code)]
+
+pub mod distributions;
+pub mod rngs;
+
+pub use distributions::{Distribution, Uniform};
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` from the high 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value from the standard distribution of `T`
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over the type).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: Distribution<T>,
+    {
+        distributions::Standard.sample(self)
+    }
+
+    /// Sample uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics on an empty range, like the real `rand`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: f64 = StdRng::seed_from_u64(7).gen();
+        let b: f64 = StdRng::seed_from_u64(7).gen();
+        let c: f64 = StdRng::seed_from_u64(8).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!((0.0..1.0).contains(&a));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..7);
+            assert!((3..7).contains(&x));
+            let y = r.gen_range(0usize..=4);
+            assert!(y <= 4);
+            let f = r.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_samples_interval() {
+        let mut r = StdRng::seed_from_u64(2);
+        let u = Uniform::new(1.0f64, 3.0);
+        for _ in 0..100 {
+            let x = u.sample(&mut r);
+            assert!((1.0..3.0).contains(&x));
+        }
+    }
+}
