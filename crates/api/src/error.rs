@@ -1,0 +1,154 @@
+use std::fmt;
+
+/// The workspace-wide error type: every fallible public operation across
+/// the ONEX crates reports failures through this enum, so callers match
+/// on variants instead of parsing strings and servers map variants to
+/// protocol status codes mechanically.
+///
+/// The demo's client–server architecture is the forcing function: a
+/// server surviving millions of users' malformed requests must be able to
+/// tell "your query is bad" (4xx) apart from "your artefacts do not
+/// belong together" (conflict) and "the disk failed" (5xx) without
+/// guessing from prose.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum OnexError {
+    /// A build- or run-time configuration violated a documented
+    /// constraint (non-positive threshold, zero stride, band fraction out
+    /// of range, ...).
+    InvalidConfig(String),
+    /// A query violated a precondition: empty query, `k == 0`, a
+    /// non-finite sample, or a length the backend cannot serve.
+    InvalidQuery(String),
+    /// Two artefacts that must describe the same data do not — e.g. a
+    /// persisted base re-attached to a dataset with a different number of
+    /// series, or a base extended under a different configuration.
+    DatasetMismatch(String),
+    /// A request referenced a series name that is not in the dataset.
+    UnknownSeries(String),
+    /// The operation is not supported by this backend (capability
+    /// mismatch rather than a malformed request).
+    Unsupported(String),
+    /// Stored or received data failed validation: parse errors, corrupt
+    /// persisted artefacts, violated structural invariants.
+    InvalidData(String),
+    /// An underlying I/O operation failed.
+    Io(std::io::Error),
+}
+
+impl OnexError {
+    /// Shorthand constructor for [`OnexError::InvalidQuery`].
+    pub fn invalid_query(msg: impl Into<String>) -> Self {
+        OnexError::InvalidQuery(msg.into())
+    }
+
+    /// Shorthand constructor for [`OnexError::InvalidConfig`].
+    pub fn invalid_config(msg: impl Into<String>) -> Self {
+        OnexError::InvalidConfig(msg.into())
+    }
+
+    /// Whether the failure is the caller's fault (a 4xx in HTTP terms):
+    /// everything except [`OnexError::Io`].
+    pub fn is_client_error(&self) -> bool {
+        !matches!(self, OnexError::Io(_))
+    }
+}
+
+impl fmt::Display for OnexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnexError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            OnexError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            OnexError::DatasetMismatch(msg) => write!(f, "dataset mismatch: {msg}"),
+            OnexError::UnknownSeries(name) => write!(f, "unknown series {name:?}"),
+            OnexError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            OnexError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
+            OnexError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OnexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OnexError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for OnexError {
+    fn from(e: std::io::Error) -> Self {
+        OnexError::Io(e)
+    }
+}
+
+impl From<onex_tseries::Error> for OnexError {
+    fn from(e: onex_tseries::Error) -> Self {
+        use onex_tseries::Error as E;
+        match e {
+            E::Io(io) => OnexError::Io(io),
+            E::UnknownSeries(name) => OnexError::UnknownSeries(name),
+            e @ E::OutOfBounds { .. } => OnexError::InvalidQuery(e.to_string()),
+            e @ E::Parse { .. } => OnexError::InvalidData(e.to_string()),
+            e @ E::InvalidArgument(_) => OnexError::InvalidQuery(e.to_string()),
+            other => OnexError::InvalidData(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_category() {
+        assert!(OnexError::invalid_query("empty query")
+            .to_string()
+            .contains("invalid query"));
+        assert!(OnexError::invalid_config("st must be positive")
+            .to_string()
+            .contains("invalid configuration"));
+        assert!(OnexError::UnknownSeries("MA".into())
+            .to_string()
+            .contains("\"MA\""));
+    }
+
+    #[test]
+    fn io_round_trips_source() {
+        use std::error::Error as _;
+        let e = OnexError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+        assert!(!e.is_client_error());
+        assert!(OnexError::invalid_query("x").is_client_error());
+    }
+
+    #[test]
+    fn tseries_errors_map_to_typed_variants() {
+        use onex_tseries::Error as E;
+        assert!(matches!(
+            OnexError::from(E::UnknownSeries("zz".into())),
+            OnexError::UnknownSeries(_)
+        ));
+        assert!(matches!(
+            OnexError::from(E::OutOfBounds {
+                series: "a".into(),
+                start: 9,
+                len: 9,
+                available: 4
+            }),
+            OnexError::InvalidQuery(_)
+        ));
+        assert!(matches!(
+            OnexError::from(E::Parse {
+                line: 2,
+                message: "bad float".into()
+            }),
+            OnexError::InvalidData(_)
+        ));
+        assert!(matches!(
+            OnexError::from(E::Io(std::io::Error::other("x"))),
+            OnexError::Io(_)
+        ));
+    }
+}

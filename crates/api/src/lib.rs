@@ -1,0 +1,34 @@
+//! # onex-api — the blessed ONEX query surface
+//!
+//! The ONEX demo's pitch (SIGMOD'17) is one query surface over multiple
+//! engines: the grouping-based ONEX base against the UCR Suite \[6\], the
+//! FRM/ST-index \[4\], EBSM \[1\] and SPRING \[7\]. This crate is that surface,
+//! reduced to its two load-bearing abstractions:
+//!
+//! * [`SimilaritySearch`] — the backend trait: `k_best` / `best_match`,
+//!   capability introspection ([`Capabilities`], [`Metric`]) and
+//!   per-query work accounting ([`BackendStats`]). A streaming-capable
+//!   extension, [`StreamingSearch`], covers SPRING-style monitors.
+//! * [`OnexError`] — the workspace-wide typed error every fallible public
+//!   operation returns, replacing ad-hoc stringly-typed results and
+//!   panics on malformed queries.
+//!
+//! The crate sits at the bottom of the workspace dependency graph (only
+//! `onex-tseries` below it), so every engine crate can speak the shared
+//! vocabulary without cycles. Concrete adapters live in
+//! `onex_core::backends`; the facade crate re-exports everything here as
+//! the stable entry point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod search;
+mod topk;
+
+pub use error::OnexError;
+pub use search::{
+    validate_query, BackendMatch, BackendStats, Capabilities, Metric, SearchOutcome,
+    SimilaritySearch, StreamMatch, StreamingSearch,
+};
+pub use topk::BestK;

@@ -1,0 +1,275 @@
+use crate::OnexError;
+
+/// Distance semantics a backend answers queries under. The four engines
+/// the ONEX demo compares occupy four different points of this ladder —
+/// the whole point of experiments E5/E10/E11 — so the unified trait keeps
+/// the semantics explicit instead of pretending the numbers are
+/// interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Metric {
+    /// Raw-scale Euclidean distance over fixed-length windows (FRM \[4\]).
+    RawEuclidean,
+    /// Raw-scale DTW over indexed subsequences (ONEX itself).
+    RawDtw,
+    /// Z-normalised, band-constrained DTW (UCR Suite \[6\]).
+    ZNormalizedDtw,
+    /// Unconstrained subsequence DTW with free endpoints (SPRING \[7\],
+    /// EBSM \[1\]).
+    SubsequenceDtw,
+}
+
+impl Metric {
+    /// Human-readable label (used by the server's JSON payloads and the
+    /// bench tables).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::RawEuclidean => "raw ED",
+            Metric::RawDtw => "raw DTW",
+            Metric::ZNormalizedDtw => "z-norm DTW",
+            Metric::SubsequenceDtw => "subsequence DTW",
+        }
+    }
+}
+
+/// What a backend can and cannot do — capability introspection so generic
+/// drivers (the bench harness, the server's `?backend=` route) adapt
+/// without downcasting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Distance semantics of reported [`BackendMatch::distance`] values.
+    pub metric: Metric,
+    /// Whether answers are exact under the backend's own metric (EBSM is
+    /// the approximate one; ONEX is exact under the `Seed` policy).
+    pub exact: bool,
+    /// Whether matches may have a length different from the query's.
+    pub multi_length: bool,
+    /// Whether the backend can monitor unbounded streams (see
+    /// [`StreamingSearch`]).
+    pub streaming: bool,
+    /// Whether `k_best` reports at most one match per stored series
+    /// (engines built around per-series best-window scans).
+    pub one_match_per_series: bool,
+}
+
+/// One answer of a [`SimilaritySearch::k_best`] query: a window of a
+/// stored series, identified positionally so it resolves against any
+/// representation of the collection (a `Dataset`, plain vectors, ...).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendMatch {
+    /// Index of the series in the backend's collection (load order).
+    pub series: u32,
+    /// Start offset of the matched window.
+    pub start: usize,
+    /// Length of the matched window in samples.
+    pub len: usize,
+    /// Distance to the query under the backend's [`Metric`].
+    pub distance: f64,
+}
+
+impl BackendMatch {
+    /// End offset (exclusive).
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// Backend-neutral work counters for one query. Each engine maps its
+/// native accounting (group scans, lower-bound cascades, R-tree visits,
+/// embedding refinements) onto these three, so generic drivers can
+/// compare effort across engines.
+///
+/// `examined` and `pruned` are **disjoint** candidate sets: a candidate
+/// is either dismissed by a filter (pruned) or actually evaluated
+/// (examined), never both — so `pruned / (examined + pruned)` is a
+/// meaningful cross-engine prune rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Candidates that survived every filter and were actually evaluated.
+    pub examined: usize,
+    /// Candidates dismissed by a filter before any distance computation.
+    pub pruned: usize,
+    /// Full distance computations started (DTW DP runs, ED verifications).
+    pub distance_computations: usize,
+}
+
+impl BackendStats {
+    /// Total effort proxy: examined candidates plus distance computations.
+    /// Monotone in `k` for every backend in the workspace — the
+    /// conformance suite asserts this.
+    pub fn work(&self) -> usize {
+        self.examined + self.distance_computations
+    }
+}
+
+impl std::ops::AddAssign for BackendStats {
+    fn add_assign(&mut self, rhs: BackendStats) {
+        self.examined += rhs.examined;
+        self.pruned += rhs.pruned;
+        self.distance_computations += rhs.distance_computations;
+    }
+}
+
+/// A completed query: the matches (best first) and the work they cost.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchOutcome {
+    /// Up to `k` matches, sorted by ascending distance (ascending
+    /// length-normalised distance for multi-length backends).
+    pub matches: Vec<BackendMatch>,
+    /// Per-query work counters.
+    pub stats: BackendStats,
+}
+
+impl SearchOutcome {
+    /// The best match, if any.
+    pub fn best(&self) -> Option<&BackendMatch> {
+        self.matches.first()
+    }
+}
+
+/// The unified similarity-search surface every engine in the workspace
+/// implements: ONEX's grouping-based engine and the baselines it is
+/// demonstrated against (UCR Suite, FRM/ST-index, EBSM, SPRING).
+///
+/// The contract, which `tests/backend_conformance.rs` checks for every
+/// implementation:
+///
+/// * a query cut verbatim from a stored series comes back with distance
+///   ≈ 0 as the best match;
+/// * `k_best` returns at most `k` matches, sorted best-first, all
+///   referring to distinct windows;
+/// * [`BackendStats::work`] is monotone non-decreasing in `k`;
+/// * an empty query, `k == 0`, or a non-finite sample yields
+///   `Err(OnexError::InvalidQuery)` — never a panic.
+pub trait SimilaritySearch {
+    /// Short stable identifier (`"onex"`, `"ucrsuite"`, `"frm"`,
+    /// `"ebsm"`, `"spring"`), used by the server's `?backend=` parameter
+    /// and the bench tables.
+    fn name(&self) -> &'static str;
+
+    /// What this backend can do and what its distances mean.
+    fn capabilities(&self) -> Capabilities;
+
+    /// The `k` most similar stored windows, best first.
+    ///
+    /// # Errors
+    /// [`OnexError::InvalidQuery`] when `k == 0`, the query is empty or
+    /// contains non-finite values, or the query violates a backend
+    /// length constraint.
+    fn k_best(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError>;
+
+    /// The single best match (`k_best` with `k = 1`).
+    ///
+    /// # Errors
+    /// Same conditions as [`SimilaritySearch::k_best`].
+    fn best_match(&self, query: &[f64]) -> Result<SearchOutcome, OnexError> {
+        self.k_best(query, 1)
+    }
+}
+
+/// One reported stream subsequence (mirrors SPRING's match shape without
+/// depending on the spring crate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamMatch {
+    /// Index of the first covered stream point.
+    pub start: usize,
+    /// Index of the last covered stream point (inclusive).
+    pub end: usize,
+    /// Distance under the backend's metric (root scale).
+    pub distance: f64,
+}
+
+/// Extension for backends that can monitor a stored series as if it were
+/// an unbounded stream, reporting every disjoint subsequence within
+/// `epsilon` of the pattern (SPRING's stream-monitoring question).
+pub trait StreamingSearch: SimilaritySearch {
+    /// All disjoint matches of `pattern` within `epsilon` over series
+    /// `target` of the backend's collection.
+    ///
+    /// # Errors
+    /// [`OnexError::InvalidQuery`] for an empty/non-finite pattern or a
+    /// negative/NaN `epsilon`; [`OnexError::UnknownSeries`] when `target`
+    /// is out of range.
+    fn monitor(
+        &self,
+        target: u32,
+        pattern: &[f64],
+        epsilon: f64,
+    ) -> Result<Vec<StreamMatch>, OnexError>;
+}
+
+/// Shared argument validation for `k_best` implementations: rejects
+/// `k == 0`, empty queries and non-finite samples with
+/// [`OnexError::InvalidQuery`].
+pub fn validate_query(query: &[f64], k: usize) -> Result<(), OnexError> {
+    if k == 0 {
+        return Err(OnexError::invalid_query("k must be positive"));
+    }
+    if query.is_empty() {
+        return Err(OnexError::invalid_query("query must be non-empty"));
+    }
+    if let Some(i) = query.iter().position(|v| !v.is_finite()) {
+        return Err(OnexError::invalid_query(format!(
+            "query sample {i} is not finite"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_query_catches_the_panic_cases() {
+        assert!(matches!(
+            validate_query(&[1.0], 0),
+            Err(OnexError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            validate_query(&[], 1),
+            Err(OnexError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            validate_query(&[1.0, f64::NAN], 1),
+            Err(OnexError::InvalidQuery(_))
+        ));
+        assert!(validate_query(&[1.0, 2.0], 3).is_ok());
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let mut o = SearchOutcome::default();
+        assert!(o.best().is_none());
+        o.matches.push(BackendMatch {
+            series: 2,
+            start: 5,
+            len: 8,
+            distance: 0.25,
+        });
+        assert_eq!(o.best().unwrap().end(), 13);
+        let mut s = BackendStats {
+            examined: 3,
+            pruned: 1,
+            distance_computations: 2,
+        };
+        s += BackendStats {
+            examined: 1,
+            pruned: 0,
+            distance_computations: 1,
+        };
+        assert_eq!(s.work(), 7);
+    }
+
+    #[test]
+    fn metric_labels_are_distinct() {
+        let labels = [
+            Metric::RawEuclidean.label(),
+            Metric::RawDtw.label(),
+            Metric::ZNormalizedDtw.label(),
+            Metric::SubsequenceDtw.label(),
+        ];
+        let set: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(set.len(), labels.len());
+    }
+}

@@ -25,7 +25,7 @@ fn bench_ablation(c: &mut Criterion) {
     ];
     for (name, opts) in &variants {
         g.bench_function(*name, |b| {
-            b.iter(|| black_box(engine.best_match(black_box(&query), opts)))
+            b.iter(|| black_box(engine.best_match(black_box(&query), opts).unwrap()))
         });
     }
     for (name, band) in [
@@ -34,7 +34,7 @@ fn bench_ablation(c: &mut Criterion) {
     ] {
         let opts = QueryOptions::with_band(band);
         g.bench_function(name, |b| {
-            b.iter(|| black_box(engine.best_match(black_box(&query), &opts)))
+            b.iter(|| black_box(engine.best_match(black_box(&query), &opts).unwrap()))
         });
     }
     g.finish();

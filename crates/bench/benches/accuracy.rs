@@ -18,7 +18,7 @@ fn bench_accuracy_tradeoff(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_accuracy_tradeoff");
     let full = QueryOptions::default();
     g.bench_function("onex_unconstrained", |b| {
-        b.iter(|| black_box(engine.best_match(black_box(&query), &full)))
+        b.iter(|| black_box(engine.best_match(black_box(&query), &full).unwrap()))
     });
     for frac in [0.05, 0.20] {
         let opts = QueryOptions::with_band(Band::from_fraction(qlen, frac));

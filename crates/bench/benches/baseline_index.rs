@@ -23,7 +23,7 @@ fn bench_queries(c: &mut Criterion) {
         let (onex, _) = Onex::build(ds.clone(), BaseConfig::new(2.0, QLEN, QLEN)).unwrap();
         let opts = QueryOptions::default().top_groups(1);
         g.bench_with_input(BenchmarkId::new("onex_top1", n), &n, |b, _| {
-            b.iter(|| black_box(onex.best_match(black_box(&query), &opts)))
+            b.iter(|| black_box(onex.best_match(black_box(&query), &opts).unwrap()))
         });
 
         let frm = StIndex::<4>::build(

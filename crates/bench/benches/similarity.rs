@@ -15,14 +15,14 @@ fn bench_similarity(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("e2_similarity");
     g.bench_function("best_match_exact_len", |b| {
-        b.iter(|| black_box(engine.best_match(black_box(&query), &opts)))
+        b.iter(|| black_box(engine.best_match(black_box(&query), &opts).unwrap()))
     });
     g.bench_function("k5_exact_len", |b| {
-        b.iter(|| black_box(engine.k_best(black_box(&query), 5, &opts)))
+        b.iter(|| black_box(engine.k_best(black_box(&query), 5, &opts).unwrap()))
     });
     let cross = opts.clone().lengths(LengthSelection::Nearest(3));
     g.bench_function("best_match_nearest3_lengths", |b| {
-        b.iter(|| black_box(engine.best_match(black_box(&query), &cross)))
+        b.iter(|| black_box(engine.best_match(black_box(&query), &cross).unwrap()))
     });
     g.finish();
 }

@@ -22,7 +22,7 @@ fn bench_speed(c: &mut Criterion) {
         let ucr_cfg = DtwSearchConfig::default();
 
         g.bench_with_input(BenchmarkId::new("onex", n), &n, |b, _| {
-            b.iter(|| black_box(engine.best_match(black_box(&query), &opts)))
+            b.iter(|| black_box(engine.best_match(black_box(&query), &opts).unwrap()))
         });
         g.bench_with_input(BenchmarkId::new("ucr_suite", n), &n, |b, _| {
             b.iter(|| black_box(ucr_dtw_search_dataset(&ds, black_box(&query), &ucr_cfg)))

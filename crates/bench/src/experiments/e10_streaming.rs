@@ -1,8 +1,8 @@
-//! E10 — stream monitoring: SPRING (paper reference [7]) vs re-scanning.
+//! E10 — stream monitoring: SPRING (paper reference \[7\]) vs re-scanning.
 //!
 //! The paper's state-of-the-art section positions ONEX between two
-//! poles: exact stream monitors "at the expense of responsiveness" [7]
-//! and fast scans over static data [6]. This experiment makes that
+//! poles: exact stream monitors "at the expense of responsiveness" \[7\]
+//! and fast scans over static data \[6\]. This experiment makes that
 //! triangle concrete. A pattern is monitored over a growing stream
 //! three ways:
 //!
@@ -99,7 +99,7 @@ fn measure(len: usize, report_every: usize) -> Row {
             stream[at..at + report_every].to_vec(),
         );
         engine.append_series(chunk).expect("append");
-        let _ = engine.best_match(&pattern, &opts);
+        let _ = engine.best_match(&pattern, &opts).unwrap();
         at += report_every;
     }
     let onex_total = t0.elapsed();

@@ -1,13 +1,13 @@
-//! E11 — the indexing-school baselines: FRM [4] and EBSM [1] against
-//! ONEX and brute force.
+//! E11 — the indexing-school baselines: FRM \[4\] and EBSM \[1\] against
+//! ONEX and brute force, driven through the unified `SimilaritySearch`
+//! trait — one measurement code path, N backends.
 //!
 //! The paper's introduction sorts prior systems into schools: exact
-//! Euclidean indexing (FRM [4]), approximate preprocessing-heavy DTW
-//! embedding (EBSM [1]), exact-but-slow monitoring [7], and fast scans
-//! [6]. E11 compares the two index-based schools with ONEX on the same
-//! collection, reporting both *work* (filter rates) and *answer quality*
-//! (distance of the returned match vs the unconstrained-DTW ground
-//! truth).
+//! Euclidean indexing (FRM \[4\]), approximate preprocessing-heavy DTW
+//! embedding (EBSM \[1\]), exact-but-slow monitoring \[7\], and fast scans
+//! \[6\]. E11 compares these schools with ONEX on the same collection,
+//! reporting both *work* (filter rates) and *answer quality* (distance of
+//! the returned match vs the unconstrained-DTW ground truth).
 //!
 //! Expected shape: FRM filters hardest but answers the wrong question
 //! under warping (raw ED — its "best" can sit far from the DTW optimum);
@@ -16,15 +16,18 @@
 //! grouping filter holds recall with guaranteed semantics. This is the
 //! quantitative version of the paper's Challenge 2/3 discussion.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use onex_api::SimilaritySearch;
+use onex_core::backends::{EbsmBackend, FrmBackend, OnexBackend, SpringBackend, UcrSuiteBackend};
 use onex_core::{Onex, QueryOptions};
 use onex_embedding::{EbsmConfig, EbsmIndex};
-use onex_frm::{StConfig, StIndex};
+use onex_frm::StConfig;
 use onex_grouping::BaseConfig;
 use onex_spring::spring_best_match;
 
-use crate::harness::{fmt_duration, Table};
+use crate::harness::{drive_backend, fmt_duration, Table};
 use crate::workloads;
 
 struct Quality {
@@ -79,122 +82,109 @@ fn quality(results: &[(f64, f64)]) -> Quality {
     }
 }
 
-/// Run the comparison at one collection size.
+/// One engine entry of the generic comparison: how it was built, what
+/// it cost to build, and a note for the table.
+struct Entry {
+    backend: Box<dyn SimilaritySearch>,
+    build: Duration,
+    notes: String,
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let v = f();
+    (v, t.elapsed())
+}
+
+/// Run the comparison at one collection size: every backend behind the
+/// same `SimilaritySearch` trait object, one measurement loop.
 fn compare(series_count: usize, len: usize, qlen: usize, queries: usize) -> Table {
     let ds = workloads::diverse_sines(series_count, len);
     let series = plain(&ds);
     let st = 2.0;
 
-    // --- build all four engines, timing construction -------------------
-    let t0 = Instant::now();
-    let (onex, _) = Onex::build(ds.clone(), BaseConfig::new(st, qlen, qlen)).expect("valid config");
-    let onex_build = t0.elapsed();
-
-    let t0 = Instant::now();
-    let frm = StIndex::<4>::build(
-        series.clone(),
-        StConfig {
-            window: qlen,
-            subtrail_max: 32,
-            cost_scale: 1.0,
+    // --- build every engine behind the unified trait -------------------
+    let (engine, onex_build) = timed(|| {
+        let (engine, _) =
+            Onex::build(ds.clone(), BaseConfig::new(st, qlen, qlen)).expect("valid config");
+        Arc::new(engine)
+    });
+    let mut entries = vec![
+        Entry {
+            backend: Box::new(
+                OnexBackend::new(engine.clone())
+                    .with_options(QueryOptions::default().top_groups(1)),
+            ),
+            build: onex_build,
+            notes: "paper mode: scan best group only".into(),
         },
-    );
-    let frm_build = t0.elapsed();
-
-    let t0 = Instant::now();
-    let ebsm = EbsmIndex::build(
-        series.clone(),
-        EbsmConfig {
-            references: 8,
-            ref_len: qlen,
-            candidates: 24,
-            refine_factor: 2,
-            seed: 42,
+        Entry {
+            backend: Box::new(OnexBackend::new(engine.clone())),
+            build: onex_build,
+            notes: "grouping filter, ED/DTW bridge".into(),
         },
-    );
-    let ebsm_build = t0.elapsed();
+    ];
+    let (frm, frm_build) = timed(|| {
+        FrmBackend::<4>::from_index(onex_frm::StIndex::<4>::build(
+            series.clone(),
+            StConfig {
+                window: qlen,
+                subtrail_max: 32,
+                cost_scale: 1.0,
+            },
+        ))
+    });
+    entries.push(Entry {
+        backend: Box::new(frm),
+        build: frm_build,
+        notes: "ED-exact".into(),
+    });
+    let (ebsm, ebsm_build) = timed(|| {
+        EbsmBackend::from_series(
+            series.clone(),
+            EbsmConfig {
+                references: 8,
+                ref_len: qlen,
+                candidates: 24,
+                refine_factor: 2,
+                seed: 42,
+            },
+        )
+        .expect("valid EBSM config")
+    });
+    entries.push(Entry {
+        backend: Box::new(ebsm),
+        build: ebsm_build,
+        notes: "24 candidates refined".into(),
+    });
+    let (spring, spring_build) = timed(|| SpringBackend::from_series(series.clone()));
+    entries.push(Entry {
+        backend: Box::new(spring),
+        build: spring_build,
+        notes: "exact subsequence DTW (ground truth)".into(),
+    });
+    let (ucr, ucr_build) = timed(|| UcrSuiteBackend::from_series(series.clone()));
+    entries.push(Entry {
+        backend: Box::new(ucr),
+        build: ucr_build,
+        notes: "z-normalised; distances not comparable".into(),
+    });
 
-    // --- run queries ----------------------------------------------------
-    let opts_top1 = QueryOptions::default().top_groups(1);
-    let opts_exact = QueryOptions::default();
-    let mut onex_res = Vec::new();
-    let mut onex_exact_res = Vec::new();
-    let mut frm_res = Vec::new();
-    let mut ebsm_res = Vec::new();
-    let (mut onex_time, mut onex_exact_time, mut frm_time, mut ebsm_time) = (
-        std::time::Duration::ZERO,
-        std::time::Duration::ZERO,
-        std::time::Duration::ZERO,
-        std::time::Duration::ZERO,
-    );
-    // Re-measure a returned fixed-length window under the ground-truth
-    // metric (unconstrained DTW); the ground truth itself may use any
-    // length, so even exact fixed-length engines can sit above 1.0.
-    let remeasure = |sid: u32, start: usize, qlen: usize, query: &[f64]| {
-        let sv = &series[sid as usize];
-        let window = &sv[start..start + qlen];
-        onex_distance::dtw(window, query, onex_distance::Band::Full)
-    };
-    let mut frm_prune = 0.0;
-    for qi in 0..queries {
-        let src = (qi * 7) % series_count;
-        let name = ds.series(src as u32).expect("in range").name().to_string();
-        let start = (qi * 13) % (len - qlen);
-        let query = workloads::perturbed_query(&ds, &name, start, qlen, 0.08);
-        let opt = dtw_ground_truth(&series, &query);
+    // --- queries + ground truth -----------------------------------------
+    let qs: Vec<Vec<f64>> = (0..queries)
+        .map(|qi| {
+            let src = (qi * 7) % series_count;
+            let name = ds.series(src as u32).expect("in range").name().to_string();
+            let start = (qi * 13) % (len - qlen);
+            workloads::perturbed_query(&ds, &name, start, qlen, 0.08)
+        })
+        .collect();
+    let truths: Vec<f64> = qs.iter().map(|q| dtw_ground_truth(&series, q)).collect();
 
-        let t = Instant::now();
-        let (m, _) = onex.best_match(&query, &opts_top1);
-        onex_time += t.elapsed();
-        if let Some(m) = m {
-            let d = remeasure(
-                m.subseq.series,
-                m.subseq.start as usize,
-                m.subseq.len as usize,
-                &query,
-            );
-            onex_res.push((d, opt));
-        }
-
-        let t = Instant::now();
-        let (m, _) = onex.best_match(&query, &opts_exact);
-        onex_exact_time += t.elapsed();
-        if let Some(m) = m {
-            let d = remeasure(
-                m.subseq.series,
-                m.subseq.start as usize,
-                m.subseq.len as usize,
-                &query,
-            );
-            onex_exact_res.push((d, opt));
-        }
-
-        let t = Instant::now();
-        if let Some((hit, stats)) = frm.best_match(&query) {
-            frm_time += t.elapsed();
-            let sv = &series[hit.series as usize];
-            let window = &sv[hit.start..hit.start + qlen];
-            let d = onex_distance::dtw(window, &query, onex_distance::Band::Full);
-            frm_res.push((d, opt));
-            frm_prune += stats.prune_rate();
-        }
-
-        let t = Instant::now();
-        if let Some((hit, _)) = ebsm.best_match(&query) {
-            ebsm_time += t.elapsed();
-            ebsm_res.push((hit.dist, opt));
-        }
-    }
-    let frm_prune = frm_prune / queries.max(1) as f64;
-
-    let qo = quality(&onex_res);
-    let qox = quality(&onex_exact_res);
-    let qf = quality(&frm_res);
-    let qe = quality(&ebsm_res);
-
+    // --- one generic measurement loop over all entries ------------------
     let mut t = Table::new(
         format!(
-            "E11 index baselines on {series_count}x{len} diverse sines, {queries} queries of length {qlen} (quality vs unconstrained-DTW optimum)"
+            "E11 index baselines on {series_count}x{len} diverse sines, {queries} queries of length {qlen} (quality vs unconstrained-DTW optimum, all engines behind SimilaritySearch)"
         ),
         &[
             "engine",
@@ -203,45 +193,47 @@ fn compare(series_count: usize, len: usize, qlen: usize, queries: usize) -> Tabl
             "total query",
             "mean dist ratio",
             "recall@1%",
+            "pruned",
             "notes",
         ],
     );
-    t.row(vec![
-        "ONEX (top-1 group)".into(),
-        "raw DTW".into(),
-        fmt_duration(onex_build),
-        fmt_duration(onex_time),
-        format!("{:.3}", qo.mean_ratio),
-        format!("{:.0}%", qo.recall * 100.0),
-        "paper mode: scan best group only".into(),
-    ]);
-    t.row(vec![
-        "ONEX (exact)".into(),
-        "raw DTW".into(),
-        fmt_duration(onex_build),
-        fmt_duration(onex_exact_time),
-        format!("{:.3}", qox.mean_ratio),
-        format!("{:.0}%", qox.recall * 100.0),
-        "grouping filter, ED/DTW bridge".into(),
-    ]);
-    t.row(vec![
-        "FRM/ST-index [4]".into(),
-        "raw ED".into(),
-        fmt_duration(frm_build),
-        fmt_duration(frm_time),
-        format!("{:.3}", qf.mean_ratio),
-        format!("{:.0}%", qf.recall * 100.0),
-        format!("ED-exact; windows pruned {:.0}%", frm_prune * 100.0),
-    ]);
-    t.row(vec![
-        "EBSM [1]".into(),
-        "approx DTW".into(),
-        fmt_duration(ebsm_build),
-        fmt_duration(ebsm_time),
-        format!("{:.3}", qe.mean_ratio),
-        format!("{:.0}%", qe.recall * 100.0),
-        "24 candidates refined".into(),
-    ]);
+    for (i, entry) in entries.iter().enumerate() {
+        let run = drive_backend(entry.backend.as_ref(), &qs);
+        // Re-measure every returned window under the ground-truth metric
+        // (unconstrained DTW), whatever the backend's native semantics.
+        let results: Vec<(f64, f64)> = run
+            .results
+            .iter()
+            .enumerate()
+            .filter_map(|(qi, m)| {
+                m.map(|m| {
+                    let sv = &series[m.series as usize];
+                    let window = &sv[m.start..m.start + m.len];
+                    let d = onex_distance::dtw(window, &qs[qi], onex_distance::Band::Full);
+                    (d, truths[qi])
+                })
+            })
+            .collect();
+        let q = quality(&results);
+        let caps = entry.backend.capabilities();
+        let name = if i == 0 {
+            "ONEX (top-1 group)".to_string()
+        } else if i == 1 {
+            "ONEX (exact)".to_string()
+        } else {
+            entry.backend.name().to_string()
+        };
+        t.row(vec![
+            name,
+            caps.metric.label().into(),
+            fmt_duration(entry.build),
+            fmt_duration(run.total_time),
+            format!("{:.3}", q.mean_ratio),
+            format!("{:.0}%", q.recall * 100.0),
+            format!("{:.0}%", run.prune_rate() * 100.0),
+            entry.notes.clone(),
+        ]);
+    }
     t
 }
 
@@ -381,7 +373,7 @@ mod tests {
     fn quick_run_produces_all_panels() {
         let tables = run(true);
         assert_eq!(tables.len(), 3);
-        assert_eq!(tables[0].rows.len(), 4);
+        assert_eq!(tables[0].rows.len(), 6);
         assert_eq!(tables[1].rows.len(), 4);
         assert_eq!(tables[2].rows.len(), 4);
     }

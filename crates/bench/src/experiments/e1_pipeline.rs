@@ -45,7 +45,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let query = workloads::perturbed_query(engine.dataset(), "MA-GrowthRate", 6, 8, 0.1);
     let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
     let t1 = Instant::now();
-    let (m, stats) = engine.best_match(&query, &opts);
+    let (m, stats) = engine.best_match(&query, &opts).unwrap();
     let query_time = t1.elapsed();
     let m = m.expect("a match exists");
     t.row(vec![

@@ -46,10 +46,10 @@ pub fn run(quick: bool) -> Vec<Table> {
     let query = workloads::perturbed_query(engine.dataset(), "MA-GrowthRate", 6, 8, 0.1);
     let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
     let k = if quick { 3 } else { 5 };
-    let (matches, _) = engine.k_best(&query, k, &opts);
+    let (matches, _) = engine.k_best(&query, k, &opts).unwrap();
     let latency = median_time(
         || {
-            let _ = engine.k_best(&query, k, &opts);
+            let _ = engine.k_best(&query, k, &opts).unwrap();
         },
         if quick { 3 } else { 9 },
     );

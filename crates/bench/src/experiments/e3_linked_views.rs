@@ -19,7 +19,7 @@ pub fn run(_quick: bool) -> Vec<Table> {
     let query = workloads::perturbed_query(engine.dataset(), "MA-TechEmployment", 10, 12, 0.5);
     let opts =
         QueryOptions::default().excluding_series(engine.dataset().id_of("MA-TechEmployment"));
-    let (m, _) = engine.best_match(&query, &opts);
+    let (m, _) = engine.best_match(&query, &opts).unwrap();
     let m = m.expect("a match exists");
     let matched = engine
         .dataset()

@@ -38,13 +38,13 @@ fn measure(ds: &Dataset, qlen: usize, st: f64, runs: usize, naive: bool) -> Row 
     let approx_opts = QueryOptions::default().top_groups(1);
     let onex_top1 = median_time(
         || {
-            let _ = engine.best_match(&query, &approx_opts);
+            let _ = engine.best_match(&query, &approx_opts).unwrap();
         },
         runs,
     );
     let onex = median_time(
         || {
-            let _ = engine.best_match(&query, &opts);
+            let _ = engine.best_match(&query, &opts).unwrap();
         },
         runs,
     );

@@ -93,11 +93,12 @@ pub fn run(quick: bool) -> Vec<Table> {
     let top1_opts = QueryOptions::default().top_groups(1);
     for q in &qs {
         let truth = exhaustive::scan_best(&ds, q, &[qlen], 1, &full_opts, true)
+            .expect("valid scan")
             .expect("ground truth exists");
         // ONEX: unconstrained DTW over the base (exact and paper modes).
-        let (m, _) = engine.best_match(q, &full_opts);
+        let (m, _) = engine.best_match(q, &full_opts).unwrap();
         onex_out.record(m.expect("match exists").distance, truth.distance);
-        let (m1, _) = engine.best_match(q, &top1_opts);
+        let (m1, _) = engine.best_match(q, &top1_opts).unwrap();
         onex_top1_out.record(m1.expect("match exists").distance, truth.distance);
         // Banded scans: constrained DTW over the raw data. Distances of
         // the returned window are re-measured under *unconstrained* DTW —
@@ -106,6 +107,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             let band = Band::from_fraction(qlen, frac);
             let banded = QueryOptions::with_band(band);
             let hit = exhaustive::scan_best(&ds, q, &[qlen], 1, &banded, true)
+                .expect("valid scan")
                 .expect("banded scan finds something");
             let window = ds.resolve(hit.subseq).expect("window resolves");
             let true_dist = onex_distance::dtw(q, window, Band::Full);

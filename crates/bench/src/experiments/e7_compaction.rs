@@ -56,13 +56,13 @@ pub fn run(quick: bool) -> Vec<Table> {
         let audit = engine.base().audit(engine.dataset());
         let query_time = median_time(
             || {
-                let _ = engine.best_match(&query, &opts);
+                let _ = engine.best_match(&query, &opts).unwrap();
             },
             runs,
         );
         let top1_time = median_time(
             || {
-                let _ = engine.best_match(&query, &top1);
+                let _ = engine.best_match(&query, &top1).unwrap();
             },
             runs,
         );

@@ -47,11 +47,11 @@ pub fn run(quick: bool) -> Vec<Table> {
         ),
     ];
     for (name, opts) in &variants {
-        let (m, stats) = engine.best_match(&query, opts);
+        let (m, stats) = engine.best_match(&query, opts).unwrap();
         let m = m.expect("match exists");
         let lat = median_time(
             || {
-                let _ = engine.best_match(&query, opts);
+                let _ = engine.best_match(&query, opts).unwrap();
             },
             runs,
         );
@@ -88,7 +88,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         let audit = e.base().audit(e.dataset());
         let lat = median_time(
             || {
-                let _ = e.best_match(&query, &QueryOptions::default());
+                let _ = e.best_match(&query, &QueryOptions::default()).unwrap();
             },
             runs,
         );
@@ -114,10 +114,10 @@ pub fn run(quick: bool) -> Vec<Table> {
         ("none (ED)", Band::SakoeChiba(0)),
     ] {
         let opts = QueryOptions::with_band(b);
-        let (m, _) = engine.best_match(&query, &opts);
+        let (m, _) = engine.best_match(&query, &opts).unwrap();
         let lat = median_time(
             || {
-                let _ = engine.best_match(&query, &opts);
+                let _ = engine.best_match(&query, &opts).unwrap();
             },
             runs,
         );

@@ -1,7 +1,10 @@
-//! Timing and reporting utilities.
+//! Timing and reporting utilities, including the backend-generic query
+//! driver every multi-engine experiment shares.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
+
+use onex_api::{BackendMatch, BackendStats, SimilaritySearch};
 
 /// A printable experiment table (one per paper table/figure panel).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +60,55 @@ impl Table {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
         out
+    }
+}
+
+/// What one backend did across a query batch — the backend-generic
+/// measurement the multi-engine experiments (E11) and the server share
+/// one code path with.
+#[derive(Debug, Clone)]
+pub struct BackendRun {
+    /// Wall-clock time across all queries.
+    pub total_time: Duration,
+    /// Best match per query (`None` when the backend found nothing or
+    /// rejected the query).
+    pub results: Vec<Option<BackendMatch>>,
+    /// Work counters accumulated across all queries.
+    pub stats: BackendStats,
+}
+
+impl BackendRun {
+    /// Fraction of candidates dismissed before a distance computation.
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.stats.examined + self.stats.pruned;
+        if total == 0 {
+            return 0.0;
+        }
+        self.stats.pruned as f64 / total as f64
+    }
+}
+
+/// Run every query through `backend.best_match` via the unified
+/// [`SimilaritySearch`] trait, timing the batch and accumulating stats.
+/// Queries a backend rejects (e.g. below FRM's window) count as misses
+/// rather than aborting the run.
+pub fn drive_backend(backend: &dyn SimilaritySearch, queries: &[Vec<f64>]) -> BackendRun {
+    let mut results = Vec::with_capacity(queries.len());
+    let mut stats = BackendStats::default();
+    let start = Instant::now();
+    for q in queries {
+        match backend.best_match(q) {
+            Ok(outcome) => {
+                stats += outcome.stats;
+                results.push(outcome.best().copied());
+            }
+            Err(_) => results.push(None),
+        }
+    }
+    BackendRun {
+        total_time: start.elapsed(),
+        results,
+        stats,
     }
 }
 

@@ -1,0 +1,630 @@
+//! Concrete [`SimilaritySearch`] adapters: one query surface over every
+//! engine the ONEX demo compares.
+//!
+//! The paper's pitch is precisely this — the same exploratory question
+//! ("find the most similar subsequence") answered by the grouping-based
+//! ONEX base, the UCR Suite \[6\], the FRM/ST-index \[4\] and EBSM \[1\], each
+//! with its own speed/semantics trade-off. These adapters wrap each
+//! engine's native API behind `onex_api::SimilaritySearch`, so the bench
+//! harness, the server's `?backend=` route and any future engine
+//! (sharded, cached, remote) share one code path:
+//!
+//! ```
+//! use onex_api::SimilaritySearch;
+//! use onex_core::backends::{FrmBackend, SpringBackend, UcrSuiteBackend};
+//!
+//! let series: Vec<Vec<f64>> = (0..4)
+//!     .map(|p| (0..96).map(|i| ((i + 9 * p) as f64 * 0.23).sin()).collect())
+//!     .collect();
+//! let query = series[1][30..46].to_vec();
+//! let backends: Vec<Box<dyn SimilaritySearch>> = vec![
+//!     Box::new(UcrSuiteBackend::from_series(series.clone())),
+//!     Box::new(FrmBackend::<4>::from_series(series.clone(), 8)),
+//!     Box::new(SpringBackend::from_series(series.clone())),
+//! ];
+//! for b in &backends {
+//!     let best = b.best_match(&query).unwrap();
+//!     assert!(best.best().unwrap().distance < 1e-6, "{}", b.name());
+//! }
+//! ```
+
+use std::sync::Arc;
+
+use onex_api::{
+    validate_query, BackendMatch, BackendStats, Capabilities, Metric, OnexError, SearchOutcome,
+    SimilaritySearch, StreamMatch, StreamingSearch,
+};
+use onex_grouping::RepresentativePolicy;
+use onex_tseries::Dataset;
+
+use crate::{Onex, QueryOptions, ScanBreadth};
+
+/// Plain per-series vectors from a dataset — the representation the
+/// baseline engines index.
+pub fn plain_series(dataset: &Dataset) -> Vec<Vec<f64>> {
+    dataset.iter().map(|(_, s)| s.values().to_vec()).collect()
+}
+
+// ---------------------------------------------------------------------
+// ONEX itself
+// ---------------------------------------------------------------------
+
+/// The ONEX engine behind the unified trait. Carries the
+/// [`QueryOptions`] every trait query runs under, so callers pick length
+/// selection / breadth / exclusions once at construction.
+#[derive(Debug, Clone)]
+pub struct OnexBackend {
+    engine: Arc<Onex>,
+    opts: QueryOptions,
+}
+
+impl OnexBackend {
+    /// Wrap an engine with default query options (exact search at the
+    /// query's own length).
+    pub fn new(engine: Arc<Onex>) -> Self {
+        OnexBackend {
+            engine,
+            opts: QueryOptions::default(),
+        }
+    }
+
+    /// Builder-style: run every trait query under `opts`.
+    pub fn with_options(mut self, opts: QueryOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &Onex {
+        &self.engine
+    }
+}
+
+impl SimilaritySearch for OnexBackend {
+    fn name(&self) -> &'static str {
+        "onex"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        let exact = self.engine.base().config().policy == RepresentativePolicy::Seed
+            && self.opts.breadth == ScanBreadth::Exact
+            && self.opts.band == onex_distance::Band::Full;
+        Capabilities {
+            metric: Metric::RawDtw,
+            exact,
+            multi_length: !matches!(self.opts.lengths, crate::LengthSelection::Exact),
+            streaming: false,
+            one_match_per_series: false,
+        }
+    }
+
+    fn k_best(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
+        let (matches, stats) = self.engine.k_best(query, k, &self.opts)?;
+        Ok(SearchOutcome {
+            matches: matches
+                .into_iter()
+                .map(|m| BackendMatch {
+                    series: m.subseq.series,
+                    start: m.subseq.start as usize,
+                    len: m.subseq.len as usize,
+                    distance: m.distance,
+                })
+                .collect(),
+            // `groups_examined` counts every group the loop considered,
+            // including ones subsequently pruned; subtract so examined
+            // and pruned stay disjoint (the BackendStats contract).
+            stats: BackendStats {
+                examined: stats.groups_examined.saturating_sub(stats.groups_pruned)
+                    + stats.members_examined,
+                pruned: stats.groups_pruned + stats.members_lb_pruned,
+                distance_computations: stats.dtw_completed + stats.dtw_abandoned,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// UCR Suite
+// ---------------------------------------------------------------------
+
+/// The UCR Suite baseline (z-normalised, band-constrained DTW) behind the
+/// unified trait.
+#[derive(Debug, Clone)]
+pub struct UcrSuiteBackend {
+    series: Vec<Vec<f64>>,
+    cfg: onex_ucrsuite::DtwSearchConfig,
+}
+
+impl UcrSuiteBackend {
+    /// Index plain series under the default UCR band (5% of the query).
+    pub fn from_series(series: Vec<Vec<f64>>) -> Self {
+        UcrSuiteBackend {
+            series,
+            cfg: onex_ucrsuite::DtwSearchConfig::default(),
+        }
+    }
+
+    /// Index a dataset's series.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        Self::from_series(plain_series(dataset))
+    }
+
+    /// Builder-style: override the Sakoe–Chiba band fraction.
+    pub fn with_config(mut self, cfg: onex_ucrsuite::DtwSearchConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+}
+
+impl SimilaritySearch for UcrSuiteBackend {
+    fn name(&self) -> &'static str {
+        "ucrsuite"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            metric: Metric::ZNormalizedDtw,
+            exact: true,
+            multi_length: false,
+            streaming: false,
+            one_match_per_series: false,
+        }
+    }
+
+    fn k_best(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
+        validate_query(query, k)?;
+        if !(0.0..=1.0).contains(&self.cfg.band_fraction) {
+            return Err(OnexError::invalid_config(format!(
+                "band fraction {} out of [0, 1]",
+                self.cfg.band_fraction
+            )));
+        }
+        let mut acc = onex_ucrsuite::TopK::new(k);
+        let mut stats = onex_ucrsuite::SearchStats::default();
+        for (sid, t) in self.series.iter().enumerate() {
+            onex_ucrsuite::ucr_dtw_search_topk(
+                t, query, &self.cfg, sid as u32, &mut acc, &mut stats,
+            );
+        }
+        Ok(SearchOutcome {
+            matches: acc
+                .into_hits()
+                .into_iter()
+                .map(|h| BackendMatch {
+                    series: h.series,
+                    start: h.start,
+                    len: query.len(),
+                    distance: h.distance,
+                })
+                .collect(),
+            // UCR's `candidates` counts every window including the ones
+            // the cascade later kills; report the disjoint split.
+            stats: {
+                let pruned = stats.kim_pruned + stats.keogh_eq_pruned + stats.keogh_ec_pruned;
+                BackendStats {
+                    examined: stats.candidates.saturating_sub(pruned),
+                    pruned,
+                    distance_computations: stats.dtw_runs,
+                }
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// FRM / ST-index
+// ---------------------------------------------------------------------
+
+/// The FRM/ST-index baseline (exact raw-Euclidean windows) behind the
+/// unified trait. `D` is the feature dimension (2 × retained DFT
+/// coefficients); 4 is the classic choice.
+#[derive(Debug, Clone)]
+pub struct FrmBackend<const D: usize = 4> {
+    index: onex_frm::StIndex<D>,
+}
+
+impl<const D: usize> FrmBackend<D> {
+    /// Index plain series with a given sliding-window width (the minimum
+    /// supported query length).
+    pub fn from_series(series: Vec<Vec<f64>>, window: usize) -> Self {
+        FrmBackend {
+            index: onex_frm::StIndex::<D>::build(
+                series,
+                onex_frm::StConfig {
+                    window,
+                    ..onex_frm::StConfig::default()
+                },
+            ),
+        }
+    }
+
+    /// Index a dataset's series.
+    pub fn from_dataset(dataset: &Dataset, window: usize) -> Self {
+        Self::from_series(plain_series(dataset), window)
+    }
+
+    /// Wrap a prebuilt index.
+    pub fn from_index(index: onex_frm::StIndex<D>) -> Self {
+        FrmBackend { index }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &onex_frm::StIndex<D> {
+        &self.index
+    }
+}
+
+impl<const D: usize> SimilaritySearch for FrmBackend<D> {
+    fn name(&self) -> &'static str {
+        "frm"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            metric: Metric::RawEuclidean,
+            exact: true,
+            multi_length: false,
+            streaming: false,
+            one_match_per_series: false,
+        }
+    }
+
+    fn k_best(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
+        validate_query(query, k)?;
+        let w = self.index.config().window;
+        if query.len() < w {
+            return Err(OnexError::invalid_query(format!(
+                "query length {} below the FRM index window {w}",
+                query.len()
+            )));
+        }
+        let (hits, stats) = self.index.k_best(query, k);
+        Ok(SearchOutcome {
+            matches: hits
+                .into_iter()
+                .map(|h| BackendMatch {
+                    series: h.series,
+                    start: h.start,
+                    len: query.len(),
+                    distance: h.dist,
+                })
+                .collect(),
+            stats: BackendStats {
+                examined: stats.candidates,
+                pruned: stats.windows_total.saturating_sub(stats.candidates),
+                distance_computations: stats.candidates,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// EBSM
+// ---------------------------------------------------------------------
+
+/// The EBSM baseline (approximate embedding-based subsequence DTW)
+/// behind the unified trait.
+#[derive(Debug, Clone)]
+pub struct EbsmBackend {
+    index: onex_embedding::EbsmIndex,
+}
+
+impl EbsmBackend {
+    /// Build the embedding index over plain series.
+    ///
+    /// # Errors
+    /// [`OnexError::InvalidConfig`] when any of EBSM's (many) parameters
+    /// is zero — the parameter surface the ONEX introduction critiques.
+    pub fn from_series(
+        series: Vec<Vec<f64>>,
+        cfg: onex_embedding::EbsmConfig,
+    ) -> Result<Self, OnexError> {
+        if cfg.references == 0 || cfg.ref_len == 0 || cfg.candidates == 0 || cfg.refine_factor == 0
+        {
+            return Err(OnexError::invalid_config(
+                "EBSM references, ref_len, candidates and refine_factor must all be positive",
+            ));
+        }
+        Ok(EbsmBackend {
+            index: onex_embedding::EbsmIndex::build(series, cfg),
+        })
+    }
+
+    /// Build over a dataset's series.
+    ///
+    /// # Errors
+    /// Same conditions as [`EbsmBackend::from_series`].
+    pub fn from_dataset(
+        dataset: &Dataset,
+        cfg: onex_embedding::EbsmConfig,
+    ) -> Result<Self, OnexError> {
+        Self::from_series(plain_series(dataset), cfg)
+    }
+
+    /// Wrap a prebuilt index.
+    pub fn from_index(index: onex_embedding::EbsmIndex) -> Self {
+        EbsmBackend { index }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &onex_embedding::EbsmIndex {
+        &self.index
+    }
+}
+
+impl SimilaritySearch for EbsmBackend {
+    fn name(&self) -> &'static str {
+        "ebsm"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            metric: Metric::SubsequenceDtw,
+            exact: false,
+            multi_length: true,
+            streaming: false,
+            one_match_per_series: false,
+        }
+    }
+
+    fn k_best(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
+        validate_query(query, k)?;
+        let (hits, stats) = self.index.k_best(query, k);
+        Ok(SearchOutcome {
+            matches: hits
+                .into_iter()
+                .map(|h| BackendMatch {
+                    series: h.series,
+                    start: h.start,
+                    len: h.end - h.start + 1,
+                    distance: h.dist,
+                })
+                .collect(),
+            // Embedding ranking filters all positions down to the
+            // refinement set; only the refined candidates count as
+            // examined so the split stays disjoint.
+            stats: BackendStats {
+                examined: stats.refined,
+                pruned: stats.positions_total.saturating_sub(stats.refined),
+                distance_computations: stats.refined,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// SPRING
+// ---------------------------------------------------------------------
+
+/// The SPRING baseline (exact unconstrained subsequence DTW, one best
+/// window per series) behind the unified trait — the only backend that
+/// also answers the stream-monitoring question ([`StreamingSearch`]).
+#[derive(Debug, Clone)]
+pub struct SpringBackend {
+    series: Vec<Vec<f64>>,
+}
+
+impl SpringBackend {
+    /// Monitor plain series.
+    pub fn from_series(series: Vec<Vec<f64>>) -> Self {
+        SpringBackend { series }
+    }
+
+    /// Monitor a dataset's series.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        Self::from_series(plain_series(dataset))
+    }
+}
+
+impl SimilaritySearch for SpringBackend {
+    fn name(&self) -> &'static str {
+        "spring"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            metric: Metric::SubsequenceDtw,
+            exact: true,
+            multi_length: true,
+            streaming: true,
+            one_match_per_series: true,
+        }
+    }
+
+    fn k_best(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
+        validate_query(query, k)?;
+        let mut stats = BackendStats::default();
+        let mut hits: Vec<BackendMatch> = Vec::new();
+        for (sid, t) in self.series.iter().enumerate() {
+            // Every stream position is a candidate end; each series costs
+            // one full subsequence-DTW sweep (counted as one distance
+            // computation, matching how the other backends count DP runs).
+            stats.examined += t.len();
+            stats.distance_computations += usize::from(!t.is_empty());
+            if let Some(m) = onex_spring::spring_best_match(t, query) {
+                hits.push(BackendMatch {
+                    series: sid as u32,
+                    start: m.start,
+                    len: m.end - m.start + 1,
+                    distance: m.dist,
+                });
+            }
+        }
+        hits.sort_by(|a, b| {
+            a.distance
+                .total_cmp(&b.distance)
+                .then_with(|| (a.series, a.start).cmp(&(b.series, b.start)))
+        });
+        hits.truncate(k);
+        Ok(SearchOutcome {
+            matches: hits,
+            stats,
+        })
+    }
+}
+
+impl StreamingSearch for SpringBackend {
+    fn monitor(
+        &self,
+        target: u32,
+        pattern: &[f64],
+        epsilon: f64,
+    ) -> Result<Vec<StreamMatch>, OnexError> {
+        let t = self
+            .series
+            .get(target as usize)
+            .ok_or_else(|| OnexError::UnknownSeries(format!("series #{target}")))?;
+        let hits = onex_spring::spring_search(t, pattern, epsilon).ok_or_else(|| {
+            OnexError::invalid_query("pattern must be non-empty and finite, epsilon non-negative")
+        })?;
+        Ok(hits
+            .into_iter()
+            .map(|m| StreamMatch {
+                start: m.start,
+                end: m.end,
+                distance: m.dist,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onex_grouping::BaseConfig;
+    use onex_tseries::TimeSeries;
+
+    fn toy(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 + seed as f64;
+                (x * 0.29).sin() * 2.0 + (x * 0.05).cos()
+            })
+            .collect()
+    }
+
+    fn dataset() -> Dataset {
+        Dataset::from_series(
+            (0..5)
+                .map(|i| TimeSeries::new(format!("s{i}"), toy(80, i * 13)))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn onex_backend(ds: &Dataset) -> OnexBackend {
+        let (engine, _) = Onex::build(ds.clone(), BaseConfig::new(0.8, 16, 16)).unwrap();
+        OnexBackend::new(Arc::new(engine))
+    }
+
+    #[test]
+    fn every_backend_finds_the_verbatim_window() {
+        let ds = dataset();
+        let query = ds.series(2).unwrap().subsequence(20, 16).unwrap().to_vec();
+        let backends: Vec<Box<dyn SimilaritySearch>> = vec![
+            Box::new(onex_backend(&ds)),
+            Box::new(UcrSuiteBackend::from_dataset(&ds)),
+            Box::new(FrmBackend::<4>::from_dataset(&ds, 8)),
+            Box::new(
+                EbsmBackend::from_dataset(&ds, onex_embedding::EbsmConfig::default()).unwrap(),
+            ),
+            Box::new(SpringBackend::from_dataset(&ds)),
+        ];
+        for b in &backends {
+            let out = b.best_match(&query).unwrap();
+            let best = out
+                .best()
+                .unwrap_or_else(|| panic!("{} found nothing", b.name()));
+            assert!(
+                best.distance < 1e-6,
+                "{}: verbatim window at distance {}",
+                b.name(),
+                best.distance
+            );
+            assert!(out.stats.work() > 0, "{} reports work", b.name());
+        }
+    }
+
+    #[test]
+    fn invalid_queries_are_typed_errors_for_every_backend() {
+        let ds = dataset();
+        let backends: Vec<Box<dyn SimilaritySearch>> = vec![
+            Box::new(onex_backend(&ds)),
+            Box::new(UcrSuiteBackend::from_dataset(&ds)),
+            Box::new(FrmBackend::<4>::from_dataset(&ds, 8)),
+            Box::new(
+                EbsmBackend::from_dataset(&ds, onex_embedding::EbsmConfig::default()).unwrap(),
+            ),
+            Box::new(SpringBackend::from_dataset(&ds)),
+        ];
+        for b in &backends {
+            assert!(
+                matches!(b.k_best(&[], 1), Err(OnexError::InvalidQuery(_))),
+                "{}: empty query",
+                b.name()
+            );
+            assert!(
+                matches!(b.k_best(&[1.0; 16], 0), Err(OnexError::InvalidQuery(_))),
+                "{}: k = 0",
+                b.name()
+            );
+        }
+        // FRM's extra length constraint is also a typed error, not a panic.
+        let frm = FrmBackend::<4>::from_dataset(&ds, 8);
+        assert!(matches!(
+            frm.k_best(&[1.0; 4], 1),
+            Err(OnexError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn ebsm_config_is_validated_not_asserted() {
+        let cfg = onex_embedding::EbsmConfig {
+            references: 0,
+            ..onex_embedding::EbsmConfig::default()
+        };
+        assert!(matches!(
+            EbsmBackend::from_series(vec![toy(40, 1)], cfg),
+            Err(OnexError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn spring_streaming_extension_reports_disjoint_matches() {
+        let ds = dataset();
+        let backend = SpringBackend::from_dataset(&ds);
+        let pattern = ds.series(1).unwrap().subsequence(10, 12).unwrap().to_vec();
+        let hits = backend.monitor(1, &pattern, 0.05).unwrap();
+        assert!(hits.iter().any(|h| h.start == 10 && h.distance < 1e-9));
+        for pair in hits.windows(2) {
+            assert!(pair[0].end < pair[1].start, "disjoint matches");
+        }
+        assert!(matches!(
+            backend.monitor(99, &pattern, 0.5),
+            Err(OnexError::UnknownSeries(_))
+        ));
+        assert!(matches!(
+            backend.monitor(0, &[], 0.5),
+            Err(OnexError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            backend.monitor(0, &pattern, -1.0),
+            Err(OnexError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn capabilities_reflect_the_semantic_ladder() {
+        let ds = dataset();
+        let onex = onex_backend(&ds);
+        assert_eq!(onex.capabilities().metric, Metric::RawDtw);
+        assert!(!onex.capabilities().exact, "centroid policy is approximate");
+        let ucr = UcrSuiteBackend::from_dataset(&ds);
+        assert_eq!(ucr.capabilities().metric, Metric::ZNormalizedDtw);
+        let frm = FrmBackend::<4>::from_dataset(&ds, 8);
+        assert_eq!(frm.capabilities().metric, Metric::RawEuclidean);
+        let spring = SpringBackend::from_dataset(&ds);
+        assert!(spring.capabilities().streaming);
+        assert!(spring.capabilities().one_match_per_series);
+    }
+}

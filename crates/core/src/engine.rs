@@ -1,5 +1,6 @@
 use parking_lot::Mutex;
 
+use onex_api::{validate_query, OnexError};
 use onex_grouping::{BaseBuilder, BaseConfig, BuildReport, OnexBase};
 use onex_tseries::Dataset;
 
@@ -30,7 +31,7 @@ use crate::{Match, QueryOptions, QueryStats, SeasonalPattern};
 ///
 /// // Query with a window cut from the collection: it finds itself.
 /// let query = engine.dataset().series(0).unwrap().subsequence(10, 16).unwrap().to_vec();
-/// let (best, _) = engine.best_match(&query, &QueryOptions::default());
+/// let (best, _) = engine.best_match(&query, &QueryOptions::default()).unwrap();
 /// assert!(best.unwrap().distance < 1e-9);
 /// ```
 #[derive(Debug)]
@@ -45,8 +46,8 @@ impl Onex {
     /// demo's "Data Loading into ONEX" step.
     ///
     /// # Errors
-    /// Propagates configuration validation failures.
-    pub fn build(dataset: Dataset, config: BaseConfig) -> Result<(Self, BuildReport), String> {
+    /// [`OnexError::InvalidConfig`] for an invalid configuration.
+    pub fn build(dataset: Dataset, config: BaseConfig) -> Result<(Self, BuildReport), OnexError> {
         let (base, report) = BaseBuilder::new(config)?.build(&dataset);
         Ok((Self::from_parts(dataset, base)?, report))
     }
@@ -56,7 +57,7 @@ impl Onex {
         dataset: Dataset,
         config: BaseConfig,
         threads: usize,
-    ) -> Result<(Self, BuildReport), String> {
+    ) -> Result<(Self, BuildReport), OnexError> {
         let (base, report) = BaseBuilder::new(config)?.build_parallel(&dataset, threads);
         Ok((Self::from_parts(dataset, base)?, report))
     }
@@ -64,15 +65,16 @@ impl Onex {
     /// Re-attach a persisted base to its dataset.
     ///
     /// # Errors
-    /// Fails when the base was built over a different number of series —
-    /// the cheap sanity check against pairing the wrong artefacts.
-    pub fn from_parts(dataset: Dataset, base: OnexBase) -> Result<Self, String> {
+    /// [`OnexError::DatasetMismatch`] when the base was built over a
+    /// different number of series — the cheap sanity check against
+    /// pairing the wrong artefacts.
+    pub fn from_parts(dataset: Dataset, base: OnexBase) -> Result<Self, OnexError> {
         if base.source_series() != dataset.len() {
-            return Err(format!(
+            return Err(OnexError::DatasetMismatch(format!(
                 "base was built over {} series but dataset has {}",
                 base.source_series(),
                 dataset.len()
-            ));
+            )));
         }
         Ok(Onex {
             dataset,
@@ -94,38 +96,59 @@ impl Onex {
     /// Best time-warped match for `query`, or `None` when no indexed
     /// subsequence passes the options' filters. Also returns the query's
     /// work counters.
-    pub fn best_match(&self, query: &[f64], opts: &QueryOptions) -> (Option<Match>, QueryStats) {
-        let (mut matches, stats) = self.k_best(query, 1, opts);
-        (matches.pop(), stats)
+    ///
+    /// # Errors
+    /// [`OnexError::InvalidQuery`] when `query` is empty or contains a
+    /// non-finite sample.
+    pub fn best_match(
+        &self,
+        query: &[f64],
+        opts: &QueryOptions,
+    ) -> Result<(Option<Match>, QueryStats), OnexError> {
+        let (mut matches, stats) = self.k_best(query, 1, opts)?;
+        Ok((matches.pop(), stats))
     }
 
     /// The `k` most similar indexed subsequences, best first.
     ///
-    /// # Panics
-    /// Panics when `k == 0` or `query` is empty.
-    pub fn k_best(&self, query: &[f64], k: usize, opts: &QueryOptions) -> (Vec<Match>, QueryStats) {
+    /// # Errors
+    /// [`OnexError::InvalidQuery`] when `k == 0`, `query` is empty, or
+    /// `query` contains a non-finite sample — the cases that used to
+    /// panic in earlier revisions of this API.
+    pub fn k_best(
+        &self,
+        query: &[f64],
+        k: usize,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Match>, QueryStats), OnexError> {
+        validate_query(query, k)?;
         let mut searcher = Searcher::new(&self.dataset, &self.base, query, opts);
         let matches = searcher.run(k);
         let stats = searcher.stats;
         *self.lifetime.lock() += stats;
-        (matches, stats)
+        Ok((matches, stats))
     }
 
     /// The `k` best *mutually non-overlapping* matches: greedy repeated
     /// best-match with each winner's window excluded from the next round.
     /// This is what an analyst wants from "show me other places this
     /// pattern occurs" — k distinct sites, not k shifted copies of one.
+    ///
+    /// # Errors
+    /// [`OnexError::InvalidQuery`] under the same conditions as
+    /// [`Onex::k_best`].
     pub fn k_best_nonoverlapping(
         &self,
         query: &[f64],
         k: usize,
         opts: &QueryOptions,
-    ) -> (Vec<Match>, QueryStats) {
+    ) -> Result<(Vec<Match>, QueryStats), OnexError> {
+        validate_query(query, k)?;
         let mut opts = opts.clone();
         let mut out = Vec::with_capacity(k);
         let mut total = QueryStats::default();
         for _ in 0..k {
-            let (m, stats) = self.best_match(query, &opts);
+            let (m, stats) = self.best_match(query, &opts)?;
             total += stats;
             match m {
                 Some(m) => {
@@ -135,7 +158,7 @@ impl Onex {
                 None => break,
             }
         }
-        (out, total)
+        Ok((out, total))
     }
 
     /// Direct comparison of two named series (the Fig 3 "contrasting
@@ -144,23 +167,24 @@ impl Onex {
     /// allow it.
     ///
     /// # Errors
-    /// Fails when either series is unknown or either is empty.
+    /// [`OnexError::UnknownSeries`] when either series is unknown,
+    /// [`OnexError::InvalidQuery`] when either is empty.
     pub fn compare(
         &self,
         series_a: &str,
         series_b: &str,
         band: onex_distance::Band,
-    ) -> Result<Comparison, String> {
+    ) -> Result<Comparison, OnexError> {
         let a = self
             .dataset
             .by_name(series_a)
-            .ok_or_else(|| format!("unknown series {series_a:?}"))?;
+            .ok_or_else(|| OnexError::UnknownSeries(series_a.into()))?;
         let b = self
             .dataset
             .by_name(series_b)
-            .ok_or_else(|| format!("unknown series {series_b:?}"))?;
+            .ok_or_else(|| OnexError::UnknownSeries(series_b.into()))?;
         if a.is_empty() || b.is_empty() {
-            return Err("cannot compare empty series".into());
+            return Err(OnexError::invalid_query("cannot compare empty series"));
         }
         let (dtw, path) = onex_distance::dtw_with_path(a.values(), b.values(), band);
         let euclidean = (a.len() == b.len()).then(|| onex_distance::ed(a.values(), b.values()));
@@ -175,16 +199,16 @@ impl Onex {
     /// Recurring patterns within one series (the Seasonal View).
     ///
     /// # Errors
-    /// Fails when `series` is not in the dataset.
+    /// [`OnexError::UnknownSeries`] when `series` is not in the dataset.
     pub fn seasonal(
         &self,
         series: &str,
         opts: &SeasonalOptions,
-    ) -> Result<Vec<SeasonalPattern>, String> {
+    ) -> Result<Vec<SeasonalPattern>, OnexError> {
         let id = self
             .dataset
             .id_of(series)
-            .ok_or_else(|| format!("unknown series {series:?}"))?;
+            .ok_or_else(|| OnexError::UnknownSeries(series.into()))?;
         Ok(seasonal_patterns(&self.dataset, &self.base, id, opts))
     }
 
@@ -213,8 +237,8 @@ impl Onex {
     pub fn append_series(
         &mut self,
         series: onex_tseries::TimeSeries,
-    ) -> Result<BuildReport, String> {
-        self.dataset.push(series).map_err(|e| e.to_string())?;
+    ) -> Result<BuildReport, OnexError> {
+        self.dataset.push(series)?;
         let builder =
             BaseBuilder::new(self.base.config().clone()).expect("existing config is valid");
         let base = std::mem::take(&mut self.base);
@@ -264,7 +288,7 @@ mod tests {
         let query = ma.subsequence(4, 8).unwrap().to_vec();
         let opts =
             QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
-        let (m, stats) = engine.best_match(&query, &opts);
+        let (m, stats) = engine.best_match(&query, &opts).unwrap();
         let m = m.expect("a match exists");
         assert_ne!(m.series_name, "MA-GrowthRate");
         assert!(m.distance.is_finite());
@@ -277,7 +301,7 @@ mod tests {
         let engine = growth_engine();
         let ma = engine.dataset().by_name("MA-GrowthRate").unwrap();
         let query = ma.subsequence(2, 8).unwrap().to_vec();
-        let (m, _) = engine.best_match(&query, &QueryOptions::default());
+        let (m, _) = engine.best_match(&query, &QueryOptions::default()).unwrap();
         let m = m.unwrap();
         assert!(m.distance < 1e-9, "own window is a perfect match");
         assert_eq!(m.subseq.start, 2);
@@ -294,7 +318,7 @@ mod tests {
             .subsequence(0, 8)
             .unwrap()
             .to_vec();
-        let (matches, _) = engine.k_best(&query, 5, &QueryOptions::default());
+        let (matches, _) = engine.k_best(&query, 5, &QueryOptions::default()).unwrap();
         assert_eq!(matches.len(), 5);
         for w in matches.windows(2) {
             assert!(w[0].normalized <= w[1].normalized);
@@ -315,7 +339,7 @@ mod tests {
             .unwrap()
             .to_vec();
         let opts = QueryOptions::default().lengths(LengthSelection::Nearest(3));
-        let (matches, _) = engine.k_best(&query, 8, &opts);
+        let (matches, _) = engine.k_best(&query, 8, &opts).unwrap();
         assert!(!matches.is_empty());
         let lens: std::collections::HashSet<u32> = matches.iter().map(|m| m.subseq.len).collect();
         assert!(lens.len() >= 2, "nearest-length search spans lengths");
@@ -325,12 +349,12 @@ mod tests {
     fn query_length_missing_from_base() {
         let engine = growth_engine();
         let query = vec![1.0; 50]; // no groups at length 50
-        let (m, stats) = engine.best_match(&query, &QueryOptions::default());
+        let (m, stats) = engine.best_match(&query, &QueryOptions::default()).unwrap();
         assert!(m.is_none());
         assert_eq!(stats.groups_examined, 0);
         // Nearest mode still answers.
         let opts = QueryOptions::default().lengths(LengthSelection::Nearest(1));
-        let (m2, _) = engine.best_match(&query, &opts);
+        let (m2, _) = engine.best_match(&query, &opts).unwrap();
         assert!(m2.is_some());
     }
 
@@ -345,8 +369,8 @@ mod tests {
             .unwrap()
             .to_vec();
         assert_eq!(engine.lifetime_stats(), QueryStats::default());
-        let (_, s1) = engine.best_match(&query, &QueryOptions::default());
-        let (_, s2) = engine.best_match(&query, &QueryOptions::default());
+        let (_, s1) = engine.best_match(&query, &QueryOptions::default()).unwrap();
+        let (_, s2) = engine.best_match(&query, &QueryOptions::default()).unwrap();
         let total = engine.lifetime_stats();
         assert_eq!(
             total.groups_examined,
@@ -364,7 +388,9 @@ mod tests {
             .subsequence(2, 8)
             .unwrap()
             .to_vec();
-        let (matches, _) = engine.k_best_nonoverlapping(&query, 6, &QueryOptions::default());
+        let (matches, _) = engine
+            .k_best_nonoverlapping(&query, 6, &QueryOptions::default())
+            .unwrap();
         assert!(!matches.is_empty());
         for i in 0..matches.len() {
             for j in i + 1..matches.len() {
@@ -421,7 +447,7 @@ mod tests {
         let query = &ma[4..12];
         let opts =
             QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
-        let (m, _) = engine.best_match(query, &opts);
+        let (m, _) = engine.best_match(query, &opts).unwrap();
         let m = m.unwrap();
         assert_eq!(m.series_name, "ZZ-GrowthRate");
         assert!(m.distance < 1e-9);
@@ -430,6 +456,31 @@ mod tests {
             .append_series(TimeSeries::new("ZZ-GrowthRate", vec![0.0; 16]))
             .is_err());
         assert_eq!(engine.dataset().len(), 51);
+    }
+
+    #[test]
+    fn malformed_queries_error_instead_of_panicking() {
+        use onex_api::OnexError;
+        let engine = growth_engine();
+        let opts = QueryOptions::default();
+        assert!(matches!(
+            engine.k_best(&[], 3, &opts),
+            Err(OnexError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            engine.k_best(&[1.0, 2.0], 0, &opts),
+            Err(OnexError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            engine.best_match(&[f64::NAN, 1.0], &opts),
+            Err(OnexError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            engine.k_best_nonoverlapping(&[], 2, &opts),
+            Err(OnexError::InvalidQuery(_))
+        ));
+        // Errors leave the lifetime counters untouched.
+        assert_eq!(engine.lifetime_stats(), QueryStats::default());
     }
 
     #[test]
@@ -448,7 +499,7 @@ mod tests {
         let query = ma.subsequence(2, 8).unwrap().to_vec();
         let ma_id = engine.dataset().id_of("MA-GrowthRate").unwrap();
         let opts = QueryOptions::default().excluding_window(SubseqRef::new(ma_id, 2, 8));
-        let (m, _) = engine.best_match(&query, &opts);
+        let (m, _) = engine.best_match(&query, &opts).unwrap();
         let m = m.unwrap();
         assert!(
             m.subseq.series != ma_id || m.subseq.start != 2,

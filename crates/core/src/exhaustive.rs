@@ -12,6 +12,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use onex_api::{validate_query, OnexError};
 use onex_distance::dtw::dtw_early_abandon_sq_with_cb;
 use onex_tseries::{Dataset, SubseqRef};
 
@@ -57,6 +58,10 @@ impl Ord for ScanEntry {
 /// `early_abandon = true` seeds each DTW with the current k-th best (the
 /// honest "smart brute force" baseline); `false` runs every DP to
 /// completion (the naive baseline the paper's challenge 1 describes).
+///
+/// # Errors
+/// [`OnexError::InvalidQuery`] when `k == 0` or the query is empty or
+/// non-finite; [`OnexError::InvalidConfig`] when `stride == 0`.
 pub fn scan_k(
     dataset: &Dataset,
     query: &[f64],
@@ -65,10 +70,11 @@ pub fn scan_k(
     opts: &QueryOptions,
     k: usize,
     early_abandon: bool,
-) -> Vec<ScanHit> {
-    assert!(k > 0, "k must be positive");
-    assert!(stride > 0, "stride must be positive");
-    assert!(!query.is_empty(), "query must be non-empty");
+) -> Result<Vec<ScanHit>, OnexError> {
+    validate_query(query, k)?;
+    if stride == 0 {
+        return Err(OnexError::invalid_config("stride must be positive"));
+    }
     let n = query.len();
     let mut heap: BinaryHeap<ScanEntry> = BinaryHeap::with_capacity(k + 1);
     for &len in lengths {
@@ -117,10 +123,13 @@ pub fn scan_k(
             }
         }
     }
-    heap.into_sorted_vec().into_iter().map(|e| e.0).collect()
+    Ok(heap.into_sorted_vec().into_iter().map(|e| e.0).collect())
 }
 
 /// The single best match (see [`scan_k`]).
+///
+/// # Errors
+/// Same conditions as [`scan_k`].
 pub fn scan_best(
     dataset: &Dataset,
     query: &[f64],
@@ -128,10 +137,12 @@ pub fn scan_best(
     stride: usize,
     opts: &QueryOptions,
     early_abandon: bool,
-) -> Option<ScanHit> {
-    scan_k(dataset, query, lengths, stride, opts, 1, early_abandon)
-        .into_iter()
-        .next()
+) -> Result<Option<ScanHit>, OnexError> {
+    Ok(
+        scan_k(dataset, query, lengths, stride, opts, 1, early_abandon)?
+            .into_iter()
+            .next(),
+    )
 }
 
 #[cfg(test)]
@@ -151,7 +162,9 @@ mod tests {
     fn finds_the_embedded_window() {
         let d = ds();
         let query = [1.0, 2.0, 1.0];
-        let hit = scan_best(&d, &query, &[3], 1, &QueryOptions::default(), true).unwrap();
+        let hit = scan_best(&d, &query, &[3], 1, &QueryOptions::default(), true)
+            .unwrap()
+            .unwrap();
         assert_eq!(hit.subseq, SubseqRef::new(0, 1, 3));
         assert!(hit.distance < 1e-9);
     }
@@ -160,8 +173,12 @@ mod tests {
     fn abandoning_and_plain_agree() {
         let d = ds();
         let query = [4.9, 5.2, 5.0];
-        let a = scan_best(&d, &query, &[3, 4], 1, &QueryOptions::default(), true).unwrap();
-        let b = scan_best(&d, &query, &[3, 4], 1, &QueryOptions::default(), false).unwrap();
+        let a = scan_best(&d, &query, &[3, 4], 1, &QueryOptions::default(), true)
+            .unwrap()
+            .unwrap();
+        let b = scan_best(&d, &query, &[3, 4], 1, &QueryOptions::default(), false)
+            .unwrap()
+            .unwrap();
         assert_eq!(a.subseq, b.subseq);
         assert!((a.distance - b.distance).abs() < 1e-12);
         assert_eq!(a.subseq.series, 1, "matches the flat series");
@@ -171,7 +188,7 @@ mod tests {
     fn k_results_are_sorted_and_distinct() {
         let d = ds();
         let query = [0.0, 1.0, 2.0];
-        let hits = scan_k(&d, &query, &[3], 1, &QueryOptions::default(), 4, true);
+        let hits = scan_k(&d, &query, &[3], 1, &QueryOptions::default(), 4, true).unwrap();
         assert_eq!(hits.len(), 4);
         for w in hits.windows(2) {
             assert!(w[0].normalized <= w[1].normalized);
@@ -185,10 +202,14 @@ mod tests {
         let d = ds();
         let query = [5.0, 5.0, 5.0];
         let opts = QueryOptions::default().excluding_series(Some(1));
-        let hit = scan_best(&d, &query, &[3], 1, &opts, true).unwrap();
+        let hit = scan_best(&d, &query, &[3], 1, &opts, true)
+            .unwrap()
+            .unwrap();
         assert_eq!(hit.subseq.series, 0, "series b excluded");
         let only = QueryOptions::default().within_series(1);
-        let hit2 = scan_best(&d, &query, &[3], 1, &only, true).unwrap();
+        let hit2 = scan_best(&d, &query, &[3], 1, &only, true)
+            .unwrap()
+            .unwrap();
         assert_eq!(hit2.subseq.series, 1);
     }
 
@@ -196,14 +217,40 @@ mod tests {
     fn stride_skips_offsets() {
         let d = ds();
         let query = [0.0, 1.0, 2.0];
-        let hits = scan_k(&d, &query, &[3], 2, &QueryOptions::default(), 10, false);
+        let hits = scan_k(&d, &query, &[3], 2, &QueryOptions::default(), 10, false).unwrap();
         assert!(hits.iter().all(|h| h.subseq.start % 2 == 0));
     }
 
     #[test]
     fn impossible_requests_return_empty() {
         let d = ds();
-        assert!(scan_best(&d, &[1.0, 2.0], &[100], 1, &QueryOptions::default(), true).is_none());
-        assert!(scan_best(&d, &[1.0], &[], 1, &QueryOptions::default(), true).is_none());
+        assert!(
+            scan_best(&d, &[1.0, 2.0], &[100], 1, &QueryOptions::default(), true)
+                .unwrap()
+                .is_none()
+        );
+        assert!(
+            scan_best(&d, &[1.0], &[], 1, &QueryOptions::default(), true)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn malformed_requests_error_instead_of_panicking() {
+        let d = ds();
+        let opts = QueryOptions::default();
+        assert!(matches!(
+            scan_k(&d, &[], &[3], 1, &opts, 1, true),
+            Err(OnexError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            scan_k(&d, &[1.0], &[3], 1, &opts, 0, true),
+            Err(OnexError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            scan_k(&d, &[1.0], &[3], 0, &opts, 1, true),
+            Err(OnexError::InvalidConfig(_))
+        ));
     }
 }

@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backends;
 mod engine;
 pub mod exhaustive;
 mod options;
@@ -40,6 +41,7 @@ mod stats;
 pub mod threshold;
 
 pub use engine::{Comparison, Onex};
+pub use onex_api::{OnexError, SimilaritySearch};
 pub use options::{LengthSelection, QueryOptions, ScanBreadth};
 pub use result::{Match, SeasonalPattern};
 pub use seasonal::SeasonalOptions;

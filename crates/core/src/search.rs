@@ -132,11 +132,12 @@ impl<'a> Searcher<'a> {
         }
     }
 
-    /// Run the search and return up to `k` matches, best first.
+    /// Run the search and return up to `k` matches, best first. The
+    /// caller ([`crate::Onex::k_best`]) has already validated `k` and the
+    /// query through `onex_api::validate_query`, so malformed input never
+    /// reaches this hot path.
     pub fn run(&mut self, k: usize) -> Vec<Match> {
-        assert!(k > 0, "k must be positive");
-        let n = self.query.len();
-        assert!(n > 0, "query must be non-empty");
+        debug_assert!(k > 0 && !self.query.is_empty(), "caller validates input");
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
 
         for len in self.candidate_lengths() {

@@ -1,6 +1,6 @@
 use std::ops::AddAssign;
 
-/// Work counters for one query (or, via [`crate::Onex::stats`], for an
+/// Work counters for one query (or, via [`crate::Onex::lifetime_stats`], for an
 /// engine lifetime). The speed experiments (E5, E9) report these alongside
 /// wall-clock numbers because they explain *why* ONEX is fast: most
 /// candidates never reach a DTW computation.

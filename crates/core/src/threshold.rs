@@ -17,6 +17,7 @@
 //!   hits a target base-compaction ratio — the systems-facing knob: "give
 //!   me a base about 20× smaller than the raw subsequence space".
 
+use onex_api::OnexError;
 use onex_distance::ed::ed_normalized;
 use onex_grouping::{BaseBuilder, BaseConfig};
 use onex_tseries::stats::quantiles;
@@ -161,11 +162,13 @@ pub fn calibrate_for_compaction(
     target: f64,
     tolerance: f64,
     max_probes: usize,
-) -> Result<CalibrationResult, String> {
+) -> Result<CalibrationResult, OnexError> {
     if !target.is_finite() || target < 1.0 {
-        return Err(format!("target compaction must be ≥ 1, got {target}"));
+        return Err(OnexError::invalid_config(format!(
+            "target compaction must be ≥ 1, got {target}"
+        )));
     }
-    let probe = |st: f64| -> Result<f64, String> {
+    let probe = |st: f64| -> Result<f64, OnexError> {
         let cfg = BaseConfig {
             st,
             ..template.clone()

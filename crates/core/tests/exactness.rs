@@ -51,9 +51,10 @@ fn seed_policy_matches_brute_force_on_walks() {
             .subsequence(start, len)
             .unwrap()
             .to_vec();
-        let (m, _) = e.best_match(&query, &opts);
+        let (m, _) = e.best_match(&query, &opts).unwrap();
         let m = m.expect("match exists");
         let truth = exhaustive::scan_best(&ds, &query, &[len], 1, &opts, true)
+            .unwrap()
             .expect("scan finds something");
         assert!(
             (m.distance - truth.distance).abs() < 1e-9,
@@ -81,9 +82,11 @@ fn seed_policy_matches_brute_force_across_lengths() {
     let lengths = all_lengths(&e);
     let opts = QueryOptions::default().lengths(LengthSelection::Range(6, 12));
     let query = ds.series(1).unwrap().subsequence(5, 9).unwrap().to_vec();
-    let (m, _) = e.best_match(&query, &opts);
+    let (m, _) = e.best_match(&query, &opts).unwrap();
     let m = m.expect("match exists");
-    let truth = exhaustive::scan_best(&ds, &query, &lengths, 1, &opts, true).unwrap();
+    let truth = exhaustive::scan_best(&ds, &query, &lengths, 1, &opts, true)
+        .unwrap()
+        .unwrap();
     assert!(
         (m.normalized - truth.normalized).abs() < 1e-9,
         "engine {} vs truth {}",
@@ -103,8 +106,8 @@ fn seed_policy_k_best_matches_brute_force() {
     let opts = QueryOptions::default();
     let query = ds.series(3).unwrap().subsequence(12, 10).unwrap().to_vec();
     let k = 7;
-    let (matches, _) = e.k_best(&query, k, &opts);
-    let truth = exhaustive::scan_k(&ds, &query, &[10], 1, &opts, k, true);
+    let (matches, _) = e.k_best(&query, k, &opts).unwrap();
+    let truth = exhaustive::scan_k(&ds, &query, &[10], 1, &opts, k, true).unwrap();
     assert_eq!(matches.len(), truth.len());
     for (m, t) in matches.iter().zip(&truth) {
         assert!(
@@ -127,8 +130,8 @@ fn pruning_toggles_do_not_change_results_under_seed() {
     let query = ds.series(0).unwrap().subsequence(7, 10).unwrap().to_vec();
     let with = QueryOptions::default();
     let without = QueryOptions::default().without_pruning();
-    let (m1, s1) = e.best_match(&query, &with);
-    let (m2, s2) = e.best_match(&query, &without);
+    let (m1, s1) = e.best_match(&query, &with).unwrap();
+    let (m2, s2) = e.best_match(&query, &without).unwrap();
     let (m1, m2) = (m1.unwrap(), m2.unwrap());
     assert!((m1.distance - m2.distance).abs() < 1e-9);
     assert!(
@@ -150,8 +153,10 @@ fn banded_queries_are_also_exact_under_seed() {
     let query = ds.series(2).unwrap().subsequence(4, 10).unwrap().to_vec();
     for band in [Band::SakoeChiba(1), Band::SakoeChiba(3)] {
         let opts = QueryOptions::with_band(band);
-        let (m, _) = e.best_match(&query, &opts);
-        let truth = exhaustive::scan_best(&ds, &query, &[10], 1, &opts, true).unwrap();
+        let (m, _) = e.best_match(&query, &opts).unwrap();
+        let truth = exhaustive::scan_best(&ds, &query, &[10], 1, &opts, true)
+            .unwrap()
+            .unwrap();
         assert!(
             (m.unwrap().distance - truth.distance).abs() < 1e-9,
             "band {band:?}"
@@ -176,8 +181,10 @@ fn centroid_policy_stays_close_to_truth() {
             .subsequence(start, len)
             .unwrap()
             .to_vec();
-        let (m, _) = e.best_match(&query, &opts);
-        let truth = exhaustive::scan_best(&ds, &query, &[len], 1, &opts, true).unwrap();
+        let (m, _) = e.best_match(&query, &opts).unwrap();
+        let truth = exhaustive::scan_best(&ds, &query, &[len], 1, &opts, true)
+            .unwrap()
+            .unwrap();
         let found = m.unwrap().distance;
         if truth.distance > 1e-12 {
             worst_ratio = worst_ratio.max(found / truth.distance);
@@ -207,7 +214,7 @@ fn regression_suffix_radius_break() {
     });
     let e = engine(&ds, 1.7977270279648634, 6, 12, RepresentativePolicy::Seed);
     let query = ds.series(0).unwrap().subsequence(2, 7).unwrap().to_vec();
-    let (m, _) = e.best_match(&query, &QueryOptions::default());
+    let (m, _) = e.best_match(&query, &QueryOptions::default()).unwrap();
     assert!(
         m.unwrap().distance < 1e-9,
         "exact self-window must be found"
@@ -234,8 +241,8 @@ fn top_groups_mode_is_a_good_approximation() {
             .to_vec();
         let exact_opts = QueryOptions::default();
         let approx_opts = QueryOptions::default().top_groups(1);
-        let (exact, se) = e.best_match(&query, &exact_opts);
-        let (approx, sa) = e.best_match(&query, &approx_opts);
+        let (exact, se) = e.best_match(&query, &exact_opts).unwrap();
+        let (approx, sa) = e.best_match(&query, &approx_opts).unwrap();
         let (exact, approx) = (exact.unwrap(), approx.unwrap());
         assert!(
             approx.distance + 1e-9 >= exact.distance,
@@ -268,11 +275,13 @@ fn wider_top_groups_monotonically_improve() {
     for (i, v) in query.iter_mut().enumerate() {
         *v += 0.8 * ((i as f64) * 1.3).sin();
     }
-    let (exact, _) = e.best_match(&query, &QueryOptions::default());
+    let (exact, _) = e.best_match(&query, &QueryOptions::default()).unwrap();
     let exact = exact.unwrap().distance;
     let mut last = f64::INFINITY;
     for g in [1usize, 2, 4, 64] {
-        let (m, _) = e.best_match(&query, &QueryOptions::default().top_groups(g));
+        let (m, _) = e
+            .best_match(&query, &QueryOptions::default().top_groups(g))
+            .unwrap();
         let d = m.unwrap().distance;
         assert!(d <= last + 1e-9, "more groups cannot hurt: g={g}");
         assert!(d + 1e-9 >= exact, "never better than exact");
@@ -303,8 +312,8 @@ proptest! {
         let e = engine(&ds, st, 6, 12, RepresentativePolicy::Seed);
         let opts = QueryOptions::default();
         let query = ds.series(0).unwrap().subsequence(2, qlen).unwrap().to_vec();
-        let (m, _) = e.best_match(&query, &opts);
-        let truth = exhaustive::scan_best(&ds, &query, &[qlen], 1, &opts, true);
+        let (m, _) = e.best_match(&query, &opts).unwrap();
+        let truth = exhaustive::scan_best(&ds, &query, &[qlen], 1, &opts, true).unwrap();
         match (m, truth) {
             (Some(m), Some(t)) => prop_assert!(
                 (m.distance - t.distance).abs() < 1e-9,

@@ -1,6 +1,6 @@
 //! Warping envelopes (Lemire's streaming min/max).
 //!
-//! The paper's query processor "index[es] time series using bounding
+//! The paper's query processor "index\[es\] time series using bounding
 //! envelopes" (§3.3). An envelope of radius `r` around a sequence `y`
 //! brackets every value `y` can be warped onto within a Sakoe–Chiba band
 //! of radius `r`; LB_Keogh then lower-bounds DTW by how far a query

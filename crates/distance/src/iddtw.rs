@@ -1,6 +1,6 @@
 //! Iterative Deepening DTW (Chu, Keogh, Hart & Pazzani, SDM 2002).
 //!
-//! Reference [3] of the ONEX demo paper. IDDTW accelerates
+//! Reference \[3\] of the ONEX demo paper. IDDTW accelerates
 //! nearest-neighbour search under DTW by evaluating candidates
 //! coarse-to-fine over PAA resolutions: at each level the coarse DTW
 //! estimate plus a **learned error distribution** decides whether the

@@ -5,9 +5,9 @@
 //! Dynamic Time Warping distance, justified by a triangle-inequality bridge
 //! between the two. This crate provides both distances and the bridge:
 //!
-//! * [`ed`] — Euclidean distance: plain, squared, early-abandoning, and
+//! * [`mod@ed`] — Euclidean distance: plain, squared, early-abandoning, and
 //!   length-normalised variants.
-//! * [`dtw`] — DTW with optional Sakoe–Chiba band, early abandonment with
+//! * [`mod@dtw`] — DTW with optional Sakoe–Chiba band, early abandonment with
 //!   cumulative lower bounds (the UCR Suite trick), and warping-path
 //!   recovery for the visual analytics layer.
 //! * [`envelope`] — Lemire streaming min/max envelopes in O(n).
@@ -17,9 +17,9 @@
 //!   lengths, and the group bound
 //!   `|DTW(q,s) − DTW(q,r)| ≤ √W · ED(r,s)` that licenses exploring group
 //!   representatives instead of raw data.
-//! * [`paa`] — Piecewise Aggregate Approximation and coarse-resolution
+//! * [`mod@paa`] — Piecewise Aggregate Approximation and coarse-resolution
 //!   DTW estimates.
-//! * [`iddtw`] — Iterative Deepening DTW (paper reference [3]):
+//! * [`iddtw`] — Iterative Deepening DTW (paper reference \[3\]):
 //!   coarse-to-fine nearest-neighbour search with a trained per-level
 //!   error model.
 //!

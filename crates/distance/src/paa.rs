@@ -35,7 +35,7 @@ pub fn paa(xs: &[f64], segments: usize) -> Vec<f64> {
 
 /// Coarse DTW estimate at a PAA resolution: DTW over the PAA sequences
 /// with each squared step cost weighted by the mean segment length, so
-/// the result is on the same scale as [`crate::dtw`] on the raw series.
+/// the result is on the same scale as [`crate::dtw()`] on the raw series.
 ///
 /// This is an **estimator**, not a bound: averaging can make two series
 /// look closer or farther than they are (unlike the envelope-based

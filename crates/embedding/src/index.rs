@@ -186,15 +186,23 @@ impl EbsmIndex {
     /// Approximate best match: rank, refine top-`candidates`, return the
     /// best refined hit. `None` if the index is empty or `query` is.
     pub fn best_match(&self, query: &[f64]) -> Option<(EbsmHit, EbsmStats)> {
-        if query.is_empty() || self.series.is_empty() {
-            return None;
+        let (hits, stats) = self.k_best(query, 1);
+        hits.into_iter().next().map(|h| (h, stats))
+    }
+
+    /// The `k` best refined hits, best first (fewer when refinement
+    /// yields fewer distinct subsequences). Approximate like
+    /// [`EbsmIndex::best_match`]: only the top-ranked candidate end
+    /// positions are refined, so the answer quality is governed by the
+    /// same [`EbsmConfig::candidates`] dial.
+    pub fn k_best(&self, query: &[f64], k: usize) -> (Vec<EbsmHit>, EbsmStats) {
+        let mut stats = EbsmStats::default();
+        if query.is_empty() || self.series.is_empty() || k == 0 {
+            return (Vec::new(), stats);
         }
-        let mut stats = EbsmStats {
-            positions_total: self.positions_total(),
-            ..EbsmStats::default()
-        };
+        stats.positions_total = self.positions_total();
         let candidates = self.rank_candidates(query, self.cfg.candidates);
-        let mut best: Option<EbsmHit> = None;
+        let mut hits: Vec<EbsmHit> = Vec::new();
         for (sid, end) in candidates {
             let s = &self.series[sid as usize];
             let span = self.cfg.refine_factor * query.len();
@@ -206,18 +214,29 @@ impl EbsmIndex {
             stats.refined += 1;
             stats.refine_cells += window.len() * query.len();
             if let Some(m) = spring_best_match(window, query) {
-                let hit = EbsmHit {
+                hits.push(EbsmHit {
                     series: sid,
                     start: lo + m.start,
                     end: lo + m.end,
                     dist: m.dist,
-                };
-                if best.is_none_or(|b| hit.dist < b.dist) {
-                    best = Some(hit);
-                }
+                });
             }
         }
-        best.map(|b| (b, stats))
+        // Adjacent candidate ends often refine to the same subsequence;
+        // report each distinct window once, at its best distance.
+        hits.sort_by(|a, b| {
+            (a.series, a.start, a.end)
+                .cmp(&(b.series, b.start, b.end))
+                .then(a.dist.total_cmp(&b.dist))
+        });
+        hits.dedup_by_key(|h| (h.series, h.start, h.end));
+        hits.sort_by(|a, b| {
+            a.dist
+                .total_cmp(&b.dist)
+                .then_with(|| (a.series, a.start).cmp(&(b.series, b.start)))
+        });
+        hits.truncate(k);
+        (hits, stats)
     }
 }
 
@@ -368,6 +387,24 @@ mod tests {
             assert!(stats.refined <= n);
             prev = hit.dist;
         }
+    }
+
+    #[test]
+    fn k_best_is_sorted_distinct_and_consistent_with_best() {
+        let db = small_db();
+        let idx = EbsmIndex::build(db, EbsmConfig::default());
+        let query = wave(16, 0.22, 0.7);
+        let (hits, stats) = idx.k_best(&query, 4);
+        assert!(!hits.is_empty() && hits.len() <= 4);
+        for w in hits.windows(2) {
+            assert!(w[0].dist <= w[1].dist + 1e-12);
+        }
+        let set: std::collections::HashSet<(u32, usize, usize)> =
+            hits.iter().map(|h| (h.series, h.start, h.end)).collect();
+        assert_eq!(set.len(), hits.len(), "distinct subsequences");
+        let (best, _) = idx.best_match(&query).unwrap();
+        assert!((best.dist - hits[0].dist).abs() < 1e-12);
+        assert_eq!(stats.refined, idx.config().candidates);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! A clean-room Rust implementation of the method of Athitsos, Papapetrou,
 //! Potamias, Kollios and Gunopulos, *Approximate embedding-based
-//! subsequence matching of time series* (SIGMOD 2008) — reference [1] of
+//! subsequence matching of time series* (SIGMOD 2008) — reference \[1\] of
 //! the ONEX demo paper, cited as the preprocessing-based school whose
 //! "requirement for setting many different parameters limits their
 //! efficiency".

@@ -2,7 +2,7 @@
 //!
 //! A clean-room Rust implementation of Faloutsos, Ranganathan and
 //! Manolopoulos, *Fast subsequence matching in time-series databases*
-//! (SIGMOD 1994) — reference [4] of the ONEX demo paper and the classic
+//! (SIGMOD 1994) — reference \[4\] of the ONEX demo paper and the classic
 //! representative of the "fast-to-compute distances like the Euclidean
 //! Distance" school the paper contrasts ONEX with.
 //!

@@ -11,6 +11,8 @@
 //! needed by any caller in this workspace; the ST-index rebuilds instead,
 //! mirroring how FRM treats its index as a derived structure.
 
+use onex_api::OnexError;
+
 /// Maximum entries per node before a split (Guttman's M).
 const MAX_ENTRIES: usize = 8;
 /// Minimum fill per node after a split (Guttman's m ≤ M/2).
@@ -282,18 +284,19 @@ impl<const D: usize> RTree<D> {
     /// Structural invariants, for tests: uniform leaf depth, child MBRs
     /// contained in and exactly covered by parent rectangles, node sizes
     /// within bounds (root exempt from the minimum).
-    pub fn check_invariants(&self) -> Result<(), String> {
+    pub fn check_invariants(&self) -> Result<(), OnexError> {
         fn walk<const D: usize>(
             node: &Node<D>,
             depth: usize,
             is_root: bool,
             leaf_depth: &mut Option<usize>,
-        ) -> Result<(), String> {
+        ) -> Result<(), OnexError> {
+            let bad = |msg: String| Err(OnexError::InvalidData(msg));
             if !is_root && node.len() < MIN_ENTRIES {
-                return Err(format!("underfull node: {} entries", node.len()));
+                return bad(format!("underfull node: {} entries", node.len()));
             }
             if node.len() > MAX_ENTRIES {
-                return Err(format!("overfull node: {} entries", node.len()));
+                return bad(format!("overfull node: {} entries", node.len()));
             }
             match node {
                 Node::Leaf(_) => match leaf_depth {
@@ -302,18 +305,18 @@ impl<const D: usize> RTree<D> {
                         Ok(())
                     }
                     Some(d) if *d == depth => Ok(()),
-                    Some(d) => Err(format!("leaf depth {depth} != {d}")),
+                    Some(d) => bad(format!("leaf depth {depth} != {d}")),
                 },
                 Node::Inner(children) => {
                     if children.is_empty() {
-                        return Err("empty inner node".into());
+                        return bad("empty inner node".into());
                     }
                     for (r, child) in children {
-                        let mbr = child
-                            .mbr()
-                            .ok_or_else(|| "child with no entries".to_string())?;
+                        let mbr = child.mbr().ok_or_else(|| {
+                            OnexError::InvalidData("child with no entries".into())
+                        })?;
                         if !r.contains_rect(&mbr) {
-                            return Err(format!("parent rect {r:?} does not contain {mbr:?}"));
+                            return bad(format!("parent rect {r:?} does not contain {mbr:?}"));
                         }
                         walk(child, depth + 1, false, leaf_depth)?;
                     }

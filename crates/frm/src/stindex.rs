@@ -1,6 +1,8 @@
 //! The ST-index: trails of window features, sub-trail MBRs, and
 //! filter-and-refine subsequence search.
 
+use onex_api::BestK;
+
 use crate::dft::{dft_features, feature_dim, SlidingDft};
 use crate::rtree::{RTree, Rect};
 use std::collections::HashSet;
@@ -402,6 +404,66 @@ impl<const D: usize> StIndex<D> {
         stats.verified = usize::from(best.is_some());
         best.map(|b| (b, stats))
     }
+
+    /// The `k` nearest subsequences of length `query.len()` under raw
+    /// Euclidean distance, best first (fewer when the collection holds
+    /// fewer eligible windows). Exact by the same incremental
+    /// nearest-neighbour argument as [`StIndex::best_match`], with the
+    /// running k-th best as the stopping bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query is shorter than the index window or `k == 0`.
+    pub fn k_best(&self, query: &[f64], k: usize) -> (Vec<FrmHit>, FrmStats) {
+        let w = self.cfg.window;
+        assert!(k > 0, "k must be positive");
+        assert!(
+            query.len() >= w,
+            "query length {} below index window {}",
+            query.len(),
+            w
+        );
+        let mut stats = FrmStats {
+            windows_total: self.windows_total,
+            ..FrmStats::default()
+        };
+        let point = to_point::<D>(&dft_features(&query[..w], Self::FC));
+        // Shared bounded best-k accumulator: its k-th best squared
+        // distance is both the stopping and the verification bound.
+        let mut acc: BestK<(u32, usize)> = BestK::new(k);
+        for (mindist_sq, id) in self.rtree.nearest_iter(point) {
+            if mindist_sq > acc.bound() {
+                break; // every remaining sub-trail is provably worse
+            }
+            stats.subtrails_hit += 1;
+            let st = self.subtrails[id as usize];
+            let series = &self.series[st.series as usize];
+            for wpos in st.first..=st.last {
+                let start = wpos as usize;
+                if start + query.len() > series.len() {
+                    continue;
+                }
+                stats.candidates += 1;
+                let d_sq = onex_distance::ed_early_abandon_sq(
+                    query,
+                    &series[start..start + query.len()],
+                    acc.bound(),
+                );
+                acc.offer(d_sq, (st.series, start));
+            }
+        }
+        let hits: Vec<FrmHit> = acc
+            .into_sorted()
+            .into_iter()
+            .map(|(d_sq, (series, start))| FrmHit {
+                series,
+                start,
+                dist: d_sq.sqrt(),
+            })
+            .collect();
+        stats.verified = hits.len();
+        (hits, stats)
+    }
 }
 
 /// Marginal cost of growing `mbr` to `grown`, in Guttman/FRM units: the
@@ -539,6 +601,44 @@ mod tests {
         }
         assert_eq!((best.series, best.start), (want.0, want.1));
         assert!((best.dist - want.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_best_matches_exhaustive_ranking() {
+        let series = vec![wavy(70, 0.0), wavy(70, 1.1), wavy(55, 2.2)];
+        let idx = StIndex::<4>::build(
+            series.clone(),
+            StConfig {
+                window: 8,
+                subtrail_max: 8,
+                cost_scale: 1.0,
+            },
+        );
+        let query = wavy(8, 0.4);
+        let k = 6;
+        let (hits, stats) = idx.k_best(&query, k);
+        assert_eq!(hits.len(), k);
+        assert_eq!(stats.verified, k);
+        for w in hits.windows(2) {
+            assert!(w[0].dist <= w[1].dist + 1e-12);
+        }
+        // Brute-force reference.
+        let mut all: Vec<(f64, u32, usize)> = Vec::new();
+        for (sid, s) in series.iter().enumerate() {
+            for start in 0..=s.len() - query.len() {
+                let d = onex_distance::ed(&query, &s[start..start + query.len()]);
+                all.push((d, sid as u32, start));
+            }
+        }
+        all.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (hit, want) in hits.iter().zip(&all) {
+            assert!((hit.dist - want.0).abs() < 1e-9);
+        }
+        // k = 1 agrees with best_match; larger k never does less work.
+        let (best, s1) = idx.best_match(&query).unwrap();
+        assert!((hits[0].dist - best.dist).abs() < 1e-9);
+        let (_, sk) = idx.k_best(&query, k);
+        assert!(sk.candidates >= s1.candidates);
     }
 
     #[test]

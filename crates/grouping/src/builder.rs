@@ -1,6 +1,7 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
+use onex_api::OnexError;
 use onex_distance::ed::ed_early_abandon_sq;
 use onex_tseries::Dataset;
 
@@ -61,8 +62,8 @@ impl BaseBuilder {
     /// Create a builder after validating the configuration.
     ///
     /// # Errors
-    /// Returns the validation message for an invalid configuration.
-    pub fn new(config: BaseConfig) -> Result<Self, String> {
+    /// [`OnexError::InvalidConfig`] for an invalid configuration.
+    pub fn new(config: BaseConfig) -> Result<Self, OnexError> {
         config.validate()?;
         Ok(BaseBuilder { config })
     }
@@ -135,24 +136,27 @@ impl BaseBuilder {
     /// exactly as a demo session's base depends on its loading order.
     ///
     /// # Errors
-    /// Fails when the base was built under a different configuration or
-    /// the dataset has fewer series than the base has seen.
+    /// [`OnexError::DatasetMismatch`] when the base was built under a
+    /// different configuration or the dataset has fewer series than the
+    /// base has seen.
     pub fn extend(
         &self,
         base: OnexBase,
         dataset: &Dataset,
-    ) -> Result<(OnexBase, BuildReport), String> {
+    ) -> Result<(OnexBase, BuildReport), OnexError> {
         if base.config() != &self.config {
-            return Err("base was built under a different configuration".into());
+            return Err(OnexError::DatasetMismatch(
+                "base was built under a different configuration".into(),
+            ));
         }
         let start = Instant::now();
         let (config, mut per_length, seen) = base.into_parts();
         if dataset.len() < seen {
-            return Err(format!(
+            return Err(OnexError::DatasetMismatch(format!(
                 "dataset has {} series but the base has already indexed {}",
                 dataset.len(),
                 seen
-            ));
+            )));
         }
         let centroid = self.config.policy == RepresentativePolicy::Centroid;
         for sid in seen..dataset.len() {

@@ -1,3 +1,5 @@
+use onex_api::OnexError;
+
 /// How a group's representative evolves as members join.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RepresentativePolicy {
@@ -73,26 +75,29 @@ impl BaseConfig {
         2.0 * self.admission_radius(len)
     }
 
-    /// Validate the configuration, returning a description of the first
-    /// problem found.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Validate the configuration, returning
+    /// [`OnexError::InvalidConfig`] describing the first problem found.
+    pub fn validate(&self) -> Result<(), OnexError> {
         if !self.st.is_finite() || self.st <= 0.0 {
-            return Err(format!(
+            return Err(OnexError::invalid_config(format!(
                 "similarity threshold must be positive, got {}",
                 self.st
-            ));
+            )));
         }
         if self.min_len < 2 {
-            return Err(format!("min_len must be at least 2, got {}", self.min_len));
+            return Err(OnexError::invalid_config(format!(
+                "min_len must be at least 2, got {}",
+                self.min_len
+            )));
         }
         if self.max_len < self.min_len {
-            return Err(format!(
+            return Err(OnexError::invalid_config(format!(
                 "max_len ({}) must be at least min_len ({})",
                 self.max_len, self.min_len
-            ));
+            )));
         }
         if self.stride == 0 {
-            return Err("stride must be positive".into());
+            return Err(OnexError::invalid_config("stride must be positive"));
         }
         Ok(())
     }

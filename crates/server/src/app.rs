@@ -1,6 +1,8 @@
 use std::net::TcpListener;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use onex_api::{OnexError, SimilaritySearch, StreamingSearch};
+use onex_core::backends::{EbsmBackend, FrmBackend, OnexBackend, SpringBackend, UcrSuiteBackend};
 use onex_core::{LengthSelection, Onex, QueryOptions, SeasonalOptions};
 use onex_viz::{
     ConnectedScatter, MultiLineChart, OverviewPane, QueryPreview, RadialChart, SeasonalView,
@@ -9,16 +11,74 @@ use onex_viz::{
 use crate::http::{Request, Response};
 use crate::json::Json;
 
-/// The ONEX demo application: routes requests to the engine.
+/// The baseline engines the `?backend=` parameter selects between.
+/// Each index is built lazily on first use (and then cached for the
+/// process lifetime), so deployments that never ask for a baseline pay
+/// nothing beyond the ONEX base itself.
+#[derive(Default)]
+struct Baselines {
+    ucr: OnceLock<UcrSuiteBackend>,
+    frm: OnceLock<FrmBackend<4>>,
+    ebsm: OnceLock<EbsmBackend>,
+    spring: OnceLock<SpringBackend>,
+}
+
+/// The ONEX demo application: routes requests to the engine and, through
+/// the [`SimilaritySearch`] trait, to the baseline engines the paper
+/// compares against.
 #[derive(Clone)]
 pub struct App {
     engine: Arc<Onex>,
+    baselines: Arc<Baselines>,
 }
 
 impl App {
-    /// Wrap an engine.
+    /// Wrap an engine. Baseline indexes are built on first use.
     pub fn new(engine: Arc<Onex>) -> App {
-        App { engine }
+        App {
+            engine,
+            baselines: Arc::new(Baselines::default()),
+        }
+    }
+
+    fn ucr(&self) -> &UcrSuiteBackend {
+        self.baselines
+            .ucr
+            .get_or_init(|| UcrSuiteBackend::from_dataset(self.engine.dataset()))
+    }
+
+    fn frm(&self) -> &FrmBackend<4> {
+        self.baselines.frm.get_or_init(|| {
+            // FRM needs window ≥ 2 × retained coefficients (D = 4 → 4).
+            let window = self.engine.base().config().min_len.max(4);
+            FrmBackend::from_dataset(self.engine.dataset(), window)
+        })
+    }
+
+    fn ebsm(&self) -> &EbsmBackend {
+        self.baselines.ebsm.get_or_init(|| {
+            EbsmBackend::from_dataset(
+                self.engine.dataset(),
+                onex_embedding::EbsmConfig {
+                    ref_len: self.engine.base().config().min_len.max(4),
+                    ..onex_embedding::EbsmConfig::default()
+                },
+            )
+            .expect("server EBSM config is valid")
+        })
+    }
+
+    fn spring(&self) -> &SpringBackend {
+        self.baselines
+            .spring
+            .get_or_init(|| SpringBackend::from_dataset(self.engine.dataset()))
+    }
+
+    /// The onex backend exactly as `/api/match` serves it, so capability
+    /// introspection and query answers never disagree.
+    fn onex_match_backend(&self) -> OnexBackend {
+        OnexBackend::new(self.engine.clone())
+            .with_options(QueryOptions::default().lengths(LengthSelection::Nearest(3)))
     }
 
     /// Dispatch one request — pure (no I/O), hence directly testable.
@@ -26,10 +86,11 @@ impl App {
         if req.method != "GET" {
             return Response::error(405, "only GET is served");
         }
-        match req.path.as_str() {
-            "/" => self.index(),
-            "/api/summary" => self.summary(),
-            "/api/series" => self.series_list(),
+        let result = match req.path.as_str() {
+            "/" => Ok(self.index()),
+            "/api/summary" => Ok(self.summary()),
+            "/api/series" => Ok(self.series_list()),
+            "/api/backends" => Ok(self.backends_list()),
             "/api/match" => self.match_api(req),
             "/api/seasonal" => self.seasonal_api(req),
             "/api/threshold" => self.threshold_api(req),
@@ -40,8 +101,9 @@ impl App {
             "/view/radial.svg" => self.pair_svg(req, PairView::Radial),
             "/view/scatter.svg" => self.pair_svg(req, PairView::Scatter),
             "/view/seasonal.svg" => self.seasonal_svg(req),
-            _ => Response::error(404, "no such route; see / for the index"),
-        }
+            _ => Err(Response::error(404, "no such route; see / for the index")),
+        };
+        result.unwrap_or_else(|r| r)
     }
 
     /// Serve forever on an already-bound listener (one thread per
@@ -69,6 +131,35 @@ impl App {
 
     // ---- helpers -------------------------------------------------------
 
+    /// Map a typed engine error onto the HTTP status space: the whole
+    /// point of [`OnexError`] over stringly errors — the server never
+    /// guesses a status from prose.
+    fn onex_error(e: &OnexError) -> Response {
+        let status = match e {
+            OnexError::InvalidQuery(_)
+            | OnexError::InvalidConfig(_)
+            | OnexError::Unsupported(_) => 400,
+            OnexError::UnknownSeries(_) => 404,
+            OnexError::DatasetMismatch(_) => 409,
+            OnexError::InvalidData(_) => 422,
+            OnexError::Io(_) => 500,
+            _ => 500,
+        };
+        Response::error(status, &e.to_string())
+    }
+
+    /// A numeric query parameter with a default; malformed values are a
+    /// 400 carrying the parameter name and offending text.
+    fn num_param<T: std::str::FromStr>(
+        req: &Request,
+        name: &str,
+        default: T,
+    ) -> Result<T, Response> {
+        req.param_as(name)
+            .map(|v| v.unwrap_or(default))
+            .map_err(|e| Response::error(400, &e.to_string()))
+    }
+
     fn query_window(&self, req: &Request) -> Result<(String, usize, usize, Vec<f64>), Response> {
         let series = req
             .param("series")
@@ -79,27 +170,40 @@ impl App {
             .dataset()
             .by_name(&series)
             .ok_or_else(|| Response::error(404, "unknown series"))?;
-        let start: usize = req.param_as("start").unwrap_or(0);
-        let len: usize = req.param_as("len").unwrap_or_else(|| s.len().min(8));
+        let start: usize = Self::num_param(req, "start", 0)?;
+        let len: usize = Self::num_param(req, "len", s.len().min(8))?;
         let window = s
             .subsequence(start, len)
             .ok_or_else(|| Response::error(400, "window out of bounds"))?;
         Ok((series, start, len, window.to_vec()))
     }
 
+    /// The engine-native best-k used by the SVG views (they need the
+    /// warping path, which the backend-neutral trait does not carry).
     fn best_matches(
         &self,
         req: &Request,
         query: &[f64],
         series: &str,
         k: usize,
-    ) -> Vec<onex_core::Match> {
+    ) -> Result<Vec<onex_core::Match>, Response> {
         let mut opts = QueryOptions::default().lengths(LengthSelection::Nearest(3));
         if req.param("include_self") != Some("true") {
             opts = opts.excluding_series(self.engine.dataset().id_of(series));
         }
-        let (matches, _) = self.engine.k_best(query, k.max(1), &opts);
-        matches
+        let (matches, _) = self
+            .engine
+            .k_best(query, k.max(1), &opts)
+            .map_err(|e| Self::onex_error(&e))?;
+        Ok(matches)
+    }
+
+    fn series_name(&self, id: u32) -> String {
+        self.engine
+            .dataset()
+            .series(id)
+            .map(|s| s.name().to_owned())
+            .unwrap_or_else(|| format!("#{id}"))
     }
 
     // ---- routes --------------------------------------------------------
@@ -117,7 +221,9 @@ impl App {
              <p>{} loaded. Try:</p><ul>\
              <li><a href=\"/api/summary\">/api/summary</a></li>\
              <li><a href=\"/api/series\">/api/series</a></li>\
+             <li><a href=\"/api/backends\">/api/backends</a></li>\
              <li><a href=\"/api/match?series={e}&amp;start=0&amp;len=8\">/api/match?series={e}</a></li>\
+             <li><a href=\"/api/match?series={e}&amp;start=0&amp;len=8&amp;backend=ucrsuite\">/api/match?backend=ucrsuite&amp;…</a></li>\
              <li><a href=\"/api/monitor?series={e}&amp;start=0&amp;len=8&amp;target={e}&amp;eps=1\">/api/monitor?series={e}&amp;target=…</a></li>\
              <li><a href=\"/view/overview.svg\">/view/overview.svg</a></li>\
              <li><a href=\"/view/match.svg?series={e}&amp;start=0&amp;len=8\">/view/match.svg?series={e}</a></li>\
@@ -171,67 +277,136 @@ impl App {
         Response::json(Json::Arr(names).render())
     }
 
-    fn match_api(&self, req: &Request) -> Response {
-        let (series, _, _, query) = match self.query_window(req) {
-            Ok(v) => v,
-            Err(r) => return r,
-        };
-        let k = req.param_as("k").unwrap_or(5);
-        let matches = self.best_matches(req, &query, &series, k);
-        let items: Vec<Json> = matches
-            .iter()
-            .map(|m| {
+    /// Capability introspection for every selectable backend — the onex
+    /// entry describes the same configuration `/api/match` serves.
+    fn backends_list(&self) -> Response {
+        let onex = self.onex_match_backend();
+        let list: Vec<&dyn SimilaritySearch> =
+            vec![&onex, self.ucr(), self.frm(), self.ebsm(), self.spring()];
+        let items: Vec<Json> = list
+            .into_iter()
+            .map(|backend| {
+                let caps = backend.capabilities();
                 Json::obj(vec![
-                    ("series", Json::s(&m.series_name)),
-                    ("start", (m.subseq.start as usize).into()),
-                    ("len", (m.subseq.len as usize).into()),
-                    ("dtw", m.distance.into()),
-                    ("normalized", m.normalized.into()),
-                    ("group", Json::s(m.group.to_string())),
+                    ("name", Json::s(backend.name())),
+                    ("metric", Json::s(caps.metric.label())),
+                    ("exact", Json::Bool(caps.exact)),
+                    ("multi_length", Json::Bool(caps.multi_length)),
+                    ("streaming", Json::Bool(caps.streaming)),
                 ])
             })
             .collect();
         Response::json(Json::Arr(items).render())
     }
 
-    fn seasonal_api(&self, req: &Request) -> Response {
-        let Some(series) = req.param("series") else {
-            return Response::error(400, "missing ?series=");
-        };
-        let opts = SeasonalOptions {
-            min_occurrences: req.param_as("min_occurrences").unwrap_or(2),
-            max_patterns: req.param_as("max_patterns").unwrap_or(8),
-            ..SeasonalOptions::default()
-        };
-        match self.engine.seasonal(series, &opts) {
-            Ok(patterns) => {
-                let items: Vec<Json> = patterns
-                    .iter()
-                    .map(|p| {
-                        Json::obj(vec![
-                            ("len", p.len.into()),
-                            ("count", p.count().into()),
-                            ("tightness", p.tightness.into()),
-                            (
-                                "occurrences",
-                                Json::Arr(
-                                    p.occurrences
-                                        .iter()
-                                        .map(|o| (o.start as usize).into())
-                                        .collect(),
-                                ),
-                            ),
-                        ])
-                    })
-                    .collect();
-                Response::json(Json::Arr(items).render())
+    /// `/api/match` — every backend is driven through the same
+    /// [`SimilaritySearch`] trait object; `?backend=` picks which.
+    fn match_api(&self, req: &Request) -> Result<Response, Response> {
+        let (series, _, _, query) = self.query_window(req)?;
+        let k: usize = Self::num_param(req, "k", 5)?;
+        let name = req.param("backend").unwrap_or("onex");
+
+        let onex_holder;
+        let backend: &dyn SimilaritySearch = match name {
+            "onex" => {
+                let mut backend = self.onex_match_backend();
+                if req.param("include_self") != Some("true") {
+                    backend = backend.with_options(
+                        QueryOptions::default()
+                            .lengths(LengthSelection::Nearest(3))
+                            .excluding_series(self.engine.dataset().id_of(&series)),
+                    );
+                }
+                onex_holder = backend;
+                &onex_holder
             }
-            Err(_) => Response::error(404, "unknown series"),
-        }
+            "ucrsuite" | "ucr" => self.ucr(),
+            "frm" => self.frm(),
+            "ebsm" => self.ebsm(),
+            "spring" => self.spring(),
+            other => {
+                return Err(Response::error(
+                    400,
+                    &format!("unknown backend {other:?}; one of onex, ucrsuite, frm, ebsm, spring"),
+                ))
+            }
+        };
+
+        // k = 0 flows through as a typed InvalidQuery → 400, exactly
+        // like every other SimilaritySearch caller.
+        let outcome = backend
+            .k_best(&query, k)
+            .map_err(|e| Self::onex_error(&e))?;
+        let caps = backend.capabilities();
+        let items: Vec<Json> = outcome
+            .matches
+            .iter()
+            .map(|m| {
+                Json::obj(vec![
+                    ("series", Json::s(self.series_name(m.series))),
+                    ("start", m.start.into()),
+                    ("len", m.len.into()),
+                    ("distance", m.distance.into()),
+                ])
+            })
+            .collect();
+        let body = Json::obj(vec![
+            ("backend", Json::s(backend.name())),
+            ("metric", Json::s(caps.metric.label())),
+            ("exact", Json::Bool(caps.exact)),
+            ("matches", Json::Arr(items)),
+            (
+                "stats",
+                Json::obj(vec![
+                    ("examined", outcome.stats.examined.into()),
+                    ("pruned", outcome.stats.pruned.into()),
+                    (
+                        "distance_computations",
+                        outcome.stats.distance_computations.into(),
+                    ),
+                ]),
+            ),
+        ]);
+        Ok(Response::json(body.render()))
     }
 
-    fn threshold_api(&self, req: &Request) -> Response {
-        let len = req.param_as("len").unwrap_or(8);
+    fn seasonal_api(&self, req: &Request) -> Result<Response, Response> {
+        let Some(series) = req.param("series") else {
+            return Err(Response::error(400, "missing ?series="));
+        };
+        let opts = SeasonalOptions {
+            min_occurrences: Self::num_param(req, "min_occurrences", 2)?,
+            max_patterns: Self::num_param(req, "max_patterns", 8)?,
+            ..SeasonalOptions::default()
+        };
+        let patterns = self
+            .engine
+            .seasonal(series, &opts)
+            .map_err(|e| Self::onex_error(&e))?;
+        let items: Vec<Json> = patterns
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("len", p.len.into()),
+                    ("count", p.count().into()),
+                    ("tightness", p.tightness.into()),
+                    (
+                        "occurrences",
+                        Json::Arr(
+                            p.occurrences
+                                .iter()
+                                .map(|o| (o.start as usize).into())
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Ok(Response::json(Json::Arr(items).render()))
+    }
+
+    fn threshold_api(&self, req: &Request) -> Result<Response, Response> {
+        let len = Self::num_param(req, "len", 8)?;
         match self.engine.recommend_threshold(len, 8000, 7) {
             Some(rec) => {
                 let ladder: Vec<Json> = rec
@@ -239,7 +414,7 @@ impl App {
                     .iter()
                     .map(|&(q, t)| Json::obj(vec![("quantile", q.into()), ("st", t.into())]))
                     .collect();
-                Response::json(
+                Ok(Response::json(
                     Json::obj(vec![
                         ("len", len.into()),
                         ("suggested", rec.suggested.into()),
@@ -247,92 +422,84 @@ impl App {
                         ("ladder", Json::Arr(ladder)),
                     ])
                     .render(),
-                )
+                ))
             }
-            None => Response::error(400, "not enough data at that length"),
+            None => Err(Response::error(400, "not enough data at that length")),
         }
     }
 
     /// SPRING stream monitoring (paper reference [7]) over a stored
-    /// series: all disjoint subsequences of `target` within `eps` of the
-    /// query window, exactly as a live monitor would have reported them.
-    fn monitor_api(&self, req: &Request) -> Response {
-        let (_, _, _, pattern) = match self.query_window(req) {
-            Ok(v) => v,
-            Err(r) => return r,
-        };
+    /// series, driven through the [`StreamingSearch`] extension trait:
+    /// all disjoint subsequences of `target` within `eps` of the query
+    /// window, exactly as a live monitor would have reported them.
+    fn monitor_api(&self, req: &Request) -> Result<Response, Response> {
+        let (_, _, _, pattern) = self.query_window(req)?;
         let Some(target) = req.param("target") else {
-            return Response::error(400, "missing ?target= (series to monitor)");
+            return Err(Response::error(400, "missing ?target= (series to monitor)"));
         };
-        let Some(t) = self.engine.dataset().by_name(target) else {
-            return Response::error(404, "unknown target series");
+        let Some(target_id) = self.engine.dataset().id_of(target) else {
+            return Err(Response::error(404, "unknown target series"));
         };
-        let eps: f64 = req.param_as("eps").unwrap_or(1.0);
-        let Some(hits) = onex_spring::spring_search(t.values(), &pattern, eps) else {
-            return Response::error(400, "invalid pattern or threshold");
-        };
+        let eps: f64 = Self::num_param(req, "eps", 1.0)?;
+        let hits = self
+            .spring()
+            .monitor(target_id, &pattern, eps)
+            .map_err(|e| Self::onex_error(&e))?;
         let items: Vec<Json> = hits
             .iter()
             .map(|h| {
                 Json::obj(vec![
                     ("start", h.start.into()),
                     ("end", h.end.into()),
-                    ("dtw", h.dist.into()),
+                    ("dtw", h.distance.into()),
                 ])
             })
             .collect();
-        Response::json(
+        Ok(Response::json(
             Json::obj(vec![
                 ("target", Json::s(target)),
                 ("eps", eps.into()),
                 ("matches", Json::Arr(items)),
             ])
             .render(),
-        )
+        ))
     }
 
-    fn overview_svg(&self, req: &Request) -> Response {
-        let len = req
-            .param_as("len")
-            .or_else(|| self.engine.base().lengths().next())
-            .unwrap_or(8);
+    fn overview_svg(&self, req: &Request) -> Result<Response, Response> {
+        let len = match Self::num_param(req, "len", 0)? {
+            0 => self.engine.base().lengths().next().unwrap_or(8),
+            l => l,
+        };
         let pane = OverviewPane::from_base(self.engine.base(), len, 24);
-        Response::svg(pane.render())
+        Ok(Response::svg(pane.render()))
     }
 
-    fn preview_svg(&self, req: &Request) -> Response {
-        let (series, start, len, _) = match self.query_window(req) {
-            Ok(v) => v,
-            Err(r) => return r,
-        };
+    fn preview_svg(&self, req: &Request) -> Result<Response, Response> {
+        let (series, start, len, _) = self.query_window(req)?;
         let s = self.engine.dataset().by_name(&series).expect("validated");
-        Response::svg(QueryPreview::for_series(560, s).brush(start, len).render())
+        Ok(Response::svg(
+            QueryPreview::for_series(560, s).brush(start, len).render(),
+        ))
     }
 
-    fn match_svg(&self, req: &Request) -> Response {
-        let (series, _, _, query) = match self.query_window(req) {
-            Ok(v) => v,
-            Err(r) => return r,
-        };
-        match self.best_matches(req, &query, &series, 1).first() {
-            Some(best) => Response::svg(
+    fn match_svg(&self, req: &Request) -> Result<Response, Response> {
+        let (series, _, _, query) = self.query_window(req)?;
+        match self.best_matches(req, &query, &series, 1)?.first() {
+            Some(best) => Ok(Response::svg(
                 MultiLineChart::for_match(&query, best, self.engine.dataset()).render(),
-            ),
-            None => Response::error(404, "no match found"),
+            )),
+            None => Err(Response::error(404, "no match found")),
         }
     }
 
-    fn pair_svg(&self, req: &Request, view: PairView) -> Response {
-        let (series, _, _, query) = match self.query_window(req) {
-            Ok(v) => v,
-            Err(r) => return r,
-        };
+    fn pair_svg(&self, req: &Request, view: PairView) -> Result<Response, Response> {
+        let (series, _, _, query) = self.query_window(req)?;
         let Some(best) = self
-            .best_matches(req, &query, &series, 1)
+            .best_matches(req, &query, &series, 1)?
             .into_iter()
             .next()
         else {
-            return Response::error(404, "no match found");
+            return Err(Response::error(404, "no match found"));
         };
         let matched = self
             .engine
@@ -350,15 +517,15 @@ impl App {
                 .with_path(&best.path)
                 .render(),
         };
-        Response::svg(svg)
+        Ok(Response::svg(svg))
     }
 
-    fn seasonal_svg(&self, req: &Request) -> Response {
+    fn seasonal_svg(&self, req: &Request) -> Result<Response, Response> {
         let Some(series) = req.param("series") else {
-            return Response::error(400, "missing ?series=");
+            return Err(Response::error(400, "missing ?series="));
         };
         let Some(s) = self.engine.dataset().by_name(series) else {
-            return Response::error(404, "unknown series");
+            return Err(Response::error(404, "unknown series"));
         };
         let patterns = self
             .engine
@@ -368,7 +535,7 @@ impl App {
         for p in patterns.iter().take(3) {
             view = view.add_engine_pattern(p);
         }
-        Response::svg(view.render())
+        Ok(Response::svg(view.render()))
     }
 }
 
@@ -402,6 +569,7 @@ mod tests {
         assert_eq!(r.status, 200);
         let body = String::from_utf8(r.body).unwrap();
         assert!(body.contains("/api/summary"));
+        assert!(body.contains("backend=ucrsuite"));
         assert!(body.contains("ONEX"));
     }
 
@@ -423,13 +591,24 @@ mod tests {
     }
 
     #[test]
+    fn backends_listing_names_all_engines() {
+        let r = get(&app(), "/api/backends");
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        for name in ["onex", "ucrsuite", "frm", "ebsm", "spring"] {
+            assert!(body.contains(&format!("\"name\":\"{name}\"")), "{body}");
+        }
+    }
+
+    #[test]
     fn match_api_excludes_self_by_default() {
         let a = app();
         let r = get(&a, "/api/match?series=MA-GrowthRate&start=4&len=8&k=3");
         assert_eq!(r.status, 200);
         let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"backend\":\"onex\""), "{body}");
         assert!(!body.contains("\"MA-GrowthRate\""), "{body}");
-        assert_eq!(body.matches("\"dtw\":").count(), 3);
+        assert_eq!(body.matches("\"distance\":").count(), 3);
         // include_self=true lets the own window win.
         let r2 = get(
             &a,
@@ -437,7 +616,82 @@ mod tests {
         );
         let body2 = String::from_utf8(r2.body).unwrap();
         assert!(body2.contains("\"MA-GrowthRate\""));
-        assert!(body2.contains("\"dtw\":0"));
+        assert!(body2.contains("\"distance\":0"));
+    }
+
+    #[test]
+    fn match_api_serves_every_backend_through_the_trait() {
+        let a = app();
+        for (backend, metric) in [
+            ("onex", "raw DTW"),
+            ("ucrsuite", "z-norm DTW"),
+            ("frm", "raw ED"),
+            ("ebsm", "subsequence DTW"),
+            ("spring", "subsequence DTW"),
+        ] {
+            let r = get(
+                &a,
+                &format!("/api/match?series=MA-GrowthRate&start=4&len=8&k=2&backend={backend}"),
+            );
+            assert_eq!(r.status, 200, "{backend}");
+            let body = String::from_utf8(r.body).unwrap();
+            assert!(
+                body.contains(&format!("\"backend\":\"{backend}\"")),
+                "{body}"
+            );
+            assert!(body.contains(&format!("\"metric\":\"{metric}\"")), "{body}");
+            assert!(body.contains("\"matches\":["), "{body}");
+            assert!(body.contains("\"examined\":"), "{body}");
+        }
+        // The baselines index the same data, so the verbatim window is
+        // found at distance ~0 by every engine.
+        let r = get(
+            &a,
+            "/api/match?series=MA-GrowthRate&start=4&len=8&k=1&backend=frm",
+        );
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"distance\":0"), "{body}");
+        // Unknown backends are a 400, not a fallback.
+        let r = get(
+            &a,
+            "/api/match?series=MA-GrowthRate&start=4&len=8&backend=oracle",
+        );
+        assert_eq!(r.status, 400);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("oracle"), "{body}");
+    }
+
+    #[test]
+    fn k_zero_is_a_typed_400_not_a_silent_k_one() {
+        let a = app();
+        for backend in ["onex", "ucrsuite", "frm", "ebsm", "spring"] {
+            let r = get(
+                &a,
+                &format!("/api/match?series=MA-GrowthRate&start=4&len=8&k=0&backend={backend}"),
+            );
+            assert_eq!(r.status, 400, "{backend}");
+            let body = String::from_utf8(r.body).unwrap();
+            assert!(body.contains("invalid query"), "{backend}: {body}");
+        }
+    }
+
+    #[test]
+    fn malformed_numeric_params_are_400s_with_the_offending_value() {
+        let a = app();
+        for target in [
+            "/api/match?series=MA-GrowthRate&start=4&len=8&k=banana",
+            "/api/match?series=MA-GrowthRate&start=x&len=8",
+            "/api/match?series=MA-GrowthRate&start=4&len=eight",
+            "/api/seasonal?series=MA-GrowthRate&min_occurrences=2.5",
+            "/api/seasonal?series=MA-GrowthRate&max_patterns=-3",
+            "/api/threshold?len=tall",
+            "/api/monitor?series=MA-GrowthRate&start=0&len=6&target=MA-GrowthRate&eps=wide",
+        ] {
+            let r = get(&a, target);
+            assert_eq!(r.status, 400, "{target}");
+            let body = String::from_utf8(r.body).unwrap();
+            assert!(body.contains("invalid value"), "{target}: {body}");
+        }
     }
 
     #[test]

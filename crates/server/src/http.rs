@@ -13,7 +13,7 @@ pub struct Request {
     /// Percent-decoded path, e.g. `/api/match`.
     pub path: String,
     /// Percent-decoded query parameters in order-independent form.
-    pub query: BTreeMap<String, String>,
+    pub query: Query,
 }
 
 impl Request {
@@ -67,19 +67,30 @@ impl Request {
         self.query.get(name).map(String::as_str)
     }
 
-    /// Query parameter parsed to a type.
-    pub fn param_as<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
-        self.param(name).and_then(|v| v.parse().ok())
+    /// Query parameter parsed to a type: `Ok(None)` when absent,
+    /// `Err` when present but malformed — so handlers answer 400 with the
+    /// offending value instead of silently falling back to a default.
+    pub fn param_as<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, HttpError> {
+        match self.param(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| HttpError(format!("parameter {name:?} has invalid value {v:?}"))),
+        }
     }
 }
 
-fn parse_target(target: &str) -> Result<(String, BTreeMap<String, String>), HttpError> {
+/// Query parameters, percent-decoded, in order-independent form.
+pub type Query = BTreeMap<String, String>;
+
+fn parse_target(target: &str) -> Result<(String, Query), HttpError> {
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
     };
     let path = percent_decode(raw_path)?;
-    let mut query = BTreeMap::new();
+    let mut query = Query::new();
     if let Some(q) = raw_query {
         for pair in q.split('&').filter(|p| !p.is_empty()) {
             let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
@@ -121,13 +132,13 @@ pub fn percent_decode(s: &str) -> Result<String, HttpError> {
 }
 
 /// Protocol-level failure, mapped to 400 by the server loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct HttpError(pub &'static str);
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError(pub String);
 
 impl HttpError {
     #[allow(non_snake_case)]
-    fn BadRequest(msg: &'static str) -> Self {
-        HttpError(msg)
+    fn BadRequest(msg: impl Into<String>) -> Self {
+        HttpError(msg.into())
     }
 }
 
@@ -194,6 +205,8 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            409 => "Conflict",
+            422 => "Unprocessable Content",
             _ => "Internal Server Error",
         };
         write!(
@@ -220,8 +233,17 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/api/match");
         assert_eq!(req.param("series"), Some("MA-GrowthRate"));
-        assert_eq!(req.param_as::<usize>("start"), Some(4));
-        assert_eq!(req.param_as::<usize>("missing"), None::<usize>);
+        assert_eq!(req.param_as::<usize>("start").unwrap(), Some(4));
+        assert_eq!(req.param_as::<usize>("missing").unwrap(), None::<usize>);
+    }
+
+    #[test]
+    fn malformed_numeric_params_are_errors_not_defaults() {
+        let req = Request::get("/api/match?k=banana&len=8").unwrap();
+        let err = req.param_as::<usize>("k").unwrap_err();
+        assert!(err.to_string().contains("banana"), "{err}");
+        assert!(err.to_string().contains("\"k\""), "{err}");
+        assert_eq!(req.param_as::<usize>("len").unwrap(), Some(8));
     }
 
     #[test]

@@ -1,4 +1,8 @@
 //! Over-the-wire test: a real TCP listener, a real client socket.
+//!
+//! This is the ROADMAP's end-to-end smoke test: bind an ephemeral port,
+//! run [`App::serve`] on a thread, issue real HTTP requests, and assert
+//! status codes plus *parseable* JSON (via the strict [`Json::parse`]).
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -6,6 +10,7 @@ use std::sync::Arc;
 
 use onex_core::Onex;
 use onex_grouping::BaseConfig;
+use onex_server::json::Json;
 use onex_server::App;
 use onex_tseries::gen::{matters_collection, Indicator, MattersConfig};
 
@@ -26,8 +31,7 @@ fn fetch(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
     (status, body)
 }
 
-#[test]
-fn serves_real_sockets() {
+fn spawn_server() -> std::net::SocketAddr {
     let ds = matters_collection(&MattersConfig {
         indicators: vec![Indicator::GrowthRate],
         ..MattersConfig::default()
@@ -39,14 +43,43 @@ fn serves_real_sockets() {
     std::thread::spawn(move || {
         let _ = app.serve(listener);
     });
+    addr
+}
 
+#[test]
+fn serves_real_sockets() {
+    let addr = spawn_server();
+
+    // One real GET /api/summary: 200 + parseable JSON with the expected
+    // top-level keys.
     let (status, body) = fetch(addr, "/api/summary");
     assert_eq!(status, 200);
-    assert!(body.contains("\"series\":50"), "{body}");
+    let summary = Json::parse(&body).expect("summary is valid JSON");
+    let Json::Obj(pairs) = &summary else {
+        panic!("summary is an object: {body}");
+    };
+    assert!(pairs
+        .iter()
+        .any(|(k, v)| k == "series" && *v == Json::Num(50.0)));
+    assert!(pairs.iter().any(|(k, _)| k == "per_length"));
 
     let (status, body) = fetch(addr, "/api/match?series=MA-GrowthRate&start=4&len=8&k=2");
     assert_eq!(status, 200);
-    assert_eq!(body.matches("\"dtw\":").count(), 2);
+    assert!(Json::parse(&body).is_ok(), "{body}");
+    assert_eq!(body.matches("\"distance\":").count(), 2);
+
+    // The ?backend= route over a real socket.
+    let (status, body) = fetch(
+        addr,
+        "/api/match?series=MA-GrowthRate&start=4&len=8&k=1&backend=ucrsuite",
+    );
+    assert_eq!(status, 200);
+    assert!(body.contains("\"backend\":\"ucrsuite\""), "{body}");
+    assert!(Json::parse(&body).is_ok(), "{body}");
+
+    // Typed errors surface as proper status codes over the wire too.
+    let (status, _) = fetch(addr, "/api/match?series=MA-GrowthRate&start=4&len=8&k=zero");
+    assert_eq!(status, 400);
 
     let (status, body) = fetch(addr, "/view/overview.svg");
     assert_eq!(status, 200);
@@ -59,8 +92,9 @@ fn serves_real_sockets() {
     let mut joins = Vec::new();
     for _ in 0..4 {
         joins.push(std::thread::spawn(move || {
-            let (status, _) = fetch(addr, "/api/series");
+            let (status, body) = fetch(addr, "/api/series");
             assert_eq!(status, 200);
+            assert!(Json::parse(&body).is_ok());
         }));
     }
     for j in joins {

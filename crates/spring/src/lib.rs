@@ -2,9 +2,9 @@
 //!
 //! A clean-room Rust implementation of SPRING from Sakurai, Faloutsos and
 //! Yamamuro, *Stream monitoring under the time warping distance*
-//! (ICDE 2007) — reference [7] of the ONEX demo paper and the exact-answer
+//! (ICDE 2007) — reference \[7\] of the ONEX demo paper and the exact-answer
 //! state of the art it cites ("some provide an exact or a highly accurate
-//! solution [7] at the expense of responsiveness").
+//! solution \[7\] at the expense of responsiveness").
 //!
 //! SPRING solves **subsequence** DTW matching over an unbounded stream:
 //! given a fixed query pattern `Y` of length `m` and a stream
@@ -29,7 +29,7 @@
 //!
 //! Distances follow the workspace convention: the L2 family with the
 //! square root applied at reporting time, so thresholds are directly
-//! comparable with [`onex_distance::dtw`] and with ONEX similarity
+//! comparable with [`onex_distance::dtw()`] and with ONEX similarity
 //! thresholds. Internally everything is kept in the squared domain.
 //!
 //! ## Role in the reproduction

@@ -86,7 +86,7 @@ pub struct SpringMonitor {
 
 impl SpringMonitor {
     /// Create a monitor for `query` with similarity threshold `epsilon`
-    /// (root scale, like [`onex_distance::dtw`]).
+    /// (root scale, like [`onex_distance::dtw()`]).
     ///
     /// Returns `None` if the query is empty, any query value is not
     /// finite, or `epsilon` is negative or NaN.

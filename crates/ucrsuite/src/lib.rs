@@ -2,7 +2,7 @@
 //!
 //! A clean-room Rust implementation of the subsequence-search algorithm of
 //! Rakthanmanon et al., *Searching and mining trillions of time series
-//! subsequences under dynamic time warping* (KDD 2012) — reference [6] of
+//! subsequences under dynamic time warping* (KDD 2012) — reference \[6\] of
 //! the ONEX demo paper and the "fastest known method" its headline speed
 //! claim is measured against (experiment E5).
 //!
@@ -34,6 +34,6 @@
 mod search;
 
 pub use search::{
-    ucr_dtw_search, ucr_dtw_search_dataset, ucr_dtw_search_with_bsf, ucr_ed_search,
-    DtwSearchConfig, Hit, SearchStats,
+    ucr_dtw_search, ucr_dtw_search_dataset, ucr_dtw_search_dataset_topk, ucr_dtw_search_topk,
+    ucr_dtw_search_with_bsf, ucr_ed_search, DtwSearchConfig, Hit, SearchStats, TopK,
 };

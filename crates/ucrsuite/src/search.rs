@@ -1,3 +1,4 @@
+use onex_api::BestK;
 use onex_distance::dtw::dtw_early_abandon_sq_with_cb;
 use onex_distance::lb::cumulative_bound;
 use onex_distance::{Band, Envelope};
@@ -307,21 +308,22 @@ pub fn ucr_dtw_search(t: &[f64], q: &[f64], cfg: &DtwSearchConfig) -> Option<(Hi
     ucr_dtw_search_with_bsf(t, q, cfg, f64::INFINITY, &mut stats).map(|h| (h, stats))
 }
 
-/// [`ucr_dtw_search`] seeded with an externally known best-so-far
-/// (squared). Returns `None` when `t` is shorter than the query **or** no
-/// window beats the seed. The dataset search threads its running best
-/// through this, so pruning carries across series exactly as the original
-/// single-sequence code carries it across windows.
-pub fn ucr_dtw_search_with_bsf(
+/// The shared scan behind every DTW search form: slide the window over
+/// `t`, run the full pruning cascade against the current bound, and hand
+/// each surviving window to `accept(start, d_sq)`, which returns the
+/// bound (squared) the scan continues with. Best-only searches return the
+/// new distance; top-k searches return their k-th best.
+fn scan_dtw_windows(
     t: &[f64],
     q: &[f64],
     cfg: &DtwSearchConfig,
-    seed_bsf_sq: f64,
     stats: &mut SearchStats,
-) -> Option<Hit> {
+    init_bound_sq: f64,
+    accept: &mut dyn FnMut(usize, f64) -> f64,
+) {
     let m = q.len();
     if m == 0 || t.len() < m {
-        return None;
+        return;
     }
     assert!(
         (0.0..=1.0).contains(&cfg.band_fraction),
@@ -332,8 +334,7 @@ pub fn ucr_dtw_search_with_bsf(
     let pq = prepare_query(q, radius);
     let env_t = Envelope::build(t, radius);
     let mut moments = RollingMoments::new(t, m);
-    let mut bsf_sq = seed_bsf_sq;
-    let mut best_start: Option<usize> = None;
+    let mut bsf_sq = init_bound_sq;
     let mut contrib_eq = vec![0.0; m];
     let mut contrib_ec = vec![0.0; m];
     let mut cand = vec![0.0; m];
@@ -373,15 +374,109 @@ pub fn ucr_dtw_search_with_bsf(
             continue;
         }
         if d_sq < bsf_sq {
-            bsf_sq = d_sq;
-            best_start = Some(start);
+            bsf_sq = accept(start, d_sq);
         }
     }
-    best_start.map(|start| Hit {
+}
+
+/// [`ucr_dtw_search`] seeded with an externally known best-so-far
+/// (squared). Returns `None` when `t` is shorter than the query **or** no
+/// window beats the seed. The dataset search threads its running best
+/// through this, so pruning carries across series exactly as the original
+/// single-sequence code carries it across windows.
+pub fn ucr_dtw_search_with_bsf(
+    t: &[f64],
+    q: &[f64],
+    cfg: &DtwSearchConfig,
+    seed_bsf_sq: f64,
+    stats: &mut SearchStats,
+) -> Option<Hit> {
+    let mut best: Option<(usize, f64)> = None;
+    scan_dtw_windows(t, q, cfg, stats, seed_bsf_sq, &mut |start, d_sq| {
+        best = Some((start, d_sq));
+        d_sq
+    });
+    best.map(|(start, d_sq)| Hit {
         series: 0,
         start,
-        distance: bsf_sq.sqrt(),
+        distance: d_sq.sqrt(),
     })
+}
+
+/// Bounded best-k accumulator for multi-series top-k searches: the
+/// shared [`BestK`] over `(series, start)` windows keyed by squared
+/// distance, exposed as the pruning bound threaded through the shared
+/// window scan.
+#[derive(Debug)]
+pub struct TopK {
+    inner: BestK<(u32, usize)>,
+}
+
+impl TopK {
+    /// Accumulator keeping the best `k` windows (`k` must be positive).
+    pub fn new(k: usize) -> TopK {
+        TopK {
+            inner: BestK::new(k),
+        }
+    }
+
+    /// Current pruning bound: the k-th best squared distance, or infinity
+    /// while fewer than `k` windows have been kept.
+    pub fn bound_sq(&self) -> f64 {
+        self.inner.bound()
+    }
+
+    fn offer(&mut self, series: u32, start: usize, d_sq: f64) -> f64 {
+        self.inner.offer(d_sq, (series, start))
+    }
+
+    /// The kept windows as [`Hit`]s, best first.
+    pub fn into_hits(self) -> Vec<Hit> {
+        self.inner
+            .into_sorted()
+            .into_iter()
+            .map(|(d_sq, (series, start))| Hit {
+                series,
+                start,
+                distance: d_sq.sqrt(),
+            })
+            .collect()
+    }
+}
+
+/// Feed every window of `t` (labelled `series_id`) through the cascade
+/// into a shared [`TopK`] accumulator. The accumulator's k-th best is the
+/// pruning bound, so the cascade prunes exactly as hard as a k-best
+/// search soundly can.
+pub fn ucr_dtw_search_topk(
+    t: &[f64],
+    q: &[f64],
+    cfg: &DtwSearchConfig,
+    series_id: u32,
+    acc: &mut TopK,
+    stats: &mut SearchStats,
+) {
+    let bound = acc.bound_sq();
+    scan_dtw_windows(t, q, cfg, stats, bound, &mut |start, d_sq| {
+        acc.offer(series_id, start, d_sq)
+    });
+}
+
+/// The `k` best z-normalised DTW windows across a whole dataset, best
+/// first. Exact under the same argument as [`ucr_dtw_search`]: the bound
+/// only ever prunes windows provably worse than the current k-th best.
+pub fn ucr_dtw_search_dataset_topk(
+    dataset: &Dataset,
+    q: &[f64],
+    cfg: &DtwSearchConfig,
+    k: usize,
+) -> (Vec<Hit>, SearchStats) {
+    let mut acc = TopK::new(k);
+    let mut stats = SearchStats::default();
+    for (sid, series) in dataset.iter() {
+        ucr_dtw_search_topk(series.values(), q, cfg, sid, &mut acc, &mut stats);
+    }
+    (acc.into_hits(), stats)
 }
 
 /// Run the UCR search over every series of a dataset (the collection form
@@ -621,6 +716,53 @@ mod tests {
             indep_hit.start, shared.start,
             "shared hit is that series' optimum"
         );
+    }
+
+    #[test]
+    fn topk_matches_brute_force_ranking() {
+        use onex_tseries::TimeSeries;
+        let ds = Dataset::from_series(vec![
+            TimeSeries::new("s0", toy_series(140, 41)),
+            TimeSeries::new("s1", toy_series(140, 42)),
+        ])
+        .unwrap();
+        let q = toy_series(20, 71);
+        let cfg = DtwSearchConfig { band_fraction: 0.1 };
+        let k = 5;
+        let (hits, stats) = ucr_dtw_search_dataset_topk(&ds, &q, &cfg, k);
+        assert_eq!(hits.len(), k);
+        assert!(stats.candidates > 0);
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-12);
+        }
+        // Distinct windows.
+        let set: std::collections::HashSet<(u32, usize)> =
+            hits.iter().map(|h| (h.series, h.start)).collect();
+        assert_eq!(set.len(), k);
+        // Brute-force reference: every (series, start) window scored.
+        let radius = (0.1f64 * q.len() as f64).ceil() as usize;
+        let qz = znorm(&q);
+        let mut all: Vec<(f64, u32, usize)> = Vec::new();
+        for (sid, s) in ds.iter() {
+            let t = s.values();
+            for start in 0..=t.len() - q.len() {
+                let cz = znorm(&t[start..start + q.len()]);
+                all.push((dtw(&qz, &cz, Band::SakoeChiba(radius)), sid, start));
+            }
+        }
+        all.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (hit, want) in hits.iter().zip(&all) {
+            assert!(
+                (hit.distance - want.0).abs() < 1e-9,
+                "topk {} vs brute {}",
+                hit.distance,
+                want.0
+            );
+        }
+        // k = 1 agrees with the dedicated best-match search.
+        let (best, _) = ucr_dtw_search_dataset(&ds, &q, &cfg).unwrap();
+        let (top1, _) = ucr_dtw_search_dataset_topk(&ds, &q, &cfg, 1);
+        assert!((top1[0].distance - best.distance).abs() < 1e-9);
     }
 
     #[test]

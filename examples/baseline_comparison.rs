@@ -65,7 +65,7 @@ fn main() {
     let build = t.elapsed();
     let opts = QueryOptions::default().excluding_series(ds.id_of("MA-GrowthRate"));
     let t = Instant::now();
-    let (best, _) = engine.best_match(&query, &opts);
+    let (best, _) = engine.best_match(&query, &opts).unwrap();
     let q = t.elapsed();
     let m = best.expect("collection is non-empty");
     println!(

@@ -71,7 +71,7 @@ fn main() {
 
     // Similarity search over the other 49 states.
     let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
-    let (matches, stats) = engine.k_best(&query, 5, &opts);
+    let (matches, stats) = engine.k_best(&query, 5, &opts).unwrap();
     println!("\nstates with the most similar recent growth trajectory:");
     for (rank, m) in matches.iter().enumerate() {
         let window = engine.dataset().resolve(m.subseq).expect("resolves");

@@ -140,7 +140,7 @@ fn main() {
             let opts = QueryOptions::default()
                 .lengths(LengthSelection::Nearest(3))
                 .excluding_series(engine.dataset().id_of(series));
-            let (matches, stats) = engine.k_best(&query, 5, &opts);
+            let (matches, stats) = engine.k_best(&query, 5, &opts).unwrap();
             println!(
                 "query {series}[{start}..{}]  {}",
                 start + len,

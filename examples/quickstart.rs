@@ -49,7 +49,7 @@ fn main() {
     println!("query   : {}", sparkline(&query));
 
     // 4. Best time-warped match (DTW over the compact base, not raw data).
-    let (best, stats) = engine.best_match(&query, &QueryOptions::default());
+    let (best, stats) = engine.best_match(&query, &QueryOptions::default()).unwrap();
     let best = best.expect("a match exists");
     let matched = engine.dataset().resolve(best.subseq).expect("resolves");
     println!("match   : {}", sparkline(matched));

@@ -90,7 +90,9 @@ fn main() {
 
     // Ad-hoc exploration over everything indexed so far: which indexed
     // day best matches the pattern, per the ONEX engine?
-    let (best, qstats) = engine.best_match(&pattern, &QueryOptions::default());
+    let (best, qstats) = engine
+        .best_match(&pattern, &QueryOptions::default())
+        .unwrap();
     match best {
         Some(m) => println!(
             "ONEX ad-hoc query: best indexed day is {} (dtw {:.3}), {} DTW calls",

@@ -3,6 +3,24 @@
 //! Facade crate: re-exports the public API of every ONEX subsystem so
 //! downstream users depend on a single crate.
 //!
+//! The blessed entry point is the unified query surface from
+//! [`onex_api`]: the [`SimilaritySearch`] backend trait (implemented by
+//! the ONEX engine and by adapters over every baseline the demo
+//! compares — see [`engine::backends`]) and the workspace-wide typed
+//! [`OnexError`]. A five-line tour:
+//!
+//! ```
+//! use onex::{SimilaritySearch, OnexError};
+//! use onex::engine::backends::UcrSuiteBackend;
+//!
+//! let series = vec![(0..64).map(|i| (i as f64 * 0.3).sin()).collect::<Vec<_>>()];
+//! let backend = UcrSuiteBackend::from_series(series.clone());
+//! let query = series[0][20..36].to_vec();
+//! let best = backend.best_match(&query).unwrap();
+//! assert!(best.best().unwrap().distance < 1e-9);
+//! assert!(matches!(backend.k_best(&query, 0), Err(OnexError::InvalidQuery(_))));
+//! ```
+//!
 //! * [`tseries`] — time-series substrate (model, normalisation, I/O,
 //!   workload generators).
 //! * [`distance`] — Euclidean / DTW distances, envelopes, lower bounds and
@@ -13,11 +31,11 @@
 //!   queries and threshold recommendation.
 //! * [`ucrsuite`] — the UCR Suite baseline used in the paper's speed
 //!   comparison.
-//! * [`spring`] — the SPRING streaming-DTW monitor (paper reference [7]),
+//! * [`spring`] — the SPRING streaming-DTW monitor (paper reference \[7\]),
 //!   the exact stream-monitoring baseline.
-//! * [`frm`] — the FRM/ST-index baseline (reference [4]): DFT features,
+//! * [`frm`] — the FRM/ST-index baseline (reference \[4\]): DFT features,
 //!   MBR trails and an R-tree for exact Euclidean subsequence matching.
-//! * [`embedding`] — the EBSM baseline (reference [1]): approximate
+//! * [`embedding`] — the EBSM baseline (reference \[1\]): approximate
 //!   embedding-based subsequence matching under DTW.
 //! * [`viz`] — visual-analytics output: overview pane, warped multi-line
 //!   charts, radial charts, connected scatter plots, seasonal views.
@@ -28,6 +46,11 @@
 
 #![forbid(unsafe_code)]
 
+pub use onex_api as api;
+pub use onex_api::{
+    BackendMatch, BackendStats, Capabilities, Metric, OnexError, SearchOutcome, SimilaritySearch,
+    StreamMatch, StreamingSearch,
+};
 pub use onex_core as engine;
 pub use onex_distance as distance;
 pub use onex_embedding as embedding;

@@ -55,7 +55,7 @@ fn derive_align_tune_search() {
     let preview = QueryPreview::for_series(520, ma).brush(ma.len() - 8, 8);
     let query = preview.selection().to_vec();
     let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-IncomeGrowth"));
-    let (matches, _) = engine.k_best(&query, 3, &opts);
+    let (matches, _) = engine.k_best(&query, 3, &opts).unwrap();
     assert_eq!(matches.len(), 3);
     for m in &matches {
         assert!(m.distance.is_finite());
@@ -110,7 +110,7 @@ fn mixed_granularity_alignment() {
         .unwrap()
         .to_vec();
     let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("ma-annual"));
-    let (m, _) = engine.best_match(&q, &opts);
+    let (m, _) = engine.best_match(&q, &opts).unwrap();
     let m = m.unwrap();
     assert_eq!(m.series_name, "ma-quarterly-aligned");
     assert!(m.distance < 1e-6, "aligned feeds match near-exactly");

@@ -1,0 +1,207 @@
+//! The shared conformance suite for the [`SimilaritySearch`] trait: every
+//! backend in the workspace — ONEX itself, the UCR Suite, the
+//! FRM/ST-index, EBSM and SPRING — is run through the same contract:
+//!
+//! 1. **Self-match**: a query cut verbatim from a stored series comes
+//!    back as the best match at distance ≈ 0 (each backend under its own
+//!    metric — raw DTW, z-norm DTW, raw ED, subsequence DTW — all of
+//!    which are zero on an identical window).
+//! 2. **k ordering**: `k_best` returns at most `k` matches, sorted
+//!    best-first, all referring to distinct windows.
+//! 3. **Stats monotonicity**: [`onex::BackendStats::work`] never
+//!    decreases as `k` grows — a backend cannot claim less effort for a
+//!    larger answer.
+//! 4. **Typed failures**: `k == 0`, empty and non-finite queries are
+//!    `Err(OnexError::InvalidQuery)`, never panics.
+
+use std::sync::Arc;
+
+use onex::engine::backends::{
+    EbsmBackend, FrmBackend, OnexBackend, SpringBackend, UcrSuiteBackend,
+};
+use onex::engine::Onex;
+use onex::grouping::BaseConfig;
+use onex::tseries::{Dataset, TimeSeries};
+use onex::{OnexError, SimilaritySearch};
+
+const QLEN: usize = 16;
+
+fn collection() -> Dataset {
+    // Six diverse, non-constant series so every metric (including
+    // z-normalised DTW) is well-conditioned.
+    let series: Vec<TimeSeries> = (0..6)
+        .map(|i| {
+            let phase = i as f64 * 0.9;
+            let values: Vec<f64> = (0..96)
+                .map(|t| {
+                    let x = t as f64;
+                    (x * 0.21 + phase).sin() * 2.0
+                        + (x * 0.043 + phase * 0.5).cos()
+                        + (x * 1.31 + phase).sin() * 0.25
+                })
+                .collect();
+            TimeSeries::new(format!("series-{i}"), values)
+        })
+        .collect();
+    Dataset::from_series(series).unwrap()
+}
+
+/// Every backend under test, boxed behind the trait.
+fn backends(ds: &Dataset) -> Vec<Box<dyn SimilaritySearch>> {
+    let (engine, _) = Onex::build(ds.clone(), BaseConfig::new(0.8, QLEN, QLEN)).unwrap();
+    vec![
+        Box::new(OnexBackend::new(Arc::new(engine))),
+        Box::new(UcrSuiteBackend::from_dataset(ds)),
+        Box::new(FrmBackend::<4>::from_dataset(ds, 8)),
+        Box::new(EbsmBackend::from_dataset(ds, onex::embedding::EbsmConfig::default()).unwrap()),
+        Box::new(SpringBackend::from_dataset(ds)),
+    ]
+}
+
+#[test]
+fn self_match_at_distance_zero() {
+    let ds = collection();
+    let query = ds
+        .series(3)
+        .unwrap()
+        .subsequence(40, QLEN)
+        .unwrap()
+        .to_vec();
+    for b in backends(&ds) {
+        let out = b.best_match(&query).unwrap();
+        let best = out
+            .best()
+            .unwrap_or_else(|| panic!("{}: no match for a stored window", b.name()));
+        assert!(
+            best.distance < 1e-6,
+            "{}: verbatim window at distance {}",
+            b.name(),
+            best.distance
+        );
+        // The match covers the queried site (multi-length backends may
+        // trim or extend the window slightly).
+        if !b.capabilities().multi_length {
+            assert_eq!(best.len, QLEN, "{}", b.name());
+        }
+    }
+}
+
+#[test]
+fn k_best_is_sorted_and_distinct() {
+    let ds = collection();
+    let query = ds
+        .series(1)
+        .unwrap()
+        .subsequence(22, QLEN)
+        .unwrap()
+        .to_vec();
+    for b in backends(&ds) {
+        let k = 3;
+        let out = b.k_best(&query, k).unwrap();
+        assert!(
+            !out.matches.is_empty() && out.matches.len() <= k,
+            "{}: {} matches",
+            b.name(),
+            out.matches.len()
+        );
+        for w in out.matches.windows(2) {
+            assert!(
+                w[0].distance <= w[1].distance + 1e-12,
+                "{}: unsorted answers",
+                b.name()
+            );
+        }
+        let distinct: std::collections::HashSet<(u32, usize, usize)> = out
+            .matches
+            .iter()
+            .map(|m| (m.series, m.start, m.len))
+            .collect();
+        assert_eq!(
+            distinct.len(),
+            out.matches.len(),
+            "{}: duplicate windows",
+            b.name()
+        );
+        // one_match_per_series backends must honour their declaration.
+        if b.capabilities().one_match_per_series {
+            let per_series: std::collections::HashSet<u32> =
+                out.matches.iter().map(|m| m.series).collect();
+            assert_eq!(per_series.len(), out.matches.len(), "{}", b.name());
+        }
+    }
+}
+
+#[test]
+fn stats_work_is_monotone_in_k() {
+    let ds = collection();
+    let query = ds
+        .series(4)
+        .unwrap()
+        .subsequence(10, QLEN)
+        .unwrap()
+        .to_vec();
+    for b in backends(&ds) {
+        let w1 = b.k_best(&query, 1).unwrap().stats.work();
+        let w3 = b.k_best(&query, 3).unwrap().stats.work();
+        let w5 = b.k_best(&query, 5).unwrap().stats.work();
+        assert!(w1 > 0, "{}: no work reported", b.name());
+        assert!(
+            w1 <= w3 && w3 <= w5,
+            "{}: work not monotone in k ({w1}, {w3}, {w5})",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn malformed_queries_are_typed_errors() {
+    let ds = collection();
+    let query = ds.series(0).unwrap().subsequence(0, QLEN).unwrap().to_vec();
+    for b in backends(&ds) {
+        assert!(
+            matches!(b.k_best(&[], 1), Err(OnexError::InvalidQuery(_))),
+            "{}: empty query must be InvalidQuery",
+            b.name()
+        );
+        assert!(
+            matches!(b.k_best(&query, 0), Err(OnexError::InvalidQuery(_))),
+            "{}: k = 0 must be InvalidQuery",
+            b.name()
+        );
+        let mut bad = query.clone();
+        bad[3] = f64::INFINITY;
+        assert!(
+            matches!(b.k_best(&bad, 1), Err(OnexError::InvalidQuery(_))),
+            "{}: non-finite query must be InvalidQuery",
+            b.name()
+        );
+    }
+}
+
+#[test]
+fn capabilities_match_reported_behaviour() {
+    let ds = collection();
+    let query = ds
+        .series(2)
+        .unwrap()
+        .subsequence(30, QLEN)
+        .unwrap()
+        .to_vec();
+    for b in backends(&ds) {
+        let caps = b.capabilities();
+        let out = b.k_best(&query, 4).unwrap();
+        if !caps.multi_length {
+            assert!(
+                out.matches.iter().all(|m| m.len == QLEN),
+                "{}: fixed-length backend returned a different length",
+                b.name()
+            );
+        }
+        // Names are stable identifiers the server routes on.
+        assert!(
+            ["onex", "ucrsuite", "frm", "ebsm", "spring"].contains(&b.name()),
+            "{}: unexpected name",
+            b.name()
+        );
+    }
+}

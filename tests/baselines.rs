@@ -31,7 +31,7 @@ fn engine_finds_a_planted_motif() {
         ..BaseConfig::new(1.0, 24, 24)
     };
     let (engine, _) = Onex::build(ds, cfg).unwrap();
-    let (m, _) = engine.best_match(&motif, &QueryOptions::default());
+    let (m, _) = engine.best_match(&motif, &QueryOptions::default()).unwrap();
     let m = m.unwrap();
     let hit = locations.iter().any(|&(sid, pos)| {
         m.subseq.series == sid && (m.subseq.start as i64 - pos as i64).abs() <= 2
@@ -52,8 +52,10 @@ fn engine_equals_exhaustive_on_planted_data() {
     };
     let (engine, _) = Onex::build(ds.clone(), cfg).unwrap();
     let opts = QueryOptions::default();
-    let (m, _) = engine.best_match(&motif, &opts);
-    let truth = exhaustive::scan_best(&ds, &motif, &[24], 1, &opts, true).unwrap();
+    let (m, _) = engine.best_match(&motif, &opts).unwrap();
+    let truth = exhaustive::scan_best(&ds, &motif, &[24], 1, &opts, true)
+        .unwrap()
+        .unwrap();
     assert!((m.unwrap().distance - truth.distance).abs() < 1e-9);
 }
 
@@ -85,8 +87,10 @@ fn scans_and_engine_agree_under_banded_dtw() {
     };
     let (engine, _) = Onex::build(ds.clone(), cfg).unwrap();
     let opts = QueryOptions::with_band(onex::distance::Band::SakoeChiba(2));
-    let (m, _) = engine.best_match(&motif, &opts);
-    let truth = exhaustive::scan_best(&ds, &motif, &[24], 1, &opts, true).unwrap();
+    let (m, _) = engine.best_match(&motif, &opts).unwrap();
+    let truth = exhaustive::scan_best(&ds, &motif, &[24], 1, &opts, true)
+        .unwrap()
+        .unwrap();
     assert!((m.unwrap().distance - truth.distance).abs() < 1e-9);
 }
 
@@ -100,7 +104,7 @@ fn k_best_covers_both_planted_sites() {
     let (engine, _) = Onex::build(ds, cfg).unwrap();
     // Ask for enough neighbours to cover shifted duplicates around each
     // planted site plus both sites.
-    let (matches, _) = engine.k_best(&motif, 10, &QueryOptions::default());
+    let (matches, _) = engine.k_best(&motif, 10, &QueryOptions::default()).unwrap();
     for &(sid, pos) in &locations {
         let covered = matches
             .iter()
@@ -143,7 +147,7 @@ fn spring_best_match_agrees_with_engine_on_shared_semantics() {
         ..BaseConfig::new(1.0, 24, 24)
     };
     let (engine, _) = Onex::build(ds, cfg).unwrap();
-    let (m, _) = engine.best_match(&motif, &QueryOptions::default());
+    let (m, _) = engine.best_match(&motif, &QueryOptions::default()).unwrap();
     let m = m.unwrap();
     let spring = spring_best_match(&s1, &motif).unwrap();
     assert!(

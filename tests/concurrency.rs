@@ -33,7 +33,7 @@ fn concurrent_queries_agree_with_serial_answers() {
             .unwrap()
             .to_vec();
         let opts = QueryOptions::default().excluding_series(engine.dataset().id_of(&name));
-        let (m, _) = engine.best_match(&q, &opts);
+        let (m, _) = engine.best_match(&q, &opts).unwrap();
         reference.push(m.unwrap());
     }
     // The same queries, four threads, several rounds each.
@@ -54,7 +54,7 @@ fn concurrent_queries_agree_with_serial_answers() {
                         .to_vec();
                     let opts =
                         QueryOptions::default().excluding_series(engine.dataset().id_of(&name));
-                    let (m, _) = engine.best_match(&q, &opts);
+                    let (m, _) = engine.best_match(&q, &opts).unwrap();
                     let m = m.unwrap();
                     assert_eq!(m.subseq, reference[idx].subseq, "thread {t} round {round}");
                     assert!((m.distance - reference[idx].distance).abs() < 1e-12);
@@ -83,7 +83,7 @@ fn mixed_operation_kinds_run_concurrently() {
                     .subsequence(0, 8)
                     .unwrap()
                     .to_vec();
-                let (m, _) = e1.k_best(&q, 3, &QueryOptions::default());
+                let (m, _) = e1.k_best(&q, 3, &QueryOptions::default()).unwrap();
                 assert_eq!(m.len(), 3);
             }
         });

@@ -85,7 +85,7 @@ fn section_3_2_best_group_bound() {
         for (i, v) in query.iter_mut().enumerate() {
             *v += 0.02 * ((i as f64) * 1.1).sin();
         }
-        let (m, _) = e.best_match(&query, &opts);
+        let (m, _) = e.best_match(&query, &opts).unwrap();
         let m = m.unwrap();
         // Recompute the winning group's representative distance and radius.
         let group = e.base().group(m.group).unwrap();
@@ -116,7 +116,9 @@ fn section_3_2_member_query_within_st() {
             .subsequence(start, 16)
             .unwrap()
             .to_vec();
-        let (m, _) = e.best_match(&query, &QueryOptions::default().top_groups(1));
+        let (m, _) = e
+            .best_match(&query, &QueryOptions::default().top_groups(1))
+            .unwrap();
         let m = m.unwrap();
         assert!(
             m.distance <= st_raw + 1e-9,

@@ -25,7 +25,7 @@ fn matters_pipeline_end_to_end() {
     let ma = engine.dataset().by_name("MA-GrowthRate").unwrap();
     let query = ma.subsequence(6, 8).unwrap().to_vec();
     let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
-    let (m, stats) = engine.best_match(&query, &opts);
+    let (m, stats) = engine.best_match(&query, &opts).unwrap();
     let m = m.expect("another state matches");
     assert_ne!(m.series_name, "MA-GrowthRate");
     assert!(m.distance.is_finite() && m.distance >= 0.0);
@@ -61,8 +61,8 @@ fn persisted_base_answers_identically() {
         .unwrap()
         .to_vec();
     let opts = QueryOptions::default();
-    let (a, _) = engine.best_match(&query, &opts);
-    let (b, _) = engine2.best_match(&query, &opts);
+    let (a, _) = engine.best_match(&query, &opts).unwrap();
+    let (b, _) = engine2.best_match(&query, &opts).unwrap();
     let (a, b) = (a.unwrap(), b.unwrap());
     assert_eq!(a.subseq, b.subseq);
     assert!((a.distance - b.distance).abs() < 1e-12);
@@ -132,7 +132,7 @@ fn variable_length_query_on_ragged_collection() {
         .values()
         .to_vec();
     let opts = QueryOptions::default().lengths(LengthSelection::Nearest(4));
-    let (matches, _) = engine.k_best(&query, 5, &opts);
+    let (matches, _) = engine.k_best(&query, 5, &opts).unwrap();
     assert!(!matches.is_empty());
     for m in &matches {
         assert!(m.normalized.is_finite());
@@ -152,7 +152,7 @@ fn lifetime_stats_observe_all_queries() {
         .unwrap()
         .to_vec();
     for _ in 0..3 {
-        let _ = engine.best_match(&q, &QueryOptions::default());
+        let _ = engine.best_match(&q, &QueryOptions::default()).unwrap();
     }
     let total = engine.lifetime_stats();
     assert!(total.groups_examined >= 3);

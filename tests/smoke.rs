@@ -42,7 +42,7 @@ fn tiny_base_round_trips_a_verbatim_window() {
         .subsequence(10, 10)
         .unwrap()
         .to_vec();
-    let (m, stats) = engine.best_match(&query, &QueryOptions::default());
+    let (m, stats) = engine.best_match(&query, &QueryOptions::default()).unwrap();
     let m = m.expect("a populated base answers");
     assert!(
         m.distance < 1e-9,
