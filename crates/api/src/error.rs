@@ -34,6 +34,11 @@ pub enum OnexError {
     InvalidData(String),
     /// An underlying I/O operation failed.
     Io(std::io::Error),
+    /// An internal invariant broke on the server side — e.g. a
+    /// construction worker panicked. Never the caller's fault (a 5xx in
+    /// HTTP terms); carried as an error so one poisoned computation
+    /// cannot abort a process serving other requests.
+    Internal(String),
 }
 
 impl OnexError {
@@ -48,9 +53,9 @@ impl OnexError {
     }
 
     /// Whether the failure is the caller's fault (a 4xx in HTTP terms):
-    /// everything except [`OnexError::Io`].
+    /// everything except [`OnexError::Io`] and [`OnexError::Internal`].
     pub fn is_client_error(&self) -> bool {
-        !matches!(self, OnexError::Io(_))
+        !matches!(self, OnexError::Io(_) | OnexError::Internal(_))
     }
 }
 
@@ -64,6 +69,7 @@ impl fmt::Display for OnexError {
             OnexError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             OnexError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
             OnexError::Io(e) => write!(f, "i/o error: {e}"),
+            OnexError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -121,6 +127,13 @@ mod tests {
         assert!(e.source().is_some());
         assert!(!e.is_client_error());
         assert!(OnexError::invalid_query("x").is_client_error());
+    }
+
+    #[test]
+    fn internal_errors_are_server_faults() {
+        let e = OnexError::Internal("worker panicked".into());
+        assert!(!e.is_client_error());
+        assert!(e.to_string().contains("internal error"));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use onex_bench::workloads;
-use onex_grouping::{persist, BaseBuilder, BaseConfig};
+use onex_grouping::{persist, BaseBuilder, BaseConfig, IndexPolicy};
 use std::hint::black_box;
 
 fn bench_construction(c: &mut Criterion) {
@@ -19,13 +19,26 @@ fn bench_construction(c: &mut Criterion) {
             |b, _| b.iter(|| black_box(builder.build(&ds))),
         );
     }
+    // The nearest-representative lookup policies on the same workload.
+    for policy in [IndexPolicy::Linear, IndexPolicy::VpTree, IndexPolicy::Auto] {
+        let cfg = BaseConfig {
+            index: policy,
+            ..BaseConfig::new(0.35, 16, 24)
+        };
+        let builder = BaseBuilder::new(cfg).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("build_index", policy.label()),
+            &policy,
+            |b, _| b.iter(|| black_box(builder.build(&ds))),
+        );
+    }
     let cfg = BaseConfig::new(0.35, 16, 24);
     let builder = BaseBuilder::new(cfg).unwrap();
     for threads in [1usize, 2, 4] {
         g.bench_with_input(
             BenchmarkId::new("build_parallel", threads),
             &threads,
-            |b, &t| b.iter(|| black_box(builder.build_parallel(&ds, t))),
+            |b, &t| b.iter(|| black_box(builder.build_parallel(&ds, t).unwrap())),
         );
     }
     let (base, _) = builder.build(&ds);

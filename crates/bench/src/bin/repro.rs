@@ -1,24 +1,61 @@
 //! `repro` — regenerate every experiment table and figure artefact.
 //!
 //! ```text
-//! repro                 # run everything, full sizes
-//! repro --quick         # run everything, CI sizes
-//! repro e5 e6           # run selected experiments
-//! repro list            # list experiment ids
+//! repro                        # run everything, full sizes
+//! repro --quick                # run everything, CI sizes
+//! repro e5 e6                  # run selected experiments
+//! repro --format json e12      # also write machine-readable perf records
+//! repro list                   # list experiment ids
 //! ```
 //!
-//! Tables print to stdout; SVG artefacts land in `target/repro/`.
+//! Tables print to stdout; SVG artefacts land in `target/repro/`. With
+//! `--format json`, experiments that define a perf record write it next
+//! to the working directory (currently `e12` → `BENCH_construction.json`,
+//! subsequences/sec per index policy) so successive runs leave a
+//! comparable performance trajectory.
 
 use onex_bench::experiments;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with('-'))
-        .map(String::as_str)
-        .collect();
+    let mut quick = false;
+    let mut format = "table".to_string();
+    let mut ids: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" | "-q" => quick = true,
+            "--format" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => format = v.clone(),
+                    None => {
+                        eprintln!("--format needs a value (table or json)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            a if a.starts_with("--format=") => {
+                format = a["--format=".len()..].to_string();
+            }
+            // Unknown flags are hard errors: a typo must not silently
+            // drop the JSON perf record and still exit 0.
+            a if a.starts_with('-') => {
+                eprintln!("unknown flag {a:?}; known: --quick/-q, --format <table|json>");
+                std::process::exit(2);
+            }
+            a => ids.push(a),
+        }
+        i += 1;
+    }
+    let json = match format.as_str() {
+        "json" => true,
+        "table" => false,
+        other => {
+            eprintln!("unknown format {other:?}; one of table, json");
+            std::process::exit(2);
+        }
+    };
 
     if ids.first() == Some(&"list") {
         println!("available experiments:");
@@ -42,9 +79,22 @@ fn main() {
     let mut failed = false;
     for id in selected {
         match experiments::run(id, quick) {
-            Some(tables) => {
-                for table in tables {
+            Some(output) => {
+                for table in output.tables {
                     println!("{}", table.render());
+                }
+                // Tables and record come from one measurement pass, so
+                // the perf file reflects the printed table exactly.
+                if json {
+                    if let Some((path, record)) = output.record {
+                        match std::fs::write(path, record) {
+                            Ok(()) => println!("# wrote {path}"),
+                            Err(e) => {
+                                eprintln!("cannot write {path}: {e}");
+                                failed = true;
+                            }
+                        }
+                    }
                 }
             }
             None => {

@@ -1,0 +1,243 @@
+//! E12 — base construction at scale: the indexed nearest-representative
+//! lookup against the linear reference, dataset size × index policy.
+//!
+//! Construction is the demo's one-click preprocessing step, so its
+//! latency is user-facing. The linear admission scan costs O(groups) per
+//! subsequence — worst exactly when the base barely compacts (random
+//! walks: groups ≈ subsequences). E12 sweeps that adversarial workload
+//! across sizes and [`IndexPolicy`] settings, reporting wall-clock,
+//! throughput, distance-call counts and — crucially — whether every
+//! policy produced the *identical* base (the index is exact, not an
+//! approximation).
+
+use std::time::Duration;
+
+use onex_grouping::{BaseBuilder, BaseConfig, IndexPolicy, OnexBase};
+
+use crate::harness::{fmt_duration, fmt_speedup, Table};
+use crate::workloads;
+
+/// Subsequence length indexed by every E12 row (single length keeps the
+/// comparison about lookup cost, not length mix).
+const SUBSEQ_LEN: usize = 24;
+/// Similarity threshold: small enough that random walks barely group —
+/// the many-groups regime the index exists for.
+const ST: f64 = 0.5;
+
+/// One (dataset size, policy) measurement.
+pub struct PolicyRow {
+    /// Series count of the workload.
+    pub series: usize,
+    /// Samples per series.
+    pub len: usize,
+    /// Index policy under test.
+    pub policy: IndexPolicy,
+    /// Subsequences assigned.
+    pub subsequences: usize,
+    /// Groups created.
+    pub groups: usize,
+    /// Construction wall-clock.
+    pub elapsed: Duration,
+    /// Construction throughput.
+    pub per_sec: f64,
+    /// Representatives distance-compared.
+    pub examined: usize,
+    /// Representatives dismissed by index bounds.
+    pub pruned: usize,
+    /// Euclidean evaluations started (lookups + index maintenance).
+    pub distance_calls: usize,
+    /// Whether this policy's base is identical to the linear reference
+    /// (groups, memberships and representatives all equal).
+    pub identical_to_linear: bool,
+}
+
+/// Run the sweep. Quick mode still includes a ≥5k-subsequence row so the
+/// crossover claim is demonstrated, not extrapolated.
+pub fn measure(quick: bool) -> Vec<PolicyRow> {
+    let sizes: &[(usize, usize)] = if quick {
+        &[(12, 96), (40, 160)]
+    } else {
+        &[(12, 96), (40, 160), (80, 256)]
+    };
+    let mut rows = Vec::new();
+    for &(series, len) in sizes {
+        let ds = workloads::walk_collection(series, len);
+        let mut reference: Option<OnexBase> = None;
+        for policy in [IndexPolicy::Linear, IndexPolicy::VpTree, IndexPolicy::Auto] {
+            let cfg = BaseConfig {
+                index: policy,
+                ..BaseConfig::new(ST, SUBSEQ_LEN, SUBSEQ_LEN)
+            };
+            let builder = BaseBuilder::new(cfg).expect("valid config");
+            let (base, report) = builder.build(&ds);
+            let identical = match &reference {
+                None => {
+                    reference = Some(base);
+                    true // the linear run *is* the reference
+                }
+                Some(linear) => base == *linear,
+            };
+            rows.push(PolicyRow {
+                series,
+                len,
+                policy,
+                subsequences: report.subsequences,
+                groups: report.groups,
+                elapsed: report.elapsed,
+                per_sec: report.subsequences_per_sec(),
+                examined: report.work.examined,
+                pruned: report.work.pruned,
+                distance_calls: report.work.distance_calls,
+                identical_to_linear: identical,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the sweep as the experiment table.
+pub fn table(rows: &[PolicyRow]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E12 — indexed nearest-representative lookup vs linear scan \
+             (random walks, length {SUBSEQ_LEN}, ST {ST}: the many-groups \
+             regime where construction is slowest)"
+        ),
+        &[
+            "collection",
+            "policy",
+            "subseqs",
+            "groups",
+            "build",
+            "subseq/s",
+            "dist calls",
+            "examined",
+            "pruned",
+            "speedup vs linear",
+            "identical",
+        ],
+    );
+    for row in rows {
+        let linear = rows
+            .iter()
+            .find(|r| r.series == row.series && r.len == row.len && r.policy == IndexPolicy::Linear)
+            .expect("linear row exists for every size");
+        t.row(vec![
+            format!("{}x{}", row.series, row.len),
+            row.policy.label().into(),
+            row.subsequences.to_string(),
+            row.groups.to_string(),
+            fmt_duration(row.elapsed),
+            format!("{:.0}", row.per_sec),
+            row.distance_calls.to_string(),
+            row.examined.to_string(),
+            row.pruned.to_string(),
+            fmt_speedup(linear.elapsed, row.elapsed),
+            if row.identical_to_linear { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t
+}
+
+/// The machine-readable perf record `repro --format json` writes to
+/// `BENCH_construction.json` — subsequences/sec per policy per size, so
+/// future changes have a trajectory to compare against.
+pub fn json_report(rows: &[PolicyRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"experiment\":\"e12_construction\",\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"series\":{},\"len\":{},\"policy\":\"{}\",\"subsequences\":{},\
+             \"groups\":{},\"elapsed_ms\":{:.3},\"subsequences_per_sec\":{:.1},\
+             \"distance_calls\":{},\"examined\":{},\"pruned\":{},\
+             \"identical_to_linear\":{}}}",
+            r.series,
+            r.len,
+            r.policy.label(),
+            r.subsequences,
+            r.groups,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.per_sec,
+            r.distance_calls,
+            r.examined,
+            r.pruned,
+            r.identical_to_linear,
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Standard experiment entry point.
+pub fn run(quick: bool) -> Vec<Table> {
+    vec![table(&measure(quick))]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_builder_beats_linear_and_stays_identical() {
+        let rows = measure(true);
+        assert_eq!(rows.len(), 6, "2 sizes × 3 policies");
+        for row in &rows {
+            assert!(
+                row.identical_to_linear,
+                "{}x{} {}",
+                row.series, row.len, row.policy
+            );
+        }
+        // Group counts agree across policies at each size.
+        for size in [(12, 96), (40, 160)] {
+            let of = |p: IndexPolicy| {
+                rows.iter()
+                    .find(|r| (r.series, r.len) == size && r.policy == p)
+                    .unwrap()
+            };
+            let linear = of(IndexPolicy::Linear);
+            let vptree = of(IndexPolicy::VpTree);
+            let auto = of(IndexPolicy::Auto);
+            assert_eq!(linear.groups, vptree.groups);
+            assert_eq!(linear.groups, auto.groups);
+            assert_eq!(linear.subsequences, vptree.subsequences);
+        }
+        // The acceptance row: ≥5k subsequences, where the tree must beat
+        // the scan on distance calls by a wide margin (wall-clock follows
+        // — the table reports it — but is not asserted to keep CI stable).
+        let big_linear = of_policy(&rows, (40, 160), IndexPolicy::Linear);
+        let big_tree = of_policy(&rows, (40, 160), IndexPolicy::VpTree);
+        assert!(
+            big_linear.subsequences >= 5000,
+            "{}",
+            big_linear.subsequences
+        );
+        assert!(
+            big_tree.distance_calls * 2 < big_linear.distance_calls,
+            "tree {} vs linear {} distance calls",
+            big_tree.distance_calls,
+            big_linear.distance_calls
+        );
+        assert!(big_tree.pruned > 0);
+    }
+
+    fn of_policy(rows: &[PolicyRow], size: (usize, usize), p: IndexPolicy) -> &PolicyRow {
+        rows.iter()
+            .find(|r| (r.series, r.len) == size && r.policy == p)
+            .unwrap()
+    }
+
+    #[test]
+    fn json_report_is_parseable_shape() {
+        let rows = measure(true);
+        let json = json_report(&rows);
+        assert!(json.starts_with("{\"experiment\":\"e12_construction\""));
+        assert_eq!(json.matches("\"policy\":").count(), rows.len());
+        assert!(json.contains("\"subsequences_per_sec\":"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+}

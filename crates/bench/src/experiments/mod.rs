@@ -4,6 +4,7 @@
 
 pub mod e10_streaming;
 pub mod e11_baseline_index;
+pub mod e12_construction;
 pub mod e1_pipeline;
 pub mod e2_similarity;
 pub mod e3_linked_views;
@@ -17,24 +18,55 @@ pub mod e9_ablation;
 use crate::harness::Table;
 
 /// Experiment ids accepted by the `repro` binary.
-pub const ALL: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+pub const ALL: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
+/// What one experiment run produced: the printable tables, plus an
+/// optional machine-readable perf record (filename, contents) that
+/// `repro --format json` writes next to the working directory so
+/// successive runs leave a comparable performance trajectory. Both views
+/// come from one measurement pass.
+pub struct ExperimentOutput {
+    /// Printable tables, one per panel.
+    pub tables: Vec<Table>,
+    /// Optional perf record: `(file name, JSON document)`.
+    pub record: Option<(&'static str, String)>,
+}
+
+impl From<Vec<Table>> for ExperimentOutput {
+    fn from(tables: Vec<Table>) -> Self {
+        ExperimentOutput {
+            tables,
+            record: None,
+        }
+    }
+}
+
 /// Dispatch one experiment by id.
-pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
+pub fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
     match id {
-        "e1" => Some(e1_pipeline::run(quick)),
-        "e2" => Some(e2_similarity::run(quick)),
-        "e3" => Some(e3_linked_views::run(quick)),
-        "e4" => Some(e4_seasonal::run(quick)),
-        "e5" => Some(e5_speed::run(quick)),
-        "e6" => Some(e6_accuracy::run(quick)),
-        "e7" => Some(e7_compaction::run(quick)),
-        "e8" => Some(e8_threshold::run(quick)),
-        "e9" => Some(e9_ablation::run(quick)),
-        "e10" => Some(e10_streaming::run(quick)),
-        "e11" => Some(e11_baseline_index::run(quick)),
+        "e1" => Some(e1_pipeline::run(quick).into()),
+        "e2" => Some(e2_similarity::run(quick).into()),
+        "e3" => Some(e3_linked_views::run(quick).into()),
+        "e4" => Some(e4_seasonal::run(quick).into()),
+        "e5" => Some(e5_speed::run(quick).into()),
+        "e6" => Some(e6_accuracy::run(quick).into()),
+        "e7" => Some(e7_compaction::run(quick).into()),
+        "e8" => Some(e8_threshold::run(quick).into()),
+        "e9" => Some(e9_ablation::run(quick).into()),
+        "e10" => Some(e10_streaming::run(quick).into()),
+        "e11" => Some(e11_baseline_index::run(quick).into()),
+        "e12" => {
+            let rows = e12_construction::measure(quick);
+            Some(ExperimentOutput {
+                tables: vec![e12_construction::table(&rows)],
+                record: Some((
+                    "BENCH_construction.json",
+                    e12_construction::json_report(&rows),
+                )),
+            })
+        }
         _ => None,
     }
 }

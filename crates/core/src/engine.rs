@@ -53,12 +53,17 @@ impl Onex {
     }
 
     /// Like [`Onex::build`] with length-parallel construction.
+    ///
+    /// # Errors
+    /// [`OnexError::InvalidConfig`] for an invalid configuration;
+    /// [`OnexError::Internal`] when a construction worker fails (the
+    /// failure is reported instead of aborting the process).
     pub fn build_parallel(
         dataset: Dataset,
         config: BaseConfig,
         threads: usize,
     ) -> Result<(Self, BuildReport), OnexError> {
-        let (base, report) = BaseBuilder::new(config)?.build_parallel(&dataset, threads);
+        let (base, report) = BaseBuilder::new(config)?.build_parallel(&dataset, threads)?;
         Ok((Self::from_parts(dataset, base)?, report))
     }
 

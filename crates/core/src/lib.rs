@@ -42,6 +42,7 @@ pub mod threshold;
 
 pub use engine::{Comparison, Onex};
 pub use onex_api::{OnexError, SimilaritySearch};
+pub use onex_grouping::{BuildReport, IndexPolicy, IndexWork};
 pub use options::{LengthSelection, QueryOptions, ScanBreadth};
 pub use result::{Match, SeasonalPattern};
 pub use seasonal::SeasonalOptions;

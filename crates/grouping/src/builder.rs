@@ -2,13 +2,20 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use onex_api::OnexError;
-use onex_distance::ed::ed_early_abandon_sq;
 use onex_tseries::Dataset;
 
+use crate::repindex::{IndexWork, RepresentativeIndex};
 use crate::{BaseConfig, OnexBase, RepresentativePolicy, SimilarityGroup, SubsequenceSpace};
 
 /// Constructs the ONEX base from a dataset (paper §3.1, the
 /// "pre-processing step" at the top of Fig 1).
+///
+/// All three construction paths — [`BaseBuilder::build`],
+/// [`BaseBuilder::build_parallel`] and the incremental
+/// [`BaseBuilder::extend`] — share one admission rule (the private
+/// `assign_one`) driven through the nearest-representative index
+/// selected by [`BaseConfig::index`], so they produce identical
+/// assignments whatever the lookup strategy.
 ///
 /// ```
 /// use onex_grouping::{BaseBuilder, BaseConfig};
@@ -28,10 +35,14 @@ use crate::{BaseConfig, OnexBase, RepresentativePolicy, SimilarityGroup, Subsequ
 #[derive(Debug, Clone)]
 pub struct BaseBuilder {
     config: BaseConfig,
+    /// Test-only fault injection: panic while constructing this length,
+    /// exercising the parallel builder's worker-failure propagation.
+    #[cfg(test)]
+    fail_len: Option<usize>,
 }
 
-/// What a construction run did — reported by experiment E7 and the data
-/// loading step of the demo ("loading a new dataset triggers the
+/// What a construction run did — reported by experiment E7/E12 and the
+/// data loading step of the demo ("loading a new dataset triggers the
 /// preprocessing of this data at the server side").
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BuildReport {
@@ -43,6 +54,11 @@ pub struct BuildReport {
     pub subsequences: usize,
     /// Total groups created.
     pub groups: usize,
+    /// Nearest-representative lookup effort (representatives examined /
+    /// pruned / distance calls), mirroring the query-side
+    /// `onex_api::BackendStats` so construction cost is comparable across
+    /// index policies the way query cost is across backends.
+    pub work: IndexWork,
 }
 
 impl BuildReport {
@@ -56,6 +72,17 @@ impl BuildReport {
             self.subsequences as f64 / self.groups as f64
         }
     }
+
+    /// Construction throughput in subsequences per second (0 when the
+    /// clock read as zero).
+    pub fn subsequences_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.subsequences as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 impl BaseBuilder {
@@ -65,7 +92,11 @@ impl BaseBuilder {
     /// [`OnexError::InvalidConfig`] for an invalid configuration.
     pub fn new(config: BaseConfig) -> Result<Self, OnexError> {
         config.validate()?;
-        Ok(BaseBuilder { config })
+        Ok(BaseBuilder {
+            config,
+            #[cfg(test)]
+            fail_len: None,
+        })
     }
 
     /// The configuration this builder applies.
@@ -78,30 +109,47 @@ impl BaseBuilder {
         let start = Instant::now();
         let space = SubsequenceSpace::new(dataset, &self.config);
         let mut per_length = BTreeMap::new();
+        let mut work = IndexWork::default();
         for len in space.lengths() {
-            per_length.insert(len, self.build_length(dataset, &space, len));
+            let (groups, w) = self.build_length(dataset, &space, len);
+            work += w;
+            per_length.insert(len, groups);
         }
-        self.finish(dataset, per_length, start)
+        self.finish(dataset, per_length, start, work)
     }
 
     /// Length-parallel construction over `threads` workers. Lengths are
     /// independent, so the result is identical to [`Self::build`]
     /// regardless of the thread count.
-    pub fn build_parallel(&self, dataset: &Dataset, threads: usize) -> (OnexBase, BuildReport) {
+    ///
+    /// # Errors
+    /// [`OnexError::Internal`] when a construction worker panics: the
+    /// failure is reported instead of poisoning the calling process, so a
+    /// server can answer the load request with a 500 and keep serving.
+    pub fn build_parallel(
+        &self,
+        dataset: &Dataset,
+        threads: usize,
+    ) -> Result<(OnexBase, BuildReport), OnexError> {
         let start = Instant::now();
         let space = SubsequenceSpace::new(dataset, &self.config);
         let lengths = space.lengths();
         let threads = threads.clamp(1, lengths.len().max(1));
         if threads <= 1 {
             let mut per_length = BTreeMap::new();
+            let mut work = IndexWork::default();
             for len in lengths {
-                per_length.insert(len, self.build_length(dataset, &space, len));
+                let (groups, w) = self.build_length(dataset, &space, len);
+                work += w;
+                per_length.insert(len, groups);
             }
-            return self.finish(dataset, per_length, start);
+            return Ok(self.finish(dataset, per_length, start, work));
         }
         // Interleave lengths across workers so long lengths (slower rows)
-        // spread out; each worker returns its (len, groups) pairs.
+        // spread out; each worker returns its (len, groups, work) rows.
         let mut per_length = BTreeMap::new();
+        let mut work = IndexWork::default();
+        let mut failures: Vec<String> = Vec::new();
         crossbeam::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(threads);
             for t in 0..threads {
@@ -116,13 +164,26 @@ impl BaseBuilder {
                 }));
             }
             for h in handles {
-                for (len, groups) in h.join().expect("builder worker panicked") {
-                    per_length.insert(len, groups);
+                match h.join() {
+                    Ok(rows) => {
+                        for (len, (groups, w)) in rows {
+                            work += w;
+                            per_length.insert(len, groups);
+                        }
+                    }
+                    Err(panic) => failures.push(panic_message(panic.as_ref())),
                 }
             }
         })
-        .expect("builder scope panicked");
-        self.finish(dataset, per_length, start)
+        .expect("every worker is joined explicitly");
+        if !failures.is_empty() {
+            return Err(OnexError::Internal(format!(
+                "{} of {threads} construction workers failed; first failure: {}",
+                failures.len(),
+                failures[0]
+            )));
+        }
+        Ok(self.finish(dataset, per_length, start, work))
     }
 
     /// Extend an existing base with the series appended to `dataset`
@@ -130,10 +191,12 @@ impl BaseBuilder {
     /// collections "with a click of a button" without rebuilding what is
     /// already indexed).
     ///
-    /// The new subsequences run through the same online admission rule,
-    /// so all base invariants continue to hold; the result can differ
-    /// from a from-scratch rebuild (online grouping is order-dependent),
-    /// exactly as a demo session's base depends on its loading order.
+    /// The new subsequences run through the same online admission rule as
+    /// a batch build (the shared `assign_one`, continued from the
+    /// existing groups), so all base invariants continue to hold; the
+    /// result can differ from a from-scratch rebuild (online grouping is
+    /// order-dependent), exactly as a demo session's base depends on its
+    /// loading order.
     ///
     /// # Errors
     /// [`OnexError::DatasetMismatch`] when the base was built under a
@@ -158,21 +221,39 @@ impl BaseBuilder {
                 seen
             )));
         }
-        let centroid = self.config.policy == RepresentativePolicy::Centroid;
-        for sid in seen..dataset.len() {
-            let series = dataset.series(sid as u32).expect("sid in range");
-            let n = series.len();
-            let max_len = self.config.max_len.min(n);
-            for len in self.config.min_len..=max_len {
-                let groups = per_length.entry(len).or_default();
-                let admission = self.config.admission_radius(len);
-                let admission_sq = admission * admission;
-                let mut offset = 0usize;
-                while offset + len <= n {
-                    let r = onex_tseries::SubseqRef::new(sid as u32, offset as u32, len as u32);
-                    let xs = series.subsequence(offset, len).expect("in bounds");
-                    Self::assign_one(groups, r, xs, admission_sq, centroid);
-                    offset += self.config.stride;
+        let mut work = IndexWork::default();
+        // Per length, new subsequences arrive series-major then
+        // start-ascending — the same order `build_length` consumes — and
+        // group lists of different lengths are independent, so iterating
+        // length-outer here (instead of the append order) assigns every
+        // window exactly as the batch path would. The space owns the
+        // window enumeration, so batch and incremental paths cannot
+        // drift apart.
+        let space = SubsequenceSpace::new(dataset, &self.config);
+        let longest_new = (seen..dataset.len())
+            .map(|sid| dataset.series(sid as u32).expect("sid in range").len())
+            .max()
+            .unwrap_or(0);
+        for len in self.config.min_len..=self.config.max_len.min(longest_new) {
+            let new_windows: usize = (seen..dataset.len())
+                .map(|sid| space.count_for_series_len(sid, len))
+                .sum();
+            if new_windows == 0 {
+                continue;
+            }
+            let admission = self.config.admission_radius(len);
+            let admission_sq = admission * admission;
+            let groups = per_length.entry(len).or_default();
+            // `Auto` decides on the lookups this extension will perform,
+            // not the base size: a small increment over a large base is
+            // served cheaper by the linear scan than by bulk-building a
+            // tree it will barely query.
+            let mut index = self.config.index.create(new_windows);
+            index.seed(groups, &mut work);
+            for sid in seen..dataset.len() {
+                for r in space.refs_for_series_len(sid, len) {
+                    let xs = dataset.resolve(r).expect("space references are in bounds");
+                    self.assign_one(groups, index.as_mut(), r, xs, admission_sq, &mut work);
                 }
             }
         }
@@ -183,51 +264,63 @@ impl BaseBuilder {
             lengths: stats.per_length.len(),
             subsequences: stats.members,
             groups: stats.groups,
+            work,
         };
         Ok((new_base, report))
     }
 
     /// Online assignment for one length: each subsequence joins the
     /// nearest group whose representative is within the admission radius,
-    /// else seeds a new group. Early-abandoning ED keeps the scan cheap:
-    /// the abandonment bound tightens to the best group seen so far.
+    /// else seeds a new group. The lookup goes through the configured
+    /// [`crate::RepresentativeIndex`].
     fn build_length(
         &self,
         dataset: &Dataset,
         space: &SubsequenceSpace,
         len: usize,
-    ) -> Vec<SimilarityGroup> {
+    ) -> (Vec<SimilarityGroup>, IndexWork) {
+        #[cfg(test)]
+        if self.fail_len == Some(len) {
+            panic!("injected construction failure at length {len}");
+        }
         let admission = self.config.admission_radius(len);
         let admission_sq = admission * admission;
-        let centroid = self.config.policy == RepresentativePolicy::Centroid;
         let mut groups: Vec<SimilarityGroup> = Vec::new();
+        let mut index = self.config.index.create(space.count_for_len(len));
+        let mut work = IndexWork::default();
         for r in space.refs_for_len(len) {
             let xs = dataset.resolve(r).expect("space references are in bounds");
-            Self::assign_one(&mut groups, r, xs, admission_sq, centroid);
+            self.assign_one(&mut groups, index.as_mut(), r, xs, admission_sq, &mut work);
         }
-        groups
+        (groups, work)
     }
 
-    /// The admission rule applied to one subsequence.
+    /// The admission rule applied to one subsequence — the single place
+    /// every construction path (batch, parallel, incremental) runs
+    /// through: join the nearest group within `ST/2`, else seed a new one,
+    /// keeping the index in sync with seeded groups and drifting
+    /// centroids.
     fn assign_one(
+        &self,
         groups: &mut Vec<SimilarityGroup>,
+        index: &mut dyn RepresentativeIndex,
         r: onex_tseries::SubseqRef,
         xs: &[f64],
         admission_sq: f64,
-        centroid: bool,
+        work: &mut IndexWork,
     ) {
-        let mut best: Option<(usize, f64)> = None;
-        let mut bound_sq = admission_sq;
-        for (gi, g) in groups.iter().enumerate() {
-            let d_sq = ed_early_abandon_sq(xs, g.representative(), bound_sq);
-            if d_sq.is_finite() && best.is_none_or(|(_, b)| d_sq < b) {
-                best = Some((gi, d_sq));
-                bound_sq = d_sq;
+        let centroid = self.config.policy == RepresentativePolicy::Centroid;
+        match index.nearest_within(xs, admission_sq, groups, work) {
+            Some((gi, d_sq)) => {
+                groups[gi].admit(r, xs, d_sq.sqrt(), centroid);
+                if centroid {
+                    index.update(gi, groups[gi].representative(), work);
+                }
             }
-        }
-        match best {
-            Some((gi, d_sq)) => groups[gi].admit(r, xs, d_sq.sqrt(), centroid),
-            None => groups.push(SimilarityGroup::seed(r, xs)),
+            None => {
+                groups.push(SimilarityGroup::seed(r, xs));
+                index.insert(groups.len() - 1, xs, work);
+            }
         }
     }
 
@@ -236,6 +329,7 @@ impl BaseBuilder {
         dataset: &Dataset,
         per_length: BTreeMap<usize, Vec<SimilarityGroup>>,
         start: Instant,
+        work: IndexWork,
     ) -> (OnexBase, BuildReport) {
         let base = OnexBase::from_parts(self.config.clone(), per_length, dataset.len());
         let stats = base.stats();
@@ -244,14 +338,27 @@ impl BaseBuilder {
             lengths: stats.per_length.len(),
             subsequences: stats.members,
             groups: stats.groups,
+            work,
         };
         (base, report)
+    }
+}
+
+/// Best-effort human-readable message from a worker panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".into()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::IndexPolicy;
     use onex_distance::ed;
     use onex_tseries::TimeSeries;
 
@@ -273,6 +380,7 @@ mod tests {
         assert_eq!(report.subsequences, 9);
         assert_eq!(report.groups, 2, "flat+near merge, far isolates");
         assert!(report.compaction() > 4.0);
+        assert!(report.work.examined > 0 && report.work.distance_calls > 0);
         let groups = base.groups_for_len(4);
         let cardinalities: Vec<usize> = groups.iter().map(|g| g.cardinality()).collect();
         assert!(cardinalities.contains(&6) && cardinalities.contains(&3));
@@ -304,11 +412,37 @@ mod tests {
         });
         let cfg = BaseConfig::new(0.8, 6, 20);
         let builder = BaseBuilder::new(cfg).unwrap();
-        let (seq, _) = builder.build(&ds);
+        let (seq, seq_report) = builder.build(&ds);
         for threads in [1, 2, 3, 7, 32] {
-            let (par, _) = builder.build_parallel(&ds, threads);
+            let (par, par_report) = builder.build_parallel(&ds, threads).unwrap();
             assert_eq!(seq, par, "threads={threads}");
+            assert_eq!(seq_report.work, par_report.work, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn parallel_worker_failure_is_a_typed_error_not_a_process_abort() {
+        let ds = onex_tseries::gen::random_walk_dataset(onex_tseries::gen::SyntheticConfig {
+            series: 4,
+            len: 30,
+            seed: 3,
+        });
+        let mut builder = BaseBuilder::new(BaseConfig::new(0.8, 6, 12)).unwrap();
+        builder.fail_len = Some(9);
+        let err = builder
+            .build_parallel(&ds, 3)
+            .expect_err("poisoned length must surface as an error");
+        match err {
+            OnexError::Internal(msg) => {
+                assert!(msg.contains("injected construction failure"), "{msg}");
+                assert!(msg.contains("workers failed"), "{msg}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // The builder remains usable after a failed run.
+        builder.fail_len = None;
+        let (base, _) = builder.build_parallel(&ds, 3).unwrap();
+        assert!(base.stats().groups > 0);
     }
 
     #[test]
@@ -359,6 +493,53 @@ mod tests {
     #[test]
     fn builder_rejects_invalid_config() {
         assert!(BaseBuilder::new(BaseConfig::new(-1.0, 4, 8)).is_err());
+    }
+
+    #[test]
+    fn indexed_build_is_identical_to_linear_reference() {
+        let ds = onex_tseries::gen::random_walk_dataset(onex_tseries::gen::SyntheticConfig {
+            series: 10,
+            len: 80,
+            seed: 77,
+        });
+        for policy in [RepresentativePolicy::Centroid, RepresentativePolicy::Seed] {
+            let cfg = BaseConfig {
+                policy,
+                ..BaseConfig::new(0.6, 8, 14)
+            };
+            let (reference, linear_report) = BaseBuilder::new(BaseConfig {
+                index: IndexPolicy::Linear,
+                ..cfg.clone()
+            })
+            .unwrap()
+            .build(&ds);
+            for index in [IndexPolicy::VpTree, IndexPolicy::Auto] {
+                let (base, report) = BaseBuilder::new(BaseConfig {
+                    index,
+                    ..cfg.clone()
+                })
+                .unwrap()
+                .build(&ds);
+                assert_eq!(base, reference, "{policy:?}/{index:?}");
+                assert_eq!(report.groups, linear_report.groups);
+                assert_eq!(report.subsequences, linear_report.subsequences);
+            }
+            // 10×~67 windows per length ≥ 512 → Auto picks the tree,
+            // which must do the same job in fewer comparisons.
+            let (_, tree_report) = BaseBuilder::new(BaseConfig {
+                index: IndexPolicy::VpTree,
+                ..cfg.clone()
+            })
+            .unwrap()
+            .build(&ds);
+            assert!(
+                tree_report.work.examined < linear_report.work.examined,
+                "{policy:?}: tree examined {} vs linear {}",
+                tree_report.work.examined,
+                linear_report.work.examined
+            );
+            assert!(tree_report.work.pruned > 0, "{policy:?}");
+        }
     }
 
     #[test]
@@ -454,7 +635,28 @@ mod tests {
         let ds = tiny();
         let builder = BaseBuilder::new(BaseConfig::new(1.0, 4, 4)).unwrap();
         let (base, _) = builder.build(&ds);
-        let (extended, _) = builder.extend(base.clone(), &ds).unwrap();
+        let (extended, report) = builder.extend(base.clone(), &ds).unwrap();
         assert_eq!(extended, base);
+        assert_eq!(report.work, IndexWork::default(), "no lookups performed");
+    }
+
+    #[test]
+    fn extend_accepts_bases_built_under_a_different_index_policy() {
+        let mut ds = tiny();
+        let linear = BaseBuilder::new(BaseConfig {
+            index: IndexPolicy::Linear,
+            ..BaseConfig::new(1.0, 4, 4)
+        })
+        .unwrap();
+        let vptree = BaseBuilder::new(BaseConfig {
+            index: IndexPolicy::VpTree,
+            ..BaseConfig::new(1.0, 4, 4)
+        })
+        .unwrap();
+        let (base, _) = linear.build(&ds);
+        ds.push(TimeSeries::new("near2", vec![0.05; 6])).unwrap();
+        let (a, _) = linear.extend(base.clone(), &ds).unwrap();
+        let (b, _) = vptree.extend(base, &ds).unwrap();
+        assert_eq!(a, b, "index policy never changes what gets built");
     }
 }

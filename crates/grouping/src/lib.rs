@@ -17,8 +17,15 @@
 //!   references, and spread statistics.
 //! * [`BaseBuilder`] constructs the base online: each subsequence joins the
 //!   nearest group of its length when the representative is within `ST/2`
-//!   (Euclidean), otherwise it seeds a new group. Sequential and
-//!   length-parallel (crossbeam) construction produce identical bases.
+//!   (Euclidean), otherwise it seeds a new group. Sequential,
+//!   length-parallel (crossbeam) and incremental construction all run the
+//!   same admission rule and produce identical bases.
+//! * [`RepresentativeIndex`] ([`repindex`]) is the pluggable
+//!   nearest-representative lookup behind that admission rule: the
+//!   [`LinearScan`] reference or the exact [`VpTreeIndex`], selected by
+//!   [`BaseConfig::index`] ([`IndexPolicy`]) — byte-identical results,
+//!   orders of magnitude fewer distance computations when the base
+//!   barely compacts.
 //! * [`OnexBase`] is the finished index: groups per length, compaction
 //!   statistics, invariant auditing, and a versioned binary persistence
 //!   format ([`persist`]).
@@ -39,10 +46,12 @@ mod builder;
 mod config;
 mod group;
 pub mod persist;
+pub mod repindex;
 mod space;
 
 pub use base::{AuditReport, BaseStats, LengthStats, OnexBase};
 pub use builder::{BaseBuilder, BuildReport};
 pub use config::{BaseConfig, RepresentativePolicy};
 pub use group::{GroupId, SimilarityGroup};
+pub use repindex::{IndexPolicy, IndexWork, LinearScan, RepresentativeIndex, VpTreeIndex};
 pub use space::SubsequenceSpace;

@@ -250,6 +250,9 @@ pub fn load<R: Read>(mut r: R) -> Result<OnexBase, PersistError> {
         stride,
         policy,
         length_normalized,
+        // The lookup strategy is an execution hint, not part of the base's
+        // semantics — it is not persisted and defaults on load.
+        index: crate::IndexPolicy::default(),
     };
     config
         .validate()

@@ -1,0 +1,771 @@
+//! Pluggable nearest-representative lookup for base construction.
+//!
+//! [`crate::BaseBuilder`] assigns every subsequence to the nearest
+//! existing group whose representative lies within the admission radius
+//! (`ST/2`). The reference implementation is a linear scan over all
+//! representatives — O(groups) per subsequence, O(n·groups) for a whole
+//! construction run, which makes preprocessing the slowest path in the
+//! system precisely when the base barely compacts (many groups). The
+//! paper treats preprocessing as an interactive, one-click step
+//! ("loading a new dataset triggers the preprocessing of this data at
+//! the server side"), so this latency is user-facing.
+//!
+//! [`RepresentativeIndex`] abstracts the lookup so an exact metric index
+//! ([`VpTreeIndex`]) can answer the same question in roughly logarithmic
+//! time with **identical results**. The contract is exact, not
+//! approximate: the winner is defined as the representative minimising
+//! `(d², group id)` lexicographically among those with
+//! `d² ≤ radius²`, where `d²` is the same floating-point sum the linear
+//! scan computes (sequential accumulation, as in
+//! [`onex_distance::ed::ed_sq`]). Every implementation must return that
+//! winner, so construction through any index produces a byte-identical
+//! base — the equivalence property tests in `tests/properties.rs` and
+//! bench experiment E12 both check this.
+//!
+//! Which implementation runs is an execution decision, not a semantic
+//! one, selected by [`IndexPolicy`] on [`crate::BaseConfig`].
+
+use std::str::FromStr;
+
+use onex_api::OnexError;
+use onex_distance::ed::{ed_early_abandon_sq, ed_sq};
+
+use crate::SimilarityGroup;
+
+/// Work accounting for one construction run, mirroring the query-side
+/// `onex_api::BackendStats` triple so construction effort can be compared
+/// across index policies the same way query effort is compared across
+/// backends. `examined` and `pruned` are disjoint: a representative is
+/// either dismissed by an index bound before any distance computation
+/// (pruned) or actually compared against (examined), never both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexWork {
+    /// Representatives whose distance to a subsequence was computed
+    /// (including early-abandoned comparisons, which still start the sum).
+    pub examined: usize,
+    /// Representatives dismissed by an index bound without starting a
+    /// distance computation (subtrees cut by the triangle inequality).
+    pub pruned: usize,
+    /// Euclidean-distance evaluations started, including the index's own
+    /// maintenance work (tree rebuilds), so policies are compared on
+    /// total effort rather than lookup effort alone.
+    pub distance_calls: usize,
+}
+
+impl std::ops::AddAssign for IndexWork {
+    fn add_assign(&mut self, rhs: IndexWork) {
+        self.examined += rhs.examined;
+        self.pruned += rhs.pruned;
+        self.distance_calls += rhs.distance_calls;
+    }
+}
+
+/// How [`crate::BaseBuilder`] looks up the nearest representative during
+/// construction. Every policy produces a byte-identical base; they differ
+/// only in construction time and distance-call count (experiment E12
+/// measures both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexPolicy {
+    /// Decide per subsequence length: use the VP-tree when the length has
+    /// enough subsequences to amortise tree maintenance, the linear scan
+    /// otherwise. The default.
+    #[default]
+    Auto,
+    /// Always scan every representative — the reference implementation.
+    Linear,
+    /// Always use the exact VP-tree index over representatives.
+    VpTree,
+}
+
+/// Lengths with at least this many subsequences get the VP-tree under
+/// [`IndexPolicy::Auto`]; below it the linear scan's lower constant wins.
+const AUTO_MIN_SUBSEQUENCES: usize = 512;
+
+impl IndexPolicy {
+    /// Instantiate the index for one length, given how many nearest-
+    /// representative lookups the builder expects to perform against it.
+    pub(crate) fn create(self, expected_lookups: usize) -> Box<dyn RepresentativeIndex> {
+        match self {
+            IndexPolicy::Linear => Box::new(LinearScan),
+            IndexPolicy::VpTree => Box::new(VpTreeIndex::new()),
+            IndexPolicy::Auto => {
+                if expected_lookups >= AUTO_MIN_SUBSEQUENCES {
+                    Box::new(VpTreeIndex::new())
+                } else {
+                    Box::new(LinearScan)
+                }
+            }
+        }
+    }
+
+    /// Stable lowercase name (`auto` / `linear` / `vptree`), the inverse
+    /// of [`IndexPolicy::from_str`].
+    pub fn label(&self) -> &'static str {
+        match self {
+            IndexPolicy::Auto => "auto",
+            IndexPolicy::Linear => "linear",
+            IndexPolicy::VpTree => "vptree",
+        }
+    }
+}
+
+impl std::fmt::Display for IndexPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for IndexPolicy {
+    type Err = OnexError;
+
+    /// Parse a policy name as accepted by the bench harness and server
+    /// configuration (`auto`, `linear`, `vptree`).
+    ///
+    /// # Errors
+    /// [`OnexError::InvalidConfig`] naming the offending value.
+    fn from_str(s: &str) -> Result<Self, OnexError> {
+        match s {
+            "auto" => Ok(IndexPolicy::Auto),
+            "linear" => Ok(IndexPolicy::Linear),
+            "vptree" => Ok(IndexPolicy::VpTree),
+            other => Err(OnexError::invalid_config(format!(
+                "unknown index policy {other:?}; one of auto, linear, vptree"
+            ))),
+        }
+    }
+}
+
+/// Nearest-representative lookup used by the builder's admission rule.
+///
+/// The contract every implementation must honour exactly:
+///
+/// * [`RepresentativeIndex::nearest_within`] returns the group whose
+///   representative minimises `(d², group id)` lexicographically among
+///   those with `d² ≤ radius_sq`, with `d²` computed by sequential
+///   accumulation ([`onex_distance::ed::ed_sq`] semantics) — or `None`
+///   when no representative is within the radius.
+/// * The builder calls [`RepresentativeIndex::insert`] exactly once per
+///   newly seeded group, with group ids issued densely from 0.
+/// * The builder calls [`RepresentativeIndex::update`] after every
+///   admission that moved a representative (the `Centroid` policy).
+pub trait RepresentativeIndex {
+    /// The nearest representative within `radius_sq` of `xs` (squared
+    /// Euclidean), ties broken towards the lowest group id. `groups` is
+    /// the builder's live group list (stateless implementations read
+    /// representatives from it; stateful ones keep their own copies).
+    fn nearest_within(
+        &mut self,
+        xs: &[f64],
+        radius_sq: f64,
+        groups: &[SimilarityGroup],
+        work: &mut IndexWork,
+    ) -> Option<(usize, f64)>;
+
+    /// Register a newly seeded group.
+    fn insert(&mut self, group: usize, representative: &[f64], work: &mut IndexWork);
+
+    /// Note that a group's representative moved (centroid drift).
+    fn update(&mut self, group: usize, representative: &[f64], work: &mut IndexWork);
+
+    /// Register all of an existing base's groups at once (the incremental
+    /// `extend` path); equivalent to `insert` in id order, but lets tree
+    /// indexes bulk-load instead of trickling through their buffers.
+    fn seed(&mut self, groups: &[SimilarityGroup], work: &mut IndexWork) {
+        for (gi, g) in groups.iter().enumerate() {
+            self.insert(gi, g.representative(), work);
+        }
+    }
+
+    /// Stable implementation name for reports.
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------
+// Linear scan — the reference implementation.
+// ---------------------------------------------------------------------
+
+/// The reference lookup: scan every representative with an
+/// early-abandoning ED whose bound tightens to the best candidate seen so
+/// far. O(groups) per call; keeps no state of its own.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinearScan;
+
+impl RepresentativeIndex for LinearScan {
+    fn nearest_within(
+        &mut self,
+        xs: &[f64],
+        radius_sq: f64,
+        groups: &[SimilarityGroup],
+        work: &mut IndexWork,
+    ) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        let mut bound_sq = radius_sq;
+        for (gi, g) in groups.iter().enumerate() {
+            work.examined += 1;
+            work.distance_calls += 1;
+            let d_sq = ed_early_abandon_sq(xs, g.representative(), bound_sq);
+            if d_sq.is_finite() && best.is_none_or(|(_, b)| d_sq < b) {
+                best = Some((gi, d_sq));
+                bound_sq = d_sq;
+            }
+        }
+        best
+    }
+
+    fn insert(&mut self, _group: usize, _representative: &[f64], _work: &mut IndexWork) {}
+
+    fn update(&mut self, _group: usize, _representative: &[f64], _work: &mut IndexWork) {}
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+// ---------------------------------------------------------------------
+// VP-tree forest — exact metric index over representatives.
+// ---------------------------------------------------------------------
+
+/// Entries flushed from the buffer into a tree per batch.
+const BUFFER_CAP: usize = 32;
+/// Subtrees at most this large are stored flat and scanned directly.
+const LEAF_CAP: usize = 16;
+
+/// Safety margin added to triangle-inequality bounds so floating-point
+/// rounding of the (near-exact) computed distances can never prune the
+/// true winner. Costs a sliver of pruning power, buys byte-identical
+/// equivalence with the linear scan.
+fn slack(scale: f64) -> f64 {
+    1e-9 * (scale.abs() + 1.0)
+}
+
+/// One indexed representative: the group it belongs to, a snapshot of the
+/// representative's values at index time, and the version of that
+/// snapshot. A snapshot is *live* while its version matches the group's
+/// current version; centroid drift bumps the version, turning every older
+/// snapshot stale (skipped by searches, dropped at the next rebuild).
+#[derive(Debug, Clone)]
+struct Entry {
+    gid: u32,
+    version: u32,
+    rep: Vec<f64>,
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf(Vec<Entry>),
+    Ball {
+        vp: Entry,
+        /// Entries in this subtree including the vantage point.
+        size: usize,
+        /// Distance bounds (root scale) from `vp` to the inside child.
+        in_lo: f64,
+        in_hi: f64,
+        /// Distance bounds (root scale) from `vp` to the outside child.
+        out_lo: f64,
+        out_hi: f64,
+        inside: Box<Node>,
+        outside: Box<Node>,
+    },
+}
+
+impl Node {
+    fn size(&self) -> usize {
+        match self {
+            Node::Leaf(entries) => entries.len(),
+            Node::Ball { size, .. } => *size,
+        }
+    }
+}
+
+/// An exact VP-tree index over group representatives.
+///
+/// Because representatives *move* under the `Centroid` policy and new
+/// groups are seeded constantly, a single static tree would be rebuilt
+/// into uselessness. Instead this is a small forest maintained with the
+/// logarithmic (binary-counter) method: inserts and updates land in a
+/// bounded buffer that is scanned linearly; when the buffer fills, it is
+/// merged with every tree no larger than the batch and rebuilt into one
+/// tree, so each entry participates in O(log n) rebuilds and a lookup
+/// searches the buffer plus O(log n) trees. Stale snapshots (superseded
+/// by centroid drift) are skipped during search and dropped at merges.
+#[derive(Debug, Default)]
+pub struct VpTreeIndex {
+    trees: Vec<Node>,
+    buffer: Vec<Entry>,
+    /// Current snapshot version per group id.
+    versions: Vec<u32>,
+}
+
+impl VpTreeIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        VpTreeIndex::default()
+    }
+
+    fn upsert_buffer(&mut self, entry: Entry, work: &mut IndexWork) {
+        if let Some(slot) = self.buffer.iter_mut().find(|b| b.gid == entry.gid) {
+            *slot = entry;
+            return;
+        }
+        self.buffer.push(entry);
+        if self.buffer.len() >= BUFFER_CAP {
+            self.flush(work);
+        }
+    }
+
+    /// Merge the buffer with every tree it has outgrown and rebuild the
+    /// union as one tree (the binary-counter step).
+    fn flush(&mut self, work: &mut IndexWork) {
+        let mut entries = std::mem::take(&mut self.buffer);
+        while let Some(pos) = self.trees.iter().position(|t| t.size() <= entries.len()) {
+            collect_live(self.trees.swap_remove(pos), &self.versions, &mut entries);
+        }
+        if !entries.is_empty() {
+            self.trees.push(build_node(entries, work));
+        }
+    }
+}
+
+/// Drain a subtree, keeping only entries whose snapshot is still current.
+fn collect_live(node: Node, versions: &[u32], out: &mut Vec<Entry>) {
+    match node {
+        Node::Leaf(entries) => {
+            out.extend(
+                entries
+                    .into_iter()
+                    .filter(|e| versions[e.gid as usize] == e.version),
+            );
+        }
+        Node::Ball {
+            vp,
+            inside,
+            outside,
+            ..
+        } => {
+            if versions[vp.gid as usize] == vp.version {
+                out.push(vp);
+            }
+            collect_live(*inside, versions, out);
+            collect_live(*outside, versions, out);
+        }
+    }
+}
+
+fn build_node(mut entries: Vec<Entry>, work: &mut IndexWork) -> Node {
+    if entries.len() <= LEAF_CAP {
+        return Node::Leaf(entries);
+    }
+    let vp = entries.swap_remove(0);
+    let mut dists: Vec<(f64, Entry)> = entries
+        .into_iter()
+        .map(|e| {
+            work.distance_calls += 1;
+            (ed_sq(&vp.rep, &e.rep).sqrt(), e)
+        })
+        .collect();
+    let mid = dists.len() / 2;
+    dists.select_nth_unstable_by(mid, |a, b| a.0.total_cmp(&b.0));
+    let outside: Vec<(f64, Entry)> = dists.split_off(mid);
+    let bounds = |part: &[(f64, Entry)]| {
+        part.iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), (d, _)| {
+                (lo.min(*d), hi.max(*d))
+            })
+    };
+    let (in_lo, in_hi) = bounds(&dists);
+    let (out_lo, out_hi) = bounds(&outside);
+    let size = 1 + dists.len() + outside.len();
+    Node::Ball {
+        vp,
+        size,
+        in_lo,
+        in_hi,
+        out_lo,
+        out_hi,
+        inside: Box::new(build_node(
+            dists.into_iter().map(|(_, e)| e).collect(),
+            work,
+        )),
+        outside: Box::new(build_node(
+            outside.into_iter().map(|(_, e)| e).collect(),
+            work,
+        )),
+    }
+}
+
+/// Candidate acceptance with the linear scan's exact semantics: strictly
+/// closer wins; at equal distance the lower group id wins (the linear
+/// scan's first-hit-wins order).
+fn offer(best: &mut Option<(usize, f64)>, radius_sq: f64, gid: usize, d_sq: f64) {
+    let accepted = match best {
+        None => d_sq <= radius_sq,
+        Some((bg, b)) => d_sq < *b || (d_sq == *b && gid < *bg),
+    };
+    if accepted {
+        *best = Some((gid, d_sq));
+    }
+}
+
+fn search(
+    node: &Node,
+    xs: &[f64],
+    radius_sq: f64,
+    versions: &[u32],
+    best: &mut Option<(usize, f64)>,
+    work: &mut IndexWork,
+) {
+    let tau_sq = best.map_or(radius_sq, |(_, b)| b);
+    match node {
+        Node::Leaf(entries) => {
+            for e in entries {
+                if versions[e.gid as usize] != e.version {
+                    continue; // superseded snapshot; its successor is elsewhere
+                }
+                work.examined += 1;
+                work.distance_calls += 1;
+                let bound_sq = best.map_or(radius_sq, |(_, b)| b);
+                let d_sq = ed_early_abandon_sq(xs, &e.rep, bound_sq);
+                if d_sq.is_finite() {
+                    offer(best, radius_sq, e.gid as usize, d_sq);
+                }
+            }
+        }
+        Node::Ball {
+            vp,
+            size,
+            in_lo,
+            in_hi,
+            out_lo,
+            out_hi,
+            inside,
+            outside,
+        } => {
+            let tau = tau_sq.sqrt();
+            // If the query is farther from the vantage point than every
+            // stored distance plus the search radius, the triangle
+            // inequality rules out the whole ball — abandon accordingly.
+            let node_ub = in_hi.max(*out_hi) + tau;
+            let node_ub = node_ub + slack(node_ub);
+            work.distance_calls += 1;
+            // A stale vantage point still navigates (its snapshot defines
+            // the subtree geometry) but is not a live representative, so
+            // it counts toward distance_calls only — keeping `examined`
+            // and `pruned` disjoint over representatives, as documented.
+            let vp_live = versions[vp.gid as usize] == vp.version;
+            let d_sq = ed_early_abandon_sq(xs, &vp.rep, node_ub * node_ub);
+            if !d_sq.is_finite() {
+                if vp_live {
+                    work.examined += 1; // comparison started, then abandoned
+                }
+                // The subtree (which may include a few stale snapshots) is
+                // dismissed without any distance computation.
+                work.pruned += size - 1;
+                return;
+            }
+            if vp_live {
+                work.examined += 1;
+                if d_sq <= tau_sq {
+                    offer(best, radius_sq, vp.gid as usize, d_sq);
+                }
+            }
+            let d = d_sq.sqrt();
+            let visit = |child: &Node,
+                         lo: f64,
+                         hi: f64,
+                         best: &mut Option<(usize, f64)>,
+                         work: &mut IndexWork| {
+                let tau = best.map_or(radius_sq, |(_, b)| b).sqrt();
+                // Lower bound on the distance from the query to anything
+                // in the child, by the triangle inequality on d(·, vp).
+                let lb = (d - hi).max(lo - d).max(0.0);
+                if lb > tau + slack(tau.max(lb)) {
+                    work.pruned += child.size();
+                } else {
+                    search(child, xs, radius_sq, versions, best, work);
+                }
+            };
+            // Visit the side the query falls on first: it tightens the
+            // bound before the far side is considered.
+            if d <= (in_hi + out_lo) * 0.5 {
+                visit(inside, *in_lo, *in_hi, best, work);
+                visit(outside, *out_lo, *out_hi, best, work);
+            } else {
+                visit(outside, *out_lo, *out_hi, best, work);
+                visit(inside, *in_lo, *in_hi, best, work);
+            }
+        }
+    }
+}
+
+impl RepresentativeIndex for VpTreeIndex {
+    fn nearest_within(
+        &mut self,
+        xs: &[f64],
+        radius_sq: f64,
+        _groups: &[SimilarityGroup],
+        work: &mut IndexWork,
+    ) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        // Buffer entries are always current versions.
+        for e in &self.buffer {
+            work.examined += 1;
+            work.distance_calls += 1;
+            let bound_sq = best.map_or(radius_sq, |(_, b)| b);
+            let d_sq = ed_early_abandon_sq(xs, &e.rep, bound_sq);
+            if d_sq.is_finite() {
+                offer(&mut best, radius_sq, e.gid as usize, d_sq);
+            }
+        }
+        for tree in &self.trees {
+            search(tree, xs, radius_sq, &self.versions, &mut best, work);
+        }
+        best
+    }
+
+    fn insert(&mut self, group: usize, representative: &[f64], work: &mut IndexWork) {
+        if self.versions.len() <= group {
+            self.versions.resize(group + 1, 0);
+        }
+        self.upsert_buffer(
+            Entry {
+                gid: group as u32,
+                version: self.versions[group],
+                rep: representative.to_vec(),
+            },
+            work,
+        );
+    }
+
+    fn update(&mut self, group: usize, representative: &[f64], work: &mut IndexWork) {
+        self.versions[group] += 1;
+        self.upsert_buffer(
+            Entry {
+                gid: group as u32,
+                version: self.versions[group],
+                rep: representative.to_vec(),
+            },
+            work,
+        );
+    }
+
+    fn seed(&mut self, groups: &[SimilarityGroup], work: &mut IndexWork) {
+        debug_assert!(
+            self.versions.is_empty() && self.trees.is_empty() && self.buffer.is_empty(),
+            "seed() is for freshly created indexes"
+        );
+        self.versions = vec![0; groups.len()];
+        let entries: Vec<Entry> = groups
+            .iter()
+            .enumerate()
+            .map(|(gi, g)| Entry {
+                gid: gi as u32,
+                version: 0,
+                rep: g.representative().to_vec(),
+            })
+            .collect();
+        if !entries.is_empty() {
+            self.trees.push(build_node(entries, work));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "vptree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use onex_tseries::SubseqRef;
+
+    fn group(values: &[f64]) -> SimilarityGroup {
+        SimilarityGroup::seed(SubseqRef::new(0, 0, values.len() as u32), values)
+    }
+
+    /// Deterministic pseudo-random vector stream (SplitMix64).
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> f64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+        }
+        fn vec(&mut self, len: usize, scale: f64) -> Vec<f64> {
+            (0..len).map(|_| (self.next() - 0.5) * scale).collect()
+        }
+    }
+
+    /// Drive both implementations through an identical randomized
+    /// insert/update/query schedule and demand identical answers.
+    fn equivalence_drill(len: usize, scale: f64, radius: f64, seed: u64, centroid_rate: f64) {
+        let mut rng = Rng(seed);
+        let mut groups: Vec<SimilarityGroup> = Vec::new();
+        let mut linear = LinearScan;
+        let mut tree = VpTreeIndex::new();
+        let mut lw = IndexWork::default();
+        let mut tw = IndexWork::default();
+        let radius_sq = radius * radius;
+        for step in 0..600 {
+            let xs = rng.vec(len, scale);
+            let a = linear.nearest_within(&xs, radius_sq, &groups, &mut lw);
+            let b = tree.nearest_within(&xs, radius_sq, &groups, &mut tw);
+            assert_eq!(a, b, "step {step}: linear {a:?} vs vptree {b:?}");
+            match a {
+                Some((gi, d_sq)) => {
+                    let centroid = rng.next() < centroid_rate;
+                    groups[gi].admit(
+                        SubseqRef::new(1, step, len as u32),
+                        &xs,
+                        d_sq.sqrt(),
+                        centroid,
+                    );
+                    if centroid {
+                        let rep = groups[gi].representative().to_vec();
+                        linear.update(gi, &rep, &mut lw);
+                        tree.update(gi, &rep, &mut tw);
+                    }
+                }
+                None => {
+                    groups.push(group(&xs));
+                    let gi = groups.len() - 1;
+                    linear.insert(gi, &xs, &mut lw);
+                    tree.insert(gi, &xs, &mut tw);
+                }
+            }
+        }
+        assert!(groups.len() > 5, "drill must exercise many groups");
+        assert!(
+            tw.examined < lw.examined,
+            "tree must prune: examined {} vs linear {}",
+            tw.examined,
+            lw.examined
+        );
+    }
+
+    #[test]
+    fn vptree_matches_linear_with_frozen_representatives() {
+        equivalence_drill(16, 8.0, 1.0, 7, 0.0);
+    }
+
+    #[test]
+    fn vptree_matches_linear_under_centroid_drift() {
+        equivalence_drill(12, 4.0, 1.5, 99, 1.0);
+    }
+
+    #[test]
+    fn vptree_matches_linear_with_generous_radius() {
+        // Generous radius: most lookups hit, reps drift constantly.
+        equivalence_drill(8, 12.0, 4.0, 1234, 0.7);
+    }
+
+    #[test]
+    fn ties_go_to_the_lowest_group_id() {
+        let rep = vec![1.0, 2.0, 3.0, 4.0];
+        let groups = vec![group(&[9.0; 4]), group(&rep), group(&rep)];
+        let mut work = IndexWork::default();
+        let mut tree = VpTreeIndex::new();
+        for (gi, g) in groups.iter().enumerate() {
+            tree.insert(gi, g.representative(), &mut work);
+        }
+        let query = vec![1.0, 2.0, 3.0, 4.5];
+        let got = tree.nearest_within(&query, 1.0, &groups, &mut work);
+        let want = LinearScan.nearest_within(&query, 1.0, &groups, &mut work);
+        assert_eq!(got, want);
+        assert_eq!(got.unwrap().0, 1, "equal distances resolve to lower id");
+    }
+
+    #[test]
+    fn seeded_index_equals_incremental_inserts() {
+        let mut rng = Rng(5);
+        let groups: Vec<SimilarityGroup> = (0..200).map(|_| group(&rng.vec(10, 6.0))).collect();
+        let mut work = IndexWork::default();
+        let mut seeded = VpTreeIndex::new();
+        seeded.seed(&groups, &mut work);
+        let mut trickled = VpTreeIndex::new();
+        for (gi, g) in groups.iter().enumerate() {
+            trickled.insert(gi, g.representative(), &mut work);
+        }
+        for _ in 0..50 {
+            let q = rng.vec(10, 6.0);
+            let mut w1 = IndexWork::default();
+            let mut w2 = IndexWork::default();
+            assert_eq!(
+                seeded.nearest_within(&q, 4.0, &groups, &mut w1),
+                trickled.nearest_within(&q, 4.0, &groups, &mut w2)
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_radius_returns_none() {
+        let groups = vec![group(&[100.0; 6])];
+        let mut tree = VpTreeIndex::new();
+        let mut work = IndexWork::default();
+        tree.insert(0, groups[0].representative(), &mut work);
+        assert_eq!(
+            tree.nearest_within(&[0.0; 6], 1.0, &groups, &mut work),
+            None
+        );
+        assert_eq!(
+            LinearScan.nearest_within(&[0.0; 6], 1.0, &groups, &mut work),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_index_returns_none() {
+        let mut work = IndexWork::default();
+        assert_eq!(
+            VpTreeIndex::new().nearest_within(&[1.0, 2.0], 10.0, &[], &mut work),
+            None
+        );
+        assert_eq!(
+            LinearScan.nearest_within(&[1.0, 2.0], 10.0, &[], &mut work),
+            None
+        );
+    }
+
+    #[test]
+    fn policy_parsing_round_trips_and_rejects_garbage() {
+        for p in [IndexPolicy::Auto, IndexPolicy::Linear, IndexPolicy::VpTree] {
+            assert_eq!(p.label().parse::<IndexPolicy>().unwrap(), p);
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert!(matches!(
+            "grid".parse::<IndexPolicy>(),
+            Err(OnexError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn auto_policy_picks_by_expected_lookups() {
+        assert_eq!(IndexPolicy::Auto.create(10_000).name(), "vptree");
+        assert_eq!(IndexPolicy::Auto.create(10).name(), "linear");
+        assert_eq!(IndexPolicy::Linear.create(10_000).name(), "linear");
+        assert_eq!(IndexPolicy::VpTree.create(10).name(), "vptree");
+    }
+
+    #[test]
+    fn work_accounting_accumulates() {
+        let mut a = IndexWork {
+            examined: 1,
+            pruned: 2,
+            distance_calls: 3,
+        };
+        a += IndexWork {
+            examined: 10,
+            pruned: 20,
+            distance_calls: 30,
+        };
+        assert_eq!(
+            a,
+            IndexWork {
+                examined: 11,
+                pruned: 22,
+                distance_calls: 33
+            }
+        );
+    }
+}

@@ -40,14 +40,34 @@ impl SubsequenceSpace {
 
     /// Number of subsequences of exactly `len`.
     pub fn count_for_len(&self, len: usize) -> usize {
+        (0..self.series_lens.len())
+            .map(|sid| self.count_for_series_len(sid, len))
+            .sum()
+    }
+
+    /// Number of windows of `len` in series `sid` (0 when the length is
+    /// out of range or the series is too short). With
+    /// [`Self::refs_for_series_len`], the single owner of the
+    /// window-enumeration formula every construction path shares.
+    pub fn count_for_series_len(&self, sid: usize, len: usize) -> usize {
         if len < self.min_len || len > self.max_len {
             return 0;
         }
-        self.series_lens
-            .iter()
-            .filter(|&&n| n >= len)
-            .map(|&n| (n - len) / self.stride + 1)
-            .sum()
+        match self.series_lens.get(sid) {
+            Some(&n) if n >= len => (n - len) / self.stride + 1,
+            _ => 0,
+        }
+    }
+
+    /// The windows of `len` in series `sid`, start-ascending.
+    pub fn refs_for_series_len(
+        &self,
+        sid: usize,
+        len: usize,
+    ) -> impl Iterator<Item = SubseqRef> + '_ {
+        let stride = self.stride;
+        (0..self.count_for_series_len(sid, len))
+            .map(move |k| SubseqRef::new(sid as u32, (k * stride) as u32, len as u32))
     }
 
     /// Total number of subsequences across all lengths — the cardinality
@@ -58,19 +78,10 @@ impl SubsequenceSpace {
 
     /// Iterate the references of one length, series-major then
     /// start-ascending. This order is part of the construction contract:
-    /// sequential and parallel builds both consume it, which is what makes
-    /// them bit-identical.
+    /// sequential, parallel and incremental builds all consume it, which
+    /// is what makes them bit-identical.
     pub fn refs_for_len(&self, len: usize) -> impl Iterator<Item = SubseqRef> + '_ {
-        let stride = self.stride;
-        let in_range = len >= self.min_len && len <= self.max_len;
-        self.series_lens
-            .iter()
-            .enumerate()
-            .filter(move |_| in_range)
-            .flat_map(move |(sid, &n)| {
-                let count = if n >= len { (n - len) / stride + 1 } else { 0 };
-                (0..count).map(move |k| SubseqRef::new(sid as u32, (k * stride) as u32, len as u32))
-            })
+        (0..self.series_lens.len()).flat_map(move |sid| self.refs_for_series_len(sid, len))
     }
 }
 

@@ -1,7 +1,8 @@
 //! Property tests for the ONEX base construction invariants.
 
 use onex_distance::ed;
-use onex_grouping::{BaseBuilder, BaseConfig, RepresentativePolicy, SubsequenceSpace};
+use onex_grouping::{BaseBuilder, BaseConfig, IndexPolicy, RepresentativePolicy, SubsequenceSpace};
+use onex_tseries::gen::{random_walk_dataset, SyntheticConfig};
 use onex_tseries::{Dataset, TimeSeries};
 use proptest::prelude::*;
 
@@ -81,7 +82,7 @@ proptest! {
         let cfg = BaseConfig::new(st, 3, 8);
         let builder = BaseBuilder::new(cfg).unwrap();
         let (a, _) = builder.build(&ds);
-        let (b, _) = builder.build_parallel(&ds, threads);
+        let (b, _) = builder.build_parallel(&ds, threads).unwrap();
         prop_assert_eq!(a, b);
     }
 
@@ -159,6 +160,80 @@ proptest! {
         if ds.len() > 1 {
             let shrunk = Dataset::from_series(vec![ds.series(0).unwrap().clone()]).unwrap();
             prop_assert!(builder.extend(base, &shrunk).is_err());
+        }
+    }
+}
+
+/// Random-walk collections: the hard-to-group regime where the base
+/// barely compacts, groups ≈ subsequences, and the nearest-representative
+/// lookup dominates construction — exactly where an index bug would bite.
+fn walk_dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..6, 12usize..40, 0u64..10_000)
+        .prop_map(|(series, len, seed)| random_walk_dataset(SyntheticConfig { series, len, seed }))
+}
+
+fn policy_of(seed_policy: bool) -> RepresentativePolicy {
+    if seed_policy {
+        RepresentativePolicy::Seed
+    } else {
+        RepresentativePolicy::Centroid
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Construction through the VP-tree (and Auto) index is byte-identical
+    /// to the linear-scan reference, under both representative policies.
+    #[test]
+    fn indexed_construction_equals_linear_scan(
+        ds in walk_dataset(),
+        st in 0.2f64..3.0,
+        seed_policy in any::<bool>(),
+    ) {
+        let cfg = BaseConfig {
+            policy: policy_of(seed_policy),
+            ..BaseConfig::new(st, 4, 9)
+        };
+        let (reference, _) = BaseBuilder::new(BaseConfig {
+            index: IndexPolicy::Linear,
+            ..cfg.clone()
+        }).unwrap().build(&ds);
+        for index in [IndexPolicy::VpTree, IndexPolicy::Auto] {
+            let (indexed, _) = BaseBuilder::new(BaseConfig {
+                index,
+                ..cfg.clone()
+            }).unwrap().build(&ds);
+            prop_assert_eq!(&indexed, &reference, "index policy {}", index);
+        }
+    }
+
+    /// Incremental extension through the index matches the linear
+    /// reference too: extending a base built with either policy, with
+    /// either lookup, lands every new subsequence in the same group.
+    #[test]
+    fn indexed_extend_equals_linear_scan(
+        ds in walk_dataset(),
+        st in 0.3f64..3.0,
+        seed_policy in any::<bool>(),
+    ) {
+        prop_assume!(ds.len() >= 2);
+        let cfg = BaseConfig {
+            policy: policy_of(seed_policy),
+            ..BaseConfig::new(st, 4, 9)
+        };
+        let first = Dataset::from_series(vec![ds.series(0).unwrap().clone()]).unwrap();
+        let (partial, _) = BaseBuilder::new(cfg.clone()).unwrap().build(&first);
+        let (reference, _) = BaseBuilder::new(BaseConfig {
+            index: IndexPolicy::Linear,
+            ..cfg.clone()
+        }).unwrap().extend(partial.clone(), &ds).unwrap();
+        for index in [IndexPolicy::VpTree, IndexPolicy::Auto] {
+            let (extended, _) = BaseBuilder::new(BaseConfig {
+                index,
+                ..cfg.clone()
+            }).unwrap().extend(partial.clone(), &ds).unwrap();
+            prop_assert_eq!(&extended, &reference, "index policy {}", index);
         }
     }
 }

@@ -3,7 +3,9 @@ use std::sync::{Arc, OnceLock};
 
 use onex_api::{OnexError, SimilaritySearch, StreamingSearch};
 use onex_core::backends::{EbsmBackend, FrmBackend, OnexBackend, SpringBackend, UcrSuiteBackend};
-use onex_core::{LengthSelection, Onex, QueryOptions, SeasonalOptions};
+use onex_core::{BuildReport, LengthSelection, Onex, QueryOptions, SeasonalOptions};
+use onex_grouping::BaseConfig;
+use onex_tseries::Dataset;
 use onex_viz::{
     ConnectedScatter, MultiLineChart, OverviewPane, QueryPreview, RadialChart, SeasonalView,
 };
@@ -30,15 +32,43 @@ struct Baselines {
 pub struct App {
     engine: Arc<Onex>,
     baselines: Arc<Baselines>,
+    /// Construction report of the dataset-load step, when this app loaded
+    /// the dataset itself ([`App::build`]); reported by `/api/summary`.
+    build: Option<BuildReport>,
 }
 
 impl App {
-    /// Wrap an engine. Baseline indexes are built on first use.
+    /// Wrap an already-built engine. Baseline indexes are built on first
+    /// use. No construction report is available on this path — prefer
+    /// [`App::build`] when the server is the one loading the data.
     pub fn new(engine: Arc<Onex>) -> App {
         App {
             engine,
             baselines: Arc::new(Baselines::default()),
+            build: None,
         }
+    }
+
+    /// The demo's dataset-load path: preprocess `dataset` into the ONEX
+    /// base (through the indexed builder [`BaseConfig::index`] selects —
+    /// `Auto` by default) and remember the [`BuildReport`], including its
+    /// work counters, for `/api/summary`.
+    ///
+    /// # Errors
+    /// [`OnexError::InvalidConfig`] for an invalid configuration.
+    pub fn build(dataset: Dataset, config: BaseConfig) -> Result<App, OnexError> {
+        let (engine, report) = Onex::build(dataset, config)?;
+        Ok(App {
+            engine: Arc::new(engine),
+            baselines: Arc::new(Baselines::default()),
+            build: Some(report),
+        })
+    }
+
+    /// The construction report of the load step, when this app built the
+    /// engine itself.
+    pub fn build_report(&self) -> Option<&BuildReport> {
+        self.build.as_ref()
     }
 
     fn ucr(&self) -> &UcrSuiteBackend {
@@ -142,7 +172,7 @@ impl App {
             OnexError::UnknownSeries(_) => 404,
             OnexError::DatasetMismatch(_) => 409,
             OnexError::InvalidData(_) => 422,
-            OnexError::Io(_) => 500,
+            OnexError::Io(_) | OnexError::Internal(_) => 500,
             _ => 500,
         };
         Response::error(status, &e.to_string())
@@ -249,15 +279,39 @@ impl App {
                 ])
             })
             .collect();
-        let body = Json::obj(vec![
+        let mut fields = vec![
             ("series", self.engine.dataset().len().into()),
             ("samples", self.engine.dataset().total_samples().into()),
             ("groups", stats.groups.into()),
             ("members", stats.members.into()),
             ("compaction", stats.compaction.into()),
             ("per_length", Json::Arr(per_length)),
-        ]);
-        Response::json(body.render())
+        ];
+        // When this server performed the load step itself, report what
+        // the construction cost — the demo's "preprocessing at the server
+        // side" made observable, work counters included.
+        if let Some(r) = &self.build {
+            fields.push((
+                "build",
+                Json::obj(vec![
+                    ("elapsed_ms", (r.elapsed.as_secs_f64() * 1e3).into()),
+                    ("lengths", r.lengths.into()),
+                    ("subsequences", r.subsequences.into()),
+                    ("groups", r.groups.into()),
+                    ("compaction", r.compaction().into()),
+                    ("subsequences_per_sec", r.subsequences_per_sec().into()),
+                    (
+                        "work",
+                        Json::obj(vec![
+                            ("reps_examined", r.work.examined.into()),
+                            ("reps_pruned", r.work.pruned.into()),
+                            ("distance_calls", r.work.distance_calls.into()),
+                        ]),
+                    ),
+                ]),
+            ));
+        }
+        Response::json(Json::obj(fields).render())
     }
 
     fn series_list(&self) -> Response {
@@ -555,8 +609,7 @@ mod tests {
             indicators: vec![Indicator::GrowthRate],
             ..MattersConfig::default()
         });
-        let (engine, _) = Onex::build(ds, BaseConfig::new(1.0, 6, 10)).unwrap();
-        App::new(Arc::new(engine))
+        App::build(ds, BaseConfig::new(1.0, 6, 10)).unwrap()
     }
 
     fn get(app: &App, target: &str) -> Response {
@@ -580,6 +633,48 @@ mod tests {
         let body = String::from_utf8(r.body).unwrap();
         assert!(body.contains("\"series\":50"), "{body}");
         assert!(body.contains("\"per_length\":["));
+    }
+
+    #[test]
+    fn summary_reports_the_load_steps_build_report() {
+        let a = app();
+        let r = get(&a, "/api/summary");
+        let body = String::from_utf8(r.body).unwrap();
+        // The dataset-load path went through the indexed builder and the
+        // construction report — work counters included — is in the JSON.
+        assert!(body.contains("\"build\":{"), "{body}");
+        for key in [
+            "\"elapsed_ms\":",
+            "\"subsequences\":",
+            "\"subsequences_per_sec\":",
+            "\"work\":{",
+            "\"reps_examined\":",
+            "\"reps_pruned\":",
+            "\"distance_calls\":",
+        ] {
+            assert!(body.contains(key), "missing {key} in {body}");
+        }
+        let parsed = crate::json::Json::parse(&body).expect("valid JSON");
+        let crate::json::Json::Obj(fields) = parsed else {
+            panic!("summary is an object");
+        };
+        assert!(fields.iter().any(|(k, _)| k == "build"));
+        let report = a.build_report().expect("App::build keeps the report");
+        assert!(report.work.distance_calls > 0);
+        assert!(report.subsequences >= report.groups);
+    }
+
+    #[test]
+    fn wrapped_engines_have_no_build_report() {
+        let ds = matters_collection(&MattersConfig {
+            indicators: vec![Indicator::GrowthRate],
+            ..MattersConfig::default()
+        });
+        let (engine, _) = Onex::build(ds, BaseConfig::new(1.0, 6, 10)).unwrap();
+        let a = App::new(Arc::new(engine));
+        assert!(a.build_report().is_none());
+        let body = String::from_utf8(get(&a, "/api/summary").body).unwrap();
+        assert!(!body.contains("\"build\":"), "{body}");
     }
 
     #[test]

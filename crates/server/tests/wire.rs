@@ -6,9 +6,7 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
 
-use onex_core::Onex;
 use onex_grouping::BaseConfig;
 use onex_server::json::Json;
 use onex_server::App;
@@ -36,8 +34,9 @@ fn spawn_server() -> std::net::SocketAddr {
         indicators: vec![Indicator::GrowthRate],
         ..MattersConfig::default()
     });
-    let (engine, _) = Onex::build(ds, BaseConfig::new(1.0, 6, 10)).unwrap();
-    let app = App::new(Arc::new(engine));
+    // The server loads the dataset itself, so the wire-visible summary
+    // includes the construction report of the indexed builder.
+    let app = App::build(ds, BaseConfig::new(1.0, 6, 10)).unwrap();
     let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
     let addr = listener.local_addr().unwrap();
     std::thread::spawn(move || {
@@ -62,6 +61,21 @@ fn serves_real_sockets() {
         .iter()
         .any(|(k, v)| k == "series" && *v == Json::Num(50.0)));
     assert!(pairs.iter().any(|(k, _)| k == "per_length"));
+    // The load step's construction report, work counters included.
+    let build = pairs
+        .iter()
+        .find(|(k, _)| k == "build")
+        .map(|(_, v)| v)
+        .expect("summary reports the build step");
+    let Json::Obj(build_fields) = build else {
+        panic!("build is an object: {body}");
+    };
+    for key in ["elapsed_ms", "subsequences_per_sec", "work"] {
+        assert!(
+            build_fields.iter().any(|(k, _)| k == key),
+            "missing {key}: {body}"
+        );
+    }
 
     let (status, body) = fetch(addr, "/api/match?series=MA-GrowthRate&start=4&len=8&k=2");
     assert_eq!(status, 200);

@@ -12,9 +12,7 @@
 //! Then open <http://127.0.0.1:7878/> in a browser.
 
 use std::net::TcpListener;
-use std::sync::Arc;
 
-use onex::engine::Onex;
 use onex::grouping::BaseConfig;
 use onex::server::App;
 use onex::tseries::gen::{matters_collection, Indicator, MattersConfig};
@@ -44,16 +42,23 @@ fn main() {
     };
     println!("loaded: {}", dataset.summary());
 
-    let (engine, report) = Onex::build(dataset, BaseConfig::new(st, 6, 12)).unwrap_or_else(|e| {
+    // The server performs the load step itself (the demo's one-click
+    // preprocessing), so /api/summary reports the construction cost.
+    let app = App::build(dataset, BaseConfig::new(st, 6, 12)).unwrap_or_else(|e| {
         eprintln!("cannot build base: {e}");
         std::process::exit(1);
     });
+    let report = app.build_report().expect("App::build keeps the report");
     println!(
-        "base ready: {} groups / {} subsequences ({:.1}×) in {:?}",
+        "base ready: {} groups / {} subsequences ({:.1}×) in {:?} — \
+         {} representatives examined, {} pruned, {} distance calls",
         report.groups,
         report.subsequences,
         report.compaction(),
-        report.elapsed
+        report.elapsed,
+        report.work.examined,
+        report.work.pruned,
+        report.work.distance_calls
     );
 
     let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
@@ -61,7 +66,5 @@ fn main() {
         std::process::exit(1);
     });
     println!("ONEX server listening on http://{addr}/ — ctrl-c to stop");
-    App::new(Arc::new(engine))
-        .serve(listener)
-        .expect("serve loop");
+    app.serve(listener).expect("serve loop");
 }

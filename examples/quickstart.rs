@@ -36,6 +36,14 @@ fn main() {
         report.compaction(),
         report.elapsed
     );
+    println!(
+        "construction work ({:.0} subseq/s): {} representatives examined, \
+         {} pruned by the index, {} distance calls",
+        report.subsequences_per_sec(),
+        report.work.examined,
+        report.work.pruned,
+        report.work.distance_calls
+    );
 
     // 3. Query: a window cut from one series, lightly perturbed.
     let source = engine.dataset().by_name("sine-7").expect("series exists");
