@@ -55,7 +55,28 @@ impl OnexError {
     /// Whether the failure is the caller's fault (a 4xx in HTTP terms):
     /// everything except [`OnexError::Io`] and [`OnexError::Internal`].
     pub fn is_client_error(&self) -> bool {
-        !matches!(self, OnexError::Io(_) | OnexError::Internal(_))
+        self.http_status() < 500
+    }
+
+    /// The HTTP status this error maps to — the single source of truth
+    /// the server's error responses are derived from.
+    ///
+    /// The match is deliberately **exhaustive** (no `_` arm). The enum is
+    /// `#[non_exhaustive]` for downstream crates, but within this crate
+    /// the compiler still demands every variant, so adding a variant
+    /// without deciding its status is a compile error rather than a
+    /// silent 500 — the failure mode a catch-all arm would reintroduce.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            OnexError::InvalidConfig(_) => 400,
+            OnexError::InvalidQuery(_) => 400,
+            OnexError::Unsupported(_) => 400,
+            OnexError::UnknownSeries(_) => 404,
+            OnexError::DatasetMismatch(_) => 409,
+            OnexError::InvalidData(_) => 422,
+            OnexError::Io(_) => 500,
+            OnexError::Internal(_) => 500,
+        }
     }
 }
 
@@ -134,6 +155,47 @@ mod tests {
         let e = OnexError::Internal("worker panicked".into());
         assert!(!e.is_client_error());
         assert!(e.to_string().contains("internal error"));
+    }
+
+    /// Enumerates **every** variant's status. Both this function and
+    /// [`OnexError::http_status`] match without a wildcard arm, so a new
+    /// variant fails the build in two places until its status — and this
+    /// test's expectation — are written down.
+    fn expected_status(e: &OnexError) -> u16 {
+        match e {
+            OnexError::InvalidConfig(_) => 400,
+            OnexError::InvalidQuery(_) => 400,
+            OnexError::Unsupported(_) => 400,
+            OnexError::UnknownSeries(_) => 404,
+            OnexError::DatasetMismatch(_) => 409,
+            OnexError::InvalidData(_) => 422,
+            OnexError::Io(_) => 500,
+            OnexError::Internal(_) => 500,
+        }
+    }
+
+    #[test]
+    fn every_variant_has_a_decided_http_status() {
+        let all = [
+            OnexError::InvalidConfig("c".into()),
+            OnexError::InvalidQuery("q".into()),
+            OnexError::DatasetMismatch("m".into()),
+            OnexError::UnknownSeries("s".into()),
+            OnexError::Unsupported("u".into()),
+            OnexError::InvalidData("d".into()),
+            OnexError::Io(std::io::Error::other("io")),
+            OnexError::Internal("i".into()),
+        ];
+        for e in &all {
+            let status = e.http_status();
+            assert_eq!(status, expected_status(e), "{e}");
+            assert!((400..=599).contains(&status), "{e}: {status}");
+            assert_eq!(e.is_client_error(), status < 500, "{e}");
+        }
+        // Status classes partition exactly as documented.
+        assert_eq!(OnexError::UnknownSeries("x".into()).http_status(), 404);
+        assert_eq!(OnexError::DatasetMismatch("x".into()).http_status(), 409);
+        assert_eq!(OnexError::InvalidData("x".into()).http_status(), 422);
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub struct Capabilities {
     /// Whether `k_best` reports at most one match per stored series
     /// (engines built around per-series best-window scans).
     pub one_match_per_series: bool,
+    /// Whether answers may be served from a result cache (a decorator
+    /// like `CachedSearch`). Cached answers are bit-identical replays of
+    /// a prior computation — work counters included — never approximations.
+    pub cached: bool,
 }
 
 /// One answer of a [`SimilaritySearch::k_best`] query: a window of a

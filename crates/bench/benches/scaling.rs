@@ -1,0 +1,54 @@
+//! E13 bench — the sharded engine and the caching decorator against the
+//! single engine: query latency per shard count, and hit-path latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onex_api::SimilaritySearch;
+use onex_bench::workloads;
+use onex_core::backends::OnexBackend;
+use onex_core::scale::{CachedSearch, ShardedEngine};
+use onex_core::Onex;
+use onex_grouping::{BaseConfig, RepresentativePolicy};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const QLEN: usize = 16;
+
+fn config() -> BaseConfig {
+    BaseConfig {
+        policy: RepresentativePolicy::Seed,
+        ..BaseConfig::new(0.5, QLEN, QLEN)
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let ds = workloads::walk_collection(24, 160);
+    let name = ds.series(0).unwrap().name().to_owned();
+    let query = workloads::perturbed_query(&ds, &name, 30, QLEN, 0.05);
+
+    let mut g = c.benchmark_group("e13_scaling");
+    g.sample_size(15);
+
+    let (engine, _) = Onex::build(ds.clone(), config()).unwrap();
+    let single = OnexBackend::new(Arc::new(engine));
+    g.bench_function("single_k5", |b| {
+        b.iter(|| black_box(single.k_best(black_box(&query), 5).unwrap()))
+    });
+
+    for shards in [2usize, 4] {
+        let (sharded, _) = ShardedEngine::build(&ds, config(), shards).unwrap();
+        g.bench_with_input(BenchmarkId::new("sharded_k5", shards), &shards, |b, _| {
+            b.iter(|| black_box(sharded.k_best(black_box(&query), 5).unwrap()))
+        });
+    }
+
+    let (engine, _) = Onex::build(ds.clone(), config()).unwrap();
+    let cached = CachedSearch::new(OnexBackend::new(Arc::new(engine)), 64).unwrap();
+    let _ = cached.k_best(&query, 5).unwrap(); // warm: every iter below is a hit
+    g.bench_function("cached_hit_k5", |b| {
+        b.iter(|| black_box(cached.k_best(black_box(&query), 5).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

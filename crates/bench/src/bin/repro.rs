@@ -10,9 +10,10 @@
 //!
 //! Tables print to stdout; SVG artefacts land in `target/repro/`. With
 //! `--format json`, experiments that define a perf record write it next
-//! to the working directory (currently `e12` → `BENCH_construction.json`,
-//! subsequences/sec per index policy) so successive runs leave a
-//! comparable performance trajectory.
+//! to the working directory (`e12` → `BENCH_construction.json`,
+//! subsequences/sec per index policy; `e13` → `BENCH_scaling.json`,
+//! shard speedup + agreement) so successive runs leave a comparable
+//! performance trajectory.
 
 use onex_bench::experiments;
 

@@ -5,6 +5,7 @@
 pub mod e10_streaming;
 pub mod e11_baseline_index;
 pub mod e12_construction;
+pub mod e13_scaling;
 pub mod e1_pipeline;
 pub mod e2_similarity;
 pub mod e3_linked_views;
@@ -18,8 +19,8 @@ pub mod e9_ablation;
 use crate::harness::Table;
 
 /// Experiment ids accepted by the `repro` binary.
-pub const ALL: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+pub const ALL: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
 /// What one experiment run produced: the printable tables, plus an
@@ -65,6 +66,13 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
                     "BENCH_construction.json",
                     e12_construction::json_report(&rows),
                 )),
+            })
+        }
+        "e13" => {
+            let rows = e13_scaling::measure(quick);
+            Some(ExperimentOutput {
+                tables: vec![e13_scaling::table(&rows)],
+                record: Some(("BENCH_scaling.json", e13_scaling::json_report(&rows))),
             })
         }
         _ => None,

@@ -7,7 +7,7 @@
 //!   built from the `onex-tseries` generators with fixed seeds.
 //! * [`harness`] — timing and table-printing utilities shared by the
 //!   `repro` binary and the Criterion benches.
-//! * [`experiments`] — one module per experiment (E1–E9); each returns
+//! * [`experiments`] — one module per experiment (E1–E13); each returns
 //!   [`harness::Table`]s so `repro` can print them and tests can assert on
 //!   their shape.
 //!

@@ -6,8 +6,10 @@
 //! ONEX base, the UCR Suite \[6\], the FRM/ST-index \[4\] and EBSM \[1\], each
 //! with its own speed/semantics trade-off. These adapters wrap each
 //! engine's native API behind `onex_api::SimilaritySearch`, so the bench
-//! harness, the server's `?backend=` route and any future engine
-//! (sharded, cached, remote) share one code path:
+//! harness, the server's `?backend=` route and any future engine share
+//! one code path. The first scale-out engines — [`ShardedEngine`] and
+//! [`CachedSearch`], re-exported here from [`crate::scale`] — implement
+//! the same trait and inherit the whole conformance suite:
 //!
 //! ```
 //! use onex_api::SimilaritySearch;
@@ -36,6 +38,8 @@ use onex_api::{
 };
 use onex_grouping::RepresentativePolicy;
 use onex_tseries::Dataset;
+
+pub use crate::scale::{CachedSearch, ShardedEngine};
 
 use crate::{Onex, QueryOptions, ScanBreadth};
 
@@ -95,6 +99,7 @@ impl SimilaritySearch for OnexBackend {
             multi_length: !matches!(self.opts.lengths, crate::LengthSelection::Exact),
             streaming: false,
             one_match_per_series: false,
+            cached: false,
         }
     }
 
@@ -168,6 +173,7 @@ impl SimilaritySearch for UcrSuiteBackend {
             multi_length: false,
             streaming: false,
             one_match_per_series: false,
+            cached: false,
         }
     }
 
@@ -266,6 +272,7 @@ impl<const D: usize> SimilaritySearch for FrmBackend<D> {
             multi_length: false,
             streaming: false,
             one_match_per_series: false,
+            cached: false,
         }
     }
 
@@ -364,6 +371,7 @@ impl SimilaritySearch for EbsmBackend {
             multi_length: true,
             streaming: false,
             one_match_per_series: false,
+            cached: false,
         }
     }
 
@@ -428,6 +436,7 @@ impl SimilaritySearch for SpringBackend {
             multi_length: true,
             streaming: true,
             one_match_per_series: true,
+            cached: false,
         }
     }
 

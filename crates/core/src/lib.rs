@@ -35,6 +35,7 @@ mod engine;
 pub mod exhaustive;
 mod options;
 mod result;
+pub mod scale;
 mod search;
 mod seasonal;
 mod stats;
@@ -45,5 +46,6 @@ pub use onex_api::{OnexError, SimilaritySearch};
 pub use onex_grouping::{BuildReport, IndexPolicy, IndexWork};
 pub use options::{LengthSelection, QueryOptions, ScanBreadth};
 pub use result::{Match, SeasonalPattern};
+pub use scale::{CacheStats, CachedSearch, ShardedBuildReport, ShardedEngine};
 pub use seasonal::SeasonalOptions;
 pub use stats::QueryStats;

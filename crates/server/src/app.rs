@@ -1,8 +1,12 @@
-use std::net::TcpListener;
+use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use onex_api::{OnexError, SimilaritySearch, StreamingSearch};
-use onex_core::backends::{EbsmBackend, FrmBackend, OnexBackend, SpringBackend, UcrSuiteBackend};
+use onex_core::backends::{
+    CachedSearch, EbsmBackend, FrmBackend, OnexBackend, ShardedEngine, SpringBackend,
+    UcrSuiteBackend,
+};
 use onex_core::{BuildReport, LengthSelection, Onex, QueryOptions, SeasonalOptions};
 use onex_grouping::BaseConfig;
 use onex_tseries::Dataset;
@@ -23,6 +27,44 @@ struct Baselines {
     frm: OnceLock<FrmBackend<4>>,
     ebsm: OnceLock<EbsmBackend>,
     spring: OnceLock<SpringBackend>,
+    sharded: OnceLock<ShardedEngine>,
+    cached: OnceLock<CachedSearch<OnexBackend>>,
+}
+
+/// How [`App::serve`] runs: a fixed worker pool over a bounded connection
+/// queue (so a connection flood cannot exhaust OS threads or memory) and
+/// an accept-failure policy (so a persistently failing listener backs
+/// off instead of busy-looping, and eventually reports the error).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads handling connections. Fixed at startup — the cap
+    /// on concurrent request processing.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker. When the queue
+    /// is full the accept loop blocks (kernel backlog backpressure)
+    /// rather than buffering unboundedly.
+    pub queue: usize,
+    /// Consecutive `accept` failures after which [`App::serve`] gives up
+    /// and returns the last error. Successful accepts reset the count.
+    pub max_consecutive_accept_failures: u32,
+    /// Base sleep after a failed `accept`; doubles per consecutive
+    /// failure (capped at 128× the base) so a persistent error costs
+    /// sleeps, not a hot spin.
+    pub accept_backoff: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(2, 8),
+            queue: 64,
+            max_consecutive_accept_failures: 16,
+            accept_backoff: Duration::from_millis(1),
+        }
+    }
 }
 
 /// The ONEX demo application: routes requests to the engine and, through
@@ -104,6 +146,34 @@ impl App {
             .get_or_init(|| SpringBackend::from_dataset(self.engine.dataset()))
     }
 
+    /// The scale-out engine: the same dataset re-partitioned across four
+    /// shards, each with its own ONEX base built in parallel on first
+    /// use. Answers are identical to the single engine's (the
+    /// conformance suite and bench E13 assert so); wall-clock drops with
+    /// the shard count.
+    fn sharded(&self) -> &ShardedEngine {
+        self.baselines.sharded.get_or_init(|| {
+            let (engine, _) = ShardedEngine::build(
+                self.engine.dataset(),
+                self.engine.base().config().clone(),
+                4,
+            )
+            .expect("server dataset is non-empty and its config valid");
+            engine.with_options(QueryOptions::default().lengths(LengthSelection::Nearest(3)))
+        })
+    }
+
+    /// The caching decorator over the same onex configuration
+    /// `/api/match` serves. The engine behind it is immutable for the
+    /// process lifetime, so entries can never go stale here; deployments
+    /// that mutate the engine must go through
+    /// [`CachedSearch::backend_mut`], which invalidates.
+    fn cached(&self) -> &CachedSearch<OnexBackend> {
+        self.baselines.cached.get_or_init(|| {
+            CachedSearch::new(self.onex_match_backend(), 256).expect("capacity is positive")
+        })
+    }
+
     /// The onex backend exactly as `/api/match` serves it, so capability
     /// introspection and query answers never disagree.
     fn onex_match_backend(&self) -> OnexBackend {
@@ -136,46 +206,129 @@ impl App {
         result.unwrap_or_else(|r| r)
     }
 
-    /// Serve forever on an already-bound listener (one thread per
-    /// connection; the engine is `&self`-threaded).
+    /// Serve forever on an already-bound listener under
+    /// [`ServeOptions::default`]: a fixed worker pool over a bounded
+    /// queue (the engine is `&self`-threaded, so workers share one app).
     pub fn serve(self, listener: TcpListener) -> std::io::Result<()> {
-        for stream in listener.incoming() {
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            let app = self.clone();
-            std::thread::spawn(move || {
-                let peer = stream.try_clone();
-                let response = match Request::parse(&stream) {
-                    Ok(req) => app.handle(&req),
-                    Err(e) => Response::error(400, &e.to_string()),
-                };
-                if let Ok(out) = peer {
-                    let _ = response.write_to(out);
+        self.serve_with(listener, ServeOptions::default())
+    }
+
+    /// [`App::serve`] with explicit pool/backoff settings.
+    pub fn serve_with(self, listener: TcpListener, opts: ServeOptions) -> std::io::Result<()> {
+        self.serve_streams(listener.incoming(), &opts)
+    }
+
+    /// The accept loop over any stream source (injectable for tests).
+    ///
+    /// Connections are handed to a fixed pool of worker threads through
+    /// a bounded channel: the pool caps concurrent request handling, the
+    /// channel caps waiting connections, and a full queue blocks the
+    /// accept loop — backpressure lands in the kernel backlog instead of
+    /// in unbounded memory or one-thread-per-connection spawns.
+    ///
+    /// Accept errors no longer busy-loop: each failure sleeps an
+    /// exponentially growing backoff. Per-connection races the kernel
+    /// reports through `accept` ([`Self::transient_accept_error`]) are
+    /// retried forever — they say nothing about the listener — while
+    /// other errors bail with the error once
+    /// `max_consecutive_accept_failures` hit in a row, instead of
+    /// spinning on a dead listener.
+    fn serve_streams<I>(self, incoming: I, opts: &ServeOptions) -> std::io::Result<()>
+    where
+        I: Iterator<Item = std::io::Result<TcpStream>>,
+    {
+        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(opts.queue.max(1));
+        let workers: Vec<_> = (0..opts.workers.max(1))
+            .map(|_| {
+                let app = self.clone();
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        // A panicking handler must cost one response, not
+                        // a pool worker: without this, a few poisoned
+                        // requests would quietly shrink the pool to zero
+                        // (thread-per-connection never had that failure
+                        // mode, so the pool must not introduce it).
+                        let app = &app;
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                            app.handle_stream(stream)
+                        }));
+                    }
+                })
+            })
+            .collect();
+        drop(rx);
+
+        let mut consecutive = 0u32;
+        let mut result = Ok(());
+        for stream in incoming {
+            match stream {
+                Ok(stream) => {
+                    consecutive = 0;
+                    if tx.send(stream).is_err() {
+                        // Every worker exited — nothing can serve.
+                        result = Err(std::io::Error::other("worker pool exited"));
+                        break;
+                    }
                 }
-            });
+                Err(e) => {
+                    if !Self::transient_accept_error(&e) {
+                        consecutive += 1;
+                        if consecutive >= opts.max_consecutive_accept_failures.max(1) {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                    let factor = 1u32 << consecutive.saturating_sub(1).min(7);
+                    std::thread::sleep(opts.accept_backoff * factor);
+                }
+            }
         }
-        Ok(())
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        result
+    }
+
+    /// Accept errors that describe one lost connection, not the
+    /// listener: a peer resetting mid-handshake (`ECONNABORTED`/reset),
+    /// a signal, or a spurious wakeup. These never count toward the
+    /// give-up threshold — under a connection flood they arrive in
+    /// bursts, and bailing on them would let the flood shut the server
+    /// down. Resource exhaustion (EMFILE) and genuinely broken listeners
+    /// land in other kinds and do count, after backoff.
+    fn transient_accept_error(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::Interrupted
+                | std::io::ErrorKind::WouldBlock
+                | std::io::ErrorKind::TimedOut
+        )
+    }
+
+    /// One connection: parse, dispatch, write — run on a pool worker.
+    fn handle_stream(&self, stream: TcpStream) {
+        let peer = stream.try_clone();
+        let response = match Request::parse(&stream) {
+            Ok(req) => self.handle(&req),
+            Err(e) => Response::error(400, &e.to_string()),
+        };
+        if let Ok(out) = peer {
+            let _ = response.write_to(out);
+        }
     }
 
     // ---- helpers -------------------------------------------------------
 
-    /// Map a typed engine error onto the HTTP status space: the whole
-    /// point of [`OnexError`] over stringly errors — the server never
-    /// guesses a status from prose.
+    /// Map a typed engine error onto the HTTP status space via
+    /// [`OnexError::http_status`] — an **exhaustive** match in the
+    /// defining crate, so adding an error variant without deciding its
+    /// status fails the build instead of silently becoming a 500.
     fn onex_error(e: &OnexError) -> Response {
-        let status = match e {
-            OnexError::InvalidQuery(_)
-            | OnexError::InvalidConfig(_)
-            | OnexError::Unsupported(_) => 400,
-            OnexError::UnknownSeries(_) => 404,
-            OnexError::DatasetMismatch(_) => 409,
-            OnexError::InvalidData(_) => 422,
-            OnexError::Io(_) | OnexError::Internal(_) => 500,
-            _ => 500,
-        };
-        Response::error(status, &e.to_string())
+        Response::error(e.http_status(), &e.to_string())
     }
 
     /// A numeric query parameter with a default; malformed values are a
@@ -335,8 +488,15 @@ impl App {
     /// entry describes the same configuration `/api/match` serves.
     fn backends_list(&self) -> Response {
         let onex = self.onex_match_backend();
-        let list: Vec<&dyn SimilaritySearch> =
-            vec![&onex, self.ucr(), self.frm(), self.ebsm(), self.spring()];
+        let list: Vec<&dyn SimilaritySearch> = vec![
+            &onex,
+            self.ucr(),
+            self.frm(),
+            self.ebsm(),
+            self.spring(),
+            self.sharded(),
+            self.cached(),
+        ];
         let items: Vec<Json> = list
             .into_iter()
             .map(|backend| {
@@ -347,6 +507,7 @@ impl App {
                     ("exact", Json::Bool(caps.exact)),
                     ("multi_length", Json::Bool(caps.multi_length)),
                     ("streaming", Json::Bool(caps.streaming)),
+                    ("cached", Json::Bool(caps.cached)),
                 ])
             })
             .collect();
@@ -378,10 +539,15 @@ impl App {
             "frm" => self.frm(),
             "ebsm" => self.ebsm(),
             "spring" => self.spring(),
+            "sharded" => self.sharded(),
+            "cached" => self.cached(),
             other => {
                 return Err(Response::error(
                     400,
-                    &format!("unknown backend {other:?}; one of onex, ucrsuite, frm, ebsm, spring"),
+                    &format!(
+                        "unknown backend {other:?}; one of onex, ucrsuite, frm, ebsm, \
+                         spring, sharded, cached"
+                    ),
                 ))
             }
         };
@@ -404,7 +570,7 @@ impl App {
                 ])
             })
             .collect();
-        let body = Json::obj(vec![
+        let mut fields = vec![
             ("backend", Json::s(backend.name())),
             ("metric", Json::s(caps.metric.label())),
             ("exact", Json::Bool(caps.exact)),
@@ -420,8 +586,22 @@ impl App {
                     ),
                 ]),
             ),
-        ]);
-        Ok(Response::json(body.render()))
+        ];
+        // The caching decorator also reports its own observability
+        // counters, so clients can see hits accumulate across requests.
+        if name == "cached" {
+            let c = self.cached().cache_stats();
+            fields.push((
+                "cache",
+                Json::obj(vec![
+                    ("hits", c.hits.into()),
+                    ("misses", c.misses.into()),
+                    ("entries", c.entries.into()),
+                    ("capacity", c.capacity.into()),
+                ]),
+            ));
+        }
+        Ok(Response::json(Json::obj(fields).render()))
     }
 
     fn seasonal_api(&self, req: &Request) -> Result<Response, Response> {
@@ -690,9 +870,14 @@ mod tests {
         let r = get(&app(), "/api/backends");
         assert_eq!(r.status, 200);
         let body = String::from_utf8(r.body).unwrap();
-        for name in ["onex", "ucrsuite", "frm", "ebsm", "spring"] {
+        for name in [
+            "onex", "ucrsuite", "frm", "ebsm", "spring", "sharded", "cached",
+        ] {
             assert!(body.contains(&format!("\"name\":\"{name}\"")), "{body}");
         }
+        // Capability introspection includes the caching flag, true only
+        // for the caching decorator.
+        assert_eq!(body.matches("\"cached\":true").count(), 1, "{body}");
     }
 
     #[test]
@@ -723,6 +908,8 @@ mod tests {
             ("frm", "raw ED"),
             ("ebsm", "subsequence DTW"),
             ("spring", "subsequence DTW"),
+            ("sharded", "raw DTW"),
+            ("cached", "raw DTW"),
         ] {
             let r = get(
                 &a,
@@ -759,7 +946,9 @@ mod tests {
     #[test]
     fn k_zero_is_a_typed_400_not_a_silent_k_one() {
         let a = app();
-        for backend in ["onex", "ucrsuite", "frm", "ebsm", "spring"] {
+        for backend in [
+            "onex", "ucrsuite", "frm", "ebsm", "spring", "sharded", "cached",
+        ] {
             let r = get(
                 &a,
                 &format!("/api/match?series=MA-GrowthRate&start=4&len=8&k=0&backend={backend}"),
@@ -768,6 +957,45 @@ mod tests {
             let body = String::from_utf8(r.body).unwrap();
             assert!(body.contains("invalid query"), "{backend}: {body}");
         }
+    }
+
+    #[test]
+    fn sharded_backend_agrees_with_onex_over_http() {
+        let a = app();
+        let target = "/api/match?series=MA-GrowthRate&start=4&len=8&k=3&include_self=true";
+        let onex = String::from_utf8(get(&a, target).body).unwrap();
+        let sharded =
+            String::from_utf8(get(&a, &format!("{target}&backend=sharded")).body).unwrap();
+        // Same matches (names, windows, distances) from both engines;
+        // only the backend label and work counters differ.
+        let matches_of = |body: &str| {
+            let json = crate::json::Json::parse(body).expect("valid JSON");
+            let crate::json::Json::Obj(fields) = json else {
+                panic!("object: {body}");
+            };
+            fields
+                .into_iter()
+                .find(|(k, _)| k == "matches")
+                .map(|(_, v)| v.render())
+                .expect("matches field")
+        };
+        assert_eq!(matches_of(&onex), matches_of(&sharded));
+        assert!(sharded.contains("\"backend\":\"sharded\""));
+    }
+
+    #[test]
+    fn cached_backend_reports_hits_across_requests() {
+        let a = app();
+        let target = "/api/match?series=MA-GrowthRate&start=4&len=8&k=2&backend=cached";
+        let first = String::from_utf8(get(&a, target).body).unwrap();
+        assert!(first.contains("\"cache\":{"), "{first}");
+        assert!(first.contains("\"hits\":0"), "{first}");
+        assert!(first.contains("\"misses\":1"), "{first}");
+        let second = String::from_utf8(get(&a, target).body).unwrap();
+        assert!(second.contains("\"hits\":1"), "{second}");
+        // The cached answer is the same answer.
+        let strip = |b: &str| b.split("\"cache\"").next().unwrap().to_owned();
+        assert_eq!(strip(&first), strip(&second));
     }
 
     #[test]
@@ -868,5 +1096,133 @@ mod tests {
         assert_eq!(r.status, 200);
         assert_eq!(get(&a, "/api/seasonal?series=zz").status, 404);
         assert_eq!(get(&a, "/api/seasonal").status, 400);
+    }
+
+    // ---- serve loop hardening ------------------------------------------
+
+    /// A per-connection race: never counts toward the give-up threshold.
+    fn transient_error() -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::ConnectionAborted, "peer aborted")
+    }
+
+    /// A listener-level failure: counts toward the give-up threshold.
+    fn fatal_error() -> std::io::Error {
+        std::io::Error::other("accept failed")
+    }
+
+    #[test]
+    fn persistent_accept_failures_back_off_then_bail() {
+        let a = app();
+        let opts = ServeOptions {
+            workers: 1,
+            queue: 4,
+            max_consecutive_accept_failures: 5,
+            accept_backoff: Duration::from_millis(2),
+        };
+        // An endlessly failing listener: without the failure cap this
+        // loop would never return (and before the fix it would not even
+        // sleep — a hot busy-loop).
+        let failures = std::iter::repeat_with(|| Err(fatal_error()));
+        let t0 = std::time::Instant::now();
+        let err = a.serve_streams(failures, &opts).unwrap_err();
+        assert!(err.to_string().contains("accept failed"), "{err}");
+        // 4 backoff sleeps before the 5th failure bails: 2+4+8+16 ms.
+        assert!(
+            t0.elapsed() >= Duration::from_millis(20),
+            "backoff must actually sleep: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn transient_accept_errors_never_trip_the_failure_cap() {
+        let a = app();
+        let opts = ServeOptions {
+            workers: 1,
+            queue: 4,
+            max_consecutive_accept_failures: 3,
+            accept_backoff: Duration::ZERO,
+        };
+        // A flood of per-connection races far beyond the cap: they back
+        // off but must not shut the server down (the iterator ending is
+        // the only reason the loop returns, cleanly).
+        let aborts = (0..50).map(|_| Err(transient_error()));
+        a.serve_streams(aborts, &opts)
+            .expect("connection races are not listener failures");
+    }
+
+    #[test]
+    fn transient_accept_failures_recover_and_the_pool_serves() {
+        use std::io::{Read as _, Write as _};
+
+        let a = app();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let clients: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut s = std::net::TcpStream::connect(addr).unwrap();
+                    write!(s, "GET /api/series HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+                    let mut buf = String::new();
+                    s.read_to_string(&mut buf).unwrap();
+                    assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+                })
+            })
+            .collect();
+        let accepted: Vec<std::io::Result<TcpStream>> =
+            (0..3).map(|_| listener.accept().map(|(s, _)| s)).collect();
+        // Failures interleaved below the threshold: successes reset the
+        // consecutive count, so the loop survives and ends cleanly when
+        // the source is exhausted.
+        let mut items = vec![Err(fatal_error()), Err(fatal_error())];
+        items.extend(accepted);
+        items.push(Err(fatal_error()));
+        let opts = ServeOptions {
+            workers: 2,
+            queue: 2,
+            max_consecutive_accept_failures: 3,
+            accept_backoff: Duration::from_millis(1),
+        };
+        a.serve_streams(items.into_iter(), &opts)
+            .expect("transient failures below the threshold are survivable");
+        for c in clients {
+            c.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn worker_pool_is_fixed_size_yet_serves_more_clients_than_workers() {
+        use std::io::{Read as _, Write as _};
+
+        let a = app();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        const CLIENTS: usize = 8;
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut s = std::net::TcpStream::connect(addr).unwrap();
+                    write!(s, "GET /api/summary HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+                    let mut buf = String::new();
+                    s.read_to_string(&mut buf).unwrap();
+                    assert!(buf.starts_with("HTTP/1.1 200"), "{buf}");
+                })
+            })
+            .collect();
+        let accepted: Vec<std::io::Result<TcpStream>> = (0..CLIENTS)
+            .map(|_| listener.accept().map(|(s, _)| s))
+            .collect();
+        // Two workers, a two-slot queue, eight connections: every one is
+        // served (backpressure, not drops) by a bounded thread pool.
+        let opts = ServeOptions {
+            workers: 2,
+            queue: 2,
+            max_consecutive_accept_failures: 3,
+            accept_backoff: Duration::from_millis(1),
+        };
+        a.serve_streams(accepted.into_iter(), &opts).unwrap();
+        for c in clients {
+            c.join().unwrap();
+        }
     }
 }

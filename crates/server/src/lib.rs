@@ -25,8 +25,10 @@
 //!
 //! The request handler is a pure function ([`App::handle`]) so the whole
 //! surface is unit-testable without sockets; [`App::serve`] adds the
-//! blocking accept loop (one thread per connection — the engine is
-//! `&self`-threaded already).
+//! blocking accept loop: a fixed worker pool over a bounded connection
+//! queue (a connection flood cannot exhaust OS threads), with
+//! exponential backoff and an eventual typed failure on persistent
+//! accept errors ([`ServeOptions`] tunes both).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,4 +37,4 @@ mod app;
 pub mod http;
 pub mod json;
 
-pub use app::App;
+pub use app::{App, ServeOptions};

@@ -91,6 +91,27 @@ fn serves_real_sockets() {
     assert!(body.contains("\"backend\":\"ucrsuite\""), "{body}");
     assert!(Json::parse(&body).is_ok(), "{body}");
 
+    // The scale-out backends (sharded fan-out, caching decorator) are
+    // reachable through the same route.
+    for backend in ["sharded", "cached"] {
+        let (status, body) = fetch(
+            addr,
+            &format!("/api/match?series=MA-GrowthRate&start=4&len=8&k=2&backend={backend}"),
+        );
+        assert_eq!(status, 200, "{backend}");
+        assert!(
+            body.contains(&format!("\"backend\":\"{backend}\"")),
+            "{body}"
+        );
+        assert!(Json::parse(&body).is_ok(), "{body}");
+    }
+    // A repeated cached request is a hit, visible in the wire payload.
+    let (_, body) = fetch(
+        addr,
+        "/api/match?series=MA-GrowthRate&start=4&len=8&k=2&backend=cached",
+    );
+    assert!(body.contains("\"hits\":1"), "{body}");
+
     // Typed errors surface as proper status codes over the wire too.
     let (status, _) = fetch(addr, "/api/match?series=MA-GrowthRate&start=4&len=8&k=zero");
     assert_eq!(status, 400);

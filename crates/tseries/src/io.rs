@@ -7,8 +7,13 @@
 //!   name). This is the format of the UCR time-series archive the paper's
 //!   ElectricityLoad collection is distributed in.
 //! * **Column CSV** — first row header with series names, one column per
-//!   series (how MATTERS-style indicator tables are exported). Shorter
-//!   columns are padded cells left empty and simply end earlier.
+//!   series (how MATTERS-style indicator tables are exported). The
+//!   default reader ([`read_csv_columns`]) is strict: every row must
+//!   fill every column, and a ragged row is a typed parse error rather
+//!   than silently misaligned data. Collections with genuinely
+//!   different series lengths use the explicit padded form
+//!   ([`read_csv_columns_padded`] / [`write_csv_columns`]), where empty
+//!   trailing cells end a column early.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
@@ -68,9 +73,46 @@ pub fn load_ucr_file(path: impl AsRef<Path>) -> Result<Dataset> {
 }
 
 /// Parse column-oriented CSV: header row of series names, one column per
-/// series. Empty trailing cells end a column early; a non-empty cell after
-/// an empty one in the same column is an error (holes are not supported).
+/// series, **strict rectangular semantics** — every data row must carry a
+/// non-empty cell for every column.
+///
+/// A ragged row (fewer cells than the header, or any empty cell) is an
+/// [`Error::Parse`] carrying the line number (the workspace-wide
+/// `OnexError` maps it to `InvalidData`). Silently dropping the missing
+/// cells — what an earlier revision did — shifts every later value of
+/// that column one position earlier, misaligning it against the time
+/// axis and against its sibling columns; for an analytics engine that is
+/// data corruption, so it is rejected loudly at the door.
+///
+/// Collections whose series genuinely have different lengths are still
+/// loadable through [`read_csv_columns_padded`], the explicit-gap form
+/// [`write_csv_columns`] emits.
 pub fn read_csv_columns<R: Read>(reader: R) -> Result<Dataset> {
+    read_csv(reader, RowPolicy::Strict)
+}
+
+/// Parse column-oriented CSV where shorter columns end early: an empty
+/// trailing cell (or a missing cell at the end of a row) **closes** its
+/// column, and every later row must keep that column empty — a value
+/// after a gap is an [`Error::Parse`] (holes are not representable).
+///
+/// This is the inverse of [`write_csv_columns`] for ragged collections,
+/// which pads short columns with empty cells. For strictly rectangular
+/// data prefer [`read_csv_columns`], which rejects ragged rows outright.
+pub fn read_csv_columns_padded<R: Read>(reader: R) -> Result<Dataset> {
+    read_csv(reader, RowPolicy::PadTail)
+}
+
+/// How [`read_csv`] treats rows with missing cells.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RowPolicy {
+    /// Every row must fill every column: ragged rows are parse errors.
+    Strict,
+    /// A trailing gap ends the column; resuming after a gap is an error.
+    PadTail,
+}
+
+fn read_csv<R: Read>(reader: R, policy: RowPolicy) -> Result<Dataset> {
     let buf = BufReader::new(reader);
     let mut lines = buf.lines();
     let header = match lines.next() {
@@ -102,9 +144,25 @@ pub fn read_csv_columns<R: Read>(reader: R) -> Result<Dataset> {
                 ),
             });
         }
+        if policy == RowPolicy::Strict && cells.len() < names.len() {
+            return Err(Error::Parse {
+                line: lineno + 2,
+                message: format!(
+                    "ragged row: {} cells but header has {} columns",
+                    cells.len(),
+                    names.len()
+                ),
+            });
+        }
         for (col, &cell) in cells.iter().enumerate() {
             let cell = cell.trim();
             if cell.is_empty() {
+                if policy == RowPolicy::Strict {
+                    return Err(Error::Parse {
+                        line: lineno + 2,
+                        message: format!("ragged row: empty cell in column {:?}", names[col]),
+                    });
+                }
                 closed[col] = true;
                 continue;
             }
@@ -129,8 +187,9 @@ pub fn read_csv_columns<R: Read>(reader: R) -> Result<Dataset> {
 }
 
 /// Write a dataset as column CSV (inverse of [`read_csv_columns`] for
-/// equal-length collections; ragged collections round-trip too because
-/// shorter columns are padded with empty cells).
+/// equal-length collections; ragged collections round-trip through
+/// [`read_csv_columns_padded`] because shorter columns are padded with
+/// empty cells).
 pub fn write_csv_columns<W: Write>(ds: &Dataset, mut w: W) -> Result<()> {
     let names: Vec<&str> = ds.iter().map(|(_, s)| s.name()).collect();
     writeln!(w, "{}", names.join(","))?;
@@ -235,15 +294,36 @@ mod tests {
     }
 
     #[test]
-    fn csv_ragged_columns() {
-        let ds = read_csv_columns("a,b\n1,10\n2,\n3\n".as_bytes()).unwrap();
+    fn csv_rejects_ragged_rows_with_the_line_number() {
+        // The row "2," (empty cell) and the row "3" (missing cell) both
+        // used to silently truncate column b — values after the gap
+        // would misalign against the time axis. Strict mode rejects the
+        // first ragged row loudly instead.
+        let err = read_csv_columns("a,b\n1,10\n2,\n3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("ragged row"), "{err}");
+        assert!(err.to_string().contains("line 3"), "{err}");
+        let err = read_csv_columns("a,b\n1,10\n3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("ragged row"), "{err}");
+        // Rectangular input is unaffected.
+        assert!(read_csv_columns("a,b\n1,10\n2,20\n".as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn csv_ragged_rows_map_to_invalid_data_at_the_api_boundary() {
+        let err = read_csv_columns("a,b\n1,\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, Error::Parse { line: 2, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn csv_padded_reader_ends_short_columns_early() {
+        let ds = read_csv_columns_padded("a,b\n1,10\n2,\n3\n".as_bytes()).unwrap();
         assert_eq!(ds.by_name("a").unwrap().values(), &[1.0, 2.0, 3.0]);
         assert_eq!(ds.by_name("b").unwrap().values(), &[10.0]);
     }
 
     #[test]
-    fn csv_rejects_holes() {
-        let err = read_csv_columns("a,b\n1,\n2,5\n".as_bytes()).unwrap_err();
+    fn csv_padded_reader_rejects_holes() {
+        let err = read_csv_columns_padded("a,b\n1,\n2,5\n".as_bytes()).unwrap_err();
         assert!(err.to_string().contains("resumes after a gap"), "{err}");
     }
 
@@ -266,7 +346,11 @@ mod tests {
         ds.push(TimeSeries::new("y", vec![0.1])).unwrap();
         let mut out = Vec::new();
         write_csv_columns(&ds, &mut out).unwrap();
-        let back = read_csv_columns(out.as_slice()).unwrap();
+        // The writer pads short columns with empty cells, so the ragged
+        // round-trip goes through the padded reader; the strict reader
+        // refuses the same bytes by design.
+        assert!(read_csv_columns(out.as_slice()).is_err());
+        let back = read_csv_columns_padded(out.as_slice()).unwrap();
         assert_eq!(
             back.by_name("x").unwrap().values(),
             ds.by_name("x").unwrap().values()

@@ -30,7 +30,10 @@ fn main() {
                 eprintln!("cannot open {path}: {e}");
                 std::process::exit(1);
             });
-            io::read_csv_columns(f).unwrap_or_else(|e| {
+            // Arbitrary user files may be ragged (including the padded
+            // form write_csv_columns emits), so load through the
+            // gap-tolerant reader rather than the strict one.
+            io::read_csv_columns_padded(f).unwrap_or_else(|e| {
                 eprintln!("cannot parse {path}: {e}");
                 std::process::exit(1);
             })

@@ -13,11 +13,18 @@
 //!    larger answer.
 //! 4. **Typed failures**: `k == 0`, empty and non-finite queries are
 //!    `Err(OnexError::InvalidQuery)`, never panics.
+//!
+//! The scale-out engines — [`ShardedEngine`] fanning the query across
+//! per-shard ONEX bases, and [`CachedSearch`] decorating the single
+//! engine — run through the identical contract, plus a cross-backend
+//! agreement check: the sharded top-k must equal the single-engine
+//! top-k on the same dataset.
 
 use std::sync::Arc;
 
 use onex::engine::backends::{
-    EbsmBackend, FrmBackend, OnexBackend, SpringBackend, UcrSuiteBackend,
+    CachedSearch, EbsmBackend, FrmBackend, OnexBackend, ShardedEngine, SpringBackend,
+    UcrSuiteBackend,
 };
 use onex::engine::Onex;
 use onex::grouping::BaseConfig;
@@ -46,15 +53,21 @@ fn collection() -> Dataset {
     Dataset::from_series(series).unwrap()
 }
 
-/// Every backend under test, boxed behind the trait.
+/// Every backend under test, boxed behind the trait — the four baseline
+/// engines, ONEX itself, and the two scale-out engines built over the
+/// same collection.
 fn backends(ds: &Dataset) -> Vec<Box<dyn SimilaritySearch>> {
     let (engine, _) = Onex::build(ds.clone(), BaseConfig::new(0.8, QLEN, QLEN)).unwrap();
+    let (cache_engine, _) = Onex::build(ds.clone(), BaseConfig::new(0.8, QLEN, QLEN)).unwrap();
+    let (sharded, _) = ShardedEngine::build(ds, BaseConfig::new(0.8, QLEN, QLEN), 3).unwrap();
     vec![
         Box::new(OnexBackend::new(Arc::new(engine))),
         Box::new(UcrSuiteBackend::from_dataset(ds)),
         Box::new(FrmBackend::<4>::from_dataset(ds, 8)),
         Box::new(EbsmBackend::from_dataset(ds, onex::embedding::EbsmConfig::default()).unwrap()),
         Box::new(SpringBackend::from_dataset(ds)),
+        Box::new(sharded),
+        Box::new(CachedSearch::new(OnexBackend::new(Arc::new(cache_engine)), 64).unwrap()),
     ]
 }
 
@@ -199,9 +212,83 @@ fn capabilities_match_reported_behaviour() {
         }
         // Names are stable identifiers the server routes on.
         assert!(
-            ["onex", "ucrsuite", "frm", "ebsm", "spring"].contains(&b.name()),
+            ["onex", "ucrsuite", "frm", "ebsm", "spring", "sharded", "cached"].contains(&b.name()),
             "{}: unexpected name",
             b.name()
         );
+        // Only the caching decorator declares itself cached.
+        assert_eq!(caps.cached, b.name() == "cached", "{}", b.name());
     }
+}
+
+// ---------------------------------------------------------------------
+// Cross-backend agreement: scale-out must not change answers.
+// ---------------------------------------------------------------------
+
+/// Exact configuration (Seed policy) so both the single engine and every
+/// shard provably return the best indexed subsequences — under it the
+/// shard-merged top-k must equal the single-engine top-k bit for bit.
+fn exact_config() -> BaseConfig {
+    BaseConfig {
+        policy: onex::grouping::RepresentativePolicy::Seed,
+        ..BaseConfig::new(0.8, QLEN, QLEN)
+    }
+}
+
+#[test]
+fn sharded_top_k_equals_single_engine_top_k() {
+    let ds = collection();
+    let (engine, _) = Onex::build(ds.clone(), exact_config()).unwrap();
+    let single = OnexBackend::new(Arc::new(engine));
+    for shards in [2, 3, 5] {
+        let (sharded, _) = ShardedEngine::build(&ds, exact_config(), shards).unwrap();
+        for (sid, start) in [(0u32, 12usize), (2, 44), (5, 70)] {
+            // Small perturbation keeps distances distinct (no ordering
+            // ambiguity from exact ties between different windows).
+            let mut query = ds
+                .series(sid)
+                .unwrap()
+                .subsequence(start, QLEN)
+                .unwrap()
+                .to_vec();
+            for (i, v) in query.iter_mut().enumerate() {
+                *v += 0.003 * ((i as f64) * 2.1).sin();
+            }
+            let a = single.k_best(&query, 6).unwrap();
+            let b = sharded.k_best(&query, 6).unwrap();
+            assert_eq!(a.matches.len(), b.matches.len(), "{shards} shards");
+            for (x, y) in a.matches.iter().zip(&b.matches) {
+                assert_eq!(
+                    (x.series, x.start, x.len),
+                    (y.series, y.start, y.len),
+                    "{shards} shards, query ({sid}, {start})"
+                );
+                assert!(
+                    (x.distance - y.distance).abs() < 1e-12,
+                    "{shards} shards: {} vs {}",
+                    x.distance,
+                    y.distance
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_replays_are_bit_identical_to_the_first_answer() {
+    let ds = collection();
+    let (engine, _) = Onex::build(ds.clone(), exact_config()).unwrap();
+    let cached = CachedSearch::new(OnexBackend::new(Arc::new(engine)), 16).unwrap();
+    let query = ds
+        .series(4)
+        .unwrap()
+        .subsequence(33, QLEN)
+        .unwrap()
+        .to_vec();
+    let first = cached.k_best(&query, 4).unwrap();
+    for _ in 0..3 {
+        assert_eq!(cached.k_best(&query, 4).unwrap(), first);
+    }
+    let stats = cached.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (3, 1));
 }

@@ -164,6 +164,153 @@ fn frm_and_ebsm_answer_concurrently() {
     .expect("no thread panicked");
 }
 
+// ---------------------------------------------------------------------
+// Concurrency conformance: every SimilaritySearch backend — the four
+// baselines, ONEX, and the scale-out engines — must answer a hammered
+// shared instance identically from every thread, with race-free stats.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_backend_answers_identically_under_thread_hammer() {
+    use onex::engine::backends::{
+        CachedSearch, EbsmBackend, FrmBackend, OnexBackend, ShardedEngine, SpringBackend,
+        UcrSuiteBackend,
+    };
+    use onex::SimilaritySearch;
+
+    const QLEN: usize = 16;
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 3;
+
+    // Six diverse series so every metric is well-conditioned (the same
+    // shape the conformance suite uses).
+    let series: Vec<onex::tseries::TimeSeries> = (0..6)
+        .map(|i| {
+            let phase = i as f64 * 0.9;
+            let values: Vec<f64> = (0..96)
+                .map(|t| {
+                    let x = t as f64;
+                    (x * 0.21 + phase).sin() * 2.0 + (x * 0.043 + phase * 0.5).cos()
+                })
+                .collect();
+            onex::tseries::TimeSeries::new(format!("series-{i}"), values)
+        })
+        .collect();
+    let ds = onex::tseries::Dataset::from_series(series).unwrap();
+    let cfg = || BaseConfig::new(0.8, QLEN, QLEN);
+
+    let (plain_engine, _) = onex::engine::Onex::build(ds.clone(), cfg()).unwrap();
+    let plain_engine = Arc::new(plain_engine);
+    let (cache_engine, _) = onex::engine::Onex::build(ds.clone(), cfg()).unwrap();
+    let cached = CachedSearch::new(OnexBackend::new(Arc::new(cache_engine)), 64).unwrap();
+    let (sharded, _) = ShardedEngine::build(&ds, cfg(), 3).unwrap();
+
+    let backends: Vec<Box<dyn SimilaritySearch + Send + Sync>> = vec![
+        Box::new(OnexBackend::new(Arc::clone(&plain_engine))),
+        Box::new(UcrSuiteBackend::from_dataset(&ds)),
+        Box::new(FrmBackend::<4>::from_dataset(&ds, 8)),
+        Box::new(EbsmBackend::from_dataset(&ds, onex::embedding::EbsmConfig::default()).unwrap()),
+        Box::new(SpringBackend::from_dataset(&ds)),
+        Box::new(sharded),
+    ];
+
+    let queries: Vec<Vec<f64>> = [(0u32, 10usize), (2, 40), (4, 71)]
+        .iter()
+        .map(|&(sid, start)| {
+            ds.series(sid)
+                .unwrap()
+                .subsequence(start, QLEN)
+                .unwrap()
+                .to_vec()
+        })
+        .collect();
+
+    for backend in &backends {
+        // Serial reference answers (and per-call stats) first.
+        let reference: Vec<_> = queries
+            .iter()
+            .map(|q| backend.k_best(q, 4).unwrap())
+            .collect();
+        crossbeam::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let backend = &backend;
+                let queries = &queries;
+                let reference = &reference;
+                scope.spawn(move |_| {
+                    for round in 0..ROUNDS {
+                        let qi = (t + round) % queries.len();
+                        let out = backend.k_best(&queries[qi], 4).unwrap();
+                        assert_eq!(
+                            out.matches,
+                            reference[qi].matches,
+                            "{}: thread {t} round {round} diverged",
+                            backend.name()
+                        );
+                        assert_eq!(
+                            out.stats,
+                            reference[qi].stats,
+                            "{}: stats must be per-query deterministic",
+                            backend.name()
+                        );
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    // The ONEX engine's lifetime counters observed every one of the
+    // (serial + hammered) queries without losing an update.
+    let per_query: usize = queries
+        .iter()
+        .map(|q| {
+            let (_, s) = plain_engine
+                .k_best(q, 4, &onex::engine::QueryOptions::default())
+                .unwrap();
+            s.groups_examined
+        })
+        .sum();
+    assert!(per_query > 0);
+    let total = plain_engine.lifetime_stats().groups_examined;
+    // Every query ran the same number of times through this engine: once
+    // in the serial reference pass, once per thread in the hammer
+    // (ROUNDS == queries.len(), so `(t + round) % len` covers each query
+    // exactly once per thread), and once in the measurement just above.
+    assert_eq!(ROUNDS, queries.len(), "hammer covers queries uniformly");
+    let calls_per_query = 1 + THREADS + 1;
+    assert_eq!(
+        total,
+        per_query * calls_per_query,
+        "lifetime counters lost updates under concurrency"
+    );
+
+    // The cache's counters are exact under the same hammer: warmed
+    // serially (one miss per query), every concurrent call is a hit.
+    let warm: Vec<_> = queries
+        .iter()
+        .map(|q| cached.k_best(q, 4).unwrap())
+        .collect();
+    crossbeam::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cached = &cached;
+            let queries = &queries;
+            let warm = &warm;
+            scope.spawn(move |_| {
+                for round in 0..ROUNDS {
+                    let qi = (t + round) % queries.len();
+                    let out = cached.k_best(&queries[qi], 4).unwrap();
+                    assert_eq!(out, warm[qi], "cached: thread {t} round {round}");
+                }
+            });
+        }
+    })
+    .unwrap();
+    let stats = cached.cache_stats();
+    assert_eq!(stats.misses, queries.len(), "one miss per distinct query");
+    assert_eq!(stats.hits, THREADS * ROUNDS, "every hammered call hit");
+    assert_eq!(stats.entries, queries.len());
+}
+
 #[test]
 fn spring_monitors_run_per_thread() {
     use onex::spring::SpringMonitor;

@@ -1,5 +1,7 @@
-//! A minimal, dependency-free stand-in for `crossbeam::thread::scope`,
-//! built on `std::thread::scope` (stable since Rust 1.63).
+//! A minimal, dependency-free stand-in for the `crossbeam` APIs the ONEX
+//! workspace uses: `thread::scope` (built on `std::thread::scope`, stable
+//! since Rust 1.63) and a bounded MPMC [`channel`] (built on
+//! `std::sync::{Mutex, Condvar}`).
 //!
 //! API differences from the real crate are kept to what the ONEX call
 //! sites never observe: a panic in an unjoined child propagates out of
@@ -10,6 +12,193 @@
 #![forbid(unsafe_code)]
 
 pub use thread::scope;
+
+pub mod channel {
+    //! A bounded multi-producer multi-consumer channel with the
+    //! crossbeam-channel calling convention: [`bounded`] returns a
+    //! `(Sender, Receiver)` pair, both cloneable; `send` blocks while the
+    //! queue is full, `recv` blocks while it is empty, and each returns
+    //! `Err` once the other side has fully disconnected.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Error of [`Sender::send`]: every receiver disconnected; the
+    /// unsent message is handed back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error of [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The queue is at capacity; the message is handed back.
+        Full(T),
+        /// Every receiver disconnected; the message is handed back.
+        Disconnected(T),
+    }
+
+    /// Error of [`Receiver::recv`]: the queue is empty and every sender
+    /// disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        capacity: usize,
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half; clone for more producers.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clone for more consumers (each message is
+    /// delivered to exactly one).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// A channel holding at most `capacity` in-flight messages
+    /// (`capacity` ≥ 1; zero-capacity rendezvous is not supported by
+    /// this shim).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let capacity = capacity.max(1);
+        let shared = Arc::new(Shared {
+            capacity,
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(capacity),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Block until there is room (backpressure), then enqueue.
+        ///
+        /// # Errors
+        /// [`SendError`] when every receiver has disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.queue.len() < self.shared.capacity {
+                    state.queue.push_back(value);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.shared.not_full.wait(state).expect("channel lock");
+            }
+        }
+
+        /// Enqueue without blocking.
+        ///
+        /// # Errors
+        /// [`TrySendError::Full`] when at capacity,
+        /// [`TrySendError::Disconnected`] when every receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.queue.len() >= self.shared.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives.
+        ///
+        /// # Errors
+        /// [`RecvError`] when the queue is empty and every sender has
+        /// disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.not_empty.wait(state).expect("channel lock");
+            }
+        }
+
+        /// Messages currently queued (racy by nature; for observability).
+        pub fn len(&self) -> usize {
+            self.shared.state.lock().expect("channel lock").queue.len()
+        }
+
+        /// Whether the queue is currently empty (racy by nature).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel lock").senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake every blocked consumer so it can observe the
+                // disconnect instead of sleeping forever.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel lock");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+}
 
 pub mod thread {
     //! Scoped threads with the crossbeam calling convention: the spawn
@@ -57,6 +246,72 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    use crate::channel::{bounded, RecvError, TrySendError};
+
+    #[test]
+    fn channel_delivers_in_order_across_threads() {
+        let (tx, rx) = bounded::<u32>(4);
+        let producer = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn channel_capacity_backpressure_and_try_send() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.len(), 2);
+    }
+
+    #[test]
+    fn channel_disconnect_is_observable_on_both_sides() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError), "senders gone, queue drained");
+        let (tx, rx) = bounded::<u8>(2);
+        drop(rx);
+        assert!(tx.send(1).is_err(), "receivers gone");
+        assert_eq!(tx.try_send(2), Err(TrySendError::Disconnected(2)));
+    }
+
+    #[test]
+    fn channel_fans_work_across_cloned_receivers() {
+        let (tx, rx) = bounded::<usize>(8);
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut sum = 0usize;
+                    while let Ok(v) = rx.recv() {
+                        sum += v;
+                    }
+                    sum
+                })
+            })
+            .collect();
+        drop(rx);
+        for i in 1..=100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, 5050, "every message delivered exactly once");
+    }
+
     #[test]
     fn workers_borrow_and_join() {
         let data = [1u64, 2, 3, 4];
