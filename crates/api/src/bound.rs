@@ -1,0 +1,171 @@
+//! A query-global pruning bound shared across search workers.
+//!
+//! [`BestK`](crate::BestK) gives every scan a *local* k-th-best threshold,
+//! but a fan-out query (one searcher per shard, or one pass per candidate
+//! length) wants more: the moment any worker proves "the k-th best answer
+//! is at most `b`", every other worker should prune against `b` too.
+//! [`SharedBound`] is that channel — a lock-free, monotonically
+//! *tightening* `f64` threshold built on a single atomic word.
+//!
+//! Soundness of sharing rests on one observation: if some worker holds
+//! `k` candidates whose worst key is `b`, then the merged top-k over all
+//! workers has a k-th best key ≤ `b` — so any candidate with key ≥ `b`
+//! can at most *tie* at the merged k-boundary, never displace an answer.
+//! Publishing local k-th-best values therefore never loses a strictly
+//! better match; which of several exactly tied windows is reported may
+//! change (the documented "exact up to distance ties" contract).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A lock-free, monotonically tightening pruning threshold.
+///
+/// Starts at `+∞` ("nothing can be ruled out") and only ever decreases:
+/// [`SharedBound::tighten`] publishes a new upper bound on the k-th best
+/// key, and [`SharedBound::get`] reads the tightest value published so
+/// far. All operations use relaxed atomics — a stale read is merely a
+/// *looser* (still sound) bound, so no ordering stronger than the
+/// monotone CAS is needed.
+///
+/// ```
+/// use onex_api::SharedBound;
+///
+/// let bound = SharedBound::new();
+/// assert!(bound.get().is_infinite());
+/// bound.tighten(3.0);
+/// bound.tighten(5.0); // looser: ignored
+/// assert_eq!(bound.get(), 3.0);
+/// bound.tighten(1.5);
+/// assert_eq!(bound.get(), 1.5);
+/// ```
+#[derive(Debug)]
+pub struct SharedBound {
+    /// IEEE-754 bits of the current bound. Non-negative floats compare
+    /// identically as floats and as sign-magnitude integers, but we CAS
+    /// on the decoded `f64` anyway so the invariant is explicit.
+    bits: AtomicU64,
+}
+
+impl SharedBound {
+    /// A bound that rules nothing out yet (`+∞`).
+    pub fn new() -> Self {
+        SharedBound {
+            bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        }
+    }
+
+    /// The tightest value published so far (`+∞` until the first
+    /// [`SharedBound::tighten`]).
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Publish `value` as an upper bound on the k-th best key. Values
+    /// looser than the current bound are ignored (the bound is monotone),
+    /// as are NaN and negative values — a bound must stay a sound,
+    /// non-negative threshold no matter what a worker feeds it. Returns
+    /// the bound in effect after the call.
+    pub fn tighten(&self, value: f64) -> f64 {
+        // NaN or negative: never publish.
+        if value.is_nan() || value < 0.0 {
+            return self.get();
+        }
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(current) <= value {
+                return f64::from_bits(current);
+            }
+            match self.bits.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return value,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Whether any worker has published a finite bound yet.
+    #[inline]
+    pub fn is_tightened(&self) -> bool {
+        self.get().is_finite()
+    }
+}
+
+impl Default for SharedBound {
+    fn default() -> Self {
+        SharedBound::new()
+    }
+}
+
+impl Clone for SharedBound {
+    /// Cloning snapshots the current bound into an independent threshold
+    /// (subsequent tightenings are not shared — share via `Arc` for that).
+    fn clone(&self) -> Self {
+        SharedBound {
+            bits: AtomicU64::new(self.get().to_bits()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_unbounded_and_only_tightens() {
+        let b = SharedBound::new();
+        assert!(b.get().is_infinite());
+        assert!(!b.is_tightened());
+        assert_eq!(b.tighten(4.0), 4.0);
+        assert_eq!(b.tighten(7.0), 4.0, "loosening is ignored");
+        assert_eq!(b.tighten(2.5), 2.5);
+        assert_eq!(b.get(), 2.5);
+        assert!(b.is_tightened());
+    }
+
+    #[test]
+    fn rejects_nan_and_negative_values() {
+        let b = SharedBound::new();
+        b.tighten(3.0);
+        assert_eq!(b.tighten(f64::NAN), 3.0);
+        assert_eq!(b.tighten(-1.0), 3.0);
+        assert_eq!(b.get(), 3.0);
+        // Zero is a legal (maximally tight, short of ties) bound.
+        assert_eq!(b.tighten(0.0), 0.0);
+    }
+
+    #[test]
+    fn clone_snapshots_without_sharing() {
+        let a = SharedBound::new();
+        a.tighten(5.0);
+        let b = a.clone();
+        assert_eq!(b.get(), 5.0);
+        a.tighten(1.0);
+        assert_eq!(b.get(), 5.0, "clones are independent");
+    }
+
+    #[test]
+    fn concurrent_tightening_converges_to_the_minimum() {
+        let bound = Arc::new(SharedBound::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let bound = Arc::clone(&bound);
+                std::thread::spawn(move || {
+                    // Each thread publishes a descending ramp; the global
+                    // minimum across all threads is 1.0.
+                    for i in (0..100u64).rev() {
+                        bound.tighten(1.0 + (i * 8 + t) as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(bound.get(), 1.0);
+    }
+}

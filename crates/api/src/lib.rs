@@ -13,6 +13,11 @@
 //!   operation returns, replacing ad-hoc stringly-typed results and
 //!   panics on malformed queries.
 //!
+//! Two small pruning primitives back every top-k search: [`BestK`], the
+//! bounded best-k accumulator, and [`SharedBound`], the lock-free
+//! monotone threshold that lets concurrent workers (per-shard searchers,
+//! per-length passes) share one query-global k-th-best bound.
+//!
 //! The crate sits at the bottom of the workspace dependency graph (only
 //! `onex-tseries` below it), so every engine crate can speak the shared
 //! vocabulary without cycles. Concrete adapters live in
@@ -22,10 +27,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bound;
 mod error;
 mod search;
 mod topk;
 
+pub use bound::SharedBound;
 pub use error::OnexError;
 pub use search::{
     validate_query, BackendMatch, BackendStats, Capabilities, Metric, SearchOutcome,

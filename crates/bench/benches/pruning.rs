@@ -1,0 +1,55 @@
+//! E14 bench — query latency of the sharded engine under the shared
+//! query-global bound vs independent per-shard bounds, against the
+//! single engine. The shared bound's pruning savings and the persistent
+//! pool's zero-spawn submission both land here as latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use onex_api::SimilaritySearch;
+use onex_bench::workloads;
+use onex_core::backends::OnexBackend;
+use onex_core::scale::ShardedEngine;
+use onex_core::Onex;
+use onex_grouping::{BaseConfig, RepresentativePolicy};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const QLEN: usize = 16;
+
+fn config() -> BaseConfig {
+    BaseConfig {
+        policy: RepresentativePolicy::Seed,
+        ..BaseConfig::new(0.5, QLEN, QLEN)
+    }
+}
+
+fn bench_pruning(c: &mut Criterion) {
+    let ds = workloads::walk_collection(24, 160);
+    let name = ds.series(0).unwrap().name().to_owned();
+    let query = workloads::perturbed_query(&ds, &name, 30, QLEN, 0.05);
+
+    let mut g = c.benchmark_group("e14_pruning");
+    g.sample_size(15);
+
+    let (engine, _) = Onex::build(ds.clone(), config()).unwrap();
+    let single = OnexBackend::new(Arc::new(engine));
+    g.bench_function("single_k5", |b| {
+        b.iter(|| black_box(single.k_best(black_box(&query), 5).unwrap()))
+    });
+
+    for shared in [false, true] {
+        let (sharded, _) = ShardedEngine::build(&ds, config(), 4).unwrap();
+        let sharded = sharded.sharing_bound(shared);
+        let label = if shared {
+            "shared_bound"
+        } else {
+            "independent_bounds"
+        };
+        g.bench_with_input(BenchmarkId::new("sharded4_k5", label), &shared, |b, _| {
+            b.iter(|| black_box(sharded.k_best(black_box(&query), 5).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

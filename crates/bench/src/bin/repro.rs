@@ -12,8 +12,9 @@
 //! `--format json`, experiments that define a perf record write it next
 //! to the working directory (`e12` → `BENCH_construction.json`,
 //! subsequences/sec per index policy; `e13` → `BENCH_scaling.json`,
-//! shard speedup + agreement) so successive runs leave a comparable
-//! performance trajectory.
+//! shard speedup + agreement; `e14` → `BENCH_pruning.json`, shared-bound
+//! touched-candidate/DTW ratios + agreement) so successive runs leave a
+//! comparable performance trajectory.
 
 use onex_bench::experiments;
 

@@ -34,7 +34,7 @@ use std::sync::Arc;
 
 use onex_api::{
     validate_query, BackendMatch, BackendStats, Capabilities, Metric, OnexError, SearchOutcome,
-    SimilaritySearch, StreamMatch, StreamingSearch,
+    SharedBound, SimilaritySearch, StreamMatch, StreamingSearch,
 };
 use onex_grouping::RepresentativePolicy;
 use onex_tseries::Dataset;
@@ -82,6 +82,46 @@ impl OnexBackend {
     pub fn engine(&self) -> &Onex {
         &self.engine
     }
+
+    /// [`SimilaritySearch::k_best`] pruning against (and tightening) a
+    /// caller-owned query-global [`SharedBound`] — the per-shard entry
+    /// point [`ShardedEngine`] fans queries out through. The bound must
+    /// be fresh per logical query; see [`Onex::k_best_bounded`].
+    ///
+    /// # Errors
+    /// Same conditions as [`SimilaritySearch::k_best`].
+    pub fn k_best_bounded(
+        &self,
+        query: &[f64],
+        k: usize,
+        bound: &SharedBound,
+    ) -> Result<SearchOutcome, OnexError> {
+        let (matches, stats) = self.engine.k_best_bounded(query, k, &self.opts, bound)?;
+        Ok(Self::outcome(matches, stats))
+    }
+
+    fn outcome(matches: Vec<crate::Match>, stats: crate::QueryStats) -> SearchOutcome {
+        SearchOutcome {
+            matches: matches
+                .into_iter()
+                .map(|m| BackendMatch {
+                    series: m.subseq.series,
+                    start: m.subseq.start as usize,
+                    len: m.subseq.len as usize,
+                    distance: m.distance,
+                })
+                .collect(),
+            // `groups_examined` counts every group the loop considered,
+            // including ones subsequently pruned; subtract so examined
+            // and pruned stay disjoint (the BackendStats contract).
+            stats: BackendStats {
+                examined: stats.groups_examined.saturating_sub(stats.groups_pruned)
+                    + stats.members_examined,
+                pruned: stats.groups_pruned + stats.members_lb_pruned,
+                distance_computations: stats.dtw_completed + stats.dtw_abandoned,
+            },
+        }
+    }
 }
 
 impl SimilaritySearch for OnexBackend {
@@ -105,26 +145,7 @@ impl SimilaritySearch for OnexBackend {
 
     fn k_best(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
         let (matches, stats) = self.engine.k_best(query, k, &self.opts)?;
-        Ok(SearchOutcome {
-            matches: matches
-                .into_iter()
-                .map(|m| BackendMatch {
-                    series: m.subseq.series,
-                    start: m.subseq.start as usize,
-                    len: m.subseq.len as usize,
-                    distance: m.distance,
-                })
-                .collect(),
-            // `groups_examined` counts every group the loop considered,
-            // including ones subsequently pruned; subtract so examined
-            // and pruned stay disjoint (the BackendStats contract).
-            stats: BackendStats {
-                examined: stats.groups_examined.saturating_sub(stats.groups_pruned)
-                    + stats.members_examined,
-                pruned: stats.groups_pruned + stats.members_lb_pruned,
-                distance_computations: stats.dtw_completed + stats.dtw_abandoned,
-            },
-        })
+        Ok(Self::outcome(matches, stats))
     }
 }
 

@@ -1,6 +1,6 @@
 use parking_lot::Mutex;
 
-use onex_api::{validate_query, OnexError};
+use onex_api::{validate_query, OnexError, SharedBound};
 use onex_grouping::{BaseBuilder, BaseConfig, BuildReport, OnexBase};
 use onex_tseries::Dataset;
 
@@ -126,8 +126,30 @@ impl Onex {
         k: usize,
         opts: &QueryOptions,
     ) -> Result<(Vec<Match>, QueryStats), OnexError> {
+        self.k_best_bounded(query, k, opts, &SharedBound::new())
+    }
+
+    /// [`Onex::k_best`] pruning against (and tightening) a caller-owned
+    /// query-global bound. This is the fan-out entry point: run one
+    /// search per shard, hand every searcher the *same* [`SharedBound`],
+    /// and a k-th best discovered by any of them immediately shrinks the
+    /// others' candidate cascades. The bound must be fresh per logical
+    /// query (`∞`-seeded) — reusing one across queries would prune
+    /// against a threshold the current query never established. Results
+    /// are identical to the unshared search up to distance ties at the
+    /// k-boundary.
+    ///
+    /// # Errors
+    /// Same conditions as [`Onex::k_best`].
+    pub fn k_best_bounded(
+        &self,
+        query: &[f64],
+        k: usize,
+        opts: &QueryOptions,
+        bound: &SharedBound,
+    ) -> Result<(Vec<Match>, QueryStats), OnexError> {
         validate_query(query, k)?;
-        let mut searcher = Searcher::new(&self.dataset, &self.base, query, opts);
+        let mut searcher = Searcher::new(&self.dataset, &self.base, query, opts, bound);
         let matches = searcher.run(k);
         let stats = searcher.stats;
         *self.lifetime.lock() += stats;

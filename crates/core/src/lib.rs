@@ -42,10 +42,10 @@ mod stats;
 pub mod threshold;
 
 pub use engine::{Comparison, Onex};
-pub use onex_api::{OnexError, SimilaritySearch};
+pub use onex_api::{OnexError, SharedBound, SimilaritySearch};
 pub use onex_grouping::{BuildReport, IndexPolicy, IndexWork};
 pub use options::{LengthSelection, QueryOptions, ScanBreadth};
 pub use result::{Match, SeasonalPattern};
-pub use scale::{CacheStats, CachedSearch, ShardedBuildReport, ShardedEngine};
+pub use scale::{CacheStats, CachedSearch, PoolStats, ShardedBuildReport, ShardedEngine};
 pub use seasonal::SeasonalOptions;
 pub use stats::QueryStats;

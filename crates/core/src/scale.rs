@@ -8,12 +8,19 @@
 //!
 //! * [`ShardedEngine`] — partitions a dataset across N shards, builds one
 //!   ONEX engine per shard **in parallel**, fans every query out across
-//!   the shards on worker threads and merges the per-shard answers
-//!   through the shared [`BestK`] accumulator. Because each shard runs
-//!   the exact two-phase plan over its own subsequence space, the merged
-//!   top-k is identical to the single-engine answer over the whole
-//!   dataset (the conformance suite and bench E13 assert this), while
-//!   wall-clock drops with the shard count.
+//!   the shards on a **persistent worker pool** and merges the per-shard
+//!   answers through the shared [`BestK`] accumulator. All shards of one
+//!   query prune against a single [`SharedBound`] (the query-global
+//!   k-th-best threshold), so a tight bound discovered by any shard
+//!   immediately shrinks every other shard's candidate cascade — total
+//!   touched candidates stay near the single engine's instead of ~N× the
+//!   per-shard heap fills (bench E14 tracks the ratio). Because each
+//!   shard runs the exact two-phase plan over its own subsequence space,
+//!   the merged top-k is identical to the single-engine answer over the
+//!   whole dataset up to distance ties (the conformance suite and
+//!   benches E13/E14 assert this), while wall-clock drops with the shard
+//!   count. The pool is built once with the engine and reused across
+//!   queries; nothing on the query path spawns threads.
 //! * [`CachedSearch`] — a decorator over *any* backend with a bounded
 //!   LRU keyed on `(query values, k)`. Interactive exploration repeats
 //!   queries constantly (brushing the same window, comparing backends);
@@ -32,7 +39,7 @@ use parking_lot::Mutex;
 
 use onex_api::{
     validate_query, BackendMatch, BackendStats, BestK, Capabilities, OnexError, SearchOutcome,
-    SimilaritySearch,
+    SharedBound, SimilaritySearch,
 };
 use onex_grouping::{BaseConfig, BuildReport, RepresentativePolicy};
 use onex_tseries::{Dataset, SubseqRef, TimeSeries};
@@ -86,14 +93,158 @@ impl ShardedBuildReport {
     }
 }
 
+/// One unit of pool work: run `query` against one shard's engine under
+/// the query's shared bound, and send the outcome back tagged with the
+/// shard index. Everything is owned (`Arc`s and clones), so jobs outlive
+/// the borrow of the submitting call — the prerequisite for a persistent
+/// pool instead of per-query scoped threads.
+struct ShardJob {
+    index: usize,
+    engine: Arc<Onex>,
+    /// Shard-localised options; `None` means the shard cannot contribute
+    /// (an `only_series` filter owned by another shard).
+    opts: Option<QueryOptions>,
+    query: Arc<[f64]>,
+    k: usize,
+    /// The query-global pruning bound this job tightens and observes.
+    bound: Arc<SharedBound>,
+    reply: crossbeam::channel::Sender<(usize, Result<SearchOutcome, OnexError>)>,
+}
+
+/// Observability counters of a [`ShardedEngine`]'s worker pool. The
+/// load-bearing invariant: `threads_spawned` is set at construction and
+/// **never grows** — queries reuse the pool instead of spawning (the
+/// lifetime-counter test and bench E14 both lean on this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads the pool runs (one per shard).
+    pub workers: usize,
+    /// Threads ever spawned — equals `workers` for the pool's lifetime.
+    pub threads_spawned: usize,
+    /// Shard-jobs executed so far (each query contributes one per shard).
+    pub jobs_executed: usize,
+}
+
+/// A persistent pool of per-shard query workers over the bounded MPMC
+/// channel (the same primitive the server's accept loop pools
+/// connections with). Workers live as long as the engine: submitting a
+/// job is a channel send, never a thread spawn — the fixed ~per-thread
+/// setup cost that used to dominate sub-millisecond sharded queries is
+/// paid once at build time.
+struct ShardPool {
+    /// `Some` for the pool's lifetime; taken in `Drop` so workers see the
+    /// disconnect and exit before the handles are joined.
+    tx: Option<crossbeam::channel::Sender<ShardJob>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    threads_spawned: Arc<AtomicUsize>,
+    jobs_executed: Arc<AtomicUsize>,
+}
+
+impl ShardPool {
+    fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        // Capacity 2× the workers: one query's fan-out fits entirely
+        // without blocking the submitter, and a second query can queue
+        // behind it; beyond that, submission blocks (backpressure).
+        let (tx, rx) = crossbeam::channel::bounded::<ShardJob>(workers * 2);
+        let threads_spawned = Arc::new(AtomicUsize::new(0));
+        let jobs_executed = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let executed = Arc::clone(&jobs_executed);
+                // Counted here, on the constructing thread: the counter
+                // is "threads ever spawned", not "threads scheduled".
+                threads_spawned.fetch_add(1, Ordering::Relaxed);
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        let ShardJob {
+                            index,
+                            engine,
+                            opts,
+                            query,
+                            k,
+                            bound,
+                            reply,
+                        } = job;
+                        // A panicking query must cost one errored reply,
+                        // not a pool worker (mirrors the serve loop's
+                        // catch_unwind rationale).
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match opts {
+                                Some(opts) => OnexBackend::new(engine)
+                                    .with_options(opts)
+                                    .k_best_bounded(&query, k, &bound),
+                                None => Ok(SearchOutcome::default()),
+                            }))
+                            .unwrap_or_else(|_| {
+                                Err(OnexError::Internal("shard query worker panicked".into()))
+                            });
+                        // A send error means the query side gave up
+                        // (errored out early); the result is moot.
+                        let _ = reply.send((index, result));
+                    }
+                })
+            })
+            .collect();
+        ShardPool {
+            tx: Some(tx),
+            workers: handles,
+            threads_spawned,
+            jobs_executed,
+        }
+    }
+
+    fn submit(&self, job: ShardJob) -> Result<(), OnexError> {
+        self.tx
+            .as_ref()
+            .expect("pool sender lives until Drop")
+            .send(job)
+            .map_err(|_| OnexError::Internal("shard worker pool exited".into()))
+    }
+
+    fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers.len(),
+            threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Disconnect first so every worker's recv returns Err, then join.
+        self.tx = None;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("workers", &self.workers.len())
+            .field("jobs_executed", &self.jobs_executed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
 /// The ONEX engine scaled across N shards behind the unified trait.
 ///
 /// Series are partitioned round-robin (series `i` → shard `i mod N`), so
 /// shards stay balanced regardless of load order. Queries fan out to
-/// every shard on scoped worker threads; per-shard answers merge through
-/// [`BestK`] under the same length-normalised ranking the single engine
-/// uses, and per-shard [`BackendStats`] sum into one report — the shards
-/// index disjoint subsequence spaces, so the counters stay disjoint.
+/// every shard over a persistent worker pool (no per-query thread
+/// spawns), all shards of one query prune against one [`SharedBound`],
+/// and per-shard answers merge through [`BestK`] under the same
+/// length-normalised ranking the single engine uses. Per-shard
+/// [`BackendStats`] sum into one report — the shards index disjoint
+/// subsequence spaces, so the counters stay disjoint (their *values*
+/// depend on how fast the shards tightened each other's bounds; disable
+/// sharing via [`ShardedEngine::sharing_bound`] for scheduling-independent
+/// per-shard counters).
 ///
 /// **Agreement caveat:** under an exact configuration the merged top-k
 /// carries the same windows at the same distances as the single engine
@@ -122,6 +273,12 @@ impl ShardedBuildReport {
 pub struct ShardedEngine {
     shards: Vec<Shard>,
     opts: QueryOptions,
+    /// Share one query-global bound across the shards of each query
+    /// (default). `false` gives every shard an independent bound — the
+    /// pre-sharing behaviour, kept for diagnostics and bench E14's
+    /// before/after comparison.
+    share_bound: bool,
+    pool: ShardPool,
 }
 
 impl ShardedEngine {
@@ -211,10 +368,13 @@ impl ShardedEngine {
                 to_local,
             });
         }
+        let pool = ShardPool::new(shard_vec.len());
         Ok((
             ShardedEngine {
                 shards: shard_vec,
                 opts: QueryOptions::default(),
+                share_bound: true,
+                pool,
             },
             ShardedBuildReport {
                 per_shard,
@@ -229,6 +389,23 @@ impl ShardedEngine {
     pub fn with_options(mut self, opts: QueryOptions) -> Self {
         self.opts = opts;
         self
+    }
+
+    /// Builder-style: share one query-global [`SharedBound`] across the
+    /// shards of each query (`true`, the default) or give every shard an
+    /// independent bound (`false` — the pre-sharing behaviour, whose
+    /// per-shard work counters do not depend on scheduling; bench E14
+    /// measures both).
+    pub fn sharing_bound(mut self, share: bool) -> Self {
+        self.share_bound = share;
+        self
+    }
+
+    /// Counters of the persistent query-worker pool. `threads_spawned`
+    /// equals the shard count for the engine's whole lifetime — queries
+    /// are channel sends, never spawns.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Number of shards actually built (≤ the requested count).
@@ -278,36 +455,57 @@ impl ShardedEngine {
     /// makes available independent of core count (bench E13's
     /// machine-independent speedup column).
     ///
+    /// Jobs run on the engine's persistent worker pool — no threads are
+    /// spawned per query — and (unless [`ShardedEngine::sharing_bound`]
+    /// disabled it) all prune against one fresh [`SharedBound`] seeded at
+    /// `∞` for this query: the first shard to fill its k-heap publishes
+    /// its k-th best, every other shard observes it mid-scan. With
+    /// sharing on, per-shard *work counters* therefore depend on how the
+    /// shards interleaved; the merged *matches* do not (exact up to
+    /// distance ties).
+    ///
     /// # Errors
-    /// Same conditions as [`SimilaritySearch::k_best`].
+    /// Same conditions as [`SimilaritySearch::k_best`], plus
+    /// [`OnexError::Internal`] when the pool is gone or a reply is lost.
     pub fn shard_outcomes(&self, query: &[f64], k: usize) -> Result<Vec<SearchOutcome>, OnexError> {
         validate_query(query, k)?;
-        // Fan out: one worker per shard, each running the full two-phase
-        // plan over its own (disjoint) subsequence space.
-        let outcomes = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter()
-                .map(|shard| {
-                    let local_opts = self.localize(shard);
-                    scope.spawn(move |_| match local_opts {
-                        Some(opts) => OnexBackend::new(shard.engine.clone())
-                            .with_options(opts)
-                            .k_best(query, k),
-                        None => Ok(SearchOutcome::default()),
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .map_err(|_| OnexError::Internal("shard query worker panicked".into()))
-                })
-                .collect::<Vec<_>>()
-        })
-        .map_err(|_| OnexError::Internal("shard query scope panicked".into()))?;
-        outcomes.into_iter().map(|o| o?).collect()
+        let query: Arc<[f64]> = Arc::from(query);
+        // One fresh bound per logical query — never reused across
+        // queries, so concurrent queries cannot contaminate each other.
+        let shared = Arc::new(SharedBound::new());
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(self.shards.len().max(1));
+        for (index, shard) in self.shards.iter().enumerate() {
+            let bound = if self.share_bound {
+                Arc::clone(&shared)
+            } else {
+                Arc::new(SharedBound::new())
+            };
+            self.pool.submit(ShardJob {
+                index,
+                engine: Arc::clone(&shard.engine),
+                opts: self.localize(shard),
+                query: Arc::clone(&query),
+                k,
+                bound,
+                reply: reply_tx.clone(),
+            })?;
+        }
+        drop(reply_tx);
+        // Collect exactly one reply per shard. Workers always reply
+        // (panics are caught into typed errors), so the timeout is a
+        // guard against a lost pool, not a query SLA.
+        let mut outcomes: Vec<Option<SearchOutcome>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        for _ in 0..self.shards.len() {
+            let (index, result) = reply_rx
+                .recv_timeout(Duration::from_secs(300))
+                .map_err(|_| OnexError::Internal("shard query reply lost".into()))?;
+            outcomes[index] = Some(result?);
+        }
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("every shard replied exactly once"))
+            .collect())
     }
 
     fn merge(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
@@ -668,11 +866,13 @@ mod tests {
     #[test]
     fn sharded_stats_aggregate_disjointly() {
         let ds = dataset(8);
+        // Independent bounds make per-shard work scheduling-independent,
+        // so the merged counters must be the exact sums of direct
+        // per-shard queries.
         let (sharded, _) = ShardedEngine::build(&ds, exact_config(), 4).unwrap();
+        let sharded = sharded.sharing_bound(false);
         let query = ds.series(1).unwrap().subsequence(10, LEN).unwrap().to_vec();
         let merged = sharded.k_best(&query, 3).unwrap().stats;
-        // Fan the same query through each shard's engine directly; the
-        // merged counters must be the exact sums.
         let mut expect = BackendStats::default();
         for shard in &sharded.shards {
             let out = OnexBackend::new(shard.engine.clone())
@@ -685,31 +885,101 @@ mod tests {
     }
 
     #[test]
+    fn shared_bound_never_costs_work_and_answers_identically() {
+        let ds = dataset(12);
+        let (shared, _) = ShardedEngine::build(&ds, exact_config(), 4).unwrap();
+        let (independent, _) = ShardedEngine::build(&ds, exact_config(), 4).unwrap();
+        let independent = independent.sharing_bound(false);
+        // How much sharing saves depends on shard interleaving, so the
+        // strict-savings check tolerates adverse scheduling: retry the
+        // whole batch a few times and require savings in at least one
+        // round (per-query `<=` stays unconditional — sharing can only
+        // tighten thresholds, never loosen them).
+        let mut any_savings = false;
+        for _round in 0..3 {
+            for (sid, start) in [(0u32, 5usize), (3, 22), (7, 41), (11, 60)] {
+                let mut query = ds
+                    .series(sid)
+                    .unwrap()
+                    .subsequence(start, LEN)
+                    .unwrap()
+                    .to_vec();
+                for (i, v) in query.iter_mut().enumerate() {
+                    *v += 0.02 * ((i as f64) * 1.3).sin();
+                }
+                let a = shared.k_best(&query, 3).unwrap();
+                let b = independent.k_best(&query, 3).unwrap();
+                // Same merged answers (distances distinct by perturbation)…
+                assert_eq!(a.matches, b.matches);
+                // …for at most the independent-bound work.
+                assert!(
+                    a.stats.work() <= b.stats.work(),
+                    "sharing increased work: {} vs {}",
+                    a.stats.work(),
+                    b.stats.work()
+                );
+                any_savings |= a.stats.work() < b.stats.work();
+            }
+            if any_savings {
+                break;
+            }
+        }
+        assert!(
+            any_savings,
+            "the shared bound pruned nothing across 12 fan-outs"
+        );
+    }
+
+    #[test]
+    fn query_pool_is_reused_across_queries_never_respawned() {
+        let ds = dataset(9);
+        let (sharded, _) = ShardedEngine::build(&ds, exact_config(), 3).unwrap();
+        let before = sharded.pool_stats();
+        assert_eq!(before.workers, 3, "one worker per shard");
+        assert_eq!(before.threads_spawned, 3);
+        const QUERIES: usize = 20;
+        for i in 0..QUERIES {
+            let query = ds
+                .series((i % 9) as u32)
+                .unwrap()
+                .subsequence(i % 40, LEN)
+                .unwrap()
+                .to_vec();
+            let out = sharded.k_best(&query, 2).unwrap();
+            assert!(!out.matches.is_empty());
+        }
+        let after = sharded.pool_stats();
+        assert_eq!(
+            after.threads_spawned, 3,
+            "queries must never spawn threads — the pool is the lifetime"
+        );
+        assert_eq!(
+            after.jobs_executed,
+            before.jobs_executed + QUERIES * 3,
+            "every query fans exactly one job to each shard"
+        );
+    }
+
+    #[test]
     fn sharded_respects_global_series_options() {
         let ds = dataset(8);
         let (sharded, _) = ShardedEngine::build(&ds, exact_config(), 3).unwrap();
         let query = ds.series(5).unwrap().subsequence(20, LEN).unwrap().to_vec();
 
         // Excluding the query's own series removes its verbatim window.
-        let excl = ShardedEngine {
-            shards: ShardedEngine::build(&ds, exact_config(), 3)
-                .unwrap()
-                .0
-                .shards,
-            opts: QueryOptions::default().excluding_series(Some(5)),
-        };
+        let excl = ShardedEngine::build(&ds, exact_config(), 3)
+            .unwrap()
+            .0
+            .with_options(QueryOptions::default().excluding_series(Some(5)));
         let out = excl.k_best(&query, 4).unwrap();
         assert!(out.matches.iter().all(|m| m.series != 5));
 
         // only_series pins every answer to one global series (which lives
         // in exactly one shard; the others contribute nothing).
-        let only = ShardedEngine {
-            shards: ShardedEngine::build(&ds, exact_config(), 3)
-                .unwrap()
-                .0
-                .shards,
-            opts: QueryOptions::default().within_series(5),
-        };
+        let only = ShardedEngine::build(&ds, exact_config(), 3)
+            .unwrap()
+            .0
+            .with_options(QueryOptions::default().within_series(5));
         let out = only.k_best(&query, 4).unwrap();
         assert!(!out.matches.is_empty());
         assert!(out.matches.iter().all(|m| m.series == 5));

@@ -14,6 +14,17 @@
 //!    lengths only).
 //! 3. **Early-abandoning DTW** seeded with the current k-th best.
 //!
+//! Every prune threshold flows through one **query-global bound**: the
+//! k-th best *normalised* distance known so far, kept in a
+//! [`SharedBound`] alongside the local heap. The searcher consults it
+//! before each group and member (so a tight bound discovered at one
+//! candidate length prunes all later lengths), feeds it *live* into the
+//! early-abandoning DP (so it can abort mid-computation), and publishes
+//! every improvement back. When several searchers share one bound — the
+//! sharded engine runs one per shard — a discovery by any of them
+//! immediately shrinks all the others' searches; results stay exact up
+//! to distance ties (see `onex_api::bound` for the soundness argument).
+//!
 //! Soundness of (1) relies on the radius being certified, which holds
 //! under the `Seed` representative policy; under `Centroid` the radius is
 //! the observed insertion maximum and pruning is near-exact (the paper's
@@ -23,8 +34,9 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use onex_api::SharedBound;
 use onex_distance::bounds::warp_multiplicity;
-use onex_distance::dtw::dtw_early_abandon_sq_with_cb;
+use onex_distance::dtw::dtw_early_abandon_sq_dynamic;
 use onex_distance::lb::{lb_keogh_sq, lb_kim_fl_sq};
 use onex_distance::{dtw_with_path, Envelope};
 use onex_grouping::{GroupId, OnexBase};
@@ -83,11 +95,34 @@ pub(crate) fn normalize(distance: f64, query_len: usize, candidate_len: usize) -
     distance / (query_len.max(candidate_len) as f64).sqrt()
 }
 
+/// Everything about one candidate length that is a pure function of the
+/// query and the options, computed **once per length** instead of per
+/// group/member visit: the normalisation factor (previously a `sqrt` per
+/// bound check), the warp multiplicity `√W`, and the query envelope for
+/// LB_Keogh.
+struct LengthPlan {
+    len: usize,
+    /// `√(max(query_len, len))` — converts the normalised bound back to
+    /// the raw DTW scale at this length.
+    norm: f64,
+    /// `√W` of the ED↔DTW bridge at this length pair.
+    sqrt_w: f64,
+    /// Query envelope for LB_Keogh (equal lengths only; also used to
+    /// rank groups cheaply in phase 1).
+    env_q: Option<Envelope>,
+}
+
 pub(crate) struct Searcher<'a> {
     dataset: &'a Dataset,
     base: &'a OnexBase,
     query: &'a [f64],
     opts: &'a QueryOptions,
+    /// The query-global pruning bound on the *normalised* distance scale:
+    /// seeded at `∞`, tightened to the k-th best whenever the heap fills
+    /// or improves, observed before every group/member and mid-DTW.
+    /// Callers that fan one query across several searchers (the sharded
+    /// engine) pass the same bound to all of them.
+    bound: &'a SharedBound,
     pub stats: QueryStats,
 }
 
@@ -97,12 +132,14 @@ impl<'a> Searcher<'a> {
         base: &'a OnexBase,
         query: &'a [f64],
         opts: &'a QueryOptions,
+        bound: &'a SharedBound,
     ) -> Self {
         Searcher {
             dataset,
             base,
             query,
             opts,
+            bound,
             stats: QueryStats::default(),
         }
     }
@@ -132,6 +169,23 @@ impl<'a> Searcher<'a> {
         }
     }
 
+    /// Build the cached per-length plan: one envelope construction and
+    /// one set of `sqrt`s per length for the whole query, where earlier
+    /// revisions recomputed the normalisation factor on every bound
+    /// check (bench E14 measures the difference).
+    fn plan(&self, len: usize) -> LengthPlan {
+        let n = self.query.len();
+        let band = self.opts.band;
+        let mult = warp_multiplicity(n, len, band);
+        LengthPlan {
+            len,
+            norm: (n.max(len) as f64).sqrt(),
+            sqrt_w: (mult as f64).sqrt(),
+            env_q: (self.opts.lb_keogh && len == n)
+                .then(|| Envelope::build(self.query, band.radius(n, len))),
+        }
+    }
+
     /// Run the search and return up to `k` matches, best first. The
     /// caller ([`crate::Onex::k_best`]) has already validated `k` and the
     /// query through `onex_api::validate_query`, so malformed input never
@@ -141,7 +195,8 @@ impl<'a> Searcher<'a> {
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
 
         for len in self.candidate_lengths() {
-            self.search_length(len, k, &mut heap);
+            let plan = self.plan(len);
+            self.search_length(&plan, k, &mut heap);
         }
 
         heap.into_sorted_vec()
@@ -150,32 +205,37 @@ impl<'a> Searcher<'a> {
             .collect()
     }
 
-    /// The current pruning bound at a given candidate length, on the raw
-    /// DTW scale: a candidate can only matter if it beats the k-th best
-    /// normalised distance.
-    fn raw_bound(&self, heap: &BinaryHeap<HeapEntry>, k: usize, len: usize) -> f64 {
-        if heap.len() < k {
+    /// The current pruning bound on the *normalised* scale: the tighter
+    /// of the local k-th best and the shared query-global bound.
+    fn normalized_bound(&self, heap: &BinaryHeap<HeapEntry>, k: usize) -> f64 {
+        let local = if heap.len() < k {
             f64::INFINITY
         } else {
-            let kth = heap.peek().expect("heap non-empty").normalized;
-            kth * (self.query.len().max(len) as f64).sqrt()
+            heap.peek().expect("heap non-empty").normalized
+        };
+        local.min(self.bound.get())
+    }
+
+    /// The current pruning bound at a given candidate length, on the raw
+    /// DTW scale: a candidate can only matter if it beats the k-th best
+    /// normalised distance known anywhere (this searcher or a peer
+    /// sharing the bound).
+    fn raw_bound(&self, heap: &BinaryHeap<HeapEntry>, k: usize, plan: &LengthPlan) -> f64 {
+        let b = self.normalized_bound(heap, k);
+        if b.is_finite() {
+            b * plan.norm
+        } else {
+            f64::INFINITY
         }
     }
 
-    fn search_length(&mut self, len: usize, k: usize, heap: &mut BinaryHeap<HeapEntry>) {
-        let n = self.query.len();
-        let groups = self.base.groups_for_len(len);
+    fn search_length(&mut self, plan: &LengthPlan, k: usize, heap: &mut BinaryHeap<HeapEntry>) {
+        let groups = self.base.groups_for_len(plan.len);
         if groups.is_empty() {
             return;
         }
         let band = self.opts.band;
-        let mult = warp_multiplicity(n, len, band);
-        let sqrt_w = (mult as f64).sqrt();
-
-        // Query envelope for LB_Keogh (equal lengths only; also used to
-        // rank groups cheaply in phase 1).
-        let env_q = (self.opts.lb_keogh && len == n)
-            .then(|| Envelope::build(self.query, band.radius(n, len)));
+        let sqrt_w = plan.sqrt_w;
 
         // Phase 1: rank groups by a cheap *lower bound* on the
         // representative distance — LB_KimFL always, strengthened by
@@ -187,7 +247,7 @@ impl<'a> Searcher<'a> {
             .enumerate()
             .map(|(gi, g)| {
                 let mut lb_sq = lb_kim_fl_sq(self.query, g.representative());
-                if let Some(env) = &env_q {
+                if let Some(env) = &plan.env_q {
                     lb_sq = lb_sq.max(lb_keogh_sq(g.representative(), env, f64::INFINITY));
                 }
                 (gi, lb_sq.sqrt())
@@ -196,7 +256,7 @@ impl<'a> Searcher<'a> {
         ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
 
         if let ScanBreadth::TopGroups(g) = self.opts.breadth {
-            self.search_top_groups(len, k, g.max(1), heap, &ranked, &env_q);
+            self.search_top_groups(plan, k, g.max(1), heap, &ranked);
             return;
         }
 
@@ -219,7 +279,7 @@ impl<'a> Searcher<'a> {
         for (rank_idx, &(gi, lb_rep)) in ranked.iter().enumerate() {
             let g = &groups[gi];
             self.stats.groups_examined += 1;
-            let bound = self.raw_bound(heap, k, len);
+            let bound = self.raw_bound(heap, k, plan);
             if self.opts.prune_groups && bound.is_finite() {
                 // Every remaining group has lb ≥ lb_rep and radius ≤ the
                 // suffix max, so none can hold a member below the bound.
@@ -239,12 +299,29 @@ impl<'a> Searcher<'a> {
                 self.stats.groups_pruned += 1;
                 continue;
             }
-            let d_rep_sq = dtw_early_abandon_sq_with_cb(
+            // The live refresh folds bound tightenings published *during*
+            // this DP (by a peer shard, or not at all in single-engine
+            // mode) into the abandonment threshold, radius slack included.
+            let shared = self.bound;
+            let (norm, radius) = (plan.norm, g.radius());
+            let live = move || {
+                let b = shared.get();
+                if b.is_finite() {
+                    let at = b * norm + sqrt_w * radius;
+                    at * at
+                } else {
+                    f64::INFINITY
+                }
+            };
+            let live_ref: Option<&dyn Fn() -> f64> =
+                self.opts.prune_groups.then_some(&live as &dyn Fn() -> f64);
+            let d_rep_sq = dtw_early_abandon_sq_dynamic(
                 self.query,
                 g.representative(),
                 band,
                 prune_at * prune_at,
                 None,
+                live_ref,
             );
             if d_rep_sq.is_infinite() {
                 self.stats.dtw_abandoned += 1;
@@ -253,12 +330,12 @@ impl<'a> Searcher<'a> {
             }
             self.stats.dtw_completed += 1;
             let d_rep = d_rep_sq.sqrt();
-            let bound = self.raw_bound(heap, k, len);
+            let bound = self.raw_bound(heap, k, plan);
             if self.opts.prune_groups && d_rep - sqrt_w * g.radius() >= bound {
                 self.stats.groups_pruned += 1;
                 continue;
             }
-            self.scan_members(len, k, gi, heap, &env_q);
+            self.scan_members(plan, k, gi, heap);
         }
     }
 
@@ -270,15 +347,14 @@ impl<'a> Searcher<'a> {
     /// representative.
     fn search_top_groups(
         &mut self,
-        len: usize,
+        plan: &LengthPlan,
         k: usize,
         g: usize,
         heap: &mut BinaryHeap<HeapEntry>,
         ranked: &[(usize, f64)],
-        env_q: &Option<Envelope>,
     ) {
         let band = self.opts.band;
-        let groups = self.base.groups_for_len(len);
+        let groups = self.base.groups_for_len(plan.len);
         // Top-g representatives by actual DTW. `selection` is a max-heap
         // on distance so the root is the current g-th best.
         let mut selection: BinaryHeap<(OrdF64, usize)> = BinaryHeap::with_capacity(g + 1);
@@ -295,11 +371,12 @@ impl<'a> Searcher<'a> {
                 self.stats.groups_pruned += 1;
                 break;
             }
-            let d_sq = dtw_early_abandon_sq_with_cb(
+            let d_sq = dtw_early_abandon_sq_dynamic(
                 self.query,
                 groups[gi].representative(),
                 band,
                 gth * gth,
+                None,
                 None,
             );
             if d_sq.is_infinite() {
@@ -317,26 +394,40 @@ impl<'a> Searcher<'a> {
         let mut chosen: Vec<(OrdF64, usize)> = selection.into_vec();
         chosen.sort();
         for (_, gi) in chosen {
-            self.scan_members(len, k, gi, heap, env_q);
+            self.scan_members(plan, k, gi, heap);
         }
     }
 
     /// Scan one group's members into the k-best heap with LB_Keogh and
-    /// early-abandoning DTW.
+    /// early-abandoning DTW, tightening (and publishing) the shared
+    /// bound as better candidates are found.
     fn scan_members(
         &mut self,
-        len: usize,
+        plan: &LengthPlan,
         k: usize,
         gi: usize,
         heap: &mut BinaryHeap<HeapEntry>,
-        env_q: &Option<Envelope>,
     ) {
         let n = self.query.len();
+        let len = plan.len;
         let band = self.opts.band;
         let g = &self.base.groups_for_len(len)[gi];
         let group_id = GroupId {
             len: len as u32,
             index: gi as u32,
+        };
+        // Live member-scale refresh: the shared bound back on the raw
+        // DTW scale at this length, re-read per DP row.
+        let shared = self.bound;
+        let norm = plan.norm;
+        let live = move || {
+            let b = shared.get();
+            if b.is_finite() {
+                let raw = b * norm;
+                raw * raw
+            } else {
+                f64::INFINITY
+            }
         };
         for &member in g.members() {
             if !self.opts.admits(member) {
@@ -346,20 +437,21 @@ impl<'a> Searcher<'a> {
                 .dataset
                 .resolve(member)
                 .expect("base members resolve against their dataset");
-            let bound = self.raw_bound(heap, k, len);
+            let bound = self.raw_bound(heap, k, plan);
             let bound_sq = if bound.is_finite() {
                 bound * bound
             } else {
                 f64::INFINITY
             };
-            if let Some(env) = env_q {
+            if let Some(env) = &plan.env_q {
                 if lb_keogh_sq(values, env, bound_sq).is_infinite() {
                     self.stats.members_lb_pruned += 1;
                     continue;
                 }
             }
             self.stats.members_examined += 1;
-            let d_sq = dtw_early_abandon_sq_with_cb(self.query, values, band, bound_sq, None);
+            let d_sq =
+                dtw_early_abandon_sq_dynamic(self.query, values, band, bound_sq, None, Some(&live));
             if d_sq.is_infinite() {
                 self.stats.dtw_abandoned += 1;
                 self.stats.members_abandoned += 1;
@@ -379,6 +471,12 @@ impl<'a> Searcher<'a> {
                 });
                 if heap.len() > k {
                     heap.pop();
+                }
+                // Publish: once the heap holds k entries its worst key is
+                // a sound global upper bound on the merged k-th best.
+                if heap.len() == k {
+                    self.bound
+                        .tighten(heap.peek().expect("heap non-empty").normalized);
                 }
             }
         }

@@ -147,6 +147,33 @@ pub fn dtw_early_abandon_sq_with_cb(
     ub_sq: f64,
     cb: Option<&[f64]>,
 ) -> f64 {
+    dtw_early_abandon_sq_dynamic(x, y, band, ub_sq, cb, None)
+}
+
+/// [`dtw_early_abandon_sq_with_cb`] with a **live** bound: when `live` is
+/// provided, it is re-read after every DP row and the effective squared
+/// abandonment threshold becomes `min(ub_sq, live())`. This is how a
+/// query-global pruning bound (`onex_api::SharedBound`) reaches into an
+/// in-flight DTW — a tighter k-th best discovered by a concurrent worker
+/// (another shard, another candidate length) aborts this computation
+/// mid-DP instead of after it.
+///
+/// The live bound must be *monotonically tightening* across calls (each
+/// read may be smaller than, never larger than sound): abandoning against
+/// any value it returns must remain correct for the caller. Returns
+/// `f64::INFINITY` once no alignment can beat the tightest threshold
+/// observed, including a final check of the completed distance.
+///
+/// # Panics
+/// Panics when either input is empty or `cb` has the wrong length.
+pub fn dtw_early_abandon_sq_dynamic(
+    x: &[f64],
+    y: &[f64],
+    band: Band,
+    ub_sq: f64,
+    cb: Option<&[f64]>,
+    live: Option<&dyn Fn() -> f64>,
+) -> f64 {
     let n = x.len();
     let m = y.len();
     assert!(n > 0 && m > 0, "DTW requires non-empty sequences");
@@ -158,6 +185,10 @@ pub fn dtw_early_abandon_sq_with_cb(
     let mut prev = vec![f64::INFINITY; m + 1];
     let mut curr = vec![f64::INFINITY; m + 1];
     prev[0] = 0.0;
+    // The effective threshold only ever tightens: the static ub_sq folded
+    // with every live reading observed so far (f64::min ignores NaN, so a
+    // misbehaving live bound can loosen nothing).
+    let mut bound_sq = ub_sq;
 
     for i in 1..=n {
         curr.iter_mut().for_each(|c| *c = f64::INFINITY);
@@ -185,13 +216,16 @@ pub fn dtw_early_abandon_sq_with_cb(
         // any band; using `cb[i]` alone over-counts candidate-indexed
         // (LB_Keogh EQ) contributions and falsely abandons.
         let tail = cb.map_or(0.0, |cb| cb[i.max(hi).min(n)]);
-        if row_min + tail > ub_sq {
+        if let Some(live) = live {
+            bound_sq = bound_sq.min(live());
+        }
+        if row_min + tail > bound_sq {
             return f64::INFINITY;
         }
         std::mem::swap(&mut prev, &mut curr);
     }
     let out = prev[m];
-    if out > ub_sq {
+    if out > bound_sq {
         f64::INFINITY
     } else {
         out
@@ -394,6 +428,65 @@ mod tests {
         let cb = [10.0, 10.0, 10.0, 0.0];
         let out = dtw_early_abandon_sq_with_cb(&x, &y, Band::Full, 1.0, Some(&cb));
         assert!(close(out, 0.0));
+    }
+
+    #[test]
+    fn live_bound_aborts_mid_dp() {
+        use std::cell::Cell;
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2).sin()).collect();
+        let y: Vec<f64> = (0..64).map(|i| (i as f64 * 0.2 + 1.0).cos()).collect();
+        let exact = dtw_sq(&x, &y, Band::Full);
+        // A live bound that starts loose and collapses to ~0 after a few
+        // rows — the DP must abandon even though the static ub_sq never
+        // would have.
+        let rows = Cell::new(0u32);
+        let live = || {
+            rows.set(rows.get() + 1);
+            if rows.get() > 4 {
+                1e-12
+            } else {
+                f64::INFINITY
+            }
+        };
+        let out =
+            dtw_early_abandon_sq_dynamic(&x, &y, Band::Full, f64::INFINITY, None, Some(&live));
+        assert_eq!(out, f64::INFINITY, "tightened live bound must abandon");
+        assert!(rows.get() < 64, "abandoned mid-DP, not at the end");
+        // A live bound that stays above the true distance changes nothing.
+        let loose = || exact + 1.0;
+        let out2 =
+            dtw_early_abandon_sq_dynamic(&x, &y, Band::Full, f64::INFINITY, None, Some(&loose));
+        assert!(close(out2, exact));
+        // No live bound: identical to the static entry point.
+        let out3 = dtw_early_abandon_sq_dynamic(&x, &y, Band::Full, f64::INFINITY, None, None);
+        assert!(close(out3, exact));
+    }
+
+    #[test]
+    fn live_bound_tightening_is_one_way() {
+        // A live bound that *loosens* over time must not loosen the
+        // effective threshold: once 0.5 was observed, later readings of
+        // ∞ keep the DP abandoning against 0.5.
+        use std::cell::Cell;
+        let x = vec![0.0; 8];
+        let y = vec![1.0; 8]; // true squared distance: 8
+        let calls = Cell::new(0u32);
+        let flaky = || {
+            calls.set(calls.get() + 1);
+            if calls.get() == 1 {
+                0.5
+            } else {
+                f64::INFINITY
+            }
+        };
+        let out =
+            dtw_early_abandon_sq_dynamic(&x, &y, Band::Full, f64::INFINITY, None, Some(&flaky));
+        assert_eq!(out, f64::INFINITY);
+        // NaN readings are ignored rather than poisoning the threshold.
+        let nan = || f64::NAN;
+        let out2 =
+            dtw_early_abandon_sq_dynamic(&x, &y, Band::Full, f64::INFINITY, None, Some(&nan));
+        assert!(close(out2, 8.0));
     }
 
     #[test]

@@ -587,6 +587,22 @@ impl App {
                 ]),
             ),
         ];
+        // The sharded engine reports its persistent worker pool: workers
+        // and threads_spawned stay constant across requests (queries are
+        // channel sends, never thread spawns — the pool is built with the
+        // engine on first use and lives for the process), while
+        // jobs_executed grows by one per shard per query.
+        if name == "sharded" {
+            let p = self.sharded().pool_stats();
+            fields.push((
+                "pool",
+                Json::obj(vec![
+                    ("workers", p.workers.into()),
+                    ("threads_spawned", p.threads_spawned.into()),
+                    ("jobs_executed", p.jobs_executed.into()),
+                ]),
+            ));
+        }
         // The caching decorator also reports its own observability
         // counters, so clients can see hits accumulate across requests.
         if name == "cached" {
@@ -981,6 +997,47 @@ mod tests {
         };
         assert_eq!(matches_of(&onex), matches_of(&sharded));
         assert!(sharded.contains("\"backend\":\"sharded\""));
+    }
+
+    #[test]
+    fn sharded_backend_reuses_one_worker_pool_across_requests() {
+        let a = app();
+        let target = "/api/match?series=MA-GrowthRate&start=4&len=8&k=2&backend=sharded";
+        let pool_of = |body: &str| {
+            let json = crate::json::Json::parse(body).expect("valid JSON");
+            let crate::json::Json::Obj(fields) = json else {
+                panic!("object: {body}");
+            };
+            let (_, pool) = fields
+                .into_iter()
+                .find(|(k, _)| k == "pool")
+                .expect("sharded responses carry pool counters");
+            let crate::json::Json::Obj(pool) = pool else {
+                panic!("pool is an object");
+            };
+            let num = |name: &str| -> f64 {
+                pool.iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| v.render().parse().unwrap())
+                    .unwrap_or_else(|| panic!("missing {name}"))
+            };
+            (
+                num("workers") as usize,
+                num("threads_spawned") as usize,
+                num("jobs_executed") as usize,
+            )
+        };
+        let first = pool_of(&String::from_utf8(get(&a, target).body).unwrap());
+        let second = pool_of(&String::from_utf8(get(&a, target).body).unwrap());
+        let third = pool_of(&String::from_utf8(get(&a, target).body).unwrap());
+        assert_eq!(first.0, 4, "server shards across 4 workers");
+        // The pool outlives requests: the spawn counter never moves…
+        assert_eq!(first.1, 4);
+        assert_eq!(second.1, 4);
+        assert_eq!(third.1, 4);
+        // …while work flows through it, one job per shard per query.
+        assert_eq!(second.2, first.2 + 4);
+        assert_eq!(third.2, second.2 + 4);
     }
 
     #[test]

@@ -274,6 +274,144 @@ fn sharded_top_k_equals_single_engine_top_k() {
     }
 }
 
+/// Property: on random collections, random queries and every shard
+/// count, the shared-bound sharded top-k equals the single-engine top-k
+/// (Seed policy, perturbed queries so distances are distinct and the
+/// ordering unambiguous). This is the load-bearing exactness claim of
+/// the query-global bound: a bound published by one shard prunes the
+/// others *without ever pruning a true answer*.
+mod shared_bound_properties {
+    use super::*;
+    use onex::tseries::gen::{random_walk_dataset, SyntheticConfig};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn shared_bound_sharded_top_k_is_exact(
+            seed in 0u64..10_000,
+            sid in 0u32..8,
+            start in 0usize..(96 - QLEN),
+            k in 1usize..7,
+        ) {
+            let ds = random_walk_dataset(SyntheticConfig {
+                series: 8,
+                len: 96,
+                seed,
+            });
+            let (engine, _) = Onex::build(ds.clone(), exact_config()).unwrap();
+            let single = OnexBackend::new(Arc::new(engine));
+            let mut query = ds
+                .series(sid)
+                .unwrap()
+                .subsequence(start, QLEN)
+                .unwrap()
+                .to_vec();
+            for (i, v) in query.iter_mut().enumerate() {
+                *v += 0.01 * ((i as f64) * 1.9 + seed as f64).sin();
+            }
+            let reference = single.k_best(&query, k).unwrap();
+            for shards in [2usize, 3, 5] {
+                let (sharded, _) = ShardedEngine::build(&ds, exact_config(), shards).unwrap();
+                let merged = sharded.k_best(&query, k).unwrap();
+                prop_assert_eq!(merged.matches.len(), reference.matches.len());
+                for (x, y) in merged.matches.iter().zip(&reference.matches) {
+                    prop_assert_eq!(
+                        (x.series, x.start, x.len),
+                        (y.series, y.start, y.len)
+                    );
+                    prop_assert!((x.distance - y.distance).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}
+
+/// Concurrent queries on one `ShardedEngine` must never observe each
+/// other's bounds: every query gets a fresh `∞`-seeded `SharedBound`, so
+/// a near-zero bound established by a self-match query cannot prune away
+/// the (much more distant) true answers of a far query running at the
+/// same time. A leak would surface here as missing or wrong matches on
+/// the far queries. The engine's worker pool must also stay fixed-size
+/// throughout the hammer — no per-query thread spawns.
+#[test]
+fn concurrent_sharded_queries_never_cross_contaminate_bounds() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 6;
+
+    let ds = collection();
+    let (engine, _) = Onex::build(ds.clone(), exact_config()).unwrap();
+    let single = OnexBackend::new(Arc::new(engine));
+    let (sharded, _) = ShardedEngine::build(&ds, exact_config(), 3).unwrap();
+
+    // Interleave "near" queries (perturbed stored windows — the k-th
+    // best bound collapses towards 0 almost immediately) with "far"
+    // queries (offset far outside the data — the bound stays large). If
+    // any bound state leaked between concurrent queries, the near
+    // queries' tight bounds would prune the far queries' entire
+    // candidate space.
+    let mut queries: Vec<Vec<f64>> = Vec::new();
+    for (i, &(sid, start)) in [(0u32, 5usize), (2, 30), (4, 55), (1, 12), (3, 70), (5, 40)]
+        .iter()
+        .enumerate()
+    {
+        let mut q = ds
+            .series(sid)
+            .unwrap()
+            .subsequence(start, QLEN)
+            .unwrap()
+            .to_vec();
+        let far = i % 2 == 1;
+        for (j, v) in q.iter_mut().enumerate() {
+            *v += 0.01 * ((j as f64) * 2.3 + i as f64).sin();
+            if far {
+                *v += 6.0 + (j as f64) * 0.1;
+            }
+        }
+        queries.push(q);
+    }
+    let reference: Vec<_> = queries
+        .iter()
+        .map(|q| single.k_best(q, 4).unwrap())
+        .collect();
+
+    let spawned_before = sharded.pool_stats().threads_spawned;
+    crossbeam::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let sharded = &sharded;
+            let queries = &queries;
+            let reference = &reference;
+            scope.spawn(move |_| {
+                for round in 0..ROUNDS {
+                    let qi = (t + round) % queries.len();
+                    let out = sharded.k_best(&queries[qi], 4).unwrap();
+                    assert_eq!(
+                        out.matches.len(),
+                        reference[qi].matches.len(),
+                        "thread {t} round {round}: a leaked bound pruned true answers"
+                    );
+                    for (x, y) in out.matches.iter().zip(&reference[qi].matches) {
+                        assert_eq!(
+                            (x.series, x.start, x.len),
+                            (y.series, y.start, y.len),
+                            "thread {t} round {round} diverged from the single engine"
+                        );
+                        assert!((x.distance - y.distance).abs() < 1e-12);
+                    }
+                }
+            });
+        }
+    })
+    .expect("no hammer thread panicked");
+    let pool = sharded.pool_stats();
+    assert_eq!(
+        pool.threads_spawned, spawned_before,
+        "the hammer must not have spawned query threads"
+    );
+    assert_eq!(pool.threads_spawned, 3, "one persistent worker per shard");
+}
+
 #[test]
 fn cached_replays_are_bit_identical_to_the_first_answer() {
     let ds = collection();

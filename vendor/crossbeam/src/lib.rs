@@ -42,6 +42,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error of [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the deadline; senders still exist.
+        Timeout,
+        /// The queue is empty and every sender disconnected.
+        Disconnected,
+    }
+
     struct State<T> {
         queue: VecDeque<T>,
         senders: usize,
@@ -148,6 +157,43 @@ pub mod channel {
             }
         }
 
+        /// Block until a message arrives or `timeout` elapses — the
+        /// deadline-bounded twin of [`Receiver::recv`], for callers that
+        /// must not hang forever on a lost reply.
+        ///
+        /// # Errors
+        /// [`RecvTimeoutError::Timeout`] when the deadline passes with no
+        /// message, [`RecvTimeoutError::Disconnected`] when the queue is
+        /// empty and every sender has disconnected.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, remaining)
+                    .expect("channel lock");
+                state = guard;
+                // Loop re-checks queue/senders/deadline: spurious wakeups
+                // and timeout races both land on the correct branch.
+            }
+        }
+
         /// Messages currently queued (racy by nature; for observability).
         pub fn len(&self) -> usize {
             self.shared.state.lock().expect("channel lock").queue.len()
@@ -246,7 +292,7 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
-    use crate::channel::{bounded, RecvError, TrySendError};
+    use crate::channel::{bounded, RecvError, RecvTimeoutError, TrySendError};
 
     #[test]
     fn channel_delivers_in_order_across_threads() {
@@ -310,6 +356,30 @@ mod tests {
         drop(tx);
         let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
         assert_eq!(total, 5050, "every message delivered exactly once");
+    }
+
+    #[test]
+    fn recv_timeout_times_out_delivers_and_observes_disconnect() {
+        use std::time::Duration;
+        let (tx, rx) = bounded::<u8>(2);
+        // Empty queue, live sender: deadline passes → Timeout.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        // A message sent from another thread arrives within the window.
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            tx.send(9).unwrap();
+            // tx drops here
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        t.join().unwrap();
+        // Senders gone, queue drained: Disconnected, not Timeout.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
