@@ -18,6 +18,12 @@
 //! monotone threshold that lets concurrent workers (per-shard searchers,
 //! per-length passes) share one query-global k-th-best bound.
 //!
+//! Live ingest rides on one more primitive: [`Versioned`], the
+//! epoch-stamped snapshot cell whose [`ReadTxn`]/[`WriteTxn`] pair lets
+//! queries pin an immutable base while appends build the next epoch off
+//! to the side and publish it atomically
+//! ([`SimilaritySearch::epoch`] exposes the pinned counter).
+//!
 //! The crate sits at the bottom of the workspace dependency graph (only
 //! `onex-tseries` below it), so every engine crate can speak the shared
 //! vocabulary without cycles. Concrete adapters live in
@@ -31,6 +37,7 @@ mod bound;
 mod error;
 mod search;
 mod topk;
+mod tx;
 
 pub use bound::SharedBound;
 pub use error::OnexError;
@@ -39,3 +46,4 @@ pub use search::{
     SimilaritySearch, StreamMatch, StreamingSearch,
 };
 pub use topk::BestK;
+pub use tx::{Epoch, ReadTxn, Versioned, WriteTxn};

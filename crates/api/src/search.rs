@@ -169,6 +169,16 @@ pub trait SimilaritySearch {
     fn best_match(&self, query: &[f64]) -> Result<SearchOutcome, OnexError> {
         self.k_best(query, 1)
     }
+
+    /// The data epoch this backend currently answers from (see
+    /// [`Epoch`](crate::Epoch)). Mutable backends bump it on every
+    /// committed ingest, so decorators (result caches, epoch-pinned
+    /// fan-outs) can detect staleness without exclusive access; the
+    /// default — for backends over immutable collections — is a constant
+    /// `0`.
+    fn epoch(&self) -> crate::Epoch {
+        0
+    }
 }
 
 /// One reported stream subsequence (mirrors SPRING's match shape without

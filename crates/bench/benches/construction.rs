@@ -51,7 +51,7 @@ fn bench_construction(c: &mut Criterion) {
         ))
         .unwrap();
     g.bench_function("extend_one_series", |b| {
-        b.iter(|| black_box(builder.extend(base.clone(), &grown).unwrap()))
+        b.iter(|| black_box(builder.extend(&base, &grown).unwrap()))
     });
     g.bench_function("persist_save", |b| {
         b.iter(|| {

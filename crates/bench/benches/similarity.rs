@@ -10,7 +10,7 @@ use std::hint::black_box;
 fn bench_similarity(c: &mut Criterion) {
     let ds = workloads::growth_rates();
     let (engine, _) = Onex::build(ds, BaseConfig::new(1.0, 6, 10)).unwrap();
-    let query = workloads::perturbed_query(engine.dataset(), "MA-GrowthRate", 6, 8, 0.1);
+    let query = workloads::perturbed_query(&engine.dataset(), "MA-GrowthRate", 6, 8, 0.1);
     let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
 
     let mut g = c.benchmark_group("e2_similarity");

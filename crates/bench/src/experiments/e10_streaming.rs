@@ -90,7 +90,7 @@ fn measure(len: usize, report_every: usize) -> Row {
     let first = TimeSeries::new("stream", stream[..report_every].to_vec());
     let ds = Dataset::from_series(vec![first]).expect("non-empty");
     let base_cfg = BaseConfig::new(eps, pattern.len(), pattern.len());
-    let (mut engine, _) = Onex::build(ds, base_cfg).expect("valid config");
+    let (engine, _) = Onex::build(ds, base_cfg).expect("valid config");
     let opts = QueryOptions::default().top_groups(1);
     let mut at = report_every;
     while at + report_every <= stream.len() {

@@ -1,0 +1,354 @@
+//! E15 — live ingest: query latency and answer consistency while the
+//! base is being extended concurrently.
+//!
+//! The engine's snapshot-versioned base (epoch per publish) promises
+//! that appends never block readers and readers never observe a
+//! half-extended base. E15 measures what that promise costs and checks
+//! that it holds under load:
+//!
+//! 1. **Append latency** — the median time one [`Onex::append_series`]
+//!    takes (build-aside extension plus atomic publish), per collection
+//!    size.
+//! 2. **Query latency under ingest** — the median `k_best` latency of
+//!    reader threads running *during* the append burst, against the
+//!    median on an idle engine. Lock-free snapshot reads should keep the
+//!    ratio near the pure compute growth of the larger collection, not
+//!    the serialised sum.
+//! 3. **Agreement** — every answer a reader observed mid-ingest must
+//!    bit-match the oracle answer of exactly one published epoch
+//!    (computed by fresh batch builds per prefix — incremental extension
+//!    is bit-identical to batch construction). A mixed-epoch answer
+//!    fails the flag; CI guards `"agreement":true` on every row.
+//!
+//! Appended series are strictly-closer near-clones of the query, so
+//! every epoch's top-k is distinct and an answer identifies exactly one
+//! epoch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use onex_core::{Onex, QueryOptions};
+use onex_grouping::{BaseConfig, RepresentativePolicy};
+use onex_tseries::TimeSeries;
+
+use crate::harness::{fmt_duration, median_time, Table};
+use crate::workloads;
+
+/// Query/subsequence length for every E15 row.
+const SUBSEQ_LEN: usize = 16;
+/// Matches requested per query.
+const K: usize = 3;
+/// Series appended during the measured burst (epochs published).
+const APPENDS: usize = 6;
+/// Concurrent reader threads during the burst.
+const READERS: usize = 2;
+
+/// Exact configuration (Seed policy), so per-epoch oracles are
+/// well-defined and agreement is a hard requirement.
+fn config() -> BaseConfig {
+    BaseConfig {
+        policy: RepresentativePolicy::Seed,
+        ..BaseConfig::new(0.5, SUBSEQ_LEN, SUBSEQ_LEN)
+    }
+}
+
+/// One collection-size measurement of the ingest path.
+pub struct IngestRow {
+    /// Series count of the starting collection.
+    pub series: usize,
+    /// Samples per series.
+    pub len: usize,
+    /// Epochs published during the burst (== appends committed).
+    pub epochs: u64,
+    /// Median latency of one append (build-aside + publish).
+    pub append_each: Duration,
+    /// Median `k_best` latency on the idle engine (before the burst).
+    pub idle_query: Duration,
+    /// Median `k_best` latency of readers during the append burst.
+    pub live_query: Duration,
+    /// Total reader answers collected during the burst.
+    pub live_answers: usize,
+    /// Whether every concurrent answer matched exactly one published
+    /// epoch's oracle (never a mixture, never a stale impossibility).
+    pub agreement: bool,
+}
+
+impl IngestRow {
+    /// Live-over-idle query latency — the headline cost of reading
+    /// while the writer publishes epochs alongside.
+    pub fn live_ratio(&self) -> f64 {
+        self.live_query.as_secs_f64() / self.idle_query.as_secs_f64().max(1e-12)
+    }
+}
+
+/// The appended series for epoch `i+1`: a strictly-closer near-clone of
+/// the query, so each epoch's top-k differs from every other's.
+fn ingest_series(q: &[f64], i: usize) -> TimeSeries {
+    let eps = 0.04 / (1 << i) as f64;
+    let values = q
+        .iter()
+        .enumerate()
+        .map(|(j, v)| v + eps * ((j as f64) * 2.3).cos())
+        .collect::<Vec<_>>();
+    TimeSeries::new(format!("ingest-{i}"), values)
+}
+
+type Answer = Vec<(u32, u32, u32, f64)>;
+
+fn answer_of(matches: &[onex_core::Match]) -> Answer {
+    matches
+        .iter()
+        .map(|m| (m.subseq.series, m.subseq.start, m.subseq.len, m.distance))
+        .collect()
+}
+
+fn matches_oracle(oracles: &[Answer], answer: &Answer) -> bool {
+    oracles.iter().any(|o| {
+        o.len() == answer.len()
+            && o.iter()
+                .zip(answer)
+                .all(|(a, b)| (a.0, a.1, a.2) == (b.0, b.1, b.2) && (a.3 - b.3).abs() < 1e-9)
+    })
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    if xs.is_empty() {
+        return Duration::ZERO;
+    }
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// Run the sweep: random walks, an append burst per size with readers
+/// hammering `k_best` throughout.
+pub fn measure(quick: bool) -> Vec<IngestRow> {
+    let sizes: &[(usize, usize)] = if quick {
+        &[(10, 64), (20, 96)]
+    } else {
+        &[(10, 64), (20, 96), (40, 160)]
+    };
+    let mut rows = Vec::new();
+    for &(series, len) in sizes {
+        let ds = workloads::walk_collection(series, len);
+        let name = ds.series(0).unwrap().name().to_owned();
+        let query = workloads::perturbed_query(&ds, &name, 10, SUBSEQ_LEN, 0.05);
+
+        // Per-epoch oracles from fresh batch builds over each prefix.
+        let mut oracles: Vec<Answer> = Vec::new();
+        let mut prefix = ds.clone();
+        for i in 0..=APPENDS {
+            let (oracle, _) = Onex::build(prefix.clone(), config()).expect("valid config");
+            let (matches, _) = oracle
+                .k_best(&query, K, &QueryOptions::default())
+                .expect("valid query");
+            oracles.push(answer_of(&matches));
+            if i < APPENDS {
+                prefix.push(ingest_series(&query, i)).expect("fresh name");
+            }
+        }
+
+        let (engine, _) = Onex::build(ds, config()).expect("valid config");
+        let engine = Arc::new(engine);
+        let idle_query = median_time(
+            || {
+                let _ = engine
+                    .k_best(&query, K, &QueryOptions::default())
+                    .expect("valid query");
+            },
+            5,
+        );
+
+        // The burst: one writer publishing APPENDS epochs, READERS
+        // threads timing and checking every answer they see.
+        let done = Arc::new(AtomicBool::new(false));
+        let oracles = Arc::new(oracles);
+        let query = Arc::new(query);
+        let readers: Vec<_> = (0..READERS)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let done = Arc::clone(&done);
+                let oracles = Arc::clone(&oracles);
+                let query = Arc::clone(&query);
+                std::thread::spawn(move || {
+                    let mut laps = Vec::new();
+                    let mut all_pinned = true;
+                    let mut rounds = 0usize;
+                    while !done.load(Ordering::SeqCst) || rounds == 0 {
+                        let t = Instant::now();
+                        let (matches, _) = engine
+                            .k_best(&query, K, &QueryOptions::default())
+                            .expect("valid query");
+                        laps.push(t.elapsed());
+                        all_pinned &= matches_oracle(&oracles, &answer_of(&matches));
+                        rounds += 1;
+                    }
+                    (laps, all_pinned)
+                })
+            })
+            .collect();
+
+        let mut append_laps = Vec::with_capacity(APPENDS);
+        for i in 0..APPENDS {
+            let t = Instant::now();
+            engine
+                .append_series(ingest_series(&query, i))
+                .expect("fresh name");
+            append_laps.push(t.elapsed());
+        }
+        done.store(true, Ordering::SeqCst);
+
+        let mut live_laps = Vec::new();
+        let mut agreement = true;
+        for reader in readers {
+            let (laps, all_pinned) = reader.join().expect("reader thread");
+            live_laps.extend(laps);
+            agreement &= all_pinned;
+        }
+
+        rows.push(IngestRow {
+            series,
+            len,
+            epochs: engine.epoch(),
+            append_each: median(append_laps),
+            idle_query,
+            live_answers: live_laps.len(),
+            live_query: median(live_laps),
+            agreement,
+        });
+    }
+    rows
+}
+
+/// Render the sweep as the experiment table.
+pub fn table(rows: &[IngestRow]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E15 — live ingest: {APPENDS}-append burst with {READERS} concurrent readers \
+             (random walks, length {SUBSEQ_LEN}, k={K}, Seed policy: every mid-ingest \
+             answer must equal exactly one published epoch's oracle)"
+        ),
+        &[
+            "collection",
+            "epochs",
+            "append each",
+            "idle query",
+            "live query",
+            "live/idle",
+            "answers",
+            "agreement",
+        ],
+    );
+    for row in rows {
+        t.row(vec![
+            format!("{}x{}", row.series, row.len),
+            row.epochs.to_string(),
+            fmt_duration(row.append_each),
+            fmt_duration(row.idle_query),
+            fmt_duration(row.live_query),
+            format!("{:.2}×", row.live_ratio()),
+            row.live_answers.to_string(),
+            if row.agreement { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t
+}
+
+/// The machine-readable perf record `repro --format json` writes to
+/// `BENCH_ingest.json`. CI's regression guard requires `agreement` to be
+/// `true` and `epochs` to equal the append count on every row; the
+/// latencies are reported for trajectory, not guarded (they track the
+/// runner's scheduler too loosely).
+pub fn json_report(rows: &[IngestRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"experiment\":\"e15_ingest\",\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"series\":{},\"len\":{},\"appends\":{},\"epochs\":{},\
+             \"append_each_ms\":{:.3},\"idle_query_ms\":{:.3},\
+             \"live_query_ms\":{:.3},\"live_ratio\":{:.4},\
+             \"live_answers\":{},\"agreement\":{}}}",
+            r.series,
+            r.len,
+            APPENDS,
+            r.epochs,
+            r.append_each.as_secs_f64() * 1e3,
+            r.idle_query.as_secs_f64() * 1e3,
+            r.live_query.as_secs_f64() * 1e3,
+            r.live_ratio(),
+            r.live_answers,
+            r.agreement,
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Standard experiment entry point.
+pub fn run(quick: bool) -> Vec<Table> {
+    vec![table(&measure(quick))]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_stay_pinned_to_published_epochs_through_the_burst() {
+        let rows = measure(true);
+        assert_eq!(rows.len(), 2, "two quick sizes");
+        for row in &rows {
+            assert_eq!(
+                row.epochs, APPENDS as u64,
+                "{}x{}: every append must publish exactly one epoch",
+                row.series, row.len
+            );
+            assert!(
+                row.agreement,
+                "{}x{}: a reader observed a non-epoch answer",
+                row.series, row.len
+            );
+            assert!(
+                row.live_answers >= READERS,
+                "each reader must complete at least one mid-burst query"
+            );
+            assert!(row.append_each > Duration::ZERO && row.idle_query > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn json_report_is_parseable_shape() {
+        let rows = vec![
+            IngestRow {
+                series: 10,
+                len: 64,
+                epochs: APPENDS as u64,
+                append_each: Duration::from_micros(820),
+                idle_query: Duration::from_micros(95),
+                live_query: Duration::from_micros(133),
+                live_answers: 41,
+                agreement: true,
+            },
+            IngestRow {
+                series: 20,
+                len: 96,
+                epochs: APPENDS as u64,
+                append_each: Duration::from_micros(1490),
+                idle_query: Duration::from_micros(210),
+                live_query: Duration::from_micros(294),
+                live_answers: 57,
+                agreement: true,
+            },
+        ];
+        let json = json_report(&rows);
+        assert!(json.starts_with("{\"experiment\":\"e15_ingest\""));
+        assert_eq!(json.matches("\"agreement\":true").count(), 2);
+        assert_eq!(json.matches("\"epochs\":6").count(), 2);
+        assert!(json.contains("\"live_ratio\":1.4000"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+}

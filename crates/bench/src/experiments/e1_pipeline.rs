@@ -42,7 +42,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     ]);
 
     // Stage 3: query processing.
-    let query = workloads::perturbed_query(engine.dataset(), "MA-GrowthRate", 6, 8, 0.1);
+    let query = workloads::perturbed_query(&engine.dataset(), "MA-GrowthRate", 6, 8, 0.1);
     let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
     let t1 = Instant::now();
     let (m, stats) = engine.best_match(&query, &opts).unwrap();
@@ -59,7 +59,7 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     // Stage 4: visual analytics artefact.
     let t2 = Instant::now();
-    let svg = MultiLineChart::for_match(&query, &m, engine.dataset()).render();
+    let svg = MultiLineChart::for_match(&query, &m, &engine.dataset()).render();
     let path = write_artefact("e1_pipeline_match.svg", &svg);
     t.row(vec![
         "visualise".into(),

@@ -17,7 +17,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     // Overview pane (Fig 2, top left): representatives at the headline
     // length, colour intensity ∝ cardinality.
     let overview_len = 8;
-    let pane = OverviewPane::from_base(engine.base(), overview_len, 24);
+    let pane = OverviewPane::from_base(&engine.base(), overview_len, 24);
     let pane_path = write_artefact("e2_overview_pane.svg", &pane.render());
     let mut overview = Table::new(
         "E2 (Fig 2, Overview Pane) — similarity groups at length 8",
@@ -35,15 +35,13 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     // Query preview pane (Fig 2, bottom right): MA brushed to the recent
     // window the analyst then searches with.
-    let ma = engine
-        .dataset()
-        .by_name("MA-GrowthRate")
-        .expect("MA exists");
+    let ds = engine.dataset();
+    let ma = ds.by_name("MA-GrowthRate").expect("MA exists");
     let preview = QueryPreview::for_series(520, ma).brush(6, 8);
     write_artefact("e2_query_preview.svg", &preview.render());
 
     // Similarity results pane (Fig 2, right): best matches for MA.
-    let query = workloads::perturbed_query(engine.dataset(), "MA-GrowthRate", 6, 8, 0.1);
+    let query = workloads::perturbed_query(&engine.dataset(), "MA-GrowthRate", 6, 8, 0.1);
     let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
     let k = if quick { 3 } else { 5 };
     let (matches, _) = engine.k_best(&query, k, &opts).unwrap();
@@ -71,7 +69,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         ]);
     }
     if let Some(best) = matches.first() {
-        let svg = MultiLineChart::for_match(&query, best, engine.dataset()).render();
+        let svg = MultiLineChart::for_match(&query, best, &engine.dataset()).render();
         let path = write_artefact("e2_results_pane.svg", &svg);
         results.row(vec![
             "-".into(),

@@ -16,7 +16,7 @@ pub fn run(_quick: bool) -> Vec<Table> {
     // the indicator (the paper's point in §3.3); ~8 jobs-per-sample RMS.
     let (engine, _) = Onex::build(ds, BaseConfig::new(16.0, 8, 12)).expect("valid config");
 
-    let query = workloads::perturbed_query(engine.dataset(), "MA-TechEmployment", 10, 12, 0.5);
+    let query = workloads::perturbed_query(&engine.dataset(), "MA-TechEmployment", 10, 12, 0.5);
     let opts =
         QueryOptions::default().excluding_series(engine.dataset().id_of("MA-TechEmployment"));
     let (m, _) = engine.best_match(&query, &opts).unwrap();

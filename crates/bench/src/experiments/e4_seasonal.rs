@@ -47,10 +47,8 @@ pub fn run(quick: bool) -> Vec<Table> {
         ),
         &["rank", "occurrences", "days covered", "tightness (kW rms)"],
     );
-    let series = engine
-        .dataset()
-        .by_name("household-0")
-        .expect("household exists");
+    let ds = engine.dataset();
+    let series = ds.by_name("household-0").expect("household exists");
     let mut view = SeasonalView::new(900, "household-0 — seasonal view", series.values());
     for (rank, p) in patterns.iter().enumerate() {
         t.row(vec![

@@ -53,7 +53,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     for &st in sts {
         let cfg = BaseConfig::new(st, min_len, max_len);
         let (engine, report) = Onex::build(ds.clone(), cfg).expect("valid config");
-        let audit = engine.base().audit(engine.dataset());
+        let audit = engine.base().audit(&engine.dataset());
         let query_time = median_time(
             || {
                 let _ = engine.best_match(&query, &opts).unwrap();

@@ -85,7 +85,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             ..BaseConfig::new(0.35, qlen, qlen)
         };
         let (e, report) = Onex::build(ds.clone(), cfg).expect("valid config");
-        let audit = e.base().audit(e.dataset());
+        let audit = e.base().audit(&e.dataset());
         let lat = median_time(
             || {
                 let _ = e.best_match(&query, &QueryOptions::default()).unwrap();

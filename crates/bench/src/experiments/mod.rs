@@ -7,6 +7,7 @@ pub mod e11_baseline_index;
 pub mod e12_construction;
 pub mod e13_scaling;
 pub mod e14_pruning;
+pub mod e15_ingest;
 pub mod e1_pipeline;
 pub mod e2_similarity;
 pub mod e3_linked_views;
@@ -20,8 +21,8 @@ pub mod e9_ablation;
 use crate::harness::Table;
 
 /// Experiment ids accepted by the `repro` binary.
-pub const ALL: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// What one experiment run produced: the printable tables, plus an
@@ -81,6 +82,13 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
             Some(ExperimentOutput {
                 tables: vec![e14_pruning::table(&rows)],
                 record: Some(("BENCH_pruning.json", e14_pruning::json_report(&rows))),
+            })
+        }
+        "e15" => {
+            let rows = e15_ingest::measure(quick);
+            Some(ExperimentOutput {
+                tables: vec![e15_ingest::table(&rows)],
+                record: Some(("BENCH_ingest.json", e15_ingest::json_report(&rows))),
             })
         }
         _ => None,

@@ -97,30 +97,33 @@ impl OnexBackend {
         bound: &SharedBound,
     ) -> Result<SearchOutcome, OnexError> {
         let (matches, stats) = self.engine.k_best_bounded(query, k, &self.opts, bound)?;
-        Ok(Self::outcome(matches, stats))
+        Ok(outcome(matches, stats))
     }
+}
 
-    fn outcome(matches: Vec<crate::Match>, stats: crate::QueryStats) -> SearchOutcome {
-        SearchOutcome {
-            matches: matches
-                .into_iter()
-                .map(|m| BackendMatch {
-                    series: m.subseq.series,
-                    start: m.subseq.start as usize,
-                    len: m.subseq.len as usize,
-                    distance: m.distance,
-                })
-                .collect(),
-            // `groups_examined` counts every group the loop considered,
-            // including ones subsequently pruned; subtract so examined
-            // and pruned stay disjoint (the BackendStats contract).
-            stats: BackendStats {
-                examined: stats.groups_examined.saturating_sub(stats.groups_pruned)
-                    + stats.members_examined,
-                pruned: stats.groups_pruned + stats.members_lb_pruned,
-                distance_computations: stats.dtw_completed + stats.dtw_abandoned,
-            },
-        }
+/// Map the engine's native matches + work counters into the trait's
+/// [`SearchOutcome`] — shared by [`OnexBackend`] and the sharded engine's
+/// pool workers, so both report identical counters for identical work.
+pub(crate) fn outcome(matches: Vec<crate::Match>, stats: crate::QueryStats) -> SearchOutcome {
+    SearchOutcome {
+        matches: matches
+            .into_iter()
+            .map(|m| BackendMatch {
+                series: m.subseq.series,
+                start: m.subseq.start as usize,
+                len: m.subseq.len as usize,
+                distance: m.distance,
+            })
+            .collect(),
+        // `groups_examined` counts every group the loop considered,
+        // including ones subsequently pruned; subtract so examined
+        // and pruned stay disjoint (the BackendStats contract).
+        stats: BackendStats {
+            examined: stats.groups_examined.saturating_sub(stats.groups_pruned)
+                + stats.members_examined,
+            pruned: stats.groups_pruned + stats.members_lb_pruned,
+            distance_computations: stats.dtw_completed + stats.dtw_abandoned,
+        },
     }
 }
 
@@ -145,7 +148,11 @@ impl SimilaritySearch for OnexBackend {
 
     fn k_best(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
         let (matches, stats) = self.engine.k_best(query, k, &self.opts)?;
-        Ok(Self::outcome(matches, stats))
+        Ok(outcome(matches, stats))
+    }
+
+    fn epoch(&self) -> onex_api::Epoch {
+        self.engine.epoch()
     }
 }
 

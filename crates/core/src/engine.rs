@@ -1,6 +1,9 @@
+use std::ops::Deref;
+use std::sync::Arc;
+
 use parking_lot::Mutex;
 
-use onex_api::{validate_query, OnexError, SharedBound};
+use onex_api::{validate_query, Epoch, OnexError, ReadTxn, SharedBound, Versioned};
 use onex_grouping::{BaseBuilder, BaseConfig, BuildReport, OnexBase};
 use onex_tseries::Dataset;
 
@@ -9,12 +12,29 @@ use crate::seasonal::{seasonal_patterns, SeasonalOptions};
 use crate::threshold::{recommend, ThresholdRecommendation};
 use crate::{Match, QueryOptions, QueryStats, SeasonalPattern};
 
+/// The dataset and its base, published together as one immutable epoch:
+/// a query that pins this pair can never see a dataset/base mismatch,
+/// whatever appends do concurrently.
+#[derive(Debug, Clone)]
+struct EngineState {
+    dataset: Dataset,
+    base: OnexBase,
+}
+
 /// The ONEX engine: a dataset, its precomputed base, and the paper's
 /// exploratory operations (Fig 1's query processor).
 ///
 /// Queries take `&self`, so one engine can serve many threads (the demo's
 /// client–server architecture); cumulative work counters are kept behind a
 /// mutex and exposed through [`Onex::lifetime_stats`].
+///
+/// Both the dataset and the base live in one snapshot-versioned cell
+/// ([`Versioned`]): every query pins an immutable [`EngineSnapshot`] for
+/// its whole run, while [`Onex::append_series`] builds the next epoch off
+/// to the side and publishes it atomically — readers never block on an
+/// in-progress append and never observe a partially-extended base, and a
+/// failed append leaves the current epoch untouched (see the
+/// [`onex_api::Versioned`] docs for the lifecycle).
 ///
 /// ```
 /// use onex_core::{Onex, QueryOptions};
@@ -36,9 +56,13 @@ use crate::{Match, QueryOptions, QueryStats, SeasonalPattern};
 /// ```
 #[derive(Debug)]
 pub struct Onex {
-    dataset: Dataset,
-    base: OnexBase,
-    lifetime: Mutex<QueryStats>,
+    state: Versioned<EngineState>,
+    lifetime: Arc<Mutex<QueryStats>>,
+    /// Test-only fault injection: make the next append's extension fail
+    /// after the working copy has been mutated, exercising the rollback
+    /// path (the published epoch must be untouched).
+    #[cfg(test)]
+    fail_next_extend: std::sync::atomic::AtomicBool,
 }
 
 impl Onex {
@@ -82,20 +106,45 @@ impl Onex {
             )));
         }
         Ok(Onex {
-            dataset,
-            base,
-            lifetime: Mutex::new(QueryStats::default()),
+            state: Versioned::new(EngineState { dataset, base }),
+            lifetime: Arc::new(Mutex::new(QueryStats::default())),
+            #[cfg(test)]
+            fail_next_extend: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
-    /// The dataset being explored.
-    pub fn dataset(&self) -> &Dataset {
-        &self.dataset
+    /// Pin the currently-published epoch: the returned snapshot keeps
+    /// answering from exactly this dataset/base pair no matter how many
+    /// appends commit after it was taken. Cheap (two `Arc` clones) and
+    /// never blocked by an in-progress append.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            state: self.state.read(),
+            lifetime: Arc::clone(&self.lifetime),
+        }
     }
 
-    /// The precomputed base.
-    pub fn base(&self) -> &OnexBase {
-        &self.base
+    /// The currently-published data epoch (bumped by every committed
+    /// [`Onex::append_series`]).
+    pub fn epoch(&self) -> Epoch {
+        self.state.epoch()
+    }
+
+    /// The dataset being explored, pinned at the current epoch. The
+    /// guard derefs to [`Dataset`]; bind it (`let ds = engine.dataset();`)
+    /// to hold one consistent view across several statements.
+    pub fn dataset(&self) -> DatasetRef {
+        DatasetRef {
+            state: self.state.read(),
+        }
+    }
+
+    /// The precomputed base, pinned at the current epoch (guard derefs to
+    /// [`OnexBase`]).
+    pub fn base(&self) -> BaseRef {
+        BaseRef {
+            state: self.state.read(),
+        }
     }
 
     /// Best time-warped match for `query`, or `None` when no indexed
@@ -148,12 +197,7 @@ impl Onex {
         opts: &QueryOptions,
         bound: &SharedBound,
     ) -> Result<(Vec<Match>, QueryStats), OnexError> {
-        validate_query(query, k)?;
-        let mut searcher = Searcher::new(&self.dataset, &self.base, query, opts, bound);
-        let matches = searcher.run(k);
-        let stats = searcher.stats;
-        *self.lifetime.lock() += stats;
-        Ok((matches, stats))
+        self.snapshot().k_best_bounded(query, k, opts, bound)
     }
 
     /// The `k` best *mutually non-overlapping* matches: greedy repeated
@@ -171,13 +215,16 @@ impl Onex {
         opts: &QueryOptions,
     ) -> Result<(Vec<Match>, QueryStats), OnexError> {
         validate_query(query, k)?;
+        // One pinned epoch for every greedy round: concurrent appends
+        // cannot make the rounds answer from different bases.
+        let snapshot = self.snapshot();
         let mut opts = opts.clone();
         let mut out = Vec::with_capacity(k);
         let mut total = QueryStats::default();
         for _ in 0..k {
-            let (m, stats) = self.best_match(query, &opts)?;
+            let (mut ms, stats) = snapshot.k_best_bounded(query, 1, &opts, &SharedBound::new())?;
             total += stats;
-            match m {
+            match ms.pop() {
                 Some(m) => {
                     opts.exclude_windows.push(m.subseq);
                     out.push(m);
@@ -202,11 +249,12 @@ impl Onex {
         series_b: &str,
         band: onex_distance::Band,
     ) -> Result<Comparison, OnexError> {
-        let a = self
+        let state = self.state.read();
+        let a = state
             .dataset
             .by_name(series_a)
             .ok_or_else(|| OnexError::UnknownSeries(series_a.into()))?;
-        let b = self
+        let b = state
             .dataset
             .by_name(series_b)
             .ok_or_else(|| OnexError::UnknownSeries(series_b.into()))?;
@@ -232,11 +280,12 @@ impl Onex {
         series: &str,
         opts: &SeasonalOptions,
     ) -> Result<Vec<SeasonalPattern>, OnexError> {
-        let id = self
+        let state = self.state.read();
+        let id = state
             .dataset
             .id_of(series)
             .ok_or_else(|| OnexError::UnknownSeries(series.into()))?;
-        Ok(seasonal_patterns(&self.dataset, &self.base, id, opts))
+        Ok(seasonal_patterns(&state.dataset, &state.base, id, opts))
     }
 
     /// Data-driven threshold recommendation at a given subsequence length
@@ -247,7 +296,7 @@ impl Onex {
         max_pairs: usize,
         seed: u64,
     ) -> Option<ThresholdRecommendation> {
-        recommend(&self.dataset, len, max_pairs, seed)
+        recommend(&self.state.read().dataset, len, max_pairs, seed)
     }
 
     /// Cumulative work counters across all queries served so far.
@@ -259,21 +308,136 @@ impl Onex {
     /// data loading without rebuilding the existing base. Returns the
     /// updated construction report.
     ///
+    /// Appends serialise against each other but never block queries: the
+    /// extension runs on a build-aside copy of the current epoch
+    /// ([`onex_api::WriteTxn`]) and is published atomically on success.
+    /// On **any** error the transaction is dropped uncommitted, so the
+    /// engine keeps answering from the prior epoch exactly as if the
+    /// append had never been attempted.
+    ///
     /// # Errors
-    /// Fails when the series name is already taken.
+    /// [`OnexError::DatasetMismatch`] when the series name is already
+    /// taken (a conflict with the current collection state);
+    /// [`OnexError::InvalidConfig`]/[`OnexError::Internal`] when
+    /// re-validating the configuration or extending the base fails.
     pub fn append_series(
-        &mut self,
+        &self,
         series: onex_tseries::TimeSeries,
     ) -> Result<BuildReport, OnexError> {
-        self.dataset.push(series)?;
-        let builder =
-            BaseBuilder::new(self.base.config().clone()).expect("existing config is valid");
-        let base = std::mem::take(&mut self.base);
-        let (extended, report) = builder
-            .extend(base, &self.dataset)
-            .expect("same config, grown dataset");
-        self.base = extended;
+        let mut txn = self.state.write();
+        let state = txn.value_mut();
+        state.dataset.push(series).map_err(|e| match e {
+            // A name collision conflicts with the published collection —
+            // HTTP-wise a 409, not a malformed request.
+            onex_tseries::Error::InvalidArgument(msg) => OnexError::DatasetMismatch(msg),
+            other => other.into(),
+        })?;
+        let builder = BaseBuilder::new(state.base.config().clone())?;
+        #[cfg(test)]
+        if self
+            .fail_next_extend
+            .swap(false, std::sync::atomic::Ordering::SeqCst)
+        {
+            return Err(OnexError::Internal(
+                "injected extension failure while appending".into(),
+            ));
+        }
+        let (extended, report) = builder.extend(&state.base, &state.dataset)?;
+        state.base = extended;
+        txn.commit();
         Ok(report)
+    }
+}
+
+/// A query-lifetime pin on one published engine epoch: an immutable
+/// dataset/base pair plus the engine's shared lifetime counters. Obtained
+/// from [`Onex::snapshot`]; cheap to clone, safe to send to worker
+/// threads, and unaffected by any append committed after it was taken.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    state: ReadTxn<EngineState>,
+    lifetime: Arc<Mutex<QueryStats>>,
+}
+
+impl EngineSnapshot {
+    /// The epoch this snapshot pinned.
+    pub fn epoch(&self) -> Epoch {
+        self.state.epoch()
+    }
+
+    /// The pinned dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.state.dataset
+    }
+
+    /// The pinned base.
+    pub fn base(&self) -> &OnexBase {
+        &self.state.base
+    }
+
+    /// [`Onex::k_best`] against this pinned epoch.
+    ///
+    /// # Errors
+    /// Same conditions as [`Onex::k_best`].
+    pub fn k_best(
+        &self,
+        query: &[f64],
+        k: usize,
+        opts: &QueryOptions,
+    ) -> Result<(Vec<Match>, QueryStats), OnexError> {
+        self.k_best_bounded(query, k, opts, &SharedBound::new())
+    }
+
+    /// [`Onex::k_best_bounded`] against this pinned epoch — the fan-out
+    /// entry point shard workers run, guaranteed to see one consistent
+    /// dataset/base pair however the engine is appended to meanwhile.
+    ///
+    /// # Errors
+    /// Same conditions as [`Onex::k_best`].
+    pub fn k_best_bounded(
+        &self,
+        query: &[f64],
+        k: usize,
+        opts: &QueryOptions,
+        bound: &SharedBound,
+    ) -> Result<(Vec<Match>, QueryStats), OnexError> {
+        validate_query(query, k)?;
+        let mut searcher = Searcher::new(&self.state.dataset, &self.state.base, query, opts, bound);
+        let matches = searcher.run(k);
+        let stats = searcher.stats;
+        *self.lifetime.lock() += stats;
+        Ok((matches, stats))
+    }
+}
+
+/// Epoch-pinned access to the engine's dataset (derefs to [`Dataset`]).
+/// Returned by [`Onex::dataset`]; holding it keeps one consistent view
+/// while appends publish new epochs alongside.
+#[derive(Debug)]
+pub struct DatasetRef {
+    state: ReadTxn<EngineState>,
+}
+
+impl Deref for DatasetRef {
+    type Target = Dataset;
+
+    fn deref(&self) -> &Dataset {
+        &self.state.dataset
+    }
+}
+
+/// Epoch-pinned access to the engine's base (derefs to [`OnexBase`]).
+/// Returned by [`Onex::base`].
+#[derive(Debug)]
+pub struct BaseRef {
+    state: ReadTxn<EngineState>,
+}
+
+impl Deref for BaseRef {
+    type Target = OnexBase;
+
+    fn deref(&self) -> &OnexBase {
+        &self.state.base
     }
 }
 
@@ -311,7 +475,8 @@ mod tests {
     #[test]
     fn best_match_returns_a_close_neighbour() {
         let engine = growth_engine();
-        let ma = engine.dataset().by_name("MA-GrowthRate").unwrap();
+        let ds = engine.dataset();
+        let ma = ds.by_name("MA-GrowthRate").unwrap();
         let query = ma.subsequence(4, 8).unwrap().to_vec();
         let opts =
             QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
@@ -326,7 +491,8 @@ mod tests {
     #[test]
     fn self_query_finds_itself_when_not_excluded() {
         let engine = growth_engine();
-        let ma = engine.dataset().by_name("MA-GrowthRate").unwrap();
+        let ds = engine.dataset();
+        let ma = ds.by_name("MA-GrowthRate").unwrap();
         let query = ma.subsequence(2, 8).unwrap().to_vec();
         let (m, _) = engine.best_match(&query, &QueryOptions::default()).unwrap();
         let m = m.unwrap();
@@ -456,8 +622,9 @@ mod tests {
 
     #[test]
     fn append_series_is_immediately_queryable() {
-        let mut engine = growth_engine();
+        let engine = growth_engine();
         let before = engine.base().stats().members;
+        assert_eq!(engine.epoch(), 0);
         // A synthetic 51st "state" tracking MA exactly.
         let ma: Vec<f64> = engine
             .dataset()
@@ -470,6 +637,7 @@ mod tests {
             .unwrap();
         assert!(report.subsequences > before);
         assert_eq!(engine.dataset().len(), 51);
+        assert_eq!(engine.epoch(), 1, "a committed append publishes an epoch");
         // Excluding MA itself, the new clone is now the best match.
         let query = &ma[4..12];
         let opts =
@@ -482,6 +650,71 @@ mod tests {
         assert!(engine
             .append_series(TimeSeries::new("ZZ-GrowthRate", vec![0.0; 16]))
             .is_err());
+        assert_eq!(engine.dataset().len(), 51);
+        assert_eq!(engine.epoch(), 1, "a failed append publishes nothing");
+    }
+
+    #[test]
+    fn snapshots_pin_the_epoch_they_were_taken_at() {
+        let engine = growth_engine();
+        let pinned = engine.snapshot();
+        let ma: Vec<f64> = pinned
+            .dataset()
+            .by_name("MA-GrowthRate")
+            .unwrap()
+            .values()
+            .to_vec();
+        let query = &ma[4..12];
+        let opts =
+            QueryOptions::default().excluding_series(pinned.dataset().id_of("MA-GrowthRate"));
+        let (before, _) = pinned.k_best(query, 1, &opts).unwrap();
+        engine
+            .append_series(TimeSeries::new("ZZ-GrowthRate", ma.clone()))
+            .unwrap();
+        // The pinned snapshot still answers from epoch 0 — it cannot see
+        // the clone — while the engine's fresh snapshots do.
+        assert_eq!(pinned.epoch(), 0);
+        assert_eq!(pinned.dataset().len(), 50);
+        let (after, _) = pinned.k_best(query, 1, &opts).unwrap();
+        assert_eq!(before, after);
+        let fresh = engine.snapshot();
+        assert_eq!(fresh.epoch(), 1);
+        let (m, _) = fresh.k_best(query, 1, &opts).unwrap();
+        assert_eq!(m[0].series_name, "ZZ-GrowthRate");
+    }
+
+    #[test]
+    fn failed_extend_mid_append_leaves_the_engine_on_the_prior_epoch() {
+        let engine = growth_engine();
+        let ds0 = engine.dataset();
+        let ma = ds0.by_name("MA-GrowthRate").unwrap();
+        let query = ma.subsequence(4, 8).unwrap().to_vec();
+        drop(ds0);
+        let (reference, _) = engine.best_match(&query, &QueryOptions::default()).unwrap();
+
+        // Inject an extension failure *after* the working copy's dataset
+        // has been grown: the publish must not happen.
+        engine
+            .fail_next_extend
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        let err = engine
+            .append_series(TimeSeries::new("ZZ-GrowthRate", vec![0.5; 16]))
+            .expect_err("injected failure");
+        assert!(matches!(err, OnexError::Internal(_)), "{err:?}");
+
+        // Prior epoch intact: same series count, same epoch, and queries
+        // answer exactly as before the failed append.
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.dataset().len(), 50);
+        assert!(engine.dataset().by_name("ZZ-GrowthRate").is_none());
+        let (again, _) = engine.best_match(&query, &QueryOptions::default()).unwrap();
+        assert_eq!(reference, again);
+
+        // And the same append succeeds once the fault clears.
+        engine
+            .append_series(TimeSeries::new("ZZ-GrowthRate", vec![0.5; 16]))
+            .unwrap();
+        assert_eq!(engine.epoch(), 1);
         assert_eq!(engine.dataset().len(), 51);
     }
 
@@ -522,7 +755,8 @@ mod tests {
     #[test]
     fn exclude_windows_forces_next_best() {
         let engine = growth_engine();
-        let ma = engine.dataset().by_name("MA-GrowthRate").unwrap();
+        let ds = engine.dataset();
+        let ma = ds.by_name("MA-GrowthRate").unwrap();
         let query = ma.subsequence(2, 8).unwrap().to_vec();
         let ma_id = engine.dataset().id_of("MA-GrowthRate").unwrap();
         let opts = QueryOptions::default().excluding_window(SubseqRef::new(ma_id, 2, 8));

@@ -41,8 +41,8 @@ mod seasonal;
 mod stats;
 pub mod threshold;
 
-pub use engine::{Comparison, Onex};
-pub use onex_api::{OnexError, SharedBound, SimilaritySearch};
+pub use engine::{BaseRef, Comparison, DatasetRef, EngineSnapshot, Onex};
+pub use onex_api::{Epoch, OnexError, SharedBound, SimilaritySearch};
 pub use onex_grouping::{BuildReport, IndexPolicy, IndexWork};
 pub use options::{LengthSelection, QueryOptions, ScanBreadth};
 pub use result::{Match, SeasonalPattern};

@@ -38,13 +38,13 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use onex_api::{
-    validate_query, BackendMatch, BackendStats, BestK, Capabilities, OnexError, SearchOutcome,
-    SharedBound, SimilaritySearch,
+    validate_query, BackendMatch, BackendStats, BestK, Capabilities, Epoch, OnexError,
+    SearchOutcome, SharedBound, SimilaritySearch, Versioned,
 };
 use onex_grouping::{BaseConfig, BuildReport, RepresentativePolicy};
 use onex_tseries::{Dataset, SubseqRef, TimeSeries};
 
-use crate::backends::OnexBackend;
+use crate::engine::EngineSnapshot;
 use crate::search::normalize;
 use crate::{Onex, QueryOptions, ScanBreadth};
 
@@ -52,15 +52,27 @@ use crate::{Onex, QueryOptions, ScanBreadth};
 // ShardedEngine
 // ---------------------------------------------------------------------
 
-/// One shard: a full ONEX engine over a subset of the series, plus the
-/// id translation between the shard-local and the global numbering.
-#[derive(Debug)]
-struct Shard {
-    engine: Arc<Onex>,
+/// One shard's epoch-pinned view: a snapshot of the shard engine plus
+/// the id translation between the shard-local and the global numbering.
+/// The whole vector of views is published together ([`Versioned`]), so a
+/// query that pins one [`ShardMap`] sees every shard at a mutually
+/// consistent epoch.
+#[derive(Debug, Clone)]
+struct ShardView {
+    snapshot: EngineSnapshot,
     /// Shard-local series id → global series id.
     to_global: Vec<u32>,
     /// Global series id → shard-local series id.
     to_local: HashMap<u32, u32>,
+}
+
+/// The atomically-published state of a [`ShardedEngine`]: every shard's
+/// pinned snapshot and id maps, plus the global series count (which
+/// doubles as the next global id).
+#[derive(Debug, Clone)]
+struct ShardMap {
+    views: Vec<ShardView>,
+    total_series: usize,
 }
 
 /// What building a [`ShardedEngine`] cost: the per-shard construction
@@ -100,7 +112,11 @@ impl ShardedBuildReport {
 /// pool instead of per-query scoped threads.
 struct ShardJob {
     index: usize,
-    engine: Arc<Onex>,
+    /// The epoch-pinned shard view this job queries — the submitting
+    /// query pins one [`ShardMap`] and hands every job a snapshot from
+    /// it, so all shards of one query answer from the same epoch no
+    /// matter what appends commit mid-flight.
+    snapshot: EngineSnapshot,
     /// Shard-localised options; `None` means the shard cannot contribute
     /// (an `only_series` filter owned by another shard).
     opts: Option<QueryOptions>,
@@ -161,7 +177,7 @@ impl ShardPool {
                         executed.fetch_add(1, Ordering::Relaxed);
                         let ShardJob {
                             index,
-                            engine,
+                            snapshot,
                             opts,
                             query,
                             k,
@@ -173,9 +189,11 @@ impl ShardPool {
                         // catch_unwind rationale).
                         let result =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match opts {
-                                Some(opts) => OnexBackend::new(engine)
-                                    .with_options(opts)
-                                    .k_best_bounded(&query, k, &bound),
+                                Some(opts) => {
+                                    snapshot.k_best_bounded(&query, k, &opts, &bound).map(
+                                        |(matches, stats)| crate::backends::outcome(matches, stats),
+                                    )
+                                }
                                 None => Ok(SearchOutcome::default()),
                             }))
                             .unwrap_or_else(|_| {
@@ -271,7 +289,14 @@ impl std::fmt::Debug for ShardPool {
 /// ```
 #[derive(Debug)]
 pub struct ShardedEngine {
-    shards: Vec<Shard>,
+    /// The shard engines themselves — stable for the engine's lifetime;
+    /// appends go *through* them (each is its own [`Versioned`] cell).
+    engines: Vec<Arc<Onex>>,
+    /// The published shard views + id maps. A query pins one read
+    /// transaction of this for its whole fan-out-and-merge, so every
+    /// shard answers from the same epoch; [`ShardedEngine::append_series`]
+    /// publishes the next map atomically after the owning shard commits.
+    state: Versioned<ShardMap>,
     opts: QueryOptions,
     /// Share one query-global bound across the shards of each query
     /// (default). `false` gives every shard an independent bound — the
@@ -353,25 +378,32 @@ impl ShardedEngine {
         }
 
         let mut per_shard = Vec::with_capacity(shards);
-        let mut shard_vec = Vec::with_capacity(shards);
+        let mut engines = Vec::with_capacity(shards);
+        let mut views = Vec::with_capacity(shards);
         for (built, to_global) in built.into_iter().zip(to_global) {
             let (engine, report) = built.expect("failures returned above");
             per_shard.push(report);
+            let engine = Arc::new(engine);
             let to_local = to_global
                 .iter()
                 .enumerate()
                 .map(|(local, &global)| (global, local as u32))
                 .collect();
-            shard_vec.push(Shard {
-                engine: Arc::new(engine),
+            views.push(ShardView {
+                snapshot: engine.snapshot(),
                 to_global,
                 to_local,
             });
+            engines.push(engine);
         }
-        let pool = ShardPool::new(shard_vec.len());
+        let pool = ShardPool::new(engines.len());
         Ok((
             ShardedEngine {
-                shards: shard_vec,
+                engines,
+                state: Versioned::new(ShardMap {
+                    views,
+                    total_series: dataset.len(),
+                }),
                 opts: QueryOptions::default(),
                 share_bound: true,
                 pool,
@@ -381,6 +413,56 @@ impl ShardedEngine {
                 elapsed: start.elapsed(),
             },
         ))
+    }
+
+    /// Append a series to the sharded collection: the series lands on the
+    /// shard the round-robin partition assigns to its global id, that
+    /// shard's engine extends its own base ([`Onex::append_series`] —
+    /// build-aside, atomic publish), and then the shard map with the new
+    /// id translation and re-pinned snapshot is published atomically as
+    /// the sharded engine's next epoch.
+    ///
+    /// In-flight and concurrent queries are never blocked: they keep
+    /// answering from the shard map they pinned, every shard at that
+    /// map's epoch. A failed append publishes nothing at either level.
+    ///
+    /// # Errors
+    /// Same conditions as [`Onex::append_series`]; additionally
+    /// [`OnexError::DatasetMismatch`] when the name is already taken by
+    /// *any* shard — the per-shard engine can only see its own slice of
+    /// the collection, so the global uniqueness check lives here.
+    pub fn append_series(&self, series: TimeSeries) -> Result<BuildReport, OnexError> {
+        let mut txn = self.state.write();
+        let map = txn.value_mut();
+        if map
+            .views
+            .iter()
+            .any(|v| v.snapshot.dataset().by_name(series.name()).is_some())
+        {
+            return Err(OnexError::DatasetMismatch(format!(
+                "duplicate series name {:?}",
+                series.name()
+            )));
+        }
+        let gid = map.total_series as u32;
+        let s = gid as usize % self.engines.len();
+        // The shard engine commits its own epoch first; an error here
+        // drops our transaction with the map untouched.
+        let report = self.engines[s].append_series(series)?;
+        let view = &mut map.views[s];
+        let local = view.to_global.len() as u32;
+        view.to_global.push(gid);
+        view.to_local.insert(gid, local);
+        view.snapshot = self.engines[s].snapshot();
+        map.total_series += 1;
+        txn.commit();
+        Ok(report)
+    }
+
+    /// The currently-published shard-map epoch (bumped by every committed
+    /// [`ShardedEngine::append_series`]).
+    pub fn epoch(&self) -> Epoch {
+        self.state.epoch()
     }
 
     /// Builder-style: run every trait query under `opts`. Series ids in
@@ -410,18 +492,19 @@ impl ShardedEngine {
 
     /// Number of shards actually built (≤ the requested count).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.engines.len()
     }
 
-    /// Series count of each shard, in shard order.
+    /// Series count of each shard, in shard order (at the current epoch).
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.to_global.len()).collect()
+        let map = self.state.read();
+        map.views.iter().map(|v| v.to_global.len()).collect()
     }
 
     /// Translate the global-id query options into shard-local ids.
     /// `None` means the shard cannot contribute at all (an `only_series`
     /// filter pointing at a series another shard owns).
-    fn localize(&self, shard: &Shard) -> Option<QueryOptions> {
+    fn localize(&self, shard: &ShardView) -> Option<QueryOptions> {
         let mut o = self.opts.clone();
         o.exclude_series = o
             .exclude_series
@@ -468,13 +551,26 @@ impl ShardedEngine {
     /// Same conditions as [`SimilaritySearch::k_best`], plus
     /// [`OnexError::Internal`] when the pool is gone or a reply is lost.
     pub fn shard_outcomes(&self, query: &[f64], k: usize) -> Result<Vec<SearchOutcome>, OnexError> {
+        let map = self.state.read();
+        self.fanout(&map, query, k)
+    }
+
+    /// The fan-out against one pinned shard map: every job carries a
+    /// snapshot from `map`, so all shards of this query answer from the
+    /// same epoch.
+    fn fanout(
+        &self,
+        map: &ShardMap,
+        query: &[f64],
+        k: usize,
+    ) -> Result<Vec<SearchOutcome>, OnexError> {
         validate_query(query, k)?;
         let query: Arc<[f64]> = Arc::from(query);
         // One fresh bound per logical query — never reused across
         // queries, so concurrent queries cannot contaminate each other.
         let shared = Arc::new(SharedBound::new());
-        let (reply_tx, reply_rx) = crossbeam::channel::bounded(self.shards.len().max(1));
-        for (index, shard) in self.shards.iter().enumerate() {
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(map.views.len().max(1));
+        for (index, shard) in map.views.iter().enumerate() {
             let bound = if self.share_bound {
                 Arc::clone(&shared)
             } else {
@@ -482,7 +578,7 @@ impl ShardedEngine {
             };
             self.pool.submit(ShardJob {
                 index,
-                engine: Arc::clone(&shard.engine),
+                snapshot: shard.snapshot.clone(),
                 opts: self.localize(shard),
                 query: Arc::clone(&query),
                 k,
@@ -494,9 +590,8 @@ impl ShardedEngine {
         // Collect exactly one reply per shard. Workers always reply
         // (panics are caught into typed errors), so the timeout is a
         // guard against a lost pool, not a query SLA.
-        let mut outcomes: Vec<Option<SearchOutcome>> =
-            (0..self.shards.len()).map(|_| None).collect();
-        for _ in 0..self.shards.len() {
+        let mut outcomes: Vec<Option<SearchOutcome>> = (0..map.views.len()).map(|_| None).collect();
+        for _ in 0..map.views.len() {
             let (index, result) = reply_rx
                 .recv_timeout(Duration::from_secs(300))
                 .map_err(|_| OnexError::Internal("shard query reply lost".into()))?;
@@ -511,11 +606,14 @@ impl ShardedEngine {
     fn merge(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
         // Merge through the shared bounded accumulator under the same
         // length-normalised ranking the single engine uses; per-shard
-        // stats sum into one disjoint report.
-        let outcomes = self.shard_outcomes(query, k)?;
+        // stats sum into one disjoint report. One read transaction pins
+        // the shard map for both the fan-out and the id translation — a
+        // concurrent append cannot give this query a mixed-epoch answer.
+        let map = self.state.read();
+        let outcomes = self.fanout(&map, query, k)?;
         let mut acc: BestK<(u32, usize, usize, u64)> = BestK::new(k);
         let mut stats = BackendStats::default();
-        for (shard, outcome) in self.shards.iter().zip(outcomes) {
+        for (shard, outcome) in map.views.iter().zip(outcomes) {
             stats += outcome.stats;
             for m in outcome.matches {
                 let global = shard.to_global[m.series as usize];
@@ -549,9 +647,9 @@ impl SimilaritySearch for ShardedEngine {
     fn capabilities(&self) -> Capabilities {
         // All shards share one config; the first speaks for all.
         let exact = self
-            .shards
+            .engines
             .first()
-            .map(|s| s.engine.base().config().policy == RepresentativePolicy::Seed)
+            .map(|e| e.base().config().policy == RepresentativePolicy::Seed)
             .unwrap_or(false)
             && self.opts.breadth == ScanBreadth::Exact
             && self.opts.band == onex_distance::Band::Full;
@@ -568,6 +666,10 @@ impl SimilaritySearch for ShardedEngine {
     fn k_best(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
         self.merge(query, k)
     }
+
+    fn epoch(&self) -> Epoch {
+        self.state.epoch()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -576,9 +678,10 @@ impl SimilaritySearch for ShardedEngine {
 
 /// Cache key: the query's exact bit patterns plus `k`. Backend
 /// parameters do not appear because a [`CachedSearch`] wraps one backend
-/// instance whose parameters are fixed for its lifetime — swapping or
-/// mutating the backend goes through [`CachedSearch::backend_mut`],
-/// which invalidates the cache.
+/// instance whose parameters are fixed for its lifetime; the backend's
+/// *data* version is tracked separately — every entry lives under the
+/// [`SimilaritySearch::epoch`] the cache was filled at, and the whole
+/// cache clears the moment the backend answers from a newer epoch.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct CacheKey {
     query: Vec<u64>,
@@ -603,10 +706,24 @@ impl CacheKey {
 struct Lru {
     capacity: usize,
     stamp: u64,
+    /// The backend epoch every cached entry was computed against. The
+    /// map never mixes epochs: `sync_epoch` clears it whenever the
+    /// backend has moved on.
+    epoch: Epoch,
     map: HashMap<CacheKey, (SearchOutcome, u64)>,
 }
 
 impl Lru {
+    /// Align the map with the backend epoch `now`: if the backend has
+    /// published anything since the entries were computed, drop them all.
+    /// Epochs are monotone, so equality means "same data".
+    fn sync_epoch(&mut self, now: Epoch) {
+        if self.epoch != now {
+            self.map.clear();
+            self.epoch = now;
+        }
+    }
+
     fn get(&mut self, key: &CacheKey) -> Option<SearchOutcome> {
         self.stamp += 1;
         let stamp = self.stamp;
@@ -665,11 +782,21 @@ impl CacheStats {
 /// monotonicity intact). Only successful answers are cached; errors
 /// always revalidate.
 ///
-/// **Staleness contract:** the cache is consistent with the wrapped
-/// backend as long as every mutation goes through
-/// [`CachedSearch::backend_mut`] (or is followed by
-/// [`CachedSearch::invalidate`]); both clear all entries, so a result
-/// computed before an `extend`/swap can never be served after it.
+/// **Staleness contract:** invalidation is *epoch-based*. Every entry is
+/// stamped with the backend's [`SimilaritySearch::epoch`] at the time it
+/// was computed; on every lookup the cache first compares its stamp with
+/// the backend's current epoch and clears itself if the backend has
+/// published anything since — so a result computed before an append can
+/// never be served after it, even when the mutation happened through a
+/// shared handle (`Arc<Onex>`, [`ShardedEngine`]) that never touched the
+/// cache. Because epochs are monotone, a computed result is inserted only
+/// if the backend is *still* on the epoch captured before the compute
+/// began — a concurrent append between compute and insert discards the
+/// result instead of caching it against the wrong epoch. Backends that
+/// report the default epoch 0 (immutable collections) keep the older,
+/// coarser contract: mutate through [`CachedSearch::backend_mut`] (which
+/// clears the cache before handing out the reference) or call
+/// [`CachedSearch::invalidate`] after the fact.
 ///
 /// ```
 /// use onex_api::SimilaritySearch;
@@ -702,11 +829,13 @@ impl<B: SimilaritySearch> CachedSearch<B> {
         if capacity == 0 {
             return Err(OnexError::invalid_config("cache capacity must be positive"));
         }
+        let epoch = inner.epoch();
         Ok(CachedSearch {
             inner,
             cache: Mutex::new(Lru {
                 capacity,
                 stamp: 0,
+                epoch,
                 map: HashMap::new(),
             }),
             hits: AtomicUsize::new(0),
@@ -766,22 +895,43 @@ impl<B: SimilaritySearch> SimilaritySearch for CachedSearch<B> {
 
     fn k_best(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
         let key = CacheKey::new(query, k);
-        if let Some(outcome) = self.cache.lock().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(outcome);
+        // Capture the backend epoch *before* computing: whatever answer
+        // the backend gives was computed against this epoch or a later
+        // one, so it is only safe to cache if the backend is still on
+        // exactly this epoch afterwards (epochs are monotone).
+        let epoch = self.inner.epoch();
+        {
+            let mut lru = self.cache.lock();
+            lru.sync_epoch(epoch);
+            if let Some(outcome) = lru.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(outcome);
+            }
         }
         // Compute outside the lock: concurrent misses on the same key may
         // duplicate work, but never block each other behind a slow query.
         let outcome = self.inner.k_best(query, k)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache.lock().insert(key, outcome.clone());
+        let mut lru = self.cache.lock();
+        // Insert only if nothing was published while we computed — both
+        // on the backend side and in the cache's own stamp. Otherwise
+        // the (correct) answer is returned uncached.
+        if lru.epoch == epoch && self.inner.epoch() == epoch {
+            lru.insert(key, outcome.clone());
+        }
+        drop(lru);
         Ok(outcome)
+    }
+
+    fn epoch(&self) -> Epoch {
+        self.inner.epoch()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backends::OnexBackend;
     use crate::LengthSelection;
     use onex_tseries::gen::{random_walk_dataset, SyntheticConfig};
 
@@ -821,9 +971,10 @@ mod tests {
         assert_eq!(report.per_shard.len(), 4);
         assert!(report.subsequences() > 0);
         // Every global id appears in exactly one shard.
+        let map = sharded.state.read();
         let mut seen = std::collections::HashSet::new();
-        for shard in &sharded.shards {
-            for &g in &shard.to_global {
+        for view in &map.views {
+            for &g in &view.to_global {
                 assert!(seen.insert(g), "series {g} in two shards");
             }
         }
@@ -874,8 +1025,8 @@ mod tests {
         let query = ds.series(1).unwrap().subsequence(10, LEN).unwrap().to_vec();
         let merged = sharded.k_best(&query, 3).unwrap().stats;
         let mut expect = BackendStats::default();
-        for shard in &sharded.shards {
-            let out = OnexBackend::new(shard.engine.clone())
+        for engine in &sharded.engines {
+            let out = OnexBackend::new(Arc::clone(engine))
                 .k_best(&query, 3)
                 .unwrap();
             expect += out.stats;

@@ -198,13 +198,19 @@ impl BaseBuilder {
     /// order-dependent), exactly as a demo session's base depends on its
     /// loading order.
     ///
+    /// The base is borrowed, never consumed: extension works on a
+    /// build-aside copy and the caller's base is untouched on **every**
+    /// path, success or failure — an erroring extend is observationally a
+    /// no-op (there is no half-indexed intermediate to leak).
+    ///
     /// # Errors
     /// [`OnexError::DatasetMismatch`] when the base was built under a
     /// different configuration or the dataset has fewer series than the
-    /// base has seen.
+    /// base has seen; [`OnexError::Internal`] when an internal indexing
+    /// invariant fails mid-extension.
     pub fn extend(
         &self,
-        base: OnexBase,
+        base: &OnexBase,
         dataset: &Dataset,
     ) -> Result<(OnexBase, BuildReport), OnexError> {
         if base.config() != &self.config {
@@ -213,7 +219,8 @@ impl BaseBuilder {
             ));
         }
         let start = Instant::now();
-        let (config, mut per_length, seen) = base.into_parts();
+        // Build aside: all mutation below happens on this private copy.
+        let (config, mut per_length, seen) = base.clone().into_parts();
         if dataset.len() < seen {
             return Err(OnexError::DatasetMismatch(format!(
                 "dataset has {} series but the base has already indexed {}",
@@ -230,11 +237,20 @@ impl BaseBuilder {
         // window enumeration, so batch and incremental paths cannot
         // drift apart.
         let space = SubsequenceSpace::new(dataset, &self.config);
-        let longest_new = (seen..dataset.len())
-            .map(|sid| dataset.series(sid as u32).expect("sid in range").len())
-            .max()
-            .unwrap_or(0);
+        let mut longest_new = 0usize;
+        for sid in seen..dataset.len() {
+            let series = dataset.series(sid as u32).ok_or_else(|| {
+                OnexError::Internal(format!("series {sid} vanished while extending the base"))
+            })?;
+            longest_new = longest_new.max(series.len());
+        }
         for len in self.config.min_len..=self.config.max_len.min(longest_new) {
+            #[cfg(test)]
+            if self.fail_len == Some(len) {
+                return Err(OnexError::Internal(format!(
+                    "injected extension failure at length {len}"
+                )));
+            }
             let new_windows: usize = (seen..dataset.len())
                 .map(|sid| space.count_for_series_len(sid, len))
                 .sum();
@@ -252,7 +268,11 @@ impl BaseBuilder {
             index.seed(groups, &mut work);
             for sid in seen..dataset.len() {
                 for r in space.refs_for_series_len(sid, len) {
-                    let xs = dataset.resolve(r).expect("space references are in bounds");
+                    let xs = dataset.resolve(r).map_err(|_| {
+                        OnexError::Internal(format!(
+                            "subsequence reference {r} fell out of bounds mid-extension"
+                        ))
+                    })?;
                     self.assign_one(groups, index.as_mut(), r, xs, admission_sq, &mut work);
                 }
             }
@@ -549,7 +569,7 @@ mod tests {
         let builder = BaseBuilder::new(cfg.clone()).unwrap();
         let (base, before) = builder.build(&ds);
         ds.push(TimeSeries::new("near2", vec![0.05; 6])).unwrap();
-        let (extended, after) = builder.extend(base, &ds).unwrap();
+        let (extended, after) = builder.extend(&base, &ds).unwrap();
         // 3 new windows of length 4, all near the flat/near group.
         assert_eq!(after.subsequences, before.subsequences + 3);
         assert_eq!(
@@ -583,7 +603,7 @@ mod tests {
             (0..10).map(|i| i as f64 * 50.0).collect(),
         ))
         .unwrap();
-        let (extended, _) = builder.extend(base, &ds).unwrap();
+        let (extended, _) = builder.extend(&base, &ds).unwrap();
         assert!(!extended.groups_for_len(8).is_empty());
         assert!(!extended.groups_for_len(10).is_empty());
         let audit = extended.audit(&ds);
@@ -610,7 +630,7 @@ mod tests {
             ))
             .unwrap();
         }
-        let (extended, _) = builder.extend(base, &ds).unwrap();
+        let (extended, _) = builder.extend(&base, &ds).unwrap();
         let audit = extended.audit(&ds);
         assert_eq!(audit.violations, 0, "{audit:?}");
         assert_eq!(extended.source_series(), 7);
@@ -622,12 +642,9 @@ mod tests {
         let builder_a = BaseBuilder::new(BaseConfig::new(1.0, 4, 4)).unwrap();
         let builder_b = BaseBuilder::new(BaseConfig::new(2.0, 4, 4)).unwrap();
         let (base, _) = builder_a.build(&ds);
-        assert!(
-            builder_b.extend(base.clone(), &ds).is_err(),
-            "config mismatch"
-        );
+        assert!(builder_b.extend(&base, &ds).is_err(), "config mismatch");
         let smaller = Dataset::new();
-        assert!(builder_a.extend(base, &smaller).is_err(), "shrunk dataset");
+        assert!(builder_a.extend(&base, &smaller).is_err(), "shrunk dataset");
     }
 
     #[test]
@@ -635,9 +652,40 @@ mod tests {
         let ds = tiny();
         let builder = BaseBuilder::new(BaseConfig::new(1.0, 4, 4)).unwrap();
         let (base, _) = builder.build(&ds);
-        let (extended, report) = builder.extend(base.clone(), &ds).unwrap();
+        let (extended, report) = builder.extend(&base, &ds).unwrap();
         assert_eq!(extended, base);
         assert_eq!(report.work, IndexWork::default(), "no lookups performed");
+    }
+
+    #[test]
+    fn a_failed_mid_extend_leaves_the_base_untouched() {
+        let mut ds = onex_tseries::gen::random_walk_dataset(onex_tseries::gen::SyntheticConfig {
+            series: 4,
+            len: 30,
+            seed: 9,
+        });
+        let cfg = BaseConfig::new(0.8, 6, 12);
+        let mut builder = BaseBuilder::new(cfg).unwrap();
+        let (base, _) = builder.build(&ds);
+        let pristine = base.clone();
+        ds.push(TimeSeries::new(
+            "late",
+            onex_tseries::gen::random_walk(30, 1.0, 200),
+        ))
+        .unwrap();
+        // Fail after several lengths have already been re-indexed into
+        // the working copy: the caller's base must not see any of it.
+        builder.fail_len = Some(9);
+        let err = builder.extend(&base, &ds).expect_err("injected failure");
+        assert!(matches!(err, OnexError::Internal(_)), "{err:?}");
+        assert_eq!(base, pristine, "failed extend mutated the caller's base");
+        // The same builder completes the extension once the fault clears,
+        // exactly as if the failed attempt never happened.
+        builder.fail_len = None;
+        let (extended, _) = builder.extend(&base, &ds).unwrap();
+        let clean = BaseBuilder::new(BaseConfig::new(0.8, 6, 12)).unwrap();
+        let (reference, _) = clean.extend(&pristine, &ds).unwrap();
+        assert_eq!(extended, reference);
     }
 
     #[test]
@@ -655,8 +703,8 @@ mod tests {
         .unwrap();
         let (base, _) = linear.build(&ds);
         ds.push(TimeSeries::new("near2", vec![0.05; 6])).unwrap();
-        let (a, _) = linear.extend(base.clone(), &ds).unwrap();
-        let (b, _) = vptree.extend(base, &ds).unwrap();
+        let (a, _) = linear.extend(&base, &ds).unwrap();
+        let (b, _) = vptree.extend(&base, &ds).unwrap();
         assert_eq!(a, b, "index policy never changes what gets built");
     }
 }

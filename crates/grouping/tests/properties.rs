@@ -136,7 +136,7 @@ proptest! {
             ds.series(0).unwrap().clone()
         ]).unwrap();
         let (partial, _) = builder.build(&first);
-        let (extended, _) = builder.extend(partial, &ds).unwrap();
+        let (extended, _) = builder.extend(&partial, &ds).unwrap();
 
         let (bs, es) = (batch.stats(), extended.stats());
         prop_assert_eq!(bs.members, es.members);
@@ -156,11 +156,45 @@ proptest! {
         let builder = BaseBuilder::new(cfg).unwrap();
         let (base, _) = builder.build(&ds);
         let other = BaseBuilder::new(BaseConfig::new(st + 1.0, 4, 8)).unwrap();
-        prop_assert!(other.extend(base.clone(), &ds).is_err());
+        prop_assert!(other.extend(&base, &ds).is_err());
         if ds.len() > 1 {
             let shrunk = Dataset::from_series(vec![ds.series(0).unwrap().clone()]).unwrap();
-            prop_assert!(builder.extend(base, &shrunk).is_err());
+            prop_assert!(builder.extend(&base, &shrunk).is_err());
         }
+    }
+
+    /// A failed extend is observationally a no-op: the caller's base is
+    /// bit-identical to its pre-call state after every rejected
+    /// extension, and a subsequent successful extend from that base gives
+    /// exactly what a never-failed extend would have — failure leaves no
+    /// residue (extend builds aside and only swaps on success).
+    #[test]
+    fn failed_extend_is_observationally_a_no_op(
+        ds in small_dataset(),
+        st in 0.3f64..3.0,
+        extra in prop::collection::vec(-10.0f64..10.0, 6..20),
+    ) {
+        let cfg = BaseConfig::new(st, 4, 8);
+        let builder = BaseBuilder::new(cfg).unwrap();
+        let (base, _) = builder.build(&ds);
+        let pristine = base.clone();
+
+        // Failure mode 1: configuration mismatch.
+        let other = BaseBuilder::new(BaseConfig::new(st + 1.0, 4, 8)).unwrap();
+        prop_assert!(other.extend(&base, &ds).is_err());
+        prop_assert_eq!(&base, &pristine);
+
+        // Failure mode 2: shrunk dataset.
+        let shrunk = Dataset::new();
+        prop_assert!(builder.extend(&base, &shrunk).is_err());
+        prop_assert_eq!(&base, &pristine);
+
+        // The surviving base extends exactly as an untouched one would.
+        let mut grown = ds.clone();
+        grown.push(TimeSeries::new("appended", extra)).unwrap();
+        let (after_failures, _) = builder.extend(&base, &grown).unwrap();
+        let (clean, _) = builder.extend(&pristine, &grown).unwrap();
+        prop_assert_eq!(after_failures, clean);
     }
 }
 
@@ -227,12 +261,12 @@ proptest! {
         let (reference, _) = BaseBuilder::new(BaseConfig {
             index: IndexPolicy::Linear,
             ..cfg.clone()
-        }).unwrap().extend(partial.clone(), &ds).unwrap();
+        }).unwrap().extend(&partial, &ds).unwrap();
         for index in [IndexPolicy::VpTree, IndexPolicy::Auto] {
             let (extended, _) = BaseBuilder::new(BaseConfig {
                 index,
                 ..cfg.clone()
-            }).unwrap().extend(partial.clone(), &ds).unwrap();
+            }).unwrap().extend(&partial, &ds).unwrap();
             prop_assert_eq!(&extended, &reference, "index policy {}", index);
         }
     }

@@ -1,15 +1,15 @@
 use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
-use onex_api::{OnexError, SimilaritySearch, StreamingSearch};
+use onex_api::{Epoch, OnexError, SimilaritySearch, StreamingSearch};
 use onex_core::backends::{
     CachedSearch, EbsmBackend, FrmBackend, OnexBackend, ShardedEngine, SpringBackend,
     UcrSuiteBackend,
 };
 use onex_core::{BuildReport, LengthSelection, Onex, QueryOptions, SeasonalOptions};
 use onex_grouping::BaseConfig;
-use onex_tseries::Dataset;
+use onex_tseries::{Dataset, TimeSeries};
 use onex_viz::{
     ConnectedScatter, MultiLineChart, OverviewPane, QueryPreview, RadialChart, SeasonalView,
 };
@@ -17,17 +17,51 @@ use onex_viz::{
 use crate::http::{Request, Response};
 use crate::json::Json;
 
+/// One lazily-built baseline index, stamped with the engine epoch it was
+/// built against. [`Slot::at`] returns the cached value while the engine
+/// is still on that epoch and rebuilds it the first time it is asked for
+/// a newer one — so after a live `/api/append` no `?backend=` route can
+/// keep answering from the dataset the engine has outgrown (the staleness
+/// bug the process-lifetime `OnceLock`s had). Building happens inside the
+/// slot lock: concurrent first requests serialise instead of racing
+/// duplicate index builds.
+struct Slot<T>(Mutex<Option<(Epoch, Arc<T>)>>);
+
+impl<T> Default for Slot<T> {
+    fn default() -> Self {
+        Slot(Mutex::new(None))
+    }
+}
+
+impl<T> Slot<T> {
+    fn at(&self, epoch: Epoch, build: impl FnOnce() -> T) -> Arc<T> {
+        let mut slot = self.0.lock().unwrap_or_else(|p| p.into_inner());
+        match slot.as_ref() {
+            Some((e, v)) if *e == epoch => Arc::clone(v),
+            _ => {
+                let built = Arc::new(build());
+                *slot = Some((epoch, Arc::clone(&built)));
+                built
+            }
+        }
+    }
+}
+
 /// The baseline engines the `?backend=` parameter selects between.
-/// Each index is built lazily on first use (and then cached for the
-/// process lifetime), so deployments that never ask for a baseline pay
-/// nothing beyond the ONEX base itself.
+/// Each index is built lazily on first use against the engine's
+/// then-current epoch, so deployments that never ask for a baseline pay
+/// nothing beyond the ONEX base itself — and deployments that ingest
+/// live data get each baseline rebuilt on its next use after an append.
+/// The caching decorator needs no epoch slot: [`CachedSearch`] tracks
+/// the backend epoch itself and drops stale entries on the first lookup
+/// after a bump, while its hit/miss counters survive for the process.
 #[derive(Default)]
 struct Baselines {
-    ucr: OnceLock<UcrSuiteBackend>,
-    frm: OnceLock<FrmBackend<4>>,
-    ebsm: OnceLock<EbsmBackend>,
-    spring: OnceLock<SpringBackend>,
-    sharded: OnceLock<ShardedEngine>,
+    ucr: Slot<UcrSuiteBackend>,
+    frm: Slot<FrmBackend<4>>,
+    ebsm: Slot<EbsmBackend>,
+    spring: Slot<SpringBackend>,
+    sharded: Slot<ShardedEngine>,
     cached: OnceLock<CachedSearch<OnexBackend>>,
 }
 
@@ -113,26 +147,29 @@ impl App {
         self.build.as_ref()
     }
 
-    fn ucr(&self) -> &UcrSuiteBackend {
-        self.baselines
-            .ucr
-            .get_or_init(|| UcrSuiteBackend::from_dataset(self.engine.dataset()))
-    }
-
-    fn frm(&self) -> &FrmBackend<4> {
-        self.baselines.frm.get_or_init(|| {
-            // FRM needs window ≥ 2 × retained coefficients (D = 4 → 4).
-            let window = self.engine.base().config().min_len.max(4);
-            FrmBackend::from_dataset(self.engine.dataset(), window)
+    fn ucr(&self) -> Arc<UcrSuiteBackend> {
+        let snap = self.engine.snapshot();
+        self.baselines.ucr.at(snap.epoch(), || {
+            UcrSuiteBackend::from_dataset(snap.dataset())
         })
     }
 
-    fn ebsm(&self) -> &EbsmBackend {
-        self.baselines.ebsm.get_or_init(|| {
+    fn frm(&self) -> Arc<FrmBackend<4>> {
+        let snap = self.engine.snapshot();
+        self.baselines.frm.at(snap.epoch(), || {
+            // FRM needs window ≥ 2 × retained coefficients (D = 4 → 4).
+            let window = snap.base().config().min_len.max(4);
+            FrmBackend::from_dataset(snap.dataset(), window)
+        })
+    }
+
+    fn ebsm(&self) -> Arc<EbsmBackend> {
+        let snap = self.engine.snapshot();
+        self.baselines.ebsm.at(snap.epoch(), || {
             EbsmBackend::from_dataset(
-                self.engine.dataset(),
+                snap.dataset(),
                 onex_embedding::EbsmConfig {
-                    ref_len: self.engine.base().config().min_len.max(4),
+                    ref_len: snap.base().config().min_len.max(4),
                     ..onex_embedding::EbsmConfig::default()
                 },
             )
@@ -140,34 +177,33 @@ impl App {
         })
     }
 
-    fn spring(&self) -> &SpringBackend {
+    fn spring(&self) -> Arc<SpringBackend> {
+        let snap = self.engine.snapshot();
         self.baselines
             .spring
-            .get_or_init(|| SpringBackend::from_dataset(self.engine.dataset()))
+            .at(snap.epoch(), || SpringBackend::from_dataset(snap.dataset()))
     }
 
     /// The scale-out engine: the same dataset re-partitioned across four
     /// shards, each with its own ONEX base built in parallel on first
-    /// use. Answers are identical to the single engine's (the
-    /// conformance suite and bench E13 assert so); wall-clock drops with
-    /// the shard count.
-    fn sharded(&self) -> &ShardedEngine {
-        self.baselines.sharded.get_or_init(|| {
-            let (engine, _) = ShardedEngine::build(
-                self.engine.dataset(),
-                self.engine.base().config().clone(),
-                4,
-            )
-            .expect("server dataset is non-empty and its config valid");
+    /// use at the engine's current epoch. Answers are identical to the
+    /// single engine's (the conformance suite and bench E13 assert so);
+    /// wall-clock drops with the shard count.
+    fn sharded(&self) -> Arc<ShardedEngine> {
+        let snap = self.engine.snapshot();
+        self.baselines.sharded.at(snap.epoch(), || {
+            let (engine, _) = ShardedEngine::build(snap.dataset(), snap.base().config().clone(), 4)
+                .expect("server dataset is non-empty and its config valid");
             engine.with_options(QueryOptions::default().lengths(LengthSelection::Nearest(3)))
         })
     }
 
     /// The caching decorator over the same onex configuration
-    /// `/api/match` serves. The engine behind it is immutable for the
-    /// process lifetime, so entries can never go stale here; deployments
-    /// that mutate the engine must go through
-    /// [`CachedSearch::backend_mut`], which invalidates.
+    /// `/api/match` serves. It wraps the live engine directly, and
+    /// [`CachedSearch`] invalidates itself on every engine epoch bump —
+    /// so it needs no rebuild slot, keeps its hit/miss counters for the
+    /// process lifetime, and still never serves a pre-append answer
+    /// after an append commits.
     fn cached(&self) -> &CachedSearch<OnexBackend> {
         self.baselines.cached.get_or_init(|| {
             CachedSearch::new(self.onex_match_backend(), 256).expect("capacity is positive")
@@ -192,6 +228,7 @@ impl App {
             "/api/series" => Ok(self.series_list()),
             "/api/backends" => Ok(self.backends_list()),
             "/api/match" => self.match_api(req),
+            "/api/append" => self.append_api(req),
             "/api/seasonal" => self.seasonal_api(req),
             "/api/threshold" => self.threshold_api(req),
             "/api/monitor" => self.monitor_api(req),
@@ -348,9 +385,8 @@ impl App {
             .param("series")
             .ok_or_else(|| Response::error(400, "missing ?series="))?
             .to_owned();
-        let s = self
-            .engine
-            .dataset()
+        let ds = self.engine.dataset();
+        let s = ds
             .by_name(&series)
             .ok_or_else(|| Response::error(404, "unknown series"))?;
         let start: usize = Self::num_param(req, "start", 0)?;
@@ -488,13 +524,20 @@ impl App {
     /// entry describes the same configuration `/api/match` serves.
     fn backends_list(&self) -> Response {
         let onex = self.onex_match_backend();
-        let list: Vec<&dyn SimilaritySearch> = vec![
-            &onex,
+        let (ucr, frm, ebsm, spring, sharded) = (
             self.ucr(),
             self.frm(),
             self.ebsm(),
             self.spring(),
             self.sharded(),
+        );
+        let list: Vec<&dyn SimilaritySearch> = vec![
+            &onex,
+            &*ucr,
+            &*frm,
+            &*ebsm,
+            &*spring,
+            &*sharded,
             self.cached(),
         ];
         let items: Vec<Json> = list
@@ -522,6 +565,7 @@ impl App {
         let name = req.param("backend").unwrap_or("onex");
 
         let onex_holder;
+        let arc_holder: Arc<dyn SimilaritySearch>;
         let backend: &dyn SimilaritySearch = match name {
             "onex" => {
                 let mut backend = self.onex_match_backend();
@@ -535,11 +579,26 @@ impl App {
                 onex_holder = backend;
                 &onex_holder
             }
-            "ucrsuite" | "ucr" => self.ucr(),
-            "frm" => self.frm(),
-            "ebsm" => self.ebsm(),
-            "spring" => self.spring(),
-            "sharded" => self.sharded(),
+            "ucrsuite" | "ucr" => {
+                arc_holder = self.ucr();
+                &*arc_holder
+            }
+            "frm" => {
+                arc_holder = self.frm();
+                &*arc_holder
+            }
+            "ebsm" => {
+                arc_holder = self.ebsm();
+                &*arc_holder
+            }
+            "spring" => {
+                arc_holder = self.spring();
+                &*arc_holder
+            }
+            "sharded" => {
+                arc_holder = self.sharded();
+                &*arc_holder
+            }
             "cached" => self.cached(),
             other => {
                 return Err(Response::error(
@@ -618,6 +677,42 @@ impl App {
             ));
         }
         Ok(Response::json(Json::obj(fields).render()))
+    }
+
+    /// `/api/append?name=..&values=v1,v2,…` — live ingest over HTTP:
+    /// append one series to the engine and publish the next epoch.
+    /// Queries already in flight keep answering from the snapshot they
+    /// pinned; baseline backends rebuild from the new epoch on their
+    /// next use and the caching decorator drops its now-stale entries —
+    /// no route ever answers from a dataset the engine has outgrown. A
+    /// duplicate name is a 409 (conflict with the published collection),
+    /// and a failed append leaves every backend on the prior epoch.
+    fn append_api(&self, req: &Request) -> Result<Response, Response> {
+        let Some(name) = req.param("name") else {
+            return Err(Response::error(400, "missing ?name="));
+        };
+        let Some(values) = req.param("values") else {
+            return Err(Response::error(400, "missing ?values= (comma-separated)"));
+        };
+        let values: Vec<f64> = values
+            .split(',')
+            .map(|v| v.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| Response::error(400, &format!("invalid ?values=: {e}")))?;
+        let report = self
+            .engine
+            .append_series(TimeSeries::new(name, values))
+            .map_err(|e| Self::onex_error(&e))?;
+        Ok(Response::json(
+            Json::obj(vec![
+                ("appended", Json::s(name)),
+                ("epoch", (self.engine.epoch() as usize).into()),
+                ("series", self.engine.dataset().len().into()),
+                ("subsequences", report.subsequences.into()),
+                ("groups", report.groups.into()),
+            ])
+            .render(),
+        ))
     }
 
     fn seasonal_api(&self, req: &Request) -> Result<Response, Response> {
@@ -720,13 +815,14 @@ impl App {
             0 => self.engine.base().lengths().next().unwrap_or(8),
             l => l,
         };
-        let pane = OverviewPane::from_base(self.engine.base(), len, 24);
+        let pane = OverviewPane::from_base(&self.engine.base(), len, 24);
         Ok(Response::svg(pane.render()))
     }
 
     fn preview_svg(&self, req: &Request) -> Result<Response, Response> {
         let (series, start, len, _) = self.query_window(req)?;
-        let s = self.engine.dataset().by_name(&series).expect("validated");
+        let ds = self.engine.dataset();
+        let s = ds.by_name(&series).expect("validated");
         Ok(Response::svg(
             QueryPreview::for_series(560, s).brush(start, len).render(),
         ))
@@ -736,7 +832,7 @@ impl App {
         let (series, _, _, query) = self.query_window(req)?;
         match self.best_matches(req, &query, &series, 1)?.first() {
             Some(best) => Ok(Response::svg(
-                MultiLineChart::for_match(&query, best, self.engine.dataset()).render(),
+                MultiLineChart::for_match(&query, best, &self.engine.dataset()).render(),
             )),
             None => Err(Response::error(404, "no match found")),
         }
@@ -774,7 +870,8 @@ impl App {
         let Some(series) = req.param("series") else {
             return Err(Response::error(400, "missing ?series="));
         };
-        let Some(s) = self.engine.dataset().by_name(series) else {
+        let ds = self.engine.dataset();
+        let Some(s) = ds.by_name(series) else {
             return Err(Response::error(404, "unknown series"));
         };
         let patterns = self
@@ -1053,6 +1150,148 @@ mod tests {
         // The cached answer is the same answer.
         let strip = |b: &str| b.split("\"cache\"").next().unwrap().to_owned();
         assert_eq!(strip(&first), strip(&second));
+    }
+
+    #[test]
+    fn append_over_http_bumps_the_epoch_and_serves_the_new_series() {
+        let a = app();
+        // Clone an existing series' opening window into a new series so
+        // the verbatim match target is unambiguous.
+        let donor = String::from_utf8(
+            get(
+                &a,
+                "/api/match?series=MA-GrowthRate&start=0&len=8&k=1&include_self=true",
+            )
+            .body,
+        )
+        .unwrap();
+        assert!(donor.contains("\"distance\":0"), "{donor}");
+        let values: Vec<String> = {
+            let ds = a.engine.dataset();
+            ds.by_name("MA-GrowthRate")
+                .unwrap()
+                .subsequence(0, 8)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_string())
+                .collect()
+        };
+        let r = get(
+            &a,
+            &format!("/api/append?name=Fresh&values={}", values.join(",")),
+        );
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8(r.body.clone()));
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("\"appended\":\"Fresh\""), "{body}");
+        assert!(body.contains("\"epoch\":1"), "{body}");
+        assert!(body.contains("\"series\":51"), "{body}");
+        // The engine itself serves the new series…
+        let direct = get(
+            &a,
+            "/api/match?series=Fresh&start=0&len=8&k=2&include_self=true",
+        );
+        assert_eq!(direct.status, 200);
+        let direct = String::from_utf8(direct.body).unwrap();
+        assert!(direct.contains("\"Fresh\""), "{direct}");
+        assert!(direct.contains("\"distance\":0"), "{direct}");
+        // …and /api/series lists it.
+        let listing = String::from_utf8(get(&a, "/api/series").body).unwrap();
+        assert!(listing.contains("\"Fresh\""), "{listing}");
+    }
+
+    #[test]
+    fn baseline_backends_rebuild_after_an_append_instead_of_going_stale() {
+        let a = app();
+        // Warm every rebuildable baseline at epoch 0 — the exact setup
+        // in which the old process-lifetime OnceLocks froze forever.
+        for backend in ["ucrsuite", "frm", "ebsm", "spring", "sharded"] {
+            let r = get(
+                &a,
+                &format!("/api/match?series=MA-GrowthRate&start=4&len=8&k=1&backend={backend}"),
+            );
+            assert_eq!(r.status, 200, "{backend}");
+        }
+        let values: Vec<String> = {
+            let ds = a.engine.dataset();
+            ds.by_name("MA-GrowthRate")
+                .unwrap()
+                .subsequence(4, 8)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_string())
+                .collect()
+        };
+        let r = get(
+            &a,
+            &format!("/api/append?name=Fresh&values={}", values.join(",")),
+        );
+        assert_eq!(r.status, 200);
+        // After the append each baseline must answer over the grown
+        // dataset: querying the appended window with the donor excluded
+        // finds the fresh series verbatim. (exclude-self is onex-only,
+        // so ask for enough matches that Fresh must appear.)
+        for backend in ["ucrsuite", "frm", "sharded"] {
+            let r = get(
+                &a,
+                &format!("/api/match?series=Fresh&start=0&len=8&k=3&backend={backend}"),
+            );
+            assert_eq!(r.status, 200, "{backend}");
+            let body = String::from_utf8(r.body).unwrap();
+            assert!(body.contains("\"Fresh\""), "{backend} went stale: {body}");
+        }
+        // The trait-level epochs agree: the cached decorator tracks the
+        // live engine, the sharded rebuild starts a fresh cell at 0.
+        assert_eq!(a.engine.epoch(), 1);
+        assert_eq!(a.cached().epoch(), 1);
+    }
+
+    #[test]
+    fn cached_backend_survives_appends_without_serving_stale_answers() {
+        let a = app();
+        let target = "/api/match?series=MA-GrowthRate&start=4&len=8&k=2&backend=cached";
+        let first = String::from_utf8(get(&a, target).body).unwrap();
+        assert!(first.contains("\"misses\":1"), "{first}");
+        let warm = String::from_utf8(get(&a, target).body).unwrap();
+        assert!(warm.contains("\"hits\":1"), "{warm}");
+        // Append a verbatim clone of the queried window as a new series.
+        let values: Vec<String> = {
+            let ds = a.engine.dataset();
+            ds.by_name("MA-GrowthRate")
+                .unwrap()
+                .subsequence(4, 8)
+                .unwrap()
+                .iter()
+                .map(|v| v.to_string())
+                .collect()
+        };
+        assert_eq!(
+            get(
+                &a,
+                &format!("/api/append?name=Fresh&values={}", values.join(","))
+            )
+            .status,
+            200
+        );
+        // The same request must now be a miss (epoch bumped → entries
+        // dropped) and its answer must include the fresh verbatim clone;
+        // the traffic counters survived the invalidation.
+        let after = String::from_utf8(get(&a, target).body).unwrap();
+        assert!(after.contains("\"hits\":1"), "{after}");
+        assert!(after.contains("\"misses\":2"), "{after}");
+        assert!(after.contains("\"Fresh\""), "stale cache: {after}");
+    }
+
+    #[test]
+    fn append_rejects_bad_requests_with_typed_statuses() {
+        let a = app();
+        assert_eq!(get(&a, "/api/append").status, 400);
+        assert_eq!(get(&a, "/api/append?name=X").status, 400);
+        assert_eq!(get(&a, "/api/append?name=X&values=1,2,banana").status, 400);
+        // A duplicate name conflicts with the published collection: 409.
+        let r = get(&a, "/api/append?name=MA-GrowthRate&values=1,2,3,4,5,6");
+        assert_eq!(r.status, 409, "{:?}", String::from_utf8(r.body));
+        // None of the rejected appends published an epoch.
+        assert_eq!(a.engine.epoch(), 0);
     }
 
     #[test]

@@ -44,7 +44,7 @@ fn main() {
     );
 
     // Overview pane: the typical shapes in the collection at length 8.
-    let pane = OverviewPane::from_base(engine.base(), 8, 18);
+    let pane = OverviewPane::from_base(&engine.base(), 8, 18);
     let pane_path = artefact("overview_pane.svg", &pane.render());
     println!(
         "overview pane ({} group cells): {}\n",
@@ -53,10 +53,8 @@ fn main() {
     );
 
     // Query selection: MA, brushed to the most recent 8 years.
-    let ma = engine
-        .dataset()
-        .by_name("MA-GrowthRate")
-        .expect("MA exists");
+    let ds = engine.dataset();
+    let ma = ds.by_name("MA-GrowthRate").expect("MA exists");
     let recent_start = ma.len() - 8;
     let query = ma
         .subsequence(recent_start, 8)
@@ -74,7 +72,8 @@ fn main() {
     let (matches, stats) = engine.k_best(&query, 5, &opts).unwrap();
     println!("\nstates with the most similar recent growth trajectory:");
     for (rank, m) in matches.iter().enumerate() {
-        let window = engine.dataset().resolve(m.subseq).expect("resolves");
+        let ds = engine.dataset();
+        let window = ds.resolve(m.subseq).expect("resolves");
         println!(
             "  {}. {:<18} dtw {:.3}  {}",
             rank + 1,
@@ -97,7 +96,7 @@ fn main() {
         .resolve(best.subseq)
         .expect("resolves")
         .to_vec();
-    let lines = MultiLineChart::for_match(&query, best, engine.dataset()).render();
+    let lines = MultiLineChart::for_match(&query, best, &engine.dataset()).render();
     let lines_path = artefact("results_pane.svg", &lines);
     let radial = RadialChart::new(360, format!("MA vs {}", best.series_name))
         .add_series("MA", &query)

@@ -127,7 +127,8 @@ fn main() {
                     .and_then(|v| v.parse::<usize>().ok())
                     .unwrap_or(8),
             );
-            let Some(s) = engine.dataset().by_name(series) else {
+            let ds = engine.dataset();
+            let Some(s) = ds.by_name(series) else {
                 eprintln!("unknown series {series:?}");
                 std::process::exit(1);
             };
@@ -150,7 +151,8 @@ fn main() {
                 sparkline(&query)
             );
             for (rank, m) in matches.iter().enumerate() {
-                let vals = engine.dataset().resolve(m.subseq).expect("resolves");
+                let ds = engine.dataset();
+                let vals = ds.resolve(m.subseq).expect("resolves");
                 println!(
                     "  {}. {:<20} [{:>2}..{:>2}] dtw {:.4} norm {:.4}  {}",
                     rank + 1,

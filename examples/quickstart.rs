@@ -46,7 +46,8 @@ fn main() {
     );
 
     // 3. Query: a window cut from one series, lightly perturbed.
-    let source = engine.dataset().by_name("sine-7").expect("series exists");
+    let ds = engine.dataset();
+    let source = ds.by_name("sine-7").expect("series exists");
     let mut query: Vec<f64> = source
         .subsequence(30, 24)
         .expect("window in bounds")
@@ -59,7 +60,8 @@ fn main() {
     // 4. Best time-warped match (DTW over the compact base, not raw data).
     let (best, stats) = engine.best_match(&query, &QueryOptions::default()).unwrap();
     let best = best.expect("a match exists");
-    let matched = engine.dataset().resolve(best.subseq).expect("resolves");
+    let ds = engine.dataset();
+    let matched = ds.resolve(best.subseq).expect("resolves");
     println!("match   : {}", sparkline(matched));
     println!(
         "best match: {} window [{}..{}] at DTW {:.4}",

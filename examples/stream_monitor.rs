@@ -46,7 +46,7 @@ fn main() {
     // The exploratory side: a day-aligned ONEX base, extended per day.
     let first_day = TimeSeries::new("day-0", stream[..24].to_vec());
     let ds = Dataset::from_series(vec![first_day]).expect("non-empty");
-    let (mut engine, _) = Onex::build(ds, BaseConfig::new(1.2, 24, 24)).expect("valid config");
+    let (engine, _) = Onex::build(ds, BaseConfig::new(1.2, 24, 24)).expect("valid config");
 
     let mut found = Vec::new();
     for (t, &x) in stream.iter().enumerate() {

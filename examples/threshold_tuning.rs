@@ -81,7 +81,7 @@ fn main() {
         report.subsequences,
         report.compaction()
     );
-    let audit = engine.base().audit(engine.dataset());
+    let audit = engine.base().audit(&engine.dataset());
     println!(
         "  invariant audit: {}/{} members within the admission radius",
         audit.members_checked - audit.violations,

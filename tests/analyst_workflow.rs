@@ -51,7 +51,8 @@ fn derive_align_tune_search() {
     let (engine, report) =
         Onex::build(derived, BaseConfig::new(rec_growth.suggested * 2.0, 6, 10)).unwrap();
     assert!(report.groups > 0);
-    let ma = engine.dataset().by_name("MA-IncomeGrowth").unwrap();
+    let ds = engine.dataset();
+    let ma = ds.by_name("MA-IncomeGrowth").unwrap();
     let preview = QueryPreview::for_series(520, ma).brush(ma.len() - 8, 8);
     let query = preview.selection().to_vec();
     let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-IncomeGrowth"));
@@ -64,7 +65,8 @@ fn derive_align_tune_search() {
 
     // 5. Inspect the winner in a linked view.
     let best = &matches[0];
-    let matched = engine.dataset().resolve(best.subseq).unwrap();
+    let ds = engine.dataset();
+    let matched = ds.resolve(best.subseq).unwrap();
     let scatter = ConnectedScatter::new(300, "MA vs peer", &query, matched).with_path(&best.path);
     assert!(scatter.render().contains("<polyline"));
     assert!(scatter.diagonal_deviation().is_finite());

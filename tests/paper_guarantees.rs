@@ -88,7 +88,8 @@ fn section_3_2_best_group_bound() {
         let (m, _) = e.best_match(&query, &opts).unwrap();
         let m = m.unwrap();
         // Recompute the winning group's representative distance and radius.
-        let group = e.base().group(m.group).unwrap();
+        let base = e.base();
+        let group = base.group(m.group).unwrap();
         let d_rep = dtw(&query, group.representative(), Band::Full);
         let w = warp_multiplicity(query.len(), group.len(), Band::Full);
         let bound = dtw_upper_via_representative(d_rep, group.radius(), w);

@@ -22,7 +22,8 @@ fn matters_pipeline_end_to_end() {
     assert!(report.groups > 0);
     assert!(report.compaction() >= 1.0);
 
-    let ma = engine.dataset().by_name("MA-GrowthRate").unwrap();
+    let ds = engine.dataset();
+    let ma = ds.by_name("MA-GrowthRate").unwrap();
     let query = ma.subsequence(6, 8).unwrap().to_vec();
     let opts = QueryOptions::default().excluding_series(engine.dataset().id_of("MA-GrowthRate"));
     let (m, stats) = engine.best_match(&query, &opts).unwrap();
@@ -33,13 +34,13 @@ fn matters_pipeline_end_to_end() {
     assert!(m.path.is_valid(query.len(), m.subseq.len as usize));
 
     // Visualise: the SVG is structurally sound and mentions the match.
-    let svg = MultiLineChart::for_match(&query, &m, engine.dataset()).render();
+    let svg = MultiLineChart::for_match(&query, &m, &engine.dataset()).render();
     assert!(svg.starts_with("<svg"));
     assert!(svg.ends_with("</svg>\n"));
     assert_eq!(svg.matches("<polyline").count(), 2);
     assert!(svg.contains(&m.series_name));
 
-    let pane = OverviewPane::from_base(engine.base(), 8, 12);
+    let pane = OverviewPane::from_base(&engine.base(), 8, 12);
     assert!(!pane.is_empty());
     assert!(pane.render().contains("ONEX base overview"));
 }
@@ -49,7 +50,7 @@ fn persisted_base_answers_identically() {
     let ds = growth();
     let (engine, _) = Onex::build(ds.clone(), BaseConfig::new(1.0, 6, 10)).unwrap();
     let mut bytes = Vec::new();
-    persist::save(engine.base(), &mut bytes).unwrap();
+    persist::save(&engine.base(), &mut bytes).unwrap();
     let reloaded = persist::load(bytes.as_slice()).unwrap();
     let engine2 = Onex::from_parts(ds, reloaded).unwrap();
 
@@ -74,7 +75,7 @@ fn parallel_and_sequential_engines_agree() {
     let cfg = BaseConfig::new(1.0, 6, 10);
     let (seq_engine, _) = Onex::build(ds.clone(), cfg.clone()).unwrap();
     let (par_engine, _) = Onex::build_parallel(ds, cfg, 4).unwrap();
-    assert_eq!(seq_engine.base(), par_engine.base());
+    assert_eq!(*seq_engine.base(), *par_engine.base());
 }
 
 #[test]
@@ -106,7 +107,8 @@ fn electricity_seasonal_end_to_end() {
     // All occurrences are day-aligned because the base stride is 24.
     assert!(top.occurrences.iter().all(|o| o.start % 24 == 0));
 
-    let series = engine.dataset().by_name("household-0").unwrap();
+    let ds = engine.dataset();
+    let series = ds.by_name("household-0").unwrap();
     let svg = SeasonalView::new(800, "hh0", series.values())
         .add_engine_pattern(top)
         .render();
