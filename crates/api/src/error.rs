@@ -39,6 +39,74 @@ pub enum OnexError {
     /// HTTP terms); carried as an error so one poisoned computation
     /// cannot abort a process serving other requests.
     Internal(String),
+    /// Talking to a remote peer failed: the peer is unreachable, a frame
+    /// failed to decode, the protocol versions disagree, the connection
+    /// died mid-exchange, or a deadline passed. Distinct from
+    /// [`OnexError::Io`] because the *fault domain* differs — the local
+    /// process is healthy, a dependency is not — which is exactly the
+    /// 502-vs-500 distinction HTTP draws.
+    Network(NetworkError),
+}
+
+/// What went wrong on the wire — the typed payload of
+/// [`OnexError::Network`], so callers can distinguish "retry elsewhere"
+/// (unreachable, timeout) from "never retry" (version mismatch) without
+/// parsing prose.
+#[derive(Debug)]
+pub struct NetworkError {
+    /// The failure class.
+    pub kind: NetworkErrorKind,
+    /// Human-readable context (peer address, frame offset, ...).
+    pub detail: String,
+}
+
+impl NetworkError {
+    /// Construct a typed network failure.
+    pub fn new(kind: NetworkErrorKind, detail: impl Into<String>) -> Self {
+        NetworkError {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.label(), self.detail)
+    }
+}
+
+/// Failure classes of [`NetworkError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum NetworkErrorKind {
+    /// The peer could not be reached (connect refused/timed out, even
+    /// after the configured reconnect attempts).
+    Unreachable,
+    /// The peer was reached but a response deadline passed.
+    Timeout,
+    /// The connection closed mid-exchange (EOF inside a frame, or before
+    /// an expected reply).
+    Closed,
+    /// Bytes arrived but did not decode: bad checksum, oversized or
+    /// truncated frame, unknown message kind, malformed payload.
+    Decode,
+    /// The peer speaks a different protocol version (or is not an ONEX
+    /// peer at all). Never retried — reconnecting cannot fix it.
+    VersionMismatch,
+}
+
+impl NetworkErrorKind {
+    /// Stable human-readable label for the class.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetworkErrorKind::Unreachable => "peer unreachable",
+            NetworkErrorKind::Timeout => "network timeout",
+            NetworkErrorKind::Closed => "connection closed",
+            NetworkErrorKind::Decode => "frame decode failure",
+            NetworkErrorKind::VersionMismatch => "protocol version mismatch",
+        }
+    }
 }
 
 impl OnexError {
@@ -76,7 +144,13 @@ impl OnexError {
             OnexError::InvalidData(_) => 422,
             OnexError::Io(_) => 500,
             OnexError::Internal(_) => 500,
+            OnexError::Network(_) => 502,
         }
+    }
+
+    /// Shorthand constructor for [`OnexError::Network`].
+    pub fn network(kind: NetworkErrorKind, detail: impl Into<String>) -> Self {
+        OnexError::Network(NetworkError::new(kind, detail))
     }
 }
 
@@ -91,6 +165,7 @@ impl fmt::Display for OnexError {
             OnexError::InvalidData(msg) => write!(f, "invalid data: {msg}"),
             OnexError::Io(e) => write!(f, "i/o error: {e}"),
             OnexError::Internal(msg) => write!(f, "internal error: {msg}"),
+            OnexError::Network(e) => write!(f, "network error: {e}"),
         }
     }
 }
@@ -171,6 +246,7 @@ mod tests {
             OnexError::InvalidData(_) => 422,
             OnexError::Io(_) => 500,
             OnexError::Internal(_) => 500,
+            OnexError::Network(_) => 502,
         }
     }
 
@@ -185,6 +261,7 @@ mod tests {
             OnexError::InvalidData("d".into()),
             OnexError::Io(std::io::Error::other("io")),
             OnexError::Internal("i".into()),
+            OnexError::network(NetworkErrorKind::Unreachable, "no shard at :9999"),
         ];
         for e in &all {
             let status = e.http_status();
@@ -196,6 +273,23 @@ mod tests {
         assert_eq!(OnexError::UnknownSeries("x".into()).http_status(), 404);
         assert_eq!(OnexError::DatasetMismatch("x".into()).http_status(), 409);
         assert_eq!(OnexError::InvalidData("x".into()).http_status(), 422);
+    }
+
+    #[test]
+    fn network_errors_are_bad_gateway_not_client_faults() {
+        for kind in [
+            NetworkErrorKind::Unreachable,
+            NetworkErrorKind::Timeout,
+            NetworkErrorKind::Closed,
+            NetworkErrorKind::Decode,
+            NetworkErrorKind::VersionMismatch,
+        ] {
+            let e = OnexError::network(kind, "peer 127.0.0.1:7001");
+            assert_eq!(e.http_status(), 502, "{e}");
+            assert!(!e.is_client_error(), "{e}");
+            assert!(e.to_string().contains("network error"), "{e}");
+            assert!(e.to_string().contains(kind.label()), "{e}");
+        }
     }
 
     #[test]

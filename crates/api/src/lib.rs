@@ -40,7 +40,7 @@ mod topk;
 mod tx;
 
 pub use bound::SharedBound;
-pub use error::OnexError;
+pub use error::{NetworkError, NetworkErrorKind, OnexError};
 pub use search::{
     validate_query, BackendMatch, BackendStats, Capabilities, Metric, SearchOutcome,
     SimilaritySearch, StreamMatch, StreamingSearch,

@@ -13,8 +13,10 @@
 //! to the working directory (`e12` → `BENCH_construction.json`,
 //! subsequences/sec per index policy; `e13` → `BENCH_scaling.json`,
 //! shard speedup + agreement; `e14` → `BENCH_pruning.json`, shared-bound
-//! touched-candidate/DTW ratios + agreement) so successive runs leave a
-//! comparable performance trajectory.
+//! touched-candidate/DTW ratios + agreement; `e15` → `BENCH_ingest.json`,
+//! append/search throughput under mutation; `e16` → `BENCH_cluster.json`,
+//! cross-process gossip DTW savings + cluster agreement + dead-peer
+//! probe) so successive runs leave a comparable performance trajectory.
 
 use onex_bench::experiments;
 

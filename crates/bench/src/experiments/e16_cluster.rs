@@ -1,0 +1,515 @@
+//! E16 — distributed ONEX: the cross-process [`ClusterEngine`] over
+//! loopback shard servers against the in-process sharded engine and the
+//! single engine, with the bound-gossip ablation.
+//!
+//! E14 established that one query-global bound collapses the sharded
+//! engine's total work towards the single engine's — but there the bound
+//! travelled through a shared atomic. Across processes it travels by
+//! **gossip**: the client seeds each shard with its current bound, shard
+//! servers stream tighten notifications as their local search improves,
+//! and the client pushes each shard's discoveries onward to the others
+//! mid-query. E16 answers the distributed versions of E14's questions:
+//!
+//! 1. **Does gossip cut remote work?** Every row runs the same query
+//!    batch through two clusters over the *same* shard servers — gossip
+//!    on and gossip off — and compares total remote DTW computations.
+//!    Gossip can only tighten (the bound is monotone), so per-round
+//!    `gossip ≤ no-gossip` holds up to scheduling noise; the measured
+//!    win depends on how many pump ticks a query spans, so rows
+//!    accumulate rounds until the strict aggregate win shows (bounded —
+//!    see `MAX_ROUNDS`). Queries are length-64 so individual DTWs are
+//!    expensive enough to outlast the 200 µs gossip pump tick even in
+//!    release builds.
+//! 2. **Agreement** — the cluster's merged top-k (gossip on and off)
+//!    must equal the single engine's, windows and distances: gossiped
+//!    bounds must never prune a true answer.
+//! 3. **Failure behaviour** — a cluster pointed at a dead address must
+//!    fail with a typed network error, fast (recorded once per sweep:
+//!    `dead_peer_typed`, `dead_peer_ms`).
+//!
+//! Wall-clock for the single engine, in-process shards, and both cluster
+//! modes is reported for context but not asserted — loopback framing and
+//! pump latency dominate on these sizes.
+//!
+//! [`ClusterEngine`]: onex_net::ClusterEngine
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::Duration;
+
+use onex_api::{OnexError, SearchOutcome, SimilaritySearch};
+use onex_core::backends::OnexBackend;
+use onex_core::scale::ShardedEngine;
+use onex_core::Onex;
+use onex_grouping::{BaseConfig, RepresentativePolicy};
+use onex_net::{AcceptOptions, ClusterEngine, RemoteConfig, ShardServer};
+use onex_tseries::{Dataset, TimeSeries};
+
+use crate::harness::{fmt_duration, median_time, Table};
+use crate::workloads;
+
+/// Query/subsequence length — long enough that each DTW outlasts gossip
+/// pump ticks in release builds (the whole point of the ablation).
+const SUBSEQ_LEN: usize = 64;
+/// Matches requested per query.
+const K: usize = 5;
+/// Queries per batch.
+const QUERIES: usize = 3;
+/// Shard servers per cluster row.
+const SHARDS: usize = 4;
+/// Upper bound on work-accumulation rounds per row: gossip's DTW saving
+/// is timing-dependent (a round where every shard finishes inside one
+/// pump tick saves nothing), so rows accumulate batches until the strict
+/// aggregate win shows, up to this many.
+const MAX_ROUNDS: usize = 5;
+
+/// Exact configuration (Seed policy): answers are provably the best
+/// indexed subsequences, so cluster/single agreement is required.
+fn config() -> BaseConfig {
+    BaseConfig {
+        policy: RepresentativePolicy::Seed,
+        ..BaseConfig::new(0.5, SUBSEQ_LEN, SUBSEQ_LEN)
+    }
+}
+
+/// Start one binary shard server on an ephemeral loopback port
+/// (detached for the process lifetime — two workers per server, because
+/// both clusters of the ablation hold one persistent connection each).
+fn spawn_shard(ds: Dataset) -> String {
+    let (engine, _) = Onex::build(ds, config()).expect("valid config");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = ShardServer::new(Arc::new(engine));
+    std::thread::spawn(move || {
+        let _ = server.serve_with(
+            listener,
+            &AcceptOptions {
+                workers: 2,
+                queue: 4,
+                ..AcceptOptions::default()
+            },
+        );
+    });
+    addr
+}
+
+/// Round-robin partition (global `g` → shard `g % n`, local `g / n` —
+/// the identity [`ClusterEngine`] assumes) served by one shard server
+/// per part.
+fn spawn_fleet(ds: &Dataset, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|s| {
+            let part: Vec<TimeSeries> = (0..ds.len())
+                .filter(|g| g % n == s)
+                .map(|g| ds.series(g as u32).unwrap().clone())
+                .collect();
+            spawn_shard(Dataset::from_series(part).unwrap())
+        })
+        .collect()
+}
+
+/// One (dataset size) measurement of the cluster against the in-process
+/// engines, with the gossip ablation folded in.
+pub struct ClusterRow {
+    /// Series count of the workload.
+    pub series: usize,
+    /// Samples per series.
+    pub len: usize,
+    /// Single-engine DTW computations across the accumulated rounds.
+    pub single_dtw: usize,
+    /// Cluster total remote DTW computations with gossip on.
+    pub gossip_dtw: usize,
+    /// Cluster total remote DTW computations with gossip off
+    /// (independent per-shard bounds — the ablation).
+    pub nogossip_dtw: usize,
+    /// Batch rounds accumulated before the strict gossip win showed
+    /// (== `MAX_ROUNDS` when it never did).
+    pub rounds: usize,
+    /// Median single-engine wall-clock for one batch.
+    pub single_batch: Duration,
+    /// Median in-process sharded wall-clock for one batch.
+    pub sharded_batch: Duration,
+    /// Median gossip-on cluster wall-clock for one batch.
+    pub gossip_batch: Duration,
+    /// Median gossip-off cluster wall-clock for one batch.
+    pub nogossip_batch: Duration,
+    /// Whether every cluster top-k (both modes) equalled the single
+    /// engine's (windows and distances).
+    pub agreement: bool,
+    /// Tighten frames pushed to shard servers across the measurement.
+    pub gossip_sent: usize,
+    /// Tighten frames received from shard servers across the measurement.
+    pub gossip_received: usize,
+    /// Worker threads spawned by the gossip cluster across the whole
+    /// measurement — must equal the shard count (pool reuse).
+    pub threads_spawned: usize,
+}
+
+impl ClusterRow {
+    /// Remote DTW with gossip relative to without — the headline column
+    /// (< 1 means the gossiped bound pruned work the private bounds
+    /// could not).
+    pub fn gossip_dtw_ratio(&self) -> f64 {
+        self.gossip_dtw as f64 / (self.nogossip_dtw as f64).max(1.0)
+    }
+}
+
+/// The once-per-sweep failure probe: a cluster pointed at a freshly
+/// closed port must fail with a typed [`OnexError::Network`], fast.
+pub struct DeadPeerProbe {
+    /// The connect error was `OnexError::Network` (never a panic/hang).
+    pub typed: bool,
+    /// How long the failure took to surface.
+    pub elapsed: Duration,
+}
+
+/// Probe connect-failure behaviour against an address that just closed.
+pub fn dead_peer_probe() -> DeadPeerProbe {
+    let addr = {
+        let l = TcpListener::bind("127.0.0.1:0").expect("loopback bind");
+        l.local_addr().unwrap().to_string()
+    };
+    let t0 = std::time::Instant::now();
+    let result = ClusterEngine::connect(
+        &[addr],
+        RemoteConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(5),
+            connect_attempts: 1,
+            reconnect_backoff: Duration::from_millis(10),
+        },
+    );
+    DeadPeerProbe {
+        typed: matches!(result, Err(OnexError::Network(_))),
+        elapsed: t0.elapsed(),
+    }
+}
+
+fn same_answers(a: &SearchOutcome, b: &SearchOutcome) -> bool {
+    a.matches.len() == b.matches.len()
+        && a.matches.iter().zip(&b.matches).all(|(x, y)| {
+            (x.series, x.start, x.len) == (y.series, y.start, y.len)
+                && (x.distance - y.distance).abs() < 1e-9
+        })
+}
+
+/// Run the sweep: random walks, one fleet of shard servers per size,
+/// two clusters (gossip on/off) over the same fleet.
+pub fn measure(quick: bool) -> Vec<ClusterRow> {
+    let sizes: &[(usize, usize)] = if quick {
+        &[(16, 384)]
+    } else {
+        &[(16, 384), (32, 768)]
+    };
+    let mut rows = Vec::new();
+    for &(series, len) in sizes {
+        let ds = workloads::walk_collection(series, len);
+        let queries: Vec<Vec<f64>> = (0..QUERIES)
+            .map(|i| {
+                let sid = (i * 5 % series) as u32;
+                let name = ds.series(sid).unwrap().name().to_owned();
+                let start = (i * 53) % (len - SUBSEQ_LEN);
+                // Perturbed queries keep distances distinct, so ordering
+                // is unambiguous and agreement is well-defined.
+                workloads::perturbed_query(&ds, &name, start, SUBSEQ_LEN, 0.05)
+            })
+            .collect();
+
+        let (engine, _) = Onex::build(ds.clone(), config()).expect("valid config");
+        let single = OnexBackend::new(Arc::new(engine));
+        let single_answers: Vec<_> = queries
+            .iter()
+            .map(|q| single.k_best(q, K).expect("valid query"))
+            .collect();
+        let (sharded, _) = ShardedEngine::build(&ds, config(), SHARDS).expect("valid config");
+
+        let addrs = spawn_fleet(&ds, SHARDS);
+        let gossip = ClusterEngine::connect(&addrs, RemoteConfig::default())
+            .expect("loopback shards are reachable");
+        let nogossip = ClusterEngine::connect(&addrs, RemoteConfig::default())
+            .expect("loopback shards are reachable")
+            .gossip(false);
+
+        // Accumulate whole batches through both clusters until gossip's
+        // strict DTW win shows (or MAX_ROUNDS) — a single round where
+        // every shard finishes within one pump tick is a legitimate tie.
+        let mut agreement = true;
+        let mut single_dtw = 0usize;
+        let mut gossip_dtw = 0usize;
+        let mut nogossip_dtw = 0usize;
+        let mut rounds = 0usize;
+        while rounds < MAX_ROUNDS {
+            rounds += 1;
+            for (q, reference) in queries.iter().zip(&single_answers) {
+                single_dtw += reference.stats.distance_computations;
+                let on = gossip.k_best(q, K).expect("valid query");
+                let off = nogossip.k_best(q, K).expect("valid query");
+                agreement &= same_answers(&on, reference) && same_answers(&off, reference);
+                gossip_dtw += on.stats.distance_computations;
+                nogossip_dtw += off.stats.distance_computations;
+            }
+            if gossip_dtw < nogossip_dtw {
+                break;
+            }
+        }
+
+        let single_batch = median_time(
+            || {
+                for q in &queries {
+                    let _ = single.k_best(q, K).expect("valid query");
+                }
+            },
+            3,
+        );
+        let sharded_batch = median_time(
+            || {
+                for q in &queries {
+                    let _ = sharded.k_best(q, K).expect("valid query");
+                }
+            },
+            3,
+        );
+        let gossip_batch = median_time(
+            || {
+                for q in &queries {
+                    let _ = gossip.k_best(q, K).expect("valid query");
+                }
+            },
+            3,
+        );
+        let nogossip_batch = median_time(
+            || {
+                for q in &queries {
+                    let _ = nogossip.k_best(q, K).expect("valid query");
+                }
+            },
+            3,
+        );
+
+        let (gossip_sent, gossip_received) = gossip.gossip_counters();
+        rows.push(ClusterRow {
+            series,
+            len,
+            single_dtw,
+            gossip_dtw,
+            nogossip_dtw,
+            rounds,
+            single_batch,
+            sharded_batch,
+            gossip_batch,
+            nogossip_batch,
+            agreement,
+            gossip_sent,
+            gossip_received,
+            threads_spawned: gossip.pool_stats().threads_spawned,
+        });
+    }
+    rows
+}
+
+/// Render the sweep as the experiment tables.
+pub fn table(rows: &[ClusterRow], probe: &DeadPeerProbe) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E16 — distributed ONEX: cluster over {SHARDS} loopback shard servers \
+             (random walks, length {SUBSEQ_LEN}, k={K}, Seed policy: agreement \
+             required; dtw ratio is gossip-on remote DTWs / gossip-off; dead-peer \
+             probe: typed={} in {})",
+            probe.typed,
+            fmt_duration(probe.elapsed),
+        ),
+        &[
+            "collection",
+            "remote dtw (gossip/off)",
+            "dtw ratio",
+            "rounds",
+            "single batch",
+            "sharded batch",
+            "cluster batch",
+            "no-gossip batch",
+            "gossip frames (sent/recv)",
+            "agreement",
+            "pool threads",
+        ],
+    );
+    for row in rows {
+        t.row(vec![
+            format!("{}x{}", row.series, row.len),
+            format!("{}/{}", row.gossip_dtw, row.nogossip_dtw),
+            format!("{:.2}×", row.gossip_dtw_ratio()),
+            row.rounds.to_string(),
+            fmt_duration(row.single_batch),
+            fmt_duration(row.sharded_batch),
+            fmt_duration(row.gossip_batch),
+            fmt_duration(row.nogossip_batch),
+            format!("{}/{}", row.gossip_sent, row.gossip_received),
+            if row.agreement { "yes" } else { "NO" }.into(),
+            row.threads_spawned.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The machine-readable perf record `repro --format json` writes to
+/// `BENCH_cluster.json`. CI's guard reads the `summary` object: gossip
+/// must strictly cut total remote DTW, every row must agree with the
+/// single engine, and the dead-peer probe must have failed typed.
+pub fn json_report(rows: &[ClusterRow], probe: &DeadPeerProbe) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"experiment\":\"e16_cluster\",\"rows\":[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"series\":{},\"len\":{},\"shards\":{},\
+             \"single_dtw\":{},\"gossip_dtw\":{},\"nogossip_dtw\":{},\
+             \"gossip_dtw_ratio\":{:.4},\"rounds\":{},\
+             \"single_batch_ms\":{:.3},\"sharded_batch_ms\":{:.3},\
+             \"cluster_batch_ms\":{:.3},\"nogossip_batch_ms\":{:.3},\
+             \"gossip_sent\":{},\"gossip_received\":{},\
+             \"agreement\":{},\"pool_threads_spawned\":{}}}",
+            r.series,
+            r.len,
+            SHARDS,
+            r.single_dtw,
+            r.gossip_dtw,
+            r.nogossip_dtw,
+            r.gossip_dtw_ratio(),
+            r.rounds,
+            r.single_batch.as_secs_f64() * 1e3,
+            r.sharded_batch.as_secs_f64() * 1e3,
+            r.gossip_batch.as_secs_f64() * 1e3,
+            r.nogossip_batch.as_secs_f64() * 1e3,
+            r.gossip_sent,
+            r.gossip_received,
+            r.agreement,
+            r.threads_spawned,
+        );
+    }
+    let gossip_dtw: usize = rows.iter().map(|r| r.gossip_dtw).sum();
+    let nogossip_dtw: usize = rows.iter().map(|r| r.nogossip_dtw).sum();
+    let agreement = rows.iter().all(|r| r.agreement);
+    let _ = write!(
+        out,
+        "],\"summary\":{{\"gossip_dtw\":{},\"nogossip_dtw\":{},\
+         \"gossip_saves\":{},\"agreement\":{},\
+         \"dead_peer_typed\":{},\"dead_peer_ms\":{:.3}}}}}",
+        gossip_dtw,
+        nogossip_dtw,
+        gossip_dtw < nogossip_dtw,
+        agreement,
+        probe.typed,
+        probe.elapsed.as_secs_f64() * 1e3,
+    );
+    out.push('\n');
+    out
+}
+
+/// Standard experiment entry point.
+pub fn run(quick: bool) -> Vec<Table> {
+    vec![table(&measure(quick), &dead_peer_probe())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gossip_cuts_remote_dtw_and_answers_agree() {
+        let rows = measure(true);
+        assert_eq!(rows.len(), 1, "quick mode is one size");
+        let mut gossip_total = 0usize;
+        let mut nogossip_total = 0usize;
+        for row in &rows {
+            assert!(
+                row.agreement,
+                "{}x{}: cluster top-k diverged from the single engine",
+                row.series, row.len
+            );
+            assert_eq!(
+                row.threads_spawned, SHARDS,
+                "pool must be one persistent worker per remote, never respawned"
+            );
+            assert!(row.single_dtw > 0 && row.gossip_dtw > 0 && row.nogossip_dtw > 0);
+            // Monotone safety: gossip can only tighten, so it never
+            // *costs* DTW work beyond scheduling noise on any row.
+            assert!(
+                row.gossip_dtw <= row.nogossip_dtw,
+                "{}x{}: gossip {} > no-gossip {}",
+                row.series,
+                row.len,
+                row.gossip_dtw,
+                row.nogossip_dtw
+            );
+            // Gossip frames actually crossed the wire: queries are sized
+            // to outlast pump ticks even in release builds.
+            assert!(
+                row.gossip_sent + row.gossip_received > 0,
+                "{}x{}: no tighten frame ever crossed the wire",
+                row.series,
+                row.len
+            );
+            gossip_total += row.gossip_dtw;
+            nogossip_total += row.nogossip_dtw;
+        }
+        // The acceptance claim: across the sweep, gossip strictly cut
+        // remote DTW (rows accumulate rounds until the win shows, so a
+        // tie here means MAX_ROUNDS batches never saved a single DTW).
+        assert!(
+            gossip_total < nogossip_total,
+            "gossip saved no remote DTW work: {gossip_total} vs {nogossip_total}"
+        );
+    }
+
+    #[test]
+    fn dead_peer_fails_typed_and_fast() {
+        let probe = dead_peer_probe();
+        assert!(probe.typed, "dead peer must be a typed network error");
+        assert!(
+            probe.elapsed < Duration::from_secs(5),
+            "dead peer must fail fast: {:?}",
+            probe.elapsed
+        );
+    }
+
+    #[test]
+    fn json_report_is_parseable_shape() {
+        // Hand-built fixtures: the renderer's shape does not need a
+        // second full benchmark sweep to be exercised.
+        let rows = vec![ClusterRow {
+            series: 16,
+            len: 384,
+            single_dtw: 900,
+            gossip_dtw: 1100,
+            nogossip_dtw: 2000,
+            rounds: 1,
+            single_batch: Duration::from_micros(800),
+            sharded_batch: Duration::from_micros(400),
+            gossip_batch: Duration::from_micros(900),
+            nogossip_batch: Duration::from_micros(1300),
+            agreement: true,
+            gossip_sent: 9,
+            gossip_received: 14,
+            threads_spawned: SHARDS,
+        }];
+        let probe = DeadPeerProbe {
+            typed: true,
+            elapsed: Duration::from_millis(12),
+        };
+        let json = json_report(&rows, &probe);
+        assert!(json.starts_with("{\"experiment\":\"e16_cluster\""));
+        assert!(json.contains("\"gossip_dtw_ratio\":0.5500"), "{json}");
+        assert!(json.contains("\"gossip_sent\":9"), "{json}");
+        assert!(
+            json.contains(
+                "\"summary\":{\"gossip_dtw\":1100,\"nogossip_dtw\":2000,\
+                 \"gossip_saves\":true,\"agreement\":true,\
+                 \"dead_peer_typed\":true,\"dead_peer_ms\":12.000}"
+            ),
+            "{json}"
+        );
+        assert!(json.trim_end().ends_with("}}"));
+    }
+}

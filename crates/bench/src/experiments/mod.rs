@@ -8,6 +8,7 @@ pub mod e12_construction;
 pub mod e13_scaling;
 pub mod e14_pruning;
 pub mod e15_ingest;
+pub mod e16_cluster;
 pub mod e1_pipeline;
 pub mod e2_similarity;
 pub mod e3_linked_views;
@@ -21,8 +22,9 @@ pub mod e9_ablation;
 use crate::harness::Table;
 
 /// Experiment ids accepted by the `repro` binary.
-pub const ALL: [&str; 15] = [
+pub const ALL: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// What one experiment run produced: the printable tables, plus an
@@ -89,6 +91,17 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
             Some(ExperimentOutput {
                 tables: vec![e15_ingest::table(&rows)],
                 record: Some(("BENCH_ingest.json", e15_ingest::json_report(&rows))),
+            })
+        }
+        "e16" => {
+            let rows = e16_cluster::measure(quick);
+            let probe = e16_cluster::dead_peer_probe();
+            Some(ExperimentOutput {
+                tables: vec![e16_cluster::table(&rows, &probe)],
+                record: Some((
+                    "BENCH_cluster.json",
+                    e16_cluster::json_report(&rows, &probe),
+                )),
             })
         }
         _ => None,

@@ -104,7 +104,7 @@ impl OnexBackend {
 /// Map the engine's native matches + work counters into the trait's
 /// [`SearchOutcome`] — shared by [`OnexBackend`] and the sharded engine's
 /// pool workers, so both report identical counters for identical work.
-pub(crate) fn outcome(matches: Vec<crate::Match>, stats: crate::QueryStats) -> SearchOutcome {
+pub fn outcome(matches: Vec<crate::Match>, stats: crate::QueryStats) -> SearchOutcome {
     SearchOutcome {
         matches: matches
             .into_iter()

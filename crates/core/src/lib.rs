@@ -47,5 +47,6 @@ pub use onex_grouping::{BuildReport, IndexPolicy, IndexWork};
 pub use options::{LengthSelection, QueryOptions, ScanBreadth};
 pub use result::{Match, SeasonalPattern};
 pub use scale::{CacheStats, CachedSearch, PoolStats, ShardedBuildReport, ShardedEngine};
+pub use search::normalize as normalized_distance;
 pub use seasonal::SeasonalOptions;
 pub use stats::QueryStats;

@@ -91,7 +91,7 @@ impl Ord for HeapEntry {
 /// Cross-length ranking value: per-sample RMS-style normalisation, the
 /// query-side counterpart of `BaseConfig::length_normalized`.
 #[inline]
-pub(crate) fn normalize(distance: f64, query_len: usize, candidate_len: usize) -> f64 {
+pub fn normalize(distance: f64, query_len: usize, candidate_len: usize) -> f64 {
     distance / (query_len.max(candidate_len) as f64).sqrt()
 }
 

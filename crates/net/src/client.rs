@@ -1,0 +1,393 @@
+//! [`RemoteBackend`]: a [`SimilaritySearch`] client for one shard server.
+//!
+//! The design goal is blunt: **a dead peer costs a typed error, never a
+//! panic and never a hang.** Every connect carries a timeout and a
+//! bounded retry budget; every request carries an overall deadline; every
+//! transport or decode failure drops the connection (the next request
+//! reconnects from scratch) and surfaces as [`OnexError::Network`].
+//!
+//! During a query the client is the other half of the gossip pump: it
+//! seeds the request with its current bound, forwards tightenings that
+//! arrive from the server into the query's [`SharedBound`] (where the
+//! cluster's other shards observe them), and pushes tightenings the
+//! other shards produced back to this server mid-flight.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use onex_api::{
+    Capabilities, Epoch, Metric, NetworkErrorKind, OnexError, SearchOutcome, SharedBound,
+    SimilaritySearch,
+};
+use onex_core::QueryOptions;
+use parking_lot::Mutex;
+
+use crate::frame::{io_err, read_hello, write_frame, write_hello, FrameReader, Poll};
+use crate::proto::{error_from, Message};
+
+/// Pump granularity while waiting on a reply: the socket read timeout
+/// during a query, i.e. how stale outbound gossip can get.
+const PUMP_TICK: Duration = Duration::from_micros(200);
+
+/// Client-side knobs. The defaults suit a LAN: fail fast on connect,
+/// allow long queries.
+#[derive(Debug, Clone)]
+pub struct RemoteConfig {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Overall deadline for one request (query/info/append), measured
+    /// from send to reply. Passing it is a typed
+    /// [`NetworkErrorKind::Timeout`].
+    pub read_timeout: Duration,
+    /// Connection attempts per request (the first plus reconnects).
+    pub connect_attempts: u32,
+    /// Sleep after a failed attempt; doubles per attempt.
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        RemoteConfig {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_secs(30),
+            connect_attempts: 3,
+            reconnect_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What a shard reported about itself (the `Info` reply).
+#[derive(Debug, Clone)]
+pub struct RemoteInfo {
+    /// The hosted backend's name.
+    pub name: String,
+    /// The hosted backend's capabilities.
+    pub caps: Capabilities,
+    /// Series count at the time of the request.
+    pub series: u64,
+    /// Engine epoch at the time of the request.
+    pub epoch: Epoch,
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+/// A [`SimilaritySearch`] backend living in another process, reached
+/// over the checksummed binary protocol.
+pub struct RemoteBackend {
+    addr: String,
+    config: RemoteConfig,
+    opts: QueryOptions,
+    conn: Mutex<Option<Conn>>,
+    info: Mutex<Option<RemoteInfo>>,
+    last_epoch: AtomicU64,
+    tightenings_sent: AtomicUsize,
+    tightenings_received: AtomicUsize,
+}
+
+impl RemoteBackend {
+    /// A client for the shard at `addr` (e.g. `"127.0.0.1:7401"`). No
+    /// connection is made yet — the first request connects lazily.
+    pub fn new(addr: impl Into<String>, config: RemoteConfig) -> Self {
+        RemoteBackend {
+            addr: addr.into(),
+            config,
+            opts: QueryOptions::default(),
+            conn: Mutex::new(None),
+            info: Mutex::new(None),
+            last_epoch: AtomicU64::new(0),
+            tightenings_sent: AtomicUsize::new(0),
+            tightenings_received: AtomicUsize::new(0),
+        }
+    }
+
+    /// Builder-style query options sent with every query.
+    pub fn with_options(mut self, opts: QueryOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The peer address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// `(sent, received)` gossip tighten-frame counters, cumulative over
+    /// the client's lifetime.
+    pub fn gossip_counters(&self) -> (usize, usize) {
+        (
+            self.tightenings_sent.load(Ordering::Relaxed),
+            self.tightenings_received.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Dial with per-attempt timeout and bounded, backed-off retries.
+    /// A protocol version mismatch aborts immediately — retrying cannot
+    /// change what the peer speaks.
+    fn dial(&self) -> Result<Conn, OnexError> {
+        let addrs: Vec<_> = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| {
+                OnexError::network(
+                    NetworkErrorKind::Unreachable,
+                    format!("cannot resolve {}: {e}", self.addr),
+                )
+            })?
+            .collect();
+        let Some(target) = addrs.first().copied() else {
+            return Err(OnexError::network(
+                NetworkErrorKind::Unreachable,
+                format!("{} resolves to no address", self.addr),
+            ));
+        };
+        let attempts = self.config.connect_attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.config.reconnect_backoff * (1 << (attempt - 1).min(6)));
+            }
+            match TcpStream::connect_timeout(&target, self.config.connect_timeout) {
+                Ok(mut stream) => {
+                    let _ = stream.set_nodelay(true);
+                    stream
+                        .set_read_timeout(Some(self.config.connect_timeout))
+                        .map_err(|e| io_err("configuring socket", &e))?;
+                    write_hello(&mut stream)?;
+                    // VersionMismatch propagates without another attempt.
+                    read_hello(&mut stream)?;
+                    return Ok(Conn {
+                        stream,
+                        reader: FrameReader::new(),
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        let detail = match last {
+            Some(e) => format!("{} after {attempts} attempt(s): {e}", self.addr),
+            None => format!("{} after {attempts} attempt(s)", self.addr),
+        };
+        Err(OnexError::network(NetworkErrorKind::Unreachable, detail))
+    }
+
+    /// Run `f` against the (lazily established) connection. Any error
+    /// discards the connection so the next request starts clean — after
+    /// a failure mid-exchange the stream position is untrustworthy.
+    fn with_conn<T>(
+        &self,
+        f: impl FnOnce(&mut Conn) -> Result<T, OnexError>,
+    ) -> Result<T, OnexError> {
+        let mut guard = self.conn.lock();
+        if guard.is_none() {
+            *guard = Some(self.dial()?);
+        }
+        let conn = guard.as_mut().expect("connection just established");
+        let result = f(conn);
+        if result.is_err() {
+            *guard = None;
+        }
+        result
+    }
+
+    fn send(conn: &mut Conn, msg: &Message) -> Result<(), OnexError> {
+        let (kind, payload) = msg.encode();
+        write_frame(&mut conn.stream, kind, &payload)
+    }
+
+    /// Await a reply while gossiping. `bound` is both directions of the
+    /// pump: server tightens flow into it, tightenings observed on it
+    /// (from sibling shards) flow out. Pass a fresh bound for
+    /// request/reply exchanges with no gossip.
+    fn pump_until_reply(
+        &self,
+        conn: &mut Conn,
+        bound: &SharedBound,
+        mut last_pushed: f64,
+    ) -> Result<Message, OnexError> {
+        let deadline = Instant::now() + self.config.read_timeout;
+        conn.stream
+            .set_read_timeout(Some(PUMP_TICK))
+            .map_err(|e| io_err("configuring socket", &e))?;
+        loop {
+            let current = bound.get();
+            if current < last_pushed {
+                Self::send(conn, &Message::Tighten { bound: current })?;
+                self.tightenings_sent.fetch_add(1, Ordering::Relaxed);
+                last_pushed = current;
+            }
+            match conn.reader.poll_frame(&mut conn.stream)? {
+                Poll::TimedOut => {
+                    if Instant::now() >= deadline {
+                        return Err(OnexError::network(
+                            NetworkErrorKind::Timeout,
+                            format!(
+                                "no reply from {} within {:?}",
+                                self.addr, self.config.read_timeout
+                            ),
+                        ));
+                    }
+                }
+                Poll::Closed => {
+                    return Err(OnexError::network(
+                        NetworkErrorKind::Closed,
+                        format!("{} closed the connection before replying", self.addr),
+                    ))
+                }
+                Poll::Frame(kind, payload) => match Message::decode(kind, &payload)? {
+                    Message::Tighten { bound: b } => {
+                        bound.tighten(b);
+                        self.tightenings_received.fetch_add(1, Ordering::Relaxed);
+                        // The server already knows this value — never
+                        // echo its own discovery back at it.
+                        last_pushed = last_pushed.min(b);
+                    }
+                    Message::ErrorReply { code, detail } => return Err(error_from(code, detail)),
+                    reply => return Ok(reply),
+                },
+            }
+        }
+    }
+
+    /// The bounded query — the cluster fan-out entry point. Seeds the
+    /// request with `bound`'s current value, gossips both ways while the
+    /// shard works, and returns the shard's answer plus the epoch it was
+    /// computed against.
+    pub fn k_best_bounded(
+        &self,
+        query: &[f64],
+        k: usize,
+        bound: &SharedBound,
+    ) -> Result<(SearchOutcome, Epoch), OnexError> {
+        self.k_best_bounded_with(query, k, &self.opts.clone(), bound)
+    }
+
+    /// [`RemoteBackend::k_best_bounded`] with explicit per-call options —
+    /// the cluster fan-out localises option series ids per shard, so the
+    /// client's default option set cannot be used there.
+    pub fn k_best_bounded_with(
+        &self,
+        query: &[f64],
+        k: usize,
+        opts: &QueryOptions,
+        bound: &SharedBound,
+    ) -> Result<(SearchOutcome, Epoch), OnexError> {
+        onex_api::validate_query(query, k)?;
+        self.with_conn(|conn| {
+            let seed = bound.get();
+            Self::send(
+                conn,
+                &Message::Query {
+                    k: k as u32,
+                    seed,
+                    opts: opts.clone(),
+                    query: query.to_vec(),
+                },
+            )?;
+            match self.pump_until_reply(conn, bound, seed)? {
+                Message::Answer {
+                    epoch,
+                    matches,
+                    stats,
+                } => {
+                    self.last_epoch.store(epoch, Ordering::Relaxed);
+                    Ok((SearchOutcome { matches, stats }, epoch))
+                }
+                other => Err(OnexError::network(
+                    NetworkErrorKind::Decode,
+                    format!("expected Answer, got {other:?}"),
+                )),
+            }
+        })
+    }
+
+    /// Ask the shard to describe itself; caches the reply for
+    /// [`SimilaritySearch::capabilities`].
+    pub fn info(&self) -> Result<RemoteInfo, OnexError> {
+        let info = self.with_conn(|conn| {
+            Self::send(conn, &Message::InfoRequest)?;
+            match self.pump_until_reply(conn, &SharedBound::new(), f64::INFINITY)? {
+                Message::Info {
+                    name,
+                    caps,
+                    series,
+                    epoch,
+                } => Ok(RemoteInfo {
+                    name,
+                    caps,
+                    series,
+                    epoch,
+                }),
+                other => Err(OnexError::network(
+                    NetworkErrorKind::Decode,
+                    format!("expected Info, got {other:?}"),
+                )),
+            }
+        })?;
+        self.last_epoch.store(info.epoch, Ordering::Relaxed);
+        *self.info.lock() = Some(info.clone());
+        Ok(info)
+    }
+
+    /// Append one series to the remote engine; returns `(epoch, series
+    /// count)` after the append.
+    pub fn append(&self, name: &str, values: Vec<f64>) -> Result<(Epoch, u64), OnexError> {
+        self.with_conn(|conn| {
+            Self::send(
+                conn,
+                &Message::Append {
+                    name: name.to_string(),
+                    values,
+                },
+            )?;
+            match self.pump_until_reply(conn, &SharedBound::new(), f64::INFINITY)? {
+                Message::Appended { epoch, series } => {
+                    self.last_epoch.store(epoch, Ordering::Relaxed);
+                    Ok((epoch, series))
+                }
+                other => Err(OnexError::network(
+                    NetworkErrorKind::Decode,
+                    format!("expected Appended, got {other:?}"),
+                )),
+            }
+        })
+    }
+}
+
+impl SimilaritySearch for RemoteBackend {
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+
+    /// The shard's own capabilities when an `Info` exchange has
+    /// succeeded; a conservative default (inexact raw-DTW) when the peer
+    /// has never been reached — this accessor cannot fail by contract.
+    fn capabilities(&self) -> Capabilities {
+        if self.info.lock().is_none() {
+            let _ = self.info();
+        }
+        if let Some(info) = self.info.lock().as_ref() {
+            return info.caps;
+        }
+        Capabilities {
+            metric: Metric::RawDtw,
+            exact: false,
+            multi_length: false,
+            streaming: false,
+            one_match_per_series: false,
+            cached: false,
+        }
+    }
+
+    fn k_best(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
+        let bound = SharedBound::new();
+        self.k_best_bounded(query, k, &bound).map(|(out, _)| out)
+    }
+
+    fn epoch(&self) -> Epoch {
+        self.last_epoch.load(Ordering::Relaxed)
+    }
+}

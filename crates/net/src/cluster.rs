@@ -1,0 +1,330 @@
+//! [`ClusterEngine`]: N remote shards composed behind one
+//! [`SimilaritySearch`] — the cross-process sibling of
+//! `onex_core::ShardedEngine`, built from the same three pieces: a
+//! fan-out over a persistent worker pool, one fresh query-global
+//! [`SharedBound`], and a `BestK` merge under the length-normalised
+//! ranking the single engine uses.
+//!
+//! The difference is where the bound lives. In-process, every shard
+//! prunes against the same atomic. Across processes the atomic cannot be
+//! shared, so each [`RemoteBackend`] *gossips*: tightenings a shard
+//! discovers stream back to this client, land in the query's shared
+//! bound, and the other shards' in-flight pumps push them onward. The
+//! bound stays monotone end to end, so gossip can only ever prune
+//! candidates that a tighter local bound would also have pruned — it
+//! never costs an answer.
+//!
+//! ## Identity
+//!
+//! The cluster assumes the collection was partitioned **round-robin**:
+//! global series `g` lives on shard `g % N` as local id `g / N` — the
+//! exact partition `ShardedEngine` applies in-process (and what the
+//! `onex_server --shard-serve` operator docs prescribe). Global ids are
+//! reconstructed as `local * N + shard`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use onex_api::{
+    validate_query, BackendMatch, BackendStats, BestK, Capabilities, Epoch, Metric, OnexError,
+    SearchOutcome, SharedBound, SimilaritySearch,
+};
+use onex_core::{normalized_distance, PoolStats, QueryOptions, ScanBreadth};
+use onex_tseries::SubseqRef;
+use parking_lot::Mutex;
+
+use crate::client::{RemoteBackend, RemoteConfig, RemoteInfo};
+
+/// What one shard worker sends back: its index plus the remote's
+/// outcome and epoch (or the typed failure).
+type ShardReply = (usize, Result<(SearchOutcome, Epoch), OnexError>);
+
+struct ClusterJob {
+    index: usize,
+    query: Arc<[f64]>,
+    k: usize,
+    /// `None`: this shard cannot contribute (an `only_series` filter
+    /// pointing at another shard) — answered locally, no network.
+    opts: Option<QueryOptions>,
+    bound: Arc<SharedBound>,
+    reply: Sender<ShardReply>,
+}
+
+/// A similarity-search backend fanned out over N shard servers.
+pub struct ClusterEngine {
+    remotes: Vec<Arc<RemoteBackend>>,
+    /// One worker (and one channel) per remote: a shard's queries are
+    /// serial over its single connection anyway, so per-remote workers
+    /// replace a contended MPMC queue with N independent SPSC lanes.
+    txs: Vec<Sender<ClusterJob>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads_spawned: Arc<AtomicUsize>,
+    jobs_executed: Arc<AtomicUsize>,
+    /// Series count per shard, maintained across appends — the source of
+    /// round-robin routing for new series.
+    sizes: Mutex<Vec<u64>>,
+    infos: Vec<RemoteInfo>,
+    opts: QueryOptions,
+    share_bound: bool,
+}
+
+impl ClusterEngine {
+    /// Connect to every shard server, verify the protocol handshake, and
+    /// fetch each shard's identity. Fails with a typed
+    /// [`OnexError::Network`] if any shard is unreachable or speaks a
+    /// different protocol — a cluster with a dead member at startup is a
+    /// configuration error, not something to paper over.
+    pub fn connect<S: AsRef<str>>(addrs: &[S], config: RemoteConfig) -> Result<Self, OnexError> {
+        if addrs.is_empty() {
+            return Err(OnexError::invalid_config(
+                "a cluster needs at least one shard address",
+            ));
+        }
+        let remotes: Vec<Arc<RemoteBackend>> = addrs
+            .iter()
+            .map(|a| Arc::new(RemoteBackend::new(a.as_ref(), config.clone())))
+            .collect();
+        let mut infos = Vec::with_capacity(remotes.len());
+        for r in &remotes {
+            infos.push(r.info()?);
+        }
+        let sizes = infos.iter().map(|i| i.series).collect();
+
+        let threads_spawned = Arc::new(AtomicUsize::new(0));
+        let jobs_executed = Arc::new(AtomicUsize::new(0));
+        let mut txs = Vec::with_capacity(remotes.len());
+        let mut handles = Vec::with_capacity(remotes.len());
+        for remote in &remotes {
+            let (tx, rx) = bounded::<ClusterJob>(2);
+            let remote = Arc::clone(remote);
+            let jobs = Arc::clone(&jobs_executed);
+            threads_spawned.fetch_add(1, Ordering::Relaxed);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    jobs.fetch_add(1, Ordering::Relaxed);
+                    let result = match &job.opts {
+                        None => Ok((SearchOutcome::default(), remote.epoch())),
+                        Some(opts) => {
+                            // A panic inside the client must cost one
+                            // reply, not a pool lane.
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                remote.k_best_bounded_with(&job.query, job.k, opts, &job.bound)
+                            }))
+                            .unwrap_or_else(|_| {
+                                Err(OnexError::Internal("cluster worker panicked".into()))
+                            })
+                        }
+                    };
+                    let _ = job.reply.send((job.index, result));
+                }
+            }));
+            txs.push(tx);
+        }
+
+        Ok(ClusterEngine {
+            remotes,
+            txs,
+            handles,
+            threads_spawned,
+            jobs_executed,
+            sizes: Mutex::new(sizes),
+            infos,
+            opts: QueryOptions::default(),
+            share_bound: true,
+        })
+    }
+
+    /// Builder-style query options (global series ids; localised per
+    /// shard at fan-out time).
+    pub fn with_options(mut self, opts: QueryOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Toggle cross-shard bound gossip (default on). With gossip off,
+    /// every shard prunes against a private bound — the ablation mode
+    /// bench e16 measures against.
+    pub fn gossip(mut self, share: bool) -> Self {
+        self.share_bound = share;
+        self
+    }
+
+    /// Number of shards in the cluster.
+    pub fn shard_count(&self) -> usize {
+        self.remotes.len()
+    }
+
+    /// Counters of the persistent per-remote worker pool.
+    /// `threads_spawned` equals the shard count for the engine's whole
+    /// lifetime — queries are channel sends, never spawns.
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.txs.len(),
+            threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
+            jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Aggregate `(sent, received)` gossip tighten-frame counters across
+    /// all shard connections.
+    pub fn gossip_counters(&self) -> (usize, usize) {
+        self.remotes
+            .iter()
+            .map(|r| r.gossip_counters())
+            .fold((0, 0), |(s, r), (ds, dr)| (s + ds, r + dr))
+    }
+
+    /// Append one series; it lands on shard `total % N`, preserving the
+    /// round-robin identity. Returns the cluster epoch after the append.
+    pub fn append_series(&self, name: &str, values: Vec<f64>) -> Result<Epoch, OnexError> {
+        let mut sizes = self.sizes.lock();
+        let total: u64 = sizes.iter().sum();
+        let shard = (total as usize) % self.remotes.len();
+        let (_, series) = self.remotes[shard].append(name, values)?;
+        sizes[shard] = series;
+        Ok(self.epoch())
+    }
+
+    /// Translate the global-id option set into shard `s`'s local ids
+    /// under the round-robin partition; `None` when the shard cannot
+    /// contribute at all.
+    fn localize(&self, s: usize) -> Option<QueryOptions> {
+        let n = self.remotes.len() as u32;
+        let s32 = s as u32;
+        let mut o = self.opts.clone();
+        o.exclude_series = o
+            .exclude_series
+            .and_then(|g| (g % n == s32).then_some(g / n));
+        if let Some(g) = o.only_series {
+            if g % n != s32 {
+                return None;
+            }
+            o.only_series = Some(g / n);
+        }
+        o.exclude_windows = o
+            .exclude_windows
+            .iter()
+            .filter(|w| w.series % n == s32)
+            .map(|w| SubseqRef::new(w.series / n, w.start, w.len))
+            .collect();
+        Some(o)
+    }
+
+    /// Fan out, gossip, collect, merge — the cross-process mirror of
+    /// `ShardedEngine::merge`.
+    fn merge(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
+        validate_query(query, k)?;
+        let n = self.remotes.len();
+        let query: Arc<[f64]> = Arc::from(query);
+        // One fresh bound per logical query — never reused across
+        // queries, so concurrent queries cannot contaminate each other.
+        let shared = Arc::new(SharedBound::new());
+        let (reply_tx, reply_rx) = bounded(n);
+        for (index, tx) in self.txs.iter().enumerate() {
+            let bound = if self.share_bound {
+                Arc::clone(&shared)
+            } else {
+                Arc::new(SharedBound::new())
+            };
+            tx.send(ClusterJob {
+                index,
+                query: Arc::clone(&query),
+                k,
+                opts: self.localize(index),
+                bound,
+                reply: reply_tx.clone(),
+            })
+            .map_err(|_| OnexError::Internal("cluster worker pool exited".into()))?;
+        }
+        drop(reply_tx);
+
+        let mut acc: BestK<(u32, usize, usize, u64)> = BestK::new(k);
+        let mut stats = BackendStats::default();
+        for _ in 0..n {
+            let (index, result) = reply_rx
+                .recv_timeout(Duration::from_secs(300))
+                .map_err(|_| OnexError::Internal("cluster query reply lost".into()))?;
+            let (outcome, _epoch) = result?;
+            stats += outcome.stats;
+            for m in outcome.matches {
+                let global = m.series * (n as u32) + index as u32;
+                acc.offer(
+                    normalized_distance(m.distance, query.len(), m.len),
+                    (global, m.start, m.len, m.distance.to_bits()),
+                );
+            }
+        }
+        Ok(SearchOutcome {
+            matches: acc
+                .into_sorted()
+                .into_iter()
+                .map(|(_, (series, start, len, bits))| BackendMatch {
+                    series,
+                    start,
+                    len,
+                    distance: f64::from_bits(bits),
+                })
+                .collect(),
+            stats,
+        })
+    }
+}
+
+impl std::fmt::Debug for ClusterEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterEngine")
+            .field(
+                "remotes",
+                &self.remotes.iter().map(|r| r.addr()).collect::<Vec<_>>(),
+            )
+            .field("gossip", &self.share_bound)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for ClusterEngine {
+    fn drop(&mut self) {
+        // Closing the lanes wakes every worker out of `recv`; join so no
+        // worker outlives the engine half-way through a send.
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl SimilaritySearch for ClusterEngine {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        // Exact iff every shard reported an exact engine and the local
+        // option set keeps the scan exhaustive — the same condition
+        // `ShardedEngine` applies to its in-process shards.
+        let exact = self.infos.iter().all(|i| i.caps.exact)
+            && self.opts.breadth == ScanBreadth::Exact
+            && self.opts.band == onex_distance::Band::Full;
+        Capabilities {
+            metric: Metric::RawDtw,
+            exact,
+            multi_length: !matches!(self.opts.lengths, onex_core::LengthSelection::Exact),
+            streaming: false,
+            one_match_per_series: false,
+            cached: false,
+        }
+    }
+
+    fn k_best(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
+        self.merge(query, k)
+    }
+
+    /// Sum of the shards' last-observed epochs: any append anywhere
+    /// bumps it, so epoch-keyed caches invalidate correctly. Updated as
+    /// replies arrive — eventually consistent between requests.
+    fn epoch(&self) -> Epoch {
+        self.remotes.iter().map(|r| r.epoch()).sum()
+    }
+}

@@ -1,0 +1,49 @@
+//! # onex-net — Distributed ONEX
+//!
+//! The SIGMOD'17 demo's pitch is answering similarity queries online for
+//! "millions of users"; one process is the ceiling on that until the
+//! precomputed base can live across machines. This crate is the layer
+//! that removes the ceiling, built from four pieces:
+//!
+//! * **The wire protocol** ([`FrameReader`], [`Message`]): a compact
+//!   little-endian, length-prefixed binary framing with a version hello
+//!   and an FNV-1a checksum per frame. Declared lengths are validated
+//!   before any allocation; every malformed input is a typed
+//!   [`onex_api::OnexError::Network`], never a panic.
+//! * **[`ShardServer`]**: hosts one `Onex` engine behind the protocol on
+//!   the shared worker-pool accept loop ([`serve_streams`] — the same
+//!   hardened loop the HTTP server uses; it moved here so both can).
+//! * **[`RemoteBackend`]**: a `SimilaritySearch` client with connect/read
+//!   timeouts, bounded reconnect-with-backoff, and typed errors — a dead
+//!   peer costs an error, never a hang.
+//! * **[`ClusterEngine`]**: N remotes composed through the identical
+//!   fan-out/`BestK`-merge/`SharedBound` machinery `ShardedEngine` uses
+//!   in-process, with the bound kept cluster-wide by **gossip**: the
+//!   client seeds each query with its current bound, shards stream
+//!   tighten notifications as their local search improves, and the
+//!   client pushes each shard's discoveries to the others mid-query.
+//!
+//! The gossip is safe by monotonicity: a [`onex_api::SharedBound`] only
+//! ever tightens toward the true k-th-best distance, so a gossiped bound
+//! prunes only candidates a locally discovered bound would also have
+//! pruned — late or lost gossip costs work, never answers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accept;
+mod client;
+mod cluster;
+mod frame;
+mod proto;
+mod server;
+
+pub use accept::{serve_streams, transient_accept_error, AcceptOptions};
+pub use client::{RemoteBackend, RemoteConfig, RemoteInfo};
+pub use cluster::ClusterEngine;
+pub use frame::{
+    checksum, read_hello, write_frame, write_hello, FrameReader, Poll, MAGIC, MAX_FRAME,
+    PROTOCOL_VERSION,
+};
+pub use proto::{error_code, error_from, Message};
+pub use server::ShardServer;

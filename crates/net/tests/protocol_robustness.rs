@@ -1,0 +1,196 @@
+//! Adversarial protocol tests: whatever arrives on the wire — truncated
+//! frames, hostile declared lengths, garbage hellos, mid-frame
+//! disconnects — must come out of the codec as a **typed**
+//! [`OnexError::Network`], never a panic and never an allocation sized
+//! by attacker-controlled bytes.
+
+use onex_api::{NetworkErrorKind, OnexError};
+use onex_core::QueryOptions;
+use onex_net::{write_frame, write_hello, FrameReader, Message, Poll, MAX_FRAME};
+use proptest::prelude::*;
+
+/// Decode whatever a byte stream yields until it is exhausted; every
+/// outcome other than a typed error or clean frames is a bug.
+fn drain(bytes: &[u8]) -> Result<Vec<(u8, Vec<u8>)>, OnexError> {
+    let mut reader = FrameReader::new();
+    let mut cursor = bytes;
+    let mut frames = Vec::new();
+    loop {
+        match reader.poll_frame(&mut cursor)? {
+            Poll::Frame(kind, payload) => frames.push((kind, payload)),
+            Poll::Closed => return Ok(frames),
+            Poll::TimedOut => unreachable!("in-memory reads never time out"),
+        }
+    }
+}
+
+fn wire_for(msg: &Message) -> Vec<u8> {
+    let (kind, payload) = msg.encode();
+    let mut wire = Vec::new();
+    write_frame(&mut wire, kind, &payload).unwrap();
+    wire
+}
+
+fn sample_message(k: u32, seed_selector: u64, values: &[f64]) -> Message {
+    match seed_selector % 3 {
+        0 => Message::Query {
+            k: k.max(1),
+            seed: f64::INFINITY,
+            opts: QueryOptions::default(),
+            query: values.to_vec(),
+        },
+        1 => Message::Tighten {
+            bound: values.first().copied().unwrap_or(1.0).abs(),
+        },
+        _ => Message::Append {
+            name: format!("s{k}"),
+            values: values.to_vec(),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any truncation of a valid frame either waits for more bytes
+    /// (reported as a mid-frame disconnect at EOF) or is a typed decode
+    /// error — never a panic, never a wrong frame.
+    #[test]
+    fn truncated_frames_yield_typed_errors(
+        cut in 0usize..200,
+        k in 1u32..9,
+        sel in 0u64..3,
+        v in proptest::collection::vec(-10.0f64..10.0, 1..24),
+    ) {
+        let wire = wire_for(&sample_message(k, sel, &v));
+        let cut = cut % wire.len().max(1);
+        if cut == 0 {
+            // Nothing arrived: that is a clean close, not an error.
+            prop_assert!(drain(&wire[..0]).unwrap().is_empty());
+        } else {
+            let err = drain(&wire[..cut]).unwrap_err();
+            prop_assert!(matches!(
+                err,
+                OnexError::Network(ref n)
+                    if n.kind == NetworkErrorKind::Closed || n.kind == NetworkErrorKind::Decode
+            ), "cut={cut}: {err}");
+        }
+    }
+
+    /// Random garbage never panics: it decodes to frames (vanishingly
+    /// unlikely past the checksum) or fails typed.
+    #[test]
+    fn garbage_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..300)) {
+        match drain(&bytes) {
+            Ok(frames) => {
+                for (kind, payload) in frames {
+                    let _ = Message::decode(kind, &payload);
+                }
+            }
+            Err(e) => prop_assert!(matches!(e, OnexError::Network(_)), "{e}"),
+        }
+    }
+
+    /// Hostile declared lengths are rejected from the 4 header bytes
+    /// alone — the reader's buffer never grows toward the declared size.
+    #[test]
+    fn oversized_lengths_rejected_before_allocation(
+        declared in (MAX_FRAME as u64 + 1..u32::MAX as u64).prop_map(|v| v as u32)
+    ) {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&declared.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 32]);
+        let mut reader = FrameReader::new();
+        let err = reader.poll_frame(&mut wire.as_slice()).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            OnexError::Network(ref n) if n.kind == NetworkErrorKind::Decode
+        ), "{err}");
+    }
+
+    /// Declared element counts inside a payload are validated against
+    /// the bytes present before any vector is reserved.
+    #[test]
+    fn hostile_payload_counts_fail_typed(count in 1_000_000u32..u32::MAX, kind in 1u8..9) {
+        // A payload that is just a huge count and a few stray bytes.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&count.to_le_bytes());
+        payload.extend_from_slice(&[1u8; 16]);
+        match Message::decode(kind, &payload) {
+            Ok(msg) => {
+                // Only messages that read fixed-width fields first can
+                // accept these 20 bytes (e.g. Tighten reads one f64);
+                // anything that got here must have consumed the payload
+                // without ever trusting the count as a length.
+                let (k2, p2) = msg.encode();
+                prop_assert_eq!((k2, p2.len()), (kind, payload.len()));
+            }
+            Err(e) => prop_assert!(matches!(e, OnexError::Network(_)), "{e}"),
+        }
+    }
+
+    /// Garbage hello preambles are a typed version mismatch.
+    #[test]
+    fn garbage_hellos_fail_typed(bytes in proptest::collection::vec(0u8..=255, 0..16)) {
+        let mut good = Vec::new();
+        write_hello(&mut good).unwrap();
+        if bytes.len() >= 6 && bytes[..6] == good[..6] {
+            prop_assert!(onex_net::read_hello(&mut bytes.as_slice()).is_ok());
+        } else {
+            let err = onex_net::read_hello(&mut bytes.as_slice()).unwrap_err();
+            prop_assert!(matches!(
+                err,
+                OnexError::Network(ref n) if n.kind == NetworkErrorKind::VersionMismatch
+            ), "{err}");
+        }
+    }
+
+    /// Messages that round-trip the codec are bit-identical.
+    #[test]
+    fn codec_roundtrip_is_identity(
+        k in 1u32..9,
+        sel in 0u64..3,
+        v in proptest::collection::vec(-100.0f64..100.0, 1..48),
+    ) {
+        let msg = sample_message(k, sel, &v);
+        let (kind, payload) = msg.encode();
+        prop_assert_eq!(Message::decode(kind, &payload).unwrap(), msg);
+    }
+}
+
+/// Splitting a multi-frame stream at every possible boundary never
+/// changes what is decoded — the reader's incremental buffer is
+/// position-independent.
+#[test]
+fn interleaved_partial_reads_preserve_framing() {
+    let msgs = [
+        Message::Tighten { bound: 1.5 },
+        Message::InfoRequest,
+        Message::Tighten { bound: 0.25 },
+    ];
+    let mut wire = Vec::new();
+    for m in &msgs {
+        let (kind, payload) = m.encode();
+        write_frame(&mut wire, kind, &payload).unwrap();
+    }
+    for split in 0..=wire.len() {
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        for part in [&wire[..split], &wire[split..]] {
+            let mut cursor = part;
+            loop {
+                match reader.poll_frame(&mut cursor) {
+                    Ok(Poll::Frame(kind, payload)) => {
+                        decoded.push(Message::decode(kind, &payload).unwrap())
+                    }
+                    Ok(Poll::Closed) => break,
+                    Ok(Poll::TimedOut) => unreachable!(),
+                    // Mid-frame EOF on the first part is fine — the
+                    // second part completes it on the next poll.
+                    Err(_) => break,
+                }
+            }
+        }
+        assert_eq!(decoded, msgs, "split at {split}");
+    }
+}

@@ -1,3 +1,4 @@
+use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
@@ -9,6 +10,7 @@ use onex_core::backends::{
 };
 use onex_core::{BuildReport, LengthSelection, Onex, QueryOptions, SeasonalOptions};
 use onex_grouping::BaseConfig;
+use onex_net::{ClusterEngine, RemoteConfig};
 use onex_tseries::{Dataset, TimeSeries};
 use onex_viz::{
     ConnectedScatter, MultiLineChart, OverviewPane, QueryPreview, RadialChart, SeasonalView,
@@ -65,40 +67,20 @@ struct Baselines {
     cached: OnceLock<CachedSearch<OnexBackend>>,
 }
 
-/// How [`App::serve`] runs: a fixed worker pool over a bounded connection
-/// queue (so a connection flood cannot exhaust OS threads or memory) and
-/// an accept-failure policy (so a persistently failing listener backs
-/// off instead of busy-looping, and eventually reports the error).
-#[derive(Debug, Clone)]
-pub struct ServeOptions {
-    /// Worker threads handling connections. Fixed at startup — the cap
-    /// on concurrent request processing.
-    pub workers: usize,
-    /// Accepted connections allowed to wait for a worker. When the queue
-    /// is full the accept loop blocks (kernel backlog backpressure)
-    /// rather than buffering unboundedly.
-    pub queue: usize,
-    /// Consecutive `accept` failures after which [`App::serve`] gives up
-    /// and returns the last error. Successful accepts reset the count.
-    pub max_consecutive_accept_failures: u32,
-    /// Base sleep after a failed `accept`; doubles per consecutive
-    /// failure (capped at 128× the base) so a persistent error costs
-    /// sleeps, not a hot spin.
-    pub accept_backoff: Duration,
-}
+/// How [`App::serve`] runs. The accept loop itself — a fixed worker pool
+/// over a bounded connection queue with exponential accept backoff —
+/// lives in `onex_net` now (the binary shard server runs the identical
+/// loop); these options are its knobs under the server's historical name.
+pub use onex_net::AcceptOptions as ServeOptions;
 
-impl Default for ServeOptions {
-    fn default() -> Self {
-        ServeOptions {
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .clamp(2, 8),
-            queue: 64,
-            max_consecutive_accept_failures: 16,
-            accept_backoff: Duration::from_millis(1),
-        }
-    }
+/// The shard servers a `?backend=cluster` request fans out over, plus
+/// the lazily-established [`ClusterEngine`] talking to them. Connecting
+/// is deferred to the first cluster request and retried on the next one
+/// if it fails — the HTTP server must come up (and serve every local
+/// backend) even while its shard fleet is still booting.
+struct ClusterSlot {
+    addrs: Vec<String>,
+    engine: Mutex<Option<Arc<ClusterEngine>>>,
 }
 
 /// The ONEX demo application: routes requests to the engine and, through
@@ -108,6 +90,7 @@ impl Default for ServeOptions {
 pub struct App {
     engine: Arc<Onex>,
     baselines: Arc<Baselines>,
+    cluster: Option<Arc<ClusterSlot>>,
     /// Construction report of the dataset-load step, when this app loaded
     /// the dataset itself ([`App::build`]); reported by `/api/summary`.
     build: Option<BuildReport>,
@@ -121,8 +104,22 @@ impl App {
         App {
             engine,
             baselines: Arc::new(Baselines::default()),
+            cluster: None,
             build: None,
         }
+    }
+
+    /// Configure the shard servers `?backend=cluster` fans out over
+    /// (round-robin partition, see `onex_net::ClusterEngine`). The
+    /// connection is established lazily on the first cluster request and
+    /// re-attempted on later requests if it fails, so a booting shard
+    /// fleet never blocks HTTP startup.
+    pub fn with_cluster<S: Into<String>>(mut self, addrs: Vec<S>) -> App {
+        self.cluster = Some(Arc::new(ClusterSlot {
+            addrs: addrs.into_iter().map(Into::into).collect(),
+            engine: Mutex::new(None),
+        }));
+        self
     }
 
     /// The demo's dataset-load path: preprocess `dataset` into the ONEX
@@ -137,6 +134,7 @@ impl App {
         Ok(App {
             engine: Arc::new(engine),
             baselines: Arc::new(Baselines::default()),
+            cluster: None,
             build: Some(report),
         })
     }
@@ -210,6 +208,33 @@ impl App {
         })
     }
 
+    /// The cross-process scale-out engine: a [`ClusterEngine`] over the
+    /// configured shard-server addresses, with the same `Nearest(3)`
+    /// length policy every other `/api/match` backend serves. Errors are
+    /// typed: unconfigured is an [`OnexError::InvalidConfig`] (400,
+    /// client picked an absent backend) while an unreachable or
+    /// protocol-mismatched shard is an [`OnexError::Network`] (502, the
+    /// gateway's upstream is at fault) — and a failed connect leaves the
+    /// slot empty so the next request retries.
+    fn cluster(&self) -> Result<Arc<ClusterEngine>, OnexError> {
+        let Some(slot) = &self.cluster else {
+            return Err(OnexError::invalid_config(
+                "no cluster configured; start the server with shard addresses \
+                 (onex_server --cluster a:port,b:port) to enable ?backend=cluster",
+            ));
+        };
+        let mut guard = slot.engine.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(engine) = guard.as_ref() {
+            return Ok(Arc::clone(engine));
+        }
+        let engine = Arc::new(
+            ClusterEngine::connect(&slot.addrs, RemoteConfig::default())?
+                .with_options(QueryOptions::default().lengths(LengthSelection::Nearest(3))),
+        );
+        *guard = Some(Arc::clone(&engine));
+        Ok(engine)
+    }
+
     /// The onex backend exactly as `/api/match` serves it, so capability
     /// introspection and query answers never disagree.
     fn onex_match_backend(&self) -> OnexBackend {
@@ -255,106 +280,54 @@ impl App {
         self.serve_streams(listener.incoming(), &opts)
     }
 
-    /// The accept loop over any stream source (injectable for tests).
-    ///
-    /// Connections are handed to a fixed pool of worker threads through
-    /// a bounded channel: the pool caps concurrent request handling, the
-    /// channel caps waiting connections, and a full queue blocks the
-    /// accept loop — backpressure lands in the kernel backlog instead of
-    /// in unbounded memory or one-thread-per-connection spawns.
-    ///
-    /// Accept errors no longer busy-loop: each failure sleeps an
-    /// exponentially growing backoff. Per-connection races the kernel
-    /// reports through `accept` ([`Self::transient_accept_error`]) are
-    /// retried forever — they say nothing about the listener — while
-    /// other errors bail with the error once
-    /// `max_consecutive_accept_failures` hit in a row, instead of
-    /// spinning on a dead listener.
+    /// The accept loop over any stream source (injectable for tests):
+    /// the shared hardened loop in [`onex_net::serve_streams`] — a fixed
+    /// worker pool over a bounded queue, exponential accept backoff —
+    /// with one app clone per worker handling connections.
     fn serve_streams<I>(self, incoming: I, opts: &ServeOptions) -> std::io::Result<()>
     where
         I: Iterator<Item = std::io::Result<TcpStream>>,
     {
-        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(opts.queue.max(1));
-        let workers: Vec<_> = (0..opts.workers.max(1))
-            .map(|_| {
-                let app = self.clone();
-                let rx = rx.clone();
-                std::thread::spawn(move || {
-                    while let Ok(stream) = rx.recv() {
-                        // A panicking handler must cost one response, not
-                        // a pool worker: without this, a few poisoned
-                        // requests would quietly shrink the pool to zero
-                        // (thread-per-connection never had that failure
-                        // mode, so the pool must not introduce it).
-                        let app = &app;
-                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                            app.handle_stream(stream)
-                        }));
-                    }
-                })
-            })
-            .collect();
-        drop(rx);
-
-        let mut consecutive = 0u32;
-        let mut result = Ok(());
-        for stream in incoming {
-            match stream {
-                Ok(stream) => {
-                    consecutive = 0;
-                    if tx.send(stream).is_err() {
-                        // Every worker exited — nothing can serve.
-                        result = Err(std::io::Error::other("worker pool exited"));
-                        break;
-                    }
-                }
-                Err(e) => {
-                    if !Self::transient_accept_error(&e) {
-                        consecutive += 1;
-                        if consecutive >= opts.max_consecutive_accept_failures.max(1) {
-                            result = Err(e);
-                            break;
-                        }
-                    }
-                    let factor = 1u32 << consecutive.saturating_sub(1).min(7);
-                    std::thread::sleep(opts.accept_backoff * factor);
-                }
-            }
-        }
-        drop(tx);
-        for w in workers {
-            let _ = w.join();
-        }
-        result
+        onex_net::serve_streams(incoming, opts, move |stream| self.handle_stream(stream))
     }
 
-    /// Accept errors that describe one lost connection, not the
-    /// listener: a peer resetting mid-handshake (`ECONNABORTED`/reset),
-    /// a signal, or a spurious wakeup. These never count toward the
-    /// give-up threshold — under a connection flood they arrive in
-    /// bursts, and bailing on them would let the flood shut the server
-    /// down. Resource exhaustion (EMFILE) and genuinely broken listeners
-    /// land in other kinds and do count, after backoff.
-    fn transient_accept_error(e: &std::io::Error) -> bool {
-        matches!(
-            e.kind(),
-            std::io::ErrorKind::ConnectionAborted
-                | std::io::ErrorKind::ConnectionReset
-                | std::io::ErrorKind::Interrupted
-                | std::io::ErrorKind::WouldBlock
-                | std::io::ErrorKind::TimedOut
-        )
-    }
+    /// How long an idle keep-alive connection may sit between requests
+    /// before the worker reclaims it. Generous for a human poking an
+    /// API, far too short to let idle sockets starve the fixed pool.
+    const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
 
     /// One connection: parse, dispatch, write — run on a pool worker.
+    /// The connection is reused for further requests only when the
+    /// client opted in with `Connection: keep-alive`; everything else
+    /// stays one-shot, exactly as before.
     fn handle_stream(&self, stream: TcpStream) {
-        let peer = stream.try_clone();
-        let response = match Request::parse(&stream) {
-            Ok(req) => self.handle(&req),
-            Err(e) => Response::error(400, &e.to_string()),
-        };
-        if let Ok(out) = peer {
-            let _ = response.write_to(out);
+        let Ok(out) = stream.try_clone() else { return };
+        let _ = stream.set_read_timeout(Some(Self::KEEP_ALIVE_IDLE));
+        let mut reader = BufReader::new(stream);
+        let mut served_any = false;
+        loop {
+            match Request::read_from(&mut reader) {
+                // Peer hung up between requests: the normal end of a
+                // keep-alive connection (and of a no-op connect).
+                Ok(None) => return,
+                Ok(Some(req)) => {
+                    let keep_alive = req.keep_alive;
+                    let response = self.handle(&req);
+                    if response.write_keep_alive_to(&out, keep_alive).is_err() || !keep_alive {
+                        return;
+                    }
+                    served_any = true;
+                }
+                Err(e) => {
+                    // Garbage on a fresh connection earns a 400; a read
+                    // timeout on an already-served keep-alive socket is
+                    // just idleness — close without a parting error.
+                    if !served_any {
+                        let _ = Response::error(400, &e.to_string()).write_to(&out);
+                    }
+                    return;
+                }
+            }
         }
     }
 
@@ -531,7 +504,12 @@ impl App {
             self.spring(),
             self.sharded(),
         );
-        let list: Vec<&dyn SimilaritySearch> = vec![
+        // The cluster appears only when configured *and* reachable:
+        // capability introspection reflects what a query could actually
+        // use right now, and an unreachable fleet will be retried on the
+        // next listing.
+        let cluster = self.cluster.as_ref().and_then(|_| self.cluster().ok());
+        let mut list: Vec<&dyn SimilaritySearch> = vec![
             &onex,
             &*ucr,
             &*frm,
@@ -540,6 +518,9 @@ impl App {
             &*sharded,
             self.cached(),
         ];
+        if let Some(c) = &cluster {
+            list.push(&**c);
+        }
         let items: Vec<Json> = list
             .into_iter()
             .map(|backend| {
@@ -600,12 +581,16 @@ impl App {
                 &*arc_holder
             }
             "cached" => self.cached(),
+            "cluster" => {
+                arc_holder = self.cluster().map_err(|e| Self::onex_error(&e))?;
+                &*arc_holder
+            }
             other => {
                 return Err(Response::error(
                     400,
                     &format!(
                         "unknown backend {other:?}; one of onex, ucrsuite, frm, ebsm, \
-                         spring, sharded, cached"
+                         spring, sharded, cached, cluster"
                     ),
                 ))
             }
@@ -661,6 +646,32 @@ impl App {
                     ("jobs_executed", p.jobs_executed.into()),
                 ]),
             ));
+        }
+        // The cluster engine reports its per-remote worker pool (the
+        // cross-process mirror of the sharded pool) plus the gossip
+        // traffic: tighten frames pushed to and received from the shard
+        // servers, accumulated across requests.
+        if name == "cluster" {
+            if let Ok(c) = self.cluster() {
+                let p = c.pool_stats();
+                let (sent, received) = c.gossip_counters();
+                fields.push((
+                    "pool",
+                    Json::obj(vec![
+                        ("workers", p.workers.into()),
+                        ("threads_spawned", p.threads_spawned.into()),
+                        ("jobs_executed", p.jobs_executed.into()),
+                    ]),
+                ));
+                fields.push((
+                    "gossip",
+                    Json::obj(vec![
+                        ("shards", c.shard_count().into()),
+                        ("tightenings_sent", sent.into()),
+                        ("tightenings_received", received.into()),
+                    ]),
+                ));
+            }
         }
         // The caching decorator also reports its own observability
         // counters, so clients can see hits accumulate across requests.
@@ -1342,6 +1353,42 @@ mod tests {
     }
 
     #[test]
+    fn cluster_backend_without_configuration_is_a_400_not_a_panic() {
+        let a = app();
+        let r = get(
+            &a,
+            "/api/match?series=MA-GrowthRate&start=4&len=8&k=2&backend=cluster",
+        );
+        assert_eq!(r.status, 400);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("no cluster configured"), "{body}");
+        // And an unconfigured cluster never shows up in introspection.
+        let listing = String::from_utf8(get(&a, "/api/backends").body).unwrap();
+        assert!(!listing.contains("\"cluster\""), "{listing}");
+    }
+
+    #[test]
+    fn cluster_backend_with_dead_shards_is_a_502_bad_gateway() {
+        // Reserve a port and close it: connecting must fail fast.
+        let dead = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let a = app().with_cluster(vec![dead]);
+        let t0 = std::time::Instant::now();
+        let r = get(
+            &a,
+            "/api/match?series=MA-GrowthRate&start=4&len=8&k=2&backend=cluster",
+        );
+        assert_eq!(r.status, 502, "{:?}", String::from_utf8(r.body));
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "dead peers must fail fast, not hang: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
     fn bad_requests_get_4xx() {
         let a = app();
         assert_eq!(get(&a, "/api/match").status, 400);
@@ -1484,6 +1531,43 @@ mod tests {
         for c in clients {
             c.join().unwrap();
         }
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        use std::io::{Read as _, Write as _};
+
+        let a = app();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = std::net::TcpStream::connect(addr).unwrap();
+            // Two pipelined requests: the first opts into keep-alive, the
+            // second does not — the server must answer both on this one
+            // socket and close only after the second.
+            write!(
+                s,
+                "GET /api/series HTTP/1.1\r\nConnection: keep-alive\r\n\r\n\
+                 GET /api/summary HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            .unwrap();
+            let mut buf = String::new();
+            s.read_to_string(&mut buf).unwrap();
+            assert_eq!(buf.matches("HTTP/1.1 200 OK").count(), 2, "{buf}");
+            let (first, second) = buf.split_at(buf.rfind("HTTP/1.1").unwrap());
+            assert!(first.contains("Connection: keep-alive\r\n"), "{first}");
+            assert!(second.contains("Connection: close\r\n"), "{second}");
+            assert!(second.contains("\"per_length\""), "{second}");
+        });
+        let accepted = listener.accept().map(|(s, _)| s);
+        let opts = ServeOptions {
+            workers: 1,
+            queue: 1,
+            max_consecutive_accept_failures: 3,
+            accept_backoff: Duration::from_millis(1),
+        };
+        a.serve_streams(std::iter::once(accepted), &opts).unwrap();
+        client.join().unwrap();
     }
 
     #[test]

@@ -14,17 +14,31 @@ pub struct Request {
     pub path: String,
     /// Percent-decoded query parameters in order-independent form.
     pub query: Query,
+    /// Whether the client asked to reuse the connection
+    /// (`Connection: keep-alive`). Keep-alive is strictly opt-in: absent
+    /// or any other value (including `close`) means one-shot.
+    pub keep_alive: bool,
 }
 
 impl Request {
     /// Parse `"GET /path?a=1 HTTP/1.1"` plus headers from a reader.
-    /// Headers are consumed and discarded (the demo API needs none).
     pub fn parse<R: Read>(stream: R) -> Result<Request, HttpError> {
         let mut reader = BufReader::new(stream);
+        Request::read_from(&mut reader)?.ok_or(HttpError::BadRequest("empty request"))
+    }
+
+    /// Read the next request off a persistent connection. `Ok(None)` is a
+    /// clean end-of-stream **between** requests (the peer hung up, which
+    /// is how keep-alive connections normally end); garbage or truncation
+    /// mid-request is still an error.
+    pub fn read_from<R: Read>(reader: &mut BufReader<R>) -> Result<Option<Request>, HttpError> {
         let mut line = String::new();
-        reader
+        let n = reader
             .read_line(&mut line)
             .map_err(|_| HttpError::BadRequest("unreadable request line"))?;
+        if n == 0 {
+            return Ok(None);
+        }
         let mut parts = line.split_whitespace();
         let method = parts
             .next()
@@ -34,7 +48,9 @@ impl Request {
         let _version = parts
             .next()
             .ok_or(HttpError::BadRequest("missing version"))?;
-        // Drain headers up to the blank line.
+        // Drain headers up to the blank line; the only one the demo API
+        // acts on is `Connection`.
+        let mut keep_alive = false;
         loop {
             let mut h = String::new();
             let n = reader
@@ -43,13 +59,19 @@ impl Request {
             if n == 0 || h == "\r\n" || h == "\n" {
                 break;
             }
+            if let Some((name, value)) = h.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("connection") {
+                    keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
+                }
+            }
         }
         let (path, query) = parse_target(target)?;
-        Ok(Request {
+        Ok(Some(Request {
             method,
             path,
             query,
-        })
+            keep_alive,
+        }))
     }
 
     /// Build a request directly (tests and the pure handler).
@@ -59,6 +81,7 @@ impl Request {
             method: "GET".into(),
             path,
             query,
+            keep_alive: false,
         })
     }
 
@@ -198,8 +221,14 @@ impl Response {
         }
     }
 
-    /// Serialise to the wire.
-    pub fn write_to<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+    /// Serialise to the wire, closing the connection afterwards.
+    pub fn write_to<W: Write>(&self, w: W) -> std::io::Result<()> {
+        self.write_keep_alive_to(w, false)
+    }
+
+    /// Serialise to the wire, advertising `Connection: keep-alive` when
+    /// the serving loop intends to read another request afterwards.
+    pub fn write_keep_alive_to<W: Write>(&self, mut w: W, keep_alive: bool) -> std::io::Result<()> {
         let reason = match self.status {
             200 => "OK",
             400 => "Bad Request",
@@ -207,15 +236,18 @@ impl Response {
             405 => "Method Not Allowed",
             409 => "Conflict",
             422 => "Unprocessable Content",
+            502 => "Bad Gateway",
             _ => "Internal Server Error",
         };
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         write!(
             w,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
             reason,
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            connection
         )?;
         w.write_all(&self.body)?;
         w.flush()
@@ -266,6 +298,47 @@ mod tests {
         assert!(Request::parse(&b"\r\n"[..]).is_err());
         assert!(Request::parse(&b"GET\r\n"[..]).is_err());
         assert!(Request::parse(&b"GET /x\r\n"[..]).is_err());
+    }
+
+    #[test]
+    fn keep_alive_is_strictly_opt_in() {
+        let on = Request::parse(&b"GET /x HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n"[..]).unwrap();
+        assert!(on.keep_alive);
+        let off = Request::parse(&b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n"[..]).unwrap();
+        assert!(!off.keep_alive);
+        let absent = Request::parse(&b"GET /x HTTP/1.1\r\nHost: a\r\n\r\n"[..]).unwrap();
+        assert!(!absent.keep_alive);
+    }
+
+    #[test]
+    fn read_from_streams_pipelined_requests_then_none() {
+        let wire = b"GET /a HTTP/1.1\r\nConnection: keep-alive\r\n\r\nGET /b?x=1 HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&wire[..]);
+        let a = Request::read_from(&mut reader).unwrap().unwrap();
+        assert_eq!(a.path, "/a");
+        assert!(a.keep_alive);
+        let b = Request::read_from(&mut reader).unwrap().unwrap();
+        assert_eq!(b.path, "/b");
+        assert_eq!(b.param("x"), Some("1"));
+        assert!(!b.keep_alive);
+        assert_eq!(Request::read_from(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn keep_alive_responses_advertise_it() {
+        let mut out = Vec::new();
+        Response::json("{}".into())
+            .write_keep_alive_to(&mut out, true)
+            .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("Connection: keep-alive\r\n"), "{s}");
+        let mut gw = Vec::new();
+        Response::error(502, "shard down")
+            .write_to(&mut gw)
+            .unwrap();
+        let s = String::from_utf8(gw).unwrap();
+        assert!(s.starts_with("HTTP/1.1 502 Bad Gateway\r\n"), "{s}");
+        assert!(s.contains("Connection: close\r\n"), "{s}");
     }
 
     #[test]

@@ -25,10 +25,21 @@
 //!
 //! The request handler is a pure function ([`App::handle`]) so the whole
 //! surface is unit-testable without sockets; [`App::serve`] adds the
-//! blocking accept loop: a fixed worker pool over a bounded connection
-//! queue (a connection flood cannot exhaust OS threads), with
-//! exponential backoff and an eventual typed failure on persistent
-//! accept errors ([`ServeOptions`] tunes both).
+//! blocking accept loop — the hardened worker-pool loop shared with the
+//! binary shard server (`onex_net::serve_streams`): a fixed pool over a
+//! bounded connection queue (a connection flood cannot exhaust OS
+//! threads), exponential backoff, and an eventual typed failure on
+//! persistent accept errors ([`ServeOptions`] tunes both).
+//!
+//! Connections are reused when the client opts in with
+//! `Connection: keep-alive` (strictly opt-in; anything else stays
+//! one-shot), with a short idle timeout so parked sockets cannot starve
+//! the fixed pool.
+//!
+//! `?backend=cluster` on `/api/match` routes the query through an
+//! [`onex_net::ClusterEngine`] over the shard servers configured with
+//! [`App::with_cluster`] — unreachable shards surface as 502 Bad
+//! Gateway, and responses carry the fleet's pool and gossip counters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -6,11 +6,15 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 
+use onex_core::Onex;
 use onex_grouping::BaseConfig;
+use onex_net::{AcceptOptions, ShardServer};
 use onex_server::json::Json;
 use onex_server::App;
 use onex_tseries::gen::{matters_collection, Indicator, MattersConfig};
+use onex_tseries::{Dataset, TimeSeries};
 
 fn fetch(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
     let mut stream = TcpStream::connect(addr).expect("connects");
@@ -135,4 +139,90 @@ fn serves_real_sockets() {
     for j in joins {
         j.join().unwrap();
     }
+}
+
+/// End-to-end distributed path: two binary shard servers behind an HTTP
+/// gateway, `?backend=cluster` agreeing with `?backend=onex` over real
+/// sockets all the way down.
+#[test]
+fn cluster_backend_over_http_agrees_with_onex() {
+    let ds = matters_collection(&MattersConfig {
+        indicators: vec![Indicator::GrowthRate],
+        ..MattersConfig::default()
+    });
+    let config = BaseConfig::new(1.0, 6, 10);
+
+    // Round-robin partition (global g → shard g % 2, local g / 2): the
+    // identity ClusterEngine assumes, over the exact dataset the gateway
+    // serves locally.
+    let shard_addrs: Vec<String> = (0..2)
+        .map(|s| {
+            let part: Vec<TimeSeries> = (0..ds.len())
+                .filter(|g| g % 2 == s)
+                .map(|g| ds.series(g as u32).unwrap().clone())
+                .collect();
+            let (engine, _) = Onex::build(Dataset::from_series(part).unwrap(), config.clone())
+                .expect("shard builds");
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap().to_string();
+            let server = ShardServer::new(Arc::new(engine));
+            std::thread::spawn(move || {
+                let _ = server.serve_with(
+                    listener,
+                    &AcceptOptions {
+                        workers: 1,
+                        queue: 4,
+                        ..AcceptOptions::default()
+                    },
+                );
+            });
+            addr
+        })
+        .collect();
+
+    let (engine, _) = Onex::build(ds, config).unwrap();
+    let app = App::new(Arc::new(engine)).with_cluster(shard_addrs);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let _ = app.serve(listener);
+    });
+
+    // include_self=true so the onex baseline skips its self-exclusion —
+    // the cluster scans everything, exactly like a plain k-best.
+    let target = "/api/match?series=MA-GrowthRate&start=4&len=8&k=3&include_self=true";
+    let (status, onex_body) = fetch(addr, target);
+    assert_eq!(status, 200, "{onex_body}");
+    let (status, cluster_body) = fetch(addr, &format!("{target}&backend=cluster"));
+    assert_eq!(status, 200, "{cluster_body}");
+    assert!(
+        cluster_body.contains("\"backend\":\"cluster\""),
+        "{cluster_body}"
+    );
+
+    // Same matches (names, windows, distances); only labels and work
+    // counters differ between the local engine and the shard fleet.
+    let matches_of = |body: &str| {
+        let Json::Obj(fields) = Json::parse(body).expect("valid JSON") else {
+            panic!("object: {body}");
+        };
+        fields
+            .into_iter()
+            .find(|(k, _)| k == "matches")
+            .map(|(_, v)| v.render())
+            .expect("matches field")
+    };
+    assert_eq!(matches_of(&onex_body), matches_of(&cluster_body));
+
+    // The distributed response carries its pool and gossip observability.
+    assert!(cluster_body.contains("\"gossip\":{"), "{cluster_body}");
+    assert!(cluster_body.contains("\"shards\":2"), "{cluster_body}");
+    assert!(
+        cluster_body.contains("\"tightenings_sent\":"),
+        "{cluster_body}"
+    );
+
+    // Capability introspection lists the connectable cluster.
+    let (_, listing) = fetch(addr, "/api/backends");
+    assert!(listing.contains("\"name\":\"cluster\""), "{listing}");
 }

@@ -10,19 +10,82 @@
 //! ```
 //!
 //! Then open <http://127.0.0.1:7878/> in a browser.
+//!
+//! ## Distributed mode
+//!
+//! Serve this process's collection as a binary shard server (the
+//! `onex::net` wire protocol instead of HTTP):
+//!
+//! ```sh
+//! cargo run --example onex_server --release -- --shard-serve 127.0.0.1:7001 shard0.csv
+//! cargo run --example onex_server --release -- --shard-serve 127.0.0.1:7002 shard1.csv
+//! ```
+//!
+//! and point an HTTP gateway's `?backend=cluster` at the fleet:
+//!
+//! ```sh
+//! cargo run --example onex_server --release -- --cluster 127.0.0.1:7001,127.0.0.1:7002
+//! ```
+//!
+//! The cluster assumes a round-robin partition: global series `g` lives
+//! on shard `g % N` (in file order), as `ClusterEngine` documents.
 
 use std::net::TcpListener;
+use std::sync::Arc;
 
+use onex::engine::Onex;
 use onex::grouping::BaseConfig;
+use onex::net::ShardServer;
 use onex::server::App;
 use onex::tseries::gen::{matters_collection, Indicator, MattersConfig};
 use onex::tseries::io;
 
 fn main() {
+    let mut shard_serve: Option<String> = None;
+    let mut cluster: Vec<String> = Vec::new();
+    let mut positional: Vec<String> = Vec::new();
+
     let mut args = std::env::args().skip(1);
-    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7878".into());
-    let csv = args.next();
-    let st: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shard-serve" => {
+                shard_serve = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--shard-serve needs an address, e.g. 127.0.0.1:7001");
+                    std::process::exit(2);
+                }));
+            }
+            "--cluster" => {
+                let list = args.next().unwrap_or_else(|| {
+                    eprintln!("--cluster needs a comma-separated shard list");
+                    std::process::exit(2);
+                });
+                cluster = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            _ => positional.push(arg),
+        }
+    }
+    // Positional order: `addr csv st` — except in shard-serve mode, where
+    // the listen address came with the flag, so positionals are `csv st`.
+    let mut positional = positional.into_iter();
+    let addr = if shard_serve.is_some() {
+        String::new()
+    } else {
+        positional.next().unwrap_or_else(|| "127.0.0.1:7878".into())
+    };
+    let csv = positional.next();
+    let st: f64 = positional
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    if let Some(extra) = positional.next() {
+        eprintln!("unexpected argument {extra:?}");
+        std::process::exit(2);
+    }
 
     let dataset = match &csv {
         Some(path) => {
@@ -45,9 +108,32 @@ fn main() {
     };
     println!("loaded: {}", dataset.summary());
 
+    // Shard-server mode: host this collection behind the binary wire
+    // protocol on the same hardened accept loop, and exit when it does.
+    if let Some(shard_addr) = shard_serve {
+        let (engine, report) =
+            Onex::build(dataset, BaseConfig::new(st, 6, 12)).unwrap_or_else(|e| {
+                eprintln!("cannot build base: {e}");
+                std::process::exit(1);
+            });
+        println!(
+            "shard base ready: {} groups / {} subsequences in {:?}",
+            report.groups, report.subsequences, report.elapsed
+        );
+        let listener = TcpListener::bind(&shard_addr).unwrap_or_else(|e| {
+            eprintln!("cannot bind {shard_addr}: {e}");
+            std::process::exit(1);
+        });
+        println!("ONEX shard server listening on {shard_addr} (binary protocol) — ctrl-c to stop");
+        ShardServer::new(Arc::new(engine))
+            .serve(listener)
+            .expect("shard serve loop");
+        return;
+    }
+
     // The server performs the load step itself (the demo's one-click
     // preprocessing), so /api/summary reports the construction cost.
-    let app = App::build(dataset, BaseConfig::new(st, 6, 12)).unwrap_or_else(|e| {
+    let mut app = App::build(dataset, BaseConfig::new(st, 6, 12)).unwrap_or_else(|e| {
         eprintln!("cannot build base: {e}");
         std::process::exit(1);
     });
@@ -63,6 +149,14 @@ fn main() {
         report.work.pruned,
         report.work.distance_calls
     );
+    if !cluster.is_empty() {
+        println!(
+            "cluster backend enabled over {} shard(s): {}",
+            cluster.len(),
+            cluster.join(", ")
+        );
+        app = app.with_cluster(cluster);
+    }
 
     let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
         eprintln!("cannot bind {addr}: {e}");

@@ -39,6 +39,10 @@
 //!   embedding-based subsequence matching under DTW.
 //! * [`viz`] — visual-analytics output: overview pane, warped multi-line
 //!   charts, radial charts, connected scatter plots, seasonal views.
+//! * [`net`] — distributed ONEX: the length-prefixed binary wire
+//!   protocol, the [`net::ShardServer`] hosting an engine behind it, the
+//!   [`net::RemoteBackend`] client, and the [`net::ClusterEngine`]
+//!   fanning queries over shard servers with cross-process bound gossip.
 //! * [`server`] — the demo's client–server architecture: a dependency-free
 //!   HTTP server exposing the engine as JSON endpoints and SVG views.
 //!
@@ -56,6 +60,7 @@ pub use onex_distance as distance;
 pub use onex_embedding as embedding;
 pub use onex_frm as frm;
 pub use onex_grouping as grouping;
+pub use onex_net as net;
 pub use onex_server as server;
 pub use onex_spring as spring;
 pub use onex_tseries as tseries;

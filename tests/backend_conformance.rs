@@ -15,11 +15,13 @@
 //!    `Err(OnexError::InvalidQuery)`, never panics.
 //!
 //! The scale-out engines — [`ShardedEngine`] fanning the query across
-//! per-shard ONEX bases, and [`CachedSearch`] decorating the single
-//! engine — run through the identical contract, plus a cross-backend
-//! agreement check: the sharded top-k must equal the single-engine
-//! top-k on the same dataset.
+//! per-shard ONEX bases, [`CachedSearch`] decorating the single engine,
+//! and the cross-process [`ClusterEngine`] fanning out over loopback
+//! shard servers — run through the identical contract, plus a
+//! cross-backend agreement check: the sharded and cluster top-k must
+//! equal the single-engine top-k on the same dataset.
 
+use std::net::TcpListener;
 use std::sync::Arc;
 
 use onex::engine::backends::{
@@ -28,10 +30,48 @@ use onex::engine::backends::{
 };
 use onex::engine::Onex;
 use onex::grouping::BaseConfig;
+use onex::net::{AcceptOptions, ClusterEngine, RemoteConfig, ShardServer};
 use onex::tseries::{Dataset, TimeSeries};
 use onex::{OnexError, SimilaritySearch};
 
 const QLEN: usize = 16;
+
+/// Start one binary shard server over `ds` on an ephemeral loopback
+/// port (detached for the process lifetime — one worker is enough, the
+/// cluster keeps one connection per shard).
+fn spawn_shard(ds: Dataset, config: BaseConfig) -> String {
+    let (engine, _) = Onex::build(ds, config).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server = ShardServer::new(Arc::new(engine));
+    std::thread::spawn(move || {
+        let _ = server.serve_with(
+            listener,
+            &AcceptOptions {
+                workers: 1,
+                queue: 4,
+                ..AcceptOptions::default()
+            },
+        );
+    });
+    addr
+}
+
+/// Partition `ds` round-robin (global `g` → shard `g % n`, local
+/// `g / n` — the identity [`ClusterEngine`] assumes), start one shard
+/// server per part, and connect a cluster over the fleet.
+fn spawn_cluster(ds: &Dataset, config: &BaseConfig, n: usize) -> ClusterEngine {
+    let addrs: Vec<String> = (0..n)
+        .map(|s| {
+            let part: Vec<TimeSeries> = (0..ds.len())
+                .filter(|g| g % n == s)
+                .map(|g| ds.series(g as u32).unwrap().clone())
+                .collect();
+            spawn_shard(Dataset::from_series(part).unwrap(), config.clone())
+        })
+        .collect();
+    ClusterEngine::connect(&addrs, RemoteConfig::default()).expect("loopback shards are reachable")
+}
 
 fn collection() -> Dataset {
     // Six diverse, non-constant series so every metric (including
@@ -54,8 +94,9 @@ fn collection() -> Dataset {
 }
 
 /// Every backend under test, boxed behind the trait — the four baseline
-/// engines, ONEX itself, and the two scale-out engines built over the
-/// same collection.
+/// engines, ONEX itself, and the three scale-out engines (in-process
+/// shards, the caching decorator, and the cross-process cluster over
+/// loopback shard servers) built over the same collection.
 fn backends(ds: &Dataset) -> Vec<Box<dyn SimilaritySearch>> {
     let (engine, _) = Onex::build(ds.clone(), BaseConfig::new(0.8, QLEN, QLEN)).unwrap();
     let (cache_engine, _) = Onex::build(ds.clone(), BaseConfig::new(0.8, QLEN, QLEN)).unwrap();
@@ -68,6 +109,7 @@ fn backends(ds: &Dataset) -> Vec<Box<dyn SimilaritySearch>> {
         Box::new(SpringBackend::from_dataset(ds)),
         Box::new(sharded),
         Box::new(CachedSearch::new(OnexBackend::new(Arc::new(cache_engine)), 64).unwrap()),
+        Box::new(spawn_cluster(ds, &BaseConfig::new(0.8, QLEN, QLEN), 2)),
     ]
 }
 
@@ -212,7 +254,8 @@ fn capabilities_match_reported_behaviour() {
         }
         // Names are stable identifiers the server routes on.
         assert!(
-            ["onex", "ucrsuite", "frm", "ebsm", "spring", "sharded", "cached"].contains(&b.name()),
+            ["onex", "ucrsuite", "frm", "ebsm", "spring", "sharded", "cached", "cluster"]
+                .contains(&b.name()),
             "{}: unexpected name",
             b.name()
         );
@@ -275,11 +318,13 @@ fn sharded_top_k_equals_single_engine_top_k() {
 }
 
 /// Property: on random collections, random queries and every shard
-/// count, the shared-bound sharded top-k equals the single-engine top-k
-/// (Seed policy, perturbed queries so distances are distinct and the
-/// ordering unambiguous). This is the load-bearing exactness claim of
-/// the query-global bound: a bound published by one shard prunes the
-/// others *without ever pruning a true answer*.
+/// count, the shared-bound sharded top-k — in-process *and* across
+/// processes, via a [`ClusterEngine`] over loopback shard servers —
+/// equals the single-engine top-k (Seed policy, perturbed queries so
+/// distances are distinct and the ordering unambiguous). This is the
+/// load-bearing exactness claim of the query-global bound: a bound
+/// published by one shard prunes the others *without ever pruning a
+/// true answer*, whether it travels through an atomic or over a socket.
 mod shared_bound_properties {
     use super::*;
     use onex::tseries::gen::{random_walk_dataset, SyntheticConfig};
@@ -317,6 +362,18 @@ mod shared_bound_properties {
                 let merged = sharded.k_best(&query, k).unwrap();
                 prop_assert_eq!(merged.matches.len(), reference.matches.len());
                 for (x, y) in merged.matches.iter().zip(&reference.matches) {
+                    prop_assert_eq!(
+                        (x.series, x.start, x.len),
+                        (y.series, y.start, y.len)
+                    );
+                    prop_assert!((x.distance - y.distance).abs() < 1e-12);
+                }
+                // The same partition behind real sockets, with the bound
+                // travelling by gossip instead of a shared atomic.
+                let cluster = spawn_cluster(&ds, &exact_config(), shards);
+                let remote = cluster.k_best(&query, k).unwrap();
+                prop_assert_eq!(remote.matches.len(), reference.matches.len());
+                for (x, y) in remote.matches.iter().zip(&reference.matches) {
                     prop_assert_eq!(
                         (x.series, x.start, x.len),
                         (y.series, y.start, y.len)
@@ -410,6 +467,86 @@ fn concurrent_sharded_queries_never_cross_contaminate_bounds() {
         "the hammer must not have spawned query threads"
     );
     assert_eq!(pool.threads_spawned, 3, "one persistent worker per shard");
+}
+
+/// The cross-process version of the bound-isolation hammer: concurrent
+/// near and far queries through one [`ClusterEngine`] must each get a
+/// fresh query-global bound — gossiped tightenings from a self-match
+/// query racing on another thread must never prune a far query's true
+/// answers. The per-remote worker pool must also stay fixed throughout.
+#[test]
+fn concurrent_cluster_queries_never_cross_contaminate_bounds() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 6;
+
+    let ds = collection();
+    let (engine, _) = Onex::build(ds.clone(), exact_config()).unwrap();
+    let single = OnexBackend::new(Arc::new(engine));
+    let cluster = spawn_cluster(&ds, &exact_config(), 3);
+
+    let mut queries: Vec<Vec<f64>> = Vec::new();
+    for (i, &(sid, start)) in [(0u32, 5usize), (2, 30), (4, 55), (1, 12), (3, 70), (5, 40)]
+        .iter()
+        .enumerate()
+    {
+        let mut q = ds
+            .series(sid)
+            .unwrap()
+            .subsequence(start, QLEN)
+            .unwrap()
+            .to_vec();
+        let far = i % 2 == 1;
+        for (j, v) in q.iter_mut().enumerate() {
+            *v += 0.01 * ((j as f64) * 2.3 + i as f64).sin();
+            if far {
+                *v += 6.0 + (j as f64) * 0.1;
+            }
+        }
+        queries.push(q);
+    }
+    let reference: Vec<_> = queries
+        .iter()
+        .map(|q| single.k_best(q, 4).unwrap())
+        .collect();
+
+    let spawned_before = cluster.pool_stats().threads_spawned;
+    crossbeam::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cluster = &cluster;
+            let queries = &queries;
+            let reference = &reference;
+            scope.spawn(move |_| {
+                for round in 0..ROUNDS {
+                    let qi = (t + round) % queries.len();
+                    let out = cluster.k_best(&queries[qi], 4).unwrap();
+                    assert_eq!(
+                        out.matches.len(),
+                        reference[qi].matches.len(),
+                        "thread {t} round {round}: a gossiped bound pruned true answers"
+                    );
+                    for (x, y) in out.matches.iter().zip(&reference[qi].matches) {
+                        assert_eq!(
+                            (x.series, x.start, x.len),
+                            (y.series, y.start, y.len),
+                            "thread {t} round {round} diverged from the single engine"
+                        );
+                        assert!((x.distance - y.distance).abs() < 1e-12);
+                    }
+                }
+            });
+        }
+    })
+    .expect("no hammer thread panicked");
+    let pool = cluster.pool_stats();
+    assert_eq!(
+        pool.threads_spawned, spawned_before,
+        "the hammer must not have spawned query threads"
+    );
+    assert_eq!(pool.threads_spawned, 3, "one persistent worker per remote");
+    assert!(
+        pool.jobs_executed >= THREADS * ROUNDS * 3,
+        "every query fans out to every shard"
+    );
 }
 
 #[test]
