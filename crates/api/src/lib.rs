@@ -43,7 +43,7 @@ pub use bound::SharedBound;
 pub use error::{NetworkError, NetworkErrorKind, OnexError};
 pub use search::{
     validate_query, BackendMatch, BackendStats, Capabilities, Metric, SearchOutcome,
-    SimilaritySearch, StreamMatch, StreamingSearch,
+    SimilaritySearch, StreamMatch, StreamingSearch, TierPrunes,
 };
 pub use topk::BestK;
 pub use tx::{Epoch, ReadTxn, Versioned, WriteTxn};

@@ -95,6 +95,35 @@ pub struct BackendStats {
     pub pruned: usize,
     /// Full distance computations started (DTW DP runs, ED verifications).
     pub distance_computations: usize,
+    /// Where the pruning happened, per cascade tier. Backends without a
+    /// tiered cascade leave this at zero; when populated, the tier prune
+    /// counts it covers are a breakdown of (a subset of) `pruned`.
+    pub tiers: TierPrunes,
+}
+
+/// Per-tier breakdown of a backend's lower-bound cascade: how many
+/// candidates each tier rejected, plus how many surviving DTW runs
+/// abandoned mid-DP. Tiers a backend does not implement stay zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierPrunes {
+    /// Rejected by the quantised L0 sketch prefilter (before any f64
+    /// data was resolved).
+    pub l0: u64,
+    /// Rejected by an LB_Kim-style corner bound.
+    pub kim: u64,
+    /// Rejected by an LB_Keogh-style envelope bound.
+    pub keogh: u64,
+    /// DTW computations that abandoned early instead of completing.
+    pub dtw_abandoned: u64,
+}
+
+impl std::ops::AddAssign for TierPrunes {
+    fn add_assign(&mut self, rhs: TierPrunes) {
+        self.l0 += rhs.l0;
+        self.kim += rhs.kim;
+        self.keogh += rhs.keogh;
+        self.dtw_abandoned += rhs.dtw_abandoned;
+    }
 }
 
 impl BackendStats {
@@ -111,6 +140,7 @@ impl std::ops::AddAssign for BackendStats {
         self.examined += rhs.examined;
         self.pruned += rhs.pruned;
         self.distance_computations += rhs.distance_computations;
+        self.tiers += rhs.tiers;
     }
 }
 
@@ -266,13 +296,29 @@ mod tests {
             examined: 3,
             pruned: 1,
             distance_computations: 2,
+            tiers: TierPrunes {
+                l0: 1,
+                kim: 0,
+                keogh: 0,
+                dtw_abandoned: 1,
+            },
         };
         s += BackendStats {
             examined: 1,
             pruned: 0,
             distance_computations: 1,
+            tiers: TierPrunes {
+                l0: 2,
+                kim: 1,
+                keogh: 3,
+                dtw_abandoned: 0,
+            },
         };
         assert_eq!(s.work(), 7);
+        assert_eq!(s.tiers.l0, 3);
+        assert_eq!(s.tiers.kim, 1);
+        assert_eq!(s.tiers.keogh, 3);
+        assert_eq!(s.tiers.dtw_abandoned, 1);
     }
 
     #[test]

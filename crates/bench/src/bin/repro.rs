@@ -16,7 +16,9 @@
 //! touched-candidate/DTW ratios + agreement; `e15` → `BENCH_ingest.json`,
 //! append/search throughput under mutation; `e16` → `BENCH_cluster.json`,
 //! cross-process gossip DTW savings + cluster agreement + dead-peer
-//! probe) so successive runs leave a comparable performance trajectory.
+//! probe; `e17` → `BENCH_kernels.json`, SIMD kernel speedups + L0
+//! prefilter ablation + per-tier reject counts) so successive runs leave
+//! a comparable performance trajectory.
 
 use onex_bench::experiments;
 

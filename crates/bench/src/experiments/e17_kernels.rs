@@ -1,0 +1,664 @@
+//! E17 — SIMD distance kernels and the quantised L0 prefilter tier.
+//!
+//! The hottest loops in the whole workspace — squared-diff accumulation
+//! (ED / LB_Keogh), the DTW row recurrence, and the Lemire envelope —
+//! now route through [`onex_distance::kernels`], which picks an
+//! SSE2/AVX2/scalar implementation once at startup. In front of the
+//! LB cascade, every base member carries a quantised-PAA sketch
+//! ([`onex_grouping::sketch`]) whose byte-level lower bound rejects
+//! candidates before any f64 data is touched. E17 answers:
+//!
+//! 1. **Kernel throughput** — each kernel at each level the CPU offers,
+//!    against the scalar reference on the same buffers. CI guards that
+//!    the selected SIMD level does not lose to scalar, and that outputs
+//!    agree (bit-exact for the DTW row and envelope, ≤1e-9 relative for
+//!    the accumulating kernels, whose block-wise horizontal sums may
+//!    round differently).
+//! 2. **Cascade ablation** — the same query batch with the L0 tier on
+//!    and off. The bound trajectory is identical (anything L0 rejects
+//!    would have died later in the cascade), so the L0-on run must touch
+//!    no more candidates, spend strictly fewer f64 lower-bound
+//!    evaluations, and return the identical top-k.
+//! 3. **Per-tier reject fractions** — where candidates die (L0 → LB_Kim
+//!    → LB_Keogh → abandoned DTW → completed DTW), the observable that
+//!    explains the cascade's shape.
+//! 4. **Agreement** — the L0-on top-k equals the L0-off top-k, the
+//!    exhaustive stride-1 scan, and the 4-shard fan-out's merged answer
+//!    on every row. Because the DTW row kernel is bit-exact across
+//!    levels, distances are level-independent, so re-running this
+//!    experiment under `ONEX_FORCE_SCALAR=1` (the CI scalar leg) must
+//!    reproduce the same answers.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use onex_api::SimilaritySearch;
+use onex_core::backends::OnexBackend;
+use onex_core::exhaustive;
+use onex_core::scale::ShardedEngine;
+use onex_core::{Onex, QueryOptions, QueryStats};
+use onex_distance::kernels::{self, EnvAffine, KernelLevel};
+use onex_grouping::{BaseConfig, RepresentativePolicy};
+
+use crate::harness::{fmt_duration, median_time, Table};
+use crate::workloads;
+
+/// Query/subsequence length for the cascade rows.
+const SUBSEQ_LEN: usize = 16;
+/// Matches requested per query.
+const K: usize = 5;
+/// Queries per batch.
+const QUERIES: usize = 4;
+/// Shards of the fan-out agreement leg.
+const SHARDS: usize = 4;
+
+/// Exact configuration (Seed policy), so every agreement check is
+/// against a provably correct reference. The looser `ST` (vs E14's 0.5)
+/// keeps groups large enough that candidates actually reach the member
+/// tiers — at tight thresholds the group-level bridge bound kills
+/// nearly everything and the ablation would measure nothing.
+fn config() -> BaseConfig {
+    BaseConfig {
+        policy: RepresentativePolicy::Seed,
+        ..BaseConfig::new(2.0, SUBSEQ_LEN, SUBSEQ_LEN)
+    }
+}
+
+// ------------------------------------------------------------- kernels
+
+/// One (kernel, level) throughput measurement against scalar.
+pub struct KernelRow {
+    /// Which loop: `"ed"`, `"lb_keogh"`, `"dtw_row"`, `"envelope"`.
+    pub kernel: &'static str,
+    /// The level this row ran at.
+    pub level: KernelLevel,
+    /// Median wall-clock for the iteration batch at this level.
+    pub elapsed: Duration,
+    /// Median wall-clock of the scalar reference on the same buffers.
+    pub scalar: Duration,
+    /// Output agreement with scalar (exact for `dtw_row`/`envelope`,
+    /// ≤ 1e-9 relative for the accumulating kernels).
+    pub agrees: bool,
+}
+
+impl KernelRow {
+    /// Scalar time over this level's time (> 1 means faster than scalar).
+    pub fn speedup(&self) -> f64 {
+        self.scalar.as_secs_f64() / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+fn walk(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed.max(1);
+    let mut v = 0.0;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            v += (state % 2000) as f64 / 1000.0 - 1.0;
+            v
+        })
+        .collect()
+}
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+}
+
+/// Measure every kernel at every level the CPU offers (scalar included).
+pub fn measure_kernels(quick: bool) -> Vec<KernelRow> {
+    let n = if quick { 2048 } else { 8192 };
+    let iters = if quick { 128 } else { 256 };
+    let x = walk(11, n);
+    let y = walk(23, n);
+    let (lower, upper) = kernels::sliding_minmax_at(KernelLevel::Scalar, &y, 8);
+    let prev = vec![0.0; n + 1];
+    let mut curr = vec![0.0; n + 1];
+    let mut d2 = vec![0.0; n + 1];
+
+    // Scalar reference outputs, computed once.
+    let ed_ref = kernels::sum_sq_diff_ea_at(KernelLevel::Scalar, &x, &y, f64::INFINITY);
+    let keogh_ref = kernels::env_excess_sq_at(
+        KernelLevel::Scalar,
+        &x,
+        &lower,
+        &upper,
+        EnvAffine::IDENTITY,
+        f64::INFINITY,
+    );
+    let dtw_ref = {
+        let m = kernels::dtw_row_at(
+            KernelLevel::Scalar,
+            x[0],
+            &y,
+            1,
+            n,
+            &prev,
+            &mut curr,
+            &mut d2,
+        );
+        (m, curr.clone())
+    };
+    let env_ref = kernels::sliding_minmax_at(KernelLevel::Scalar, &y, 8);
+
+    let mut rows = Vec::new();
+    for level in KernelLevel::available() {
+        let scalar_of = |rows: &[KernelRow], kernel: &str| {
+            rows.iter()
+                .find(|r| r.kernel == kernel && r.level == KernelLevel::Scalar)
+                .map(|r| r.elapsed)
+        };
+
+        let ed_out = kernels::sum_sq_diff_ea_at(level, &x, &y, f64::INFINITY);
+        let ed_t = median_time(
+            || {
+                for _ in 0..iters {
+                    black_box(kernels::sum_sq_diff_ea_at(
+                        level,
+                        black_box(&x),
+                        black_box(&y),
+                        f64::INFINITY,
+                    ));
+                }
+            },
+            5,
+        );
+        rows.push(KernelRow {
+            kernel: "ed",
+            level,
+            elapsed: ed_t,
+            scalar: scalar_of(&rows, "ed").unwrap_or(ed_t),
+            agrees: rel_close(ed_out, ed_ref),
+        });
+
+        let keogh_out = kernels::env_excess_sq_at(
+            level,
+            &x,
+            &lower,
+            &upper,
+            EnvAffine::IDENTITY,
+            f64::INFINITY,
+        );
+        let keogh_t = median_time(
+            || {
+                for _ in 0..iters {
+                    black_box(kernels::env_excess_sq_at(
+                        level,
+                        black_box(&x),
+                        black_box(&lower),
+                        black_box(&upper),
+                        EnvAffine::IDENTITY,
+                        f64::INFINITY,
+                    ));
+                }
+            },
+            5,
+        );
+        rows.push(KernelRow {
+            kernel: "lb_keogh",
+            level,
+            elapsed: keogh_t,
+            scalar: scalar_of(&rows, "lb_keogh").unwrap_or(keogh_t),
+            agrees: rel_close(keogh_out, keogh_ref),
+        });
+
+        let dtw_out = {
+            let m = kernels::dtw_row_at(level, x[0], &y, 1, n, &prev, &mut curr, &mut d2);
+            (m, curr.clone())
+        };
+        let dtw_t = median_time(
+            || {
+                for _ in 0..iters {
+                    black_box(kernels::dtw_row_at(
+                        level,
+                        black_box(x[0]),
+                        black_box(&y),
+                        1,
+                        n,
+                        black_box(&prev),
+                        &mut curr,
+                        &mut d2,
+                    ));
+                }
+            },
+            5,
+        );
+        rows.push(KernelRow {
+            kernel: "dtw_row",
+            level,
+            elapsed: dtw_t,
+            scalar: scalar_of(&rows, "dtw_row").unwrap_or(dtw_t),
+            // The row kernel is bit-exact by construction: min distributes
+            // exactly over adding a common constant.
+            agrees: dtw_out.0 == dtw_ref.0 && dtw_out.1 == dtw_ref.1,
+        });
+
+        let env_out = kernels::sliding_minmax_at(level, &y, 8);
+        let env_t = median_time(
+            || {
+                for _ in 0..iters / 4 {
+                    black_box(kernels::sliding_minmax_at(level, black_box(&y), 8));
+                }
+            },
+            5,
+        );
+        rows.push(KernelRow {
+            kernel: "envelope",
+            level,
+            elapsed: env_t,
+            scalar: scalar_of(&rows, "envelope").unwrap_or(env_t),
+            agrees: env_out == env_ref,
+        });
+    }
+    rows
+}
+
+// ------------------------------------------------------------- cascade
+
+/// Aggregated cascade counters of one query batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CascadeLeg {
+    /// Candidates touched at any tier: groups examined plus every member
+    /// the scan reached (whatever tier dismissed it).
+    pub touched: usize,
+    /// Members that paid an f64 lower-bound evaluation (reached LB_Kim) —
+    /// the work the L0 tier exists to avoid.
+    pub lb_evals: usize,
+    /// Members rejected by the L0 sketch bound.
+    pub l0_pruned: usize,
+    /// Members rejected by LB_Kim.
+    pub kim_pruned: usize,
+    /// Members rejected by LB_Keogh.
+    pub keogh_pruned: usize,
+    /// Member DTWs that abandoned early.
+    pub dtw_abandoned: usize,
+    /// DTWs that ran to completion.
+    pub dtw_completed: usize,
+    /// Median batch wall-clock.
+    pub batch: Duration,
+}
+
+fn leg_from(stats: &QueryStats) -> CascadeLeg {
+    let members = stats.members_bound_pruned() + stats.members_examined;
+    CascadeLeg {
+        touched: stats.groups_examined + members,
+        lb_evals: members - stats.members_l0_pruned,
+        l0_pruned: stats.members_l0_pruned,
+        kim_pruned: stats.members_kim_pruned,
+        keogh_pruned: stats.members_lb_pruned,
+        dtw_abandoned: stats.members_abandoned,
+        dtw_completed: stats.dtw_completed,
+        batch: Duration::ZERO,
+    }
+}
+
+/// One collection size: the L0-on/off ablation plus the agreement legs.
+pub struct CascadeRow {
+    /// Series count of the workload.
+    pub series: usize,
+    /// Samples per series.
+    pub len: usize,
+    /// Counters with the L0 tier enabled (the default configuration).
+    pub on: CascadeLeg,
+    /// Counters with the L0 tier disabled (`without_l0`).
+    pub off: CascadeLeg,
+    /// L0-on top-k equals the exhaustive stride-1 scan (windows and
+    /// distances).
+    pub agreement: bool,
+    /// L0-on top-k equals the L0-off top-k.
+    pub ablation_agreement: bool,
+    /// 4-shard merged top-k equals the single-engine top-k.
+    pub sharded_agreement: bool,
+}
+
+/// Run the cascade ablation sweep over random-walk collections.
+pub fn measure_cascade(quick: bool) -> Vec<CascadeRow> {
+    let sizes: &[(usize, usize)] = if quick {
+        &[(12, 96), (24, 160)]
+    } else {
+        &[(12, 96), (24, 160), (48, 256)]
+    };
+    let mut rows = Vec::new();
+    for &(series, len) in sizes {
+        let ds = workloads::walk_collection(series, len);
+        let queries: Vec<Vec<f64>> = (0..QUERIES)
+            .map(|i| {
+                let sid = (i * 3 % series) as u32;
+                let name = ds.series(sid).unwrap().name().to_owned();
+                let start = (i * 17) % (len - SUBSEQ_LEN);
+                workloads::perturbed_query(&ds, &name, start, SUBSEQ_LEN, 0.05)
+            })
+            .collect();
+        let (engine, _) = Onex::build(ds.clone(), config()).expect("valid config");
+
+        let mut legs = [CascadeLeg::default(), CascadeLeg::default()];
+        let mut answers: Vec<Vec<Vec<onex_core::Match>>> = Vec::new();
+        for (slot, opts) in [
+            (0, QueryOptions::default()),
+            (1, QueryOptions::default().without_l0()),
+        ] {
+            let mut total = QueryStats::default();
+            let mut per_query = Vec::new();
+            for q in &queries {
+                let (matches, stats) = engine.k_best(q, K, &opts).expect("valid query");
+                total += stats;
+                per_query.push(matches);
+            }
+            legs[slot] = leg_from(&total);
+            legs[slot].batch = median_time(
+                || {
+                    for q in &queries {
+                        let _ = engine.k_best(q, K, &opts).expect("valid query");
+                    }
+                },
+                3,
+            );
+            answers.push(per_query);
+        }
+
+        let same_matches = |a: &[onex_core::Match], b: &[onex_core::Match]| {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b)
+                    .all(|(x, y)| x.subseq == y.subseq && (x.distance - y.distance).abs() < 1e-9)
+        };
+        let ablation_agreement = answers[0]
+            .iter()
+            .zip(&answers[1])
+            .all(|(a, b)| same_matches(a, b));
+
+        // Exhaustive stride-1 reference: the provably correct answer.
+        let agreement = queries.iter().zip(&answers[0]).all(|(q, got)| {
+            let reference =
+                exhaustive::scan_k(&ds, q, &[SUBSEQ_LEN], 1, &QueryOptions::default(), K, true)
+                    .expect("valid query");
+            got.len() == reference.len()
+                && got
+                    .iter()
+                    .zip(&reference)
+                    .all(|(m, r)| m.subseq == r.subseq && (m.distance - r.distance).abs() < 1e-9)
+        });
+
+        // Sharded fan-out agreement (the shared-bound path of E14, now
+        // with the L0 tier active on every shard).
+        let (sharded, _) = ShardedEngine::build(&ds, config(), SHARDS).expect("valid config");
+        let single = OnexBackend::new(std::sync::Arc::new(
+            Onex::build(ds.clone(), config()).expect("valid config").0,
+        ));
+        let sharded_agreement = queries.iter().all(|q| {
+            let merged = sharded.k_best(q, K).expect("valid query");
+            let reference = single.k_best(q, K).expect("valid query");
+            merged.matches.len() == reference.matches.len()
+                && merged.matches.iter().zip(&reference.matches).all(|(a, b)| {
+                    (a.series, a.start, a.len) == (b.series, b.start, b.len)
+                        && (a.distance - b.distance).abs() < 1e-9
+                })
+        });
+
+        rows.push(CascadeRow {
+            series,
+            len,
+            on: legs[0],
+            off: legs[1],
+            agreement,
+            ablation_agreement,
+            sharded_agreement,
+        });
+    }
+    rows
+}
+
+// -------------------------------------------------------------- output
+
+/// Render the kernel throughput table.
+pub fn kernels_table(rows: &[KernelRow]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E17a — kernel throughput by level (selected level: {}; \
+             speedup is scalar time / level time on identical buffers)",
+            kernels::level().label()
+        ),
+        &["kernel", "level", "time", "speedup vs scalar", "agrees"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.kernel.into(),
+            r.level.label().into(),
+            fmt_duration(r.elapsed),
+            format!("{:.2}×", r.speedup()),
+            if r.agrees { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t
+}
+
+/// Render the cascade ablation table.
+pub fn cascade_table(rows: &[CascadeRow]) -> Table {
+    let mut t = Table::new(
+        format!(
+            "E17b — L0 prefilter ablation (random walks, length {SUBSEQ_LEN}, \
+             k={K}, Seed policy; tier rejects are L0/Kim/Keogh/abandoned of \
+             the L0-on run; f64 LB evals must drop when L0 is on)"
+        ),
+        &[
+            "collection",
+            "touched on/off",
+            "f64 LB evals on/off",
+            "tier rejects",
+            "batch on",
+            "batch off",
+            "exhaustive",
+            "ablation",
+            "sharded",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            format!("{}x{}", r.series, r.len),
+            format!("{}/{}", r.on.touched, r.off.touched),
+            format!("{}/{}", r.on.lb_evals, r.off.lb_evals),
+            format!(
+                "{}|{}|{}|{}",
+                r.on.l0_pruned, r.on.kim_pruned, r.on.keogh_pruned, r.on.dtw_abandoned
+            ),
+            fmt_duration(r.on.batch),
+            fmt_duration(r.off.batch),
+            if r.agreement { "yes" } else { "NO" }.into(),
+            if r.ablation_agreement { "yes" } else { "NO" }.into(),
+            if r.sharded_agreement { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t
+}
+
+/// The machine-readable perf record `repro --format json` writes to
+/// `BENCH_kernels.json`. CI guards: every SIMD kernel row at the
+/// *selected* level beats scalar, outputs agree everywhere, the L0-on
+/// runs never touch more candidates and strictly reduce f64 LB
+/// evaluations, and all three agreement columns are true on every row.
+pub fn json_report(kernel_rows: &[KernelRow], cascade_rows: &[CascadeRow]) -> String {
+    use std::fmt::Write as _;
+    let level = kernels::level();
+    let mut out = format!(
+        "{{\"experiment\":\"e17_kernels\",\"kernel_level\":\"{}\",\
+         \"simd_active\":{},\"kernels\":[",
+        level.label(),
+        level != KernelLevel::Scalar,
+    );
+    for (i, r) in kernel_rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"kernel\":\"{}\",\"level\":\"{}\",\"selected\":{},\
+             \"time_us\":{:.3},\"speedup\":{:.4},\"agrees\":{}}}",
+            r.kernel,
+            r.level.label(),
+            r.level == level,
+            r.elapsed.as_secs_f64() * 1e6,
+            r.speedup(),
+            r.agrees,
+        );
+    }
+    out.push_str("],\"cascade\":[");
+    for (i, r) in cascade_rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"series\":{},\"len\":{},\
+             \"touched_on\":{},\"touched_off\":{},\
+             \"lb_evals_on\":{},\"lb_evals_off\":{},\
+             \"l0_pruned\":{},\"kim_pruned\":{},\"keogh_pruned\":{},\
+             \"dtw_abandoned\":{},\"dtw_completed\":{},\
+             \"batch_on_ms\":{:.3},\"batch_off_ms\":{:.3},\
+             \"agreement\":{},\"ablation_agreement\":{},\"sharded_agreement\":{}}}",
+            r.series,
+            r.len,
+            r.on.touched,
+            r.off.touched,
+            r.on.lb_evals,
+            r.off.lb_evals,
+            r.on.l0_pruned,
+            r.on.kim_pruned,
+            r.on.keogh_pruned,
+            r.on.dtw_abandoned,
+            r.on.dtw_completed,
+            r.on.batch.as_secs_f64() * 1e3,
+            r.off.batch.as_secs_f64() * 1e3,
+            r.agreement,
+            r.ablation_agreement,
+            r.sharded_agreement,
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Standard experiment entry point.
+pub fn run(quick: bool) -> Vec<Table> {
+    vec![
+        kernels_table(&measure_kernels(quick)),
+        cascade_table(&measure_cascade(quick)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_agree_across_levels() {
+        let rows = measure_kernels(true);
+        assert_eq!(rows.len() % 4, 0, "4 kernels per level");
+        for r in &rows {
+            assert!(
+                r.agrees,
+                "{} at {} disagrees with scalar",
+                r.kernel,
+                r.level.label()
+            );
+        }
+    }
+
+    #[test]
+    fn l0_reduces_f64_lb_work_without_changing_answers() {
+        let rows = measure_cascade(true);
+        assert_eq!(rows.len(), 2, "two quick sizes");
+        for r in &rows {
+            assert!(
+                r.agreement,
+                "{}x{}: diverged from exhaustive",
+                r.series, r.len
+            );
+            assert!(
+                r.ablation_agreement,
+                "{}x{}: L0 changed the top-k",
+                r.series, r.len
+            );
+            assert!(
+                r.sharded_agreement,
+                "{}x{}: sharded diverged",
+                r.series, r.len
+            );
+            // The L0 tier only ever *removes* work: same candidates
+            // touched, strictly fewer f64 lower-bound evaluations.
+            assert!(
+                r.on.touched <= r.off.touched,
+                "{}x{}: L0 on touched {} > off {}",
+                r.series,
+                r.len,
+                r.on.touched,
+                r.off.touched
+            );
+            assert!(
+                r.on.lb_evals < r.off.lb_evals,
+                "{}x{}: L0 on lb_evals {} !< off {}",
+                r.series,
+                r.len,
+                r.on.lb_evals,
+                r.off.lb_evals
+            );
+            assert!(r.on.l0_pruned > 0, "{}x{}: L0 never fired", r.series, r.len);
+            assert_eq!(r.off.l0_pruned, 0, "L0-off run must not count L0 prunes");
+        }
+    }
+
+    #[test]
+    fn json_report_is_parseable_shape() {
+        let kernel_rows = vec![
+            KernelRow {
+                kernel: "ed",
+                level: KernelLevel::Scalar,
+                elapsed: Duration::from_micros(100),
+                scalar: Duration::from_micros(100),
+                agrees: true,
+            },
+            KernelRow {
+                kernel: "ed",
+                level: KernelLevel::Avx2,
+                elapsed: Duration::from_micros(25),
+                scalar: Duration::from_micros(100),
+                agrees: true,
+            },
+        ];
+        let cascade_rows = vec![CascadeRow {
+            series: 12,
+            len: 96,
+            on: CascadeLeg {
+                touched: 900,
+                lb_evals: 500,
+                l0_pruned: 300,
+                kim_pruned: 40,
+                keogh_pruned: 120,
+                dtw_abandoned: 80,
+                dtw_completed: 260,
+                batch: Duration::from_micros(431),
+            },
+            off: CascadeLeg {
+                touched: 900,
+                lb_evals: 800,
+                l0_pruned: 0,
+                kim_pruned: 120,
+                keogh_pruned: 340,
+                dtw_abandoned: 80,
+                dtw_completed: 260,
+                batch: Duration::from_micros(520),
+            },
+            agreement: true,
+            ablation_agreement: true,
+            sharded_agreement: true,
+        }];
+        let json = json_report(&kernel_rows, &cascade_rows);
+        assert!(json.starts_with("{\"experiment\":\"e17_kernels\""));
+        assert!(json.contains("\"kernel_level\":\""));
+        assert!(json.contains("\"speedup\":4.0000"));
+        assert!(json.contains("\"lb_evals_on\":500"));
+        assert!(json.contains("\"lb_evals_off\":800"));
+        assert!(json.contains("\"ablation_agreement\":true"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+}

@@ -9,6 +9,7 @@ pub mod e13_scaling;
 pub mod e14_pruning;
 pub mod e15_ingest;
 pub mod e16_cluster;
+pub mod e17_kernels;
 pub mod e1_pipeline;
 pub mod e2_similarity;
 pub mod e3_linked_views;
@@ -22,9 +23,9 @@ pub mod e9_ablation;
 use crate::harness::Table;
 
 /// Experiment ids accepted by the `repro` binary.
-pub const ALL: [&str; 16] = [
+pub const ALL: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// What one experiment run produced: the printable tables, plus an
@@ -101,6 +102,20 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
                 record: Some((
                     "BENCH_cluster.json",
                     e16_cluster::json_report(&rows, &probe),
+                )),
+            })
+        }
+        "e17" => {
+            let kernel_rows = e17_kernels::measure_kernels(quick);
+            let cascade_rows = e17_kernels::measure_cascade(quick);
+            Some(ExperimentOutput {
+                tables: vec![
+                    e17_kernels::kernels_table(&kernel_rows),
+                    e17_kernels::cascade_table(&cascade_rows),
+                ],
+                record: Some((
+                    "BENCH_kernels.json",
+                    e17_kernels::json_report(&kernel_rows, &cascade_rows),
                 )),
             })
         }

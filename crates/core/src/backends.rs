@@ -121,8 +121,14 @@ pub fn outcome(matches: Vec<crate::Match>, stats: crate::QueryStats) -> SearchOu
         stats: BackendStats {
             examined: stats.groups_examined.saturating_sub(stats.groups_pruned)
                 + stats.members_examined,
-            pruned: stats.groups_pruned + stats.members_lb_pruned,
+            pruned: stats.groups_pruned + stats.members_bound_pruned(),
             distance_computations: stats.dtw_completed + stats.dtw_abandoned,
+            tiers: onex_api::TierPrunes {
+                l0: stats.members_l0_pruned as u64,
+                kim: stats.members_kim_pruned as u64,
+                keogh: stats.members_lb_pruned as u64,
+                dtw_abandoned: stats.dtw_abandoned as u64,
+            },
         },
     }
 }
@@ -239,6 +245,12 @@ impl SimilaritySearch for UcrSuiteBackend {
                     examined: stats.candidates.saturating_sub(pruned),
                     pruned,
                     distance_computations: stats.dtw_runs,
+                    tiers: onex_api::TierPrunes {
+                        l0: 0,
+                        kim: stats.kim_pruned as u64,
+                        keogh: (stats.keogh_eq_pruned + stats.keogh_ec_pruned) as u64,
+                        dtw_abandoned: stats.dtw_abandoned as u64,
+                    },
                 }
             },
         })
@@ -328,6 +340,7 @@ impl<const D: usize> SimilaritySearch for FrmBackend<D> {
                 examined: stats.candidates,
                 pruned: stats.windows_total.saturating_sub(stats.candidates),
                 distance_computations: stats.candidates,
+                tiers: onex_api::TierPrunes::default(),
             },
         })
     }
@@ -423,6 +436,7 @@ impl SimilaritySearch for EbsmBackend {
                 examined: stats.refined,
                 pruned: stats.positions_total.saturating_sub(stats.refined),
                 distance_computations: stats.refined,
+                tiers: onex_api::TierPrunes::default(),
             },
         })
     }

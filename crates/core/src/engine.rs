@@ -97,7 +97,7 @@ impl Onex {
     /// [`OnexError::DatasetMismatch`] when the base was built over a
     /// different number of series — the cheap sanity check against
     /// pairing the wrong artefacts.
-    pub fn from_parts(dataset: Dataset, base: OnexBase) -> Result<Self, OnexError> {
+    pub fn from_parts(dataset: Dataset, mut base: OnexBase) -> Result<Self, OnexError> {
         if base.source_series() != dataset.len() {
             return Err(OnexError::DatasetMismatch(format!(
                 "base was built over {} series but dataset has {}",
@@ -105,6 +105,10 @@ impl Onex {
                 dataset.len()
             )));
         }
+        // Sketches are derived data excluded from persistence — rebuild
+        // them here so loaded bases prefilter too. Idempotent (no-op when
+        // the builder already synced them).
+        base.sync_sketches(&dataset);
         Ok(Onex {
             state: Versioned::new(EngineState { dataset, base }),
             lifetime: Arc::new(Mutex::new(QueryStats::default())),

@@ -50,6 +50,11 @@ pub struct QueryOptions {
     /// Prune members with LB_Keogh before running DTW (only applicable
     /// when the member length equals the query length).
     pub lb_keogh: bool,
+    /// Reject members from their quantised L0 sketch before resolving any
+    /// f64 data (only applicable when the member length equals the query
+    /// length, and rides on the LB_Keogh envelope — disabled when
+    /// `lb_keogh` is off).
+    pub l0_prefilter: bool,
     /// Skip matches from this series entirely (compare MA against *other*
     /// states).
     pub exclude_series: Option<u32>,
@@ -70,6 +75,7 @@ impl Default for QueryOptions {
             breadth: ScanBreadth::Exact,
             prune_groups: true,
             lb_keogh: true,
+            l0_prefilter: true,
             exclude_series: None,
             only_series: None,
             exclude_windows: Vec::new(),
@@ -96,6 +102,7 @@ impl QueryOptions {
     pub fn without_pruning(mut self) -> Self {
         self.prune_groups = false;
         self.lb_keogh = false;
+        self.l0_prefilter = false;
         self
     }
 
@@ -129,6 +136,12 @@ impl QueryOptions {
         self
     }
 
+    /// Builder-style: disable only the L0 sketch prefilter (ablation).
+    pub fn without_l0(mut self) -> Self {
+        self.l0_prefilter = false;
+        self
+    }
+
     /// Builder-style: the paper's approximation — scan only the `g` groups
     /// with the nearest representatives.
     pub fn top_groups(mut self, g: usize) -> Self {
@@ -157,7 +170,7 @@ mod tests {
     #[test]
     fn defaults_enable_all_optimisations() {
         let o = QueryOptions::default();
-        assert!(o.prune_groups && o.lb_keogh);
+        assert!(o.prune_groups && o.lb_keogh && o.l0_prefilter);
         assert_eq!(o.band, Band::Full);
         assert_eq!(o.lengths, LengthSelection::Exact);
     }
@@ -169,7 +182,8 @@ mod tests {
             .without_pruning();
         assert_eq!(o.band, Band::SakoeChiba(3));
         assert_eq!(o.lengths, LengthSelection::Nearest(5));
-        assert!(!o.prune_groups && !o.lb_keogh);
+        assert!(!o.prune_groups && !o.lb_keogh && !o.l0_prefilter);
+        assert!(!QueryOptions::default().without_l0().l0_prefilter);
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //! 1. **Group pruning** via the ED↔DTW bridge: a group whose
 //!    representative distance minus `√W · radius` cannot beat the current
 //!    k-th best contains no useful member.
-//! 2. **LB_Keogh** on each member against the query envelope (equal
-//!    lengths only).
-//! 3. **Early-abandoning DTW** seeded with the current k-th best.
+//! 2. **L0 sketch prefilter** on each member: a lower bound computed from
+//!    the member's quantised-PAA sketch ([`onex_grouping::sketch`]) —
+//!    rejected candidates never even have their f64 data resolved.
+//! 3. **LB_Kim** (four touched points) then **LB_Keogh** on each member
+//!    against the query envelope (equal lengths only).
+//! 4. **Early-abandoning DTW** seeded with the current k-th best.
 //!
 //! Every prune threshold flows through one **query-global bound**: the
 //! k-th best *normalised* distance known so far, kept in a
@@ -38,7 +41,7 @@ use onex_api::SharedBound;
 use onex_distance::bounds::warp_multiplicity;
 use onex_distance::dtw::dtw_early_abandon_sq_dynamic;
 use onex_distance::lb::{lb_keogh_sq, lb_kim_fl_sq};
-use onex_distance::{dtw_with_path, Envelope};
+use onex_distance::{dtw_with_path, Envelope, QuerySketch, SKETCH_STRIDE};
 use onex_grouping::{GroupId, OnexBase};
 use onex_tseries::{Dataset, SubseqRef};
 
@@ -110,6 +113,10 @@ struct LengthPlan {
     /// Query envelope for LB_Keogh (equal lengths only; also used to
     /// rank groups cheaply in phase 1).
     env_q: Option<Envelope>,
+    /// Query-side L0 sketch against this length's frozen quantisation
+    /// parameters — the tier that rejects members from bytes alone,
+    /// before their f64 data is resolved.
+    l0: Option<QuerySketch>,
 }
 
 pub(crate) struct Searcher<'a> {
@@ -177,12 +184,24 @@ impl<'a> Searcher<'a> {
         let n = self.query.len();
         let band = self.opts.band;
         let mult = warp_multiplicity(n, len, band);
+        let env_q = (self.opts.lb_keogh && len == n)
+            .then(|| Envelope::build(self.query, band.radius(n, len)));
+        // The L0 sketch shares the envelope (its bound is a coarsening of
+        // LB_Keogh + LB_Kim), so it rides on the same gate.
+        let l0 = match &env_q {
+            Some(env) if self.opts.l0_prefilter => self
+                .base
+                .sketches()
+                .for_len(len)
+                .map(|ls| QuerySketch::new(self.query, env, ls.params())),
+            _ => None,
+        };
         LengthPlan {
             len,
             norm: (n.max(len) as f64).sqrt(),
             sqrt_w: (mult as f64).sqrt(),
-            env_q: (self.opts.lb_keogh && len == n)
-                .then(|| Envelope::build(self.query, band.radius(n, len))),
+            env_q,
+            l0,
         }
     }
 
@@ -429,21 +448,45 @@ impl<'a> Searcher<'a> {
                 f64::INFINITY
             }
         };
-        for &member in g.members() {
+        // The group's sketch slab, parallel to `g.members()`: slot `i`
+        // holds member `i`'s quantised sketch. Absent (stale or unsynced
+        // index) simply means the L0 tier passes everyone through.
+        let sketches = plan
+            .l0
+            .as_ref()
+            .and_then(|_| self.base.sketches().for_len(len))
+            .and_then(|ls| ls.group(gi));
+        for (slot, &member) in g.members().iter().enumerate() {
             if !self.opts.admits(member) {
                 continue;
             }
-            let values = self
-                .dataset
-                .resolve(member)
-                .expect("base members resolve against their dataset");
             let bound = self.raw_bound(heap, k, plan);
             let bound_sq = if bound.is_finite() {
                 bound * bound
             } else {
                 f64::INFINITY
             };
+            // Tier L0: reject from the quantised sketch alone — no f64
+            // data is resolved for a candidate that dies here.
+            if let (Some(qs), Some(slab)) = (&plan.l0, sketches) {
+                if let Some(sk) = slab.get(slot * SKETCH_STRIDE..(slot + 1) * SKETCH_STRIDE) {
+                    if qs.bound_sq(sk) > bound_sq {
+                        self.stats.members_l0_pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            let values = self
+                .dataset
+                .resolve(member)
+                .expect("base members resolve against their dataset");
             if let Some(env) = &plan.env_q {
+                // Tier 1: LB_Kim — four touched points.
+                if lb_kim_fl_sq(self.query, values) > bound_sq {
+                    self.stats.members_kim_pruned += 1;
+                    continue;
+                }
+                // Tier 2: LB_Keogh against the query envelope.
                 if lb_keogh_sq(values, env, bound_sq).is_infinite() {
                     self.stats.members_lb_pruned += 1;
                     continue;

@@ -12,6 +12,11 @@ pub struct QueryStats {
     pub groups_pruned: usize,
     /// Members whose DTW was started.
     pub members_examined: usize,
+    /// Members skipped by the quantised L0 sketch bound — before their
+    /// f64 data was even resolved.
+    pub members_l0_pruned: usize,
+    /// Members skipped by the LB_Kim corner bound.
+    pub members_kim_pruned: usize,
     /// Members skipped by LB_Keogh.
     pub members_lb_pruned: usize,
     /// Member DTW computations that abandoned early (subset of
@@ -29,14 +34,20 @@ impl QueryStats {
         self.dtw_completed + self.dtw_abandoned
     }
 
+    /// Members rejected by any lower-bound tier (L0 sketch, LB_Kim,
+    /// LB_Keogh) before a DTW was started.
+    pub fn members_bound_pruned(&self) -> usize {
+        self.members_l0_pruned + self.members_kim_pruned + self.members_lb_pruned
+    }
+
     /// Fraction of candidate members that never needed a full DTW
-    /// (pruned by LB or abandoned mid-DP).
+    /// (pruned by a lower bound or abandoned mid-DP).
     pub fn pruning_effectiveness(&self) -> f64 {
-        let total = self.members_examined + self.members_lb_pruned;
+        let total = self.members_examined + self.members_bound_pruned();
         if total == 0 {
             return 0.0;
         }
-        let avoided = self.members_lb_pruned + self.members_abandoned;
+        let avoided = self.members_bound_pruned() + self.members_abandoned;
         avoided as f64 / total as f64
     }
 }
@@ -46,6 +57,8 @@ impl AddAssign for QueryStats {
         self.groups_examined += rhs.groups_examined;
         self.groups_pruned += rhs.groups_pruned;
         self.members_examined += rhs.members_examined;
+        self.members_l0_pruned += rhs.members_l0_pruned;
+        self.members_kim_pruned += rhs.members_kim_pruned;
         self.members_lb_pruned += rhs.members_lb_pruned;
         self.members_abandoned += rhs.members_abandoned;
         self.dtw_abandoned += rhs.dtw_abandoned;
@@ -64,7 +77,9 @@ mod tests {
             groups_examined: 5,
             groups_pruned: 3,
             members_examined: 10,
-            members_lb_pruned: 6,
+            members_l0_pruned: 2,
+            members_kim_pruned: 1,
+            members_lb_pruned: 3,
             members_abandoned: 4,
             dtw_abandoned: 4,
             dtw_completed: 6,
@@ -74,8 +89,9 @@ mod tests {
             ..QueryStats::default()
         };
         assert_eq!(total.members_examined, 12);
+        assert_eq!(total.members_bound_pruned(), 6);
         assert_eq!(total.dtw_invocations(), 10);
-        // avoided = 6 lb + 4 abandoned over 12+6 candidates.
+        // avoided = (2+1+3) bound-pruned + 4 abandoned over 12+6 candidates.
         assert!((total.pruning_effectiveness() - 10.0 / 18.0).abs() < 1e-12);
         assert_eq!(QueryStats::default().pruning_effectiveness(), 0.0);
     }

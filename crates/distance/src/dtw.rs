@@ -182,8 +182,11 @@ pub fn dtw_early_abandon_sq_dynamic(
     }
 
     // Two rows over columns 0..=m; column 0 is the virtual "before y" edge.
+    // `d2` is the squared-diff scratch row the SIMD row kernel caches its
+    // vectorised pass in.
     let mut prev = vec![f64::INFINITY; m + 1];
     let mut curr = vec![f64::INFINITY; m + 1];
+    let mut d2 = vec![0.0; m + 1];
     prev[0] = 0.0;
     // The effective threshold only ever tightens: the static ub_sq folded
     // with every live reading observed so far (f64::min ignores NaN, so a
@@ -197,16 +200,7 @@ pub fn dtw_early_abandon_sq_dynamic(
             return f64::INFINITY; // band excludes the whole row: infeasible
         }
         let xi = x[i - 1];
-        let mut row_min = f64::INFINITY;
-        for j in lo..=hi {
-            let d = xi - y[j - 1];
-            let best_prev = prev[j].min(curr[j - 1]).min(prev[j - 1]);
-            let v = d * d + best_prev;
-            curr[j] = v;
-            if v < row_min {
-                row_min = v;
-            }
-        }
+        let row_min = crate::kernels::dtw_row(xi, y, lo, hi, &prev, &mut curr, &mut d2);
         // Outstanding-contribution tail. A partial path through row `i`
         // has consumed query positions 0..i and possibly candidate
         // positions up to `hi` (the band's forward reach), so only

@@ -13,13 +13,7 @@
 /// always a logic error in the caller, never data-dependent.
 #[inline]
 pub fn ed_sq(x: &[f64], y: &[f64]) -> f64 {
-    assert_eq!(x.len(), y.len(), "ED requires equal lengths");
-    let mut acc = 0.0;
-    for (a, b) in x.iter().zip(y) {
-        let d = a - b;
-        acc += d * d;
-    }
-    acc
+    crate::kernels::sum_sq_diff(x, y)
 }
 
 /// Euclidean distance `√(Σ (x_i − y_i)²)`.
@@ -34,25 +28,14 @@ pub fn ed(x: &[f64], y: &[f64]) -> f64 {
 /// Early-abandoning squared ED: returns `f64::INFINITY` as soon as the
 /// partial sum exceeds `ub_sq` (pass [`crate::INF`] to disable).
 ///
-/// Abandonment checks are performed every 8 accumulated terms — frequent
-/// enough to save work on hopeless candidates, rare enough not to tax the
-/// promising ones.
+/// Abandonment checks run once per accumulation block of the underlying
+/// [`crate::kernels`] path — frequent enough to save work on hopeless
+/// candidates, rare enough not to tax the promising ones.
 ///
 /// # Panics
 /// Panics when lengths differ.
 pub fn ed_early_abandon_sq(x: &[f64], y: &[f64], ub_sq: f64) -> f64 {
-    assert_eq!(x.len(), y.len(), "ED requires equal lengths");
-    let mut acc = 0.0;
-    for (chunk_x, chunk_y) in x.chunks(8).zip(y.chunks(8)) {
-        for (a, b) in chunk_x.iter().zip(chunk_y) {
-            let d = a - b;
-            acc += d * d;
-        }
-        if acc > ub_sq {
-            return f64::INFINITY;
-        }
-    }
-    acc
+    crate::kernels::sum_sq_diff_ea(x, y, ub_sq)
 }
 
 /// Length-normalised ED: `ed(x, y) / √n`.

@@ -4,11 +4,10 @@
 //! envelopes" (§3.3). An envelope of radius `r` around a sequence `y`
 //! brackets every value `y` can be warped onto within a Sakoe–Chiba band
 //! of radius `r`; LB_Keogh then lower-bounds DTW by how far a query
-//! escapes the envelope. Built in O(n) with monotonic deques
-//! (Lemire, *Faster retrieval with a two-pass dynamic-time-warping lower
-//! bound*, 2009).
-
-use std::collections::VecDeque;
+//! escapes the envelope. Built in O(n) by [`crate::kernels::sliding_minmax`]
+//! — monotonic deques (Lemire, *Faster retrieval with a two-pass
+//! dynamic-time-warping lower bound*, 2009) on the scalar path, the van
+//! Herk–Gil–Werman decomposition on the SIMD paths; all levels bit-exact.
 
 /// Lower/upper warping envelope of a sequence for a given band radius.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,51 +31,7 @@ impl Envelope {
     /// assert!(env.contains(&[1.0, 3.0, 2.0]));
     /// ```
     pub fn build(y: &[f64], radius: usize) -> Envelope {
-        let n = y.len();
-        let mut lower = Vec::with_capacity(n);
-        let mut upper = Vec::with_capacity(n);
-        // Monotonic deques of indices: front is the current window extremum.
-        let mut maxq: VecDeque<usize> = VecDeque::new();
-        let mut minq: VecDeque<usize> = VecDeque::new();
-        for i in 0..n {
-            // The window for output position `o = i - radius` is
-            // [o - radius, o + radius] = [i - 2r, i]; push y[i] first, then
-            // emit once i reaches the window end o + radius.
-            while maxq.back().is_some_and(|&b| y[b] <= y[i]) {
-                maxq.pop_back();
-            }
-            maxq.push_back(i);
-            while minq.back().is_some_and(|&b| y[b] >= y[i]) {
-                minq.pop_back();
-            }
-            minq.push_back(i);
-            if i >= radius {
-                let o = i - radius;
-                upper.push(y[*maxq.front().expect("window non-empty")]);
-                lower.push(y[*minq.front().expect("window non-empty")]);
-                // Retire indices leaving the next window [o+1-r, ...].
-                if maxq.front().is_some_and(|&f| f + radius <= o) {
-                    maxq.pop_front();
-                }
-                if minq.front().is_some_and(|&f| f + radius <= o) {
-                    minq.pop_front();
-                }
-            }
-        }
-        // Tail positions whose window is cut off by the end of the series.
-        for o in n.saturating_sub(radius)..n {
-            // Window [o - r, n): drop indices before o - r.
-            while maxq.front().is_some_and(|&f| f + radius < o) {
-                maxq.pop_front();
-            }
-            while minq.front().is_some_and(|&f| f + radius < o) {
-                minq.pop_front();
-            }
-            upper.push(y[*maxq.front().expect("window non-empty")]);
-            lower.push(y[*minq.front().expect("window non-empty")]);
-        }
-        debug_assert_eq!(lower.len(), n);
-        debug_assert_eq!(upper.len(), n);
+        let (lower, upper) = crate::kernels::sliding_minmax(y, radius);
         Envelope {
             radius,
             lower,

@@ -1,0 +1,1014 @@
+//! Runtime-dispatched SIMD kernels for the distance hot loops.
+//!
+//! Every inner loop the pruning cascade spends its time in — squared-diff
+//! accumulation (ED), envelope-exceedance accumulation (LB_Keogh and its
+//! z-normalised UCR variants), the DTW row recurrence, and the envelope
+//! min/max — lives here once, with a scalar reference implementation and
+//! `core::arch::x86_64` SSE2/AVX2 paths selected **once** at startup via
+//! [`level`] (CPUID feature detection, overridable with the
+//! `ONEX_FORCE_SCALAR` environment variable for fallback testing).
+//!
+//! ## Exactness contract
+//!
+//! * [`dtw_row`] and [`sliding_minmax`] are **bit-exact** across levels:
+//!   the row kernel only reassociates `min` with a common added constant
+//!   (`min(a, b) + c == min(a + c, b + c)` exactly, since FP addition is
+//!   monotone), and min/max of finite values is exact arithmetic.
+//! * The accumulating kernels ([`sum_sq_diff`], [`sum_sq_diff_ea`],
+//!   [`env_excess_sq`], …) sum in SIMD lanes and therefore round in a
+//!   different order than the scalar reference — results agree to within
+//!   a few ulps (property-tested at `1e-9` relative), and an
+//!   early-abandon decision sitting exactly on that ulp boundary may
+//!   differ between levels. Both outcomes are sound: the returned value
+//!   is a correctly-rounded sum of the same terms either way.
+//!
+//! The `_at` variants take an explicit [`KernelLevel`] so benchmarks and
+//! property tests can pin a path regardless of what [`level`] detected.
+#![allow(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+/// Which instruction set the dispatched kernels run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelLevel {
+    /// Portable scalar reference (always available, and the forced path
+    /// under `ONEX_FORCE_SCALAR`).
+    Scalar,
+    /// 128-bit `core::arch::x86_64` path (2 doubles per op).
+    Sse2,
+    /// 256-bit `core::arch::x86_64` path (4 doubles per op).
+    Avx2,
+}
+
+impl KernelLevel {
+    /// Stable lowercase name (`"scalar"`, `"sse2"`, `"avx2"`) for
+    /// reports, `/api/summary`, and bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelLevel::Scalar => "scalar",
+            KernelLevel::Sse2 => "sse2",
+            KernelLevel::Avx2 => "avx2",
+        }
+    }
+
+    /// Every level this hardware can run, scalar first — what a bench
+    /// sweeps, regardless of the `ONEX_FORCE_SCALAR` override honoured
+    /// by [`level`].
+    pub fn available() -> Vec<KernelLevel> {
+        #[allow(unused_mut)]
+        let mut v = vec![KernelLevel::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("sse2") {
+                v.push(KernelLevel::Sse2);
+            }
+            if is_x86_feature_detected!("avx2") {
+                v.push(KernelLevel::Avx2);
+            }
+        }
+        v
+    }
+}
+
+/// The level every dispatched kernel in this process uses, detected once
+/// on first call: the widest supported x86-64 extension, unless the
+/// `ONEX_FORCE_SCALAR` environment variable is set (to anything but `0`
+/// or empty), which pins the scalar reference path.
+pub fn level() -> KernelLevel {
+    static LEVEL: OnceLock<KernelLevel> = OnceLock::new();
+    *LEVEL.get_or_init(detect)
+}
+
+fn detect() -> KernelLevel {
+    if std::env::var_os("ONEX_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != *"0") {
+        return KernelLevel::Scalar;
+    }
+    *KernelLevel::available()
+        .last()
+        .expect("scalar always present")
+}
+
+/// How many accumulated terms between early-abandon checks in the
+/// accumulating kernels. Shared by every level so abandonment decisions
+/// depend on the data, not the instruction set.
+const EA_BLOCK: usize = 16;
+
+// ---------------------------------------------------------------------
+// Squared-diff accumulation (ED).
+// ---------------------------------------------------------------------
+
+/// `Σ (x_i − y_i)²` — the ED inner loop.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn sum_sq_diff(x: &[f64], y: &[f64]) -> f64 {
+    sum_sq_diff_ea_at(level(), x, y, f64::INFINITY)
+}
+
+/// [`sum_sq_diff`] that returns `f64::INFINITY` once a partial sum
+/// *exceeds* `ub_sq` (checked every `EA_BLOCK` terms; a partial sum
+/// equal to the bound keeps going).
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn sum_sq_diff_ea(x: &[f64], y: &[f64], ub_sq: f64) -> f64 {
+    sum_sq_diff_ea_at(level(), x, y, ub_sq)
+}
+
+/// [`sum_sq_diff_ea`] on an explicit level (bench/property-test entry;
+/// levels this build cannot run fall back to scalar).
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn sum_sq_diff_ea_at(l: KernelLevel, x: &[f64], y: &[f64], ub_sq: f64) -> f64 {
+    assert_eq!(x.len(), y.len(), "ED requires equal lengths");
+    match l {
+        KernelLevel::Scalar => sum_sq_diff_scalar(x, y, ub_sq),
+        #[cfg(target_arch = "x86_64")]
+        KernelLevel::Sse2 => unsafe { sum_sq_diff_sse2(x, y, ub_sq) },
+        #[cfg(target_arch = "x86_64")]
+        KernelLevel::Avx2 => unsafe { sum_sq_diff_avx2(x, y, ub_sq) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => sum_sq_diff_scalar(x, y, ub_sq),
+    }
+}
+
+fn sum_sq_diff_scalar(x: &[f64], y: &[f64], ub_sq: f64) -> f64 {
+    let mut acc = 0.0;
+    for (cx, cy) in x.chunks(EA_BLOCK).zip(y.chunks(EA_BLOCK)) {
+        for (a, b) in cx.iter().zip(cy) {
+            let d = a - b;
+            acc += d * d;
+        }
+        if acc > ub_sq {
+            return f64::INFINITY;
+        }
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn sum_sq_diff_sse2(x: &[f64], y: &[f64], ub_sq: f64) -> f64 {
+    use core::arch::x86_64::*;
+    let n = x.len();
+    let mut acc = 0.0f64;
+    let mut i = 0;
+    while i + EA_BLOCK <= n {
+        let mut v = _mm_setzero_pd();
+        let mut k = 0;
+        while k < EA_BLOCK {
+            let d = _mm_sub_pd(
+                _mm_loadu_pd(x.as_ptr().add(i + k)),
+                _mm_loadu_pd(y.as_ptr().add(i + k)),
+            );
+            v = _mm_add_pd(v, _mm_mul_pd(d, d));
+            k += 2;
+        }
+        acc += hsum128(v);
+        if acc > ub_sq {
+            return f64::INFINITY;
+        }
+        i += EA_BLOCK;
+    }
+    while i < n {
+        let d = x[i] - y[i];
+        acc += d * d;
+        i += 1;
+    }
+    if acc > ub_sq {
+        return f64::INFINITY;
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn sum_sq_diff_avx2(x: &[f64], y: &[f64], ub_sq: f64) -> f64 {
+    use core::arch::x86_64::*;
+    let n = x.len();
+    let mut acc = 0.0f64;
+    let mut i = 0;
+    while i + EA_BLOCK <= n {
+        let mut v = _mm256_setzero_pd();
+        let mut k = 0;
+        while k < EA_BLOCK {
+            let d = _mm256_sub_pd(
+                _mm256_loadu_pd(x.as_ptr().add(i + k)),
+                _mm256_loadu_pd(y.as_ptr().add(i + k)),
+            );
+            v = _mm256_add_pd(v, _mm256_mul_pd(d, d));
+            k += 4;
+        }
+        acc += hsum256(v);
+        if acc > ub_sq {
+            return f64::INFINITY;
+        }
+        i += EA_BLOCK;
+    }
+    while i < n {
+        let d = x[i] - y[i];
+        acc += d * d;
+        i += 1;
+    }
+    if acc > ub_sq {
+        return f64::INFINITY;
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------
+// Envelope exceedance (LB_Keogh and the UCR z-normalised variants).
+// ---------------------------------------------------------------------
+
+/// Affine views applied inside the envelope-exceedance kernels: the
+/// sequence is read as `(x_i − x_sub) · x_mul` and the envelope as
+/// `(e_i − e_sub) · e_mul` — the identity `(0, 1)` for the plain
+/// LB_Keogh, the candidate's z-normalisation for the UCR EQ variant, and
+/// the envelope's z-normalisation for the UCR EC variant. Using the
+/// same subtract-then-multiply form as `znorm_with_moments` keeps the
+/// bound consistent with the values the DTW stage will actually see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvAffine {
+    /// Offset subtracted from each sequence value.
+    pub x_sub: f64,
+    /// Scale applied to each offset sequence value.
+    pub x_mul: f64,
+    /// Offset subtracted from each envelope value.
+    pub e_sub: f64,
+    /// Scale applied to each offset envelope value.
+    pub e_mul: f64,
+}
+
+impl EnvAffine {
+    /// No transformation on either side.
+    pub const IDENTITY: EnvAffine = EnvAffine {
+        x_sub: 0.0,
+        x_mul: 1.0,
+        e_sub: 0.0,
+        e_mul: 1.0,
+    };
+
+    /// Z-normalise the sequence side with the given moments (`scale`
+    /// should be `1/σ`, or `0` for a flat window — matching the
+    /// `STD_FLOOR` convention of collapsing flat windows to zero).
+    pub fn znorm_x(mean: f64, scale: f64) -> EnvAffine {
+        EnvAffine {
+            x_sub: mean,
+            x_mul: scale,
+            ..EnvAffine::IDENTITY
+        }
+    }
+
+    /// Z-normalise the envelope side with the given moments.
+    pub fn znorm_env(mean: f64, scale: f64) -> EnvAffine {
+        EnvAffine {
+            e_sub: mean,
+            e_mul: scale,
+            ..EnvAffine::IDENTITY
+        }
+    }
+}
+
+/// `Σ max(x'_i − upper'_i, lower'_i − x'_i, 0)²` under the affine views,
+/// abandoning (returns `f64::INFINITY`) once a partial sum exceeds
+/// `ub_sq` — the LB_Keogh inner loop.
+///
+/// # Panics
+/// Panics when the three slices have different lengths.
+pub fn env_excess_sq(x: &[f64], lower: &[f64], upper: &[f64], aff: EnvAffine, ub_sq: f64) -> f64 {
+    env_excess_sq_at(level(), x, lower, upper, aff, ub_sq)
+}
+
+/// [`env_excess_sq`] on an explicit level.
+///
+/// # Panics
+/// Panics when the three slices have different lengths.
+pub fn env_excess_sq_at(
+    l: KernelLevel,
+    x: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    aff: EnvAffine,
+    ub_sq: f64,
+) -> f64 {
+    assert!(
+        x.len() == lower.len() && x.len() == upper.len(),
+        "LB_Keogh requires equal lengths"
+    );
+    match l {
+        KernelLevel::Scalar => env_excess_scalar(x, lower, upper, aff, ub_sq, None),
+        #[cfg(target_arch = "x86_64")]
+        KernelLevel::Sse2 => unsafe { env_excess_sse2(x, lower, upper, aff, ub_sq, None) },
+        #[cfg(target_arch = "x86_64")]
+        KernelLevel::Avx2 => unsafe { env_excess_avx2(x, lower, upper, aff, ub_sq, None) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => env_excess_scalar(x, lower, upper, aff, ub_sq, None),
+    }
+}
+
+/// [`env_excess_sq`] that also records each position's squared
+/// exceedance in `contrib` (every position is written, zeros included),
+/// for the cumulative bound the UCR cascade feeds into the DTW DP. On
+/// an abandoned (`INFINITY`) return the tail of `contrib` is
+/// unspecified — callers only use it for candidates that survive.
+///
+/// # Panics
+/// Panics when the slices (including `contrib`) have different lengths.
+pub fn env_excess_contrib(
+    x: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    aff: EnvAffine,
+    ub_sq: f64,
+    contrib: &mut [f64],
+) -> f64 {
+    assert!(
+        x.len() == lower.len() && x.len() == upper.len() && x.len() == contrib.len(),
+        "LB_Keogh requires equal lengths"
+    );
+    match level() {
+        KernelLevel::Scalar => env_excess_scalar(x, lower, upper, aff, ub_sq, Some(contrib)),
+        #[cfg(target_arch = "x86_64")]
+        KernelLevel::Sse2 => unsafe { env_excess_sse2(x, lower, upper, aff, ub_sq, Some(contrib)) },
+        #[cfg(target_arch = "x86_64")]
+        KernelLevel::Avx2 => unsafe { env_excess_avx2(x, lower, upper, aff, ub_sq, Some(contrib)) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => env_excess_scalar(x, lower, upper, aff, ub_sq, Some(contrib)),
+    }
+}
+
+fn env_excess_scalar(
+    x: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    aff: EnvAffine,
+    ub_sq: f64,
+    mut contrib: Option<&mut [f64]>,
+) -> f64 {
+    let mut acc = 0.0;
+    let mut i = 0;
+    let n = x.len();
+    while i < n {
+        let end = (i + EA_BLOCK).min(n);
+        while i < end {
+            let v = (x[i] - aff.x_sub) * aff.x_mul;
+            let lo = (lower[i] - aff.e_sub) * aff.e_mul;
+            let hi = (upper[i] - aff.e_sub) * aff.e_mul;
+            let d = (v - hi).max(lo - v).max(0.0);
+            let dd = d * d;
+            if let Some(c) = contrib.as_deref_mut() {
+                c[i] = dd;
+            }
+            acc += dd;
+            i += 1;
+        }
+        if acc > ub_sq {
+            return f64::INFINITY;
+        }
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn env_excess_sse2(
+    x: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    aff: EnvAffine,
+    ub_sq: f64,
+    mut contrib: Option<&mut [f64]>,
+) -> f64 {
+    use core::arch::x86_64::*;
+    let n = x.len();
+    let (xs, xm) = (_mm_set1_pd(aff.x_sub), _mm_set1_pd(aff.x_mul));
+    let (es, em) = (_mm_set1_pd(aff.e_sub), _mm_set1_pd(aff.e_mul));
+    let zero = _mm_setzero_pd();
+    let mut acc = 0.0f64;
+    let mut i = 0;
+    while i + EA_BLOCK <= n {
+        let mut v = _mm_setzero_pd();
+        let mut k = 0;
+        while k < EA_BLOCK {
+            let p = i + k;
+            let xv = _mm_mul_pd(_mm_sub_pd(_mm_loadu_pd(x.as_ptr().add(p)), xs), xm);
+            let lo = _mm_mul_pd(_mm_sub_pd(_mm_loadu_pd(lower.as_ptr().add(p)), es), em);
+            let hi = _mm_mul_pd(_mm_sub_pd(_mm_loadu_pd(upper.as_ptr().add(p)), es), em);
+            let d = _mm_max_pd(_mm_max_pd(_mm_sub_pd(xv, hi), _mm_sub_pd(lo, xv)), zero);
+            let dd = _mm_mul_pd(d, d);
+            if let Some(c) = contrib.as_deref_mut() {
+                _mm_storeu_pd(c.as_mut_ptr().add(p), dd);
+            }
+            v = _mm_add_pd(v, dd);
+            k += 2;
+        }
+        acc += hsum128(v);
+        if acc > ub_sq {
+            return f64::INFINITY;
+        }
+        i += EA_BLOCK;
+    }
+    while i < n {
+        let xv = (x[i] - aff.x_sub) * aff.x_mul;
+        let lo = (lower[i] - aff.e_sub) * aff.e_mul;
+        let hi = (upper[i] - aff.e_sub) * aff.e_mul;
+        let d = (xv - hi).max(lo - xv).max(0.0);
+        let dd = d * d;
+        if let Some(c) = contrib.as_deref_mut() {
+            c[i] = dd;
+        }
+        acc += dd;
+        i += 1;
+    }
+    if acc > ub_sq {
+        return f64::INFINITY;
+    }
+    acc
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn env_excess_avx2(
+    x: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    aff: EnvAffine,
+    ub_sq: f64,
+    mut contrib: Option<&mut [f64]>,
+) -> f64 {
+    use core::arch::x86_64::*;
+    let n = x.len();
+    let (xs, xm) = (_mm256_set1_pd(aff.x_sub), _mm256_set1_pd(aff.x_mul));
+    let (es, em) = (_mm256_set1_pd(aff.e_sub), _mm256_set1_pd(aff.e_mul));
+    let zero = _mm256_setzero_pd();
+    let mut acc = 0.0f64;
+    let mut i = 0;
+    while i + EA_BLOCK <= n {
+        let mut v = _mm256_setzero_pd();
+        let mut k = 0;
+        while k < EA_BLOCK {
+            let p = i + k;
+            let xv = _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(x.as_ptr().add(p)), xs), xm);
+            let lo = _mm256_mul_pd(
+                _mm256_sub_pd(_mm256_loadu_pd(lower.as_ptr().add(p)), es),
+                em,
+            );
+            let hi = _mm256_mul_pd(
+                _mm256_sub_pd(_mm256_loadu_pd(upper.as_ptr().add(p)), es),
+                em,
+            );
+            let d = _mm256_max_pd(
+                _mm256_max_pd(_mm256_sub_pd(xv, hi), _mm256_sub_pd(lo, xv)),
+                zero,
+            );
+            let dd = _mm256_mul_pd(d, d);
+            if let Some(c) = contrib.as_deref_mut() {
+                _mm256_storeu_pd(c.as_mut_ptr().add(p), dd);
+            }
+            v = _mm256_add_pd(v, dd);
+            k += 4;
+        }
+        acc += hsum256(v);
+        if acc > ub_sq {
+            return f64::INFINITY;
+        }
+        i += EA_BLOCK;
+    }
+    while i < n {
+        let xv = (x[i] - aff.x_sub) * aff.x_mul;
+        let lo = (lower[i] - aff.e_sub) * aff.e_mul;
+        let hi = (upper[i] - aff.e_sub) * aff.e_mul;
+        let d = (xv - hi).max(lo - xv).max(0.0);
+        let dd = d * d;
+        if let Some(c) = contrib.as_deref_mut() {
+            c[i] = dd;
+        }
+        acc += dd;
+        i += 1;
+    }
+    if acc > ub_sq {
+        return f64::INFINITY;
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------
+// DTW row recurrence.
+// ---------------------------------------------------------------------
+
+/// One DP row of the two-row DTW:
+/// `curr[j] = (xi − y[j−1])² + min(prev[j], curr[j−1], prev[j−1])` for
+/// `j` in `lo..=hi` (1-based columns; `curr[lo−1]` is the carry-in,
+/// which the caller must have reset to `∞` along with the rest of
+/// `curr`). Returns the row minimum.
+///
+/// The SIMD path splits the recurrence into a vectorisable pass
+/// (`d² + min(prev[j], prev[j−1])`, cached in `d2`) and a scalar carry
+/// sweep folding `curr[j−1]`; because `min` distributes exactly over
+/// adding a common constant, the result is **bit-identical** to the
+/// scalar recurrence.
+///
+/// # Panics
+/// Panics (in debug) when the slice lengths disagree or the column
+/// range is out of bounds.
+pub fn dtw_row(
+    xi: f64,
+    y: &[f64],
+    lo: usize,
+    hi: usize,
+    prev: &[f64],
+    curr: &mut [f64],
+    d2: &mut [f64],
+) -> f64 {
+    dtw_row_at(level(), xi, y, lo, hi, prev, curr, d2)
+}
+
+/// [`dtw_row`] on an explicit level.
+#[allow(clippy::too_many_arguments)]
+pub fn dtw_row_at(
+    l: KernelLevel,
+    xi: f64,
+    y: &[f64],
+    lo: usize,
+    hi: usize,
+    prev: &[f64],
+    curr: &mut [f64],
+    d2: &mut [f64],
+) -> f64 {
+    debug_assert!(lo >= 1 && hi <= y.len() && lo <= hi);
+    debug_assert!(prev.len() == y.len() + 1 && curr.len() == y.len() + 1);
+    debug_assert!(d2.len() == y.len() + 1);
+    match l {
+        KernelLevel::Scalar => dtw_row_scalar(xi, y, lo, hi, prev, curr),
+        #[cfg(target_arch = "x86_64")]
+        KernelLevel::Sse2 => unsafe { dtw_row_sse2(xi, y, lo, hi, prev, curr, d2) },
+        #[cfg(target_arch = "x86_64")]
+        KernelLevel::Avx2 => unsafe { dtw_row_avx2(xi, y, lo, hi, prev, curr, d2) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => dtw_row_scalar(xi, y, lo, hi, prev, curr),
+    }
+}
+
+fn dtw_row_scalar(xi: f64, y: &[f64], lo: usize, hi: usize, prev: &[f64], curr: &mut [f64]) -> f64 {
+    let mut row_min = f64::INFINITY;
+    for j in lo..=hi {
+        let d = xi - y[j - 1];
+        let best_prev = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+        let v = d * d + best_prev;
+        curr[j] = v;
+        if v < row_min {
+            row_min = v;
+        }
+    }
+    row_min
+}
+
+/// The scalar carry sweep shared by both SIMD row kernels: fold
+/// `d²[j] + curr[j−1]` into the vectorised pass-one values.
+fn dtw_row_carry(lo: usize, hi: usize, curr: &mut [f64], d2: &[f64]) -> f64 {
+    let mut row_min = f64::INFINITY;
+    for j in lo..=hi {
+        let v = curr[j].min(d2[j] + curr[j - 1]);
+        curr[j] = v;
+        if v < row_min {
+            row_min = v;
+        }
+    }
+    row_min
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn dtw_row_sse2(
+    xi: f64,
+    y: &[f64],
+    lo: usize,
+    hi: usize,
+    prev: &[f64],
+    curr: &mut [f64],
+    d2: &mut [f64],
+) -> f64 {
+    use core::arch::x86_64::*;
+    let vxi = _mm_set1_pd(xi);
+    let mut j = lo;
+    while j + 2 <= hi + 1 {
+        let d = _mm_sub_pd(vxi, _mm_loadu_pd(y.as_ptr().add(j - 1)));
+        let dd = _mm_mul_pd(d, d);
+        _mm_storeu_pd(d2.as_mut_ptr().add(j), dd);
+        let p = _mm_loadu_pd(prev.as_ptr().add(j));
+        let pm1 = _mm_loadu_pd(prev.as_ptr().add(j - 1));
+        _mm_storeu_pd(curr.as_mut_ptr().add(j), _mm_add_pd(dd, _mm_min_pd(p, pm1)));
+        j += 2;
+    }
+    while j <= hi {
+        let d = xi - y[j - 1];
+        let dd = d * d;
+        d2[j] = dd;
+        curr[j] = dd + prev[j].min(prev[j - 1]);
+        j += 1;
+    }
+    dtw_row_carry(lo, hi, curr, d2)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dtw_row_avx2(
+    xi: f64,
+    y: &[f64],
+    lo: usize,
+    hi: usize,
+    prev: &[f64],
+    curr: &mut [f64],
+    d2: &mut [f64],
+) -> f64 {
+    use core::arch::x86_64::*;
+    let vxi = _mm256_set1_pd(xi);
+    let mut j = lo;
+    while j + 4 <= hi + 1 {
+        let d = _mm256_sub_pd(vxi, _mm256_loadu_pd(y.as_ptr().add(j - 1)));
+        let dd = _mm256_mul_pd(d, d);
+        _mm256_storeu_pd(d2.as_mut_ptr().add(j), dd);
+        let p = _mm256_loadu_pd(prev.as_ptr().add(j));
+        let pm1 = _mm256_loadu_pd(prev.as_ptr().add(j - 1));
+        _mm256_storeu_pd(
+            curr.as_mut_ptr().add(j),
+            _mm256_add_pd(dd, _mm256_min_pd(p, pm1)),
+        );
+        j += 4;
+    }
+    while j <= hi {
+        let d = xi - y[j - 1];
+        let dd = d * d;
+        d2[j] = dd;
+        curr[j] = dd + prev[j].min(prev[j - 1]);
+        j += 1;
+    }
+    dtw_row_carry(lo, hi, curr, d2)
+}
+
+// ---------------------------------------------------------------------
+// Sliding min/max (the Lemire envelope).
+// ---------------------------------------------------------------------
+
+/// `(lower, upper)` where `lower[i] = min(y[i−r ..= i+r])` and
+/// `upper[i] = max(...)`, windows clamped to the sequence — the envelope
+/// construction. The scalar path is Lemire's monotonic-deque algorithm;
+/// the SIMD paths use the van Herk–Gil–Werman block prefix/suffix
+/// decomposition, whose merge step (`ext(suffix[i], prefix[i+w−1])`)
+/// vectorises. Min/max of finite values is exact, so all levels are
+/// bit-identical.
+pub fn sliding_minmax(y: &[f64], radius: usize) -> (Vec<f64>, Vec<f64>) {
+    sliding_minmax_at(level(), y, radius)
+}
+
+/// [`sliding_minmax`] on an explicit level.
+pub fn sliding_minmax_at(l: KernelLevel, y: &[f64], radius: usize) -> (Vec<f64>, Vec<f64>) {
+    if y.is_empty() || radius == 0 {
+        return (y.to_vec(), y.to_vec());
+    }
+    match l {
+        KernelLevel::Scalar => sliding_minmax_deque(y, radius),
+        #[cfg(target_arch = "x86_64")]
+        KernelLevel::Sse2 | KernelLevel::Avx2 => sliding_minmax_vhgw(l, y, radius),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => sliding_minmax_deque(y, radius),
+    }
+}
+
+/// Lemire's streaming deques (the scalar reference).
+fn sliding_minmax_deque(y: &[f64], radius: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = y.len();
+    let mut lower = Vec::with_capacity(n);
+    let mut upper = Vec::with_capacity(n);
+    // Monotonic deques of indices: front is the current window extremum.
+    let mut maxq: VecDeque<usize> = VecDeque::new();
+    let mut minq: VecDeque<usize> = VecDeque::new();
+    for i in 0..n {
+        // The window for output position `o = i - radius` is
+        // [o - radius, o + radius] = [i - 2r, i]; push y[i] first, then
+        // emit once i reaches the window end o + radius.
+        while maxq.back().is_some_and(|&b| y[b] <= y[i]) {
+            maxq.pop_back();
+        }
+        maxq.push_back(i);
+        while minq.back().is_some_and(|&b| y[b] >= y[i]) {
+            minq.pop_back();
+        }
+        minq.push_back(i);
+        if i >= radius {
+            let o = i - radius;
+            upper.push(y[*maxq.front().expect("window non-empty")]);
+            lower.push(y[*minq.front().expect("window non-empty")]);
+            // Retire indices leaving the next window [o+1-r, ...].
+            if maxq.front().is_some_and(|&f| f + radius <= o) {
+                maxq.pop_front();
+            }
+            if minq.front().is_some_and(|&f| f + radius <= o) {
+                minq.pop_front();
+            }
+        }
+    }
+    // Tail positions whose window is cut off by the end of the series.
+    for o in n.saturating_sub(radius)..n {
+        // Window [o - r, n): drop indices before o - r.
+        while maxq.front().is_some_and(|&f| f + radius < o) {
+            maxq.pop_front();
+        }
+        while minq.front().is_some_and(|&f| f + radius < o) {
+            minq.pop_front();
+        }
+        upper.push(y[*maxq.front().expect("window non-empty")]);
+        lower.push(y[*minq.front().expect("window non-empty")]);
+    }
+    debug_assert_eq!(lower.len(), n);
+    debug_assert_eq!(upper.len(), n);
+    (lower, upper)
+}
+
+/// Van Herk–Gil–Werman: pad with `±∞`, per-block prefix/suffix extrema,
+/// then a vectorisable merge. O(n) with ~3 comparisons per element and
+/// no branches in the merge.
+#[cfg(target_arch = "x86_64")]
+fn sliding_minmax_vhgw(l: KernelLevel, y: &[f64], radius: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = y.len();
+    let w = 2 * radius + 1;
+    let padded = n + 2 * radius;
+    // Padding is the identity of each fold (+∞ for min, −∞ for max), so
+    // clamped edge windows fall out of the same formula.
+    let mut arr_min = vec![f64::INFINITY; padded];
+    let mut arr_max = vec![f64::NEG_INFINITY; padded];
+    arr_min[radius..radius + n].copy_from_slice(y);
+    arr_max[radius..radius + n].copy_from_slice(y);
+
+    let mut pre_min = vec![0.0; padded];
+    let mut pre_max = vec![0.0; padded];
+    let mut suf_min = vec![0.0; padded];
+    let mut suf_max = vec![0.0; padded];
+    let mut b = 0;
+    while b < padded {
+        let end = (b + w).min(padded);
+        let (mut rmin, mut rmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for t in b..end {
+            rmin = rmin.min(arr_min[t]);
+            rmax = rmax.max(arr_max[t]);
+            pre_min[t] = rmin;
+            pre_max[t] = rmax;
+        }
+        let (mut rmin, mut rmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for t in (b..end).rev() {
+            rmin = rmin.min(arr_min[t]);
+            rmax = rmax.max(arr_max[t]);
+            suf_min[t] = rmin;
+            suf_max[t] = rmax;
+        }
+        b = end;
+    }
+
+    let mut lower = vec![0.0; n];
+    let mut upper = vec![0.0; n];
+    // out[i] covers arr[i .. i+w); it spans at most two blocks, so the
+    // suffix of the first and the prefix of the second cover it exactly.
+    unsafe {
+        match l {
+            KernelLevel::Avx2 => vhgw_merge_avx2(
+                &suf_min, &suf_max, &pre_min, &pre_max, w, &mut lower, &mut upper,
+            ),
+            _ => vhgw_merge_sse2(
+                &suf_min, &suf_max, &pre_min, &pre_max, w, &mut lower, &mut upper,
+            ),
+        }
+    }
+    (lower, upper)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn vhgw_merge_sse2(
+    suf_min: &[f64],
+    suf_max: &[f64],
+    pre_min: &[f64],
+    pre_max: &[f64],
+    w: usize,
+    lower: &mut [f64],
+    upper: &mut [f64],
+) {
+    use core::arch::x86_64::*;
+    let n = lower.len();
+    let mut i = 0;
+    while i + 2 <= n {
+        let lo = _mm_min_pd(
+            _mm_loadu_pd(suf_min.as_ptr().add(i)),
+            _mm_loadu_pd(pre_min.as_ptr().add(i + w - 1)),
+        );
+        let hi = _mm_max_pd(
+            _mm_loadu_pd(suf_max.as_ptr().add(i)),
+            _mm_loadu_pd(pre_max.as_ptr().add(i + w - 1)),
+        );
+        _mm_storeu_pd(lower.as_mut_ptr().add(i), lo);
+        _mm_storeu_pd(upper.as_mut_ptr().add(i), hi);
+        i += 2;
+    }
+    while i < n {
+        lower[i] = suf_min[i].min(pre_min[i + w - 1]);
+        upper[i] = suf_max[i].max(pre_max[i + w - 1]);
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn vhgw_merge_avx2(
+    suf_min: &[f64],
+    suf_max: &[f64],
+    pre_min: &[f64],
+    pre_max: &[f64],
+    w: usize,
+    lower: &mut [f64],
+    upper: &mut [f64],
+) {
+    use core::arch::x86_64::*;
+    let n = lower.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        let lo = _mm256_min_pd(
+            _mm256_loadu_pd(suf_min.as_ptr().add(i)),
+            _mm256_loadu_pd(pre_min.as_ptr().add(i + w - 1)),
+        );
+        let hi = _mm256_max_pd(
+            _mm256_loadu_pd(suf_max.as_ptr().add(i)),
+            _mm256_loadu_pd(pre_max.as_ptr().add(i + w - 1)),
+        );
+        _mm256_storeu_pd(lower.as_mut_ptr().add(i), lo);
+        _mm256_storeu_pd(upper.as_mut_ptr().add(i), hi);
+        i += 4;
+    }
+    while i < n {
+        lower[i] = suf_min[i].min(pre_min[i + w - 1]);
+        upper[i] = suf_max[i].max(pre_max[i + w - 1]);
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Horizontal sums.
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn hsum128(v: core::arch::x86_64::__m128d) -> f64 {
+    use core::arch::x86_64::*;
+    _mm_cvtsd_f64(_mm_add_sd(v, _mm_unpackhi_pd(v, v)))
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn hsum256(v: core::arch::x86_64::__m256d) -> f64 {
+    use core::arch::x86_64::*;
+    let s = _mm_add_pd(_mm256_castpd256_pd128(v), _mm256_extractf128_pd(v, 1));
+    _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wiggle(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let x = i as f64 + seed as f64 * 0.7;
+                (x * 0.31).sin() * 2.0 + (x * 0.07).cos() + (x * 1.7).sin() * 0.3
+            })
+            .collect()
+    }
+
+    #[test]
+    fn level_is_cached_and_labelled() {
+        let l = level();
+        assert_eq!(l, level(), "detection is sticky");
+        assert!(["scalar", "sse2", "avx2"].contains(&l.label()));
+        let avail = KernelLevel::available();
+        assert_eq!(avail[0], KernelLevel::Scalar);
+        assert!(avail.contains(&l) || l == KernelLevel::Scalar);
+    }
+
+    #[test]
+    fn sum_sq_diff_levels_agree() {
+        for n in [0usize, 1, 3, 8, 16, 17, 31, 64, 129] {
+            let x = wiggle(n, 1);
+            let y = wiggle(n, 9);
+            let want = sum_sq_diff_ea_at(KernelLevel::Scalar, &x, &y, f64::INFINITY);
+            for l in KernelLevel::available() {
+                let got = sum_sq_diff_ea_at(l, &x, &y, f64::INFINITY);
+                assert!(
+                    (got - want).abs() <= 1e-9 * want.max(1.0),
+                    "{l:?} n={n}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sum_sq_diff_abandons_like_scalar() {
+        let x = vec![0.0; 64];
+        let mut y = vec![0.0; 64];
+        y[0] = 100.0;
+        for l in KernelLevel::available() {
+            assert_eq!(sum_sq_diff_ea_at(l, &x, &y, 1.0), f64::INFINITY, "{l:?}");
+            // A bound met exactly does not abandon ("exceeds" semantics).
+            assert_eq!(sum_sq_diff_ea_at(l, &x, &y, 10_000.0), 10_000.0, "{l:?}");
+        }
+    }
+
+    #[test]
+    fn env_excess_levels_agree() {
+        for n in [1usize, 7, 16, 33, 120] {
+            let x = wiggle(n, 3);
+            let base = wiggle(n, 5);
+            let lower: Vec<f64> = base.iter().map(|v| v - 0.3).collect();
+            let upper: Vec<f64> = base.iter().map(|v| v + 0.3).collect();
+            for aff in [
+                EnvAffine::IDENTITY,
+                EnvAffine::znorm_x(0.4, 1.7),
+                EnvAffine::znorm_env(0.4, 1.7),
+                EnvAffine::znorm_x(0.0, 0.0),
+            ] {
+                let want =
+                    env_excess_sq_at(KernelLevel::Scalar, &x, &lower, &upper, aff, f64::INFINITY);
+                for l in KernelLevel::available() {
+                    let got = env_excess_sq_at(l, &x, &lower, &upper, aff, f64::INFINITY);
+                    assert!(
+                        (got - want).abs() <= 1e-9 * want.max(1.0),
+                        "{l:?} n={n} {aff:?}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn env_excess_contrib_fills_every_position() {
+        let x = wiggle(37, 2);
+        let base = wiggle(37, 8);
+        let lower: Vec<f64> = base.iter().map(|v| v - 0.2).collect();
+        let upper: Vec<f64> = base.iter().map(|v| v + 0.2).collect();
+        let mut contrib = vec![f64::NAN; 37];
+        let total = env_excess_contrib(
+            &x,
+            &lower,
+            &upper,
+            EnvAffine::IDENTITY,
+            f64::INFINITY,
+            &mut contrib,
+        );
+        assert!(contrib.iter().all(|c| c.is_finite()), "zeros written too");
+        let sum: f64 = contrib.iter().sum();
+        assert!((total - sum).abs() <= 1e-9 * total.max(1.0));
+    }
+
+    #[test]
+    fn dtw_row_is_bit_exact_across_levels() {
+        for (m, lo, hi) in [
+            (16usize, 1usize, 16usize),
+            (33, 5, 29),
+            (8, 2, 4),
+            (5, 3, 3),
+        ] {
+            let y = wiggle(m, 4);
+            let mut prev = wiggle(m + 1, 6);
+            prev[0] = 0.0;
+            let reference: Vec<f64> = {
+                let mut curr = vec![f64::INFINITY; m + 1];
+                dtw_row_scalar(0.37, &y, lo, hi, &prev, &mut curr);
+                curr
+            };
+            for l in KernelLevel::available() {
+                let mut curr = vec![f64::INFINITY; m + 1];
+                let mut d2 = vec![0.0; m + 1];
+                let rm = dtw_row_at(l, 0.37, &y, lo, hi, &prev, &mut curr, &mut d2);
+                assert_eq!(curr, reference, "{l:?} row values must be bit-identical");
+                let want_min = reference[lo..=hi]
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min);
+                assert_eq!(rm, want_min, "{l:?} row min");
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_minmax_is_bit_exact_across_levels() {
+        for n in [0usize, 1, 2, 5, 16, 47, 100] {
+            let y = wiggle(n, 7);
+            for r in 0..=n + 2 {
+                let (want_lo, want_hi) = sliding_minmax_at(KernelLevel::Scalar, &y, r);
+                for l in KernelLevel::available() {
+                    let (lo, hi) = sliding_minmax_at(l, &y, r);
+                    assert_eq!(lo, want_lo, "{l:?} n={n} r={r} lower");
+                    assert_eq!(hi, want_hi, "{l:?} n={n} r={r} upper");
+                }
+            }
+        }
+    }
+}

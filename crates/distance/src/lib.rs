@@ -22,6 +22,10 @@
 //! * [`iddtw`] — Iterative Deepening DTW (paper reference \[3\]):
 //!   coarse-to-fine nearest-neighbour search with a trained per-level
 //!   error model.
+//! * [`kernels`] — the shared inner loops behind all of the above, with
+//!   runtime-feature-detected SIMD (SSE2/AVX2) and a scalar reference.
+//! * [`sketch`] — quantised-PAA sketches and the L0 prefilter lower
+//!   bound that rejects candidates before any f64 work.
 //!
 //! ## Conventions
 //!
@@ -32,7 +36,9 @@
 //! finite input as a precondition; NaN poisons results rather than
 //! panicking, matching `f64` semantics.
 
-#![forbid(unsafe_code)]
+// `kernels` needs `core::arch` intrinsics; unsafe is denied everywhere
+// else and scoped to that module by an explicit allow.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bounds;
@@ -40,16 +46,20 @@ pub mod dtw;
 pub mod ed;
 pub mod envelope;
 pub mod iddtw;
+pub mod kernels;
 pub mod lb;
 pub mod paa;
 mod path;
+pub mod sketch;
 
 pub use dtw::{dtw, dtw_early_abandon, dtw_sq, dtw_with_path, Band};
 pub use ed::{ed, ed_early_abandon_sq, ed_sq};
 pub use envelope::Envelope;
 pub use iddtw::{IddtwModel, IddtwStats};
+pub use kernels::KernelLevel;
 pub use paa::{dtw_paa, paa};
 pub use path::WarpingPath;
+pub use sketch::{QuerySketch, SketchParams, SKETCH_STRIDE};
 
 /// The infinite distance used as "no bound yet" by early-abandoning code.
 pub const INF: f64 = f64::INFINITY;

@@ -1,0 +1,416 @@
+//! Quantised-PAA sketches: the L0 prefilter tier of the pruning cascade.
+//!
+//! Every subsequence gets a fixed [`SKETCH_STRIDE`]-byte sketch — its
+//! first/last values and per-segment min/max, quantised to `u8` levels —
+//! stored contiguously per length group. At query time
+//! [`QuerySketch::bound_sq`] turns one sketch into a sound squared DTW
+//! lower bound using only the 24 cached bytes: no resolving of the raw
+//! window, no O(n) floating-point pass. Most candidates die here, before
+//! LB_Kim, LB_Keogh, or the DP ever see an `f64` of theirs.
+//!
+//! ## Soundness
+//!
+//! The candidate side is quantised **directionally**: segment minima
+//! round *down* a level, maxima round *up* (verified post-hoc against
+//! the raw value, so FP rounding in the quantiser can never flip the
+//! direction). Dequantising therefore brackets the truth, and the two
+//! parts of the bound each lower-bound squared DTW:
+//!
+//! * **Corner part** (LB_Kim shape): any warping path matches the
+//!   query's first value against the candidate's first value, which lies
+//!   inside the dequantised `[first_lo, first_hi]` interval — so the
+//!   squared point-to-interval distance is unavoidable; likewise the
+//!   last values (distinct DP cells whenever both lengths are ≥ 2, which
+//!   ONEX's minimum subsequence length guarantees).
+//! * **Segment part** (LB_Keogh shape): under a band of radius `r`, a
+//!   candidate position in segment `i` can only be matched against query
+//!   positions whose envelope (built at radius `r`) covers it; if the
+//!   candidate's whole segment sits above the segment-wide envelope max
+//!   `H_i` (or below the min `L_i`), every one of its `w_i` positions
+//!   pays at least the squared gap.
+//!
+//! The two parts may double-count the corner cells, so they are combined
+//! with `max`, not `+`. Appended values that fall outside the length
+//! group's frozen quantiser range mark the sketch *invalid* (bound 0 —
+//! never prunes), which keeps ingest sound without requantising the
+//! group.
+
+use crate::envelope::Envelope;
+
+/// Number of PAA segments per sketch.
+pub const SKETCH_SEGMENTS: usize = 8;
+
+/// Bytes per sketch: 1 flag byte, 3 reserved, 4 corner levels,
+/// [`SKETCH_SEGMENTS`] segment minima, [`SKETCH_SEGMENTS`] maxima.
+pub const SKETCH_STRIDE: usize = 8 + 2 * SKETCH_SEGMENTS;
+
+/// Highest quantisation level (levels are `0..=MAX_LEVEL`).
+const MAX_LEVEL: i64 = u8::MAX as i64;
+
+/// Flag bit: this sketch is a non-pruning placeholder (value out of the
+/// quantiser's range, or non-finite).
+const FLAG_INVALID: u8 = 1;
+
+/// Byte offsets inside one sketch.
+const OFF_FLAGS: usize = 0;
+const OFF_FIRST_LO: usize = 4;
+const OFF_FIRST_HI: usize = 5;
+const OFF_LAST_LO: usize = 6;
+const OFF_LAST_HI: usize = 7;
+const OFF_SEG_MIN: usize = 8;
+const OFF_SEG_MAX: usize = 8 + SKETCH_SEGMENTS;
+
+/// The affine quantiser of one length group: level `l` represents the
+/// value `vmin + l · step`. Frozen when the group first appears so
+/// sketches stay comparable across appends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SketchParams {
+    /// Value represented by level 0.
+    pub vmin: f64,
+    /// Value increment per level.
+    pub step: f64,
+}
+
+impl SketchParams {
+    /// Fit a quantiser to an observed value range, padded slightly so
+    /// the observed extremes themselves quantise in-range. Degenerate
+    /// ranges (empty data, non-finite extremes) fall back to a unit
+    /// step around zero — every encode is then out-of-range and yields
+    /// invalid (non-pruning) sketches, which is sound.
+    pub fn fit(min: f64, max: f64) -> SketchParams {
+        if !min.is_finite() || !max.is_finite() || min > max {
+            return SketchParams {
+                vmin: 0.0,
+                step: 1.0,
+            };
+        }
+        let pad = 1e-9 * (max - min).abs().max(1.0);
+        let vmin = min - pad;
+        let step = ((max + pad) - vmin) / MAX_LEVEL as f64;
+        SketchParams {
+            vmin,
+            step: if step.is_finite() && step > 0.0 {
+                step
+            } else {
+                1.0
+            },
+        }
+    }
+
+    /// The value level `l` dequantises to.
+    #[inline]
+    pub fn dequant(&self, level: u8) -> f64 {
+        self.vmin + level as f64 * self.step
+    }
+
+    /// Largest level whose dequantised value is ≤ `v` (verified in f64,
+    /// so `dequant(floor_level(v)) ≤ v` holds exactly). `None` when `v`
+    /// is non-finite or out of range.
+    fn floor_level(&self, v: f64) -> Option<u8> {
+        if !v.is_finite() {
+            return None;
+        }
+        let mut l = ((v - self.vmin) / self.step).floor() as i64;
+        l = l.clamp(-1, MAX_LEVEL + 1);
+        while l >= 0 && self.vmin + l as f64 * self.step > v {
+            l -= 1;
+        }
+        while l < MAX_LEVEL && self.vmin + (l + 1) as f64 * self.step <= v {
+            l += 1;
+        }
+        (0..=MAX_LEVEL).contains(&l).then_some(l as u8)
+    }
+
+    /// Smallest level whose dequantised value is ≥ `v` (verified:
+    /// `dequant(ceil_level(v)) ≥ v` exactly). `None` when out of range.
+    fn ceil_level(&self, v: f64) -> Option<u8> {
+        if !v.is_finite() {
+            return None;
+        }
+        let mut l = ((v - self.vmin) / self.step).ceil() as i64;
+        l = l.clamp(-1, MAX_LEVEL + 1);
+        while l <= MAX_LEVEL && self.vmin + l as f64 * self.step < v {
+            l += 1;
+        }
+        while l > 0 && self.vmin + (l - 1) as f64 * self.step >= v {
+            l -= 1;
+        }
+        (0..=MAX_LEVEL).contains(&l).then_some(l as u8)
+    }
+}
+
+/// Half-open position range of segment `s` for a subsequence of length
+/// `n` — the same partition on the query and candidate side.
+#[inline]
+fn segment_range(s: usize, n: usize) -> (usize, usize) {
+    (s * n / SKETCH_SEGMENTS, (s + 1) * n / SKETCH_SEGMENTS)
+}
+
+/// Encode `values` into the [`SKETCH_STRIDE`] bytes at `out`. A value
+/// outside the quantiser's range (possible for appended series — the
+/// group's params are frozen) or non-finite yields the invalid
+/// placeholder instead.
+///
+/// # Panics
+/// Panics when `out` is not exactly [`SKETCH_STRIDE`] bytes.
+pub fn encode_into(params: &SketchParams, values: &[f64], out: &mut [u8]) {
+    assert_eq!(out.len(), SKETCH_STRIDE, "sketch slot has a fixed stride");
+    out.fill(0);
+    let n = values.len();
+    let invalid = |out: &mut [u8]| out[OFF_FLAGS] = FLAG_INVALID;
+    if n == 0 {
+        return invalid(out);
+    }
+    let corners = [
+        (OFF_FIRST_LO, OFF_FIRST_HI, values[0]),
+        (OFF_LAST_LO, OFF_LAST_HI, values[n - 1]),
+    ];
+    for (off_lo, off_hi, v) in corners {
+        match (params.floor_level(v), params.ceil_level(v)) {
+            (Some(lo), Some(hi)) => {
+                out[off_lo] = lo;
+                out[off_hi] = hi;
+            }
+            _ => return invalid(out),
+        }
+    }
+    for s in 0..SKETCH_SEGMENTS {
+        let (a, b) = segment_range(s, n);
+        if a >= b {
+            // Empty segment (n < SKETCH_SEGMENTS): benign extremes; the
+            // query side skips zero-weight segments.
+            out[OFF_SEG_MIN + s] = 0;
+            out[OFF_SEG_MAX + s] = u8::MAX;
+            continue;
+        }
+        let seg = &values[a..b];
+        let smin = seg.iter().cloned().fold(f64::INFINITY, f64::min);
+        let smax = seg.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        match (params.floor_level(smin), params.ceil_level(smax)) {
+            (Some(lo), Some(hi)) => {
+                out[OFF_SEG_MIN + s] = lo;
+                out[OFF_SEG_MAX + s] = hi;
+            }
+            _ => return invalid(out),
+        }
+    }
+}
+
+/// The query's precomputed side of the L0 bound for one length group:
+/// segment-wide envelope extremes, segment weights, and the raw corner
+/// values. Built once per [`crate::envelope::Envelope`] the cascade
+/// already has; [`QuerySketch::bound_sq`] then costs a few dozen flops
+/// per candidate over its 24 sketch bytes.
+#[derive(Debug, Clone)]
+pub struct QuerySketch {
+    params: SketchParams,
+    /// Per segment: (envelope max `H`, envelope min `L`, weight).
+    segments: [(f64, f64, f64); SKETCH_SEGMENTS],
+    q_first: f64,
+    q_last: f64,
+    len: usize,
+}
+
+impl QuerySketch {
+    /// Build from the query and the envelope the LB_Keogh tier already
+    /// built (same band radius — that is what makes the segment part
+    /// sound). Candidates must have the same length as the query.
+    ///
+    /// # Panics
+    /// Panics when the query is empty or the envelope length differs.
+    pub fn new(query: &[f64], env: &Envelope, params: SketchParams) -> QuerySketch {
+        let n = query.len();
+        assert!(n > 0, "L0 sketch of an empty query");
+        assert_eq!(env.len(), n, "envelope must cover the query");
+        let mut segments = [(f64::NEG_INFINITY, f64::INFINITY, 0.0); SKETCH_SEGMENTS];
+        for (s, slot) in segments.iter_mut().enumerate() {
+            let (a, b) = segment_range(s, n);
+            if a >= b {
+                continue;
+            }
+            let h = env.upper[a..b]
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max);
+            let l = env.lower[a..b]
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            *slot = (h, l, (b - a) as f64);
+        }
+        QuerySketch {
+            params,
+            segments,
+            q_first: query[0],
+            q_last: query[n - 1],
+            len: n,
+        }
+    }
+
+    /// Length of the query (and of every candidate this sketch bounds).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a zero-length query (never constructed; see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sound squared DTW lower bound from one candidate sketch. Invalid
+    /// sketches bound 0 (never prune).
+    ///
+    /// # Panics
+    /// Panics when `sketch` is not exactly [`SKETCH_STRIDE`] bytes.
+    pub fn bound_sq(&self, sketch: &[u8]) -> f64 {
+        assert_eq!(sketch.len(), SKETCH_STRIDE, "sketch slot stride");
+        if sketch[OFF_FLAGS] & FLAG_INVALID != 0 {
+            return 0.0;
+        }
+        let p = &self.params;
+        // Corner part: squared distance from each query corner to the
+        // dequantised interval bracketing the candidate's corner value.
+        let gap = |q: f64, lo: u8, hi: u8| (q - p.dequant(hi)).max(p.dequant(lo) - q).max(0.0);
+        let d_first = gap(self.q_first, sketch[OFF_FIRST_LO], sketch[OFF_FIRST_HI]);
+        let mut kim = d_first * d_first;
+        if self.len > 1 {
+            let d_last = gap(self.q_last, sketch[OFF_LAST_LO], sketch[OFF_LAST_HI]);
+            kim += d_last * d_last;
+        }
+        // Segment part: weighted squared escape of the candidate's
+        // dequantised [min, max] bracket from the segment-wide envelope.
+        let mut seg_sq = 0.0;
+        for (s, &(h, l, w)) in self.segments.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let c_lo = p.dequant(sketch[OFF_SEG_MIN + s]);
+            let c_hi = p.dequant(sketch[OFF_SEG_MAX + s]);
+            let e = (c_lo - h).max(l - c_hi).max(0.0);
+            seg_sq += w * e * e;
+        }
+        // Both parts may charge the corner cells, so take the tighter
+        // one rather than the unsound sum.
+        kim.max(seg_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::{dtw_sq, Band};
+
+    fn walk(n: usize, seed: u64) -> Vec<f64> {
+        let mut v = Vec::with_capacity(n);
+        let mut x = 0.0f64;
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            x += (state % 2000) as f64 / 1000.0 - 1.0;
+            v.push(x);
+        }
+        v
+    }
+
+    fn fit_over(slices: &[&[f64]]) -> SketchParams {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for s in slices {
+            for &v in *s {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+        SketchParams::fit(min, max)
+    }
+
+    #[test]
+    fn quantiser_brackets_values() {
+        let p = SketchParams::fit(-3.0, 7.0);
+        for v in [-3.0, -2.999, 0.0, 1.2345, 6.999, 7.0] {
+            let lo = p.floor_level(v).unwrap();
+            let hi = p.ceil_level(v).unwrap();
+            assert!(p.dequant(lo) <= v, "floor {v}");
+            assert!(p.dequant(hi) >= v, "ceil {v}");
+            assert!(hi as i64 - lo as i64 <= 1, "adjacent levels for {v}");
+        }
+        assert!(p.floor_level(8.0).is_none(), "out of range");
+        assert!(p.ceil_level(-4.0).is_none(), "out of range");
+        assert!(p.floor_level(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn out_of_range_values_yield_non_pruning_sketch() {
+        let p = SketchParams::fit(0.0, 1.0);
+        let mut sk = [0u8; SKETCH_STRIDE];
+        encode_into(&p, &[0.5, 99.0, 0.5, 0.5], &mut sk);
+        assert_eq!(sk[OFF_FLAGS] & FLAG_INVALID, FLAG_INVALID);
+        let q = [0.1, 0.2, 0.3, 0.4];
+        let env = Envelope::build(&q, 1);
+        let qs = QuerySketch::new(&q, &env, p);
+        assert_eq!(qs.bound_sq(&sk), 0.0, "invalid sketches never prune");
+    }
+
+    #[test]
+    fn bound_never_exceeds_banded_dtw_on_random_walks() {
+        for n in [2usize, 5, 8, 16, 64, 96] {
+            for seed in 0..12u64 {
+                let q = walk(n, seed);
+                let c = walk(n, seed + 100);
+                let params = fit_over(&[&q, &c]);
+                for r in [0usize, 1, n / 10 + 1, n] {
+                    let env = Envelope::build(&q, r);
+                    let qs = QuerySketch::new(&q, &env, params);
+                    let mut sk = [0u8; SKETCH_STRIDE];
+                    encode_into(&params, &c, &mut sk);
+                    let lb = qs.bound_sq(&sk);
+                    let d = dtw_sq(&q, &c, Band::SakoeChiba(r));
+                    assert!(
+                        lb <= d + 1e-9 * d.max(1.0),
+                        "n={n} seed={seed} r={r}: L0 {lb} > dtw {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bound_is_tight_enough_to_fire() {
+        // A candidate far from the query must get a strictly positive
+        // bound — otherwise the tier never prunes anything.
+        let n = 64;
+        let q: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let c: Vec<f64> = q.iter().map(|v| v + 50.0).collect();
+        let params = fit_over(&[&q, &c]);
+        let env = Envelope::build(&q, 4);
+        let qs = QuerySketch::new(&q, &env, params);
+        let mut sk = [0u8; SKETCH_STRIDE];
+        encode_into(&params, &c, &mut sk);
+        let lb = qs.bound_sq(&sk);
+        assert!(lb > 1000.0, "distant candidate got a weak bound: {lb}");
+        // And the query against itself must not be rejected.
+        let mut own = [0u8; SKETCH_STRIDE];
+        encode_into(&params, &q, &mut own);
+        let self_lb = qs.bound_sq(&own);
+        let self_d = dtw_sq(&q, &q, Band::SakoeChiba(4));
+        assert!(self_lb <= self_d + 1e-9, "self bound {self_lb}");
+    }
+
+    #[test]
+    fn degenerate_params_are_sound() {
+        let p = SketchParams::fit(f64::NAN, 3.0);
+        assert_eq!(p.step, 1.0);
+        let mut sk = [0u8; SKETCH_STRIDE];
+        // Constant data: range collapses but stays sound.
+        let pc = SketchParams::fit(2.0, 2.0);
+        encode_into(&pc, &[2.0, 2.0, 2.0], &mut sk);
+        assert_eq!(sk[OFF_FLAGS] & FLAG_INVALID, 0);
+        let q = [2.0, 2.0, 2.0];
+        let env = Envelope::build(&q, 1);
+        let qs = QuerySketch::new(&q, &env, pc);
+        let lb = qs.bound_sq(&sk);
+        assert!(lb <= 1e-9, "identical constants must not be pruned: {lb}");
+    }
+}

@@ -122,7 +122,8 @@ proptest! {
         // abandon a candidate whose true distance is within the bound.
         use onex_distance::dtw::dtw_early_abandon_sq_with_cb;
         let env = Envelope::build(&y, r);
-        let (_, contrib) = lb_keogh_with_contrib(&x, &env);
+        let mut contrib = Vec::new();
+        lb_keogh_with_contrib(&x, &env, &mut contrib);
         let cb = cumulative_bound(&contrib);
         let exact = dtw_sq(&x, &y, Band::SakoeChiba(r));
         let out = dtw_early_abandon_sq_with_cb(&x, &y, Band::SakoeChiba(r), exact + 1.0, Some(&cb));
@@ -161,6 +162,142 @@ proptest! {
     fn ed_triangle_inequality((x, y) in equal_pair(24), z in series(24)) {
         if z.len() == x.len() {
             prop_assert!(ed(&x, &z) <= ed(&x, &y) + ed(&y, &z) + EPS);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SIMD kernels and the L0 sketch tier.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The accumulating kernels agree across every available level to
+    /// the documented relative tolerance (lane sums reassociate).
+    #[test]
+    fn kernel_sums_agree_across_levels((x, y) in equal_pair(96), ub in 0.0f64..1e6) {
+        use onex_distance::kernels::{sum_sq_diff_ea_at, KernelLevel};
+        let want = sum_sq_diff_ea_at(KernelLevel::Scalar, &x, &y, f64::INFINITY);
+        for l in KernelLevel::available() {
+            let got = sum_sq_diff_ea_at(l, &x, &y, f64::INFINITY);
+            prop_assert!((got - want).abs() <= 1e-9 * want.max(1.0), "{l:?}");
+            // With a bound: either both abandon, or both agree — an
+            // ulp-boundary flip would show as one INF and one ≈ub.
+            let a = sum_sq_diff_ea_at(KernelLevel::Scalar, &x, &y, ub);
+            let b = sum_sq_diff_ea_at(l, &x, &y, ub);
+            if a.is_infinite() || b.is_infinite() {
+                prop_assert!(want + 1e-9 * want.max(1.0) >= ub, "{l:?} abandoned under the bound");
+            } else {
+                prop_assert!((a - b).abs() <= 1e-9 * want.max(1.0));
+            }
+        }
+    }
+
+    /// The envelope-exceedance kernel agrees across levels.
+    #[test]
+    fn kernel_env_excess_agrees_across_levels((x, y) in equal_pair(96), r in 0usize..8) {
+        use onex_distance::kernels::{env_excess_sq_at, EnvAffine, KernelLevel};
+        let env = Envelope::build(&y, r);
+        let want = env_excess_sq_at(
+            KernelLevel::Scalar, &x, &env.lower, &env.upper, EnvAffine::IDENTITY, f64::INFINITY);
+        for l in KernelLevel::available() {
+            let got = env_excess_sq_at(
+                l, &x, &env.lower, &env.upper, EnvAffine::IDENTITY, f64::INFINITY);
+            prop_assert!((got - want).abs() <= 1e-9 * want.max(1.0), "{l:?}: {got} vs {want}");
+        }
+    }
+
+    /// The DTW row kernel and the envelope min/max are bit-exact across
+    /// levels — the whole-DP distance must be *identical*, not close.
+    #[test]
+    fn dtw_and_envelope_are_bit_exact_across_levels((x, y) in equal_pair(48), r in 0usize..10) {
+        use onex_distance::kernels::{sliding_minmax_at, KernelLevel};
+        let (want_lo, want_hi) = sliding_minmax_at(KernelLevel::Scalar, &y, r);
+        for l in KernelLevel::available() {
+            let (lo, hi) = sliding_minmax_at(l, &y, r);
+            prop_assert_eq!(&lo, &want_lo, "{:?} lower", l);
+            prop_assert_eq!(&hi, &want_hi, "{:?} upper", l);
+        }
+        // dtw_sq dispatches through the row kernel; verify it against an
+        // explicit scalar row recurrence.
+        let got = dtw_sq(&x, &y, Band::SakoeChiba(r));
+        let reference = {
+            let (n, m) = (x.len(), y.len());
+            let band = Band::SakoeChiba(r);
+            let mut prev = vec![f64::INFINITY; m + 1];
+            let mut curr = vec![f64::INFINITY; m + 1];
+            prev[0] = 0.0;
+            let mut infeasible = false;
+            for i in 1..=n {
+                curr.iter_mut().for_each(|c| *c = f64::INFINITY);
+                let (lo, hi) = band.row_range(i, n, m);
+                if lo > hi {
+                    infeasible = true;
+                    break;
+                }
+                for j in lo..=hi {
+                    let d = x[i - 1] - y[j - 1];
+                    curr[j] = d * d + prev[j].min(curr[j - 1]).min(prev[j - 1]);
+                }
+                std::mem::swap(&mut prev, &mut curr);
+            }
+            if infeasible { f64::INFINITY } else { prev[m] }
+        };
+        prop_assert!(
+            got == reference || (got.is_infinite() && reference.is_infinite()),
+            "dtw row kernel must be bit-exact: {got} vs {reference}"
+        );
+    }
+
+    /// L0 sketch bound never exceeds true banded DTW (the tier's
+    /// soundness contract) on arbitrary equal-length pairs.
+    #[test]
+    fn l0_sketch_bound_is_sound((x, y) in equal_pair(64), r in 0usize..12) {
+        use onex_distance::{sketch, QuerySketch, SketchParams, SKETCH_STRIDE};
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in x.iter().chain(&y) {
+            min = min.min(*v);
+            max = max.max(*v);
+        }
+        let params = SketchParams::fit(min, max);
+        let env = Envelope::build(&x, r);
+        let qs = QuerySketch::new(&x, &env, params);
+        let mut sk = [0u8; SKETCH_STRIDE];
+        sketch::encode_into(&params, &y, &mut sk);
+        let lb = qs.bound_sq(&sk);
+        let d = dtw_sq(&x, &y, Band::SakoeChiba(r));
+        prop_assert!(lb <= d + 1e-9 * d.max(1.0), "L0 {lb} > dtw {d} (r={r})");
+    }
+
+    /// Satellite guard for the SIMD row rewrite: early-abandoning DTW
+    /// with an infinite (or never-tightening live) bound is *exactly*
+    /// plain `dtw_sq`, and a bound collapsed to 0 mid-flight still
+    /// returns `INFINITY` unless the true distance is itself ~0.
+    #[test]
+    fn early_abandon_with_infinite_bound_is_plain_dtw((x, y) in equal_pair(32), r in 0usize..10) {
+        use onex_distance::dtw::dtw_early_abandon_sq_dynamic;
+        for band in [Band::Full, Band::SakoeChiba(r)] {
+            let exact = dtw_sq(&x, &y, band);
+            let ea = dtw_early_abandon_sq_dynamic(&x, &y, band, f64::INFINITY, None, None);
+            prop_assert!(
+                ea == exact || (ea.is_infinite() && exact.is_infinite()),
+                "infinite static bound must be exact: {ea} vs {exact}"
+            );
+            let never = || f64::INFINITY;
+            let ea_live = dtw_early_abandon_sq_dynamic(&x, &y, band, f64::INFINITY, None, Some(&never));
+            prop_assert!(
+                ea_live == exact || (ea_live.is_infinite() && exact.is_infinite()),
+                "never-tightening live bound must be exact: {ea_live} vs {exact}"
+            );
+            let zero = || 0.0;
+            let collapsed = dtw_early_abandon_sq_dynamic(&x, &y, band, f64::INFINITY, None, Some(&zero));
+            if exact > 0.0 {
+                prop_assert!(collapsed.is_infinite(), "zero bound must abandon: {collapsed}");
+            } else {
+                prop_assert!(collapsed <= 0.0 || collapsed.is_infinite());
+            }
         }
     }
 }

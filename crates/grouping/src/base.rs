@@ -3,6 +3,7 @@ use std::collections::BTreeMap;
 use onex_distance::ed;
 use onex_tseries::Dataset;
 
+use crate::sketch::SketchIndex;
 use crate::{BaseConfig, GroupId, SimilarityGroup};
 
 /// The finished ONEX base: similarity groups per subsequence length.
@@ -10,11 +11,26 @@ use crate::{BaseConfig, GroupId, SimilarityGroup};
 /// This is the compact structure the paper explores with DTW instead of
 /// the raw data (§3.1–3.2). It is immutable after construction; the query
 /// engine borrows it, and [`crate::persist`] round-trips it to disk.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The base also carries the L0 [`SketchIndex`] — *derived* data rebuilt
+/// from the dataset via [`OnexBase::sync_sketches`], excluded from
+/// equality and persistence.
+#[derive(Debug, Clone)]
 pub struct OnexBase {
     config: BaseConfig,
     groups: BTreeMap<usize, Vec<SimilarityGroup>>,
     source_series: usize,
+    sketches: SketchIndex,
+}
+
+/// Equality is over the constructed index only; the derived sketch cache
+/// never participates (a freshly loaded base equals its synced twin).
+impl PartialEq for OnexBase {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.groups == other.groups
+            && self.source_series == other.source_series
+    }
 }
 
 impl OnexBase {
@@ -27,12 +43,39 @@ impl OnexBase {
             config,
             groups,
             source_series,
+            sketches: SketchIndex::default(),
         }
     }
 
+    /// Re-attach a previously built sketch index (incremental extension
+    /// carries the old sketches over and appends the new tail).
+    pub(crate) fn with_sketches(mut self, sketches: SketchIndex) -> Self {
+        self.sketches = sketches;
+        self
+    }
+
     /// Decompose for incremental extension (see `BaseBuilder::extend`).
+    /// Sketches are dropped here; `extend` re-attaches them on success.
     pub(crate) fn into_parts(self) -> (BaseConfig, BTreeMap<usize, Vec<SimilarityGroup>>, usize) {
         (self.config, self.groups, self.source_series)
+    }
+
+    /// The raw per-length group map (sketch-sync tests).
+    #[cfg(test)]
+    pub(crate) fn raw_groups(&self) -> &BTreeMap<usize, Vec<SimilarityGroup>> {
+        &self.groups
+    }
+
+    /// The L0 member sketches (empty until [`Self::sync_sketches`] runs).
+    pub fn sketches(&self) -> &SketchIndex {
+        &self.sketches
+    }
+
+    /// Bring the L0 sketch index up to date with the groups. Incremental
+    /// and idempotent; builders call this on every construction path, and
+    /// engines call it when re-attaching a persisted base to its dataset.
+    pub fn sync_sketches(&mut self, dataset: &Dataset) {
+        self.sketches.sync(dataset, &self.groups);
     }
 
     /// The configuration the base was built with.
@@ -150,6 +193,7 @@ impl Default for OnexBase {
             config: BaseConfig::new(1.0, 2, 2),
             groups: BTreeMap::new(),
             source_series: 0,
+            sketches: SketchIndex::default(),
         }
     }
 }

@@ -277,7 +277,11 @@ impl BaseBuilder {
                 }
             }
         }
-        let new_base = OnexBase::from_parts(config, per_length, dataset.len());
+        // Carry the prior sketches over (params stay frozen) and append
+        // slots for the newly admitted members only.
+        let mut new_base = OnexBase::from_parts(config, per_length, dataset.len())
+            .with_sketches(base.sketches().clone());
+        new_base.sync_sketches(dataset);
         let stats = new_base.stats();
         let report = BuildReport {
             elapsed: start.elapsed(),
@@ -351,7 +355,8 @@ impl BaseBuilder {
         start: Instant,
         work: IndexWork,
     ) -> (OnexBase, BuildReport) {
-        let base = OnexBase::from_parts(self.config.clone(), per_length, dataset.len());
+        let mut base = OnexBase::from_parts(self.config.clone(), per_length, dataset.len());
+        base.sync_sketches(dataset);
         let stats = base.stats();
         let report = BuildReport {
             elapsed: start.elapsed(),

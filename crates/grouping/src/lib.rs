@@ -29,6 +29,9 @@
 //! * [`OnexBase`] is the finished index: groups per length, compaction
 //!   statistics, invariant auditing, and a versioned binary persistence
 //!   format ([`persist`]).
+//! * [`SketchIndex`] ([`sketch`]) carries a quantised-PAA sketch per
+//!   member — the L0 prefilter tier the query engine consults before
+//!   touching any f64 data. Derived, rebuilt on load, never persisted.
 //!
 //! The `ST/2` insert rule plus the Euclidean triangle inequality yield the
 //! paper's pairwise guarantee: two members of one group are within `ST` of
@@ -47,6 +50,7 @@ mod config;
 mod group;
 pub mod persist;
 pub mod repindex;
+pub mod sketch;
 mod space;
 
 pub use base::{AuditReport, BaseStats, LengthStats, OnexBase};
@@ -54,4 +58,5 @@ pub use builder::{BaseBuilder, BuildReport};
 pub use config::{BaseConfig, RepresentativePolicy};
 pub use group::{GroupId, SimilarityGroup};
 pub use repindex::{IndexPolicy, IndexWork, LinearScan, RepresentativeIndex, VpTreeIndex};
+pub use sketch::{LengthSketches, SketchIndex};
 pub use space::SubsequenceSpace;

@@ -1,0 +1,231 @@
+//! Quantised-PAA sketches over the base's members — the storage side of
+//! the L0 prefilter tier.
+//!
+//! Every member of every similarity group gets a fixed-width
+//! [`SKETCH_STRIDE`]-byte sketch ([`onex_distance::sketch`]) stored
+//! contiguously per group, in member-slot order. The searcher walks a
+//! group's slab linearly and rejects members whose sketch lower bound
+//! already exceeds the pruning bound — before resolving any f64 data.
+//!
+//! Sketches are *derived* data: they are rebuilt from the dataset, never
+//! persisted, and excluded from base equality. Quantisation parameters
+//! are frozen per length the first time that length is synced, so a
+//! sketch byte written once stays valid forever; appended values that
+//! fall outside the frozen range simply encode as non-pruning (invalid)
+//! sketches, keeping incremental extension sound without requantising.
+
+use std::collections::BTreeMap;
+
+use onex_distance::sketch::encode_into;
+use onex_distance::{SketchParams, SKETCH_STRIDE};
+use onex_tseries::Dataset;
+
+use crate::SimilarityGroup;
+
+/// Sketch storage for one subsequence length: frozen quantisation
+/// parameters plus one contiguous byte slab per group.
+#[derive(Debug, Clone)]
+pub struct LengthSketches {
+    params: SketchParams,
+    /// `groups[g]` holds `group.cardinality()` slots of
+    /// [`SKETCH_STRIDE`] bytes each, parallel to `group.members()`.
+    groups: Vec<Vec<u8>>,
+}
+
+impl LengthSketches {
+    /// Quantisation parameters every sketch of this length was encoded
+    /// under (frozen at first sync).
+    #[inline]
+    pub fn params(&self) -> SketchParams {
+        self.params
+    }
+
+    /// The contiguous sketch slab for group `index`
+    /// (`cardinality × SKETCH_STRIDE` bytes), if synced.
+    #[inline]
+    pub fn group(&self, index: usize) -> Option<&[u8]> {
+        self.groups.get(index).map(Vec::as_slice)
+    }
+}
+
+/// All member sketches of a base, keyed by subsequence length.
+///
+/// Derived from the dataset + groups via [`SketchIndex::sync`]; cheap to
+/// rebuild, append-only under incremental extension.
+#[derive(Debug, Clone, Default)]
+pub struct SketchIndex {
+    per_length: BTreeMap<usize, LengthSketches>,
+}
+
+impl SketchIndex {
+    /// Sketches for one subsequence length, if that length has been
+    /// synced.
+    #[inline]
+    pub fn for_len(&self, len: usize) -> Option<&LengthSketches> {
+        self.per_length.get(&len)
+    }
+
+    /// True when no length has been synced yet.
+    pub fn is_empty(&self) -> bool {
+        self.per_length.is_empty()
+    }
+
+    /// Bring the index up to date with `groups`: append sketch slots for
+    /// members not yet covered, seed slabs for new groups and parameters
+    /// for new lengths. Existing bytes are never rewritten — member lists
+    /// only grow at the tail (admission order), so sync is incremental
+    /// and idempotent.
+    pub fn sync(&mut self, dataset: &Dataset, groups: &BTreeMap<usize, Vec<SimilarityGroup>>) {
+        // The global value range is only needed when a new length shows
+        // up; compute it lazily and at most once per sync.
+        let mut range: Option<(f64, f64)> = None;
+        let mut slot = [0u8; SKETCH_STRIDE];
+        for (&len, group_list) in groups {
+            let ls = self.per_length.entry(len).or_insert_with(|| {
+                let (min, max) = *range.get_or_insert_with(|| value_range(dataset));
+                LengthSketches {
+                    params: SketchParams::fit(min, max),
+                    groups: Vec::with_capacity(group_list.len()),
+                }
+            });
+            if ls.groups.len() < group_list.len() {
+                ls.groups.resize_with(group_list.len(), Vec::new);
+            }
+            for (gi, group) in group_list.iter().enumerate() {
+                let slab = &mut ls.groups[gi];
+                let done = slab.len() / SKETCH_STRIDE;
+                if done >= group.cardinality() {
+                    continue;
+                }
+                slab.reserve((group.cardinality() - done) * SKETCH_STRIDE);
+                for &member in &group.members()[done..] {
+                    // An unresolvable reference cannot happen on a
+                    // consistent base; encode a non-pruning sketch so the
+                    // slab stays slot-aligned regardless.
+                    let values = dataset.resolve(member).unwrap_or(&[]);
+                    encode_into(&ls.params, values, &mut slot);
+                    slab.extend_from_slice(&slot);
+                }
+            }
+        }
+    }
+}
+
+/// Min/max over every sample of every series in the dataset, ignoring
+/// non-finite values. Empty / all-non-finite datasets yield an inverted
+/// range, which [`SketchParams::fit`] maps to safe degenerate parameters.
+fn value_range(dataset: &Dataset) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for (_, series) in dataset.iter() {
+        for &v in series.values() {
+            if v.is_finite() {
+                min = min.min(v);
+                max = max.max(v);
+            }
+        }
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaseBuilder, BaseConfig};
+    use onex_tseries::TimeSeries;
+
+    fn dataset(seriess: &[&[f64]]) -> Dataset {
+        Dataset::from_series(
+            seriess
+                .iter()
+                .enumerate()
+                .map(|(i, v)| TimeSeries::new(format!("s{i}"), v.to_vec()))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn walk(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed.max(1);
+        let mut v = 0.0;
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                v += (state % 2000) as f64 / 1000.0 - 1.0;
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sync_covers_every_member_and_is_idempotent() {
+        let ds = dataset(&[&walk(3, 40), &walk(7, 33)]);
+        let builder = BaseBuilder::new(BaseConfig::new(4.0, 6, 10)).unwrap();
+        let (base, _) = builder.build(&ds);
+        let mut idx = SketchIndex::default();
+        idx.sync(&ds, base.raw_groups());
+        for (&len, groups) in base.raw_groups() {
+            let ls = idx.for_len(len).expect("length synced");
+            for (gi, g) in groups.iter().enumerate() {
+                let slab = ls.group(gi).expect("group synced");
+                assert_eq!(slab.len(), g.cardinality() * SKETCH_STRIDE, "g{gi}@{len}");
+            }
+        }
+        let before = idx.clone();
+        idx.sync(&ds, base.raw_groups());
+        for &len in base.raw_groups().keys() {
+            let (a, b) = (before.for_len(len).unwrap(), idx.for_len(len).unwrap());
+            assert_eq!(a.groups, b.groups, "idempotent at {len}");
+        }
+    }
+
+    #[test]
+    fn sketch_bounds_never_exceed_dtw_against_members() {
+        use onex_distance::{dtw_sq, Band, Envelope, QuerySketch};
+        let ds = dataset(&[&walk(11, 48)]);
+        let builder = BaseBuilder::new(BaseConfig::new(2.0, 8, 8)).unwrap();
+        let (base, _) = builder.build(&ds);
+        let mut idx = SketchIndex::default();
+        idx.sync(&ds, base.raw_groups());
+        let query = walk(5, 8);
+        let env = Envelope::build(&query, 2);
+        let ls = idx.for_len(8).expect("length 8 indexed");
+        let qs = QuerySketch::new(&query, &env, ls.params());
+        for (gi, g) in base.raw_groups()[&8].iter().enumerate() {
+            let slab = ls.group(gi).unwrap();
+            for (slot, &m) in g.members().iter().enumerate() {
+                let xs = ds.resolve(m).unwrap();
+                let lb = qs.bound_sq(&slab[slot * SKETCH_STRIDE..(slot + 1) * SKETCH_STRIDE]);
+                let d = dtw_sq(&query, xs, Band::SakoeChiba(2));
+                assert!(
+                    lb <= d + 1e-9 * d.abs().max(1.0),
+                    "slot {slot} in g{gi}: lb={lb} > dtw={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn params_freeze_and_new_members_append() {
+        let ds1 = dataset(&[&walk(3, 30)]);
+        let builder = BaseBuilder::new(BaseConfig::new(3.0, 5, 7)).unwrap();
+        let (base1, _) = builder.build(&ds1);
+        let mut idx = SketchIndex::default();
+        idx.sync(&ds1, base1.raw_groups());
+        let frozen = idx.for_len(5).unwrap().params();
+
+        let ds2 = dataset(&[&walk(3, 30), &walk(9, 25)]);
+        let (base2, _) = builder.extend(&base1, &ds2).unwrap();
+        idx.sync(&ds2, base2.raw_groups());
+        let after = idx.for_len(5).unwrap();
+        assert_eq!(after.params(), frozen, "params frozen across extension");
+        for (gi, g) in base2.raw_groups()[&5].iter().enumerate() {
+            assert_eq!(
+                after.group(gi).unwrap().len(),
+                g.cardinality() * SKETCH_STRIDE
+            );
+        }
+    }
+}

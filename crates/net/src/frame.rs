@@ -25,8 +25,11 @@ use onex_api::{NetworkErrorKind, OnexError};
 
 /// First bytes on every connection, both directions: magic + version.
 pub const MAGIC: [u8; 4] = *b"ONXW";
-/// Wire protocol version carried in the hello preamble.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Wire protocol version carried in the hello preamble. v2 extended the
+/// Answer frame with per-tier prune counters and the Query options with
+/// the L0-prefilter flag — both fixed-order fields, so the version bump
+/// is what keeps v1 peers from misparsing them.
+pub const PROTOCOL_VERSION: u16 = 2;
 /// Upper bound on `kind + payload` size. Checked before allocating.
 pub const MAX_FRAME: usize = 1 << 24; // 16 MiB
 

@@ -165,6 +165,7 @@ fn put_options(out: &mut Vec<u8>, opts: &QueryOptions) {
     }
     put_bool(out, opts.prune_groups);
     put_bool(out, opts.lb_keogh);
+    put_bool(out, opts.l0_prefilter);
     put_opt_u32(out, opts.exclude_series);
     put_opt_u32(out, opts.only_series);
     put_u32(out, opts.exclude_windows.len() as u32);
@@ -233,6 +234,10 @@ impl Message {
                 put_u64(&mut out, stats.examined as u64);
                 put_u64(&mut out, stats.pruned as u64);
                 put_u64(&mut out, stats.distance_computations as u64);
+                put_u64(&mut out, stats.tiers.l0);
+                put_u64(&mut out, stats.tiers.kim);
+                put_u64(&mut out, stats.tiers.keogh);
+                put_u64(&mut out, stats.tiers.dtw_abandoned);
                 (KIND_ANSWER, out)
             }
             Message::ErrorReply { code, detail } => {
@@ -387,6 +392,7 @@ impl<'a> Reader<'a> {
         };
         let prune_groups = self.bool()?;
         let lb_keogh = self.bool()?;
+        let l0_prefilter = self.bool()?;
         let exclude_series = self.opt_u32()?;
         let only_series = self.opt_u32()?;
         let n = self.counted(12)?;
@@ -404,6 +410,7 @@ impl<'a> Reader<'a> {
             breadth,
             prune_groups,
             lb_keogh,
+            l0_prefilter,
             exclude_series,
             only_series,
             exclude_windows,
@@ -469,6 +476,12 @@ impl Message {
                     examined: r.usize64()?,
                     pruned: r.usize64()?,
                     distance_computations: r.usize64()?,
+                    tiers: onex_api::TierPrunes {
+                        l0: r.u64()?,
+                        kim: r.u64()?,
+                        keogh: r.u64()?,
+                        dtw_abandoned: r.u64()?,
+                    },
                 };
                 Message::Answer {
                     epoch,
@@ -584,6 +597,12 @@ mod tests {
                     examined: 100,
                     pruned: 40,
                     distance_computations: 12,
+                    tiers: onex_api::TierPrunes {
+                        l0: 21,
+                        kim: 9,
+                        keogh: 10,
+                        dtw_abandoned: 7,
+                    },
                 },
             },
             Message::ErrorReply {
@@ -630,6 +649,7 @@ mod tests {
             QueryOptions::with_band(Band::Itakura),
             QueryOptions::default().lengths(LengthSelection::Range(8, 24)),
             QueryOptions::default().top_groups(2).without_pruning(),
+            QueryOptions::default().without_l0(),
             QueryOptions::default().within_series(3),
         ];
         for opts in shapes {

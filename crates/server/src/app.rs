@@ -441,12 +441,31 @@ impl App {
                 ])
             })
             .collect();
+        let lifetime = self.engine.lifetime_stats();
         let mut fields = vec![
             ("series", self.engine.dataset().len().into()),
             ("samples", self.engine.dataset().total_samples().into()),
             ("groups", stats.groups.into()),
             ("members", stats.members.into()),
             ("compaction", stats.compaction.into()),
+            // Which SIMD tier the distance kernels selected at startup
+            // ("scalar", "sse2" or "avx2") — the level every distance in
+            // this process runs at.
+            (
+                "kernel_level",
+                Json::s(onex_distance::kernels::level().label()),
+            ),
+            // Lifetime per-tier prune counters of the pruning cascade
+            // (L0 sketch → LB_Kim → LB_Keogh → early-abandoned DTW).
+            (
+                "tier_prunes",
+                Json::obj(vec![
+                    ("l0", lifetime.members_l0_pruned.into()),
+                    ("kim", lifetime.members_kim_pruned.into()),
+                    ("keogh", lifetime.members_lb_pruned.into()),
+                    ("dtw_abandoned", lifetime.dtw_abandoned.into()),
+                ]),
+            ),
             ("per_length", Json::Arr(per_length)),
         ];
         // When this server performed the load step itself, report what
@@ -627,6 +646,18 @@ impl App {
                     (
                         "distance_computations",
                         outcome.stats.distance_computations.into(),
+                    ),
+                    (
+                        "tiers",
+                        Json::obj(vec![
+                            ("l0", (outcome.stats.tiers.l0 as usize).into()),
+                            ("kim", (outcome.stats.tiers.kim as usize).into()),
+                            ("keogh", (outcome.stats.tiers.keogh as usize).into()),
+                            (
+                                "dtw_abandoned",
+                                (outcome.stats.tiers.dtw_abandoned as usize).into(),
+                            ),
+                        ]),
                     ),
                 ]),
             ),
@@ -940,6 +971,27 @@ mod tests {
     }
 
     #[test]
+    fn summary_reports_kernel_level_and_tier_prunes() {
+        let a = app();
+        let body = String::from_utf8(get(&a, "/api/summary").body).unwrap();
+        let level = onex_distance::kernels::level().label();
+        assert!(
+            body.contains(&format!("\"kernel_level\":\"{level}\"")),
+            "{body}"
+        );
+        assert!(body.contains("\"tier_prunes\":{\"l0\":"), "{body}");
+        // Run a query, then the lifetime tier counters must be visible
+        // (and the cascade must have done *something*: pruned or run DTW).
+        let q = get(&a, "/api/match?series=MA-GrowthRate&start=4&len=8&k=3");
+        assert_eq!(q.status, 200);
+        let body = String::from_utf8(get(&a, "/api/summary").body).unwrap();
+        let tiers = body.split("\"tier_prunes\":").nth(1).expect("tiers field");
+        assert!(tiers.contains("\"kim\":"), "{tiers}");
+        assert!(tiers.contains("\"keogh\":"), "{tiers}");
+        assert!(tiers.contains("\"dtw_abandoned\":"), "{tiers}");
+    }
+
+    #[test]
     fn summary_reports_the_load_steps_build_report() {
         let a = app();
         let r = get(&a, "/api/summary");
@@ -1048,6 +1100,9 @@ mod tests {
             assert!(body.contains(&format!("\"metric\":\"{metric}\"")), "{body}");
             assert!(body.contains("\"matches\":["), "{body}");
             assert!(body.contains("\"examined\":"), "{body}");
+            // Every backend reports the per-tier prune breakdown (zeroes
+            // for engines without a tiered cascade).
+            assert!(body.contains("\"tiers\":{\"l0\":"), "{body}");
         }
         // The baselines index the same data, so the verbatim window is
         // found at distance ~0 by every engine.

@@ -1,6 +1,8 @@
 use onex_api::BestK;
 use onex_distance::dtw::dtw_early_abandon_sq_with_cb;
-use onex_distance::lb::cumulative_bound;
+use onex_distance::lb::{
+    cumulative_bound, lb_keogh_env_znorm_sq, lb_keogh_znorm_sq, lb_kim_fl_sq_corners,
+};
 use onex_distance::{Band, Envelope};
 use onex_tseries::normalize::{znorm, STD_FLOOR};
 use onex_tseries::Dataset;
@@ -125,9 +127,25 @@ fn prepare_query(q: &[f64], radius: usize) -> PreparedQuery {
     PreparedQuery { qz, order, env }
 }
 
-/// LB_KimFL on z-normalised data: first/last pairs plus the sound
-/// second-point corner refinements. `mean`/`std` are the candidate
-/// window's moments.
+/// The kernel-side z-norm scale for a window: `1/σ`, or 0 for a flat
+/// window (the [`STD_FLOOR`] convention — same collapse-to-zero the DTW
+/// stage's `znorm_with_moments` applies, in the identical
+/// subtract-then-multiply form, so bounds and DP values stay
+/// bit-consistent).
+#[inline]
+fn znorm_scale(std: f64) -> f64 {
+    if std < STD_FLOOR {
+        0.0
+    } else {
+        1.0 / std
+    }
+}
+
+/// LB_KimFL on z-normalised data: the shared
+/// [`lb_kim_fl_sq_corners`] kernel fed with just the four z-normalised
+/// corner values of the window (the ONEX cascade's `lb_kim_fl_sq` is the
+/// same kernel over raw values). `mean`/`std` are the candidate window's
+/// moments.
 fn lb_kim_fl(
     t: &[f64],
     start: usize,
@@ -137,41 +155,19 @@ fn lb_kim_fl(
     std: f64,
     bsf_sq: f64,
 ) -> f64 {
-    let zn = |i: usize| -> f64 {
-        if std < STD_FLOOR {
-            0.0
-        } else {
-            (t[start + i] - mean) / std
-        }
+    let scale = znorm_scale(std);
+    let zn = |i: usize| (t[start + i] - mean) * scale;
+    let (c1, c2) = if m >= 4 {
+        (zn(1), zn(m - 2))
+    } else {
+        (0.0, 0.0)
     };
-    let sq = |a: f64, b: f64| (a - b) * (a - b);
-    let (c0, cl) = (zn(0), zn(m - 1));
-    let mut lb = sq(c0, qz[0]) + sq(cl, qz[m - 1]);
-    if lb > bsf_sq {
-        return f64::INFINITY;
-    }
-    if m >= 4 {
-        let c1 = zn(1);
-        let front = sq(c1, qz[0]).min(sq(c1, qz[1])).min(sq(c0, qz[1]));
-        lb += front;
-        if lb > bsf_sq {
-            return f64::INFINITY;
-        }
-        let c2 = zn(m - 2);
-        let back = sq(c2, qz[m - 1])
-            .min(sq(c2, qz[m - 2]))
-            .min(sq(cl, qz[m - 2]));
-        lb += back;
-        if lb > bsf_sq {
-            return f64::INFINITY;
-        }
-    }
-    lb
+    lb_kim_fl_sq_corners(qz, m, zn(0), c1, c2, zn(m - 1), bsf_sq)
 }
 
-/// LB_Keogh EQ: candidate values (z-normalised on the fly) against the
-/// query envelope, visited in reordered (largest-|q|-first) order.
-/// Fills `contrib` (original index space) for the cumulative bound.
+/// LB_Keogh EQ: candidate values (z-normalised inside the shared SIMD
+/// kernel) against the query envelope. Fills `contrib` for the
+/// cumulative bound.
 fn lb_keogh_eq(
     t: &[f64],
     start: usize,
@@ -181,35 +177,21 @@ fn lb_keogh_eq(
     bsf_sq: f64,
     contrib: &mut [f64],
 ) -> f64 {
-    contrib.iter_mut().for_each(|c| *c = 0.0);
-    let mut acc = 0.0;
-    for &i in &pq.order {
-        let c = if std < STD_FLOOR {
-            0.0
-        } else {
-            (t[start + i] - mean) / std
-        };
-        let (lo, hi) = (pq.env.lower[i], pq.env.upper[i]);
-        let d = if c > hi {
-            c - hi
-        } else if c < lo {
-            lo - c
-        } else {
-            continue;
-        };
-        contrib[i] = d * d;
-        acc += d * d;
-        if acc > bsf_sq {
-            return f64::INFINITY;
-        }
-    }
-    acc
+    let m = pq.qz.len();
+    lb_keogh_znorm_sq(
+        &t[start..start + m],
+        mean,
+        znorm_scale(std),
+        &pq.env,
+        bsf_sq,
+        contrib,
+    )
 }
 
-/// LB_Keogh EC: z-normalised *candidate* envelope against the query.
-/// Uses the precomputed raw envelope of the whole series — a superset of
-/// the window envelope, hence still a sound (slightly looser) bound — and
-/// normalises it with the window's moments.
+/// LB_Keogh EC: z-normalised *candidate* envelope against the query,
+/// via the shared SIMD kernel. Uses the precomputed raw envelope of the
+/// whole series — a superset of the window envelope, hence still a
+/// sound (slightly looser) bound — normalised with the window's moments.
 fn lb_keogh_ec(
     env_t: &Envelope,
     start: usize,
@@ -219,32 +201,16 @@ fn lb_keogh_ec(
     bsf_sq: f64,
     contrib: &mut [f64],
 ) -> f64 {
-    contrib.iter_mut().for_each(|c| *c = 0.0);
-    let mut acc = 0.0;
-    for &i in &pq.order {
-        let (lo, hi) = if std < STD_FLOOR {
-            (0.0, 0.0)
-        } else {
-            (
-                (env_t.lower[start + i] - mean) / std,
-                (env_t.upper[start + i] - mean) / std,
-            )
-        };
-        let qv = pq.qz[i];
-        let d = if qv > hi {
-            qv - hi
-        } else if qv < lo {
-            lo - qv
-        } else {
-            continue;
-        };
-        contrib[i] = d * d;
-        acc += d * d;
-        if acc > bsf_sq {
-            return f64::INFINITY;
-        }
-    }
-    acc
+    let m = pq.qz.len();
+    lb_keogh_env_znorm_sq(
+        &pq.qz,
+        &env_t.lower[start..start + m],
+        &env_t.upper[start..start + m],
+        mean,
+        znorm_scale(std),
+        bsf_sq,
+        contrib,
+    )
 }
 
 /// Best z-normalised **ED** window of length `|q|` in `t` (reordering
