@@ -46,6 +46,71 @@ pub enum OnexError {
     /// process is healthy, a dependency is not — which is exactly the
     /// 502-vs-500 distinction HTTP draws.
     Network(NetworkError),
+    /// A persisted artefact (base segment file) failed to load or
+    /// validate: bad magic, unsupported format version, checksum
+    /// mismatch, malformed layout. Distinct from [`OnexError::Io`]
+    /// (the read itself succeeded; the *bytes* are wrong) and from
+    /// [`OnexError::InvalidData`] (which covers request payloads): the
+    /// typed [`StorageErrorKind`] lets callers tell "upgrade your
+    /// binary" from "your file is corrupt" without parsing prose.
+    Storage(StorageError),
+}
+
+/// What went wrong with a persisted artefact — the typed payload of
+/// [`OnexError::Storage`].
+#[derive(Debug)]
+pub struct StorageError {
+    /// The failure class.
+    pub kind: StorageErrorKind,
+    /// Human-readable context (section name, offset, expected/actual
+    /// checksums, ...).
+    pub detail: String,
+}
+
+impl StorageError {
+    /// Construct a typed storage failure.
+    pub fn new(kind: StorageErrorKind, detail: impl Into<String>) -> Self {
+        StorageError {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind.label(), self.detail)
+    }
+}
+
+/// Failure classes of [`StorageError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum StorageErrorKind {
+    /// The file does not start with an ONEX base magic — it is not a
+    /// base file at all.
+    BadMagic,
+    /// The file declares a format version this binary cannot read.
+    UnsupportedVersion,
+    /// A checksum over the file (v1) or one of its sections (v2) did not
+    /// match — the bytes were damaged after writing.
+    ChecksumMismatch,
+    /// The bytes decoded but violate the format's structural rules:
+    /// out-of-bounds section, overlapping directory entries, truncated
+    /// record, impossible count.
+    Corrupt,
+}
+
+impl StorageErrorKind {
+    /// Stable human-readable label for the class.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StorageErrorKind::BadMagic => "bad magic",
+            StorageErrorKind::UnsupportedVersion => "unsupported format version",
+            StorageErrorKind::ChecksumMismatch => "checksum mismatch",
+            StorageErrorKind::Corrupt => "corrupt base file",
+        }
+    }
 }
 
 /// What went wrong on the wire — the typed payload of
@@ -145,12 +210,21 @@ impl OnexError {
             OnexError::Io(_) => 500,
             OnexError::Internal(_) => 500,
             OnexError::Network(_) => 502,
+            // A damaged or foreign base file is unprocessable content
+            // (422) — the server is healthy, the artefact it was handed
+            // is not — matching the InvalidData classification above.
+            OnexError::Storage(_) => 422,
         }
     }
 
     /// Shorthand constructor for [`OnexError::Network`].
     pub fn network(kind: NetworkErrorKind, detail: impl Into<String>) -> Self {
         OnexError::Network(NetworkError::new(kind, detail))
+    }
+
+    /// Shorthand constructor for [`OnexError::Storage`].
+    pub fn storage(kind: StorageErrorKind, detail: impl Into<String>) -> Self {
+        OnexError::Storage(StorageError::new(kind, detail))
     }
 }
 
@@ -166,6 +240,7 @@ impl fmt::Display for OnexError {
             OnexError::Io(e) => write!(f, "i/o error: {e}"),
             OnexError::Internal(msg) => write!(f, "internal error: {msg}"),
             OnexError::Network(e) => write!(f, "network error: {e}"),
+            OnexError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -247,6 +322,7 @@ mod tests {
             OnexError::Io(_) => 500,
             OnexError::Internal(_) => 500,
             OnexError::Network(_) => 502,
+            OnexError::Storage(_) => 422,
         }
     }
 
@@ -262,6 +338,7 @@ mod tests {
             OnexError::Io(std::io::Error::other("io")),
             OnexError::Internal("i".into()),
             OnexError::network(NetworkErrorKind::Unreachable, "no shard at :9999"),
+            OnexError::storage(StorageErrorKind::ChecksumMismatch, "section CONFIG"),
         ];
         for e in &all {
             let status = e.http_status();
@@ -290,6 +367,29 @@ mod tests {
             assert!(e.to_string().contains("network error"), "{e}");
             assert!(e.to_string().contains(kind.label()), "{e}");
         }
+    }
+
+    #[test]
+    fn storage_errors_are_unprocessable_content_not_server_faults() {
+        for kind in [
+            StorageErrorKind::BadMagic,
+            StorageErrorKind::UnsupportedVersion,
+            StorageErrorKind::ChecksumMismatch,
+            StorageErrorKind::Corrupt,
+        ] {
+            let e = OnexError::storage(kind, "base.onexseg");
+            assert_eq!(e.http_status(), 422, "{e}");
+            assert!(e.is_client_error(), "{e}");
+            assert!(e.to_string().contains("storage error"), "{e}");
+            assert!(e.to_string().contains(kind.label()), "{e}");
+        }
+        // The I/O half of a failed load stays OnexError::Io → 500: the
+        // 500/422 split distinguishes "the disk failed" from "the bytes
+        // are wrong".
+        assert_eq!(
+            OnexError::from(std::io::Error::other("disk")).http_status(),
+            500
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod topk;
 mod tx;
 
 pub use bound::SharedBound;
-pub use error::{NetworkError, NetworkErrorKind, OnexError};
+pub use error::{NetworkError, NetworkErrorKind, OnexError, StorageError, StorageErrorKind};
 pub use search::{
     validate_query, BackendMatch, BackendStats, Capabilities, Metric, SearchOutcome,
     SimilaritySearch, StreamMatch, StreamingSearch, TierPrunes,

@@ -5,6 +5,7 @@
 //! repro --quick                # run everything, CI sizes
 //! repro e5 e6                  # run selected experiments
 //! repro --format json e12      # also write machine-readable perf records
+//! repro --inspect-base f.onex  # print a v2 base file's section directory
 //! repro list                   # list experiment ids
 //! ```
 //!
@@ -17,20 +18,80 @@
 //! append/search throughput under mutation; `e16` → `BENCH_cluster.json`,
 //! cross-process gossip DTW savings + cluster agreement + dead-peer
 //! probe; `e17` → `BENCH_kernels.json`, SIMD kernel speedups + L0
-//! prefilter ablation + per-tier reject counts) so successive runs leave
-//! a comparable performance trajectory.
+//! prefilter ablation + per-tier reject counts; `e18` →
+//! `BENCH_coldstart.json`, v2 lazy-open time-to-first-answer vs v1 full
+//! decode + agreement) so successive runs leave a comparable
+//! performance trajectory.
 
 use onex_bench::experiments;
+
+/// `--inspect-base`: open a format-v2 base file, print its section
+/// directory, and independently re-verify every section checksum
+/// against the raw bytes. Exits non-zero when the file does not open
+/// or any checksum disagrees — usable as a CI integrity gate.
+fn inspect_base(path: &str) -> Result<(), String> {
+    use onex_grouping::persist::{section_name, BaseSegment};
+
+    // `open` already validates structure and checksums; a corrupt file
+    // never reaches the directory print.
+    let segment = BaseSegment::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let bytes = segment.as_bytes();
+    println!("{path}: ONEXSEG2, {} bytes", bytes.len());
+    println!(
+        "base: {} source series, {} length column(s), {} group(s), sketches: {}",
+        segment.source_series(),
+        segment.lengths().count(),
+        segment.total_groups(),
+        if segment.has_sketches() { "yes" } else { "no" },
+    );
+    println!(
+        "{:<12} {:>10} {:>10}  {:<18} verify",
+        "section", "offset", "bytes", "checksum"
+    );
+    let mut bad = 0usize;
+    for s in segment.directory() {
+        // Independent pass over the raw payload — the binary proves the
+        // checksums hold rather than trusting the open path did.
+        let payload = bytes
+            .get(s.offset as usize..(s.offset + s.len) as usize)
+            .ok_or_else(|| format!("section {} extends past the file", section_name(s.id)))?;
+        let ok = onex_storage::fnv1a64(payload) == s.checksum;
+        bad += usize::from(!ok);
+        println!(
+            "{:<12} {:>10} {:>10}  {:<18} {}",
+            section_name(s.id),
+            s.offset,
+            s.len,
+            format!("{:016x}", s.checksum),
+            if ok { "ok" } else { "MISMATCH" },
+        );
+    }
+    if bad > 0 {
+        return Err(format!("{bad} section checksum(s) disagree"));
+    }
+    Ok(())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut format = "table".to_string();
+    let mut inspect: Option<String> = None;
     let mut ids: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" | "-q" => quick = true,
+            "--inspect-base" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => inspect = Some(v.clone()),
+                    None => {
+                        eprintln!("--inspect-base needs a file path");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--format" => {
                 i += 1;
                 match args.get(i) {
@@ -47,7 +108,10 @@ fn main() {
             // Unknown flags are hard errors: a typo must not silently
             // drop the JSON perf record and still exit 0.
             a if a.starts_with('-') => {
-                eprintln!("unknown flag {a:?}; known: --quick/-q, --format <table|json>");
+                eprintln!(
+                    "unknown flag {a:?}; known: --quick/-q, --format <table|json>, \
+                     --inspect-base <file>"
+                );
                 std::process::exit(2);
             }
             a => ids.push(a),
@@ -62,6 +126,14 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if let Some(path) = inspect {
+        if let Err(e) = inspect_base(&path) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if ids.first() == Some(&"list") {
         println!("available experiments:");

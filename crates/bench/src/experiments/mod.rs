@@ -10,6 +10,7 @@ pub mod e14_pruning;
 pub mod e15_ingest;
 pub mod e16_cluster;
 pub mod e17_kernels;
+pub mod e18_coldstart;
 pub mod e1_pipeline;
 pub mod e2_similarity;
 pub mod e3_linked_views;
@@ -23,9 +24,9 @@ pub mod e9_ablation;
 use crate::harness::Table;
 
 /// Experiment ids accepted by the `repro` binary.
-pub const ALL: [&str; 17] = [
+pub const ALL: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// What one experiment run produced: the printable tables, plus an
@@ -117,6 +118,13 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
                     "BENCH_kernels.json",
                     e17_kernels::json_report(&kernel_rows, &cascade_rows),
                 )),
+            })
+        }
+        "e18" => {
+            let rows = e18_coldstart::measure(quick);
+            Some(ExperimentOutput {
+                tables: vec![e18_coldstart::table(&rows)],
+                record: Some(("BENCH_coldstart.json", e18_coldstart::json_report(&rows))),
             })
         }
         _ => None,

@@ -1,16 +1,19 @@
+use std::collections::BTreeSet;
 use std::ops::Deref;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use onex_api::{validate_query, Epoch, OnexError, ReadTxn, SharedBound, Versioned};
+use onex_grouping::persist::BaseSegment;
 use onex_grouping::{BaseBuilder, BaseConfig, BuildReport, OnexBase};
 use onex_tseries::Dataset;
 
 use crate::search::Searcher;
 use crate::seasonal::{seasonal_patterns, SeasonalOptions};
 use crate::threshold::{recommend, ThresholdRecommendation};
-use crate::{Match, QueryOptions, QueryStats, SeasonalPattern};
+use crate::{LengthSelection, Match, QueryOptions, QueryStats, SeasonalPattern};
 
 /// The dataset and its base, published together as one immutable epoch:
 /// a query that pins this pair can never see a dataset/base mismatch,
@@ -19,6 +22,37 @@ use crate::{Match, QueryOptions, QueryStats, SeasonalPattern};
 struct EngineState {
     dataset: Dataset,
     base: OnexBase,
+}
+
+/// The unresolved remainder of a cold-opened base file: the validated
+/// segment image plus the set of length columns not yet decoded into the
+/// published base. Engines built in memory never carry one; engines
+/// created by [`Onex::open`]/[`Onex::open_bytes`]/[`Onex::install_base`]
+/// drain `pending` lazily, one query plan at a time.
+#[derive(Debug)]
+struct ColdSource {
+    segment: BaseSegment,
+    /// Lengths present in the file but not yet installed in the base.
+    pending: BTreeSet<usize>,
+    /// File the segment was opened from (`None` for in-memory images,
+    /// e.g. a base shipped over the wire).
+    path: Option<PathBuf>,
+}
+
+/// Provenance of a cold-started engine's base ([`Onex::base_source`]):
+/// where the segment came from and how much of it has been resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaseSource {
+    /// File the base was opened from (`None` when it arrived as bytes,
+    /// e.g. shipped to a shard over the wire).
+    pub path: Option<PathBuf>,
+    /// Length columns already decoded into the live base.
+    pub resolved_lengths: usize,
+    /// Total length columns in the file.
+    pub total_lengths: usize,
+    /// Whether the file carries the L0 sketch slabs (resolved columns
+    /// prune immediately, no re-encode).
+    pub has_sketches: bool,
 }
 
 /// The ONEX engine: a dataset, its precomputed base, and the paper's
@@ -58,6 +92,11 @@ struct EngineState {
 pub struct Onex {
     state: Versioned<EngineState>,
     lifetime: Arc<Mutex<QueryStats>>,
+    /// Lazily-resolved base file behind cold-started engines (`None` for
+    /// warm in-memory builds). The mutex serialises resolution; queries
+    /// that touch only already-resolved columns never take it beyond a
+    /// pending-set peek.
+    cold: Mutex<Option<ColdSource>>,
     /// Test-only fault injection: make the next append's extension fail
     /// after the working copy has been mutated, exercising the rollback
     /// path (the published epoch must be untouched).
@@ -112,9 +151,195 @@ impl Onex {
         Ok(Onex {
             state: Versioned::new(EngineState { dataset, base }),
             lifetime: Arc::new(Mutex::new(QueryStats::default())),
+            cold: Mutex::new(None),
             #[cfg(test)]
             fail_next_extend: std::sync::atomic::AtomicBool::new(false),
         })
+    }
+
+    /// Cold-start from a format-v2 base file: validate the segment
+    /// (structure and checksums), pair it with `dataset`, and return an
+    /// engine that answers its **first query before decoding the file**
+    /// — each query resolves only the length columns its plan touches,
+    /// so time-to-first-answer scales with one column, not the whole
+    /// base (experiment E18 measures the gap against a v1 full decode).
+    ///
+    /// # Errors
+    /// [`OnexError::Io`] when the file cannot be read,
+    /// [`OnexError::Storage`] when it is not a valid v2 base segment,
+    /// [`OnexError::DatasetMismatch`] when it was built over a different
+    /// number of series.
+    pub fn open(path: impl AsRef<Path>, dataset: Dataset) -> Result<Self, OnexError> {
+        let path = path.as_ref();
+        Self::from_segment(BaseSegment::open(path)?, dataset, Some(path.to_path_buf()))
+    }
+
+    /// [`Onex::open`] over an in-memory file image (how a shard engine
+    /// adopts a base shipped over the wire).
+    ///
+    /// # Errors
+    /// Same as [`Onex::open`], minus the I/O cases.
+    pub fn open_bytes(bytes: Vec<u8>, dataset: Dataset) -> Result<Self, OnexError> {
+        Self::from_segment(BaseSegment::from_bytes(bytes)?, dataset, None)
+    }
+
+    fn from_segment(
+        segment: BaseSegment,
+        dataset: Dataset,
+        path: Option<PathBuf>,
+    ) -> Result<Self, OnexError> {
+        if segment.source_series() != dataset.len() {
+            return Err(OnexError::DatasetMismatch(format!(
+                "base file was built over {} series but dataset has {}",
+                segment.source_series(),
+                dataset.len()
+            )));
+        }
+        let base = segment.empty_base();
+        let pending = segment.lengths().collect();
+        Ok(Onex {
+            state: Versioned::new(EngineState { dataset, base }),
+            lifetime: Arc::new(Mutex::new(QueryStats::default())),
+            cold: Mutex::new(Some(ColdSource {
+                segment,
+                pending,
+                path,
+            })),
+            #[cfg(test)]
+            fail_next_extend: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// Replace this engine's base with a shipped v2 file image — the
+    /// `ShipBase` handler on shard servers. The new base adopts the same
+    /// lazy-resolution lifecycle as [`Onex::open_bytes`]: the swap
+    /// itself decodes nothing, and subsequent queries resolve columns on
+    /// demand, so a freshly deployed shard answers immediately.
+    ///
+    /// # Errors
+    /// [`OnexError::Storage`] when the bytes are not a valid v2 base
+    /// segment, [`OnexError::DatasetMismatch`] when it was built over a
+    /// different number of series than this engine currently holds. On
+    /// error the current base keeps serving, untouched.
+    pub fn install_base(&self, bytes: Vec<u8>) -> Result<(), OnexError> {
+        let segment = BaseSegment::from_bytes(bytes)?;
+        let mut cold = self.cold.lock();
+        let mut txn = self.state.write();
+        let state = txn.value_mut();
+        if segment.source_series() != state.dataset.len() {
+            return Err(OnexError::DatasetMismatch(format!(
+                "shipped base was built over {} series but dataset has {}",
+                segment.source_series(),
+                state.dataset.len()
+            )));
+        }
+        state.base = segment.empty_base();
+        txn.commit();
+        *cold = Some(ColdSource {
+            pending: segment.lengths().collect(),
+            segment,
+            path: None,
+        });
+        Ok(())
+    }
+
+    /// Persist the current base as a format-v2 segment file (the image
+    /// [`Onex::open`] cold-starts from and `ShipBase` deploys).
+    ///
+    /// # Errors
+    /// [`OnexError::Io`] when the file cannot be written.
+    pub fn save_base(&self, path: impl AsRef<Path>) -> Result<(), OnexError> {
+        onex_grouping::persist::save_v2_file(&self.state.read().base, path)
+    }
+
+    /// Provenance of a cold-started base: source path (when opened from
+    /// a file) and resolution progress. `None` for warm in-memory builds
+    /// — the `/api/summary` endpoint uses that distinction to report how
+    /// the engine came up.
+    pub fn base_source(&self) -> Option<BaseSource> {
+        self.cold.lock().as_ref().map(|src| {
+            let total = src.segment.lengths().count();
+            BaseSource {
+                path: src.path.clone(),
+                resolved_lengths: total - src.pending.len(),
+                total_lengths: total,
+                has_sketches: src.segment.has_sketches(),
+            }
+        })
+    }
+
+    /// Resolve every still-pending column of a cold-opened base file.
+    /// Returns the number of columns installed (0 for warm engines and
+    /// once resolution has completed). Operations that inspect the whole
+    /// base — seasonal mining, incremental appends — call this first.
+    ///
+    /// # Errors
+    /// [`OnexError::Storage`] when a column fails to decode (possible
+    /// only for hostile files — checksums were verified at open).
+    pub fn resolve_all(&self) -> Result<usize, OnexError> {
+        self.resolve(None)
+    }
+
+    /// Resolve the base columns a query with this length/selection could
+    /// touch (no-op on warm engines and on already-resolved columns).
+    /// [`Onex::k_best`]-family entry points call this automatically;
+    /// callers that query through a pinned [`EngineSnapshot`] — the
+    /// shard server's gossip pump — invoke it before taking the
+    /// snapshot, since a snapshot can only see columns resolved before
+    /// it was pinned.
+    ///
+    /// # Errors
+    /// Same as [`Onex::resolve_all`].
+    pub fn prepare(&self, query_len: usize, opts: &QueryOptions) -> Result<(), OnexError> {
+        let wanted = {
+            let cold = self.cold.lock();
+            let Some(src) = cold.as_ref() else {
+                return Ok(());
+            };
+            if src.pending.is_empty() {
+                return Ok(());
+            }
+            plan_lengths(src.segment.lengths(), query_len, &opts.lengths)
+        };
+        self.resolve(Some(&wanted)).map(|_| ())
+    }
+
+    /// Install `wanted ∩ pending` (all pending when `None`) into the
+    /// published base via one write transaction, then shrink the pending
+    /// set. Holding the cold lock across the transaction means a column
+    /// is decoded exactly once however many queries race for it.
+    fn resolve(&self, wanted: Option<&[usize]>) -> Result<usize, OnexError> {
+        let mut cold = self.cold.lock();
+        let Some(src) = cold.as_mut() else {
+            return Ok(0);
+        };
+        let hit: Vec<usize> = match wanted {
+            Some(lens) => lens
+                .iter()
+                .copied()
+                .filter(|l| src.pending.contains(l))
+                .collect(),
+            None => src.pending.iter().copied().collect(),
+        };
+        if hit.is_empty() {
+            return Ok(0);
+        }
+        let mut txn = self.state.write();
+        let state = txn.value_mut();
+        for &len in &hit {
+            src.segment.load_length(&mut state.base, len)?;
+        }
+        if !src.segment.has_sketches() {
+            // v2 files built before sketches (or saved from an unsynced
+            // base) lack the slabs; derive them so resolved columns
+            // prefilter exactly like a warm engine's.
+            state.base.sync_sketches(&state.dataset);
+        }
+        txn.commit();
+        for len in &hit {
+            src.pending.remove(len);
+        }
+        Ok(hit.len())
     }
 
     /// Pin the currently-published epoch: the returned snapshot keeps
@@ -201,6 +426,7 @@ impl Onex {
         opts: &QueryOptions,
         bound: &SharedBound,
     ) -> Result<(Vec<Match>, QueryStats), OnexError> {
+        self.prepare(query.len(), opts)?;
         self.snapshot().k_best_bounded(query, k, opts, bound)
     }
 
@@ -219,6 +445,7 @@ impl Onex {
         opts: &QueryOptions,
     ) -> Result<(Vec<Match>, QueryStats), OnexError> {
         validate_query(query, k)?;
+        self.prepare(query.len(), opts)?;
         // One pinned epoch for every greedy round: concurrent appends
         // cannot make the rounds answer from different bases.
         let snapshot = self.snapshot();
@@ -284,6 +511,8 @@ impl Onex {
         series: &str,
         opts: &SeasonalOptions,
     ) -> Result<Vec<SeasonalPattern>, OnexError> {
+        // Seasonal mining walks groups across every length.
+        self.resolve_all()?;
         let state = self.state.read();
         let id = state
             .dataset
@@ -328,6 +557,10 @@ impl Onex {
         &self,
         series: onex_tseries::TimeSeries,
     ) -> Result<BuildReport, OnexError> {
+        // Incremental extension grows the *whole* base; a cold engine
+        // must materialise every remaining column first, or the extended
+        // base would silently drop the unresolved ones.
+        self.resolve_all()?;
         let mut txn = self.state.write();
         let state = txn.value_mut();
         state.dataset.push(series).map_err(|e| match e {
@@ -350,6 +583,27 @@ impl Onex {
         state.base = extended;
         txn.commit();
         Ok(report)
+    }
+}
+
+/// The file columns a query of length `n` under `selection` could touch
+/// — the cold-start mirror of `Searcher::candidate_lengths`, computed
+/// over the segment's length table instead of the (possibly partial)
+/// live base so `Nearest` ranks against everything the file offers.
+fn plan_lengths(
+    all: impl Iterator<Item = usize>,
+    n: usize,
+    selection: &LengthSelection,
+) -> Vec<usize> {
+    match *selection {
+        LengthSelection::Exact => vec![n],
+        LengthSelection::Nearest(k) => {
+            let mut lens: Vec<usize> = all.collect();
+            lens.sort_by_key(|&l| (l.abs_diff(n), l));
+            lens.truncate(k);
+            lens
+        }
+        LengthSelection::Range(lo, hi) => all.filter(|&l| l >= lo && l <= hi).collect(),
     }
 }
 
@@ -770,5 +1024,144 @@ mod tests {
             m.subseq.series != ma_id || m.subseq.start != 2,
             "excluded window must not return"
         );
+    }
+
+    /// A cold engine over the warm engine's saved base, plus the query
+    /// both must agree on.
+    fn cold_twin() -> (Onex, Onex, Vec<f64>) {
+        let warm = growth_engine();
+        let bytes = onex_grouping::persist::save_v2(&warm.base());
+        let cold = Onex::open_bytes(bytes, warm.dataset().clone()).unwrap();
+        let query = warm
+            .dataset()
+            .by_name("MA-GrowthRate")
+            .unwrap()
+            .subsequence(4, 8)
+            .unwrap()
+            .to_vec();
+        (warm, cold, query)
+    }
+
+    #[test]
+    fn cold_open_answers_like_the_warm_engine_resolving_lazily() {
+        let (warm, cold, query) = cold_twin();
+        let src = cold.base_source().expect("cold engines report a source");
+        assert_eq!(src.resolved_lengths, 0, "nothing decoded at open");
+        assert_eq!(src.total_lengths, warm.base().lengths().count());
+        assert!(src.has_sketches, "built bases save their L0 slabs");
+        assert!(src.path.is_none(), "opened from bytes, not a file");
+
+        // Exact search resolves exactly the query's length column…
+        let (w, _) = warm.k_best(&query, 5, &QueryOptions::default()).unwrap();
+        let (c, _) = cold.k_best(&query, 5, &QueryOptions::default()).unwrap();
+        assert_eq!(w, c, "cold answers match warm answers");
+        assert_eq!(cold.base_source().unwrap().resolved_lengths, 1);
+        assert_eq!(cold.base().lengths().collect::<Vec<_>>(), vec![8]);
+
+        // …a nearest-3 plan pulls in its neighbours…
+        let opts = QueryOptions::default().lengths(LengthSelection::Nearest(3));
+        let (w3, _) = warm.k_best(&query, 5, &opts).unwrap();
+        let (c3, _) = cold.k_best(&query, 5, &opts).unwrap();
+        assert_eq!(w3, c3);
+        assert_eq!(cold.base_source().unwrap().resolved_lengths, 3);
+
+        // …and resolve_all drains the remainder, after which the bases
+        // (including sketch slabs) are identical.
+        cold.resolve_all().unwrap();
+        let src = cold.base_source().unwrap();
+        assert_eq!(src.resolved_lengths, src.total_lengths);
+        assert!(*cold.base() == *warm.base());
+        assert!(cold.base().sketches() == warm.base().sketches());
+        assert_eq!(cold.resolve_all().unwrap(), 0, "idempotent");
+    }
+
+    #[test]
+    fn cold_open_via_file_reports_its_path() {
+        let warm = growth_engine();
+        let dir = std::env::temp_dir().join("onex_engine_cold_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("growth.onexbase");
+        warm.save_base(&path).unwrap();
+        let cold = Onex::open(&path, warm.dataset().clone()).unwrap();
+        assert_eq!(cold.base_source().unwrap().path.as_deref(), Some(&*path));
+        // Seasonal mining needs the whole base: it resolves everything.
+        let patterns = cold
+            .seasonal("MA-GrowthRate", &crate::SeasonalOptions::default())
+            .unwrap();
+        let reference = warm
+            .seasonal("MA-GrowthRate", &crate::SeasonalOptions::default())
+            .unwrap();
+        assert_eq!(patterns, reference);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn cold_open_rejects_a_mismatched_dataset() {
+        let warm = growth_engine();
+        let bytes = onex_grouping::persist::save_v2(&warm.base());
+        let wrong =
+            Dataset::from_series(vec![TimeSeries::new("only", vec![1.0, 2.0, 3.0])]).unwrap();
+        assert!(matches!(
+            Onex::open_bytes(bytes, wrong),
+            Err(OnexError::DatasetMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn append_after_cold_open_materialises_the_whole_base_first() {
+        let (warm, cold, query) = cold_twin();
+        let ma: Vec<f64> = warm
+            .dataset()
+            .by_name("MA-GrowthRate")
+            .unwrap()
+            .values()
+            .to_vec();
+        cold.append_series(TimeSeries::new("ZZ-GrowthRate", ma))
+            .unwrap();
+        let src = cold.base_source().unwrap();
+        assert_eq!(
+            src.resolved_lengths, src.total_lengths,
+            "append resolves every pending column before extending"
+        );
+        let opts = QueryOptions::default().excluding_series(cold.dataset().id_of("MA-GrowthRate"));
+        let (m, _) = cold.best_match(&query, &opts).unwrap();
+        assert_eq!(m.unwrap().series_name, "ZZ-GrowthRate");
+    }
+
+    #[test]
+    fn install_base_swaps_in_a_shipped_image_lazily() {
+        let warm = growth_engine();
+        let shipped = onex_grouping::persist::save_v2(&warm.base());
+        // A second engine over the same dataset, built with a different
+        // threshold — distinguishable from the shipped base.
+        let (other, _) = Onex::build(warm.dataset().clone(), BaseConfig::new(2.5, 6, 10)).unwrap();
+        assert!(*other.base() != *warm.base());
+        let epoch_before = other.epoch();
+        other.install_base(shipped).unwrap();
+        assert_eq!(other.epoch(), epoch_before + 1, "the swap publishes");
+        let src = other.base_source().expect("adopted a cold source");
+        assert_eq!(src.resolved_lengths, 0, "the swap decodes nothing");
+        let query = warm
+            .dataset()
+            .by_name("MA-GrowthRate")
+            .unwrap()
+            .subsequence(4, 8)
+            .unwrap()
+            .to_vec();
+        let (w, _) = warm.k_best(&query, 4, &QueryOptions::default()).unwrap();
+        let (o, _) = other.k_best(&query, 4, &QueryOptions::default()).unwrap();
+        assert_eq!(w, o, "the shipped base answers, lazily resolved");
+
+        // A mismatched image is rejected and the current base keeps
+        // serving.
+        let tiny = Dataset::from_series(vec![TimeSeries::new("t", vec![0.0; 16])]).unwrap();
+        let (tiny_engine, _) = Onex::build(tiny, BaseConfig::new(1.0, 6, 10)).unwrap();
+        let foreign = onex_grouping::persist::save_v2(&tiny_engine.base());
+        assert!(matches!(
+            other.install_base(foreign),
+            Err(OnexError::DatasetMismatch(_))
+        ));
+        let (again, _) = other.k_best(&query, 4, &QueryOptions::default()).unwrap();
+        assert_eq!(again, o);
     }
 }

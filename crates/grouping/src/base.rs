@@ -13,8 +13,9 @@ use crate::{BaseConfig, GroupId, SimilarityGroup};
 /// engine borrows it, and [`crate::persist`] round-trips it to disk.
 ///
 /// The base also carries the L0 [`SketchIndex`] — *derived* data rebuilt
-/// from the dataset via [`OnexBase::sync_sketches`], excluded from
-/// equality and persistence.
+/// from the dataset via [`OnexBase::sync_sketches`] and excluded from
+/// equality. Persistence format v2 stores the slabs verbatim so a loaded
+/// base prunes immediately; format v1 drops them and the engine re-syncs.
 #[derive(Debug, Clone)]
 pub struct OnexBase {
     config: BaseConfig,
@@ -64,6 +65,24 @@ impl OnexBase {
     #[cfg(test)]
     pub(crate) fn raw_groups(&self) -> &BTreeMap<usize, Vec<SimilarityGroup>> {
         &self.groups
+    }
+
+    /// Install one length column — groups and, when the file carried
+    /// them, the matching sketch slabs — into this base. The lazy
+    /// cold-start path ([`crate::persist::BaseSegment::load_length`])
+    /// resolves columns one at a time through this hook; replacing an
+    /// already-installed length is idempotent by construction (the
+    /// segment is immutable, so a re-decode yields identical parts).
+    pub(crate) fn install_length(
+        &mut self,
+        len: usize,
+        groups: Vec<SimilarityGroup>,
+        sketches: Option<crate::LengthSketches>,
+    ) {
+        self.groups.insert(len, groups);
+        if let Some(ls) = sketches {
+            self.sketches.insert(len, ls);
+        }
     }
 
     /// The L0 member sketches (empty until [`Self::sync_sketches`] runs).

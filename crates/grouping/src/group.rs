@@ -19,7 +19,7 @@ impl std::fmt::Display for GroupId {
 
 /// One ONEX similarity group: same-length subsequences that passed the
 /// `ST/2` Euclidean admission test against the representative.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SimilarityGroup {
     representative: Vec<f64>,
     members: Vec<SubseqRef>,
@@ -29,6 +29,19 @@ pub struct SimilarityGroup {
     /// Spread of admission distances (for overview colouring and
     /// threshold recommendation diagnostics).
     spread: Welford,
+}
+
+/// Equality covers the group's *semantic* content — representative,
+/// members, radius — and deliberately excludes the diagnostic `spread`
+/// statistics, which persistence drops ([`crate::persist`] documents
+/// the reconstruction as lossy for that field). A group that
+/// round-tripped through disk equals the one that was saved.
+impl PartialEq for SimilarityGroup {
+    fn eq(&self, other: &Self) -> bool {
+        self.representative == other.representative
+            && self.members == other.members
+            && self.max_insert_dist == other.max_insert_dist
+    }
 }
 
 impl SimilarityGroup {

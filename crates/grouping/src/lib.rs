@@ -31,7 +31,9 @@
 //!   format ([`persist`]).
 //! * [`SketchIndex`] ([`sketch`]) carries a quantised-PAA sketch per
 //!   member — the L0 prefilter tier the query engine consults before
-//!   touching any f64 data. Derived, rebuilt on load, never persisted.
+//!   touching any f64 data. Derived and rebuildable; persistence format
+//!   v2 additionally stores the slabs verbatim so a loaded base prunes
+//!   immediately.
 //!
 //! The `ST/2` insert rule plus the Euclidean triangle inequality yield the
 //! paper's pairwise guarantee: two members of one group are within `ST` of

@@ -7,12 +7,16 @@
 //! group's slab linearly and rejects members whose sketch lower bound
 //! already exceeds the pruning bound — before resolving any f64 data.
 //!
-//! Sketches are *derived* data: they are rebuilt from the dataset, never
-//! persisted, and excluded from base equality. Quantisation parameters
-//! are frozen per length the first time that length is synced, so a
-//! sketch byte written once stays valid forever; appended values that
-//! fall outside the frozen range simply encode as non-pruning (invalid)
-//! sketches, keeping incremental extension sound without requantising.
+//! Sketches are *derived* data — rebuildable from the dataset and
+//! excluded from base equality — but since segment format v2 they are
+//! also *persisted* (as verbatim slabs, see [`crate::persist`]), so a
+//! loaded base prunes with L0 immediately instead of paying a rebuild.
+//! Quantisation parameters are frozen per length the first time that
+//! length is synced, so a sketch byte written once stays valid forever;
+//! appended values that fall outside the frozen range simply encode as
+//! non-pruning (invalid) sketches, keeping incremental extension sound
+//! without requantising. Persisting the frozen parameters alongside the
+//! slabs is what makes a save/load cycle byte-preserving.
 
 use std::collections::BTreeMap;
 
@@ -24,7 +28,7 @@ use crate::SimilarityGroup;
 
 /// Sketch storage for one subsequence length: frozen quantisation
 /// parameters plus one contiguous byte slab per group.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LengthSketches {
     params: SketchParams,
     /// `groups[g]` holds `group.cardinality()` slots of
@@ -33,6 +37,11 @@ pub struct LengthSketches {
 }
 
 impl LengthSketches {
+    /// Reassemble from persisted parts ([`crate::persist`] format v2).
+    pub(crate) fn from_parts(params: SketchParams, groups: Vec<Vec<u8>>) -> LengthSketches {
+        LengthSketches { params, groups }
+    }
+
     /// Quantisation parameters every sketch of this length was encoded
     /// under (frozen at first sync).
     #[inline]
@@ -51,8 +60,10 @@ impl LengthSketches {
 /// All member sketches of a base, keyed by subsequence length.
 ///
 /// Derived from the dataset + groups via [`SketchIndex::sync`]; cheap to
-/// rebuild, append-only under incremental extension.
-#[derive(Debug, Clone, Default)]
+/// rebuild, append-only under incremental extension. Equality is
+/// byte-exact over slabs and parameters — the property persistence
+/// round-trip tests pin.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SketchIndex {
     per_length: BTreeMap<usize, LengthSketches>,
 }
@@ -68,6 +79,11 @@ impl SketchIndex {
     /// True when no length has been synced yet.
     pub fn is_empty(&self) -> bool {
         self.per_length.is_empty()
+    }
+
+    /// Install persisted sketches for one length (format v2 load).
+    pub(crate) fn insert(&mut self, len: usize, sketches: LengthSketches) {
+        self.per_length.insert(len, sketches);
     }
 
     /// Bring the index up to date with `groups`: append sketch slots for

@@ -355,6 +355,28 @@ impl RemoteBackend {
             }
         })
     }
+
+    /// Deploy a segment-format-v2 base file image to the remote engine —
+    /// the cluster's shard-provisioning step. Returns `(epoch, length
+    /// columns offered)` after the shard adopts it; the shard answers
+    /// queries immediately, resolving columns lazily. The image must fit
+    /// one frame ([`crate::frame::MAX_FRAME`], 16 MiB): larger bases fail
+    /// the send with a typed error — there is no chunking.
+    pub fn ship_base(&self, bytes: Vec<u8>) -> Result<(Epoch, u64), OnexError> {
+        self.with_conn(|conn| {
+            Self::send(conn, &Message::ShipBase { bytes })?;
+            match self.pump_until_reply(conn, &SharedBound::new(), f64::INFINITY)? {
+                Message::LoadBase { epoch, lengths } => {
+                    self.last_epoch.store(epoch, Ordering::Relaxed);
+                    Ok((epoch, lengths))
+                }
+                other => Err(OnexError::network(
+                    NetworkErrorKind::Decode,
+                    format!("expected LoadBase, got {other:?}"),
+                )),
+            }
+        })
+    }
 }
 
 impl SimilaritySearch for RemoteBackend {

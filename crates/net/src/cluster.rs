@@ -187,6 +187,27 @@ impl ClusterEngine {
         Ok(self.epoch())
     }
 
+    /// Deploy a segment-format-v2 base file image to one shard — the
+    /// provisioning step for a freshly joined (or rebalanced) member.
+    /// The shard adopts the base cold and answers immediately, resolving
+    /// columns lazily per query. Returns `(shard epoch, length columns
+    /// offered)`. Images over one frame (16 MiB) fail the send typed —
+    /// there is no chunking.
+    ///
+    /// # Errors
+    /// [`OnexError::InvalidConfig`] for an out-of-range shard index;
+    /// otherwise whatever the shard reported (storage validation,
+    /// dataset mismatch) or a typed transport failure.
+    pub fn deploy_base(&self, shard: usize, bytes: Vec<u8>) -> Result<(Epoch, u64), OnexError> {
+        let remote = self.remotes.get(shard).ok_or_else(|| {
+            OnexError::invalid_config(format!(
+                "shard {shard} out of range (cluster has {})",
+                self.remotes.len()
+            ))
+        })?;
+        remote.ship_base(bytes)
+    }
+
     /// Translate the global-id option set into shard `s`'s local ids
     /// under the round-robin partition; `None` when the shard cannot
     /// contribute at all.

@@ -84,6 +84,24 @@ pub enum Message {
         /// Number of series after the append.
         series: u64,
     },
+    /// Client → server: deploy this segment-format-v2 base file image to
+    /// the hosted engine (the cluster's shard-provisioning step). The
+    /// image must fit one frame — [`crate::frame::MAX_FRAME`] caps it at
+    /// 16 MiB and there is no chunking; larger bases fail the send with
+    /// a typed error instead of a mid-stream surprise.
+    ShipBase {
+        /// A complete v2 base file, exactly as written by `save_v2`.
+        bytes: Vec<u8>,
+    },
+    /// Server → client: the shipped base validated and was adopted. The
+    /// shard answers immediately — columns resolve lazily per query, so
+    /// this confirms the *load*, not a full decode.
+    LoadBase {
+        /// Engine epoch after the swap.
+        epoch: u64,
+        /// Length columns the new base offers (all still unresolved).
+        lengths: u64,
+    },
 }
 
 const KIND_QUERY: u8 = 1;
@@ -94,6 +112,8 @@ const KIND_INFO_REQUEST: u8 = 5;
 const KIND_INFO: u8 = 6;
 const KIND_APPEND: u8 = 7;
 const KIND_APPENDED: u8 = 8;
+const KIND_SHIP_BASE: u8 = 9;
+const KIND_LOAD_BASE: u8 = 10;
 
 // ---------------------------------------------------------------- encode
 
@@ -267,6 +287,16 @@ impl Message {
                 put_u64(&mut out, *epoch);
                 put_u64(&mut out, *series);
                 (KIND_APPENDED, out)
+            }
+            Message::ShipBase { bytes } => {
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+                (KIND_SHIP_BASE, out)
+            }
+            Message::LoadBase { epoch, lengths } => {
+                put_u64(&mut out, *epoch);
+                put_u64(&mut out, *lengths);
+                (KIND_LOAD_BASE, out)
             }
         }
     }
@@ -508,6 +538,16 @@ impl Message {
                 epoch: r.u64()?,
                 series: r.u64()?,
             },
+            KIND_SHIP_BASE => {
+                let n = r.counted(1)?;
+                Message::ShipBase {
+                    bytes: r.take(n)?.to_vec(),
+                }
+            }
+            KIND_LOAD_BASE => Message::LoadBase {
+                epoch: r.u64()?,
+                lengths: r.u64()?,
+            },
             k => return Err(decode_err(format!("unknown message kind {k}"))),
         };
         r.finish()?;
@@ -536,6 +576,7 @@ pub fn error_code(e: &OnexError) -> (u8, String) {
             NetworkErrorKind::VersionMismatch => 13,
             _ => 8,
         },
+        OnexError::Storage(_) => 14,
         // `OnexError` is #[non_exhaustive] from this crate's viewpoint.
         _ => 8,
     };
@@ -560,6 +601,9 @@ pub fn error_from(code: u8, detail: String) -> OnexError {
         11 => OnexError::network(NetworkErrorKind::Closed, detail),
         12 => OnexError::network(NetworkErrorKind::Decode, detail),
         13 => OnexError::network(NetworkErrorKind::VersionMismatch, detail),
+        // The storage kind taxonomy is not carried on the wire; the
+        // detail string retains the remote label ("checksum mismatch" …).
+        14 => OnexError::storage(onex_api::StorageErrorKind::Corrupt, detail),
         other => OnexError::Internal(format!("unknown remote error code {other}: {detail}")),
     }
 }
@@ -631,6 +675,13 @@ mod tests {
                 epoch: 4,
                 series: 13,
             },
+            Message::ShipBase {
+                bytes: vec![0x4f, 0x4e, 0x45, 0x58, 0x00, 0xff],
+            },
+            Message::LoadBase {
+                epoch: 5,
+                lengths: 12,
+            },
         ]
     }
 
@@ -676,6 +727,13 @@ mod tests {
         payload.extend_from_slice(&[0u8; 12]);
         let err = Message::decode(KIND_APPEND, &payload).unwrap_err();
         assert!(matches!(err, OnexError::Network(ref n) if n.kind == NetworkErrorKind::Decode));
+
+        // Same rule for a shipped base image claiming 4 GB of bytes.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, u32::MAX);
+        payload.extend_from_slice(&[0u8; 4]);
+        let err = Message::decode(KIND_SHIP_BASE, &payload).unwrap_err();
+        assert!(matches!(err, OnexError::Network(ref n) if n.kind == NetworkErrorKind::Decode));
     }
 
     #[test]
@@ -698,6 +756,10 @@ mod tests {
             OnexError::Io(std::io::Error::other("io")),
             OnexError::Internal("i".into()),
             OnexError::network(NetworkErrorKind::Timeout, "t"),
+            OnexError::storage(
+                onex_api::StorageErrorKind::ChecksumMismatch,
+                "section GROUPS",
+            ),
         ];
         for e in &samples {
             let (code, detail) = error_code(e);

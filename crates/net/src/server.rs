@@ -122,6 +122,22 @@ impl ShardServer {
                                 };
                             self.send(&mut stream, &reply)?;
                         }
+                        Message::ShipBase { bytes } => {
+                            let reply = match self.engine.install_base(bytes) {
+                                Ok(()) => Message::LoadBase {
+                                    epoch: self.engine.epoch(),
+                                    lengths: self
+                                        .engine
+                                        .base_source()
+                                        .map_or(0, |s| s.total_lengths as u64),
+                                },
+                                Err(e) => {
+                                    let (code, detail) = error_code(&e);
+                                    Message::ErrorReply { code, detail }
+                                }
+                            };
+                            self.send(&mut stream, &reply)?;
+                        }
                         // A tighten outside a query is a stale gossip tail
                         // from a finished one — harmless, drop it.
                         Message::Tighten { .. } => {}
@@ -158,6 +174,12 @@ impl ShardServer {
         opts: onex_core::QueryOptions,
         query: Vec<f64>,
     ) -> Result<(), OnexError> {
+        // A snapshot only sees columns resolved before it was pinned:
+        // on a cold-started (or freshly shipped) base, pull in the ones
+        // this query's plan touches first.
+        if let Err(e) = self.engine.prepare(query.len(), &opts) {
+            return self.reply_error(stream, &e);
+        }
         let snapshot = self.engine.snapshot();
         let epoch = snapshot.epoch();
         let bound = Arc::new(SharedBound::new());

@@ -132,6 +132,83 @@ fn remote_append_bumps_epoch_and_serves_the_new_series() {
 }
 
 #[test]
+fn shipped_base_deploys_cold_and_answers_immediately() {
+    let ds = collection(4, 96);
+    // The shard starts with a deliberately coarse base…
+    let coarse = BaseConfig {
+        policy: RepresentativePolicy::Seed,
+        ..BaseConfig::new(3.0, QLEN, QLEN)
+    };
+    let addr = spawn_shard(ds.clone(), coarse);
+    let remote = RemoteBackend::new(&addr, test_config());
+
+    // …and is then provisioned with the real one, shipped as a v2 image.
+    let (local, _) = Onex::build(ds.clone(), exact_config()).unwrap();
+    let image = onex_grouping::persist::save_v2(&local.base());
+    let before = remote.info().unwrap();
+    let (epoch, lengths) = remote.ship_base(image).unwrap();
+    assert!(epoch > before.epoch, "the swap publishes an epoch");
+    assert_eq!(lengths, local.base().lengths().count() as u64);
+
+    // The very next query answers from the shipped base (resolved
+    // lazily on the shard) and agrees with the local engine.
+    let query: Vec<f64> = ds.series(1).unwrap().values()[10..10 + QLEN].to_vec();
+    let want = onex_core::backends::OnexBackend::new(Arc::new(local))
+        .k_best(&query, 3)
+        .unwrap();
+    let got = remote.k_best(&query, 3).unwrap();
+    assert_eq!(got.matches, want.matches);
+
+    // A mismatched image is rejected typed and the shard keeps serving…
+    let (tiny, _) = Onex::build(collection(1, 64), exact_config()).unwrap();
+    let err = remote
+        .ship_base(onex_grouping::persist::save_v2(&tiny.base()))
+        .unwrap_err();
+    assert!(matches!(err, OnexError::DatasetMismatch(_)), "{err}");
+    // …as are bytes that were never a base file at all.
+    let err = remote.ship_base(vec![0u8; 64]).unwrap_err();
+    assert!(matches!(err, OnexError::Storage(_)), "{err}");
+    assert_eq!(err.http_status(), 422);
+    let again = remote.k_best(&query, 3).unwrap();
+    assert_eq!(again.matches, want.matches);
+}
+
+#[test]
+fn cluster_deploys_a_base_to_one_shard() {
+    let ds = collection(4, 96);
+    let addrs = spawn_cluster_shards(&ds, &exact_config(), 2);
+    let cluster = ClusterEngine::connect(&addrs, test_config()).unwrap();
+
+    // Rebuild shard 1's partition under a tighter threshold and deploy
+    // the image over the wire.
+    let part: Vec<TimeSeries> = (0..4u32)
+        .filter(|g| g % 2 == 1)
+        .map(|g| ds.series(g).unwrap().clone())
+        .collect();
+    let tight = BaseConfig {
+        policy: RepresentativePolicy::Seed,
+        ..BaseConfig::new(0.5, QLEN, QLEN)
+    };
+    let (eng, _) = Onex::build(Dataset::from_series(part).unwrap(), tight).unwrap();
+    let (_epoch, lengths) = cluster
+        .deploy_base(1, onex_grouping::persist::save_v2(&eng.base()))
+        .unwrap();
+    assert_eq!(lengths, 1);
+
+    // The cluster still answers correctly through the redeployed shard.
+    let query: Vec<f64> = ds.series(1).unwrap().values()[10..10 + QLEN].to_vec();
+    let best = cluster.k_best(&query, 1).unwrap();
+    assert_eq!(best.matches[0].series, 1, "global id reconstructed");
+    assert!(best.matches[0].distance < 1e-9);
+
+    // An out-of-range shard index is a typed config error, no network.
+    assert!(matches!(
+        cluster.deploy_base(5, Vec::new()),
+        Err(OnexError::InvalidConfig(_))
+    ));
+}
+
+#[test]
 fn dead_peer_fails_fast_with_a_typed_error() {
     // Bind a port, then drop the listener: connecting must be refused.
     let addr = {

@@ -122,6 +122,14 @@ impl App {
         self
     }
 
+    /// Attach the construction report of an engine built elsewhere (the
+    /// server binary builds its own when no base file covers startup) so
+    /// `/api/summary` keeps reporting the preprocessing cost.
+    pub fn with_build_report(mut self, report: BuildReport) -> App {
+        self.build = Some(report);
+        self
+    }
+
     /// The demo's dataset-load path: preprocess `dataset` into the ONEX
     /// base (through the indexed builder [`BaseConfig::index`] selects —
     /// `Auto` by default) and remember the [`BuildReport`], including its
@@ -468,6 +476,27 @@ impl App {
             ),
             ("per_length", Json::Arr(per_length)),
         ];
+        // A cold-started engine reports where its base came from and how
+        // far lazy resolution has progressed — operators can tell a
+        // mapped base file from an in-memory build at a glance.
+        if let Some(src) = self.engine.base_source() {
+            fields.push((
+                "base_file",
+                Json::obj(vec![
+                    (
+                        "path",
+                        match &src.path {
+                            Some(p) => Json::s(p.display().to_string()),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("epoch", (self.engine.epoch() as usize).into()),
+                    ("resolved_lengths", src.resolved_lengths.into()),
+                    ("total_lengths", src.total_lengths.into()),
+                    ("sketches", src.has_sketches.into()),
+                ]),
+            ));
+        }
         // When this server performed the load step itself, report what
         // the construction cost — the demo's "preprocessing at the server
         // side" made observable, work counters included.
@@ -1031,6 +1060,43 @@ mod tests {
         assert!(a.build_report().is_none());
         let body = String::from_utf8(get(&a, "/api/summary").body).unwrap();
         assert!(!body.contains("\"build\":"), "{body}");
+    }
+
+    #[test]
+    fn summary_reports_base_file_provenance_on_cold_started_engines() {
+        // Warm engines carry no base_file object…
+        let a = app();
+        let body = String::from_utf8(get(&a, "/api/summary").body).unwrap();
+        assert!(!body.contains("\"base_file\":"), "{body}");
+
+        // …an engine cold-started from a saved base reports its source
+        // and resolution progress, advancing as queries resolve columns.
+        let ds = matters_collection(&MattersConfig {
+            indicators: vec![Indicator::GrowthRate],
+            ..MattersConfig::default()
+        });
+        let dir = std::env::temp_dir().join("onex_app_coldstart_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summary.onexbase");
+        a.engine.save_base(&path).unwrap();
+        let cold = Onex::open(&path, ds).unwrap();
+        let total = a.engine.base().lengths().count();
+        let a2 = App::new(Arc::new(cold));
+        let body = String::from_utf8(get(&a2, "/api/summary").body).unwrap();
+        assert!(
+            body.contains(&format!(
+                "\"base_file\":{{\"path\":\"{}\",\"epoch\":0,\"resolved_lengths\":0,\"total_lengths\":{total},\"sketches\":true}}",
+                path.display()
+            )),
+            "{body}"
+        );
+        // The match endpoint queries with Nearest(3): exactly the three
+        // neighbouring columns resolve, nothing else.
+        let q = get(&a2, "/api/match?series=MA-GrowthRate&start=4&len=8&k=3");
+        assert_eq!(q.status, 200);
+        let body = String::from_utf8(get(&a2, "/api/summary").body).unwrap();
+        assert!(body.contains("\"resolved_lengths\":3"), "{body}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

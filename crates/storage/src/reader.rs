@@ -1,0 +1,159 @@
+//! Bounded little-endian field reader for format decoders.
+//!
+//! Same discipline as `onex_net::proto::Reader`, specialised for
+//! persisted artefacts: every method bounds-checks before touching
+//! bytes and reports [`OnexError::Storage`] with the reader's context
+//! label, and [`Reader::counted`] validates a file-declared count
+//! against the bytes that could possibly back it *before* the caller
+//! sizes any allocation from it.
+
+use onex_api::{OnexError, StorageErrorKind};
+
+/// A cursor over a byte slice that refuses to read past the end.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    /// Which artefact/section is being decoded — prefixes every error.
+    context: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading `bytes`; `context` names the artefact in errors
+    /// (e.g. `"v1 base"`, `"section GROUPS"`).
+    pub fn new(bytes: &'a [u8], context: &'static str) -> Reader<'a> {
+        Reader {
+            bytes,
+            pos: 0,
+            context,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn corrupt(&self, what: &str) -> OnexError {
+        OnexError::storage(
+            StorageErrorKind::Corrupt,
+            format!("{}: {} at offset {}", self.context, what, self.pos),
+        )
+    }
+
+    /// Take the next `n` bytes as a borrowed slice.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], OnexError> {
+        if self.remaining() < n {
+            return Err(self.corrupt(&format!(
+                "truncated: need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, OnexError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, OnexError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, OnexError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a little-endian IEEE-754 `f64`.
+    pub fn f64(&mut self) -> Result<f64, OnexError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a `u32` element count whose elements occupy `unit` bytes
+    /// each, validating `count × unit` against the remaining bytes
+    /// *before* returning — so a hostile count can never size an
+    /// allocation larger than the file that declared it.
+    pub fn counted(&mut self, unit: usize) -> Result<usize, OnexError> {
+        let count = self.u32()? as usize;
+        let need = count
+            .checked_mul(unit)
+            .ok_or_else(|| self.corrupt("element count overflows"))?;
+        if need > self.remaining() {
+            return Err(self.corrupt(&format!(
+                "declared {count} elements × {unit} bytes but only {} bytes remain",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+
+    /// Assert every byte has been consumed — trailing garbage is
+    /// corruption, not padding.
+    pub fn finish(self) -> Result<(), OnexError> {
+        if self.remaining() != 0 {
+            return Err(self.corrupt(&format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_fields_in_order_and_rejects_overrun() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(&2.5f64.to_le_bytes());
+        bytes.push(9);
+        let mut r = Reader::new(&bytes, "test");
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.f64().unwrap(), 2.5);
+        assert_eq!(r.u8().unwrap(), 9);
+        assert!(r.u8().is_err());
+    }
+
+    #[test]
+    fn counted_rejects_counts_the_bytes_cannot_back() {
+        // Declares 1000 elements of 8 bytes but carries none.
+        let bytes = 1000u32.to_le_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        let err = r.counted(8).unwrap_err();
+        assert!(err.to_string().contains("1000 elements"), "{err}");
+        assert!(matches!(err, OnexError::Storage(_)), "{err}");
+
+        // A count the remaining bytes do back is accepted.
+        let mut ok = Vec::from(2u32.to_le_bytes());
+        ok.extend_from_slice(&[0u8; 16]);
+        let mut r = Reader::new(&ok, "test");
+        assert_eq!(r.counted(8).unwrap(), 2);
+    }
+
+    #[test]
+    fn counted_rejects_multiplication_overflow() {
+        let bytes = u32::MAX.to_le_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        assert!(r.counted(usize::MAX / 2).is_err());
+    }
+
+    #[test]
+    fn finish_flags_trailing_garbage() {
+        let bytes = [1u8, 2, 3];
+        let mut r = Reader::new(&bytes, "test");
+        r.take(2).unwrap();
+        let err = r.finish().unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+}

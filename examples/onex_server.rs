@@ -29,20 +29,31 @@
 //!
 //! The cluster assumes a round-robin partition: global series `g` lives
 //! on shard `g % N` (in file order), as `ClusterEngine` documents.
+//!
+//! ## Base files
+//!
+//! `--base-file base.onexbase` makes startup stateful: if the file
+//! exists the server cold-starts from it (columns decode lazily, so the
+//! first query answers before the base is fully materialised); if not,
+//! the base is built once and saved there for the next launch. Works in
+//! both HTTP and `--shard-serve` modes.
 
 use std::net::TcpListener;
+use std::path::Path;
 use std::sync::Arc;
 
 use onex::engine::Onex;
-use onex::grouping::BaseConfig;
+use onex::grouping::{BaseConfig, BuildReport};
 use onex::net::ShardServer;
 use onex::server::App;
 use onex::tseries::gen::{matters_collection, Indicator, MattersConfig};
 use onex::tseries::io;
+use onex::tseries::Dataset;
 
 fn main() {
     let mut shard_serve: Option<String> = None;
     let mut cluster: Vec<String> = Vec::new();
+    let mut base_file: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -51,6 +62,12 @@ fn main() {
             "--shard-serve" => {
                 shard_serve = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--shard-serve needs an address, e.g. 127.0.0.1:7001");
+                    std::process::exit(2);
+                }));
+            }
+            "--base-file" => {
+                base_file = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--base-file needs a path, e.g. base.onexbase");
                     std::process::exit(2);
                 }));
             }
@@ -112,14 +129,13 @@ fn main() {
     // protocol on the same hardened accept loop, and exit when it does.
     if let Some(shard_addr) = shard_serve {
         let (engine, report) =
-            Onex::build(dataset, BaseConfig::new(st, 6, 12)).unwrap_or_else(|e| {
-                eprintln!("cannot build base: {e}");
-                std::process::exit(1);
-            });
-        println!(
-            "shard base ready: {} groups / {} subsequences in {:?}",
-            report.groups, report.subsequences, report.elapsed
-        );
+            make_engine(dataset, BaseConfig::new(st, 6, 12), base_file.as_deref());
+        if let Some(report) = report {
+            println!(
+                "shard base ready: {} groups / {} subsequences in {:?}",
+                report.groups, report.subsequences, report.elapsed
+            );
+        }
         let listener = TcpListener::bind(&shard_addr).unwrap_or_else(|e| {
             eprintln!("cannot bind {shard_addr}: {e}");
             std::process::exit(1);
@@ -132,23 +148,25 @@ fn main() {
     }
 
     // The server performs the load step itself (the demo's one-click
-    // preprocessing), so /api/summary reports the construction cost.
-    let mut app = App::build(dataset, BaseConfig::new(st, 6, 12)).unwrap_or_else(|e| {
-        eprintln!("cannot build base: {e}");
-        std::process::exit(1);
-    });
-    let report = app.build_report().expect("App::build keeps the report");
-    println!(
-        "base ready: {} groups / {} subsequences ({:.1}×) in {:?} — \
-         {} representatives examined, {} pruned, {} distance calls",
-        report.groups,
-        report.subsequences,
-        report.compaction(),
-        report.elapsed,
-        report.work.examined,
-        report.work.pruned,
-        report.work.distance_calls
-    );
+    // preprocessing), so /api/summary reports the construction cost —
+    // unless a base file covers it, in which case startup is a lazy open
+    // and /api/summary reports the file's provenance instead.
+    let (engine, report) = make_engine(dataset, BaseConfig::new(st, 6, 12), base_file.as_deref());
+    let mut app = App::new(Arc::new(engine));
+    if let Some(report) = report {
+        println!(
+            "base ready: {} groups / {} subsequences ({:.1}×) in {:?} — \
+             {} representatives examined, {} pruned, {} distance calls",
+            report.groups,
+            report.subsequences,
+            report.compaction(),
+            report.elapsed,
+            report.work.examined,
+            report.work.pruned,
+            report.work.distance_calls
+        );
+        app = app.with_build_report(report);
+    }
     if !cluster.is_empty() {
         println!(
             "cluster backend enabled over {} shard(s): {}",
@@ -164,4 +182,42 @@ fn main() {
     });
     println!("ONEX server listening on http://{addr}/ — ctrl-c to stop");
     app.serve(listener).expect("serve loop");
+}
+
+/// Engine startup, optionally backed by a base file: an existing file
+/// cold-starts the engine (lazy column resolve — the first query answers
+/// before the base fully materialises), a missing one is created after a
+/// fresh build so the *next* launch skips preprocessing. The report is
+/// `None` exactly when the file path was taken.
+fn make_engine(
+    dataset: Dataset,
+    config: BaseConfig,
+    base_file: Option<&str>,
+) -> (Onex, Option<BuildReport>) {
+    if let Some(path) = base_file {
+        if Path::new(path).exists() {
+            let engine = Onex::open(path, dataset).unwrap_or_else(|e| {
+                eprintln!("cannot open base file {path}: {e}");
+                std::process::exit(1);
+            });
+            let src = engine.base_source().expect("open() records its source");
+            println!(
+                "cold start from {path}: {} length column(s) pending lazy resolve",
+                src.total_lengths
+            );
+            return (engine, None);
+        }
+    }
+    let (engine, report) = Onex::build(dataset, config).unwrap_or_else(|e| {
+        eprintln!("cannot build base: {e}");
+        std::process::exit(1);
+    });
+    if let Some(path) = base_file {
+        engine.save_base(path).unwrap_or_else(|e| {
+            eprintln!("cannot save base file {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("base saved to {path} — the next launch cold-starts from it");
+    }
+    (engine, Some(report))
 }
