@@ -209,7 +209,17 @@ impl OnexError {
             OnexError::InvalidData(_) => 422,
             OnexError::Io(_) => 500,
             OnexError::Internal(_) => 500,
-            OnexError::Network(_) => 502,
+            // A passed deadline is 504 Gateway Timeout — the dependency
+            // was reached but did not answer in time — while every other
+            // network fault is 502 Bad Gateway. The kind match is as
+            // exhaustive as the variant match, for the same reason.
+            OnexError::Network(e) => match e.kind {
+                NetworkErrorKind::Timeout => 504,
+                NetworkErrorKind::Unreachable
+                | NetworkErrorKind::Closed
+                | NetworkErrorKind::Decode
+                | NetworkErrorKind::VersionMismatch => 502,
+            },
             // A damaged or foreign base file is unprocessable content
             // (422) — the server is healthy, the artefact it was handed
             // is not — matching the InvalidData classification above.
@@ -321,7 +331,10 @@ mod tests {
             OnexError::InvalidData(_) => 422,
             OnexError::Io(_) => 500,
             OnexError::Internal(_) => 500,
-            OnexError::Network(_) => 502,
+            OnexError::Network(n) => match n.kind {
+                NetworkErrorKind::Timeout => 504,
+                _ => 502,
+            },
             OnexError::Storage(_) => 422,
         }
     }
@@ -338,6 +351,7 @@ mod tests {
             OnexError::Io(std::io::Error::other("io")),
             OnexError::Internal("i".into()),
             OnexError::network(NetworkErrorKind::Unreachable, "no shard at :9999"),
+            OnexError::network(NetworkErrorKind::Timeout, "cluster reply deadline"),
             OnexError::storage(StorageErrorKind::ChecksumMismatch, "section CONFIG"),
         ];
         for e in &all {
@@ -353,7 +367,7 @@ mod tests {
     }
 
     #[test]
-    fn network_errors_are_bad_gateway_not_client_faults() {
+    fn network_errors_are_gateway_faults_not_client_faults() {
         for kind in [
             NetworkErrorKind::Unreachable,
             NetworkErrorKind::Timeout,
@@ -362,7 +376,14 @@ mod tests {
             NetworkErrorKind::VersionMismatch,
         ] {
             let e = OnexError::network(kind, "peer 127.0.0.1:7001");
-            assert_eq!(e.http_status(), 502, "{e}");
+            // Deadlines are 504 Gateway Timeout; every other wire fault
+            // is 502 Bad Gateway. Both are gateway-side, never 4xx.
+            let want = if kind == NetworkErrorKind::Timeout {
+                504
+            } else {
+                502
+            };
+            assert_eq!(e.http_status(), want, "{e}");
             assert!(!e.is_client_error(), "{e}");
             assert!(e.to_string().contains("network error"), "{e}");
             assert!(e.to_string().contains(kind.label()), "{e}");

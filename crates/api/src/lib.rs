@@ -42,8 +42,8 @@ mod tx;
 pub use bound::SharedBound;
 pub use error::{NetworkError, NetworkErrorKind, OnexError, StorageError, StorageErrorKind};
 pub use search::{
-    validate_query, BackendMatch, BackendStats, Capabilities, Metric, SearchOutcome,
-    SimilaritySearch, StreamMatch, StreamingSearch, TierPrunes,
+    validate_query, BackendMatch, BackendStats, Capabilities, Coverage, DegradePolicy, Metric,
+    SearchOutcome, SimilaritySearch, StreamMatch, StreamingSearch, TierPrunes,
 };
 pub use topk::BestK;
 pub use tx::{Epoch, ReadTxn, Versioned, WriteTxn};

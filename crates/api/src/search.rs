@@ -144,6 +144,77 @@ impl std::ops::AddAssign for BackendStats {
     }
 }
 
+/// How much of a partitioned collection actually answered a query.
+///
+/// Single-process backends always see their whole collection, so they
+/// leave [`SearchOutcome::coverage`] at `None`; a distributed fan-out
+/// fills it in so callers can tell a complete answer from a degraded one
+/// (some shard slots had no live replica) *typed*, instead of inferring
+/// it from a shorter match list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Shard slots that contributed their partition to this answer.
+    pub shards_answered: u32,
+    /// Shard slots the collection is partitioned over.
+    pub shards_total: u32,
+}
+
+impl Coverage {
+    /// Full coverage over `total` shards — every slot answered.
+    pub fn full(total: u32) -> Self {
+        Coverage {
+            shards_answered: total,
+            shards_total: total,
+        }
+    }
+
+    /// Whether part of the collection is missing from the answer
+    /// (`shards_answered < shards_total`).
+    pub fn degraded(&self) -> bool {
+        self.shards_answered < self.shards_total
+    }
+}
+
+/// What a distributed fan-out does when a shard slot cannot answer
+/// (every replica dead or erroring): the caller's availability/
+/// completeness trade-off, made explicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DegradePolicy {
+    /// Strict: any failed shard slot fails the whole query with that
+    /// slot's typed error (the historical all-or-nothing behaviour).
+    Fail,
+    /// Available: answer over whatever shards survive — even one — and
+    /// report the gap through [`Coverage`].
+    Partial,
+    /// Middle ground: answer if at least `q` shard slots contributed,
+    /// otherwise fail with the first slot error. `Quorum(total)` is
+    /// `Fail`; `Quorum(1)` is `Partial` (except that zero survivors
+    /// always fail, under every policy).
+    Quorum(u32),
+}
+
+impl DegradePolicy {
+    /// Minimum number of answering shard slots (out of `total`) this
+    /// policy demands before an answer may be returned.
+    pub fn required(&self, total: u32) -> u32 {
+        match self {
+            DegradePolicy::Fail => total,
+            DegradePolicy::Partial => 1.min(total),
+            DegradePolicy::Quorum(q) => (*q).clamp(1, total.max(1)).min(total),
+        }
+    }
+
+    /// Stable human-readable label (server JSON, bench tables).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradePolicy::Fail => "fail",
+            DegradePolicy::Partial => "partial",
+            DegradePolicy::Quorum(_) => "quorum",
+        }
+    }
+}
+
 /// A completed query: the matches (best first) and the work they cost.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchOutcome {
@@ -152,12 +223,22 @@ pub struct SearchOutcome {
     pub matches: Vec<BackendMatch>,
     /// Per-query work counters.
     pub stats: BackendStats,
+    /// Shard coverage of the answer — `None` for backends that always
+    /// see their whole collection, `Some` for distributed fan-outs (see
+    /// [`Coverage`]).
+    pub coverage: Option<Coverage>,
 }
 
 impl SearchOutcome {
     /// The best match, if any.
     pub fn best(&self) -> Option<&BackendMatch> {
         self.matches.first()
+    }
+
+    /// Whether this answer is missing part of the collection (see
+    /// [`Coverage::degraded`]); `false` when coverage is untracked.
+    pub fn degraded(&self) -> bool {
+        self.coverage.is_some_and(|c| c.degraded())
     }
 }
 
@@ -319,6 +400,44 @@ mod tests {
         assert_eq!(s.tiers.kim, 1);
         assert_eq!(s.tiers.keogh, 3);
         assert_eq!(s.tiers.dtw_abandoned, 1);
+    }
+
+    #[test]
+    fn coverage_flags_degradation_exactly_when_partial() {
+        assert!(!Coverage::full(4).degraded());
+        assert!(Coverage {
+            shards_answered: 3,
+            shards_total: 4
+        }
+        .degraded());
+        let mut o = SearchOutcome::default();
+        assert!(!o.degraded(), "untracked coverage is not degraded");
+        o.coverage = Some(Coverage {
+            shards_answered: 1,
+            shards_total: 2,
+        });
+        assert!(o.degraded());
+        o.coverage = Some(Coverage::full(2));
+        assert!(!o.degraded());
+    }
+
+    #[test]
+    fn degrade_policy_required_counts() {
+        assert_eq!(DegradePolicy::Fail.required(4), 4);
+        assert_eq!(DegradePolicy::Partial.required(4), 1);
+        assert_eq!(DegradePolicy::Partial.required(0), 0);
+        assert_eq!(DegradePolicy::Quorum(3).required(4), 3);
+        // A quorum larger than the fleet clamps to Fail semantics, and a
+        // zero quorum still demands one survivor.
+        assert_eq!(DegradePolicy::Quorum(9).required(4), 4);
+        assert_eq!(DegradePolicy::Quorum(0).required(4), 1);
+        for p in [
+            DegradePolicy::Fail,
+            DegradePolicy::Partial,
+            DegradePolicy::Quorum(2),
+        ] {
+            assert!(!p.label().is_empty());
+        }
     }
 
     #[test]

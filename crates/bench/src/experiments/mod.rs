@@ -11,6 +11,7 @@ pub mod e15_ingest;
 pub mod e16_cluster;
 pub mod e17_kernels;
 pub mod e18_coldstart;
+pub mod e19_resilience;
 pub mod e1_pipeline;
 pub mod e2_similarity;
 pub mod e3_linked_views;
@@ -24,9 +25,9 @@ pub mod e9_ablation;
 use crate::harness::Table;
 
 /// Experiment ids accepted by the `repro` binary.
-pub const ALL: [&str; 18] = [
+pub const ALL: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 /// What one experiment run produced: the printable tables, plus an
@@ -125,6 +126,16 @@ pub fn run(id: &str, quick: bool) -> Option<ExperimentOutput> {
             Some(ExperimentOutput {
                 tables: vec![e18_coldstart::table(&rows)],
                 record: Some(("BENCH_coldstart.json", e18_coldstart::json_report(&rows))),
+            })
+        }
+        "e19" => {
+            let report = e19_resilience::measure(quick);
+            Some(ExperimentOutput {
+                tables: vec![e19_resilience::table(&report)],
+                record: Some((
+                    "BENCH_resilience.json",
+                    e19_resilience::json_report(&report),
+                )),
             })
         }
         _ => None,

@@ -130,6 +130,7 @@ pub fn outcome(matches: Vec<crate::Match>, stats: crate::QueryStats) -> SearchOu
                 dtw_abandoned: stats.dtw_abandoned as u64,
             },
         },
+        coverage: None,
     }
 }
 
@@ -253,6 +254,7 @@ impl SimilaritySearch for UcrSuiteBackend {
                     },
                 }
             },
+            coverage: None,
         })
     }
 }
@@ -342,6 +344,7 @@ impl<const D: usize> SimilaritySearch for FrmBackend<D> {
                 distance_computations: stats.candidates,
                 tiers: onex_api::TierPrunes::default(),
             },
+            coverage: None,
         })
     }
 }
@@ -438,6 +441,7 @@ impl SimilaritySearch for EbsmBackend {
                 distance_computations: stats.refined,
                 tiers: onex_api::TierPrunes::default(),
             },
+            coverage: None,
         })
     }
 }
@@ -510,6 +514,7 @@ impl SimilaritySearch for SpringBackend {
         Ok(SearchOutcome {
             matches: hits,
             stats,
+            coverage: None,
         })
     }
 }

@@ -635,6 +635,10 @@ impl ShardedEngine {
                 })
                 .collect(),
             stats,
+            // In-process shards share one fate — the pool either answers
+            // over all of them or propagates the failure — so coverage
+            // stays untracked here.
+            coverage: None,
         })
     }
 }

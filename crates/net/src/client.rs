@@ -292,9 +292,17 @@ impl RemoteBackend {
                     epoch,
                     matches,
                     stats,
+                    coverage,
                 } => {
                     self.last_epoch.store(epoch, Ordering::Relaxed);
-                    Ok((SearchOutcome { matches, stats }, epoch))
+                    Ok((
+                        SearchOutcome {
+                            matches,
+                            stats,
+                            coverage,
+                        },
+                        epoch,
+                    ))
                 }
                 other => Err(OnexError::network(
                     NetworkErrorKind::Decode,

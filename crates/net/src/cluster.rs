@@ -1,4 +1,4 @@
-//! [`ClusterEngine`]: N remote shards composed behind one
+//! [`ClusterEngine`]: N remote shard slots composed behind one
 //! [`SimilaritySearch`] — the cross-process sibling of
 //! `onex_core::ShardedEngine`, built from the same three pieces: a
 //! fan-out over a persistent worker pool, one fresh query-global
@@ -14,130 +14,314 @@
 //! candidates that a tighter local bound would also have pruned — it
 //! never costs an answer.
 //!
+//! ## Fault tolerance
+//!
+//! Each shard **slot** may hold several replicas (`"a|a2"` in the
+//! address list). A query tries the slot's preferred replica and fails
+//! over on typed [`OnexError::Network`] errors — at most one attempt per
+//! replica per query, so the retry budget is bounded by the replica
+//! count. Every replica carries a lock-free circuit [`Breaker`]: a
+//! replica that keeps failing (or whose latency EWMA blows its budget)
+//! is skipped *without dialling* until a background
+//! [`InfoRequest`](crate::Message::InfoRequest) probe closes the breaker
+//! again. Optionally a query **hedges**: if the preferred replica has
+//! not answered within [`ClusterConfig::hedge_after`], the same request
+//! is raced against the next live replica and the first answer wins —
+//! the loser is cancelled by collapsing its private bound to zero, which
+//! makes its remaining search trivially prunable.
+//!
+//! When a whole slot is down, [`DegradePolicy`] decides: `Fail`
+//! propagates the slot's typed error (the strict historical behaviour),
+//! `Partial` answers over the surviving shards, `Quorum(q)` demands at
+//! least `q` surviving slots. Degraded answers are *typed*: the outcome
+//! carries [`Coverage`] so callers can tell 5-of-8 from 8-of-8 without
+//! guessing from match counts.
+//!
 //! ## Identity
 //!
 //! The cluster assumes the collection was partitioned **round-robin**:
-//! global series `g` lives on shard `g % N` as local id `g / N` — the
+//! global series `g` lives on slot `g % N` as local id `g / N` — the
 //! exact partition `ShardedEngine` applies in-process (and what the
 //! `onex_server --shard-serve` operator docs prescribe). Global ids are
-//! reconstructed as `local * N + shard`.
+//! reconstructed as `local * N + slot`. Replicas of one slot host the
+//! same partition.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use onex_api::{
-    validate_query, BackendMatch, BackendStats, BestK, Capabilities, Epoch, Metric, OnexError,
-    SearchOutcome, SharedBound, SimilaritySearch,
+    validate_query, BackendMatch, BackendStats, BestK, Capabilities, Coverage, DegradePolicy,
+    Epoch, Metric, NetworkErrorKind, OnexError, SearchOutcome, SharedBound, SimilaritySearch,
 };
 use onex_core::{normalized_distance, PoolStats, QueryOptions, ScanBreadth};
 use onex_tseries::SubseqRef;
 use parking_lot::Mutex;
 
 use crate::client::{RemoteBackend, RemoteConfig, RemoteInfo};
+use crate::health::{Breaker, BreakerConfig, BreakerSnapshot, BreakerState};
 
-/// What one shard worker sends back: its index plus the remote's
+/// What one shard worker sends back: its slot index plus the remote's
 /// outcome and epoch (or the typed failure).
 type ShardReply = (usize, Result<(SearchOutcome, Epoch), OnexError>);
+
+/// Cluster-level tuning: everything beyond the per-connection
+/// [`RemoteConfig`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Per-replica connection settings.
+    pub remote: RemoteConfig,
+    /// Circuit-breaker thresholds, shared by every replica.
+    pub breaker: BreakerConfig,
+    /// What to do when a whole slot cannot answer (default
+    /// [`DegradePolicy::Fail`] — the strict historical behaviour).
+    pub degrade: DegradePolicy,
+    /// Overall per-query deadline on collecting shard replies. Passing
+    /// it is a typed [`NetworkErrorKind::Timeout`] (HTTP 504), replacing
+    /// the old hardcoded 300 s internal stall.
+    pub query_deadline: Duration,
+    /// When set, a slot query that has not answered within this
+    /// threshold is raced against the slot's next live replica; first
+    /// answer wins, the loser is cancelled via bound collapse.
+    pub hedge_after: Option<Duration>,
+    /// Cadence of the background breaker probe thread; `None` disables
+    /// probing (open breakers then only re-close through query-path
+    /// half-open trials).
+    pub probe_interval: Option<Duration>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            remote: RemoteConfig::default(),
+            breaker: BreakerConfig::default(),
+            degrade: DegradePolicy::Fail,
+            query_deadline: Duration::from_secs(60),
+            hedge_after: None,
+            probe_interval: Some(Duration::from_millis(250)),
+        }
+    }
+}
+
+struct Replica {
+    remote: Arc<RemoteBackend>,
+    breaker: Arc<Breaker>,
+}
+
+/// One shard slot: the replicas hosting one round-robin partition, in
+/// preference order.
+struct Slot {
+    index: usize,
+    replicas: Vec<Replica>,
+}
+
+impl Slot {
+    /// Highest epoch any replica of this slot last reported.
+    fn last_epoch(&self) -> Epoch {
+        self.replicas
+            .iter()
+            .map(|r| r.remote.epoch())
+            .max()
+            .unwrap_or(0)
+    }
+}
 
 struct ClusterJob {
     index: usize,
     query: Arc<[f64]>,
     k: usize,
-    /// `None`: this shard cannot contribute (an `only_series` filter
-    /// pointing at another shard) — answered locally, no network.
+    /// `None`: this slot cannot contribute (an `only_series` filter
+    /// pointing at another slot) — answered locally, no network.
     opts: Option<QueryOptions>,
     bound: Arc<SharedBound>,
+    hedge_after: Option<Duration>,
     reply: Sender<ShardReply>,
+    /// Test hook: a poison job makes the worker thread exit, simulating
+    /// a lane death the respawn path must absorb.
+    poison: bool,
 }
 
-/// A similarity-search backend fanned out over N shard servers.
+/// One worker lane: the sender plus the join handle, respawnable when
+/// the worker dies.
+struct Lane {
+    tx: Sender<ClusterJob>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Health of one replica, for `/api/health` and the resilience bench.
+#[derive(Debug, Clone)]
+pub struct ReplicaHealth {
+    /// The replica's address.
+    pub addr: String,
+    /// Its breaker's current state and counters.
+    pub breaker: BreakerSnapshot,
+}
+
+/// Health of one shard slot: its replicas in preference order.
+#[derive(Debug, Clone)]
+pub struct SlotHealth {
+    /// Slot index (the round-robin partition it hosts).
+    pub slot: usize,
+    /// Replica health, in preference order.
+    pub replicas: Vec<ReplicaHealth>,
+}
+
+/// A similarity-search backend fanned out over N shard slots, each
+/// backed by one or more replica servers.
 pub struct ClusterEngine {
-    remotes: Vec<Arc<RemoteBackend>>,
-    /// One worker (and one channel) per remote: a shard's queries are
-    /// serial over its single connection anyway, so per-remote workers
-    /// replace a contended MPMC queue with N independent SPSC lanes.
-    txs: Vec<Sender<ClusterJob>>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    slots: Vec<Arc<Slot>>,
+    /// One worker lane per slot: a slot's queries are serial over its
+    /// replica connections anyway, so per-slot workers replace a
+    /// contended MPMC queue with N independent SPSC lanes. Lanes respawn
+    /// when a worker dies — a poisoned worker costs at most one reply,
+    /// never the engine.
+    lanes: Vec<Mutex<Lane>>,
     threads_spawned: Arc<AtomicUsize>,
     jobs_executed: Arc<AtomicUsize>,
-    /// Series count per shard, maintained across appends — the source of
+    hedges_fired: Arc<AtomicUsize>,
+    hedge_wins: Arc<AtomicUsize>,
+    /// Series count per slot, maintained across appends — the source of
     /// round-robin routing for new series.
     sizes: Mutex<Vec<u64>>,
     infos: Vec<RemoteInfo>,
     opts: QueryOptions,
     share_bound: bool,
+    degrade: DegradePolicy,
+    deadline: Duration,
+    hedge_after: Option<Duration>,
+    probe_stop: Arc<AtomicBool>,
+    probe_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ClusterEngine {
-    /// Connect to every shard server, verify the protocol handshake, and
-    /// fetch each shard's identity. Fails with a typed
-    /// [`OnexError::Network`] if any shard is unreachable or speaks a
-    /// different protocol — a cluster with a dead member at startup is a
-    /// configuration error, not something to paper over.
+    /// Connect to every shard slot with default cluster tuning (strict
+    /// [`DegradePolicy::Fail`], 60 s query deadline, no hedging).
+    ///
+    /// Each element of `addrs` names one slot; replicas within a slot
+    /// are separated by `|` (`"127.0.0.1:7001|127.0.0.1:7101"`). A slot
+    /// is usable when **any** replica answers the identity exchange;
+    /// a slot with *no* live replica at connect is a typed
+    /// [`OnexError::Network`] — a cluster whose data is partly
+    /// unreachable at startup is a configuration error, not something
+    /// to paper over.
     pub fn connect<S: AsRef<str>>(addrs: &[S], config: RemoteConfig) -> Result<Self, OnexError> {
+        Self::connect_with(
+            addrs,
+            ClusterConfig {
+                remote: config,
+                ..ClusterConfig::default()
+            },
+        )
+    }
+
+    /// [`ClusterEngine::connect`] with explicit cluster tuning.
+    pub fn connect_with<S: AsRef<str>>(
+        addrs: &[S],
+        config: ClusterConfig,
+    ) -> Result<Self, OnexError> {
         if addrs.is_empty() {
             return Err(OnexError::invalid_config(
                 "a cluster needs at least one shard address",
             ));
         }
-        let remotes: Vec<Arc<RemoteBackend>> = addrs
-            .iter()
-            .map(|a| Arc::new(RemoteBackend::new(a.as_ref(), config.clone())))
-            .collect();
-        let mut infos = Vec::with_capacity(remotes.len());
-        for r in &remotes {
-            infos.push(r.info()?);
+        let mut slots = Vec::with_capacity(addrs.len());
+        let mut infos = Vec::with_capacity(addrs.len());
+        for (index, spec) in addrs.iter().enumerate() {
+            let replica_addrs: Vec<&str> = spec
+                .as_ref()
+                .split('|')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            if replica_addrs.is_empty() {
+                return Err(OnexError::invalid_config(format!(
+                    "slot {index} lists no replica address"
+                )));
+            }
+            let replicas: Vec<Replica> = replica_addrs
+                .iter()
+                .map(|a| Replica {
+                    remote: Arc::new(RemoteBackend::new(*a, config.remote.clone())),
+                    breaker: Arc::new(Breaker::new(config.breaker.clone())),
+                })
+                .collect();
+            // The slot identity comes from the first replica that
+            // answers; dead replicas are recorded on their breakers but
+            // only a fully dead slot fails the connect.
+            let mut info = None;
+            let mut first_err = None;
+            for rep in &replicas {
+                match rep.remote.info() {
+                    Ok(i) => {
+                        rep.breaker.on_success(Duration::ZERO);
+                        info = Some(i);
+                        break;
+                    }
+                    Err(e) => {
+                        rep.breaker.on_failure();
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            let Some(info) = info else {
+                return Err(first_err.unwrap_or_else(|| {
+                    OnexError::network(
+                        NetworkErrorKind::Unreachable,
+                        format!("slot {index}: no replica answered"),
+                    )
+                }));
+            };
+            infos.push(info);
+            slots.push(Arc::new(Slot { index, replicas }));
         }
         let sizes = infos.iter().map(|i| i.series).collect();
 
         let threads_spawned = Arc::new(AtomicUsize::new(0));
         let jobs_executed = Arc::new(AtomicUsize::new(0));
-        let mut txs = Vec::with_capacity(remotes.len());
-        let mut handles = Vec::with_capacity(remotes.len());
-        for remote in &remotes {
-            let (tx, rx) = bounded::<ClusterJob>(2);
-            let remote = Arc::clone(remote);
-            let jobs = Arc::clone(&jobs_executed);
-            threads_spawned.fetch_add(1, Ordering::Relaxed);
-            handles.push(std::thread::spawn(move || {
-                while let Ok(job) = rx.recv() {
-                    jobs.fetch_add(1, Ordering::Relaxed);
-                    let result = match &job.opts {
-                        None => Ok((SearchOutcome::default(), remote.epoch())),
-                        Some(opts) => {
-                            // A panic inside the client must cost one
-                            // reply, not a pool lane.
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                remote.k_best_bounded_with(&job.query, job.k, opts, &job.bound)
-                            }))
-                            .unwrap_or_else(|_| {
-                                Err(OnexError::Internal("cluster worker panicked".into()))
-                            })
-                        }
-                    };
-                    let _ = job.reply.send((job.index, result));
-                }
-            }));
-            txs.push(tx);
-        }
+        let hedges_fired = Arc::new(AtomicUsize::new(0));
+        let hedge_wins = Arc::new(AtomicUsize::new(0));
+        let lanes = slots
+            .iter()
+            .map(|slot| {
+                Mutex::new(spawn_lane(
+                    Arc::clone(slot),
+                    Arc::clone(&jobs_executed),
+                    Arc::clone(&hedges_fired),
+                    Arc::clone(&hedge_wins),
+                    Arc::clone(&threads_spawned),
+                ))
+            })
+            .collect();
+
+        let probe_stop = Arc::new(AtomicBool::new(false));
+        let probe_handle = config
+            .probe_interval
+            .map(|interval| spawn_probe(slots.clone(), interval, Arc::clone(&probe_stop)));
 
         Ok(ClusterEngine {
-            remotes,
-            txs,
-            handles,
+            slots,
+            lanes,
             threads_spawned,
             jobs_executed,
+            hedges_fired,
+            hedge_wins,
             sizes: Mutex::new(sizes),
             infos,
             opts: QueryOptions::default(),
             share_bound: true,
+            degrade: config.degrade,
+            deadline: config.query_deadline,
+            hedge_after: config.hedge_after,
+            probe_stop,
+            probe_handle,
         })
     }
 
     /// Builder-style query options (global series ids; localised per
-    /// shard at fan-out time).
+    /// slot at fan-out time).
     pub fn with_options(mut self, opts: QueryOptions) -> Self {
         self.opts = opts;
         self
@@ -151,68 +335,164 @@ impl ClusterEngine {
         self
     }
 
-    /// Number of shards in the cluster.
-    pub fn shard_count(&self) -> usize {
-        self.remotes.len()
+    /// Builder-style degrade policy (default [`DegradePolicy::Fail`]).
+    pub fn degrade(mut self, policy: DegradePolicy) -> Self {
+        self.degrade = policy;
+        self
     }
 
-    /// Counters of the persistent per-remote worker pool.
-    /// `threads_spawned` equals the shard count for the engine's whole
-    /// lifetime — queries are channel sends, never spawns.
+    /// Builder-style per-query reply deadline.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Builder-style hedge threshold (`None` disables hedging).
+    pub fn hedge(mut self, after: Option<Duration>) -> Self {
+        self.hedge_after = after;
+        self
+    }
+
+    /// Number of shard slots in the cluster.
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The active degrade policy.
+    pub fn degrade_policy(&self) -> DegradePolicy {
+        self.degrade
+    }
+
+    /// Replica addresses per slot, in preference order — the cluster's
+    /// topology as the server's health endpoints report it.
+    pub fn topology(&self) -> Vec<Vec<String>> {
+        self.slots
+            .iter()
+            .map(|s| s.replicas.iter().map(|r| r.remote.addr().into()).collect())
+            .collect()
+    }
+
+    /// Breaker state and counters for every replica of every slot.
+    pub fn health(&self) -> Vec<SlotHealth> {
+        self.slots
+            .iter()
+            .map(|s| SlotHealth {
+                slot: s.index,
+                replicas: s
+                    .replicas
+                    .iter()
+                    .map(|r| ReplicaHealth {
+                        addr: r.remote.addr().into(),
+                        breaker: r.breaker.snapshot(),
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// `(hedges fired, hedges the backup won)` over the engine lifetime.
+    pub fn hedge_counters(&self) -> (usize, usize) {
+        (
+            self.hedges_fired.load(Ordering::Relaxed),
+            self.hedge_wins.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Counters of the persistent per-slot worker pool.
+    /// `threads_spawned` equals the slot count for the engine's whole
+    /// lifetime unless a lane died and was respawned — queries are
+    /// channel sends, never spawns.
     pub fn pool_stats(&self) -> PoolStats {
         PoolStats {
-            workers: self.txs.len(),
+            workers: self.lanes.len(),
             threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
             jobs_executed: self.jobs_executed.load(Ordering::Relaxed),
         }
     }
 
     /// Aggregate `(sent, received)` gossip tighten-frame counters across
-    /// all shard connections.
+    /// all replica connections.
     pub fn gossip_counters(&self) -> (usize, usize) {
-        self.remotes
+        self.slots
             .iter()
-            .map(|r| r.gossip_counters())
+            .flat_map(|s| s.replicas.iter())
+            .map(|r| r.remote.gossip_counters())
             .fold((0, 0), |(s, r), (ds, dr)| (s + ds, r + dr))
     }
 
-    /// Append one series; it lands on shard `total % N`, preserving the
-    /// round-robin identity. Returns the cluster epoch after the append.
+    /// Append one series; it lands on slot `total % N`, preserving the
+    /// round-robin identity, and is written to **every** replica of that
+    /// slot (writes are strict even when reads degrade — a replica that
+    /// misses an append would silently diverge). Returns the cluster
+    /// epoch after the append.
     pub fn append_series(&self, name: &str, values: Vec<f64>) -> Result<Epoch, OnexError> {
         let mut sizes = self.sizes.lock();
         let total: u64 = sizes.iter().sum();
-        let shard = (total as usize) % self.remotes.len();
-        let (_, series) = self.remotes[shard].append(name, values)?;
+        let shard = (total as usize) % self.slots.len();
+        let mut series = sizes[shard];
+        for rep in &self.slots[shard].replicas {
+            let (_, s) = rep.remote.append(name, values.clone())?;
+            series = s;
+        }
         sizes[shard] = series;
         Ok(self.epoch())
     }
 
-    /// Deploy a segment-format-v2 base file image to one shard — the
+    /// Deploy a segment-format-v2 base file image to one slot — the
     /// provisioning step for a freshly joined (or rebalanced) member.
-    /// The shard adopts the base cold and answers immediately, resolving
-    /// columns lazily per query. Returns `(shard epoch, length columns
+    /// The image is shipped to every replica of the slot; each adopts
+    /// the base cold and answers immediately, resolving columns lazily
+    /// per query. Returns the last replica's `(epoch, length columns
     /// offered)`. Images over one frame (16 MiB) fail the send typed —
     /// there is no chunking.
     ///
     /// # Errors
-    /// [`OnexError::InvalidConfig`] for an out-of-range shard index;
-    /// otherwise whatever the shard reported (storage validation,
+    /// [`OnexError::InvalidConfig`] for an out-of-range slot index;
+    /// otherwise whatever a replica reported (storage validation,
     /// dataset mismatch) or a typed transport failure.
     pub fn deploy_base(&self, shard: usize, bytes: Vec<u8>) -> Result<(Epoch, u64), OnexError> {
-        let remote = self.remotes.get(shard).ok_or_else(|| {
+        let slot = self.slots.get(shard).ok_or_else(|| {
             OnexError::invalid_config(format!(
                 "shard {shard} out of range (cluster has {})",
-                self.remotes.len()
+                self.slots.len()
             ))
         })?;
-        remote.ship_base(bytes)
+        let mut last = None;
+        for rep in &slot.replicas {
+            last = Some(rep.remote.ship_base(bytes.clone())?);
+        }
+        last.ok_or_else(|| OnexError::Internal("slot has no replicas".into()))
     }
 
-    /// Translate the global-id option set into shard `s`'s local ids
-    /// under the round-robin partition; `None` when the shard cannot
+    /// Kill slot `index`'s worker thread (test hook for the lane-respawn
+    /// path). Joins the dying worker so the kill is synchronous; the
+    /// next query transparently respawns the lane.
+    #[doc(hidden)]
+    pub fn debug_kill_worker(&self, index: usize) {
+        if let Some(lane) = self.lanes.get(index) {
+            let (reply, _keep) = bounded(1);
+            let mut lane = lane.lock();
+            let _ = lane.tx.send(ClusterJob {
+                index,
+                query: Arc::from(Vec::new()),
+                k: 0,
+                opts: None,
+                bound: Arc::new(SharedBound::new()),
+                hedge_after: None,
+                reply,
+                poison: true,
+            });
+            if let Some(h) = lane.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Translate the global-id option set into slot `s`'s local ids
+    /// under the round-robin partition; `None` when the slot cannot
     /// contribute at all.
     fn localize(&self, s: usize) -> Option<QueryOptions> {
-        let n = self.remotes.len() as u32;
+        let n = self.slots.len() as u32;
         let s32 = s as u32;
         let mut o = self.opts.clone();
         o.exclude_series = o
@@ -233,49 +513,121 @@ impl ClusterEngine {
         Some(o)
     }
 
+    /// Send `job` down slot `index`'s lane, respawning the lane once if
+    /// its worker died — the pool-level mirror of the accept loop's
+    /// per-connection panic isolation.
+    fn send_job(&self, index: usize, job: ClusterJob) -> Result<(), OnexError> {
+        let mut lane = self.lanes[index].lock();
+        let job = match lane.tx.send(job) {
+            Ok(()) => return Ok(()),
+            Err(e) => e.0,
+        };
+        let old = std::mem::replace(
+            &mut *lane,
+            spawn_lane(
+                Arc::clone(&self.slots[index]),
+                Arc::clone(&self.jobs_executed),
+                Arc::clone(&self.hedges_fired),
+                Arc::clone(&self.hedge_wins),
+                Arc::clone(&self.threads_spawned),
+            ),
+        );
+        if let Some(h) = old.handle {
+            let _ = h.join();
+        }
+        lane.tx
+            .send(job)
+            .map_err(|_| OnexError::Internal("cluster worker pool exited".into()))
+    }
+
     /// Fan out, gossip, collect, merge — the cross-process mirror of
-    /// `ShardedEngine::merge`.
+    /// `ShardedEngine::merge`, with the degrade policy deciding what a
+    /// missing slot costs.
     fn merge(&self, query: &[f64], k: usize) -> Result<SearchOutcome, OnexError> {
         validate_query(query, k)?;
-        let n = self.remotes.len();
+        let n = self.slots.len();
         let query: Arc<[f64]> = Arc::from(query);
         // One fresh bound per logical query — never reused across
         // queries, so concurrent queries cannot contaminate each other.
         let shared = Arc::new(SharedBound::new());
         let (reply_tx, reply_rx) = bounded(n);
-        for (index, tx) in self.txs.iter().enumerate() {
+        for index in 0..n {
             let bound = if self.share_bound {
                 Arc::clone(&shared)
             } else {
                 Arc::new(SharedBound::new())
             };
-            tx.send(ClusterJob {
+            self.send_job(
                 index,
-                query: Arc::clone(&query),
-                k,
-                opts: self.localize(index),
-                bound,
-                reply: reply_tx.clone(),
-            })
-            .map_err(|_| OnexError::Internal("cluster worker pool exited".into()))?;
+                ClusterJob {
+                    index,
+                    query: Arc::clone(&query),
+                    k,
+                    opts: self.localize(index),
+                    bound,
+                    hedge_after: self.hedge_after,
+                    reply: reply_tx.clone(),
+                    poison: false,
+                },
+            )?;
         }
         drop(reply_tx);
 
+        let started = Instant::now();
         let mut acc: BestK<(u32, usize, usize, u64)> = BestK::new(k);
         let mut stats = BackendStats::default();
-        for _ in 0..n {
-            let (index, result) = reply_rx
-                .recv_timeout(Duration::from_secs(300))
-                .map_err(|_| OnexError::Internal("cluster query reply lost".into()))?;
-            let (outcome, _epoch) = result?;
-            stats += outcome.stats;
-            for m in outcome.matches {
-                let global = m.series * (n as u32) + index as u32;
-                acc.offer(
-                    normalized_distance(m.distance, query.len(), m.len),
-                    (global, m.start, m.len, m.distance.to_bits()),
-                );
+        let mut answered: u32 = 0;
+        let mut first_err: Option<OnexError> = None;
+        for collected in 0..n {
+            let remaining = self
+                .deadline
+                .checked_sub(started.elapsed())
+                .unwrap_or(Duration::ZERO);
+            let (index, result) = match reply_rx.recv_timeout(remaining) {
+                Ok(reply) => reply,
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every outstanding job died without replying — a
+                    // pool defect, not a slow network.
+                    return Err(OnexError::Internal("cluster query reply lost".into()));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Collapse the query bound so in-flight shard work
+                    // finishes trivially instead of computing for a
+                    // caller that already gave up.
+                    shared.tighten(0.0);
+                    return Err(OnexError::network(
+                        NetworkErrorKind::Timeout,
+                        format!(
+                            "cluster reply deadline {:?} passed with {collected}/{n} shard replies",
+                            self.deadline
+                        ),
+                    ));
+                }
+            };
+            match result {
+                Ok((outcome, _epoch)) => {
+                    answered += 1;
+                    stats += outcome.stats;
+                    for m in outcome.matches {
+                        let global = m.series * (n as u32) + index as u32;
+                        acc.offer(
+                            normalized_distance(m.distance, query.len(), m.len),
+                            (global, m.start, m.len, m.distance.to_bits()),
+                        );
+                    }
+                }
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
             }
+        }
+        let total = n as u32;
+        if answered < self.degrade.required(total) {
+            return Err(first_err.unwrap_or_else(|| {
+                OnexError::network(NetworkErrorKind::Unreachable, "no shard slot answered")
+            }));
         }
         Ok(SearchOutcome {
             matches: acc
@@ -289,29 +641,304 @@ impl ClusterEngine {
                 })
                 .collect(),
             stats,
+            coverage: Some(Coverage {
+                shards_answered: answered,
+                shards_total: total,
+            }),
         })
     }
+}
+
+/// Spawn one slot worker lane.
+fn spawn_lane(
+    slot: Arc<Slot>,
+    jobs: Arc<AtomicUsize>,
+    hedges_fired: Arc<AtomicUsize>,
+    hedge_wins: Arc<AtomicUsize>,
+    threads_spawned: Arc<AtomicUsize>,
+) -> Lane {
+    let (tx, rx) = bounded::<ClusterJob>(2);
+    threads_spawned.fetch_add(1, Ordering::Relaxed);
+    let handle = std::thread::Builder::new()
+        .name(format!("cluster-slot-{}", slot.index))
+        .spawn(move || {
+            while let Ok(job) = rx.recv() {
+                if job.poison {
+                    return;
+                }
+                jobs.fetch_add(1, Ordering::Relaxed);
+                execute(&slot, &job, &hedges_fired, &hedge_wins);
+            }
+        })
+        .expect("spawn cluster lane");
+    Lane {
+        tx,
+        handle: Some(handle),
+    }
+}
+
+fn is_network(e: &OnexError) -> bool {
+    matches!(e, OnexError::Network(_))
+}
+
+/// One attempt against one replica, with breaker bookkeeping. A panic
+/// inside the client costs one reply, not a pool lane.
+fn attempt(
+    rep: &Replica,
+    job: &ClusterJob,
+    opts: &QueryOptions,
+    bound: Arc<SharedBound>,
+) -> Result<(SearchOutcome, Epoch), OnexError> {
+    let t0 = Instant::now();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rep.remote
+            .k_best_bounded_with(&job.query, job.k, opts, &bound)
+    }))
+    .unwrap_or_else(|_| {
+        Err(OnexError::Internal(
+            "cluster replica attempt panicked".into(),
+        ))
+    });
+    match &result {
+        Ok(_) => rep.breaker.on_success(t0.elapsed()),
+        // Only wire faults say something about replica health; an
+        // engine-side rejection (bad query) is a healthy answer.
+        Err(e) if is_network(e) => rep.breaker.on_failure(),
+        Err(_) => {}
+    }
+    result
+}
+
+/// How a hedged race ended, as seen by the failover loop.
+enum RaceEnd {
+    /// The winning reply was already sent (before joining the loser).
+    Sent,
+    /// The primary finished (no hedge fired, or fired with no live
+    /// backup); its result still needs the normal failover handling.
+    Primary(Result<(SearchOutcome, Epoch), OnexError>),
+    /// Primary and backup both failed.
+    BothFailed(OnexError, OnexError),
+}
+
+/// Run one slot's query: failover across replicas in preference order,
+/// with optional hedging. Sends exactly one reply.
+fn execute(slot: &Slot, job: &ClusterJob, hedges_fired: &AtomicUsize, hedge_wins: &AtomicUsize) {
+    let send_reply =
+        |r: Result<(SearchOutcome, Epoch), OnexError>| drop(job.reply.send((job.index, r)));
+    let Some(opts) = job.opts.as_ref() else {
+        send_reply(Ok((SearchOutcome::default(), slot.last_epoch())));
+        return;
+    };
+    let reps = &slot.replicas;
+    let mut last_err: Option<OnexError> = None;
+    let mut i = 0usize;
+    while i < reps.len() {
+        let rep = &reps[i];
+        i += 1;
+        if !rep.breaker.admit() {
+            continue;
+        }
+        let hedge = job.hedge_after.filter(|_| i < reps.len());
+        let raced = match hedge {
+            None => RaceEnd::Primary(attempt(rep, job, opts, Arc::clone(&job.bound))),
+            Some(after) => crossbeam::thread::scope(|s| {
+                let (atx, arx) = bounded::<(bool, Result<(SearchOutcome, Epoch), OnexError>)>(2);
+                {
+                    let atx = atx.clone();
+                    s.spawn(move |_| {
+                        let _ = atx.send((false, attempt(rep, job, opts, Arc::clone(&job.bound))));
+                    });
+                }
+                match arx.recv_timeout(after) {
+                    Ok((_, r)) => RaceEnd::Primary(r),
+                    Err(RecvTimeoutError::Disconnected) => {
+                        RaceEnd::Primary(Err(OnexError::Internal("hedge primary vanished".into())))
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        // Fire the hedge at the next live replica. The
+                        // backup prunes against a *private* bound seeded
+                        // from the shared one: collapsing it later
+                        // cancels only the loser, never the query.
+                        let mut backup_bound = None;
+                        while i < reps.len() {
+                            let b = &reps[i];
+                            i += 1;
+                            if b.breaker.admit() {
+                                hedges_fired.fetch_add(1, Ordering::Relaxed);
+                                let bb = Arc::new(SharedBound::new());
+                                bb.tighten(job.bound.get());
+                                backup_bound = Some(Arc::clone(&bb));
+                                let atx = atx.clone();
+                                s.spawn(move |_| {
+                                    let _ = atx.send((true, attempt(b, job, opts, bb)));
+                                });
+                                break;
+                            }
+                        }
+                        let Some(bb) = backup_bound else {
+                            // No live backup: just wait the primary out.
+                            return match arx.recv() {
+                                Ok((_, r)) => RaceEnd::Primary(r),
+                                Err(_) => RaceEnd::Primary(Err(OnexError::Internal(
+                                    "hedge primary vanished".into(),
+                                ))),
+                            };
+                        };
+                        let (first_is_backup, r1) = arx.recv().unwrap_or((
+                            false,
+                            Err(OnexError::Internal("hedge race vanished".into())),
+                        ));
+                        match r1 {
+                            Ok(x) => {
+                                if first_is_backup {
+                                    hedge_wins.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    // Cancel the losing backup: a zero
+                                    // bound prunes everything, so it
+                                    // finishes trivially.
+                                    bb.tighten(0.0);
+                                }
+                                // Deliver before the scope joins the
+                                // loser — the caller must not wait for a
+                                // cancelled straggler.
+                                send_reply(Ok(x));
+                                RaceEnd::Sent
+                            }
+                            Err(e1) => match arx.recv() {
+                                Ok((second_is_backup, Ok(x))) => {
+                                    if second_is_backup {
+                                        hedge_wins.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    send_reply(Ok(x));
+                                    RaceEnd::Sent
+                                }
+                                Ok((_, Err(e2))) => RaceEnd::BothFailed(e1, e2),
+                                Err(_) => RaceEnd::BothFailed(
+                                    e1,
+                                    OnexError::Internal("hedge race vanished".into()),
+                                ),
+                            },
+                        }
+                    }
+                }
+            })
+            .unwrap_or_else(|_| {
+                RaceEnd::Primary(Err(OnexError::Internal("hedge scope panicked".into())))
+            }),
+        };
+        match raced {
+            RaceEnd::Sent => return,
+            RaceEnd::Primary(Ok(x)) => {
+                send_reply(Ok(x));
+                return;
+            }
+            RaceEnd::Primary(Err(e)) => {
+                if is_network(&e) {
+                    // Typed wire fault: fail over to the next replica.
+                    last_err = Some(e);
+                } else {
+                    // Engine-side errors (bad query, panic) are not
+                    // fixed by trying another replica.
+                    send_reply(Err(e));
+                    return;
+                }
+            }
+            RaceEnd::BothFailed(e1, e2) => {
+                for e in [e1, e2] {
+                    if !is_network(&e) {
+                        send_reply(Err(e));
+                        return;
+                    }
+                    last_err = Some(e);
+                }
+            }
+        }
+    }
+    send_reply(Err(last_err.unwrap_or_else(|| {
+        OnexError::network(
+            NetworkErrorKind::Unreachable,
+            format!(
+                "slot {}: no live replica ({} breaker(s) open)",
+                slot.index,
+                slot.replicas.len()
+            ),
+        )
+    })));
+}
+
+/// The background breaker-probe loop: every `interval`, each non-closed
+/// breaker that will admit a trial gets an `InfoRequest`; success closes
+/// it, failure re-opens it. Polls the stop flag between short sleeps so
+/// engine drop never waits a full interval.
+fn spawn_probe(
+    slots: Vec<Arc<Slot>>,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("cluster-probe".into())
+        .spawn(move || {
+            let tick = interval
+                .min(Duration::from_millis(25))
+                .max(Duration::from_millis(1));
+            let mut since_probe = Duration::ZERO;
+            loop {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(tick);
+                since_probe += tick;
+                if since_probe < interval {
+                    continue;
+                }
+                since_probe = Duration::ZERO;
+                for slot in &slots {
+                    for rep in &slot.replicas {
+                        if rep.breaker.state() == BreakerState::Closed || !rep.breaker.admit() {
+                            continue;
+                        }
+                        let t0 = Instant::now();
+                        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            rep.remote.info().is_ok()
+                        }))
+                        .unwrap_or(false);
+                        if ok {
+                            rep.breaker.on_success(t0.elapsed());
+                        } else {
+                            rep.breaker.on_failure();
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn cluster probe")
 }
 
 impl std::fmt::Debug for ClusterEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClusterEngine")
-            .field(
-                "remotes",
-                &self.remotes.iter().map(|r| r.addr()).collect::<Vec<_>>(),
-            )
+            .field("topology", &self.topology())
             .field("gossip", &self.share_bound)
+            .field("degrade", &self.degrade)
             .finish_non_exhaustive()
     }
 }
 
 impl Drop for ClusterEngine {
     fn drop(&mut self) {
+        self.probe_stop.store(true, Ordering::Release);
+        if let Some(h) = self.probe_handle.take() {
+            let _ = h.join();
+        }
         // Closing the lanes wakes every worker out of `recv`; join so no
         // worker outlives the engine half-way through a send.
-        self.txs.clear();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
+        for lane in &self.lanes {
+            let mut lane = lane.lock();
+            let dead = bounded::<ClusterJob>(1).0;
+            drop(std::mem::replace(&mut lane.tx, dead));
+            if let Some(h) = lane.handle.take() {
+                let _ = h.join();
+            }
         }
     }
 }
@@ -324,7 +951,9 @@ impl SimilaritySearch for ClusterEngine {
     fn capabilities(&self) -> Capabilities {
         // Exact iff every shard reported an exact engine and the local
         // option set keeps the scan exhaustive — the same condition
-        // `ShardedEngine` applies to its in-process shards.
+        // `ShardedEngine` applies to its in-process shards. A degraded
+        // answer is still exact *over the shards it covers*; the
+        // coverage record is what reports the gap.
         let exact = self.infos.iter().all(|i| i.caps.exact)
             && self.opts.breadth == ScanBreadth::Exact
             && self.opts.band == onex_distance::Band::Full;
@@ -342,10 +971,10 @@ impl SimilaritySearch for ClusterEngine {
         self.merge(query, k)
     }
 
-    /// Sum of the shards' last-observed epochs: any append anywhere
+    /// Sum of the slots' last-observed epochs: any append anywhere
     /// bumps it, so epoch-keyed caches invalidate correctly. Updated as
     /// replies arrive — eventually consistent between requests.
     fn epoch(&self) -> Epoch {
-        self.remotes.iter().map(|r| r.epoch()).sum()
+        self.slots.iter().map(|s| s.last_epoch()).sum()
     }
 }

@@ -27,9 +27,11 @@ use onex_api::{NetworkErrorKind, OnexError};
 pub const MAGIC: [u8; 4] = *b"ONXW";
 /// Wire protocol version carried in the hello preamble. v2 extended the
 /// Answer frame with per-tier prune counters and the Query options with
-/// the L0-prefilter flag — both fixed-order fields, so the version bump
-/// is what keeps v1 peers from misparsing them.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// the L0-prefilter flag; v3 appended a shard-coverage record to the
+/// Answer frame so a degraded fan-out can say *how much* of the
+/// collection its answer covers. All fixed-order fields, so the version
+/// bump is what keeps older peers from misparsing them.
+pub const PROTOCOL_VERSION: u16 = 3;
 /// Upper bound on `kind + payload` size. Checked before allocating.
 pub const MAX_FRAME: usize = 1 << 24; // 16 MiB
 

@@ -1,0 +1,378 @@
+//! Per-replica circuit breakers: the cluster's health state machine.
+//!
+//! Every replica connection owns one [`Breaker`] walking the classic
+//! three-state machine:
+//!
+//! ```text
+//!            consecutive failures ≥ threshold,
+//!            or latency EWMA over budget
+//!   Closed ────────────────────────────────────▶ Open
+//!      ▲                                          │ open_for elapsed
+//!      │  probe succeeds                          ▼
+//!      └───────────────────────────────────── HalfOpen
+//!                     (probe fails: back to Open)
+//! ```
+//!
+//! While a breaker is **open** the cluster skips the dial entirely —
+//! a shard that is down costs zero connect timeouts per query, instead
+//! of one per query per replica. Once `open_for` has elapsed, exactly
+//! one caller (a background [`InfoRequest`](crate::Message::InfoRequest)
+//! probe or a live query, whichever asks first) wins the transition to
+//! **half-open** and carries the trial request; its outcome closes or
+//! re-opens the breaker.
+//!
+//! The whole machine is lock-free — state, counters, and the latency
+//! EWMA live in atomics — because it sits on the query fan-out path of
+//! every cluster request.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+const CLOSED: u8 = 0;
+const OPEN: u8 = 1;
+const HALF_OPEN: u8 = 2;
+
+/// The three breaker states. See the module docs for the transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: the dial is skipped until `open_for` elapses.
+    Open,
+    /// One trial request is in flight; everyone else is skipped.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable human-readable label (server JSON, bench tables).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Tuning knobs for a [`Breaker`].
+#[derive(Debug, Clone)]
+pub struct BreakerConfig {
+    /// Consecutive typed failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// A latency EWMA above this budget trips the breaker even while
+    /// requests nominally succeed — a replica that answers in geological
+    /// time is down for an online analyst.
+    pub latency_budget: Duration,
+    /// How long an open breaker rejects before admitting one half-open
+    /// trial request.
+    pub open_for: Duration,
+    /// EWMA blend weight for the newest latency sample, in `(0, 1]`.
+    pub ewma_alpha: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            latency_budget: Duration::from_secs(10),
+            open_for: Duration::from_millis(500),
+            ewma_alpha: 0.2,
+        }
+    }
+}
+
+/// Read-only view of a breaker for health endpoints and bench tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerSnapshot {
+    /// Current state.
+    pub state: BreakerState,
+    /// Consecutive failures since the last success.
+    pub consecutive_failures: u32,
+    /// Latency EWMA in milliseconds (`0.0` before any sample).
+    pub ewma_ms: f64,
+    /// Times the breaker tripped open over its lifetime.
+    pub opens: u64,
+    /// Half-open trial requests admitted.
+    pub probes: u64,
+    /// Successful requests recorded.
+    pub successes: u64,
+    /// Failed requests recorded.
+    pub failures: u64,
+    /// Requests skipped because the breaker was open.
+    pub skips: u64,
+}
+
+/// A lock-free circuit breaker guarding one replica connection.
+#[derive(Debug)]
+pub struct Breaker {
+    config: BreakerConfig,
+    created: Instant,
+    state: AtomicU8,
+    consecutive: AtomicU32,
+    /// Nanoseconds since `created` at which the breaker last opened.
+    opened_at: AtomicU64,
+    /// Latency EWMA in microseconds, stored as `f64` bits; `0` = unset.
+    ewma_us: AtomicU64,
+    opens: AtomicU64,
+    probes: AtomicU64,
+    successes: AtomicU64,
+    failures: AtomicU64,
+    skips: AtomicU64,
+}
+
+impl Breaker {
+    /// A closed breaker under `config`.
+    pub fn new(config: BreakerConfig) -> Self {
+        Breaker {
+            config,
+            created: Instant::now(),
+            state: AtomicU8::new(CLOSED),
+            consecutive: AtomicU32::new(0),
+            opened_at: AtomicU64::new(0),
+            ewma_us: AtomicU64::new(0),
+            opens: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+            successes: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            skips: AtomicU64::new(0),
+        }
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.created.elapsed().as_nanos() as u64
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        match self.state.load(Ordering::Acquire) {
+            OPEN => BreakerState::Open,
+            HALF_OPEN => BreakerState::HalfOpen,
+            _ => BreakerState::Closed,
+        }
+    }
+
+    /// May a request go to this replica right now?
+    ///
+    /// Closed: always. Open: only once `open_for` has elapsed — and then
+    /// exactly one caller wins the CAS into half-open and becomes the
+    /// trial request; every concurrent caller is skipped. Half-open: no
+    /// (the trial is already in flight).
+    ///
+    /// A granted half-open admission **must** be followed by
+    /// [`Breaker::on_success`] or [`Breaker::on_failure`], or the
+    /// breaker wedges in half-open.
+    pub fn admit(&self) -> bool {
+        match self.state.load(Ordering::Acquire) {
+            CLOSED => true,
+            OPEN => {
+                let opened = self.opened_at.load(Ordering::Acquire);
+                let ripe = self.now_nanos()
+                    >= opened.saturating_add(self.config.open_for.as_nanos() as u64);
+                if ripe
+                    && self
+                        .state
+                        .compare_exchange(OPEN, HALF_OPEN, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    self.skips.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
+            _ => {
+                self.skips.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Trip to open (from any state), stamping the open time.
+    fn trip(&self) {
+        self.opened_at.store(self.now_nanos(), Ordering::Release);
+        if self.state.swap(OPEN, Ordering::AcqRel) != OPEN {
+            self.opens.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Blend `us` into the EWMA; `reset` replaces it outright (used when
+    /// a probe closes the breaker, so a stale over-budget average cannot
+    /// instantly re-trip a recovered replica).
+    fn blend_ewma(&self, us: f64, reset: bool) -> f64 {
+        let mut current = self.ewma_us.load(Ordering::Acquire);
+        loop {
+            let old = f64::from_bits(current);
+            let new = if reset || current == 0 {
+                us
+            } else {
+                self.config.ewma_alpha * us + (1.0 - self.config.ewma_alpha) * old
+            };
+            match self.ewma_us.compare_exchange_weak(
+                current,
+                new.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return new,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Record a successful request and its latency. Closes a half-open
+    /// breaker; trips a closed one whose latency EWMA exceeds the budget.
+    pub fn on_success(&self, latency: Duration) {
+        self.successes.fetch_add(1, Ordering::Relaxed);
+        self.consecutive.store(0, Ordering::Release);
+        let us = latency.as_secs_f64() * 1e6;
+        let was_half_open = self
+            .state
+            .compare_exchange(HALF_OPEN, CLOSED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        let ewma = self.blend_ewma(us, was_half_open);
+        if !was_half_open
+            && self.state.load(Ordering::Acquire) == CLOSED
+            && ewma > self.config.latency_budget.as_secs_f64() * 1e6
+        {
+            self.trip();
+        }
+    }
+
+    /// Record a failed request. A failed half-open trial re-opens
+    /// immediately; otherwise the consecutive-failure counter decides.
+    pub fn on_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        let streak = self.consecutive.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.state.load(Ordering::Acquire) == HALF_OPEN
+            || streak >= self.config.failure_threshold
+        {
+            self.trip();
+        }
+    }
+
+    /// Read-only view for health endpoints.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        BreakerSnapshot {
+            state: self.state(),
+            consecutive_failures: self.consecutive.load(Ordering::Acquire),
+            ewma_ms: f64::from_bits(self.ewma_us.load(Ordering::Acquire)) / 1e3,
+            opens: self.opens.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+            successes: self.successes.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            skips: self.skips.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            latency_budget: Duration::from_millis(50),
+            open_for: Duration::ZERO,
+            ewma_alpha: 0.5,
+        }
+    }
+
+    #[test]
+    fn consecutive_failures_trip_and_a_probe_closes() {
+        let b = Breaker::new(fast());
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.snapshot().opens, 1);
+
+        // open_for is zero, so the next admit becomes the half-open probe.
+        assert!(b.admit());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.admit(), "only one trial request at a time");
+        b.on_success(Duration::from_millis(1));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.snapshot().consecutive_failures, 0);
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = Breaker::new(fast());
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        assert!(b.admit());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.snapshot().opens, 2);
+    }
+
+    #[test]
+    fn open_breaker_skips_until_open_for_elapses() {
+        let mut cfg = fast();
+        cfg.open_for = Duration::from_secs(3600);
+        let b = Breaker::new(cfg);
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        assert!(!b.admit(), "an hour has not passed");
+        assert!(b.snapshot().skips >= 1);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn latency_ewma_over_budget_trips_despite_successes() {
+        let b = Breaker::new(fast());
+        b.on_success(Duration::from_millis(1));
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Repeated slow answers drive the EWMA over the 50 ms budget.
+        for _ in 0..8 {
+            b.on_success(Duration::from_millis(400));
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        // Recovery: the closing probe's latency *replaces* the EWMA, so
+        // one fast probe fully clears the stale slow average.
+        assert!(b.admit());
+        b.on_success(Duration::from_millis(1));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.snapshot().ewma_ms < 50.0);
+        b.on_success(Duration::from_millis(2));
+        assert_eq!(b.state(), BreakerState::Closed, "no flap after recovery");
+    }
+
+    #[test]
+    fn only_one_thread_wins_the_half_open_probe() {
+        let b = std::sync::Arc::new(Breaker::new(fast()));
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        let admitted: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let b = std::sync::Arc::clone(&b);
+                    s.spawn(move || usize::from(b.admit()))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(admitted, 1, "exactly one probe through the CAS");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let b = Breaker::new(fast());
+        b.on_success(Duration::from_millis(2));
+        b.on_failure();
+        b.on_failure();
+        let s = b.snapshot();
+        assert_eq!(s.successes, 1);
+        assert_eq!(s.failures, 2);
+        assert_eq!(s.consecutive_failures, 2);
+        assert!(s.ewma_ms > 0.0);
+    }
+}

@@ -27,23 +27,41 @@
 //! ever tightens toward the true k-th-best distance, so a gossiped bound
 //! prunes only candidates a locally discovered bound would also have
 //! pruned — late or lost gossip costs work, never answers.
+//!
+//! ## Fault tolerance
+//!
+//! The cluster layer is built to answer *with what survives*. Each shard
+//! slot can hold replicas (`"a|a2"`), queries fail over on typed network
+//! errors and can hedge a slow replica against the next live one, and
+//! every replica sits behind a lock-free circuit [`Breaker`]
+//! (`Closed → Open → HalfOpen`) so a dead peer stops costing a dial
+//! until a background probe revives it. When a whole slot is down, a
+//! [`onex_api::DegradePolicy`] decides between strict failure and a
+//! typed partial answer carrying [`onex_api::Coverage`]. All of it is
+//! testable deterministically through [`ChaosProxy`], a seeded
+//! fault-injecting TCP relay (drops, delays, truncation, bit flips,
+//! slow drips, mid-frame closes).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod accept;
+mod chaos;
 mod client;
 mod cluster;
 mod frame;
+mod health;
 mod proto;
 mod server;
 
 pub use accept::{serve_streams, transient_accept_error, AcceptOptions};
+pub use chaos::{ChaosProxy, Fault};
 pub use client::{RemoteBackend, RemoteConfig, RemoteInfo};
-pub use cluster::ClusterEngine;
+pub use cluster::{ClusterConfig, ClusterEngine, ReplicaHealth, SlotHealth};
 pub use frame::{
     checksum, read_hello, write_frame, write_hello, FrameReader, Poll, MAGIC, MAX_FRAME,
     PROTOCOL_VERSION,
 };
+pub use health::{Breaker, BreakerConfig, BreakerSnapshot, BreakerState};
 pub use proto::{error_code, error_from, Message};
 pub use server::ShardServer;

@@ -7,7 +7,9 @@
 //! remaining in the payload **before** any buffer is reserved, so a
 //! corrupt count cannot trigger an unbounded allocation.
 
-use onex_api::{BackendMatch, BackendStats, Capabilities, Metric, NetworkErrorKind, OnexError};
+use onex_api::{
+    BackendMatch, BackendStats, Capabilities, Coverage, Metric, NetworkErrorKind, OnexError,
+};
 use onex_core::{LengthSelection, QueryOptions, ScanBreadth};
 use onex_distance::Band;
 use onex_tseries::SubseqRef;
@@ -49,6 +51,10 @@ pub enum Message {
         matches: Vec<BackendMatch>,
         /// The shard's work counters for this query.
         stats: BackendStats,
+        /// Shard coverage of the answer (protocol v3). `None` for a
+        /// backend that saw its whole collection; `Some` when the
+        /// answering peer is itself a fan-out that may have degraded.
+        coverage: Option<Coverage>,
     },
     /// Server → client: the request failed; a re-typed [`OnexError`].
     ErrorReply {
@@ -242,6 +248,7 @@ impl Message {
                 epoch,
                 matches,
                 stats,
+                coverage,
             } => {
                 put_u64(&mut out, *epoch);
                 put_u32(&mut out, matches.len() as u32);
@@ -258,6 +265,14 @@ impl Message {
                 put_u64(&mut out, stats.tiers.kim);
                 put_u64(&mut out, stats.tiers.keogh);
                 put_u64(&mut out, stats.tiers.dtw_abandoned);
+                match coverage {
+                    None => out.push(0),
+                    Some(c) => {
+                        out.push(1);
+                        put_u32(&mut out, c.shards_answered);
+                        put_u32(&mut out, c.shards_total);
+                    }
+                }
                 (KIND_ANSWER, out)
             }
             Message::ErrorReply { code, detail } => {
@@ -513,10 +528,19 @@ impl Message {
                         dtw_abandoned: r.u64()?,
                     },
                 };
+                let coverage = match r.u8()? {
+                    0 => None,
+                    1 => Some(Coverage {
+                        shards_answered: r.u32()?,
+                        shards_total: r.u32()?,
+                    }),
+                    b => return Err(decode_err(format!("invalid coverage flag {b:#04x}"))),
+                };
                 Message::Answer {
                     epoch,
                     matches,
                     stats,
+                    coverage,
                 }
             }
             KIND_ERROR => Message::ErrorReply {
@@ -648,6 +672,16 @@ mod tests {
                         dtw_abandoned: 7,
                     },
                 },
+                coverage: None,
+            },
+            Message::Answer {
+                epoch: 10,
+                matches: vec![],
+                stats: BackendStats::default(),
+                coverage: Some(Coverage {
+                    shards_answered: 2,
+                    shards_total: 3,
+                }),
             },
             Message::ErrorReply {
                 code: 2,

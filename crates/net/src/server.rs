@@ -230,6 +230,7 @@ impl ShardServer {
                         epoch,
                         matches: out.matches,
                         stats: out.stats,
+                        coverage: out.coverage,
                     }
                 }
                 Err(e) => {

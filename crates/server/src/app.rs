@@ -3,14 +3,14 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
-use onex_api::{Epoch, OnexError, SimilaritySearch, StreamingSearch};
+use onex_api::{DegradePolicy, Epoch, OnexError, SimilaritySearch, StreamingSearch};
 use onex_core::backends::{
     CachedSearch, EbsmBackend, FrmBackend, OnexBackend, ShardedEngine, SpringBackend,
     UcrSuiteBackend,
 };
 use onex_core::{BuildReport, LengthSelection, Onex, QueryOptions, SeasonalOptions};
 use onex_grouping::BaseConfig;
-use onex_net::{ClusterEngine, RemoteConfig};
+use onex_net::{ClusterConfig, ClusterEngine};
 use onex_tseries::{Dataset, TimeSeries};
 use onex_viz::{
     ConnectedScatter, MultiLineChart, OverviewPane, QueryPreview, RadialChart, SeasonalView,
@@ -235,12 +235,100 @@ impl App {
         if let Some(engine) = guard.as_ref() {
             return Ok(Arc::clone(engine));
         }
+        // The HTTP gateway prefers availability: a dead shard slot
+        // degrades the answer (with coverage reported in the JSON)
+        // instead of failing the request. Strict callers can see the
+        // gap in the `coverage` object and retry.
         let engine = Arc::new(
-            ClusterEngine::connect(&slot.addrs, RemoteConfig::default())?
-                .with_options(QueryOptions::default().lengths(LengthSelection::Nearest(3))),
+            ClusterEngine::connect_with(
+                &slot.addrs,
+                ClusterConfig {
+                    degrade: DegradePolicy::Partial,
+                    ..ClusterConfig::default()
+                },
+            )?
+            .with_options(QueryOptions::default().lengths(LengthSelection::Nearest(3))),
         );
         *guard = Some(Arc::clone(&engine));
         Ok(engine)
+    }
+
+    /// The already-connected cluster engine, if any — a peek that never
+    /// dials, for observability routes that must stay cheap.
+    fn cluster_peek(&self) -> Option<Arc<ClusterEngine>> {
+        let slot = self.cluster.as_ref()?;
+        slot.engine
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// The cluster's replica topology and per-replica breaker state as a
+    /// JSON object — shared by `/api/health` and `/api/summary`.
+    fn cluster_health_json(engine: &ClusterEngine) -> Json {
+        let slots: Vec<Json> = engine
+            .health()
+            .into_iter()
+            .map(|slot| {
+                let replicas: Vec<Json> = slot
+                    .replicas
+                    .into_iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("addr", Json::s(r.addr)),
+                            ("state", Json::s(r.breaker.state.label())),
+                            (
+                                "consecutive_failures",
+                                (r.breaker.consecutive_failures as usize).into(),
+                            ),
+                            ("ewma_ms", r.breaker.ewma_ms.into()),
+                            ("opens", (r.breaker.opens as usize).into()),
+                            ("probes", (r.breaker.probes as usize).into()),
+                            ("successes", (r.breaker.successes as usize).into()),
+                            ("failures", (r.breaker.failures as usize).into()),
+                            ("skips", (r.breaker.skips as usize).into()),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("slot", slot.slot.into()),
+                    ("replicas", Json::Arr(replicas)),
+                ])
+            })
+            .collect();
+        let (fired, wins) = engine.hedge_counters();
+        Json::obj(vec![
+            ("connected", Json::Bool(true)),
+            ("shards", engine.shard_count().into()),
+            ("degrade", Json::s(engine.degrade_policy().label())),
+            ("slots", Json::Arr(slots)),
+            (
+                "hedges",
+                Json::obj(vec![("fired", fired.into()), ("wins", wins.into())]),
+            ),
+        ])
+    }
+
+    /// `/api/health` — liveness plus, when a cluster is configured, the
+    /// full fault-tolerance picture: replica topology, breaker states
+    /// and counters, degrade policy, hedge counters. Never dials: a
+    /// configured-but-not-yet-connected cluster reports
+    /// `connected: false` rather than forcing a connect from a health
+    /// probe.
+    fn health_api(&self) -> Response {
+        let cluster = match (&self.cluster, self.cluster_peek()) {
+            (None, _) => Json::Null,
+            (Some(_), None) => Json::obj(vec![("connected", Json::Bool(false))]),
+            (Some(_), Some(engine)) => Self::cluster_health_json(&engine),
+        };
+        Response::json(
+            Json::obj(vec![
+                ("status", Json::s("ok")),
+                ("epoch", (self.engine.epoch() as usize).into()),
+                ("cluster", cluster),
+            ])
+            .render(),
+        )
     }
 
     /// The onex backend exactly as `/api/match` serves it, so capability
@@ -258,6 +346,7 @@ impl App {
         let result = match req.path.as_str() {
             "/" => Ok(self.index()),
             "/api/summary" => Ok(self.summary()),
+            "/api/health" => Ok(self.health_api()),
             "/api/series" => Ok(self.series_list()),
             "/api/backends" => Ok(self.backends_list()),
             "/api/match" => self.match_api(req),
@@ -521,6 +610,19 @@ impl App {
                 ]),
             ));
         }
+        // A configured cluster reports its fault-tolerance posture —
+        // without dialling: an unconnected fleet shows
+        // `connected: false` until the first `?backend=cluster` request
+        // establishes it.
+        if self.cluster.is_some() {
+            fields.push((
+                "cluster",
+                match self.cluster_peek() {
+                    Some(engine) => Self::cluster_health_json(&engine),
+                    None => Json::obj(vec![("connected", Json::Bool(false))]),
+                },
+            ));
+        }
         Response::json(Json::obj(fields).render())
     }
 
@@ -569,7 +671,7 @@ impl App {
         if let Some(c) = &cluster {
             list.push(&**c);
         }
-        let items: Vec<Json> = list
+        let mut items: Vec<Json> = list
             .into_iter()
             .map(|backend| {
                 let caps = backend.capabilities();
@@ -583,6 +685,35 @@ impl App {
                 ])
             })
             .collect();
+        // The cluster entry (always last when present) additionally
+        // reports its fault-tolerance shape: replica topology per slot,
+        // breaker states, and the degrade policy in force.
+        if let Some(c) = &cluster {
+            if let Some(Json::Obj(pairs)) = items.last_mut() {
+                let topology: Vec<Json> = c
+                    .health()
+                    .into_iter()
+                    .map(|slot| {
+                        let replicas: Vec<Json> = slot
+                            .replicas
+                            .into_iter()
+                            .map(|r| {
+                                Json::obj(vec![
+                                    ("addr", Json::s(r.addr)),
+                                    ("state", Json::s(r.breaker.state.label())),
+                                ])
+                            })
+                            .collect();
+                        Json::obj(vec![
+                            ("slot", slot.slot.into()),
+                            ("replicas", Json::Arr(replicas)),
+                        ])
+                    })
+                    .collect();
+                pairs.push(("degrade".into(), Json::s(c.degrade_policy().label())));
+                pairs.push(("topology".into(), Json::Arr(topology)));
+            }
+        }
         Response::json(Json::Arr(items).render())
     }
 
@@ -667,30 +798,44 @@ impl App {
             ("metric", Json::s(caps.metric.label())),
             ("exact", Json::Bool(caps.exact)),
             ("matches", Json::Arr(items)),
-            (
-                "stats",
-                Json::obj(vec![
-                    ("examined", outcome.stats.examined.into()),
-                    ("pruned", outcome.stats.pruned.into()),
-                    (
-                        "distance_computations",
-                        outcome.stats.distance_computations.into(),
-                    ),
-                    (
-                        "tiers",
-                        Json::obj(vec![
-                            ("l0", (outcome.stats.tiers.l0 as usize).into()),
-                            ("kim", (outcome.stats.tiers.kim as usize).into()),
-                            ("keogh", (outcome.stats.tiers.keogh as usize).into()),
-                            (
-                                "dtw_abandoned",
-                                (outcome.stats.tiers.dtw_abandoned as usize).into(),
-                            ),
-                        ]),
-                    ),
-                ]),
-            ),
         ];
+        // Fan-out backends report their coverage: how many shard slots
+        // contributed to this answer. `degraded: true` is the typed
+        // signal that some slots were down and the answer spans only the
+        // survivors.
+        if let Some(cov) = outcome.coverage {
+            fields.push((
+                "coverage",
+                Json::obj(vec![
+                    ("shards_answered", (cov.shards_answered as usize).into()),
+                    ("shards_total", (cov.shards_total as usize).into()),
+                    ("degraded", Json::Bool(cov.degraded())),
+                ]),
+            ));
+        }
+        fields.extend(vec![(
+            "stats",
+            Json::obj(vec![
+                ("examined", outcome.stats.examined.into()),
+                ("pruned", outcome.stats.pruned.into()),
+                (
+                    "distance_computations",
+                    outcome.stats.distance_computations.into(),
+                ),
+                (
+                    "tiers",
+                    Json::obj(vec![
+                        ("l0", (outcome.stats.tiers.l0 as usize).into()),
+                        ("kim", (outcome.stats.tiers.kim as usize).into()),
+                        ("keogh", (outcome.stats.tiers.keogh as usize).into()),
+                        (
+                            "dtw_abandoned",
+                            (outcome.stats.tiers.dtw_abandoned as usize).into(),
+                        ),
+                    ]),
+                ),
+            ]),
+        )]);
         // The sharded engine reports its persistent worker pool: workers
         // and threads_spawned stay constant across requests (queries are
         // channel sends, never thread spawns — the pool is built with the
@@ -1507,6 +1652,107 @@ mod tests {
             "dead peers must fail fast, not hang: {:?}",
             t0.elapsed()
         );
+    }
+
+    /// Round-robin partition the app's dataset over `n` live shard
+    /// servers; returns their addresses.
+    fn spawn_matters_shards(n: usize) -> Vec<String> {
+        let ds = matters_collection(&MattersConfig {
+            indicators: vec![Indicator::GrowthRate],
+            ..MattersConfig::default()
+        });
+        (0..n)
+            .map(|s| {
+                let part: Vec<TimeSeries> = (0..ds.len())
+                    .filter(|g| g % n == s)
+                    .map(|g| ds.series(g as u32).unwrap().clone())
+                    .collect();
+                let (engine, _) = Onex::build(
+                    Dataset::from_series(part).unwrap(),
+                    BaseConfig::new(1.0, 6, 10),
+                )
+                .unwrap();
+                let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+                let addr = listener.local_addr().unwrap().to_string();
+                let server = onex_net::ShardServer::new(Arc::new(engine));
+                std::thread::spawn(move || {
+                    let _ = server.serve_with(
+                        listener,
+                        &onex_net::AcceptOptions {
+                            workers: 2,
+                            queue: 8,
+                            ..onex_net::AcceptOptions::default()
+                        },
+                    );
+                });
+                addr
+            })
+            .collect()
+    }
+
+    #[test]
+    fn health_and_match_report_cluster_coverage_and_breakers_over_http() {
+        let shards = spawn_matters_shards(2);
+        // Shard 1 goes through a chaos proxy so the test can kill and
+        // restart it without process management.
+        let proxy = onex_net::ChaosProxy::spawn(shards[1].clone(), Vec::new()).unwrap();
+        let a = app().with_cluster(vec![shards[0].clone(), proxy.addr().to_string()]);
+
+        // Before the first cluster request, health reports the fleet as
+        // configured but unconnected — and never dials.
+        let body = String::from_utf8(get(&a, "/api/health").body).unwrap();
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"connected\":false"), "{body}");
+
+        // A healthy cluster query reports full coverage.
+        let r = get(
+            &a,
+            "/api/match?series=MA-GrowthRate&start=4&len=8&k=2&backend=cluster",
+        );
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8(r.body));
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(
+            body.contains(
+                "\"coverage\":{\"shards_answered\":2,\"shards_total\":2,\"degraded\":false}"
+            ),
+            "{body}"
+        );
+
+        // Health now exposes the topology and closed breakers.
+        let body = String::from_utf8(get(&a, "/api/health").body).unwrap();
+        assert!(body.contains("\"connected\":true"), "{body}");
+        assert!(body.contains("\"degrade\":\"partial\""), "{body}");
+        assert!(body.contains("\"state\":\"closed\""), "{body}");
+        assert!(body.contains(&shards[0]), "{body}");
+        assert!(body.contains("\"hedges\""), "{body}");
+
+        // The backends listing carries the same topology per slot.
+        let body = String::from_utf8(get(&a, "/api/backends").body).unwrap();
+        assert!(body.contains("\"cluster\""), "{body}");
+        assert!(body.contains("\"topology\""), "{body}");
+        assert!(body.contains("\"degrade\":\"partial\""), "{body}");
+        // And the summary reports the cluster's posture.
+        let body = String::from_utf8(get(&a, "/api/summary").body).unwrap();
+        assert!(body.contains("\"cluster\":{\"connected\":true"), "{body}");
+
+        // Kill shard 1: the gateway's Partial policy keeps answering,
+        // and the JSON says exactly what was missing.
+        proxy.set_fault(Some(onex_net::Fault::Drop));
+        let r = get(
+            &a,
+            "/api/match?series=MA-GrowthRate&start=4&len=8&k=2&backend=cluster",
+        );
+        assert_eq!(r.status, 200, "{:?}", String::from_utf8(r.body));
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(
+            body.contains(
+                "\"coverage\":{\"shards_answered\":1,\"shards_total\":2,\"degraded\":true}"
+            ),
+            "{body}"
+        );
+        // The dead replica's breaker recorded the failure.
+        let body = String::from_utf8(get(&a, "/api/health").body).unwrap();
+        assert!(body.contains("\"failures\":"), "{body}");
     }
 
     #[test]

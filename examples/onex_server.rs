@@ -30,6 +30,23 @@
 //! The cluster assumes a round-robin partition: global series `g` lives
 //! on shard `g % N` (in file order), as `ClusterEngine` documents.
 //!
+//! Each comma-separated entry is one shard **slot**; a slot may list
+//! replica addresses separated by `|` (every replica hosts the same
+//! partition — start them from the same CSV/base file):
+//!
+//! ```sh
+//! cargo run --example onex_server --release -- \
+//!     --cluster '127.0.0.1:7001|127.0.0.1:7101,127.0.0.1:7002|127.0.0.1:7102'
+//! ```
+//!
+//! Queries prefer the first replica of each slot and fail over on typed
+//! network errors; per-replica circuit breakers skip dead peers and
+//! background probes revive them. The HTTP gateway runs the cluster
+//! with the `partial` degrade policy: when a whole slot is down,
+//! `/api/match?backend=cluster` still answers over the surviving shards
+//! and reports a `coverage` object saying so. Breaker states, replica
+//! topology, and hedge counters are served at `/api/health`.
+//!
 //! ## Base files
 //!
 //! `--base-file base.onexbase` makes startup stateful: if the file
